@@ -1,0 +1,47 @@
+//! Criterion bench: IPF convergence time vs sample size and marginal
+//! count (the SEMI-OPEN hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_bench::flights::{self, FlightsConfig};
+use mosaic_stats::{Ipf, IpfConfig};
+use std::hint::black_box;
+
+fn bench_ipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipf");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &pop in &[10_000usize, 50_000] {
+        let data = flights::generate(&FlightsConfig {
+            population: pop,
+            marginal_bins: 16,
+            ..FlightsConfig::default()
+        });
+        // Index construction (cell mapping).
+        group.bench_with_input(BenchmarkId::new("index", pop), &data, |b, d| {
+            b.iter(|| Ipf::new(black_box(&d.sample), &d.marginals, &d.binners).unwrap())
+        });
+        // Full raking to convergence.
+        let ipf = Ipf::new(&data.sample, &data.marginals, &data.binners).unwrap();
+        let cfg = IpfConfig::default();
+        group.bench_with_input(BenchmarkId::new("fit", pop), &ipf, |b, ipf| {
+            b.iter(|| ipf.fit(None, black_box(&cfg)))
+        });
+        // Varying marginal counts at fixed size.
+        if pop == 10_000 {
+            for k in 1..=4usize {
+                let ipf_k =
+                    Ipf::new(&data.sample, &data.marginals[..k], &data.binners).unwrap();
+                group.bench_with_input(
+                    BenchmarkId::new("fit_marginals", k),
+                    &ipf_k,
+                    |b, ipf| b.iter(|| ipf.fit(None, black_box(&cfg))),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipf);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion bench: end-to-end query latency through the Mosaic engine at
+//! each visibility level (OPEN excluded — model training is measured in
+//! `swg_step`; here the model cache is warm so OPEN measures generation +
+//! combine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mosaic_bench::flights::{self, FlightsConfig};
+use mosaic_core::{MosaicDb, OpenBackend};
+use mosaic_swg::SwgConfig;
+use std::hint::black_box;
+
+fn setup_db() -> MosaicDb {
+    let data = flights::generate(&FlightsConfig {
+        population: 50_000,
+        marginal_bins: 16,
+        ..FlightsConfig::default()
+    });
+    let mut db = MosaicDb::new();
+    db.options_mut().open.backend = OpenBackend::Swg(SwgConfig {
+        hidden_dim: 32,
+        hidden_layers: 2,
+        latent_dim: None,
+        projections: 16,
+        epochs: 4,
+        batch_size: 256,
+        ..SwgConfig::default()
+    });
+    db.options_mut().open.num_generated = 3;
+    db.execute(
+        "CREATE GLOBAL POPULATION Flights (carrier TEXT, taxi_out INT, taxi_in INT, elapsed_time INT, distance INT);
+         CREATE SAMPLE FlightSample AS (SELECT * FROM Flights);",
+    )
+    .unwrap();
+    for (i, m) in data.marginals.iter().enumerate() {
+        db.add_metadata(&format!("Flights_M{i}"), "Flights", m.clone())
+            .unwrap();
+    }
+    for (attr, binner) in &data.binners {
+        db.register_binner(attr, binner.clone());
+    }
+    db.ingest_sample("FlightSample", data.sample.clone()).unwrap();
+    db
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut db = setup_db();
+    let mut group = c.benchmark_group("query_exec");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let q = "carrier, COUNT(*), AVG(distance) FROM Flights WHERE elapsed_time > 120 GROUP BY carrier";
+    group.bench_function("closed_group_by", |b| {
+        b.iter(|| black_box(db.execute(&format!("SELECT CLOSED {q}")).unwrap()))
+    });
+    group.bench_function("semi_open_group_by", |b| {
+        b.iter(|| black_box(db.execute(&format!("SELECT SEMI-OPEN {q}")).unwrap()))
+    });
+    // Warm the model cache, then measure OPEN (generation + combine).
+    db.execute(&format!("SELECT OPEN {q}")).unwrap();
+    group.bench_function("open_group_by_cached_model", |b| {
+        b.iter(|| black_box(db.execute(&format!("SELECT OPEN {q}")).unwrap()))
+    });
+    // Raw sample scan for reference.
+    group.bench_function("raw_sample_scan", |b| {
+        b.iter(|| {
+            black_box(
+                db.execute("SELECT carrier, SUM(weight) FROM FlightSample GROUP BY carrier")
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: columnar kernel throughput (filter, take, group-by
+//! aggregation) — the substrate every visibility level runs on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_bench::flights::{self, FlightsConfig};
+use mosaic_core::run_select;
+use mosaic_sql::{parse, Statement};
+use mosaic_storage::Bitmap;
+use std::hint::black_box;
+
+fn stmt(sql: &str) -> mosaic_sql::SelectStmt {
+    match parse(sql).unwrap().pop().unwrap() {
+        Statement::Select(s) => s,
+        _ => unreachable!(),
+    }
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &n in &[10_000usize, 100_000] {
+        let data = flights::generate(&FlightsConfig {
+            population: n,
+            marginal_bins: 8,
+            ..FlightsConfig::default()
+        });
+        let t = &data.population;
+        group.bench_with_input(BenchmarkId::new("filter_bitmap", n), t, |b, t| {
+            let sel = Bitmap::from_iter((0..t.num_rows()).map(|i| i % 3 == 0));
+            b.iter(|| black_box(t.filter(&sel)))
+        });
+        group.bench_with_input(BenchmarkId::new("take_half", n), t, |b, t| {
+            let idx: Vec<usize> = (0..t.num_rows()).step_by(2).collect();
+            b.iter(|| black_box(t.take(&idx)))
+        });
+        group.bench_with_input(BenchmarkId::new("sort_by_distance", n), t, |b, t| {
+            b.iter(|| black_box(t.sort_by(&["distance"], &[false]).unwrap()))
+        });
+        let agg = stmt(
+            "SELECT carrier, COUNT(*), AVG(distance), MAX(elapsed_time) FROM t \
+             WHERE distance > 500 GROUP BY carrier",
+        );
+        group.bench_with_input(BenchmarkId::new("filter_group_agg", n), t, |b, t| {
+            b.iter(|| black_box(run_select(&agg, t, None).unwrap()))
+        });
+        let weights = vec![1.5; t.num_rows()];
+        group.bench_with_input(BenchmarkId::new("weighted_group_agg", n), t, |b, t| {
+            b.iter(|| black_box(run_select(&agg, t, Some(&weights)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

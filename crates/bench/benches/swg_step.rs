@@ -1,0 +1,73 @@
+//! Criterion bench: M-SWG training throughput vs batch size and network
+//! width (one epoch of fixed steps), plus generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_bench::spiral::{self, SpiralConfig};
+use mosaic_swg::{MSwg, SwgConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_swg(c: &mut Criterion) {
+    let data = spiral::generate(&SpiralConfig {
+        population: 20_000,
+        sample: 2_000,
+        ..SpiralConfig::default()
+    });
+    let mut group = c.benchmark_group("swg");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &batch in &[128usize, 512] {
+        let cfg = SwgConfig {
+            batch_size: batch,
+            epochs: 1,
+            steps_per_epoch: Some(4),
+            ..SwgConfig::paper_spiral()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("train_4_steps_batch", batch),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    MSwg::fit(black_box(&data.sample), &data.marginals, cfg.clone()).unwrap()
+                })
+            },
+        );
+    }
+    for &hidden in &[50usize, 200] {
+        let cfg = SwgConfig {
+            hidden_dim: hidden,
+            epochs: 1,
+            steps_per_epoch: Some(4),
+            batch_size: 256,
+            ..SwgConfig::paper_spiral()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("train_4_steps_hidden", hidden),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    MSwg::fit(black_box(&data.sample), &data.marginals, cfg.clone()).unwrap()
+                })
+            },
+        );
+    }
+    // Generation throughput from a trained model.
+    let cfg = SwgConfig {
+        epochs: 3,
+        batch_size: 256,
+        ..SwgConfig::paper_spiral()
+    };
+    let mut model = MSwg::fit(&data.sample, &data.marginals, cfg).unwrap();
+    group.bench_function("generate_10k_rows", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(model.generate(10_000, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_swg);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: exact 1-D Wasserstein and sliced Wasserstein
+//! throughput — the inner loop of M-SWG training, whose exactness is what
+//! lets Mosaic drop the discriminator network (paper §5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_stats::{
+    random_unit_vectors, sliced_wasserstein, standard_normal, wasserstein_1d, WassersteinOrder,
+    WeightedEmpirical,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_wasserstein(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("wasserstein");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let a = WeightedEmpirical::from_values((0..n).map(|_| standard_normal(&mut rng)));
+        let b = WeightedEmpirical::from_values((0..n).map(|_| 1.0 + standard_normal(&mut rng)));
+        group.bench_with_input(BenchmarkId::new("exact_1d_w1", n), &(a, b), |bch, (a, b)| {
+            bch.iter(|| wasserstein_1d(black_box(a), black_box(b), WassersteinOrder::W1))
+        });
+    }
+    // Sliced W over 2-D clouds vs projection count.
+    let cloud_a: Vec<(Vec<f64>, f64)> = (0..2000)
+        .map(|_| (vec![standard_normal(&mut rng), standard_normal(&mut rng)], 1.0))
+        .collect();
+    let cloud_b: Vec<(Vec<f64>, f64)> = (0..2000)
+        .map(|_| (vec![2.0 + standard_normal(&mut rng), standard_normal(&mut rng)], 1.0))
+        .collect();
+    for &p in &[10usize, 100, 1000] {
+        let proj = random_unit_vectors(2, p, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("sliced_2d", p),
+            &proj,
+            |bch, proj| {
+                bch.iter(|| {
+                    sliced_wasserstein(
+                        black_box(&cloud_a),
+                        black_box(&cloud_b),
+                        proj,
+                        WassersteinOrder::W2Squared,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wasserstein);
+criterion_main!(benches);

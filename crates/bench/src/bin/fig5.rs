@@ -1,0 +1,136 @@
+//! Reproduces **Fig. 5**: the spiral population, the biased sample, and
+//! the M-SWG generated sample.
+//!
+//! The paper's figure is a scatter plot; this harness writes the three
+//! point clouds as CSV (for plotting) and prints quantitative versions of
+//! the figure's two visual claims: (1) the generated data matches the
+//! population marginals much better than the biased sample, and (2) it
+//! stays on the spiral manifold (small nearest-population-point
+//! distance).
+//!
+//! Usage: `cargo run --release -p mosaic-bench --bin fig5 [--full] [--out DIR]`
+
+use std::io::Write;
+
+use mosaic_bench::spiral::{self, SpiralConfig};
+use mosaic_stats::{wasserstein_1d, Marginal, WassersteinOrder, WeightedEmpirical};
+use mosaic_storage::Table;
+use mosaic_swg::{MSwg, SwgConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn marginal_w1(sample: &Table, attr: &str, marginal: &Marginal) -> f64 {
+    let col = sample.column_by_name(attr).expect("attr");
+    let a = WeightedEmpirical::from_values((0..sample.num_rows()).filter_map(|r| col.f64_at(r)));
+    // Binned marginal cells are keyed by bin midpoints — directly usable
+    // as coordinates.
+    let pairs = marginal.to_numeric_pairs().expect("numeric 1-D marginal");
+    let b = WeightedEmpirical::from_pairs(pairs);
+    wasserstein_1d(&a, &b, WassersteinOrder::W1)
+}
+
+fn mean_nn_distance(points: &Table, reference: &Table, limit: usize) -> f64 {
+    let px = points.column_by_name("x").unwrap();
+    let py = points.column_by_name("y").unwrap();
+    let rx = reference.column_by_name("x").unwrap();
+    let ry = reference.column_by_name("y").unwrap();
+    let n = points.num_rows().min(limit);
+    let m = reference.num_rows().min(5000);
+    let mut total = 0.0;
+    for i in 0..n {
+        let (x, y) = (px.f64_at(i).unwrap(), py.f64_at(i).unwrap());
+        let mut best = f64::INFINITY;
+        for j in 0..m {
+            let dx = x - rx.f64_at(j).unwrap();
+            let dy = y - ry.f64_at(j).unwrap();
+            best = best.min(dx * dx + dy * dy);
+        }
+        total += best.sqrt();
+    }
+    total / n as f64
+}
+
+fn write_csv(path: &std::path::Path, table: &Table) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "x,y")?;
+    for r in 0..table.num_rows() {
+        writeln!(f, "{},{}", table.value(r, 0), table.value(r, 1))?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| "target/fig5".to_string());
+
+    let spiral_cfg = if full {
+        SpiralConfig::default()
+    } else {
+        SpiralConfig {
+            population: 20_000,
+            sample: 2_000,
+            ..SpiralConfig::default()
+        }
+    };
+    // Paper §5.3 footnote 3: 3 ReLU FC layers × 100 nodes, λ=0.04, ℓ=2,
+    // batch 500.
+    let swg_cfg = if full {
+        SwgConfig {
+            epochs: 60,
+            ..SwgConfig::paper_spiral()
+        }
+    } else {
+        SwgConfig {
+            epochs: 25,
+            batch_size: 256,
+            ..SwgConfig::paper_spiral()
+        }
+    };
+
+    eprintln!(
+        "fig5: spiral population={} sample={} (use --full for paper scale)",
+        spiral_cfg.population, spiral_cfg.sample
+    );
+    let data = spiral::generate(&spiral_cfg);
+    let mut model = MSwg::fit_with_progress(
+        &data.sample,
+        &data.marginals,
+        swg_cfg,
+        |epoch, loss| {
+            if epoch % 5 == 0 {
+                eprintln!("  epoch {epoch}: loss {loss:.5}");
+            }
+        },
+    )
+    .expect("M-SWG fits");
+    let mut rng = StdRng::seed_from_u64(99);
+    let generated = model.generate(data.sample.num_rows(), &mut rng);
+
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let dir = std::path::Path::new(&out_dir);
+    write_csv(&dir.join("population.csv"), &data.population).expect("write");
+    write_csv(&dir.join("biased_sample.csv"), &data.sample).expect("write");
+    write_csv(&dir.join("mswg_sample.csv"), &generated).expect("write");
+    eprintln!("wrote {out_dir}/population.csv, biased_sample.csv, mswg_sample.csv");
+
+    println!("Figure 5 (quantitative): marginal fit and manifold fit");
+    println!("{:<18} {:>12} {:>12} {:>16}", "dataset", "W1(x)", "W1(y)", "mean NN->pop");
+    for (name, table) in [("biased sample", &data.sample), ("M-SWG sample", &generated)] {
+        let wx = marginal_w1(table, "x", &data.marginals[0]);
+        let wy = marginal_w1(table, "y", &data.marginals[1]);
+        let nn = mean_nn_distance(table, &data.population, 2000);
+        println!("{name:<18} {wx:>12.5} {wy:>12.5} {nn:>16.5}");
+    }
+    println!();
+    println!(
+        "Paper claim: \"the generated data more closely matches the marginals while \
+         maintaining the spiral shape\" — expect both W1 columns to drop \
+         substantially for the M-SWG sample while mean NN distance stays small."
+    );
+}

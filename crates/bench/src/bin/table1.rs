@@ -1,0 +1,53 @@
+//! Reproduces **Table 1**: the flights attributes, their abbreviations,
+//! and their M-SWG encoded dimensionality (number of distinct values for
+//! categoricals, 1 for scaled numerics).
+//!
+//! Usage: `cargo run --release -p mosaic-bench --bin table1 [--full]`
+
+use std::collections::HashMap;
+
+use mosaic_bench::flights::{self, FlightsConfig};
+use mosaic_swg::Encoder;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full {
+        FlightsConfig::paper_scale()
+    } else {
+        FlightsConfig::default()
+    };
+    eprintln!(
+        "table1: generating {} flights (use --full for the paper's 426,411)",
+        config.population
+    );
+    let data = flights::generate(&config);
+    let encoder = Encoder::fit(&data.sample, &HashMap::new());
+    let abbrev: HashMap<&str, &str> = [
+        ("carrier", "C"),
+        ("taxi_out", "O"),
+        ("taxi_in", "I"),
+        ("elapsed_time", "E"),
+        ("distance", "D"),
+    ]
+    .into_iter()
+    .collect();
+    println!("Table 1: Flights attributes");
+    println!("{:<16} {:>6} {:>10}", "Flights", "Abbrv", "M-SWG Dim");
+    for spec in encoder.specs() {
+        println!(
+            "{:<16} {:>6} {:>10}",
+            spec.name(),
+            abbrev.get(spec.name()).copied().unwrap_or("?"),
+            spec.width()
+        );
+    }
+    println!();
+    println!(
+        "Paper values: carrier 14, taxi_out 1, taxi_in 1, elapsed_time 1, distance 1."
+    );
+    println!(
+        "population rows: {} | sample rows: {} (5% biased, 95% long flights)",
+        data.population.num_rows(),
+        data.sample.num_rows()
+    );
+}

@@ -1,0 +1,26 @@
+//! # mosaic-bench
+//!
+//! Workload generators, metrics, and experiment harnesses that regenerate
+//! **every table and figure** of the Mosaic paper's evaluation (§5.3):
+//!
+//! | Paper artifact | Module / binary |
+//! |---|---|
+//! | Fig. 5 (spiral population, biased vs M-SWG sample) | [`spiral`], `bin/fig5` |
+//! | Fig. 6 (range-query error vs box width, Unif vs M-SWG) | [`experiments::fig6`], `bin/fig6` |
+//! | Table 1 (flights attributes + encoded dims) | [`flights`], `bin/table1` |
+//! | Table 2 + Fig. 7 (queries 1–8, Unif vs IPF vs M-SWG) | [`experiments::fig7`], `bin/fig7` |
+//! | §3.3 visibility trade-off table | [`experiments::visibility`], `bin/visibility` |
+//! | §5.3 model-selection protocol (200 random queries) | [`experiments::selection`], `bin/selection` |
+//!
+//! Since the IDEBench flights CSV is not available offline, [`flights`]
+//! generates a synthetic population with the same five attributes, the
+//! same skewed carrier distribution (including the rare `US`/`F9`
+//! carriers the paper calls out), the same correlations
+//! (elapsed_time ≈ distance/speed + taxi), and the same biased-sample
+//! construction (5 % sample, 95 % of tuples with `elapsed_time > 200`).
+//! See DESIGN.md for the substitution rationale.
+
+pub mod experiments;
+pub mod flights;
+pub mod metrics;
+pub mod spiral;

@@ -1,0 +1,123 @@
+//! Error metrics and summary statistics for the experiment harnesses.
+
+pub use mosaic_stats::percent_diff;
+
+/// Box-plot style summary: the paper's Fig. 6 "box plots (X is average) …
+/// where the whiskers show the 3rd and 97th percentiles".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// 3rd percentile (lower whisker).
+    pub p3: f64,
+    /// First quartile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub p75: f64,
+    /// 97th percentile (upper whisker).
+    pub p97: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a set of observations (NaNs dropped).
+    pub fn of(values: &[f64]) -> Summary {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return Summary {
+                n: 0,
+                mean: f64::NAN,
+                p3: f64::NAN,
+                p25: f64::NAN,
+                median: f64::NAN,
+                p75: f64::NAN,
+                p97: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        v.sort_by(|a, b| a.total_cmp(b));
+        let q = |p: f64| {
+            let idx = (p * (v.len() - 1) as f64).round() as usize;
+            v[idx.min(v.len() - 1)]
+        };
+        Summary {
+            n: v.len(),
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+            p3: q(0.03),
+            p25: q(0.25),
+            median: q(0.5),
+            p75: q(0.75),
+            p97: q(0.97),
+            max: *v.last().expect("non-empty"),
+        }
+    }
+
+    /// One-line rendering for harness output.
+    pub fn row(&self) -> String {
+        format!(
+            "n={:<4} mean={:>8.3} p3={:>8.3} p25={:>8.3} med={:>8.3} p75={:>8.3} p97={:>8.3} max={:>8.3}",
+            self.n, self.mean, self.p3, self.p25, self.median, self.p75, self.p97, self.max
+        )
+    }
+}
+
+/// Relative-difference helper for comparing two aggregate answers where
+/// either may be missing (group absent → false negative).
+pub fn group_percent_diff(estimate: Option<f64>, truth: Option<f64>) -> Option<f64> {
+    match (estimate, truth) {
+        (Some(e), Some(t)) => Some(percent_diff(e, t)),
+        // Group missing from the estimate: count as 100% error.
+        (None, Some(_)) => Some(100.0),
+        // Spurious group or both missing: not scored against truth.
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant() {
+        let s = Summary::of(&[2.0; 10]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.p97, 2.0);
+        assert_eq!(s.n, 10);
+    }
+
+    #[test]
+    fn summary_orders_percentiles() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = Summary::of(&v);
+        assert!(s.p3 <= s.p25 && s.p25 <= s.median);
+        assert!(s.median <= s.p75 && s.p75 <= s.p97 && s.p97 <= s.max);
+        assert_eq!(s.median, 50.0);
+    }
+
+    #[test]
+    fn summary_drops_nans() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert!(s.mean.is_nan());
+    }
+
+    #[test]
+    fn group_diff_missing_group_is_full_error() {
+        assert_eq!(group_percent_diff(None, Some(5.0)), Some(100.0));
+        assert_eq!(group_percent_diff(Some(5.0), None), None);
+        assert_eq!(group_percent_diff(Some(110.0), Some(100.0)), Some(10.0));
+    }
+}

@@ -1,0 +1,224 @@
+//! The 2-D spiral workload of the paper's Fig. 5/6: a spiral-shaped
+//! population, a biased sample over it, and 1-D population marginals.
+
+use std::collections::HashMap;
+
+use mosaic_stats::{standard_normal, Binner, Marginal};
+use mosaic_storage::{DataType, Field, Schema, Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Spiral workload parameters.
+#[derive(Debug, Clone)]
+pub struct SpiralConfig {
+    /// Population size.
+    pub population: usize,
+    /// Biased sample size (paper: 10,000).
+    pub sample: usize,
+    /// Gaussian noise added around the spiral curve.
+    pub noise: f64,
+    /// Bias strength: tuples are included with probability ∝
+    /// `exp(bias · (x + y))`, concentrating the sample in one arm of the
+    /// spiral (the paper's sample visibly over-covers part of the curve).
+    pub bias: f64,
+    /// Histogram bins for the 1-D marginals over `x` and `y`.
+    pub marginal_bins: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpiralConfig {
+    fn default() -> Self {
+        SpiralConfig {
+            population: 100_000,
+            sample: 10_000,
+            noise: 0.01,
+            bias: 4.0,
+            marginal_bins: 50,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated spiral workload: population table, biased sample table, and
+/// the 1-D marginals over both attributes.
+pub struct SpiralData {
+    /// The full population (ground truth for error computation).
+    pub population: Table,
+    /// The biased sample.
+    pub sample: Table,
+    /// 1-D marginals over `x` and `y`, binned with [`SpiralConfig::marginal_bins`].
+    pub marginals: Vec<Marginal>,
+    /// The binners used for the marginals (needed by IPF).
+    pub binners: HashMap<String, Binner>,
+}
+
+fn spiral_schema() -> std::sync::Arc<Schema> {
+    Schema::new(vec![
+        Field::new("x", DataType::Float),
+        Field::new("y", DataType::Float),
+    ])
+}
+
+/// Generate the spiral population, biased sample, and marginals.
+///
+/// The population follows the experiments of Cai et al. (paper reference
+/// [9]): points along an Archimedean spiral with Gaussian noise, scaled
+/// into roughly the unit square (matching the axes of Fig. 5).
+pub fn generate(config: &SpiralConfig) -> SpiralData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = spiral_schema();
+    let mut pop = TableBuilder::with_capacity(schema.clone(), config.population);
+    let mut xs = Vec::with_capacity(config.population);
+    let mut ys = Vec::with_capacity(config.population);
+    for _ in 0..config.population {
+        let t = 1.0 + 2.5 * std::f64::consts::PI * rng.random::<f64>();
+        let r = t / (1.0 + 2.5 * std::f64::consts::PI);
+        let x = 0.5 + 0.5 * r * t.cos() + config.noise * standard_normal(&mut rng);
+        let y = 0.4 + 0.5 * r * t.sin() + config.noise * standard_normal(&mut rng);
+        xs.push(x);
+        ys.push(y);
+        pop.push_row(vec![x.into(), y.into()]).expect("schema");
+    }
+    let population = pop.finish();
+
+    // Biased inclusion: probability ∝ exp(bias·(x+y)), normalized so the
+    // expected sample size matches. Rejection sampling row by row.
+    let scores: Vec<f64> = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (config.bias * (x + y)).exp())
+        .collect();
+    let max_score = scores.iter().cloned().fold(f64::MIN, f64::max);
+    let mut chosen: Vec<usize> = Vec::with_capacity(config.sample);
+    // Loop until we have the sample size (each pass scans the population).
+    'outer: loop {
+        for (i, &s) in scores.iter().enumerate() {
+            if rng.random::<f64>() < s / max_score {
+                chosen.push(i);
+                if chosen.len() >= config.sample {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let sample = population.take(&chosen);
+
+    let mut binners = HashMap::new();
+    binners.insert(
+        "x".to_string(),
+        Binner::equal_width(-0.2, 1.2, config.marginal_bins),
+    );
+    binners.insert(
+        "y".to_string(),
+        Binner::equal_width(-0.2, 1.2, config.marginal_bins),
+    );
+    let marginals = vec![
+        Marginal::from_table(&population, &["x"], None, &binners).expect("x marginal"),
+        Marginal::from_table(&population, &["y"], None, &binners).expect("y marginal"),
+    ];
+    SpiralData {
+        population,
+        sample,
+        marginals,
+        binners,
+    }
+}
+
+/// Count population tuples falling in an axis-aligned box (ground truth
+/// for the Fig. 6 range queries).
+pub fn count_in_box(table: &Table, x0: f64, x1: f64, y0: f64, y1: f64) -> f64 {
+    let xs = table.column_by_name("x").expect("x");
+    let ys = table.column_by_name("y").expect("y");
+    let mut c = 0.0;
+    for r in 0..table.num_rows() {
+        let (x, y) = (xs.f64_at(r).unwrap_or(f64::NAN), ys.f64_at(r).unwrap_or(f64::NAN));
+        if x >= x0 && x <= x1 && y >= y0 && y <= y1 {
+            c += 1.0;
+        }
+    }
+    c
+}
+
+/// Weighted count in a box.
+pub fn weighted_count_in_box(
+    table: &Table,
+    weights: &[f64],
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+) -> f64 {
+    let xs = table.column_by_name("x").expect("x");
+    let ys = table.column_by_name("y").expect("y");
+    let mut c = 0.0;
+    for r in 0..table.num_rows() {
+        let (x, y) = (xs.f64_at(r).unwrap_or(f64::NAN), ys.f64_at(r).unwrap_or(f64::NAN));
+        if x >= x0 && x <= x1 && y >= y0 && y <= y1 {
+            c += weights[r];
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SpiralData {
+        generate(&SpiralConfig {
+            population: 2000,
+            sample: 400,
+            ..SpiralConfig::default()
+        })
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let d = tiny();
+        assert_eq!(d.population.num_rows(), 2000);
+        assert_eq!(d.sample.num_rows(), 400);
+        assert_eq!(d.marginals.len(), 2);
+        assert!((d.marginals[0].total() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_is_biased_toward_high_xy() {
+        let d = tiny();
+        let mean = |t: &Table, col: &str| {
+            let c = t.column_by_name(col).unwrap();
+            (0..t.num_rows()).filter_map(|r| c.f64_at(r)).sum::<f64>() / t.num_rows() as f64
+        };
+        let pop_mean = mean(&d.population, "x") + mean(&d.population, "y");
+        let samp_mean = mean(&d.sample, "x") + mean(&d.sample, "y");
+        assert!(
+            samp_mean > pop_mean + 0.02,
+            "sample not biased: pop {pop_mean}, sample {samp_mean}"
+        );
+    }
+
+    #[test]
+    fn population_roughly_in_unit_square() {
+        let d = tiny();
+        let (minx, maxx) = d.population.column_by_name("x").unwrap().numeric_range().unwrap();
+        assert!(minx > -0.3 && maxx < 1.3, "x range [{minx}, {maxx}]");
+    }
+
+    #[test]
+    fn box_counts_consistent() {
+        let d = tiny();
+        let all = count_in_box(&d.population, -1.0, 2.0, -1.0, 2.0);
+        assert_eq!(all, 2000.0);
+        let w = vec![2.0; d.sample.num_rows()];
+        let wc = weighted_count_in_box(&d.sample, &w, -1.0, 2.0, -1.0, 2.0);
+        assert_eq!(wc, 800.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.population.value(0, 0), b.population.value(0, 0));
+        assert_eq!(a.sample.value(10, 1), b.sample.value(10, 1));
+    }
+}

@@ -1,0 +1,23 @@
+//! # mosaic-bn
+//!
+//! A Chow–Liu tree Bayesian network — the *explicitly defined* generative
+//! model the Mosaic paper contrasts with its M-SWG (§4.2: "if we model the
+//! probability distribution as a Bayesian network, we can answer COUNT(*)
+//! queries using direct inference over the network"), and the approach its
+//! predecessor system Themis merges with IPF.
+//!
+//! The intended workflow (Themis-style) is:
+//!
+//! 1. reweight the biased sample with IPF against the published marginals
+//!    (`mosaic_stats::Ipf`),
+//! 2. fit a [`BayesNet`] on the *reweighted* sample ([`BayesNet::fit`]),
+//! 3. answer OPEN queries either by ancestral sampling
+//!    ([`BayesNet::sample`]) or by exact tree inference for single-node
+//!    marginals ([`BayesNet::node_marginal`]).
+//!
+//! The structure learner maximizes total pairwise mutual information
+//! (Chow–Liu), which is optimal among trees; CPTs use Laplace smoothing.
+
+mod model;
+
+pub use model::{BayesNet, BnConfig, BnError};

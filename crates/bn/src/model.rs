@@ -1,0 +1,530 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use mosaic_stats::Binner;
+use mosaic_storage::{DataType, Schema, StorageError, Table, TableBuilder, Value};
+use rand::Rng;
+
+/// Bayesian-network hyperparameters.
+#[derive(Debug, Clone)]
+pub struct BnConfig {
+    /// Equal-width bins for continuous attributes.
+    pub bins: usize,
+    /// Laplace smoothing pseudo-count for CPT cells.
+    pub laplace: f64,
+}
+
+impl Default for BnConfig {
+    fn default() -> Self {
+        BnConfig {
+            bins: 20,
+            laplace: 0.1,
+        }
+    }
+}
+
+/// Errors from Bayesian-network fitting.
+#[derive(Debug)]
+pub enum BnError {
+    /// The training sample has no rows (or no mass).
+    EmptySample,
+    /// Underlying storage error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for BnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BnError::EmptySample => write!(f, "cannot fit a Bayesian network on an empty sample"),
+            BnError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BnError {}
+
+impl From<StorageError> for BnError {
+    fn from(e: StorageError) -> Self {
+        BnError::Storage(e)
+    }
+}
+
+/// How a node's discrete states map back to column values.
+#[derive(Debug, Clone)]
+enum Decode {
+    /// Distinct categorical values by state index.
+    Categorical(Vec<Value>),
+    /// Continuous binning; decoded uniformly within the bin.
+    Binned { binner: Binner, integer: bool },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    decode: Decode,
+    cardinality: usize,
+    /// Parent node index (None for the root).
+    parent: Option<usize>,
+    /// CPT: `cpt[parent_state][state]`, rows of length `cardinality`
+    /// summing to 1. For the root there is a single pseudo-parent state.
+    cpt: Vec<Vec<f64>>,
+}
+
+/// A Chow–Liu tree Bayesian network fitted to a (weighted) sample.
+pub struct BayesNet {
+    /// Nodes in topological order (parents precede children).
+    nodes: Vec<Node>,
+    /// Topological order as indices into the original attribute order.
+    schema: std::sync::Arc<Schema>,
+}
+
+impl BayesNet {
+    /// Fit structure (Chow–Liu maximum-MI spanning tree) and CPTs on a
+    /// weighted sample. Pass IPF weights to realize the Themis pipeline;
+    /// pass `None` for an unweighted fit.
+    pub fn fit(sample: &Table, weights: Option<&[f64]>, config: &BnConfig) -> Result<BayesNet, BnError> {
+        let n = sample.num_rows();
+        if n == 0 {
+            return Err(BnError::EmptySample);
+        }
+        let w: Vec<f64> = match weights {
+            Some(w) => {
+                assert_eq!(w.len(), n, "weight length mismatch");
+                w.to_vec()
+            }
+            None => vec![1.0; n],
+        };
+        let total: f64 = w.iter().sum();
+        if total <= 0.0 {
+            return Err(BnError::EmptySample);
+        }
+        let d = sample.num_columns();
+        // Discretize every column to state indices.
+        let mut decodes = Vec::with_capacity(d);
+        let mut states: Vec<Vec<usize>> = Vec::with_capacity(d);
+        for (ci, field) in sample.schema().fields().iter().enumerate() {
+            let col = sample.column(ci);
+            match field.data_type {
+                DataType::Str | DataType::Bool => {
+                    let mut values: Vec<Value> = Vec::new();
+                    let mut index: HashMap<Value, usize> = HashMap::new();
+                    let mut s = Vec::with_capacity(n);
+                    for v in col.iter() {
+                        let next = values.len();
+                        let id = *index.entry(v.clone()).or_insert_with(|| {
+                            values.push(v.clone());
+                            next
+                        });
+                        s.push(id);
+                    }
+                    decodes.push(Decode::Categorical(values));
+                    states.push(s);
+                }
+                DataType::Int | DataType::Float => {
+                    let (min, max) = col.numeric_range().unwrap_or((0.0, 1.0));
+                    let binner = Binner::equal_width(min, (max).max(min + 1e-9), config.bins);
+                    let s = (0..n)
+                        .map(|r| binner.bin(col.f64_at(r).unwrap_or(min)))
+                        .collect();
+                    decodes.push(Decode::Binned {
+                        binner,
+                        integer: field.data_type == DataType::Int,
+                    });
+                    states.push(s);
+                }
+            }
+        }
+        let cards: Vec<usize> = decodes
+            .iter()
+            .map(|dec| match dec {
+                Decode::Categorical(v) => v.len().max(1),
+                Decode::Binned { binner, .. } => binner.num_bins(),
+            })
+            .collect();
+
+        // Pairwise weighted mutual information.
+        let mut edges: Vec<(f64, usize, usize)> = Vec::new();
+        for a in 0..d {
+            for b in (a + 1)..d {
+                let mi = mutual_information(&states[a], &states[b], &w, cards[a], cards[b]);
+                edges.push((mi, a, b));
+            }
+        }
+        // Maximum spanning tree (Kruskal).
+        edges.sort_by(|x, y| y.0.total_cmp(&x.0));
+        let mut dsu: Vec<usize> = (0..d).collect();
+        fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+            if dsu[x] != x {
+                let r = find(dsu, dsu[x]);
+                dsu[x] = r;
+            }
+            dsu[x]
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); d];
+        for (_, a, b) in edges {
+            let (ra, rb) = (find(&mut dsu, a), find(&mut dsu, b));
+            if ra != rb {
+                dsu[ra] = rb;
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        // Orient the tree from root 0 via BFS; forest components each get
+        // their first-seen node as a root.
+        let mut parent: Vec<Option<usize>> = vec![None; d];
+        let mut order: Vec<usize> = Vec::with_capacity(d);
+        let mut visited = vec![false; d];
+        for start in 0..d {
+            if visited[start] {
+                continue;
+            }
+            let mut queue = std::collections::VecDeque::from([start]);
+            visited[start] = true;
+            while let Some(u) = queue.pop_front() {
+                order.push(u);
+                for &v in &adj[u] {
+                    if !visited[v] {
+                        visited[v] = true;
+                        parent[v] = Some(u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+
+        // CPTs with Laplace smoothing, in topological order.
+        let mut nodes = Vec::with_capacity(d);
+        for &u in &order {
+            let card = cards[u];
+            let (pcard, cpt) = match parent[u] {
+                None => {
+                    let mut counts = vec![config.laplace; card];
+                    for r in 0..n {
+                        counts[states[u][r]] += w[r];
+                    }
+                    let s: f64 = counts.iter().sum();
+                    (1, vec![counts.iter().map(|c| c / s).collect()])
+                }
+                Some(p) => {
+                    let pcard = cards[p];
+                    let mut table = vec![vec![config.laplace; card]; pcard];
+                    for r in 0..n {
+                        table[states[p][r]][states[u][r]] += w[r];
+                    }
+                    for row in &mut table {
+                        let s: f64 = row.iter().sum();
+                        for c in row.iter_mut() {
+                            *c /= s;
+                        }
+                    }
+                    (pcard, table)
+                }
+            };
+            debug_assert_eq!(cpt.len(), pcard);
+            nodes.push(Node {
+                name: sample.schema().field(u).name.clone(),
+                decode: decodes[u].clone(),
+                cardinality: card,
+                // Remap parent to position in `order`.
+                parent: parent[u].map(|p| order.iter().position(|&x| x == p).expect("parent ordered first")),
+                cpt,
+            });
+        }
+        Ok(BayesNet {
+            nodes,
+            schema: std::sync::Arc::clone(sample.schema()),
+        })
+    }
+
+    /// Number of nodes (attributes).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree edges as `(child_attr, parent_attr)` names.
+    pub fn edges(&self) -> Vec<(String, String)> {
+        self.nodes
+            .iter()
+            .filter_map(|node| {
+                node.parent
+                    .map(|p| (node.name.clone(), self.nodes[p].name.clone()))
+            })
+            .collect()
+    }
+
+    /// Exact marginal distribution of one attribute via a topological pass
+    /// (`P(child) = Σ_u P(parent=u)·P(child|u)`) — the "direct inference"
+    /// the paper describes for COUNT queries over explicit models.
+    pub fn node_marginal(&self, attr: &str) -> Option<Vec<(Value, f64)>> {
+        let marginals = self.all_state_marginals();
+        let (i, node) = self
+            .nodes
+            .iter()
+            .enumerate()
+            .find(|(_, nd)| nd.name.eq_ignore_ascii_case(attr))?;
+        let probs = &marginals[i];
+        let out = probs
+            .iter()
+            .enumerate()
+            .map(|(s, &p)| (self.state_value_repr(node, s), p))
+            .collect();
+        Some(out)
+    }
+
+    fn all_state_marginals(&self) -> Vec<Vec<f64>> {
+        let mut out: Vec<Vec<f64>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let probs = match node.parent {
+                None => node.cpt[0].clone(),
+                Some(p) => {
+                    let parent_probs = out[p].clone();
+                    let mut probs = vec![0.0; node.cardinality];
+                    for (u, &pu) in parent_probs.iter().enumerate() {
+                        for (s, &psu) in node.cpt[u].iter().enumerate() {
+                            probs[s] += pu * psu;
+                        }
+                    }
+                    probs
+                }
+            };
+            out.push(probs);
+        }
+        out
+    }
+
+    fn state_value_repr(&self, node: &Node, state: usize) -> Value {
+        match &node.decode {
+            Decode::Categorical(values) => values
+                .get(state)
+                .cloned()
+                .unwrap_or(Value::Null),
+            Decode::Binned { binner, integer } => {
+                let mid = binner.midpoint(state);
+                if *integer {
+                    Value::Int(mid.round() as i64)
+                } else {
+                    Value::Float(mid)
+                }
+            }
+        }
+    }
+
+    /// Draw `n` rows by ancestral sampling. Continuous states decode
+    /// uniformly within their bin; integer columns round.
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Table {
+        let mut builder = TableBuilder::with_capacity(std::sync::Arc::clone(&self.schema), n);
+        // Map topological order back to schema order for row assembly.
+        let schema_pos: Vec<usize> = self
+            .nodes
+            .iter()
+            .map(|node| self.schema.index_of(&node.name).expect("node from schema"))
+            .collect();
+        let mut states = vec![0usize; self.nodes.len()];
+        for _ in 0..n {
+            let mut row = vec![Value::Null; self.schema.len()];
+            for (i, node) in self.nodes.iter().enumerate() {
+                let dist = match node.parent {
+                    None => &node.cpt[0],
+                    Some(p) => &node.cpt[states[p]],
+                };
+                let mut u: f64 = rng.random();
+                let mut chosen = node.cardinality - 1;
+                for (s, &p) in dist.iter().enumerate() {
+                    if u < p {
+                        chosen = s;
+                        break;
+                    }
+                    u -= p;
+                }
+                states[i] = chosen;
+                row[schema_pos[i]] = match &node.decode {
+                    Decode::Categorical(values) => {
+                        values.get(chosen).cloned().unwrap_or(Value::Null)
+                    }
+                    Decode::Binned { binner, integer } => {
+                        let (lo, hi) = binner.edges(chosen);
+                        let x = lo + rng.random::<f64>() * (hi - lo);
+                        if *integer {
+                            Value::Int(x.round() as i64)
+                        } else {
+                            Value::Float(x)
+                        }
+                    }
+                };
+            }
+            builder.push_row(row).expect("row matches schema");
+        }
+        builder.finish()
+    }
+}
+
+/// Weighted mutual information between two discretized columns.
+fn mutual_information(
+    a: &[usize],
+    b: &[usize],
+    w: &[f64],
+    card_a: usize,
+    card_b: usize,
+) -> f64 {
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut joint = vec![0.0; card_a * card_b];
+    let mut pa = vec![0.0; card_a];
+    let mut pb = vec![0.0; card_b];
+    for ((&x, &y), &wi) in a.iter().zip(b).zip(w) {
+        joint[x * card_b + y] += wi;
+        pa[x] += wi;
+        pb[y] += wi;
+    }
+    let mut mi = 0.0;
+    for x in 0..card_a {
+        for y in 0..card_b {
+            let pxy = joint[x * card_b + y] / total;
+            if pxy > 0.0 {
+                let px = pa[x] / total;
+                let py = pb[y] / total;
+                mi += pxy * (pxy / (px * py)).ln();
+            }
+        }
+    }
+    mi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_storage::{DataType, Field, Schema, TableBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A sample where y is a noisy copy of x and z is independent noise.
+    fn correlated_sample(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Str),
+            Field::new("y", DataType::Str),
+            Field::new("z", DataType::Str),
+        ]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = TableBuilder::new(schema);
+        for _ in 0..n {
+            let x = if rng.random::<f64>() < 0.5 { "a" } else { "b" };
+            let y = if rng.random::<f64>() < 0.9 { x } else { "a" };
+            let z = if rng.random::<f64>() < 0.5 { "p" } else { "q" };
+            b.push_row(vec![x.into(), y.into(), z.into()]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn chow_liu_links_correlated_attrs() {
+        let t = correlated_sample(2000);
+        let bn = BayesNet::fit(&t, None, &BnConfig::default()).unwrap();
+        let edges = bn.edges();
+        // x and y are strongly dependent: the tree must contain the x—y edge.
+        assert!(
+            edges.iter().any(|(c, p)| {
+                (c == "x" && p == "y") || (c == "y" && p == "x")
+            }),
+            "edges: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn node_marginal_matches_data() {
+        let t = correlated_sample(2000);
+        let bn = BayesNet::fit(&t, None, &BnConfig::default()).unwrap();
+        let m = bn.node_marginal("x").unwrap();
+        let pa = m
+            .iter()
+            .find(|(v, _)| v == &Value::Str("a".into()))
+            .map(|(_, p)| *p)
+            .unwrap();
+        assert!((pa - 0.5).abs() < 0.05, "P(x=a) = {pa}");
+        let total: f64 = m.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_reproduces_joint_dependence() {
+        let t = correlated_sample(4000);
+        let bn = BayesNet::fit(&t, None, &BnConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = bn.sample(4000, &mut rng);
+        // P(y == x) should be ~0.95 (0.9 + 0.1·P(x=a)), strongly > 0.5.
+        let xs = s.column_by_name("x").unwrap();
+        let ys = s.column_by_name("y").unwrap();
+        let agree = (0..s.num_rows())
+            .filter(|&r| xs.value(r) == ys.value(r))
+            .count() as f64
+            / s.num_rows() as f64;
+        assert!(agree > 0.85, "agreement {agree}");
+    }
+
+    #[test]
+    fn weights_shift_the_learned_marginal() {
+        let schema = Schema::new(vec![Field::new("c", DataType::Str)]);
+        let mut b = TableBuilder::new(schema);
+        for v in ["a", "a", "a", "b"] {
+            b.push_row(vec![v.into()]).unwrap();
+        }
+        let t = b.finish();
+        // Weights say the population is 50/50 despite the 3:1 sample.
+        let w = [1.0, 1.0, 1.0, 9.0];
+        let bn = BayesNet::fit(&t, Some(&w), &BnConfig::default()).unwrap();
+        let m = bn.node_marginal("c").unwrap();
+        let pb = m
+            .iter()
+            .find(|(v, _)| v == &Value::Str("b".into()))
+            .map(|(_, p)| *p)
+            .unwrap();
+        assert!((pb - 0.75).abs() < 0.05, "P(c=b) = {pb}");
+    }
+
+    #[test]
+    fn continuous_attributes_binned_and_decoded() {
+        let schema = Schema::new(vec![Field::new("v", DataType::Float)]);
+        let mut b = TableBuilder::new(schema);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            b.push_row(vec![(rng.random::<f64>() * 10.0).into()]).unwrap();
+        }
+        let t = b.finish();
+        let bn = BayesNet::fit(&t, None, &BnConfig::default()).unwrap();
+        let s = bn.sample(1000, &mut rng);
+        let (min, max) = s.column_by_name("v").unwrap().numeric_range().unwrap();
+        assert!(min >= -0.5 && max <= 10.5, "range [{min}, {max}]");
+        let mean: f64 = (0..1000)
+            .map(|r| s.column(0).f64_at(r).unwrap())
+            .sum::<f64>()
+            / 1000.0;
+        assert!((mean - 5.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        let schema = Schema::new(vec![Field::new("v", DataType::Float)]);
+        let t = Table::empty(schema);
+        assert!(matches!(
+            BayesNet::fit(&t, None, &BnConfig::default()),
+            Err(BnError::EmptySample)
+        ));
+    }
+
+    #[test]
+    fn integer_columns_sample_integers() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..100i64 {
+            b.push_row(vec![(i % 10).into()]).unwrap();
+        }
+        let t = b.finish();
+        let bn = BayesNet::fit(&t, None, &BnConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = bn.sample(50, &mut rng);
+        for r in 0..50 {
+            assert!(matches!(s.value(r, 0), Value::Int(_)));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! `mosaic` — an interactive SQL shell for the Mosaic open-world database.
+//!
+//! ```text
+//! $ cargo run --release -p mosaic-core --bin mosaic
+//! mosaic> CREATE GLOBAL POPULATION People (city TEXT);
+//! ok
+//! mosaic> SELECT SEMI-OPEN city, COUNT(*) FROM People GROUP BY city;
+//! ...
+//! ```
+//!
+//! Statements may span lines; they execute at each `;`. Meta-commands:
+//! `.help`, `.quit`, `.notes on|off` (execution diagnostics),
+//! `.load <csv> <table>` (ingest a CSV file as an auxiliary table).
+
+use std::io::{BufRead, Write};
+
+use mosaic_core::MosaicDb;
+
+fn main() {
+    let mut db = MosaicDb::new();
+    let mut show_notes = true;
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let interactive = std::env::args().all(|a| a != "--batch");
+    if interactive {
+        eprintln!("Mosaic — a sample-based database for open-world query processing");
+        eprintln!("type .help for meta-commands; statements end with ';'");
+    }
+    loop {
+        if interactive && buffer.is_empty() {
+            eprint!("mosaic> ");
+        } else if interactive {
+            eprint!("   ...> ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            let mut parts = trimmed.split_whitespace();
+            match parts.next() {
+                Some(".quit") | Some(".exit") => break,
+                Some(".help") => {
+                    println!(
+                        ".help                 this message\n\
+                         .quit                 exit\n\
+                         .notes on|off         toggle execution diagnostics\n\
+                         .load <csv> <table>   ingest a CSV file as an auxiliary table\n\
+                         SQL: CREATE TABLE / [GLOBAL] POPULATION / SAMPLE / METADATA,\n\
+                              INSERT, DROP, SELECT [CLOSED|SEMI-OPEN|OPEN] ..."
+                    );
+                }
+                Some(".notes") => {
+                    show_notes = parts.next() != Some("off");
+                    println!("notes {}", if show_notes { "on" } else { "off" });
+                }
+                Some(".load") => match (parts.next(), parts.next()) {
+                    (Some(path), Some(table)) => {
+                        match mosaic_storage::csv::read_csv_path(path) {
+                            Ok(t) => {
+                                let rows = t.num_rows();
+                                // Register (or replace) as an auxiliary
+                                // table via the engine's DDL path.
+                                let schema_sql: Vec<String> = t
+                                    .schema()
+                                    .fields()
+                                    .iter()
+                                    .map(|f| format!("{} {}", f.name, f.data_type))
+                                    .collect();
+                                let create = format!(
+                                    "CREATE TABLE {table} ({})",
+                                    schema_sql.join(", ")
+                                );
+                                match db.execute(&create).and_then(|_| {
+                                    // Bulk-insert the rows.
+                                    let mut stmts = String::new();
+                                    for r in 0..t.num_rows() {
+                                        let vals: Vec<String> = (0..t.num_columns())
+                                            .map(|c| match t.value(r, c) {
+                                                mosaic_core::Value::Str(s) => {
+                                                    format!("'{}'", s.replace('\'', "''"))
+                                                }
+                                                mosaic_core::Value::Null => "NULL".into(),
+                                                v => v.to_string(),
+                                            })
+                                            .collect();
+                                        stmts.push_str(&format!(
+                                            "INSERT INTO {table} VALUES ({});",
+                                            vals.join(",")
+                                        ));
+                                    }
+                                    db.execute(&stmts)
+                                }) {
+                                    Ok(_) => println!("loaded {rows} rows into {table}"),
+                                    Err(e) => eprintln!("error: {e}"),
+                                }
+                            }
+                            Err(e) => eprintln!("error: {e}"),
+                        }
+                    }
+                    _ => eprintln!("usage: .load <csv-path> <table-name>"),
+                },
+                _ => eprintln!("unknown meta-command (try .help)"),
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        if sql.trim().is_empty() {
+            continue;
+        }
+        match db.execute(&sql) {
+            Ok(result) => {
+                if result.table.num_columns() > 0 {
+                    print!("{}", result.table);
+                } else {
+                    println!("ok");
+                }
+                if show_notes {
+                    for note in &result.notes {
+                        eprintln!("-- {note}");
+                    }
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

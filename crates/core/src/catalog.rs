@@ -1,0 +1,517 @@
+//! The Mosaic catalog: the three relation kinds of the paper's data model
+//! (§3.1) plus population metadata (§3.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mosaic_sql::{Expr, MechanismSpec};
+use mosaic_stats::Marginal;
+use mosaic_storage::{Schema, Table, TableBuilder, Value};
+
+use crate::{MosaicError, Result};
+
+/// A known sampling mechanism: the inclusion probability of a tuple,
+/// defined with respect to the global population (§3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mechanism {
+    /// Uniform sampling: every GP tuple kept with probability
+    /// `percent/100`, so the inverse-probability weight is `100/percent`.
+    Uniform {
+        /// Sample percentage of the GP.
+        percent: f64,
+    },
+    /// Stratified sampling on one attribute; within stratum `h` the weight
+    /// is `N_h / n_h` where `N_h` comes from a marginal over the
+    /// stratification attribute (falling back to `100/percent` when no
+    /// such marginal exists).
+    Stratified {
+        /// Stratification attribute.
+        attr: String,
+        /// Sample percentage of the GP.
+        percent: f64,
+    },
+}
+
+impl From<&MechanismSpec> for Mechanism {
+    fn from(spec: &MechanismSpec) -> Self {
+        match spec {
+            MechanismSpec::Uniform { percent } => Mechanism::Uniform { percent: *percent },
+            MechanismSpec::Stratified { attr, percent } => Mechanism::Stratified {
+                attr: attr.clone(),
+                percent: *percent,
+            },
+        }
+    }
+}
+
+/// A population relation: a set of tuples that *could* exist but is not
+/// fully known to Mosaic (§3.1).
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// Population name.
+    pub name: String,
+    /// Attribute schema.
+    pub schema: Arc<Schema>,
+    /// True for the global population (GP).
+    pub global: bool,
+    /// For derived populations: `(global population name, defining
+    /// predicate)` — the population is a view over the GP.
+    pub source: Option<(String, Option<Expr>)>,
+}
+
+/// A sample relation: tuples that do exist in the GP and that Mosaic has
+/// access to, with engine-managed weights (§3.1–3.2).
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Sample name.
+    pub name: String,
+    /// Reference population (usually the GP).
+    pub population: String,
+    /// Defining predicate over the population (`CREATE SAMPLE … WHERE`).
+    pub predicate: Option<Expr>,
+    /// Declared sampling mechanism, if known.
+    pub mechanism: Option<Mechanism>,
+    /// Ingested tuples.
+    pub data: Table,
+    /// Tuple weights, "initialized to be one for every tuple" (§3.2).
+    pub weights: Vec<f64>,
+}
+
+impl Sample {
+    /// Number of ingested tuples.
+    pub fn len(&self) -> usize {
+        self.data.num_rows()
+    }
+
+    /// True if nothing has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A named marginal bound to a population (§3.2).
+#[derive(Debug, Clone)]
+pub struct MetadataEntry {
+    /// Metadata name (paper convention `<pop>_M1`).
+    pub name: String,
+    /// Population this metadata describes.
+    pub population: String,
+    /// The marginal itself.
+    pub marginal: Marginal,
+}
+
+/// The Mosaic catalog: auxiliary tables, populations, samples, metadata.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    aux: HashMap<String, Table>,
+    populations: HashMap<String, Population>,
+    samples: HashMap<String, Sample>,
+    metadata: Vec<MetadataEntry>,
+    global_population: Option<String>,
+    /// Bumped on any mutation that invalidates cached generative models.
+    pub(crate) epoch: u64,
+}
+
+fn key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register an auxiliary table, replacing any previous one of the same
+    /// name.
+    pub fn create_aux(&mut self, name: &str, table: Table) -> Result<()> {
+        self.ensure_name_free(name, Kind::Aux)?;
+        self.aux.insert(key(name), table);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Fetch an auxiliary table.
+    pub fn aux(&self, name: &str) -> Option<&Table> {
+        self.aux.get(&key(name))
+    }
+
+    /// Replace an auxiliary table's contents (INSERT target).
+    pub fn replace_aux(&mut self, name: &str, table: Table) -> Result<()> {
+        if !self.aux.contains_key(&key(name)) {
+            return Err(MosaicError::Catalog(format!("unknown table {name}")));
+        }
+        self.aux.insert(key(name), table);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Register a population. Only one GLOBAL population may exist (the
+    /// paper: "we assume the user defines only one GP").
+    pub fn create_population(&mut self, pop: Population) -> Result<()> {
+        self.ensure_name_free(&pop.name, Kind::Population)?;
+        if pop.global {
+            if let Some(gp) = &self.global_population {
+                return Err(MosaicError::Catalog(format!(
+                    "a global population already exists: {gp}"
+                )));
+            }
+            self.global_population = Some(pop.name.clone());
+        } else {
+            let (gp, _) = pop.source.as_ref().ok_or_else(|| {
+                MosaicError::Catalog(format!(
+                    "non-global population {} must be defined AS a SELECT over the global population",
+                    pop.name
+                ))
+            })?;
+            if self.population(gp).is_none() {
+                return Err(MosaicError::Catalog(format!(
+                    "unknown global population {gp}"
+                )));
+            }
+        }
+        self.populations.insert(key(&pop.name), pop);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Fetch a population.
+    pub fn population(&self, name: &str) -> Option<&Population> {
+        self.populations.get(&key(name))
+    }
+
+    /// The global population, if declared.
+    pub fn global_population(&self) -> Option<&Population> {
+        self.global_population
+            .as_deref()
+            .and_then(|n| self.population(n))
+    }
+
+    /// Register a sample over an existing population.
+    pub fn create_sample(&mut self, sample: Sample) -> Result<()> {
+        self.ensure_name_free(&sample.name, Kind::Sample)?;
+        if self.population(&sample.population).is_none() {
+            return Err(MosaicError::Catalog(format!(
+                "unknown population {} for sample {}",
+                sample.population, sample.name
+            )));
+        }
+        self.samples.insert(key(&sample.name), sample);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Fetch a sample.
+    pub fn sample(&self, name: &str) -> Option<&Sample> {
+        self.samples.get(&key(name))
+    }
+
+    /// Append rows to a sample; new tuples get weight 1.
+    pub fn append_to_sample(&mut self, name: &str, rows: Table) -> Result<()> {
+        let s = self
+            .samples
+            .get_mut(&key(name))
+            .ok_or_else(|| MosaicError::Catalog(format!("unknown sample {name}")))?;
+        let added = rows.num_rows();
+        s.data = if s.data.is_empty() {
+            // Adopt incoming schema when the sample was declared without
+            // explicit fields.
+            if s.data.schema().is_empty() {
+                rows
+            } else {
+                s.data.concat(&rows)?
+            }
+        } else {
+            s.data.concat(&rows)?
+        };
+        s.weights.extend(std::iter::repeat_n(1.0, added));
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Overwrite a sample's weights (user-initialized weights, §3.2).
+    pub fn set_sample_weights(&mut self, name: &str, weights: Vec<f64>) -> Result<()> {
+        let s = self
+            .samples
+            .get_mut(&key(name))
+            .ok_or_else(|| MosaicError::Catalog(format!("unknown sample {name}")))?;
+        if weights.len() != s.len() {
+            return Err(MosaicError::Execution(format!(
+                "weight vector length {} does not match sample size {}",
+                weights.len(),
+                s.len()
+            )));
+        }
+        s.weights = weights;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Register metadata for a population.
+    pub fn create_metadata(&mut self, entry: MetadataEntry) -> Result<()> {
+        if self.population(&entry.population).is_none() {
+            return Err(MosaicError::Catalog(format!(
+                "unknown population {} for metadata {}",
+                entry.population, entry.name
+            )));
+        }
+        if self
+            .metadata
+            .iter()
+            .any(|m| m.name.eq_ignore_ascii_case(&entry.name))
+        {
+            return Err(MosaicError::Catalog(format!(
+                "metadata {} already exists",
+                entry.name
+            )));
+        }
+        self.metadata.push(entry);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// All marginals bound to a population.
+    pub fn metadata_for(&self, population: &str) -> Vec<&MetadataEntry> {
+        self.metadata
+            .iter()
+            .filter(|m| m.population.eq_ignore_ascii_case(population))
+            .collect()
+    }
+
+    /// Resolve a metadata name's target population: an explicit `FOR`
+    /// binding wins; otherwise the paper's `<pop>_<suffix>` convention is
+    /// applied (longest existing population prefix before an underscore).
+    pub fn infer_metadata_population(&self, metadata_name: &str) -> Option<String> {
+        let mut candidate: Option<&Population> = None;
+        let lower = metadata_name.to_ascii_lowercase();
+        for pop in self.populations.values() {
+            let p = pop.name.to_ascii_lowercase();
+            if lower.strip_prefix(&p).is_some_and(|rest| rest.starts_with('_'))
+                && candidate.is_none_or(|c| c.name.len() < pop.name.len())
+            {
+                candidate = Some(pop);
+            }
+        }
+        candidate.map(|p| p.name.clone())
+    }
+
+    /// Samples whose reference population is `population`.
+    pub fn samples_for(&self, population: &str) -> Vec<&Sample> {
+        self.samples
+            .values()
+            .filter(|s| s.population.eq_ignore_ascii_case(population))
+            .collect()
+    }
+
+    /// Drop any relation (table, population, sample) or metadata by name.
+    pub fn drop_any(&mut self, name: &str) -> Result<()> {
+        let k = key(name);
+        let existed = self.aux.remove(&k).is_some()
+            || self.samples.remove(&k).is_some()
+            || {
+                let found = self.populations.remove(&k).is_some();
+                if found && self.global_population.as_deref().map(key) == Some(k.clone()) {
+                    self.global_population = None;
+                }
+                found
+            }
+            || {
+                let before = self.metadata.len();
+                self.metadata.retain(|m| !m.name.eq_ignore_ascii_case(name));
+                self.metadata.len() != before
+            };
+        if existed {
+            self.epoch += 1;
+            Ok(())
+        } else {
+            Err(MosaicError::Catalog(format!("unknown relation {name}")))
+        }
+    }
+
+    fn ensure_name_free(&self, name: &str, kind: Kind) -> Result<()> {
+        let k = key(name);
+        let clash = match kind {
+            // Auxiliary tables may be re-created (paper: TEMPORARY).
+            Kind::Aux => self.populations.contains_key(&k) || self.samples.contains_key(&k),
+            _ => {
+                self.aux.contains_key(&k)
+                    || self.populations.contains_key(&k)
+                    || self.samples.contains_key(&k)
+            }
+        };
+        if clash {
+            Err(MosaicError::Catalog(format!(
+                "relation {name} already exists"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+enum Kind {
+    Aux,
+    Population,
+    Sample,
+}
+
+/// Build an empty table for a declared schema (used when a sample is
+/// declared before ingestion).
+pub(crate) fn empty_table(schema: Arc<Schema>) -> Table {
+    TableBuilder::new(schema).finish()
+}
+
+/// Convert a `(keys…, count)` result table into a [`Marginal`].
+pub(crate) fn marginal_from_table(table: &Table) -> Result<Marginal> {
+    if table.num_columns() < 2 {
+        return Err(MosaicError::Execution(
+            "metadata query must produce key column(s) plus a count column".into(),
+        ));
+    }
+    let key_cols = table.num_columns() - 1;
+    let attrs: Vec<String> = (0..key_cols)
+        .map(|i| table.schema().field(i).name.clone())
+        .collect();
+    let mut m = Marginal::new(attrs);
+    let count_col = table.column(key_cols);
+    for row in 0..table.num_rows() {
+        let count = count_col.f64_at(row).ok_or_else(|| {
+            MosaicError::Execution("metadata count column must be numeric".into())
+        })?;
+        let key: Vec<Value> = (0..key_cols).map(|c| table.value(row, c)).collect();
+        m.add(key, count);
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_storage::{DataType, Field};
+
+    fn pop(name: &str, global: bool) -> Population {
+        Population {
+            name: name.into(),
+            schema: Schema::new(vec![Field::new("a", DataType::Int)]),
+            global,
+            source: if global {
+                None
+            } else {
+                Some(("GP".into(), None))
+            },
+        }
+    }
+
+    #[test]
+    fn only_one_global_population() {
+        let mut c = Catalog::new();
+        c.create_population(pop("GP", true)).unwrap();
+        assert!(c.create_population(pop("GP2", true)).is_err());
+        assert_eq!(c.global_population().unwrap().name, "GP");
+    }
+
+    #[test]
+    fn derived_population_needs_source() {
+        let mut c = Catalog::new();
+        assert!(c
+            .create_population(Population {
+                source: None,
+                ..pop("P", false)
+            })
+            .is_err());
+        c.create_population(pop("GP", true)).unwrap();
+        c.create_population(pop("P", false)).unwrap();
+        assert!(c.population("p").is_some());
+    }
+
+    #[test]
+    fn sample_requires_population() {
+        let mut c = Catalog::new();
+        let s = Sample {
+            name: "S".into(),
+            population: "GP".into(),
+            predicate: None,
+            mechanism: None,
+            data: empty_table(Schema::new(vec![Field::new("a", DataType::Int)])),
+            weights: vec![],
+        };
+        assert!(c.create_sample(s.clone()).is_err());
+        c.create_population(pop("GP", true)).unwrap();
+        c.create_sample(s).unwrap();
+        assert_eq!(c.samples_for("gp").len(), 1);
+    }
+
+    #[test]
+    fn append_extends_weights() {
+        let mut c = Catalog::new();
+        c.create_population(pop("GP", true)).unwrap();
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        c.create_sample(Sample {
+            name: "S".into(),
+            population: "GP".into(),
+            predicate: None,
+            mechanism: None,
+            data: empty_table(Arc::clone(&schema)),
+            weights: vec![],
+        })
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec![1.into()]).unwrap();
+        b.push_row(vec![2.into()]).unwrap();
+        c.append_to_sample("S", b.finish()).unwrap();
+        assert_eq!(c.sample("s").unwrap().weights, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn metadata_population_inference() {
+        let mut c = Catalog::new();
+        c.create_population(pop("EuropeMigrants", true)).unwrap();
+        assert_eq!(
+            c.infer_metadata_population("EuropeMigrants_M1"),
+            Some("EuropeMigrants".to_string())
+        );
+        assert_eq!(c.infer_metadata_population("Unrelated_M1"), None);
+    }
+
+    #[test]
+    fn drop_any_kind() {
+        let mut c = Catalog::new();
+        c.create_population(pop("GP", true)).unwrap();
+        c.create_aux(
+            "t",
+            empty_table(Schema::new(vec![Field::new("a", DataType::Int)])),
+        )
+        .unwrap();
+        c.drop_any("t").unwrap();
+        assert!(c.aux("t").is_none());
+        c.drop_any("GP").unwrap();
+        assert!(c.global_population().is_none());
+        assert!(c.drop_any("nothing").is_err());
+    }
+
+    #[test]
+    fn name_clashes_rejected() {
+        let mut c = Catalog::new();
+        c.create_population(pop("GP", true)).unwrap();
+        assert!(c
+            .create_aux(
+                "gp",
+                empty_table(Schema::new(vec![Field::new("a", DataType::Int)]))
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn marginal_from_result_table() {
+        let schema = Schema::new(vec![
+            Field::new("country", DataType::Str),
+            Field::new("cnt", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec!["UK".into(), 100.into()]).unwrap();
+        b.push_row(vec!["FR".into(), 50.into()]).unwrap();
+        let m = marginal_from_table(&b.finish()).unwrap();
+        assert_eq!(m.get(&["UK".into()]), Some(100.0));
+        assert_eq!(m.total(), 150.0);
+    }
+}

@@ -1,0 +1,927 @@
+//! [`MosaicDb`] — the Mosaic engine: DDL/DML handling plus the
+//! three-visibility population query pipeline of paper §4.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mosaic_bn::BnConfig;
+use mosaic_sql::{
+    parse, Expr, InsertSource, SelectItem, SelectStmt, Statement, Visibility,
+};
+use mosaic_stats::{Binner, Ipf, IpfConfig, Marginal};
+use mosaic_storage::{
+    Column, DataType, Field, Schema, Table, TableBuilder, Value,
+};
+use mosaic_swg::SwgConfig;
+use parking_lot::Mutex;
+
+use crate::catalog::{empty_table, marginal_from_table, Catalog, Mechanism, MetadataEntry, Population, Sample};
+use crate::eval::eval_scalar;
+use crate::exec::{apply_order_limit, run_select};
+use crate::models::{BnModel, GenerativeModel, SwgModel};
+use crate::{MosaicError, Result};
+
+/// Which generative model answers OPEN queries.
+#[derive(Debug, Clone)]
+pub enum OpenBackend {
+    /// The Marginal-Constrained Sliced Wasserstein Generator (paper §5).
+    Swg(SwgConfig),
+    /// A Chow–Liu Bayesian network on the IPF-reweighted sample (the
+    /// explicit-model alternative of §4.2).
+    BayesNet(BnConfig),
+}
+
+impl OpenBackend {
+    fn id(&self) -> &'static str {
+        match self {
+            OpenBackend::Swg(_) => "m-swg",
+            OpenBackend::BayesNet(_) => "bayes-net",
+        }
+    }
+}
+
+/// OPEN query processing options.
+#[derive(Debug, Clone)]
+pub struct OpenOptions {
+    /// Generative backend.
+    pub backend: OpenBackend,
+    /// Independent generated samples per query; the paper uses 10 and
+    /// returns "the groups appearing in all 10 answers, averaging the
+    /// aggregate value" (§5.3).
+    pub num_generated: usize,
+    /// Rows per generated sample (`None` = same as the training sample,
+    /// the paper's protocol).
+    pub rows_per_sample: Option<usize>,
+    /// Base seed for generation.
+    pub seed: u64,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        OpenOptions {
+            backend: OpenBackend::Swg(SwgConfig::default()),
+            num_generated: 10,
+            rows_per_sample: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Engine-wide options.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Visibility applied to population queries that don't specify one.
+    pub default_visibility: Visibility,
+    /// OPEN query options.
+    pub open: OpenOptions,
+    /// IPF convergence settings for SEMI-OPEN queries.
+    pub ipf: IpfConfig,
+    /// Binners for continuous attributes (keyed by attribute name),
+    /// shared by metadata construction and IPF cell formation.
+    pub binners: HashMap<String, Binner>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            default_visibility: Visibility::SemiOpen,
+            open: OpenOptions::default(),
+            ipf: IpfConfig::default(),
+            binners: HashMap::new(),
+        }
+    }
+}
+
+/// The result of `MosaicDb::execute`: the last query's table plus
+/// execution diagnostics.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Result rows.
+    pub table: Table,
+    /// Visibility level that produced the result (population queries).
+    pub visibility: Option<Visibility>,
+    /// Human-readable diagnostics (chosen sample, IPF convergence, model
+    /// cache hits, …).
+    pub notes: Vec<String>,
+}
+
+impl QueryResult {
+    fn empty() -> QueryResult {
+        QueryResult {
+            table: Table::empty(Schema::new(Vec::new())),
+            visibility: None,
+            notes: Vec::new(),
+        }
+    }
+}
+
+/// The Mosaic database engine.
+///
+/// See the crate docs for an end-to-end example. All statement execution
+/// is deterministic given `EngineOptions::open.seed`.
+pub struct MosaicDb {
+    catalog: Catalog,
+    options: EngineOptions,
+    model_cache: Mutex<HashMap<String, (u64, Box<dyn GenerativeModel>)>>,
+}
+
+impl Default for MosaicDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MosaicDb {
+    /// New engine with default options (SEMI-OPEN default visibility,
+    /// M-SWG OPEN backend).
+    pub fn new() -> MosaicDb {
+        Self::with_options(EngineOptions::default())
+    }
+
+    /// New engine with explicit options.
+    pub fn with_options(options: EngineOptions) -> MosaicDb {
+        MosaicDb {
+            catalog: Catalog::new(),
+            options,
+            model_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The catalog (read access for inspection).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable engine options.
+    pub fn options_mut(&mut self) -> &mut EngineOptions {
+        &mut self.options
+    }
+
+    /// Register a binner for a continuous attribute (shared by metadata
+    /// construction and IPF).
+    pub fn register_binner(&mut self, attr: &str, binner: Binner) {
+        self.options
+            .binners
+            .insert(attr.to_ascii_lowercase(), binner);
+    }
+
+    /// Execute a script of semicolon-separated statements; returns the
+    /// result of the last SELECT (or an empty result).
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmts = parse(sql)?;
+        let mut last = QueryResult::empty();
+        for stmt in stmts {
+            if let Some(r) = self.execute_statement(stmt)? {
+                last = r;
+            }
+        }
+        Ok(last)
+    }
+
+    /// Execute a script and return just the last result table.
+    pub fn query(&mut self, sql: &str) -> Result<Table> {
+        self.execute(sql).map(|r| r.table)
+    }
+
+    /// Ingest rows into a sample programmatically (the paper's "...Ingest
+    /// Yahoo sample to YahooMigrants" step).
+    pub fn ingest_sample(&mut self, sample: &str, rows: Table) -> Result<()> {
+        let coerced = self.coerce_to_sample_schema(sample, rows)?;
+        self.catalog.append_to_sample(sample, coerced)
+    }
+
+    /// Attach a marginal to a population programmatically.
+    pub fn add_metadata(&mut self, name: &str, population: &str, marginal: Marginal) -> Result<()> {
+        self.catalog.create_metadata(MetadataEntry {
+            name: name.to_string(),
+            population: population.to_string(),
+            marginal,
+        })
+    }
+
+    /// Overwrite a sample's initial weights (paper §3.2).
+    pub fn set_sample_weights(&mut self, sample: &str, weights: Vec<f64>) -> Result<()> {
+        self.catalog.set_sample_weights(sample, weights)
+    }
+
+    fn execute_statement(&mut self, stmt: Statement) -> Result<Option<QueryResult>> {
+        match stmt {
+            Statement::CreateTable { name, fields, .. } => {
+                if fields.is_empty() {
+                    return Err(MosaicError::Unsupported(format!(
+                        "CREATE TABLE {name} requires a column list"
+                    )));
+                }
+                self.catalog.create_aux(&name, Table::empty(Schema::new(fields)))?;
+                Ok(None)
+            }
+            Statement::CreatePopulation {
+                name,
+                global,
+                fields,
+                source,
+            } => {
+                let schema = if !fields.is_empty() {
+                    Schema::new(fields)
+                } else if let Some((gp, _, cols)) = &source {
+                    let gp_pop = self.catalog.population(gp).ok_or_else(|| {
+                        MosaicError::Catalog(format!("unknown population {gp}"))
+                    })?;
+                    if cols.is_empty() {
+                        Arc::clone(&gp_pop.schema)
+                    } else {
+                        gp_pop
+                            .schema
+                            .project(&cols.iter().map(String::as_str).collect::<Vec<_>>())?
+                    }
+                } else {
+                    return Err(MosaicError::Catalog(format!(
+                        "population {name} needs attributes or an AS SELECT definition"
+                    )));
+                };
+                self.catalog.create_population(Population {
+                    name,
+                    schema,
+                    global,
+                    source: source.map(|(gp, pred, _)| (gp, pred)),
+                })?;
+                Ok(None)
+            }
+            Statement::CreateSample {
+                name,
+                fields,
+                population,
+                columns,
+                predicate,
+                mechanism,
+            } => {
+                let pop = self.catalog.population(&population).ok_or_else(|| {
+                    MosaicError::Catalog(format!("unknown population {population}"))
+                })?;
+                let schema = if !fields.is_empty() {
+                    Schema::new(fields)
+                } else if columns.is_empty() {
+                    Arc::clone(&pop.schema)
+                } else {
+                    pop.schema
+                        .project(&columns.iter().map(String::as_str).collect::<Vec<_>>())?
+                };
+                self.catalog.create_sample(Sample {
+                    name,
+                    population,
+                    predicate,
+                    mechanism: mechanism.as_ref().map(Mechanism::from),
+                    data: empty_table(schema),
+                    weights: Vec::new(),
+                })?;
+                Ok(None)
+            }
+            Statement::CreateMetadata {
+                name,
+                population,
+                query,
+            } => {
+                let pop = match population {
+                    Some(p) => p,
+                    None => self.catalog.infer_metadata_population(&name).ok_or_else(|| {
+                        MosaicError::Catalog(format!(
+                            "cannot infer the population for metadata {name}; use CREATE METADATA {name} FOR <population> AS …"
+                        ))
+                    })?,
+                };
+                let from = query.from.as_deref().ok_or_else(|| {
+                    MosaicError::Execution("metadata query needs a FROM table".into())
+                })?;
+                let src = self
+                    .catalog
+                    .aux(from)
+                    .cloned()
+                    .ok_or_else(|| {
+                        MosaicError::Catalog(format!(
+                            "metadata queries run over auxiliary tables; unknown table {from}"
+                        ))
+                    })?;
+                let result = run_select(&query, &src, None)?;
+                let marginal = marginal_from_table(&result)?;
+                self.catalog.create_metadata(MetadataEntry {
+                    name,
+                    population: pop,
+                    marginal,
+                })?;
+                Ok(None)
+            }
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => {
+                self.insert(&table, columns.as_deref(), source)?;
+                Ok(None)
+            }
+            Statement::Select(stmt) => self.select(stmt).map(Some),
+            Statement::Drop { name } => {
+                self.catalog.drop_any(&name)?;
+                Ok(None)
+            }
+        }
+    }
+
+    fn insert(
+        &mut self,
+        target: &str,
+        columns: Option<&[String]>,
+        source: InsertSource,
+    ) -> Result<()> {
+        // Resolve the target schema (aux table or sample).
+        let (target_schema, is_sample) = if let Some(t) = self.catalog.aux(target) {
+            (Arc::clone(t.schema()), false)
+        } else if let Some(s) = self.catalog.sample(target) {
+            (Arc::clone(s.data.schema()), true)
+        } else if self.catalog.population(target).is_some() {
+            return Err(MosaicError::Unsupported(
+                "cannot INSERT into a population: population tuples are unknown by definition; ingest into a SAMPLE instead"
+                    .into(),
+            ));
+        } else {
+            return Err(MosaicError::Catalog(format!("unknown relation {target}")));
+        };
+        let rows = match source {
+            InsertSource::Values(rows) => {
+                let mut b = TableBuilder::with_capacity(Arc::clone(&target_schema), rows.len());
+                for row in rows {
+                    let values: Vec<Value> = row
+                        .iter()
+                        .map(eval_scalar)
+                        .collect::<Result<_>>()?;
+                    b.push_row(self.arrange_row(&target_schema, columns, values)?)?;
+                }
+                b.finish()
+            }
+            InsertSource::Select(stmt) => {
+                let result = self.select(*stmt)?.table;
+                // Re-type row by row so compatible columns coerce.
+                let mut b =
+                    TableBuilder::with_capacity(Arc::clone(&target_schema), result.num_rows());
+                for row in result.rows() {
+                    b.push_row(self.arrange_row(&target_schema, columns, row)?)?;
+                }
+                b.finish()
+            }
+        };
+        if is_sample {
+            self.catalog.append_to_sample(target, rows)
+        } else {
+            let existing = self.catalog.aux(target).expect("checked above");
+            let merged = if existing.is_empty() {
+                rows
+            } else {
+                existing.concat(&rows)?
+            };
+            self.catalog.replace_aux(target, merged)
+        }
+    }
+
+    /// Map a row (possibly with an explicit column list) onto the target
+    /// schema order, filling unmentioned columns with NULL.
+    fn arrange_row(
+        &self,
+        schema: &Schema,
+        columns: Option<&[String]>,
+        values: Vec<Value>,
+    ) -> Result<Vec<Value>> {
+        match columns {
+            None => {
+                if values.len() != schema.len() {
+                    return Err(MosaicError::Execution(format!(
+                        "INSERT arity {} != table arity {}",
+                        values.len(),
+                        schema.len()
+                    )));
+                }
+                Ok(values)
+            }
+            Some(cols) => {
+                if values.len() != cols.len() {
+                    return Err(MosaicError::Execution(format!(
+                        "INSERT arity {} != column list arity {}",
+                        values.len(),
+                        cols.len()
+                    )));
+                }
+                let mut row = vec![Value::Null; schema.len()];
+                for (c, v) in cols.iter().zip(values) {
+                    row[schema.index_of(c)?] = v;
+                }
+                Ok(row)
+            }
+        }
+    }
+
+    fn coerce_to_sample_schema(&self, sample: &str, rows: Table) -> Result<Table> {
+        let s = self
+            .catalog
+            .sample(sample)
+            .ok_or_else(|| MosaicError::Catalog(format!("unknown sample {sample}")))?;
+        let schema = Arc::clone(s.data.schema());
+        let mut b = TableBuilder::with_capacity(Arc::clone(&schema), rows.num_rows());
+        // Reorder incoming columns by name.
+        let mapping: Vec<usize> = schema
+            .fields()
+            .iter()
+            .map(|f| rows.schema().index_of(&f.name))
+            .collect::<mosaic_storage::Result<_>>()?;
+        for r in 0..rows.num_rows() {
+            b.push_row(mapping.iter().map(|&c| rows.value(r, c)).collect())?;
+        }
+        Ok(b.finish())
+    }
+
+    // ---- SELECT dispatch ----
+
+    fn select(&mut self, stmt: SelectStmt) -> Result<QueryResult> {
+        let Some(from) = stmt.from.clone() else {
+            // SELECT of scalars (no FROM).
+            let one_row = Table::new(
+                Schema::new(vec![Field::new("dummy", DataType::Int)]),
+                vec![Column::from_i64(vec![0])],
+            )?;
+            let items: Vec<SelectItem> = stmt
+                .items
+                .iter()
+                .filter(|i| !matches!(i, SelectItem::Wildcard))
+                .cloned()
+                .collect();
+            let stmt2 = SelectStmt { items, ..stmt };
+            let table = run_select(&stmt2, &one_row, None)?;
+            return Ok(QueryResult {
+                table,
+                visibility: None,
+                notes: Vec::new(),
+            });
+        };
+        if self.catalog.population(&from).is_some() {
+            return self.query_population(&from, &stmt);
+        }
+        if stmt.visibility.is_some() {
+            return Err(MosaicError::Unsupported(
+                "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only"
+                    .into(),
+            ));
+        }
+        if let Some(t) = self.catalog.aux(&from) {
+            let table = run_select(&stmt, &t.clone(), None)?;
+            return Ok(QueryResult {
+                table,
+                visibility: None,
+                notes: Vec::new(),
+            });
+        }
+        if let Some(s) = self.catalog.sample(&from) {
+            // Expose the engine-managed weights as a `weight` column.
+            let table = table_with_weight_column(&s.data, &s.weights)?;
+            let table = run_select(&stmt, &table, None)?;
+            return Ok(QueryResult {
+                table,
+                visibility: None,
+                notes: vec![format!("raw sample scan of {}", s.name)],
+            });
+        }
+        Err(MosaicError::Catalog(format!("unknown relation {from}")))
+    }
+
+    // ---- population queries (paper §4) ----
+
+    fn query_population(&mut self, pop_name: &str, stmt: &SelectStmt) -> Result<QueryResult> {
+        let visibility = stmt.visibility.unwrap_or(self.options.default_visibility);
+        let pop = self
+            .catalog
+            .population(pop_name)
+            .expect("caller checked")
+            .clone();
+        let (sample, view_predicate) = self.choose_sample(&pop)?;
+        let mut notes = vec![format!(
+            "population {} via sample {} ({} rows), visibility {}",
+            pop.name,
+            sample.name,
+            sample.len(),
+            visibility
+        )];
+        let table = match visibility {
+            Visibility::Closed => {
+                // LAV-style: samples used as-is, no debiasing.
+                let data = apply_view(&sample.data, view_predicate.as_ref())?;
+                run_select(stmt, &data, None)?
+            }
+            Visibility::SemiOpen => {
+                let (data, weights, mut w_notes) =
+                    self.semi_open_weights(&pop, &sample, view_predicate.as_ref())?;
+                notes.append(&mut w_notes);
+                run_select(stmt, &data, Some(&weights))?
+            }
+            Visibility::Open => {
+                let (table, mut o_notes) =
+                    self.open_answer(&pop, &sample, view_predicate.as_ref(), stmt)?;
+                notes.append(&mut o_notes);
+                table
+            }
+        };
+        Ok(QueryResult {
+            table,
+            visibility: Some(visibility),
+            notes,
+        })
+    }
+
+    /// Pick "a single, optimal sample" (paper §4 assumption 2): prefer
+    /// samples declared on the query population, falling back to the GP's
+    /// samples (with the population's defining predicate as a view);
+    /// largest sample wins.
+    fn choose_sample(&self, pop: &Population) -> Result<(Sample, Option<Expr>)> {
+        let own: Vec<&Sample> = self.catalog.samples_for(&pop.name);
+        if let Some(best) = own.iter().max_by_key(|s| s.len()) {
+            if !best.is_empty() {
+                return Ok(((*best).clone(), None));
+            }
+        }
+        if let Some((gp, pred)) = &pop.source {
+            let gp_samples = self.catalog.samples_for(gp);
+            if let Some(best) = gp_samples.iter().max_by_key(|s| s.len()) {
+                if !best.is_empty() {
+                    return Ok(((*best).clone(), pred.clone()));
+                }
+            }
+        }
+        Err(MosaicError::Execution(format!(
+            "no non-empty sample available for population {}",
+            pop.name
+        )))
+    }
+
+    /// SEMI-OPEN weighting (paper §4.1): inverse-probability weights when
+    /// the mechanism is known, IPF against the metadata otherwise.
+    /// Returns the (possibly view-filtered) sample data and its weights.
+    fn semi_open_weights(
+        &self,
+        pop: &Population,
+        sample: &Sample,
+        view: Option<&Expr>,
+    ) -> Result<(Table, Vec<f64>, Vec<String>)> {
+        let mut notes = Vec::new();
+        if let Some(mechanism) = &sample.mechanism {
+            // Known mechanism: weight = 1 / Pr_S(t).
+            let weights = self.mechanism_weights(sample, mechanism, &mut notes)?;
+            let (data, weights) = apply_view_weighted(&sample.data, &weights, view)?;
+            return Ok((data, weights, notes));
+        }
+        // Unknown mechanism: IPF. Prefer metadata on the query population
+        // (reweight the view directly — the more accurate bottom path of
+        // Fig. 3); otherwise reweight to the GP and treat the population
+        // as a view (left path).
+        let own_meta = self.catalog.metadata_for(&pop.name);
+        if !own_meta.is_empty() {
+            let (data, init) = apply_view_weighted(&sample.data, &sample.weights, view)?;
+            let marginals: Vec<Marginal> =
+                own_meta.iter().map(|m| m.marginal.clone()).collect();
+            let ipf = Ipf::new(&data, &marginals, &self.options.binners)?;
+            let (weights, report) = ipf.fit(Some(&init), &self.options.ipf);
+            notes.push(format!(
+                "IPF vs {} marginal(s) of {}: {} iterations, max rel err {:.2e}{}",
+                marginals.len(),
+                pop.name,
+                report.iterations,
+                report.max_rel_error,
+                if report.converged { "" } else { " (not converged)" },
+            ));
+            return Ok((data, weights, notes));
+        }
+        if let Some((gp, _)) = &pop.source {
+            let gp_meta = self.catalog.metadata_for(gp);
+            if !gp_meta.is_empty() {
+                let marginals: Vec<Marginal> =
+                    gp_meta.iter().map(|m| m.marginal.clone()).collect();
+                let ipf = Ipf::new(&sample.data, &marginals, &self.options.binners)?;
+                let (weights, report) = ipf.fit(Some(&sample.weights), &self.options.ipf);
+                notes.push(format!(
+                    "IPF vs {} marginal(s) of GP {gp}: {} iterations, max rel err {:.2e}",
+                    marginals.len(),
+                    report.iterations,
+                    report.max_rel_error
+                ));
+                let (data, weights) = apply_view_weighted(&sample.data, &weights, view)?;
+                return Ok((data, weights, notes));
+            }
+        }
+        Err(MosaicError::Execution(format!(
+            "SEMI-OPEN query over {} needs either a known sampling mechanism or population metadata (CREATE METADATA …)",
+            pop.name
+        )))
+    }
+
+    fn mechanism_weights(
+        &self,
+        sample: &Sample,
+        mechanism: &Mechanism,
+        notes: &mut Vec<String>,
+    ) -> Result<Vec<f64>> {
+        let n = sample.len();
+        match mechanism {
+            Mechanism::Uniform { percent } => {
+                let w = 100.0 / percent;
+                notes.push(format!(
+                    "known UNIFORM mechanism: inverse-probability weight {w:.3}"
+                ));
+                Ok(vec![w; n])
+            }
+            Mechanism::Stratified { attr, percent } => {
+                // Use a 1-D marginal over the stratification attribute to
+                // compute N_h / n_h; fall back to 100/percent.
+                let meta = self
+                    .catalog
+                    .metadata_for(&sample.population)
+                    .into_iter()
+                    .find(|m| {
+                        m.marginal.dim() == 1 && m.marginal.covers(attr)
+                    });
+                let col = sample.data.column_by_name(attr)?;
+                match meta {
+                    Some(m) => {
+                        let mut counts: HashMap<Value, f64> = HashMap::new();
+                        for v in col.iter() {
+                            *counts.entry(v).or_insert(0.0) += 1.0;
+                        }
+                        let mut weights = Vec::with_capacity(n);
+                        for row in 0..n {
+                            let v = col.value(row);
+                            let n_h = counts.get(&v).copied().unwrap_or(1.0);
+                            let cap_n_h = m.marginal.get(&[v]).unwrap_or(0.0);
+                            weights.push(if cap_n_h > 0.0 { cap_n_h / n_h } else { 0.0 });
+                        }
+                        notes.push(format!(
+                            "known STRATIFIED mechanism on {attr}: per-stratum N_h/n_h from metadata {}",
+                            m.name
+                        ));
+                        Ok(weights)
+                    }
+                    None => {
+                        let w = 100.0 / percent;
+                        notes.push(format!(
+                            "known STRATIFIED mechanism on {attr} but no marginal over it; falling back to uniform weight {w:.3}"
+                        ));
+                        Ok(vec![w; n])
+                    }
+                }
+            }
+        }
+    }
+
+    /// OPEN answering (paper §4.2, §5.3 protocol): train a generative
+    /// model, draw `num_generated` samples, answer the query on each,
+    /// keep groups present in every answer, average the aggregates, and
+    /// uniformly reweight to the population size implied by the metadata.
+    fn open_answer(
+        &mut self,
+        pop: &Population,
+        sample: &Sample,
+        view: Option<&Expr>,
+        stmt: &SelectStmt,
+    ) -> Result<(Table, Vec<String>)> {
+        let mut notes = Vec::new();
+        // Metadata: prefer the query population's, else the GP's.
+        let (marginals, meta_is_gp): (Vec<Marginal>, bool) = {
+            let own = self.catalog.metadata_for(&pop.name);
+            if !own.is_empty() {
+                (own.iter().map(|m| m.marginal.clone()).collect(), false)
+            } else if let Some((gp, _)) = &pop.source {
+                let m = self.catalog.metadata_for(gp);
+                if m.is_empty() {
+                    return Err(MosaicError::Execution(format!(
+                        "OPEN query over {} requires population metadata",
+                        pop.name
+                    )));
+                }
+                (m.iter().map(|x| x.marginal.clone()).collect(), true)
+            } else {
+                return Err(MosaicError::Execution(format!(
+                    "OPEN query over {} requires population metadata",
+                    pop.name
+                )));
+            }
+        };
+        // Training data: if the metadata describes the query population,
+        // train on the view-filtered sample; if it describes the GP, train
+        // on the full sample and filter generated tuples afterwards.
+        let (train_data, train_init) = if meta_is_gp {
+            (sample.data.clone(), sample.weights.clone())
+        } else {
+            apply_view_weighted(&sample.data, &sample.weights, view)?
+        };
+        if train_data.is_empty() {
+            return Err(MosaicError::Execution(
+                "no sample rows available to train the generative model".into(),
+            ));
+        }
+        let pop_size = marginals
+            .iter()
+            .map(|m| m.total())
+            .fold(0.0f64, f64::max);
+        let cache_key = format!("{}|{}", pop.name.to_ascii_lowercase(), self.options.open.backend.id());
+        let epoch = self.catalog.epoch;
+        let mut cache = self.model_cache.lock();
+        let needs_fit = !matches!(cache.get(&cache_key), Some((e, _)) if *e == epoch);
+        if needs_fit {
+            let mut model: Box<dyn GenerativeModel> = match &self.options.open.backend {
+                OpenBackend::Swg(cfg) => Box::new(SwgModel::new(cfg.clone())),
+                OpenBackend::BayesNet(cfg) => Box::new(BnModel::new(cfg.clone())),
+            };
+            // Explicit backends want IPF weights; compute them when
+            // possible (ignore failure: marginals may not be IPF-able).
+            let ipf_weights = Ipf::new(&train_data, &marginals, &self.options.binners)
+                .map(|ipf| ipf.fit(Some(&train_init), &self.options.ipf).0)
+                .unwrap_or_else(|_| train_init.clone());
+            model.fit(&train_data, &ipf_weights, &marginals)?;
+            notes.push(format!(
+                "trained {} on {} rows with {} marginal(s)",
+                model.name(),
+                train_data.num_rows(),
+                marginals.len()
+            ));
+            cache.insert(cache_key.clone(), (epoch, model));
+        } else {
+            notes.push("generative model cache hit".into());
+        }
+        let (_, model) = cache.get_mut(&cache_key).expect("just inserted");
+
+        let per_sample = self
+            .options
+            .open
+            .rows_per_sample
+            .unwrap_or_else(|| train_data.num_rows());
+        let runs = self.options.open.num_generated.max(1);
+        let has_agg = !stmt.group_by.is_empty()
+            || stmt.items.iter().any(|i| match i {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                SelectItem::Wildcard => false,
+            });
+        // Inner statement: same body, no ORDER BY / LIMIT (applied after
+        // combining).
+        let inner = SelectStmt {
+            order_by: Vec::new(),
+            limit: None,
+            ..stmt.clone()
+        };
+        let mut per_run: Vec<Table> = Vec::with_capacity(runs);
+        for run in 0..runs {
+            let seed = self
+                .options
+                .open
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(run as u64 + 1);
+            let generated = model.generate(per_sample, seed)?;
+            let generated = if meta_is_gp {
+                apply_view(&generated, view)?
+            } else {
+                generated
+            };
+            let weight = if generated.is_empty() {
+                0.0
+            } else {
+                pop_size / per_sample as f64
+            };
+            let weights = vec![weight; generated.num_rows()];
+            if !has_agg {
+                // Non-aggregate OPEN query: a single generated sample IS
+                // the answer (a representative population).
+                notes.push(format!(
+                    "non-aggregate OPEN query answered from one generated sample of {} rows",
+                    generated.num_rows()
+                ));
+                let out = run_select(stmt, &generated, Some(&weights))?;
+                return Ok((out, notes));
+            }
+            per_run.push(run_select(&inner, &generated, Some(&weights))?);
+        }
+        notes.push(format!(
+            "combined {} generated samples of {} rows (population size {:.0})",
+            runs, per_sample, pop_size
+        ));
+        let combined = combine_open_runs(&inner, per_run)?;
+        let combined = apply_order_limit(stmt, combined)?;
+        Ok((combined, notes))
+    }
+}
+
+/// Filter a table by an optional predicate.
+fn apply_view(table: &Table, view: Option<&Expr>) -> Result<Table> {
+    match view {
+        None => Ok(table.clone()),
+        Some(pred) => {
+            let sel = crate::eval::eval_predicate(pred, table)?;
+            Ok(table.filter(&sel))
+        }
+    }
+}
+
+/// Filter a table and a parallel weight vector by an optional predicate.
+fn apply_view_weighted(
+    table: &Table,
+    weights: &[f64],
+    view: Option<&Expr>,
+) -> Result<(Table, Vec<f64>)> {
+    match view {
+        None => Ok((table.clone(), weights.to_vec())),
+        Some(pred) => {
+            let sel = crate::eval::eval_predicate(pred, table)?;
+            let idx = sel.to_indices();
+            let w = idx.iter().map(|&i| weights[i]).collect();
+            Ok((table.take(&idx), w))
+        }
+    }
+}
+
+/// Append the engine-managed weight vector as a `weight` column (raw
+/// sample scans).
+fn table_with_weight_column(data: &Table, weights: &[f64]) -> Result<Table> {
+    if data.schema().contains("weight") {
+        return Ok(data.clone());
+    }
+    let mut fields = data.schema().fields().to_vec();
+    fields.push(Field::new("weight", DataType::Float));
+    let mut columns = data.columns().to_vec();
+    columns.push(Column::from_f64(weights.to_vec()));
+    Table::new(Schema::new(fields), columns).map_err(Into::into)
+}
+
+/// Combine the per-generated-sample answers of an aggregate OPEN query:
+/// keep groups appearing in *all* runs, average the aggregate columns
+/// (paper §5.3).
+fn combine_open_runs(stmt: &SelectStmt, runs: Vec<Table>) -> Result<Table> {
+    let first = runs
+        .first()
+        .ok_or_else(|| MosaicError::Execution("no OPEN runs".into()))?;
+    let schema = Arc::clone(first.schema());
+    // Which output columns are group keys vs aggregates?
+    let is_agg: Vec<bool> = stmt
+        .items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            SelectItem::Wildcard => false,
+        })
+        .collect();
+    if is_agg.len() != schema.len() {
+        return Err(MosaicError::Execution(
+            "OPEN combiner: projection arity mismatch".into(),
+        ));
+    }
+    let key_cols: Vec<usize> = (0..is_agg.len()).filter(|&i| !is_agg[i]).collect();
+    let agg_cols: Vec<usize> = (0..is_agg.len()).filter(|&i| is_agg[i]).collect();
+    // key -> per-aggregate sums and appearance count.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut acc: HashMap<Vec<Value>, (usize, Vec<f64>, Vec<usize>)> = HashMap::new();
+    for run in &runs {
+        for row in 0..run.num_rows() {
+            let key: Vec<Value> = key_cols.iter().map(|&c| run.value(row, c)).collect();
+            let entry = acc.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                (0, vec![0.0; agg_cols.len()], vec![0; agg_cols.len()])
+            });
+            entry.0 += 1;
+            for (ai, &c) in agg_cols.iter().enumerate() {
+                if let Some(x) = run.value(row, c).as_f64() {
+                    entry.1[ai] += x;
+                    entry.2[ai] += 1;
+                }
+            }
+        }
+    }
+    let mut b = TableBuilder::new(Arc::clone(&schema));
+    for key in &order {
+        let (appearances, sums, counts) = &acc[key];
+        if *appearances != runs.len() {
+            continue; // paper: "return the groups appearing in all 10 answers"
+        }
+        let mut row = vec![Value::Null; schema.len()];
+        for (ki, &c) in key_cols.iter().enumerate() {
+            row[c] = key[ki].clone();
+        }
+        for (ai, &c) in agg_cols.iter().enumerate() {
+            row[c] = if counts[ai] > 0 {
+                Value::Float(sums[ai] / counts[ai] as f64)
+            } else {
+                Value::Null
+            };
+        }
+        // Coerce to the schema's column types.
+        let coerced: Vec<Value> = row
+            .into_iter()
+            .enumerate()
+            .map(|(c, v)| {
+                v.coerce_to(schema.field(c).data_type)
+                    .unwrap_or(Value::Null)
+            })
+            .collect();
+        b.push_row(coerced)?;
+    }
+    Ok(b.finish())
+}

@@ -1,0 +1,362 @@
+//! Expression evaluation over tables (SQL three-valued logic, numeric
+//! coercion between `Int` and `Float`).
+
+use std::cmp::Ordering;
+
+use mosaic_sql::{BinOp, Expr, UnaryOp};
+use mosaic_storage::{Bitmap, Column, ColumnBuilder, DataType, Table, Value};
+
+use crate::{MosaicError, Result};
+
+/// Evaluate a scalar expression with no column references (INSERT VALUES
+/// literals, constant folding).
+pub fn eval_scalar(expr: &Expr) -> Result<Value> {
+    match expr {
+        Expr::Column(c) => Err(MosaicError::Execution(format!(
+            "column {c} not allowed in this context"
+        ))),
+        _ => eval_row(expr, None, 0),
+    }
+}
+
+/// Evaluate an expression for every row of `table`, returning a column.
+pub fn eval_expr(expr: &Expr, table: &Table) -> Result<Column> {
+    let n = table.num_rows();
+    let mut values = Vec::with_capacity(n);
+    for row in 0..n {
+        values.push(eval_row(expr, Some(table), row)?);
+    }
+    // Infer the output type: prefer the first non-null value's type; mixed
+    // Int/Float widens to Float.
+    let mut ty: Option<DataType> = None;
+    for v in &values {
+        match (ty, v.data_type()) {
+            (None, Some(t)) => ty = Some(t),
+            (Some(DataType::Int), Some(DataType::Float)) => ty = Some(DataType::Float),
+            _ => {}
+        }
+    }
+    let ty = ty.unwrap_or(DataType::Int);
+    let mut b = ColumnBuilder::with_capacity(ty, n);
+    for v in values {
+        let v = match (&v, ty) {
+            (Value::Int(i), DataType::Float) => Value::Float(*i as f64),
+            _ => v,
+        };
+        b.push(v)?;
+    }
+    Ok(b.finish())
+}
+
+/// Evaluate a predicate into a selection bitmap (NULL ⇒ excluded, per SQL
+/// semantics).
+pub fn eval_predicate(expr: &Expr, table: &Table) -> Result<Bitmap> {
+    let n = table.num_rows();
+    let mut bm = Bitmap::zeros(n);
+    for row in 0..n {
+        if matches!(eval_row(expr, Some(table), row)?, Value::Bool(true)) {
+            bm.set(row, true);
+        }
+    }
+    Ok(bm)
+}
+
+/// Evaluate `expr` at one row.
+pub(crate) fn eval_row(expr: &Expr, table: Option<&Table>, row: usize) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(name) => {
+            let t = table.ok_or_else(|| {
+                MosaicError::Execution(format!("column {name} not allowed here"))
+            })?;
+            Ok(t.column_by_name(name)?.value(row))
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_row(expr, table, row)?;
+            match op {
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(MosaicError::Execution(format!(
+                        "cannot negate {other}"
+                    ))),
+                },
+                UnaryOp::Not => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Bool(b) => Ok(Value::Bool(!b)),
+                    other => Err(MosaicError::Execution(format!("NOT of non-boolean {other}"))),
+                },
+            }
+        }
+        Expr::Binary { left, op, right } => eval_binary(left, *op, right, table, row),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_row(expr, table, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let c = eval_row(item, table, row)?;
+                if c.is_null() {
+                    saw_null = true;
+                    continue;
+                }
+                if v.sql_cmp(&c) == Some(Ordering::Equal) {
+                    return Ok(Value::Bool(!negated));
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_row(expr, table, row)?;
+            let lo = eval_row(low, table, row)?;
+            let hi = eval_row(high, table, row)?;
+            match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                (Some(a), Some(b)) => {
+                    let inside = a != Ordering::Less && b != Ordering::Greater;
+                    Ok(Value::Bool(inside != *negated))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_row(expr, table, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Agg { .. } => Err(MosaicError::Execution(
+            "aggregate in a non-aggregate context".into(),
+        )),
+    }
+}
+
+fn eval_binary(
+    left: &Expr,
+    op: BinOp,
+    right: &Expr,
+    table: Option<&Table>,
+    row: usize,
+) -> Result<Value> {
+    // AND/OR use three-valued logic with short circuits.
+    if matches!(op, BinOp::And | BinOp::Or) {
+        let l = eval_row(left, table, row)?;
+        let lb = match &l {
+            Value::Null => None,
+            Value::Bool(b) => Some(*b),
+            other => {
+                return Err(MosaicError::Execution(format!(
+                    "logical operand must be boolean, got {other}"
+                )))
+            }
+        };
+        match (op, lb) {
+            (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+            (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let r = eval_row(right, table, row)?;
+        let rb = match &r {
+            Value::Null => None,
+            Value::Bool(b) => Some(*b),
+            other => {
+                return Err(MosaicError::Execution(format!(
+                    "logical operand must be boolean, got {other}"
+                )))
+            }
+        };
+        return Ok(match (op, lb, rb) {
+            (BinOp::And, Some(true), Some(b)) => Value::Bool(b),
+            (BinOp::And, _, Some(false)) => Value::Bool(false),
+            (BinOp::And, _, _) => Value::Null,
+            (BinOp::Or, Some(false), Some(b)) => Value::Bool(b),
+            (BinOp::Or, _, Some(true)) => Value::Bool(true),
+            (BinOp::Or, _, _) => Value::Null,
+            _ => unreachable!(),
+        });
+    }
+    let l = eval_row(left, table, row)?;
+    let r = eval_row(right, table, row)?;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+            let ord = l.sql_cmp(&r).ok_or_else(|| {
+                MosaicError::Execution(format!("cannot compare {l} with {r}"))
+            })?;
+            let res = match op {
+                BinOp::Eq => ord == Ordering::Equal,
+                BinOp::NotEq => ord != Ordering::Equal,
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::LtEq => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::GtEq => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(res))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            // Integer arithmetic stays integral except for division.
+            if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+                return match op {
+                    BinOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+                    BinOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+                    BinOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+                    BinOp::Div => {
+                        if *b == 0 {
+                            Ok(Value::Null)
+                        } else {
+                            Ok(Value::Float(*a as f64 / *b as f64))
+                        }
+                    }
+                    BinOp::Mod => {
+                        if *b == 0 {
+                            Ok(Value::Null)
+                        } else {
+                            Ok(Value::Int(a % b))
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+            }
+            let (a, b) = (
+                l.as_f64().ok_or_else(|| {
+                    MosaicError::Execution(format!("non-numeric operand {l}"))
+                })?,
+                r.as_f64().ok_or_else(|| {
+                    MosaicError::Execution(format!("non-numeric operand {r}"))
+                })?,
+            );
+            let x = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(x))
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_sql::parse_expr;
+    use mosaic_storage::{Field, Schema, TableBuilder};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("s", DataType::Str),
+            Field::new("f", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec![1.into(), "a".into(), 0.5.into()]).unwrap();
+        b.push_row(vec![2.into(), "b".into(), 1.5.into()]).unwrap();
+        b.push_row(vec![3.into(), "a".into(), Value::Null]).unwrap();
+        b.finish()
+    }
+
+    fn pred(src: &str, t: &Table) -> Vec<usize> {
+        eval_predicate(&parse_expr(src).unwrap(), t)
+            .unwrap()
+            .to_indices()
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let t = table();
+        assert_eq!(pred("x > 1", &t), vec![1, 2]);
+        assert_eq!(pred("x > 1 AND s = 'a'", &t), vec![2]);
+        assert_eq!(pred("x = 1 OR s = 'b'", &t), vec![0, 1]);
+        assert_eq!(pred("NOT x = 2", &t), vec![0, 2]);
+    }
+
+    #[test]
+    fn null_excluded_from_predicates() {
+        let t = table();
+        // f is NULL in row 2: comparison yields NULL, excluded.
+        assert_eq!(pred("f < 100", &t), vec![0, 1]);
+        assert_eq!(pred("f IS NULL", &t), vec![2]);
+        assert_eq!(pred("f IS NOT NULL", &t), vec![0, 1]);
+    }
+
+    #[test]
+    fn in_list_and_between() {
+        let t = table();
+        assert_eq!(pred("s IN ('a', 'z')", &t), vec![0, 2]);
+        assert_eq!(pred("s NOT IN ('a')", &t), vec![1]);
+        assert_eq!(pred("x BETWEEN 2 AND 3", &t), vec![1, 2]);
+        assert_eq!(pred("x NOT BETWEEN 2 AND 3", &t), vec![0]);
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        let t = table();
+        let c = eval_expr(&parse_expr("x * 2").unwrap(), &t).unwrap();
+        assert_eq!(c.data_type(), DataType::Int);
+        assert_eq!(c.value(2), Value::Int(6));
+        let c = eval_expr(&parse_expr("x + f").unwrap(), &t).unwrap();
+        assert_eq!(c.data_type(), DataType::Float);
+        assert_eq!(c.value(0), Value::Float(1.5));
+        assert!(c.is_null(2)); // null propagates
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert_eq!(eval_scalar(&parse_expr("1 / 0").unwrap()).unwrap(), Value::Null);
+        assert_eq!(
+            eval_scalar(&parse_expr("5 / 2").unwrap()).unwrap(),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = table();
+        // NULL OR true = true; NULL AND true = NULL (excluded).
+        assert_eq!(pred("f > 0 OR x = 3", &t), vec![0, 1, 2]);
+        assert_eq!(pred("f > 0 AND x >= 1", &t), vec![0, 1]);
+    }
+
+    #[test]
+    fn scalar_rejects_columns() {
+        assert!(eval_scalar(&parse_expr("x + 1").unwrap()).is_err());
+        assert_eq!(
+            eval_scalar(&parse_expr("2 + 3").unwrap()).unwrap(),
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn aggregates_rejected_here() {
+        let t = table();
+        assert!(eval_expr(&parse_expr("COUNT(*)").unwrap(), &t).is_err());
+    }
+}

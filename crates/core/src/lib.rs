@@ -1,0 +1,73 @@
+//! # mosaic-core
+//!
+//! **Mosaic** — a sample-based database system for open-world query
+//! processing (Orr, Ainsworth, Cai, Jamieson, Balazinska, Suciu;
+//! CIDR 2020).
+//!
+//! Traditional DBMSs make the *closed world assumption*: a tuple not in
+//! the database does not exist. Data scientists analysing biased samples
+//! need the opposite — the *open world assumption* — plus machinery to
+//! debias samples whose sampling mechanism is unknown. Mosaic provides:
+//!
+//! * a sample-oriented data model: population, sample, and auxiliary
+//!   relations plus population metadata (marginals) — see [`catalog`],
+//! * SQL extensions to declare them (`CREATE [GLOBAL] POPULATION`,
+//!   `CREATE SAMPLE … USING MECHANISM`, `CREATE METADATA`) — parsed by
+//!   `mosaic-sql`,
+//! * three query visibility levels (paper §3.3):
+//!   - `CLOSED` — answer from the raw samples,
+//!   - `SEMI-OPEN` — reweight the sample (inverse-probability weights for
+//!     known mechanisms, IPF against the marginals otherwise),
+//!   - `OPEN` — additionally *generate* missing tuples with a pluggable
+//!     generative model ([`GenerativeModel`]: the M-SWG by default, a
+//!     Chow–Liu Bayesian network as the explicit-model alternative).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mosaic_core::MosaicDb;
+//!
+//! let mut db = MosaicDb::new();
+//! db.execute(
+//!     "CREATE TABLE Eurostat (country TEXT, reported_count INT);
+//!      INSERT INTO Eurostat VALUES ('UK', 30000), ('FR', 20000);
+//!      CREATE GLOBAL POPULATION EuropeMigrants (country TEXT);
+//!      CREATE METADATA EuropeMigrants_M1 AS
+//!        (SELECT country, reported_count FROM Eurostat);
+//!      CREATE SAMPLE YahooMigrants AS (SELECT * FROM EuropeMigrants);
+//!      INSERT INTO YahooMigrants VALUES ('UK'), ('UK'), ('FR');",
+//! )
+//! .unwrap();
+//! // SEMI-OPEN reweights the 3-row sample so the marginal is satisfied.
+//! let result = db
+//!     .execute("SELECT SEMI-OPEN country, COUNT(*) FROM EuropeMigrants GROUP BY country ORDER BY country")
+//!     .unwrap();
+//! let t = &result.table;
+//! assert_eq!(t.num_rows(), 2);
+//! assert!((t.value(1, 1).as_f64().unwrap() - 30000.0).abs() < 1.0);
+//! ```
+//!
+//! See `examples/migrants.rs` for the full §2 scenario.
+
+pub mod catalog;
+mod engine;
+mod error;
+mod eval;
+mod exec;
+mod models;
+
+pub use catalog::{Catalog, Mechanism, MetadataEntry, Population, Sample};
+pub use engine::{EngineOptions, MosaicDb, OpenBackend, OpenOptions, QueryResult};
+pub use error::MosaicError;
+pub use eval::{eval_expr, eval_predicate, eval_scalar};
+pub use exec::run_select;
+pub use models::{BnModel, GenerativeModel, SwgModel};
+
+// Re-export the pieces users need to drive the engine programmatically.
+pub use mosaic_sql::{parse, Expr, SelectStmt, Statement, Visibility};
+pub use mosaic_stats::{Binner, IpfConfig, Marginal};
+pub use mosaic_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
+pub use mosaic_swg::SwgConfig;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MosaicError>;

@@ -1,0 +1,111 @@
+//! Pluggable generative backends for OPEN query processing.
+//!
+//! The paper (§4.2): "any generative model can be plugged in and used to
+//! answer open queries as long as it can be trained on sample data and
+//! marginals". Mosaic ships two:
+//!
+//! * [`SwgModel`] — the implicit model of §5, the M-SWG (default),
+//! * [`BnModel`] — the explicit alternative: a Chow–Liu Bayesian network
+//!   fitted on the IPF-reweighted sample (the Themis pipeline).
+
+use mosaic_bn::{BayesNet, BnConfig};
+use mosaic_stats::Marginal;
+use mosaic_storage::Table;
+use mosaic_swg::{MSwg, SwgConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::Result;
+
+/// A generative model trainable from a biased sample plus population
+/// marginals, able to synthesize population tuples.
+pub trait GenerativeModel: Send {
+    /// Short backend identifier (used in cache keys and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Train on the sample. `ipf_weights` are the IPF-fitted weights for
+    /// the same rows (explicit models use them; the M-SWG trains from the
+    /// raw sample plus the marginals directly).
+    fn fit(&mut self, sample: &Table, ipf_weights: &[f64], marginals: &[Marginal]) -> Result<()>;
+
+    /// Generate `n` synthetic tuples deterministically from `seed`.
+    fn generate(&mut self, n: usize, seed: u64) -> Result<Table>;
+}
+
+/// The Marginal-Constrained Sliced Wasserstein Generator backend.
+pub struct SwgModel {
+    config: SwgConfig,
+    model: Option<MSwg>,
+}
+
+impl SwgModel {
+    /// New backend with the given training configuration.
+    pub fn new(config: SwgConfig) -> SwgModel {
+        SwgModel {
+            config,
+            model: None,
+        }
+    }
+
+    /// Training diagnostics of the fitted model.
+    pub fn report(&self) -> Option<&mosaic_swg::TrainReport> {
+        self.model.as_ref().map(|m| m.report())
+    }
+}
+
+impl GenerativeModel for SwgModel {
+    fn name(&self) -> &'static str {
+        "m-swg"
+    }
+
+    fn fit(&mut self, sample: &Table, _ipf_weights: &[f64], marginals: &[Marginal]) -> Result<()> {
+        self.model = Some(MSwg::fit(sample, marginals, self.config.clone())?);
+        Ok(())
+    }
+
+    fn generate(&mut self, n: usize, seed: u64) -> Result<Table> {
+        let model = self
+            .model
+            .as_mut()
+            .ok_or_else(|| crate::MosaicError::Execution("M-SWG not fitted".into()))?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(model.generate(n, &mut rng))
+    }
+}
+
+/// The Chow–Liu Bayesian-network backend (explicit generative model; fits
+/// on the IPF-reweighted sample, Themis-style).
+pub struct BnModel {
+    config: BnConfig,
+    model: Option<BayesNet>,
+}
+
+impl BnModel {
+    /// New backend with the given configuration.
+    pub fn new(config: BnConfig) -> BnModel {
+        BnModel {
+            config,
+            model: None,
+        }
+    }
+}
+
+impl GenerativeModel for BnModel {
+    fn name(&self) -> &'static str {
+        "bayes-net"
+    }
+
+    fn fit(&mut self, sample: &Table, ipf_weights: &[f64], _marginals: &[Marginal]) -> Result<()> {
+        self.model = Some(BayesNet::fit(sample, Some(ipf_weights), &self.config)?);
+        Ok(())
+    }
+
+    fn generate(&mut self, n: usize, seed: u64) -> Result<Table> {
+        let model = self
+            .model
+            .as_ref()
+            .ok_or_else(|| crate::MosaicError::Execution("Bayesian network not fitted".into()))?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(model.sample(n, &mut rng))
+    }
+}

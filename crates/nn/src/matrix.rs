@@ -1,0 +1,287 @@
+use rand::Rng;
+
+/// A row-major dense `f64` matrix.
+///
+/// Only the kernels a small MLP needs are provided; hot loops are written
+/// in the cache-friendly i-k-j order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Gaussian-initialized matrix with standard deviation `std`
+    /// (Box–Muller; avoids a `rand_distr` dependency).
+    pub fn randn<R: Rng + ?Sized>(rows: usize, cols: usize, std: f64, rng: &mut R) -> Matrix {
+        let data = (0..rows * cols)
+            .map(|_| {
+                let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.random::<f64>();
+                std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            })
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `self · other` (`(n×k) · (k×m) → n×m`).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` (`(n×k)ᵀ · (n×m) → k×m`) without materializing the
+    /// transpose.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for n in 0..self.rows {
+            let a_row = self.row(n);
+            let b_row = other.row(n);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (`(n×k) · (m×k)ᵀ → n×m`).
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += a_row[k] * b_row[k];
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale(&mut self, factor: f64) {
+        for a in &mut self.data {
+            *a *= factor;
+        }
+    }
+
+    /// Add a `1×cols` row vector to every row (bias add).
+    pub fn add_row_broadcast(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1);
+        assert_eq!(bias.cols, self.cols);
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums as a `1×cols` matrix.
+    pub fn col_sum(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &x) in out.data.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Column means as a `1×cols` matrix.
+    pub fn col_mean(&self) -> Matrix {
+        let mut s = self.col_sum();
+        if self.rows > 0 {
+            s.scale(1.0 / self.rows as f64);
+        }
+        s
+    }
+
+    /// Apply `f` element-wise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_then_matmul() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::randn(4, 3, 1.0, &mut rng);
+        let b = Matrix::randn(4, 5, 1.0, &mut rng);
+        let tn = a.matmul_tn(&b);
+        // Manual transpose.
+        let mut at = Matrix::zeros(3, 4);
+        for r in 0..4 {
+            for c in 0..3 {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        let expect = at.matmul(&b);
+        for (x, y) in tn.data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::randn(3, 4, 1.0, &mut rng);
+        let b = Matrix::randn(5, 4, 1.0, &mut rng);
+        let nt = a.matmul_nt(&b);
+        let mut bt = Matrix::zeros(4, 5);
+        for r in 0..5 {
+            for c in 0..4 {
+                bt.set(c, r, b.get(r, c));
+            }
+        }
+        let expect = a.matmul(&bt);
+        for (x, y) in nt.data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        m.add_row_broadcast(&Matrix::from_vec(1, 2, vec![10.0, 20.0]));
+        assert_eq!(m.data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(m.col_sum().data(), &[24.0, 46.0]);
+        assert_eq!(m.col_mean().data(), &[12.0, 23.0]);
+    }
+
+    #[test]
+    fn randn_reasonable_spread() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Matrix::randn(100, 100, 2.0, &mut rng);
+        let mean = m.data().iter().sum::<f64>() / 10_000.0;
+        let var = m.data().iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.1);
+        assert!((var - 4.0).abs() < 0.3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

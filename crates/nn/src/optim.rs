@@ -1,0 +1,193 @@
+use crate::Matrix;
+
+/// A trainable parameter: value, gradient accumulator, and Adam moment
+/// estimates.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (zeroed by [`Adam::step`]).
+    pub grad: Matrix,
+    m: Matrix,
+    v: Matrix,
+}
+
+impl Param {
+    /// Wrap an initial value.
+    pub fn new(value: Matrix) -> Param {
+        let (r, c) = (value.rows(), value.cols());
+        Param {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
+    }
+
+    /// Zero the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad = Matrix::zeros(self.value.rows(), self.value.cols());
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba) with PyTorch-default hyperparameters —
+/// the paper trains the M-SWG with "Pytorch's Adam optimizer with the
+/// default settings".
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (mutated by [`PlateauScheduler`]).
+    pub lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the PyTorch defaults (`β₁=0.9`, `β₂=0.999`, `ε=1e-8`).
+    pub fn new(lr: f64) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Apply one update to every parameter and zero their gradients.
+    pub fn step<'a>(&mut self, params: impl IntoIterator<Item = &'a mut Param>) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params {
+            let g = p.grad.data().to_vec();
+            let m = p.m.data_mut();
+            let v = p.v.data_mut();
+            for i in 0..g.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+            }
+            let mhat_scale = 1.0 / bc1;
+            let vhat_scale = 1.0 / bc2;
+            let lr = self.lr;
+            let eps = self.eps;
+            let m = p.m.data().to_vec();
+            let v = p.v.data().to_vec();
+            let w = p.value.data_mut();
+            for i in 0..m.len() {
+                let mhat = m[i] * mhat_scale;
+                let vhat = v[i] * vhat_scale;
+                w[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Reduce-on-plateau learning-rate schedule: if the loss has not improved
+/// by `threshold` for `patience` consecutive observations, multiply the
+/// learning rate by `factor` (paper: "an initial learning rate of 0.001
+/// that decreases by a factor of 10 if a plateau is reached").
+#[derive(Debug, Clone)]
+pub struct PlateauScheduler {
+    best: f64,
+    patience: usize,
+    since_best: usize,
+    factor: f64,
+    threshold: f64,
+    min_lr: f64,
+}
+
+impl PlateauScheduler {
+    /// PyTorch-like defaults: `factor=0.1`, `patience=10`, `min_lr=1e-8`.
+    pub fn new() -> PlateauScheduler {
+        PlateauScheduler {
+            best: f64::INFINITY,
+            patience: 10,
+            since_best: 0,
+            factor: 0.1,
+            threshold: 1e-4,
+            min_lr: 1e-8,
+        }
+    }
+
+    /// Customize patience (observations without improvement before decay).
+    pub fn with_patience(mut self, patience: usize) -> Self {
+        self.patience = patience;
+        self
+    }
+
+    /// Observe a loss; decays `optimizer.lr` when plateaued. Returns true
+    /// if a decay was applied.
+    pub fn step(&mut self, loss: f64, optimizer: &mut Adam) -> bool {
+        if loss < self.best - self.threshold {
+            self.best = loss;
+            self.since_best = 0;
+            return false;
+        }
+        self.since_best += 1;
+        if self.since_best > self.patience {
+            optimizer.lr = (optimizer.lr * self.factor).max(self.min_lr);
+            self.since_best = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Default for PlateauScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // minimize (w - 3)^2 with Adam.
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let w = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * (w - 3.0));
+            opt.step(std::iter::once(&mut p));
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn step_zeroes_grads() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        p.grad.set(0, 0, 1.0);
+        let mut opt = Adam::new(0.01);
+        opt.step(std::iter::once(&mut p));
+        assert_eq!(p.grad.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn plateau_decays_after_patience() {
+        let mut opt = Adam::new(1.0);
+        let mut sched = PlateauScheduler::new().with_patience(2);
+        assert!(!sched.step(1.0, &mut opt)); // best = 1.0
+        assert!(!sched.step(1.0, &mut opt)); // stall 1
+        assert!(!sched.step(1.0, &mut opt)); // stall 2
+        assert!(sched.step(1.0, &mut opt)); // stall 3 > patience -> decay
+        assert!((opt.lr - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plateau_resets_on_improvement() {
+        let mut opt = Adam::new(1.0);
+        let mut sched = PlateauScheduler::new().with_patience(1);
+        sched.step(1.0, &mut opt);
+        sched.step(1.0, &mut opt);
+        sched.step(0.5, &mut opt); // improvement resets the stall counter
+        assert!(!sched.step(0.5, &mut opt));
+        assert_eq!(opt.lr, 1.0);
+    }
+}

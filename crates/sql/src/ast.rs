@@ -1,0 +1,504 @@
+use std::fmt;
+
+use mosaic_storage::{Field, Value};
+
+/// Query visibility level (paper §3.3): how much freedom Mosaic has to
+/// reweight and create tuples when answering a population query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Visibility {
+    /// Use the samples as-is (closed world; LAV data-integration answering).
+    Closed,
+    /// Reweight the samples (open world, no invented tuples; zero false
+    /// positives, up to `n` false negatives).
+    SemiOpen,
+    /// Reweight and *generate* missing tuples (open world; fewer false
+    /// negatives at the cost of possible false positives).
+    Open,
+}
+
+impl fmt::Display for Visibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Visibility::Closed => "CLOSED",
+            Visibility::SemiOpen => "SEMI-OPEN",
+            Visibility::Open => "OPEN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate functions supported by the executor. Under SEMI-OPEN/OPEN these
+/// are rewritten to their weighted forms (paper §5.3: "we simply modify the
+/// aggregate to be over a weight attribute").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(expr)` → `SUM(weight)` over qualifying rows.
+    Count,
+    /// `SUM(expr)` → `SUM(weight · expr)`.
+    Sum,
+    /// `AVG(expr)` → weighted mean.
+    Avg,
+    /// `MIN(expr)` (weights don't change the minimum).
+    Min,
+    /// `MAX(expr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Parse an aggregate function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Canonical SQL name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// Binary operators, in increasing precedence groups (OR < AND < comparison
+/// < additive < multiplicative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Logical OR.
+    Or,
+    /// Logical AND.
+    And,
+    /// `=`.
+    Eq,
+    /// `!=` / `<>`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Mod,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "OR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "!=",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Numeric negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+/// A scalar or aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference.
+    Column(String),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `expr [NOT] IN (v1, v2, …)` (square brackets also accepted, as in
+    /// the paper's Table 2 queries).
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Inclusive lower bound.
+        low: Box<Expr>,
+        /// Inclusive upper bound.
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// Aggregate call; `arg` is `None` for `COUNT(*)`.
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Argument expression (None = `*`).
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Column reference shorthand.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Literal shorthand.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// `self AND other` shorthand.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(self),
+            op: BinOp::And,
+            right: Box::new(other),
+        }
+    }
+
+    /// True if the expression contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Literal(_) | Expr::Column(_) => false,
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+        }
+    }
+
+    /// Collect the names of all referenced columns (deduplicated, in first
+    /// appearance order).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(name) => {
+                if !out.iter().any(|n| n.eq_ignore_ascii_case(name)) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.collect_columns(out),
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                for e in list {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// A display-ready name for this expression when used as an unaliased
+    /// projection (e.g. `COUNT(*)`, `country`).
+    pub fn default_name(&self) -> String {
+        match self {
+            Expr::Column(c) => c.clone(),
+            Expr::Agg { func, arg } => match arg {
+                Some(a) => format!("{}({})", func.name(), a.default_name()),
+                None => format!("{}(*)", func.name()),
+            },
+            Expr::Literal(v) => v.to_string(),
+            Expr::Binary { left, op, right } => {
+                format!("{} {} {}", left.default_name(), op, right.default_name())
+            }
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => format!("-{}", expr.default_name()),
+                UnaryOp::Not => format!("NOT {}", expr.default_name()),
+            },
+            Expr::InList { expr, .. } => format!("{} IN (...)", expr.default_name()),
+            Expr::Between { expr, .. } => format!("{} BETWEEN ...", expr.default_name()),
+            Expr::IsNull { expr, negated } => format!(
+                "{} IS {}NULL",
+                expr.default_name(),
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+}
+
+/// One projection in a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// `expr [AS alias]`.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+}
+
+/// A SELECT statement (single-relation FROM, per the paper's §4 assumption
+/// that population attributes are contained in the sample attributes — no
+/// joins are required for population queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Optional visibility level (populations only; defaults applied by the
+    /// engine).
+    pub visibility: Option<Visibility>,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Source relation (population, sample, or auxiliary table).
+    pub from: Option<String>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// ORDER BY `(expr, descending)` pairs.
+    pub order_by: Vec<(Expr, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+/// A sampling mechanism declaration (paper §3.1: "USING MECHANISM
+/// <mechanism> PERCENT <perc>").
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechanismSpec {
+    /// `UNIFORM PERCENT p`: every GP tuple included independently so the
+    /// sample is `p` percent of the GP.
+    Uniform {
+        /// Sample percentage of the GP.
+        percent: f64,
+    },
+    /// `STRATIFIED ON attr PERCENT p`: equal-size strata samples totalling
+    /// `p` percent of the GP.
+    Stratified {
+        /// Stratification attribute.
+        attr: String,
+        /// Sample percentage of the GP.
+        percent: f64,
+    },
+}
+
+/// Row source for INSERT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// `VALUES (…), (…)` — each row is a list of literal expressions.
+    Values(Vec<Vec<Expr>>),
+    /// `INSERT INTO t SELECT …`.
+    Select(Box<SelectStmt>),
+}
+
+/// A parsed SQL statement in the Mosaic dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE [TEMPORARY] TABLE name (fields…)` — an auxiliary relation.
+    CreateTable {
+        /// Relation name.
+        name: String,
+        /// Declared fields (may be empty for late-bound ingestion).
+        fields: Vec<Field>,
+        /// TEMPORARY flag (auxiliary tables are transient in the paper's
+        /// example; retained as a marker).
+        temporary: bool,
+    },
+    /// `CREATE [GLOBAL] POPULATION name (fields…) [AS (SELECT … FROM gp
+    /// WHERE pred)]`.
+    CreatePopulation {
+        /// Population name.
+        name: String,
+        /// True for the global population.
+        global: bool,
+        /// Declared attributes (may be empty when derived via AS SELECT).
+        fields: Vec<Field>,
+        /// Defining view over the global population: `(gp_name, predicate,
+        /// projected columns)`.
+        source: Option<(String, Option<Expr>, Vec<String>)>,
+    },
+    /// `CREATE SAMPLE name (fields…) AS (SELECT … FROM gp [WHERE pred]
+    /// [USING MECHANISM …])`.
+    CreateSample {
+        /// Sample name.
+        name: String,
+        /// Declared attributes (may be empty).
+        fields: Vec<Field>,
+        /// Reference population.
+        population: String,
+        /// Projected columns (empty = `*`).
+        columns: Vec<String>,
+        /// Defining predicate over the population.
+        predicate: Option<Expr>,
+        /// Optional known sampling mechanism.
+        mechanism: Option<MechanismSpec>,
+    },
+    /// `CREATE METADATA name [FOR population] AS (SELECT …)`.
+    CreateMetadata {
+        /// Metadata name (paper convention: `<pop>_M1`).
+        name: String,
+        /// Explicit population binding (extension; otherwise inferred from
+        /// the name).
+        population: Option<String>,
+        /// The aggregate query producing the marginal.
+        query: SelectStmt,
+    },
+    /// `INSERT INTO name [(cols…)] VALUES … | SELECT …`.
+    Insert {
+        /// Target relation.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Row source.
+        source: InsertSource,
+    },
+    /// A SELECT query.
+    Select(SelectStmt),
+    /// `DROP TABLE|POPULATION|SAMPLE|METADATA name`.
+    Drop {
+        /// Relation name.
+        name: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_helpers() {
+        let e = Expr::col("a").and(Expr::lit(1));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinOp::And,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::Agg {
+                func: AggFunc::Count,
+                arg: None,
+            }),
+            op: BinOp::Add,
+            right: Box::new(Expr::lit(1)),
+        };
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let e = Expr::col("a").and(Expr::Binary {
+            left: Box::new(Expr::col("A")),
+            op: BinOp::Lt,
+            right: Box::new(Expr::col("b")),
+        });
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn default_names() {
+        let e = Expr::Agg {
+            func: AggFunc::Avg,
+            arg: Some(Box::new(Expr::col("x"))),
+        };
+        assert_eq!(e.default_name(), "AVG(x)");
+        assert_eq!(
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: None
+            }
+            .default_name(),
+            "COUNT(*)"
+        );
+    }
+
+    #[test]
+    fn agg_from_name_case_insensitive() {
+        assert_eq!(AggFunc::from_name("avg"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

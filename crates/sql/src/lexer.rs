@@ -1,0 +1,326 @@
+use std::fmt;
+
+/// A lexical token with its source offset (byte position, for error
+/// reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source where the token starts.
+    pub offset: usize,
+}
+
+/// Token kinds produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (with `''` escape). Curly quotes
+    /// (`‘…’`) from the paper's typesetting are also accepted.
+    Str(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[` (the paper writes IN-lists with square brackets).
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semicolon,
+    /// `*`.
+    Star,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `=`.
+    Eq,
+    /// `!=` or `<>`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+    /// `.`.
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::LtEq => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::GtEq => write!(f, ">="),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Tokenize SQL source. `--` line comments are skipped. Returns a trailing
+/// [`TokenKind::Eof`] token.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, crate::ParseError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    // Track byte offsets for error messages.
+    let mut byte = 0usize;
+    let advance = |c: char| c.len_utf8();
+    while i < chars.len() {
+        let c = chars[i];
+        let start = byte;
+        match c {
+            c if c.is_whitespace() => {
+                byte += advance(c);
+                i += 1;
+            }
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // Line comment.
+                while i < chars.len() && chars[i] != '\n' {
+                    byte += advance(chars[i]);
+                    i += 1;
+                }
+            }
+            '\'' | '\u{2018}' | '\u{2019}' => {
+                // String literal; accept straight and curly quotes.
+                byte += advance(c);
+                i += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d == '\'' || d == '\u{2019}' || d == '\u{2018}' {
+                        if d == '\'' && chars.get(i + 1) == Some(&'\'') {
+                            s.push('\'');
+                            byte += 2;
+                            i += 2;
+                            continue;
+                        }
+                        byte += advance(d);
+                        i += 1;
+                        closed = true;
+                        break;
+                    }
+                    s.push(d);
+                    byte += advance(d);
+                    i += 1;
+                }
+                if !closed {
+                    return Err(crate::ParseError::new(
+                        "unterminated string literal".into(),
+                        start,
+                    ));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                let mut is_float = false;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                    } else if d == '.' && chars.get(i + 1).is_some_and(char::is_ascii_digit) {
+                        is_float = true;
+                        s.push(d);
+                    } else if (d == 'e' || d == 'E')
+                        && chars
+                            .get(i + 1)
+                            .is_some_and(|n| n.is_ascii_digit() || *n == '-' || *n == '+')
+                    {
+                        is_float = true;
+                        s.push(d);
+                        // consume optional sign
+                        if let Some(&sign) = chars.get(i + 1) {
+                            if sign == '-' || sign == '+' {
+                                s.push(sign);
+                                byte += 1;
+                                i += 1;
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                    byte += 1;
+                    i += 1;
+                }
+                let kind = if is_float {
+                    TokenKind::Float(s.parse().map_err(|_| {
+                        crate::ParseError::new(format!("invalid float literal {s}"), start)
+                    })?)
+                } else {
+                    TokenKind::Int(s.parse().map_err(|_| {
+                        crate::ParseError::new(format!("invalid integer literal {s}"), start)
+                    })?)
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    byte += advance(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    offset: start,
+                });
+            }
+            _ => {
+                let (kind, width) = match c {
+                    '(' => (TokenKind::LParen, 1),
+                    ')' => (TokenKind::RParen, 1),
+                    '[' => (TokenKind::LBracket, 1),
+                    ']' => (TokenKind::RBracket, 1),
+                    ',' => (TokenKind::Comma, 1),
+                    ';' => (TokenKind::Semicolon, 1),
+                    '*' => (TokenKind::Star, 1),
+                    '+' => (TokenKind::Plus, 1),
+                    '-' => (TokenKind::Minus, 1),
+                    '/' => (TokenKind::Slash, 1),
+                    '%' => (TokenKind::Percent, 1),
+                    '=' => (TokenKind::Eq, 1),
+                    '.' => (TokenKind::Dot, 1),
+                    '!' if chars.get(i + 1) == Some(&'=') => (TokenKind::NotEq, 2),
+                    '<' if chars.get(i + 1) == Some(&'>') => (TokenKind::NotEq, 2),
+                    '<' if chars.get(i + 1) == Some(&'=') => (TokenKind::LtEq, 2),
+                    '<' => (TokenKind::Lt, 1),
+                    '>' if chars.get(i + 1) == Some(&'=') => (TokenKind::GtEq, 2),
+                    '>' => (TokenKind::Gt, 1),
+                    other => {
+                        return Err(crate::ParseError::new(
+                            format!("unexpected character {other:?}"),
+                            start,
+                        ))
+                    }
+                };
+                for _ in 0..width {
+                    byte += advance(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: byte,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("SELECT a, b FROM t WHERE x >= 1.5;");
+        assert_eq!(k[0], TokenKind::Ident("SELECT".into()));
+        assert!(k.contains(&TokenKind::GtEq));
+        assert!(k.contains(&TokenKind::Float(1.5)));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_curly_quotes() {
+        assert_eq!(kinds("'ab''c'")[0], TokenKind::Str("ab'c".into()));
+        assert_eq!(kinds("\u{2018}WN\u{2019}")[0], TokenKind::Str("WN".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("SELECT 1 -- comment here\n, 2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Int(1),
+                TokenKind::Comma,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn neq_variants() {
+        assert_eq!(kinds("a != b")[1], TokenKind::NotEq);
+        assert_eq!(kinds("a <> b")[1], TokenKind::NotEq);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(kinds("1e-7")[0], TokenKind::Float(1e-7));
+        assert_eq!(kinds("2.5E3")[0], TokenKind::Float(2500.0));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn semi_open_tokenizes_as_three_tokens() {
+        let k = kinds("SEMI-OPEN");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("SEMI".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("OPEN".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

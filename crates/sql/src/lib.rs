@@ -1,0 +1,44 @@
+//! # mosaic-sql
+//!
+//! Lexer, AST, and recursive-descent parser for the Mosaic SQL dialect
+//! (Orr et al., CIDR 2020, §2–3).
+//!
+//! On top of a standard SQL subset (CREATE TABLE / INSERT / SELECT with
+//! WHERE, GROUP BY, ORDER BY, LIMIT and the usual scalar and aggregate
+//! expressions), the dialect adds the paper's open-world constructs:
+//!
+//! * `CREATE [GLOBAL] POPULATION <pop> (attrs…) [AS (SELECT … FROM <gp>
+//!   WHERE <pred>)]` — declare a population relation (§3.1).
+//! * `CREATE SAMPLE <s> (attrs…) AS (SELECT … FROM <gp> [WHERE <pred>]
+//!   [USING MECHANISM UNIFORM|STRATIFIED ON <attr> PERCENT <p>])` —
+//!   declare a sample with an optional known sampling mechanism (§3.1).
+//! * `CREATE METADATA <name> [FOR <pop>] AS (SELECT Ai[, Aj], COUNT(*)
+//!   FROM <aux> GROUP BY Ai[, Aj])` — attach marginals to a population
+//!   (§3.2). Without `FOR`, the target population is inferred from the
+//!   `<pop>_<suffix>` naming convention used in the paper's example.
+//! * `SELECT CLOSED|SEMI-OPEN|OPEN …` — per-query visibility level (§3.3).
+//!
+//! ```
+//! use mosaic_sql::{parse, Statement, Visibility};
+//!
+//! let stmts = parse(
+//!     "SELECT SEMI-OPEN country, email, COUNT(*) \
+//!      FROM EuropeMigrants GROUP BY country, email;",
+//! )
+//! .unwrap();
+//! match &stmts[0] {
+//!     Statement::Select(s) => assert_eq!(s.visibility, Some(Visibility::SemiOpen)),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{
+    AggFunc, BinOp, Expr, InsertSource, MechanismSpec, SelectItem, SelectStmt, Statement,
+    UnaryOp, Visibility,
+};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::{parse, parse_expr, ParseError};

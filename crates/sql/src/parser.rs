@@ -1,0 +1,992 @@
+use std::fmt;
+
+use mosaic_storage::{DataType, Field, Value};
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// A parse error with the byte offset of the offending token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: String, offset: usize) -> Self {
+        ParseError { message, offset }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a semicolon-separated script into statements.
+pub fn parse(src: &str) -> Result<Vec<Statement>, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semicolon) {}
+        if p.check_eof() {
+            break;
+        }
+        stmts.push(p.statement()?);
+        if !p.eat(&TokenKind::Semicolon) && !p.check_eof() {
+            return Err(p.unexpected("';' or end of input"));
+        }
+    }
+    Ok(stmts)
+}
+
+/// Parse a standalone scalar expression (used by tests and programmatic
+/// predicate construction).
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if !p.check_eof() {
+        return Err(p.unexpected("end of expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_at(&self, ahead: usize) -> &Token {
+        &self.tokens[(self.pos + ahead).min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        self.pos += 1;
+        t
+    }
+
+    fn check_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&kind.to_string()))
+        }
+    }
+
+    /// Is the current token the given keyword (case-insensitive)?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn at_kw_ahead(&self, ahead: usize, kw: &str) -> bool {
+        matches!(&self.peek_at(ahead).kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(kw))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::new(
+            format!("expected {expected}, found {}", self.peek().kind),
+            self.peek().offset,
+        )
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.at_kw("CREATE") {
+            return self.create();
+        }
+        if self.at_kw("INSERT") {
+            return self.insert();
+        }
+        if self.at_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("DROP") {
+            // DROP TABLE|POPULATION|SAMPLE|METADATA <name>
+            for k in ["TABLE", "POPULATION", "SAMPLE", "METADATA"] {
+                if self.eat_kw(k) {
+                    break;
+                }
+            }
+            let name = self.ident()?;
+            return Ok(Statement::Drop { name });
+        }
+        Err(self.unexpected("statement (CREATE, INSERT, SELECT, DROP)"))
+    }
+
+    fn create(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("CREATE")?;
+        let temporary = self.eat_kw("TEMPORARY") || self.eat_kw("TEMP");
+        if self.eat_kw("TABLE") {
+            let name = self.ident()?;
+            let fields = if matches!(self.peek().kind, TokenKind::LParen) {
+                self.field_list()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Statement::CreateTable {
+                name,
+                fields,
+                temporary,
+            });
+        }
+        let global = self.eat_kw("GLOBAL");
+        if self.eat_kw("POPULATION") {
+            return self.create_population(global);
+        }
+        if global {
+            return Err(self.unexpected("POPULATION after GLOBAL"));
+        }
+        if self.eat_kw("SAMPLE") {
+            return self.create_sample();
+        }
+        if self.eat_kw("METADATA") {
+            return self.create_metadata();
+        }
+        Err(self.unexpected("TABLE, [GLOBAL] POPULATION, SAMPLE, or METADATA"))
+    }
+
+    fn create_population(&mut self, global: bool) -> Result<Statement, ParseError> {
+        let name = self.ident()?;
+        let fields = if matches!(self.peek().kind, TokenKind::LParen) && !self.as_select_ahead() {
+            self.field_list()?
+        } else {
+            Vec::new()
+        };
+        let source = if self.eat_kw("AS") {
+            let wrapped = self.eat(&TokenKind::LParen);
+            self.expect_kw("SELECT")?;
+            let columns = self.column_name_list()?;
+            self.expect_kw("FROM")?;
+            let gp = self.ident()?;
+            let predicate = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            if wrapped {
+                self.expect(&TokenKind::RParen)?;
+            }
+            Some((gp, predicate, columns))
+        } else {
+            None
+        };
+        Ok(Statement::CreatePopulation {
+            name,
+            global,
+            fields,
+            source,
+        })
+    }
+
+    fn create_sample(&mut self) -> Result<Statement, ParseError> {
+        let name = self.ident()?;
+        let fields = if matches!(self.peek().kind, TokenKind::LParen) && !self.as_select_ahead() {
+            self.field_list()?
+        } else {
+            Vec::new()
+        };
+        self.expect_kw("AS")?;
+        let wrapped = self.eat(&TokenKind::LParen);
+        self.expect_kw("SELECT")?;
+        let columns = self.column_name_list()?;
+        self.expect_kw("FROM")?;
+        let population = self.ident()?;
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mechanism = if self.eat_kw("USING") {
+            self.expect_kw("MECHANISM")?;
+            Some(self.mechanism()?)
+        } else {
+            None
+        };
+        if wrapped {
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(Statement::CreateSample {
+            name,
+            fields,
+            population,
+            columns,
+            predicate,
+            mechanism,
+        })
+    }
+
+    fn mechanism(&mut self) -> Result<MechanismSpec, ParseError> {
+        if self.eat_kw("UNIFORM") {
+            self.expect_kw("PERCENT")?;
+            let percent = self.number()?;
+            return Ok(MechanismSpec::Uniform { percent });
+        }
+        if self.eat_kw("STRATIFIED") {
+            self.expect_kw("ON")?;
+            let attr = self.ident()?;
+            self.expect_kw("PERCENT")?;
+            let percent = self.number()?;
+            return Ok(MechanismSpec::Stratified { attr, percent });
+        }
+        Err(self.unexpected("UNIFORM or STRATIFIED mechanism"))
+    }
+
+    fn create_metadata(&mut self) -> Result<Statement, ParseError> {
+        let name = self.ident()?;
+        let population = if self.eat_kw("FOR") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect_kw("AS")?;
+        let wrapped = self.eat(&TokenKind::LParen);
+        let query = self.select()?;
+        if wrapped {
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(Statement::CreateMetadata {
+            name,
+            population,
+            query,
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        // Optional column list: `(a, b, c)` — only if followed by idents.
+        let columns = if matches!(self.peek().kind, TokenKind::LParen)
+            && matches!(self.peek_at(1).kind, TokenKind::Ident(_))
+            && !self.at_kw_ahead(1, "SELECT")
+        {
+            self.expect(&TokenKind::LParen)?;
+            let mut cols = vec![self.ident()?];
+            while self.eat(&TokenKind::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        if self.eat_kw("VALUES") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&TokenKind::LParen)?;
+                let mut row = vec![self.expr()?];
+                while self.eat(&TokenKind::Comma) {
+                    row.push(self.expr()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                rows.push(row);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            return Ok(Statement::Insert {
+                table,
+                columns,
+                source: InsertSource::Values(rows),
+            });
+        }
+        let wrapped = self.eat(&TokenKind::LParen);
+        let select = self.select()?;
+        if wrapped {
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            source: InsertSource::Select(Box::new(select)),
+        })
+    }
+
+    /// True if the upcoming `(` opens an `AS (SELECT …)` body rather than a
+    /// field list. (We only call this when at `(`.)
+    fn as_select_ahead(&self) -> bool {
+        self.at_kw_ahead(1, "SELECT")
+    }
+
+    fn field_list(&mut self) -> Result<Vec<Field>, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut fields = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let ty_name = self.ident()?;
+            let offset = self.peek().offset;
+            let data_type = DataType::parse_sql(&ty_name).ok_or_else(|| {
+                ParseError::new(format!("unknown type {ty_name}"), offset)
+            })?;
+            let mut nullable = true;
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                nullable = false;
+            } else {
+                let _ = self.eat_kw("NULL");
+            }
+            fields.push(Field {
+                name,
+                data_type,
+                nullable,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(fields)
+    }
+
+    /// Parse a comma-separated list of column names or `*` (for the
+    /// restricted SELECT bodies of CREATE SAMPLE / CREATE POPULATION).
+    fn column_name_list(&mut self) -> Result<Vec<String>, ParseError> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(Vec::new());
+        }
+        let mut cols = vec![self.ident()?];
+        while self.eat(&TokenKind::Comma) {
+            cols.push(self.ident()?);
+        }
+        Ok(cols)
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, ParseError> {
+        self.expect_kw("SELECT")?;
+        let visibility = self.visibility();
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let from = if self.eat_kw("FROM") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    let _ = self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            let offset = self.peek().offset;
+            match self.advance().kind {
+                TokenKind::Int(n) if n >= 0 => Some(n as usize),
+                _ => return Err(ParseError::new("LIMIT expects a non-negative integer".into(), offset)),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            visibility,
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn visibility(&mut self) -> Option<Visibility> {
+        if self.eat_kw("CLOSED") {
+            return Some(Visibility::Closed);
+        }
+        // SEMI-OPEN lexes as Ident(SEMI) Minus Ident(OPEN); also accept
+        // SEMI_OPEN and SEMIOPEN spellings.
+        if self.at_kw("SEMI")
+            && matches!(self.peek_at(1).kind, TokenKind::Minus)
+            && self.at_kw_ahead(2, "OPEN")
+        {
+            self.pos += 3;
+            return Some(Visibility::SemiOpen);
+        }
+        if self.eat_kw("SEMI_OPEN") || self.eat_kw("SEMIOPEN") {
+            return Some(Visibility::SemiOpen);
+        }
+        // Bare OPEN only counts as a visibility marker when followed by
+        // something that can start a projection (not `FROM` etc.): we treat
+        // OPEN as a reserved visibility keyword after SELECT.
+        if self.eat_kw("OPEN") {
+            return Some(Visibility::Open);
+        }
+        None
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        let offset = self.peek().offset;
+        match self.advance().kind {
+            TokenKind::Int(i) => Ok(i as f64),
+            TokenKind::Float(f) => Ok(f),
+            other => Err(ParseError::new(
+                format!("expected number, found {other}"),
+                offset,
+            )),
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] IN / [NOT] BETWEEN
+        let negated = if self.at_kw("NOT") && (self.at_kw_ahead(1, "IN") || self.at_kw_ahead(1, "BETWEEN"))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("IN") {
+            let close = if self.eat(&TokenKind::LParen) {
+                TokenKind::RParen
+            } else if self.eat(&TokenKind::LBracket) {
+                TokenKind::RBracket
+            } else {
+                return Err(self.unexpected("'(' or '[' after IN"));
+            };
+            let mut list = vec![self.expr()?];
+            while self.eat(&TokenKind::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&close)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.unexpected("IN or BETWEEN after NOT"));
+        }
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::NotEq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::LtEq => BinOp::LtEq,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::GtEq => BinOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.additive()?;
+        Ok(Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            // Constant-fold negative literals for cleaner ASTs.
+            return Ok(match inner {
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Float(f)) => Expr::Literal(Value::Float(-f)),
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let offset = self.peek().offset;
+        match self.peek().kind.clone() {
+            TokenKind::Int(i) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if is_reserved(&name) {
+                    return Err(ParseError::new(
+                        format!("expected expression, found keyword {name}"),
+                        offset,
+                    ));
+                }
+                self.pos += 1;
+                if name.eq_ignore_ascii_case("NULL") {
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if matches!(self.peek().kind, TokenKind::LParen) {
+                    // Function call — only aggregates are supported.
+                    let func = AggFunc::from_name(&name).ok_or_else(|| {
+                        ParseError::new(format!("unknown function {name}"), offset)
+                    })?;
+                    self.expect(&TokenKind::LParen)?;
+                    if self.eat(&TokenKind::Star) {
+                        self.expect(&TokenKind::RParen)?;
+                        if func != AggFunc::Count {
+                            return Err(ParseError::new(
+                                format!("{}(*) is not supported; only COUNT(*)", func.name()),
+                                offset,
+                            ));
+                        }
+                        return Ok(Expr::Agg { func, arg: None });
+                    }
+                    let arg = self.expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Agg {
+                        func,
+                        arg: Some(Box::new(arg)),
+                    });
+                }
+                Ok(Expr::Column(name))
+            }
+            other => Err(ParseError::new(
+                format!("expected expression, found {other}"),
+                offset,
+            )),
+        }
+    }
+}
+
+/// Words that cannot appear as bare column references (clause keywords).
+fn is_reserved(name: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "LIMIT", "AS", "AND", "OR", "NOT",
+        "IN", "BETWEEN", "IS", "CREATE", "INSERT", "INTO", "VALUES", "DROP", "USING",
+        "MECHANISM", "HAVING", "JOIN", "ON",
+    ];
+    RESERVED.iter().any(|k| k.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Statement {
+        let mut v = parse(src).unwrap();
+        assert_eq!(v.len(), 1, "expected one statement");
+        v.pop().unwrap()
+    }
+
+    #[test]
+    fn parse_create_table() {
+        match one("CREATE TEMPORARY TABLE Eurostat (country TEXT, reported_count INT);") {
+            Statement::CreateTable {
+                name,
+                fields,
+                temporary,
+            } => {
+                assert_eq!(name, "Eurostat");
+                assert!(temporary);
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[1].data_type, DataType::Int);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_create_global_population() {
+        match one("CREATE GLOBAL POPULATION EuropeMigrants (country TEXT, email TEXT);") {
+            Statement::CreatePopulation { name, global, fields, source } => {
+                assert_eq!(name, "EuropeMigrants");
+                assert!(global);
+                assert_eq!(fields.len(), 2);
+                assert!(source.is_none());
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_derived_population() {
+        match one("CREATE POPULATION UkMigrants AS (SELECT * FROM EuropeMigrants WHERE country = 'UK');") {
+            Statement::CreatePopulation { global, source, .. } => {
+                assert!(!global);
+                let (gp, pred, cols) = source.unwrap();
+                assert_eq!(gp, "EuropeMigrants");
+                assert!(pred.is_some());
+                assert!(cols.is_empty());
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_create_sample_with_mechanism() {
+        match one(
+            "CREATE SAMPLE S AS (SELECT a, b FROM GP WHERE a > 1 USING MECHANISM STRATIFIED ON a PERCENT 20);",
+        ) {
+            Statement::CreateSample {
+                population,
+                columns,
+                predicate,
+                mechanism,
+                ..
+            } => {
+                assert_eq!(population, "GP");
+                assert_eq!(columns, vec!["a".to_string(), "b".into()]);
+                assert!(predicate.is_some());
+                assert_eq!(
+                    mechanism,
+                    Some(MechanismSpec::Stratified {
+                        attr: "a".into(),
+                        percent: 20.0
+                    })
+                );
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_paper_example_script() {
+        // The full motivating example from §2 of the paper.
+        let script = "
+            CREATE TEMPORARY TABLE Eurostat (country TEXT, email TEXT, reported_count INT);
+            CREATE GLOBAL POPULATION EuropeMigrants (country TEXT, email TEXT);
+            CREATE METADATA EuropeMigrants_M1 AS
+              (SELECT country, reported_count FROM Eurostat);
+            CREATE METADATA EuropeMigrants_M2 AS
+              (SELECT email, reported_count FROM Eurostat);
+            CREATE SAMPLE YahooMigrants AS
+              (SELECT * FROM EuropeMigrants WHERE email = 'Yahoo');
+            SELECT SEMI-OPEN country, email, COUNT(*)
+              FROM EuropeMigrants GROUP BY country, email;
+            SELECT OPEN country, email, COUNT(*)
+              FROM EuropeMigrants GROUP BY country, email;
+        ";
+        let stmts = parse(script).unwrap();
+        assert_eq!(stmts.len(), 7);
+        match &stmts[5] {
+            Statement::Select(s) => assert_eq!(s.visibility, Some(Visibility::SemiOpen)),
+            other => panic!("wrong statement: {other:?}"),
+        }
+        match &stmts[6] {
+            Statement::Select(s) => assert_eq!(s.visibility, Some(Visibility::Open)),
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_visibility_variants() {
+        for (src, expect) in [
+            ("SELECT CLOSED a FROM t", Some(Visibility::Closed)),
+            ("SELECT SEMI-OPEN a FROM t", Some(Visibility::SemiOpen)),
+            ("SELECT SEMI_OPEN a FROM t", Some(Visibility::SemiOpen)),
+            ("SELECT OPEN a FROM t", Some(Visibility::Open)),
+            ("SELECT a FROM t", None),
+        ] {
+            match one(src) {
+                Statement::Select(s) => assert_eq!(s.visibility, expect, "src: {src}"),
+                other => panic!("wrong statement: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_paper_table2_query() {
+        // Query 5 of Table 2, with the paper's square-bracket IN list and
+        // curly quotes.
+        match one(
+            "SELECT C, AVG(D) FROM F WHERE E > 200 AND C IN [\u{2018}WN\u{2019}, \u{2018}AA\u{2019}] GROUP BY C",
+        ) {
+            Statement::Select(s) => {
+                assert_eq!(s.items.len(), 2);
+                assert_eq!(s.group_by.len(), 1);
+                let w = s.where_clause.unwrap();
+                assert!(matches!(w, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_values_and_select() {
+        match one("INSERT INTO t VALUES (1, 'a'), (2, 'b')") {
+            Statement::Insert { source: InsertSource::Values(rows), .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][0], Expr::lit(2));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        match one("INSERT INTO s SELECT a, b FROM aux WHERE a > 0") {
+            Statement::Insert { source: InsertSource::Select(sel), .. } => {
+                assert_eq!(sel.from.as_deref(), Some("aux"));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expr("a + b * 2 < 10 AND NOT c = 'x' OR d BETWEEN 1 AND 5").unwrap();
+        // Top level must be OR.
+        assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        assert_eq!(parse_expr("-5").unwrap(), Expr::lit(-5));
+        assert_eq!(parse_expr("-2.5").unwrap(), Expr::lit(-2.5));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        match one("SELECT a FROM t ORDER BY a DESC, b LIMIT 10") {
+            Statement::Select(s) => {
+                assert_eq!(s.order_by.len(), 2);
+                assert!(s.order_by[0].1);
+                assert!(!s.order_by[1].1);
+                assert_eq!(s.limit, Some(10));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metadata_with_explicit_population() {
+        match one("CREATE METADATA m FOR Pop AS (SELECT a, COUNT(*) FROM aux GROUP BY a)") {
+            Statement::CreateMetadata { population, query, .. } => {
+                assert_eq!(population.as_deref(), Some("Pop"));
+                assert_eq!(query.group_by.len(), 1);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse("SELECT FROM").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(parse("CREATE ELEPHANT x").is_err());
+        assert!(parse_expr("1 +").is_err());
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        assert!(parse_expr("MEDIAN(x)").is_err());
+    }
+
+    #[test]
+    fn is_null_parses() {
+        let e = parse_expr("x IS NOT NULL").unwrap();
+        assert!(matches!(e, Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn not_in_parses() {
+        let e = parse_expr("c NOT IN ('a', 'b')").unwrap();
+        assert!(matches!(e, Expr::InList { negated: true, .. }));
+    }
+}

@@ -1,0 +1,87 @@
+/// Equal-width binning for continuous attributes.
+///
+/// IPF cells must be discrete; Mosaic discretizes continuous attributes with
+/// an explicit `Binner` so the sample and the metadata agree on cell
+/// boundaries. Bin `i` covers `[lo + i*width, lo + (i+1)*width)` with the
+/// last bin closed on the right; out-of-range values clamp to the edge bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binner {
+    lo: f64,
+    width: f64,
+    bins: usize,
+}
+
+impl Binner {
+    /// `bins` equal-width bins over `[lo, hi]`.
+    pub fn equal_width(lo: f64, hi: f64, bins: usize) -> Binner {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "empty bin range");
+        Binner {
+            lo,
+            width: (hi - lo) / bins as f64,
+            bins,
+        }
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Bin index for `x` (clamped to `[0, bins-1]`).
+    pub fn bin(&self, x: f64) -> usize {
+        if !x.is_finite() {
+            return 0;
+        }
+        let i = ((x - self.lo) / self.width).floor();
+        (i.max(0.0) as usize).min(self.bins - 1)
+    }
+
+    /// Midpoint representative of bin `i`.
+    pub fn midpoint(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width
+    }
+
+    /// `[low, high)` edges of bin `i`.
+    pub fn edges(&self, i: usize) -> (f64, f64) {
+        let lo = self.lo + i as f64 * self.width;
+        (lo, lo + self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let b = Binner::equal_width(0.0, 10.0, 5);
+        assert_eq!(b.bin(0.0), 0);
+        assert_eq!(b.bin(1.999), 0);
+        assert_eq!(b.bin(2.0), 1);
+        assert_eq!(b.bin(9.999), 4);
+        assert_eq!(b.bin(10.0), 4); // closed right edge
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let b = Binner::equal_width(0.0, 10.0, 5);
+        assert_eq!(b.bin(-100.0), 0);
+        assert_eq!(b.bin(100.0), 4);
+        assert_eq!(b.bin(f64::NAN), 0);
+    }
+
+    #[test]
+    fn midpoints_and_edges() {
+        let b = Binner::equal_width(0.0, 10.0, 5);
+        assert_eq!(b.midpoint(0), 1.0);
+        assert_eq!(b.midpoint(4), 9.0);
+        assert_eq!(b.edges(1), (2.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_rejected() {
+        Binner::equal_width(0.0, 1.0, 0);
+    }
+}

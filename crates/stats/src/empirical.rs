@@ -1,0 +1,155 @@
+/// A sorted, weighted 1-D empirical distribution with exact inverse-CDF
+/// (quantile) evaluation.
+///
+/// This is the workhorse for the exact 1-D Wasserstein computation of the
+/// M-SWG loss (paper §5.2): both a generated batch and a published marginal
+/// reduce to a `WeightedEmpirical`, and `W_p` between two of them is an exact
+/// integral over matched quantiles.
+#[derive(Debug, Clone)]
+pub struct WeightedEmpirical {
+    values: Vec<f64>,
+    weights: Vec<f64>,
+    cum: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedEmpirical {
+    /// Build from `(value, weight)` pairs; non-positive weights are dropped.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> WeightedEmpirical {
+        let mut vw: Vec<(f64, f64)> = pairs.into_iter().filter(|&(_, w)| w > 0.0).collect();
+        vw.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut values = Vec::with_capacity(vw.len());
+        let mut weights = Vec::with_capacity(vw.len());
+        for (v, w) in vw {
+            // Merge duplicate values so the CDF is strictly increasing in x.
+            if values.last().is_some_and(|&last: &f64| last == v) {
+                *weights.last_mut().expect("non-empty") += w;
+            } else {
+                values.push(v);
+                weights.push(w);
+            }
+        }
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in &weights {
+            acc += w;
+            cum.push(acc);
+        }
+        WeightedEmpirical {
+            values,
+            weights,
+            cum,
+            total: acc,
+        }
+    }
+
+    /// Build with unit weights.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> WeightedEmpirical {
+        Self::from_pairs(values.into_iter().map(|v| (v, 1.0)))
+    }
+
+    /// Number of distinct support points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the distribution has no mass.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Support points (sorted ascending).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Weights aligned with [`Self::values`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Exact inverse CDF: the smallest support point whose cumulative
+    /// normalized mass is `>= u` (for `u` in `[0,1]`).
+    pub fn quantile(&self, u: f64) -> f64 {
+        assert!(!self.is_empty(), "quantile of empty distribution");
+        let target = u.clamp(0.0, 1.0) * self.total;
+        // Binary search the cumulative weights.
+        let idx = self.cum.partition_point(|&c| c < target - 1e-12);
+        self.values[idx.min(self.values.len() - 1)]
+    }
+
+    /// Weighted mean.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        self.values
+            .iter()
+            .zip(&self.weights)
+            .map(|(v, w)| v * w)
+            .sum::<f64>()
+            / self.total
+    }
+
+    /// CDF at `x` (fraction of mass `<= x`).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        let idx = self.values.partition_point(|&v| v <= x);
+        if idx == 0 {
+            0.0
+        } else {
+            self.cum[idx - 1] / self.total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_merges_duplicates() {
+        let e = WeightedEmpirical::from_pairs([(2.0, 1.0), (1.0, 1.0), (2.0, 3.0)]);
+        assert_eq!(e.values(), &[1.0, 2.0]);
+        assert_eq!(e.weights(), &[1.0, 4.0]);
+        assert_eq!(e.total(), 5.0);
+    }
+
+    #[test]
+    fn quantile_is_inverse_cdf() {
+        let e = WeightedEmpirical::from_pairs([(0.0, 1.0), (10.0, 1.0)]);
+        assert_eq!(e.quantile(0.25), 0.0);
+        assert_eq!(e.quantile(0.75), 10.0);
+        assert_eq!(e.quantile(0.0), 0.0);
+        assert_eq!(e.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn cdf_steps_at_support() {
+        let e = WeightedEmpirical::from_pairs([(1.0, 1.0), (2.0, 1.0)]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.5);
+        assert_eq!(e.cdf(1.5), 0.5);
+        assert_eq!(e.cdf(2.0), 1.0);
+    }
+
+    #[test]
+    fn drops_nonpositive_weights() {
+        let e = WeightedEmpirical::from_pairs([(1.0, 0.0), (2.0, -3.0), (3.0, 2.0)]);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.mean(), 3.0);
+    }
+
+    #[test]
+    fn mean_weighted() {
+        let e = WeightedEmpirical::from_pairs([(0.0, 3.0), (4.0, 1.0)]);
+        assert_eq!(e.mean(), 1.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # mosaic-stats
+//!
+//! Statistical machinery for the Mosaic open-world database (Orr et al.,
+//! CIDR 2020):
+//!
+//! * [`Marginal`] — weighted 1-/2-/k-dimensional histograms ("population
+//!   metadata", paper §3.2). Governments and corporations publish these as
+//!   aggregate reports; Mosaic uses them to debias samples.
+//! * [`Binner`] — explicit equal-width binning so IPF cells over continuous
+//!   attributes are well-defined.
+//! * [`WeightedEmpirical`] — a sorted, weighted 1-D empirical distribution
+//!   with exact inverse-CDF evaluation.
+//! * [`wasserstein_1d`] / [`sliced_wasserstein`] — exact 1-D Wasserstein
+//!   distance (the paper computes it "exactly [49] instead of using the
+//!   discriminator approach", §5.2) and its sliced generalization for
+//!   2-dimensional marginals.
+//! * [`Ipf`] — Iterative Proportional Fitting (Deming–Stephan raking), the
+//!   SEMI-OPEN reweighting engine (paper §4.1).
+//! * [`weighted`] — weighted means/quantiles/variances used by the weighted
+//!   aggregate rewrite.
+
+mod binning;
+mod empirical;
+mod ipf;
+mod marginal;
+mod wasserstein;
+pub mod weighted;
+
+pub use binning::Binner;
+pub use empirical::WeightedEmpirical;
+pub use ipf::{Ipf, IpfConfig, IpfReport};
+pub use marginal::Marginal;
+pub use wasserstein::{
+    random_unit_vectors, sliced_wasserstein, standard_normal, wasserstein_1d, WassersteinOrder,
+};
+
+/// Percent difference `100 * |est - truth| / |truth|`, with the convention
+/// that a zero truth and zero estimate is 0 % and a zero truth with a
+/// non-zero estimate is 100 %.
+pub fn percent_diff(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        100.0 * (estimate - truth).abs() / truth.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_diff_conventions() {
+        assert_eq!(percent_diff(0.0, 0.0), 0.0);
+        assert_eq!(percent_diff(5.0, 0.0), 100.0);
+        assert!((percent_diff(110.0, 100.0) - 10.0).abs() < 1e-12);
+        assert!((percent_diff(90.0, 100.0) - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+use rand::Rng;
+
+use crate::WeightedEmpirical;
+
+/// Order of the Wasserstein distance used for matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WassersteinOrder {
+    /// Earth-mover distance `W1` (the paper's formulation).
+    W1,
+    /// Squared `W2` (smooth gradients; common in sliced-Wasserstein
+    /// generators).
+    W2Squared,
+}
+
+/// Exact 1-D Wasserstein distance between two weighted empirical
+/// distributions (both normalized to unit mass).
+///
+/// Computed as the integral over quantile functions:
+/// `W_p^p = ∫₀¹ |F_a⁻¹(u) − F_b⁻¹(u)|^p du`, evaluated exactly with a merged
+/// CDF walk — `O(n + m)` after sorting. For `W1` the value itself is
+/// returned; for `W2Squared` the squared distance is returned.
+pub fn wasserstein_1d(
+    a: &WeightedEmpirical,
+    b: &WeightedEmpirical,
+    order: WassersteinOrder,
+) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let (av, aw, at) = (a.values(), a.weights(), a.total());
+    let (bv, bw, bt) = (b.values(), b.weights(), b.total());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut ca = aw[0] / at; // cumulative fraction consumed from a
+    let mut cb = bw[0] / bt;
+    let mut u = 0.0f64; // position along the quantile axis
+    let mut acc = 0.0f64;
+    loop {
+        let next = ca.min(cb);
+        let seg = (next - u).max(0.0);
+        let d = (av[i] - bv[j]).abs();
+        acc += seg
+            * match order {
+                WassersteinOrder::W1 => d,
+                WassersteinOrder::W2Squared => d * d,
+            };
+        u = next;
+        if u >= 1.0 - 1e-12 {
+            break;
+        }
+        if ca <= cb {
+            i += 1;
+            if i >= av.len() {
+                break;
+            }
+            ca += aw[i] / at;
+        } else {
+            j += 1;
+            if j >= bv.len() {
+                break;
+            }
+            cb += bw[j] / bt;
+        }
+    }
+    acc
+}
+
+/// Sample a standard normal via Box–Muller (we avoid the `rand_distr`
+/// dependency; only the approved crates are used).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// `p` random directions uniformly distributed on the unit sphere in `R^d`
+/// (Gaussian sampling + normalization).
+pub fn random_unit_vectors<R: Rng + ?Sized>(d: usize, p: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    assert!(d > 0, "dimension must be positive");
+    (0..p)
+        .map(|_| loop {
+            let v: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-12 {
+                return v.iter().map(|x| x / norm).collect();
+            }
+        })
+        .collect()
+}
+
+/// Sliced Wasserstein distance between two weighted point clouds in `R^d`:
+/// the average exact 1-D Wasserstein distance over the given projections
+/// (paper §5.2: "randomly project the marginals onto multiple one
+/// dimensional spaces and compute the Wasserstein distance exactly for each
+/// projection").
+pub fn sliced_wasserstein(
+    points_a: &[(Vec<f64>, f64)],
+    points_b: &[(Vec<f64>, f64)],
+    projections: &[Vec<f64>],
+    order: WassersteinOrder,
+) -> f64 {
+    assert!(!projections.is_empty(), "need at least one projection");
+    let mut acc = 0.0;
+    for w in projections {
+        let a = WeightedEmpirical::from_pairs(
+            points_a.iter().map(|(x, m)| (dot(x, w), *m)),
+        );
+        let b = WeightedEmpirical::from_pairs(
+            points_b.iter().map(|(x, m)| (dot(x, w), *m)),
+        );
+        acc += wasserstein_1d(&a, &b, order);
+    }
+    acc / projections.len() as f64
+}
+
+/// Dot product of equal-length slices.
+#[inline]
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let a = WeightedEmpirical::from_values([1.0, 2.0, 3.0]);
+        let b = WeightedEmpirical::from_values([1.0, 2.0, 3.0]);
+        assert!(wasserstein_1d(&a, &b, WassersteinOrder::W1).abs() < 1e-12);
+        assert!(wasserstein_1d(&a, &b, WassersteinOrder::W2Squared).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_shift_is_the_shift() {
+        let a = WeightedEmpirical::from_values([0.0]);
+        let b = WeightedEmpirical::from_values([3.0]);
+        assert!((wasserstein_1d(&a, &b, WassersteinOrder::W1) - 3.0).abs() < 1e-12);
+        assert!((wasserstein_1d(&a, &b, WassersteinOrder::W2Squared) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_matter() {
+        // a: mass 0.75 at 0, 0.25 at 1. b: all mass at 0. W1 = 0.25.
+        let a = WeightedEmpirical::from_pairs([(0.0, 3.0), (1.0, 1.0)]);
+        let b = WeightedEmpirical::from_pairs([(0.0, 1.0)]);
+        assert!((wasserstein_1d(&a, &b, WassersteinOrder::W1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = WeightedEmpirical::from_values([0.0, 1.0, 5.0]);
+        let b = WeightedEmpirical::from_pairs([(2.0, 2.0), (4.0, 1.0)]);
+        let ab = wasserstein_1d(&a, &b, WassersteinOrder::W1);
+        let ba = wasserstein_1d(&b, &a, WassersteinOrder::W1);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_vectors_have_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for v in random_unit_vectors(5, 20, &mut rng) {
+            let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((n - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn sliced_zero_for_identical_clouds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<(Vec<f64>, f64)> = (0..50)
+            .map(|_| (vec![standard_normal(&mut rng), standard_normal(&mut rng)], 1.0))
+            .collect();
+        let proj = random_unit_vectors(2, 10, &mut rng);
+        let d = sliced_wasserstein(&pts, &pts, &proj, WassersteinOrder::W2Squared);
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliced_detects_translation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<(Vec<f64>, f64)> = (0..100)
+            .map(|_| (vec![standard_normal(&mut rng), standard_normal(&mut rng)], 1.0))
+            .collect();
+        let b: Vec<(Vec<f64>, f64)> = a
+            .iter()
+            .map(|(x, w)| (vec![x[0] + 5.0, x[1]], *w))
+            .collect();
+        let proj = random_unit_vectors(2, 50, &mut rng);
+        let d = sliced_wasserstein(&a, &b, &proj, WassersteinOrder::W1);
+        assert!(d > 1.0, "translation should be detected, got {d}");
+    }
+}

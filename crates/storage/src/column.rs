@@ -1,0 +1,397 @@
+use crate::{Bitmap, DataType, Result, StorageError, Value};
+
+/// A typed, contiguous column with an optional validity bitmap.
+///
+/// Invariant: if `validity` is `Some`, its length equals the data length and
+/// a cleared bit means the slot is NULL (the slot's payload is a type default
+/// and must not be observed).
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Bitmap>,
+}
+
+#[derive(Debug, Clone)]
+enum ColumnData {
+    Bool(Vec<bool>),
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Build a column of `ty` from dynamic values, coercing `Int` into
+    /// `Float` columns (and whole floats into `Int` columns).
+    pub fn from_values(ty: DataType, values: &[Value]) -> Result<Column> {
+        let mut b = ColumnBuilder::new(ty);
+        for v in values {
+            b.push(v.clone())?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Column of 64-bit integers (no NULLs).
+    pub fn from_i64(values: Vec<i64>) -> Column {
+        Column {
+            data: ColumnData::Int(values),
+            validity: None,
+        }
+    }
+
+    /// Column of 64-bit floats (no NULLs).
+    pub fn from_f64(values: Vec<f64>) -> Column {
+        Column {
+            data: ColumnData::Float(values),
+            validity: None,
+        }
+    }
+
+    /// Column of strings (no NULLs).
+    pub fn from_str(values: Vec<String>) -> Column {
+        Column {
+            data: ColumnData::Str(values),
+            validity: None,
+        }
+    }
+
+    /// Column of booleans (no NULLs).
+    pub fn from_bool(values: Vec<bool>) -> Column {
+        Column {
+            data: ColumnData::Bool(values),
+            validity: None,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical type.
+    pub fn data_type(&self) -> DataType {
+        match &self.data {
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+        }
+    }
+
+    /// True if row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.validity.as_ref().is_some_and(|v| !v.get(i))
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        match &self.validity {
+            Some(v) => v.len() - v.count_ones(),
+            None => 0,
+        }
+    }
+
+    /// Dynamic value at row `i` (bounds-checked).
+    pub fn value(&self, i: usize) -> Value {
+        if i >= self.len() {
+            panic!("row {i} out of bounds for column of len {}", self.len());
+        }
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+        }
+    }
+
+    /// Numeric view of row `i` (NULL → `None`; ints widen).
+    #[inline]
+    pub fn f64_at(&self, i: usize) -> Option<f64> {
+        if self.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[i] as f64),
+            ColumnData::Float(v) => Some(v[i]),
+            ColumnData::Bool(v) => Some(v[i] as u8 as f64),
+            ColumnData::Str(_) => None,
+        }
+    }
+
+    /// Borrowed `i64` slice if this is a non-null Int column.
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match (&self.data, &self.validity) {
+            (ColumnData::Int(v), None) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrowed `f64` slice if this is a non-null Float column.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match (&self.data, &self.validity) {
+            (ColumnData::Float(v), None) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// All values as f64, with NULL/non-numeric as `None`.
+    pub fn to_f64_vec(&self) -> Vec<Option<f64>> {
+        (0..self.len()).map(|i| self.f64_at(i)).collect()
+    }
+
+    /// Gather rows by index (indices may repeat and reorder).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|v| Bitmap::from_iter(indices.iter().map(|&i| v.get(i))));
+        let data = match &self.data {
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str(v) => {
+                ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
+            }
+        };
+        Column { data, validity }
+    }
+
+    /// Keep rows whose selection bit is set.
+    pub fn filter(&self, selection: &Bitmap) -> Column {
+        assert_eq!(selection.len(), self.len(), "selection length mismatch");
+        self.take(&selection.to_indices())
+    }
+
+    /// Concatenate with another column of the same type.
+    pub fn concat(&self, other: &Column) -> Result<Column> {
+        if self.data_type() != other.data_type() {
+            return Err(StorageError::TypeMismatch {
+                expected: self.data_type().to_string(),
+                actual: other.data_type().to_string(),
+                context: "Column::concat".into(),
+            });
+        }
+        let mut b = ColumnBuilder::new(self.data_type());
+        for i in 0..self.len() {
+            b.push(self.value(i))?;
+        }
+        for i in 0..other.len() {
+            b.push(other.value(i))?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Iterate dynamic values.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Min and max over non-null numeric rows.
+    pub fn numeric_range(&self) -> Option<(f64, f64)> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut seen = false;
+        for i in 0..self.len() {
+            if let Some(x) = self.f64_at(i) {
+                min = min.min(x);
+                max = max.max(x);
+                seen = true;
+            }
+        }
+        seen.then_some((min, max))
+    }
+}
+
+/// Incremental, type-checked column construction.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    ty: DataType,
+    data: ColumnData,
+    validity: Option<Bitmap>,
+    nulls: Vec<bool>,
+    has_null: bool,
+}
+
+impl ColumnBuilder {
+    /// New builder for type `ty`.
+    pub fn new(ty: DataType) -> Self {
+        let data = match ty {
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str(Vec::new()),
+        };
+        ColumnBuilder {
+            ty,
+            data,
+            validity: None,
+            nulls: Vec::new(),
+            has_null: false,
+        }
+    }
+
+    /// New builder with row-capacity hint.
+    pub fn with_capacity(ty: DataType, capacity: usize) -> Self {
+        let data = match ty {
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(capacity)),
+            DataType::Int => ColumnData::Int(Vec::with_capacity(capacity)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(capacity)),
+            DataType::Str => ColumnData::Str(Vec::with_capacity(capacity)),
+        };
+        ColumnBuilder {
+            ty,
+            data,
+            validity: None,
+            nulls: Vec::with_capacity(capacity),
+            has_null: false,
+        }
+    }
+
+    /// Number of rows appended so far.
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.nulls.is_empty()
+    }
+
+    /// Append a value, coercing between Int/Float where lossless.
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        let mismatch = |actual: &Value, ty: DataType| StorageError::TypeMismatch {
+            expected: ty.to_string(),
+            actual: actual
+                .data_type()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "NULL".into()),
+            context: "ColumnBuilder::push".into(),
+        };
+        if v.is_null() {
+            self.has_null = true;
+            self.nulls.push(true);
+            match &mut self.data {
+                ColumnData::Bool(d) => d.push(false),
+                ColumnData::Int(d) => d.push(0),
+                ColumnData::Float(d) => d.push(0.0),
+                ColumnData::Str(d) => d.push(String::new()),
+            }
+            return Ok(());
+        }
+        self.nulls.push(false);
+        match (&mut self.data, &v) {
+            (ColumnData::Bool(d), Value::Bool(b)) => d.push(*b),
+            (ColumnData::Int(d), Value::Int(i)) => d.push(*i),
+            (ColumnData::Int(d), Value::Float(f)) if f.fract() == 0.0 => d.push(*f as i64),
+            (ColumnData::Float(d), Value::Float(f)) => d.push(*f),
+            (ColumnData::Float(d), Value::Int(i)) => d.push(*i as f64),
+            (ColumnData::Str(d), Value::Str(s)) => d.push(s.clone()),
+            _ => {
+                self.nulls.pop();
+                return Err(mismatch(&v, self.ty));
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish into an immutable [`Column`].
+    pub fn finish(mut self) -> Column {
+        if self.has_null {
+            self.validity = Some(Bitmap::from_iter(self.nulls.iter().map(|&n| !n)));
+        }
+        Column {
+            data: self.data,
+            validity: self.validity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_coerces_numerics() {
+        let mut b = ColumnBuilder::new(DataType::Float);
+        b.push(Value::Int(1)).unwrap();
+        b.push(Value::Float(2.5)).unwrap();
+        let c = b.finish();
+        assert_eq!(c.as_f64_slice().unwrap(), &[1.0, 2.5]);
+    }
+
+    #[test]
+    fn builder_rejects_wrong_type() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        assert!(b.push(Value::Str("x".into())).is_err());
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn nulls_tracked_in_validity() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        b.push(Value::Int(1)).unwrap();
+        b.push(Value::Null).unwrap();
+        b.push(Value::Int(3)).unwrap();
+        let c = b.finish();
+        assert_eq!(c.null_count(), 1);
+        assert!(c.is_null(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Int(3));
+        assert_eq!(c.f64_at(1), None);
+    }
+
+    #[test]
+    fn take_reorders_and_repeats() {
+        let c = Column::from_i64(vec![10, 20, 30]);
+        let t = c.take(&[2, 0, 0]);
+        assert_eq!(t.as_i64_slice().unwrap(), &[30, 10, 10]);
+    }
+
+    #[test]
+    fn filter_by_bitmap() {
+        let c = Column::from_str(vec!["a".into(), "b".into(), "c".into()]);
+        let sel = Bitmap::from_iter([true, false, true]);
+        let f = c.filter(&sel);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.value(1), Value::Str("c".into()));
+    }
+
+    #[test]
+    fn concat_same_type() {
+        let a = Column::from_i64(vec![1]);
+        let b = Column::from_i64(vec![2, 3]);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.as_i64_slice().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn concat_type_mismatch_errors() {
+        let a = Column::from_i64(vec![1]);
+        let b = Column::from_str(vec!["x".into()]);
+        assert!(a.concat(&b).is_err());
+    }
+
+    #[test]
+    fn numeric_range_skips_nulls() {
+        let mut b = ColumnBuilder::new(DataType::Float);
+        b.push(Value::Null).unwrap();
+        b.push(Value::Float(-2.0)).unwrap();
+        b.push(Value::Float(5.0)).unwrap();
+        let c = b.finish();
+        assert_eq!(c.numeric_range(), Some((-2.0, 5.0)));
+    }
+}

@@ -1,0 +1,253 @@
+//! Minimal CSV reader/writer for [`Table`]s — no external dependencies.
+//!
+//! Mosaic's experiment substitutions generate synthetic workloads, but a
+//! user with the real IDEBench flights CSV (or any other sample file) can
+//! ingest it directly with [`read_csv`] / [`read_csv_str`]; results export
+//! with [`write_csv`]. Quoting follows RFC 4180 (double quotes, `""`
+//! escape); type inference per column tries Int → Float → Bool → Str,
+//! with empty fields as NULL.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use crate::{DataType, Field, Result, Schema, StorageError, Table, TableBuilder, Value};
+
+/// Parse one CSV record (handles quoted fields and embedded commas).
+fn split_record(line: &str) -> std::result::Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        cur.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cur.push(other),
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                other => cur.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn infer_value(s: &str) -> Value {
+    if s.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match s.to_ascii_lowercase().as_str() {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::Str(s.to_string()),
+    }
+}
+
+/// Read a CSV with a header row from any reader, inferring column types.
+pub fn read_csv(reader: impl BufRead) -> Result<Table> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .transpose()
+        .map_err(|e| StorageError::InvalidValue(format!("io error: {e}")))?
+        .ok_or_else(|| StorageError::InvalidValue("empty CSV input".into()))?;
+    let names = split_record(header.trim_end_matches('\r'))
+        .map_err(StorageError::InvalidValue)?;
+    // First pass: collect raw values and infer types.
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| StorageError::InvalidValue(format!("io error: {e}")))?;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(line).map_err(|e| {
+            StorageError::InvalidValue(format!("line {}: {e}", lineno + 2))
+        })?;
+        if fields.len() != names.len() {
+            return Err(StorageError::LengthMismatch {
+                expected: names.len(),
+                actual: fields.len(),
+                context: format!("CSV line {}", lineno + 2),
+            });
+        }
+        rows.push(fields.iter().map(|f| infer_value(f)).collect());
+    }
+    // Column type = widest type observed (Int ⊂ Float; anything mixed with
+    // Str becomes Str).
+    let mut types: Vec<Option<DataType>> = vec![None; names.len()];
+    for row in &rows {
+        for (c, v) in row.iter().enumerate() {
+            let vt = match v.data_type() {
+                None => continue,
+                Some(t) => t,
+            };
+            types[c] = Some(match (types[c], vt) {
+                (None, t) => t,
+                (Some(a), b) if a == b => a,
+                (Some(DataType::Int), DataType::Float)
+                | (Some(DataType::Float), DataType::Int) => DataType::Float,
+                _ => DataType::Str,
+            });
+        }
+    }
+    let fields: Vec<Field> = names
+        .iter()
+        .zip(&types)
+        .map(|(n, t)| Field::new(n.clone(), t.unwrap_or(DataType::Str)))
+        .collect();
+    let schema = Schema::new(fields);
+    let mut b = TableBuilder::with_capacity(Arc::clone(&schema), rows.len());
+    for row in rows {
+        let coerced: Vec<Value> = row
+            .into_iter()
+            .enumerate()
+            .map(|(c, v)| match (schema.field(c).data_type, v) {
+                (_, Value::Null) => Value::Null,
+                (DataType::Str, v) => Value::Str(v.to_string()),
+                (DataType::Float, Value::Int(i)) => Value::Float(i as f64),
+                (_, v) => v,
+            })
+            .collect();
+        b.push_row(coerced)?;
+    }
+    Ok(b.finish())
+}
+
+/// Read a CSV from an in-memory string.
+pub fn read_csv_str(data: &str) -> Result<Table> {
+    read_csv(std::io::BufReader::new(data.as_bytes()))
+}
+
+/// Read a CSV from a file path.
+pub fn read_csv_path(path: impl AsRef<std::path::Path>) -> Result<Table> {
+    let f = std::fs::File::open(path)
+        .map_err(|e| StorageError::InvalidValue(format!("cannot open CSV: {e}")))?;
+    read_csv(std::io::BufReader::new(f))
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Write a table as CSV (header + rows; NULLs as empty fields).
+pub fn write_csv(table: &Table, mut writer: impl Write) -> Result<()> {
+    let io_err = |e: std::io::Error| StorageError::InvalidValue(format!("io error: {e}"));
+    let header: Vec<String> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| escape(&f.name))
+        .collect();
+    writeln!(writer, "{}", header.join(",")).map_err(io_err)?;
+    for r in 0..table.num_rows() {
+        let row: Vec<String> = (0..table.num_columns())
+            .map(|c| match table.value(r, c) {
+                Value::Null => String::new(),
+                Value::Str(s) => escape(&s),
+                other => other.to_string(),
+            })
+            .collect();
+        writeln!(writer, "{}", row.join(",")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Render a table as a CSV string.
+pub fn write_csv_string(table: &Table) -> Result<String> {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| StorageError::InvalidValue(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_inferred_types() {
+        let t = read_csv_str("name,age,score,member\nalice,30,1.5,true\nbob,41,2.0,false\n")
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().field(0).data_type, DataType::Str);
+        assert_eq!(t.schema().field(1).data_type, DataType::Int);
+        assert_eq!(t.schema().field(2).data_type, DataType::Float);
+        assert_eq!(t.schema().field(3).data_type, DataType::Bool);
+        let s = write_csv_string(&t).unwrap();
+        let t2 = read_csv_str(&s).unwrap();
+        assert_eq!(t2.value(1, 1), Value::Int(41));
+        assert_eq!(t2.value(0, 3), Value::Bool(true));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas() {
+        let t = read_csv_str("a,b\n\"x, y\",1\n\"he said \"\"hi\"\"\",2\n").unwrap();
+        assert_eq!(t.value(0, 0), Value::Str("x, y".into()));
+        assert_eq!(t.value(1, 0), Value::Str("he said \"hi\"".into()));
+        // Round trip preserves quoting.
+        let s = write_csv_string(&t).unwrap();
+        let t2 = read_csv_str(&s).unwrap();
+        assert_eq!(t2.value(0, 0), t.value(0, 0));
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let t = read_csv_str("a,b\n1,\n,2\n").unwrap();
+        assert!(t.column(1).is_null(0));
+        assert!(t.column(0).is_null(1));
+        assert_eq!(t.value(0, 0), Value::Int(1));
+    }
+
+    #[test]
+    fn mixed_int_float_widens() {
+        let t = read_csv_str("x\n1\n2.5\n").unwrap();
+        assert_eq!(t.schema().field(0).data_type, DataType::Float);
+        assert_eq!(t.value(0, 0), Value::Float(1.0));
+    }
+
+    #[test]
+    fn mixed_numeric_string_becomes_string() {
+        let t = read_csv_str("x\n1\nabc\n").unwrap();
+        assert_eq!(t.schema().field(0).data_type, DataType::Str);
+        assert_eq!(t.value(0, 0), Value::Str("1".into()));
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        assert!(read_csv_str("a,b\n1\n").is_err());
+        assert!(read_csv_str("").is_err());
+        assert!(read_csv_str("a\n\"unterminated\n").is_err());
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = read_csv_str("a,b\r\n1,x\r\n").unwrap();
+        assert_eq!(t.value(0, 1), Value::Str("x".into()));
+    }
+}

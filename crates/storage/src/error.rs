@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A value's runtime type did not match the column/schema type.
+    TypeMismatch {
+        /// What the schema expected.
+        expected: String,
+        /// What was actually provided.
+        actual: String,
+        /// Where the mismatch happened (column name or context).
+        context: String,
+    },
+    /// A referenced column does not exist in the schema.
+    ColumnNotFound(String),
+    /// Two collections that must be the same length were not.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+        /// Where the mismatch happened.
+        context: String,
+    },
+    /// Schemas of two tables that must match did not.
+    SchemaMismatch(String),
+    /// A row or index was out of bounds.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Collection length.
+        len: usize,
+    },
+    /// A value could not be parsed or converted.
+    InvalidValue(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TypeMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            StorageError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            StorageError::LengthMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "length mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            StorageError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds (len {len})")
+            }
+            StorageError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

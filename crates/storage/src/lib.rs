@@ -1,0 +1,37 @@
+//! # mosaic-storage
+//!
+//! Columnar in-memory storage substrate for the Mosaic open-world database
+//! system (Orr et al., CIDR 2020).
+//!
+//! Mosaic's query engine operates over three kinds of relations (population,
+//! sample, auxiliary — see the paper, §3.1). All of them bottom out in the
+//! same physical representation provided by this crate:
+//!
+//! * [`Value`] — a dynamically typed SQL scalar,
+//! * [`Schema`] / [`Field`] / [`DataType`] — relation schemas,
+//! * [`Column`] — a typed, contiguous column with an optional validity
+//!   [`Bitmap`],
+//! * [`Table`] — an immutable bundle of equal-length columns,
+//! * [`TableBuilder`] — row-oriented construction with type checking.
+//!
+//! The layout is deliberately Arrow-like (typed vectors + validity bitmaps)
+//! so filters produce selection bitmaps and aggregates run vectorized, per
+//! the database-engine idioms this project follows.
+
+mod bitmap;
+mod column;
+pub mod csv;
+mod error;
+mod schema;
+mod table;
+mod value;
+
+pub use bitmap::Bitmap;
+pub use column::{Column, ColumnBuilder};
+pub use error::StorageError;
+pub use schema::{DataType, Field, Schema};
+pub use table::{Table, TableBuilder};
+pub use value::Value;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,71 @@
+//! Quickstart: declare a population, attach metadata, ingest a biased
+//! sample, and compare CLOSED vs SEMI-OPEN answers.
+//!
+//! Run with: `cargo run --release -p mosaic-examples --bin quickstart`
+
+use mosaic_core::MosaicDb;
+
+fn main() {
+    let mut db = MosaicDb::new();
+
+    // 1. An auxiliary table holding a published aggregate report
+    //    (auxiliary relations behave like ordinary SQL tables).
+    db.execute(
+        "CREATE TABLE CityReport (city TEXT, reported_count INT);
+         INSERT INTO CityReport VALUES
+           ('Seattle', 700000), ('Portland', 600000), ('Boise', 200000);",
+    )
+    .expect("aux table");
+
+    // 2. The population we actually care about — it does not (and cannot)
+    //    hold tuples; it's an open-world relation.
+    db.execute("CREATE GLOBAL POPULATION People (city TEXT, age INT);")
+        .expect("population");
+
+    // 3. Bind the report to the population as metadata (a 1-D marginal
+    //    over city).
+    db.execute(
+        "CREATE METADATA People_M1 AS
+           (SELECT city, reported_count FROM CityReport);",
+    )
+    .expect("metadata");
+
+    // 4. A sample of people, heavily skewed toward Seattle.
+    db.execute("CREATE SAMPLE SurveySample AS (SELECT * FROM People);")
+        .expect("sample");
+    let mut rows = String::from("INSERT INTO SurveySample VALUES ");
+    let mut parts = Vec::new();
+    for i in 0..80 {
+        parts.push(format!("('Seattle', {})", 20 + i % 50));
+    }
+    for i in 0..15 {
+        parts.push(format!("('Portland', {})", 25 + i % 40));
+    }
+    for i in 0..5 {
+        parts.push(format!("('Boise', {})", 30 + i % 30));
+    }
+    rows.push_str(&parts.join(", "));
+    db.execute(&rows).expect("ingest");
+
+    // 5. CLOSED: the raw sample — Seattle looks like 80% of the world.
+    let closed = db
+        .execute("SELECT CLOSED city, COUNT(*) FROM People GROUP BY city ORDER BY city")
+        .expect("closed query");
+    println!("CLOSED (raw biased sample):\n{}", closed.table);
+
+    // 6. SEMI-OPEN: Mosaic reweights the sample with IPF so the city
+    //    marginal is satisfied — population-scale counts come out.
+    let semi = db
+        .execute("SELECT SEMI-OPEN city, COUNT(*) FROM People GROUP BY city ORDER BY city")
+        .expect("semi-open query");
+    println!("SEMI-OPEN (IPF-debiased):\n{}", semi.table);
+    for note in &semi.notes {
+        println!("note: {note}");
+    }
+
+    // The weighted AVG works the same way.
+    let avg = db
+        .execute("SELECT SEMI-OPEN AVG(age) FROM People")
+        .expect("avg");
+    println!("\nSEMI-OPEN AVG(age):\n{}", avg.table);
+}

@@ -1,0 +1,192 @@
+//! OPEN query processing across the full stack: tuple generation with the
+//! M-SWG and Bayesian-network backends, model caching, and the §3.3
+//! false-negative/false-positive semantics.
+
+use mosaic_bn::BnConfig;
+use mosaic_core::{MosaicDb, OpenBackend, Value, Visibility};
+use mosaic_swg::SwgConfig;
+
+fn tiny_swg() -> SwgConfig {
+    SwgConfig {
+        hidden_dim: 24,
+        hidden_layers: 2,
+        latent_dim: Some(4),
+        lambda: 0.0,
+        projections: 16,
+        batch_size: 128,
+        epochs: 60,
+        steps_per_epoch: Some(2),
+        learning_rate: 5e-3,
+        seed: 3,
+        ..SwgConfig::default()
+    }
+}
+
+/// A world with two categorical attributes where the sample only covers
+/// one provider (the §2 shape, shrunk).
+fn setup(backend: OpenBackend) -> MosaicDb {
+    let mut db = MosaicDb::new();
+    db.options_mut().open.backend = backend;
+    db.options_mut().open.num_generated = 4;
+    db.options_mut().open.rows_per_sample = Some(600);
+    db.execute(
+        "CREATE TABLE Report (country TEXT, email TEXT, reported_count INT);
+         INSERT INTO Report (country, reported_count) VALUES ('UK', 600), ('FR', 400);
+         INSERT INTO Report (email, reported_count) VALUES ('Yahoo', 300), ('AOL', 700);
+         CREATE GLOBAL POPULATION Migrants (country TEXT, email TEXT);
+         CREATE METADATA Migrants_M1 AS
+           (SELECT country, reported_count FROM Report WHERE country IS NOT NULL);
+         CREATE METADATA Migrants_M2 AS
+           (SELECT email, reported_count FROM Report WHERE email IS NOT NULL);
+         CREATE SAMPLE YahooSample AS (SELECT * FROM Migrants WHERE email = 'Yahoo');",
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for _ in 0..30 {
+        rows.push("('UK','Yahoo')");
+    }
+    for _ in 0..20 {
+        rows.push("('FR','Yahoo')");
+    }
+    db.execute(&format!(
+        "INSERT INTO YahooSample VALUES {}",
+        rows.join(",")
+    ))
+    .unwrap();
+    db
+}
+
+#[test]
+fn open_generates_missing_email_providers() {
+    let mut db = setup(OpenBackend::Swg(tiny_swg()));
+    let open = db
+        .execute(
+            "SELECT OPEN email, COUNT(*) FROM Migrants GROUP BY email ORDER BY email",
+        )
+        .unwrap();
+    assert_eq!(open.visibility, Some(Visibility::Open));
+    let emails: Vec<String> = (0..open.table.num_rows())
+        .map(|r| open.table.value(r, 0).to_string())
+        .collect();
+    assert!(
+        emails.iter().any(|e| e == "AOL"),
+        "OPEN answer should contain the AOL provider missing from the sample; got {emails:?}"
+    );
+    // And the counts are at population scale (total ~1000).
+    let total: f64 = (0..open.table.num_rows())
+        .filter_map(|r| open.table.value(r, 1).as_f64())
+        .sum();
+    assert!(
+        (500.0..1500.0).contains(&total),
+        "population-scale total, got {total}"
+    );
+}
+
+#[test]
+fn semi_open_cannot_generate_missing_providers() {
+    let mut db = setup(OpenBackend::Swg(tiny_swg()));
+    let semi = db
+        .execute("SELECT SEMI-OPEN email, COUNT(*) FROM Migrants GROUP BY email")
+        .unwrap();
+    for r in 0..semi.table.num_rows() {
+        assert_eq!(
+            semi.table.value(r, 0),
+            Value::Str("Yahoo".into()),
+            "SEMI-OPEN must not invent tuples (zero false positives)"
+        );
+    }
+}
+
+#[test]
+fn bayes_net_backend_also_answers_open_queries() {
+    let mut db = setup(OpenBackend::BayesNet(BnConfig::default()));
+    let open = db
+        .execute("SELECT OPEN country, COUNT(*) FROM Migrants GROUP BY country ORDER BY country")
+        .unwrap();
+    assert!(open.table.num_rows() >= 2);
+    // Country marginal should be roughly respected (IPF-weighted fit):
+    // UK 600 vs FR 400.
+    let fr = open.table.value(0, 1).as_f64().unwrap();
+    let uk = open.table.value(1, 1).as_f64().unwrap();
+    assert!(uk > fr, "UK {uk} should exceed FR {fr}");
+}
+
+#[test]
+fn model_cache_hits_on_repeat_queries() {
+    let mut db = setup(OpenBackend::Swg(tiny_swg()));
+    let first = db
+        .execute("SELECT OPEN COUNT(*) FROM Migrants")
+        .unwrap();
+    assert!(
+        first.notes.iter().any(|n| n.contains("trained")),
+        "first OPEN query trains: {:?}",
+        first.notes
+    );
+    let second = db.execute("SELECT OPEN COUNT(*) FROM Migrants").unwrap();
+    assert!(
+        second.notes.iter().any(|n| n.contains("cache hit")),
+        "second OPEN query reuses the model: {:?}",
+        second.notes
+    );
+    // Mutating the catalog invalidates the cache.
+    db.execute("INSERT INTO YahooSample VALUES ('UK','Yahoo')")
+        .unwrap();
+    let third = db.execute("SELECT OPEN COUNT(*) FROM Migrants").unwrap();
+    assert!(
+        third.notes.iter().any(|n| n.contains("trained")),
+        "catalog mutation retrains: {:?}",
+        third.notes
+    );
+}
+
+#[test]
+fn open_answers_are_deterministic_given_seed() {
+    let mut db1 = setup(OpenBackend::Swg(tiny_swg()));
+    let mut db2 = setup(OpenBackend::Swg(tiny_swg()));
+    let a = db1.execute("SELECT OPEN COUNT(*) FROM Migrants").unwrap();
+    let b = db2.execute("SELECT OPEN COUNT(*) FROM Migrants").unwrap();
+    assert_eq!(
+        a.table.value(0, 0),
+        b.table.value(0, 0),
+        "same seed, same answer"
+    );
+}
+
+#[test]
+fn non_aggregate_open_query_returns_generated_tuples() {
+    let mut db = setup(OpenBackend::Swg(tiny_swg()));
+    let r = db
+        .execute("SELECT OPEN country, email FROM Migrants LIMIT 50")
+        .unwrap();
+    assert!(r.table.num_rows() > 0 && r.table.num_rows() <= 50);
+    assert!(r
+        .notes
+        .iter()
+        .any(|n| n.contains("non-aggregate OPEN query")));
+}
+
+#[test]
+fn open_requires_metadata() {
+    let mut db = MosaicDb::new();
+    db.options_mut().open.backend = OpenBackend::Swg(tiny_swg());
+    db.execute(
+        "CREATE GLOBAL POPULATION P (a TEXT);
+         CREATE SAMPLE S AS (SELECT * FROM P);
+         INSERT INTO S VALUES ('x');",
+    )
+    .unwrap();
+    assert!(db.execute("SELECT OPEN COUNT(*) FROM P").is_err());
+}
+
+#[test]
+fn open_count_tracks_marginal_total() {
+    let mut db = setup(OpenBackend::Swg(tiny_swg()));
+    let r = db.execute("SELECT OPEN COUNT(*) FROM Migrants").unwrap();
+    let count = r.table.value(0, 0).as_f64().unwrap();
+    // Marginal total is 1000; generated samples are uniformly reweighted
+    // to it.
+    assert!(
+        (900.0..1100.0).contains(&count),
+        "OPEN COUNT(*) = {count}, want ~1000"
+    );
+}

@@ -1,0 +1,194 @@
+//! Property-based tests on the cross-crate invariants that hold for *any*
+//! data: IPF satisfies reachable marginals, weighted aggregates equal
+//! their manual rewrite, Wasserstein metric axioms, encoder round-trips,
+//! and parser total-ness on generated queries.
+
+use std::collections::HashMap;
+
+use mosaic_core::run_select;
+use mosaic_sql::{parse, Statement};
+use mosaic_stats::{
+    wasserstein_1d, Ipf, IpfConfig, Marginal, WassersteinOrder, WeightedEmpirical,
+};
+use mosaic_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
+use mosaic_swg::Encoder;
+use proptest::prelude::*;
+
+fn small_cat_table(cats: &[u8]) -> Table {
+    let schema = Schema::new(vec![Field::new("c", DataType::Str)]);
+    let mut b = TableBuilder::new(schema);
+    for &c in cats {
+        b.push_row(vec![Value::Str(format!("v{}", c % 4))]).unwrap();
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// IPF always reproduces a 1-D marginal exactly on the categories the
+    /// sample contains, for any sample composition and any positive
+    /// targets.
+    #[test]
+    fn ipf_satisfies_reachable_marginal(
+        cats in proptest::collection::vec(0u8..4, 1..60),
+        targets in proptest::collection::vec(1.0f64..1000.0, 4),
+    ) {
+        let table = small_cat_table(&cats);
+        let mut m = Marginal::new(vec!["c".into()]);
+        for (i, &t) in targets.iter().enumerate() {
+            m.add(vec![Value::Str(format!("v{i}"))], t);
+        }
+        let ipf = Ipf::new(&table, std::slice::from_ref(&m), &HashMap::new()).unwrap();
+        let (w, report) = ipf.fit(None, &IpfConfig::default());
+        prop_assert!(report.converged);
+        // Weighted counts per category match the targets for categories
+        // present in the sample.
+        let mut got = [0.0f64; 4];
+        for (row, &c) in cats.iter().enumerate() {
+            got[(c % 4) as usize] += w[row];
+        }
+        for i in 0..4 {
+            if cats.iter().any(|&c| (c % 4) as usize == i) {
+                prop_assert!((got[i] - targets[i]).abs() < 1e-6,
+                    "cat {i}: got {} want {}", got[i], targets[i]);
+            }
+        }
+    }
+
+    /// Weighted COUNT(*) equals SUM(weight) — the paper's §5.3 rewrite —
+    /// for any weights, and weighted AVG lies within the data range.
+    #[test]
+    fn weighted_aggregates_match_rewrite(
+        vals in proptest::collection::vec(-100.0f64..100.0, 1..50),
+        raw_weights in proptest::collection::vec(0.1f64..10.0, 50),
+    ) {
+        let weights = &raw_weights[..vals.len()];
+        let schema = Schema::new(vec![Field::new("x", DataType::Float)]);
+        let mut b = TableBuilder::new(schema);
+        for &v in &vals {
+            b.push_row(vec![v.into()]).unwrap();
+        }
+        let t = b.finish();
+        let stmt = match parse("SELECT COUNT(*), AVG(x), SUM(x) FROM t").unwrap().pop().unwrap() {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let out = run_select(&stmt, &t, Some(weights)).unwrap();
+        let wsum: f64 = weights.iter().sum();
+        prop_assert!((out.value(0, 0).as_f64().unwrap() - wsum).abs() < 1e-9);
+        let avg = out.value(0, 1).as_f64().unwrap();
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+        let manual: f64 = vals.iter().zip(weights).map(|(v, w)| v * w).sum();
+        prop_assert!((out.value(0, 2).as_f64().unwrap() - manual).abs() < 1e-6);
+    }
+
+    /// Exact 1-D Wasserstein is a metric on these inputs: symmetric,
+    /// zero iff identical supports/weights, triangle inequality.
+    #[test]
+    fn wasserstein_metric_axioms(
+        a in proptest::collection::vec((-50.0f64..50.0, 0.1f64..5.0), 1..20),
+        b in proptest::collection::vec((-50.0f64..50.0, 0.1f64..5.0), 1..20),
+        c in proptest::collection::vec((-50.0f64..50.0, 0.1f64..5.0), 1..20),
+    ) {
+        let ea = WeightedEmpirical::from_pairs(a.clone());
+        let eb = WeightedEmpirical::from_pairs(b);
+        let ec = WeightedEmpirical::from_pairs(c);
+        let dab = wasserstein_1d(&ea, &eb, WassersteinOrder::W1);
+        let dba = wasserstein_1d(&eb, &ea, WassersteinOrder::W1);
+        prop_assert!((dab - dba).abs() < 1e-9, "symmetry: {dab} vs {dba}");
+        prop_assert!(dab >= 0.0);
+        let daa = wasserstein_1d(&ea, &ea, WassersteinOrder::W1);
+        prop_assert!(daa.abs() < 1e-9, "identity: {daa}");
+        let dac = wasserstein_1d(&ea, &ec, WassersteinOrder::W1);
+        let dcb = wasserstein_1d(&ec, &eb, WassersteinOrder::W1);
+        prop_assert!(dab <= dac + dcb + 1e-7, "triangle: {dab} > {dac} + {dcb}");
+    }
+
+    /// Encoder round trip: decode(encode(t)) == t for any mixed table
+    /// (categoricals exact, numerics within float tolerance).
+    #[test]
+    fn encoder_round_trips(
+        rows in proptest::collection::vec((0u8..5, -1000i64..1000, -10.0f64..10.0), 1..40),
+    ) {
+        let schema = Schema::new(vec![
+            Field::new("c", DataType::Str),
+            Field::new("i", DataType::Int),
+            Field::new("f", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (c, i, f) in &rows {
+            b.push_row(vec![Value::Str(format!("k{c}")), (*i).into(), (*f).into()]).unwrap();
+        }
+        let t = b.finish();
+        let enc = Encoder::fit(&t, &HashMap::new());
+        let m = enc.encode_table(&t).unwrap();
+        let back = enc.decode_matrix(&m);
+        for r in 0..t.num_rows() {
+            prop_assert_eq!(back.value(r, 0), t.value(r, 0));
+            prop_assert_eq!(back.value(r, 1), t.value(r, 1));
+            let orig = t.value(r, 2).as_f64().unwrap();
+            let dec = back.value(r, 2).as_f64().unwrap();
+            prop_assert!((orig - dec).abs() < 1e-6 * (1.0 + orig.abs()));
+        }
+    }
+
+    /// The parser never panics and, on round-trippable queries, produces a
+    /// SELECT with the same projection arity.
+    #[test]
+    fn parser_handles_generated_selects(
+        ncols in 1usize..5,
+        vis in 0u8..4,
+        limit in proptest::option::of(0usize..100),
+    ) {
+        let cols: Vec<String> = (0..ncols).map(|i| format!("col{i}")).collect();
+        let vis_kw = match vis {
+            0 => "",
+            1 => "CLOSED ",
+            2 => "SEMI-OPEN ",
+            _ => "OPEN ",
+        };
+        let mut q = format!("SELECT {}{}", vis_kw, cols.join(", "));
+        q.push_str(" FROM rel WHERE col0 > 1 AND col0 < 100");
+        if let Some(l) = limit {
+            q.push_str(&format!(" LIMIT {l}"));
+        }
+        let stmts = parse(&q).unwrap();
+        match &stmts[0] {
+            Statement::Select(s) => {
+                prop_assert_eq!(s.items.len(), ncols);
+                prop_assert_eq!(s.limit, limit);
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// Filters through the executor always return a subset of rows, and
+    /// the predicate holds on every returned row.
+    #[test]
+    fn filter_soundness(
+        vals in proptest::collection::vec(-100i64..100, 0..60),
+        threshold in -100i64..100,
+    ) {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let mut b = TableBuilder::new(schema);
+        for &v in &vals {
+            b.push_row(vec![v.into()]).unwrap();
+        }
+        let t = b.finish();
+        let stmt = match parse(&format!("SELECT x FROM t WHERE x > {threshold}"))
+            .unwrap().pop().unwrap()
+        {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let out = run_select(&stmt, &t, None).unwrap();
+        let expect = vals.iter().filter(|&&v| v > threshold).count();
+        prop_assert_eq!(out.num_rows(), expect);
+        for r in 0..out.num_rows() {
+            prop_assert!(out.value(r, 0).as_i64().unwrap() > threshold);
+        }
+    }
+}
