@@ -30,13 +30,10 @@ fn bench_ipf(c: &mut Criterion) {
         // Varying marginal counts at fixed size.
         if pop == 10_000 {
             for k in 1..=4usize {
-                let ipf_k =
-                    Ipf::new(&data.sample, &data.marginals[..k], &data.binners).unwrap();
-                group.bench_with_input(
-                    BenchmarkId::new("fit_marginals", k),
-                    &ipf_k,
-                    |b, ipf| b.iter(|| ipf.fit(None, black_box(&cfg))),
-                );
+                let ipf_k = Ipf::new(&data.sample, &data.marginals[..k], &data.binners).unwrap();
+                group.bench_with_input(BenchmarkId::new("fit_marginals", k), &ipf_k, |b, ipf| {
+                    b.iter(|| ipf.fit(None, black_box(&cfg)))
+                });
             }
         }
     }

@@ -1,11 +1,13 @@
 //! Criterion bench: end-to-end query latency through the Mosaic engine at
 //! each visibility level (OPEN excluded — model training is measured in
 //! `swg_step`; here the model cache is warm so OPEN measures generation +
-//! combine).
+//! combine), plus a direct vectorized-vs-row-at-a-time executor
+//! comparison on a 100k-row filter + group-by aggregate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mosaic_bench::flights::{self, FlightsConfig};
-use mosaic_core::{MosaicDb, OpenBackend};
+use mosaic_core::{run_select, run_select_rowwise, MosaicDb, OpenBackend};
+use mosaic_sql::{parse, SelectStmt, Statement};
 use mosaic_swg::SwgConfig;
 use std::hint::black_box;
 
@@ -38,7 +40,8 @@ fn setup_db() -> MosaicDb {
     for (attr, binner) in &data.binners {
         db.register_binner(attr, binner.clone());
     }
-    db.ingest_sample("FlightSample", data.sample.clone()).unwrap();
+    db.ingest_sample("FlightSample", data.sample.clone())
+        .unwrap();
     db
 }
 
@@ -48,7 +51,8 @@ fn bench_queries(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(900));
-    let q = "carrier, COUNT(*), AVG(distance) FROM Flights WHERE elapsed_time > 120 GROUP BY carrier";
+    let q =
+        "carrier, COUNT(*), AVG(distance) FROM Flights WHERE elapsed_time > 120 GROUP BY carrier";
     group.bench_function("closed_group_by", |b| {
         b.iter(|| black_box(db.execute(&format!("SELECT CLOSED {q}")).unwrap()))
     });
@@ -72,5 +76,56 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries);
+fn stmt(src: &str) -> SelectStmt {
+    match parse(src).unwrap().pop().unwrap() {
+        Statement::Select(s) => s,
+        other => panic!("not a select: {other:?}"),
+    }
+}
+
+/// Vectorized plan vs. the retained row-at-a-time oracle on a 100k-row
+/// flights table: filter + group-by aggregate (the acceptance benchmark
+/// for the physical-plan layer), plus a filter-only query to isolate the
+/// predicate kernels.
+fn bench_vectorized_vs_rowwise(c: &mut Criterion) {
+    let data = flights::generate(&FlightsConfig {
+        population: 100_000,
+        marginal_bins: 16,
+        ..FlightsConfig::default()
+    });
+    let table = data.population;
+    assert_eq!(table.num_rows(), 100_000);
+    let weights = vec![1.7; table.num_rows()];
+    let agg = stmt(
+        "SELECT carrier, COUNT(*), AVG(distance), MAX(elapsed_time) \
+         FROM t WHERE elapsed_time > 120 AND distance < 2200 GROUP BY carrier",
+    );
+    let filter = stmt("SELECT carrier, distance FROM t WHERE distance > 800");
+
+    let mut group = c.benchmark_group("vectorized_vs_rowwise_100k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("filter_agg_vectorized", |b| {
+        b.iter(|| black_box(run_select(&agg, &table, None).unwrap()))
+    });
+    group.bench_function("filter_agg_rowwise", |b| {
+        b.iter(|| black_box(run_select_rowwise(&agg, &table, None).unwrap()))
+    });
+    group.bench_function("filter_agg_weighted_vectorized", |b| {
+        b.iter(|| black_box(run_select(&agg, &table, Some(&weights)).unwrap()))
+    });
+    group.bench_function("filter_agg_weighted_rowwise", |b| {
+        b.iter(|| black_box(run_select_rowwise(&agg, &table, Some(&weights)).unwrap()))
+    });
+    group.bench_function("filter_only_vectorized", |b| {
+        b.iter(|| black_box(run_select(&filter, &table, None).unwrap()))
+    });
+    group.bench_function("filter_only_rowwise", |b| {
+        b.iter(|| black_box(run_select_rowwise(&filter, &table, None).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_vectorized_vs_rowwise);
 criterion_main!(benches);

@@ -29,9 +29,7 @@ fn bench_swg(c: &mut Criterion) {
             BenchmarkId::new("train_4_steps_batch", batch),
             &cfg,
             |b, cfg| {
-                b.iter(|| {
-                    MSwg::fit(black_box(&data.sample), &data.marginals, cfg.clone()).unwrap()
-                })
+                b.iter(|| MSwg::fit(black_box(&data.sample), &data.marginals, cfg.clone()).unwrap())
             },
         );
     }
@@ -47,9 +45,7 @@ fn bench_swg(c: &mut Criterion) {
             BenchmarkId::new("train_4_steps_hidden", hidden),
             &cfg,
             |b, cfg| {
-                b.iter(|| {
-                    MSwg::fit(black_box(&data.sample), &data.marginals, cfg.clone()).unwrap()
-                })
+                b.iter(|| MSwg::fit(black_box(&data.sample), &data.marginals, cfg.clone()).unwrap())
             },
         );
     }
@@ -59,7 +55,7 @@ fn bench_swg(c: &mut Criterion) {
         batch_size: 256,
         ..SwgConfig::paper_spiral()
     };
-    let mut model = MSwg::fit(&data.sample, &data.marginals, cfg).unwrap();
+    let model = MSwg::fit(&data.sample, &data.marginals, cfg).unwrap();
     group.bench_function("generate_10k_rows", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(3);

@@ -20,33 +20,43 @@ fn bench_wasserstein(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000, 100_000] {
         let a = WeightedEmpirical::from_values((0..n).map(|_| standard_normal(&mut rng)));
         let b = WeightedEmpirical::from_values((0..n).map(|_| 1.0 + standard_normal(&mut rng)));
-        group.bench_with_input(BenchmarkId::new("exact_1d_w1", n), &(a, b), |bch, (a, b)| {
-            bch.iter(|| wasserstein_1d(black_box(a), black_box(b), WassersteinOrder::W1))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact_1d_w1", n),
+            &(a, b),
+            |bch, (a, b)| {
+                bch.iter(|| wasserstein_1d(black_box(a), black_box(b), WassersteinOrder::W1))
+            },
+        );
     }
     // Sliced W over 2-D clouds vs projection count.
     let cloud_a: Vec<(Vec<f64>, f64)> = (0..2000)
-        .map(|_| (vec![standard_normal(&mut rng), standard_normal(&mut rng)], 1.0))
+        .map(|_| {
+            (
+                vec![standard_normal(&mut rng), standard_normal(&mut rng)],
+                1.0,
+            )
+        })
         .collect();
     let cloud_b: Vec<(Vec<f64>, f64)> = (0..2000)
-        .map(|_| (vec![2.0 + standard_normal(&mut rng), standard_normal(&mut rng)], 1.0))
+        .map(|_| {
+            (
+                vec![2.0 + standard_normal(&mut rng), standard_normal(&mut rng)],
+                1.0,
+            )
+        })
         .collect();
     for &p in &[10usize, 100, 1000] {
         let proj = random_unit_vectors(2, p, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("sliced_2d", p),
-            &proj,
-            |bch, proj| {
-                bch.iter(|| {
-                    sliced_wasserstein(
-                        black_box(&cloud_a),
-                        black_box(&cloud_b),
-                        proj,
-                        WassersteinOrder::W2Squared,
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sliced_2d", p), &proj, |bch, proj| {
+            bch.iter(|| {
+                sliced_wasserstein(
+                    black_box(&cloud_a),
+                    black_box(&cloud_b),
+                    proj,
+                    WassersteinOrder::W2Squared,
+                )
+            })
+        });
     }
     group.finish();
 }

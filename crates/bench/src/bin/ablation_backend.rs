@@ -5,7 +5,9 @@
 //!
 //! Usage: `cargo run --release -p mosaic-bench --bin ablation_backend [--full]`
 
-use mosaic_bench::experiments::{answer, answer_error, combine_generated_answers, fig7_prepare, Fig7Config};
+use mosaic_bench::experiments::{
+    answer, answer_error, combine_generated_answers, fig7_prepare, Fig7Config,
+};
 use mosaic_bench::flights::{table2_queries, FlightsConfig};
 use mosaic_bn::{BayesNet, BnConfig};
 use rand::rngs::StdRng;
@@ -34,8 +36,8 @@ fn main() {
     let w = pop_n / n as f64;
 
     // Bayesian network on the IPF-reweighted sample.
-    let bn = BayesNet::fit(&data.sample, Some(&art.ipf_weights), &BnConfig::default())
-        .expect("bn fits");
+    let bn =
+        BayesNet::fit(&data.sample, Some(&art.ipf_weights), &BnConfig::default()).expect("bn fits");
     let mut rng = StdRng::seed_from_u64(13);
     let bn_tables: Vec<_> = (0..config.generated_samples)
         .map(|_| bn.sample(n, &mut rng))

@@ -64,42 +64,37 @@ fn main() {
         "lambda", "W1(x)", "W1(y)", "mean NN->pop"
     );
     // The per-λ trainings are independent; run them on scoped threads.
-    let results: Vec<(f64, f64, f64, f64)> = crossbeam::thread::scope(|s| {
+    let results: Vec<(f64, f64, f64, f64)> = std::thread::scope(|s| {
         let handles: Vec<_> = lambdas
             .iter()
             .map(|&lambda| {
                 let data = &data;
                 let pop_x = &pop_x;
                 let pop_y = &pop_y;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let cfg = SwgConfig {
                         lambda,
                         epochs: if full { 50 } else { 25 },
                         batch_size: 256,
                         ..SwgConfig::paper_spiral()
                     };
-                    let mut model =
-                        MSwg::fit(&data.sample, &data.marginals, cfg).expect("fit");
+                    let model = MSwg::fit(&data.sample, &data.marginals, cfg).expect("fit");
                     let mut rng = StdRng::seed_from_u64(5);
                     let gen = model.generate(data.sample.num_rows(), &mut rng);
-                    let wx = wasserstein_1d(
-                        &column_empirical(&gen, "x"),
-                        pop_x,
-                        WassersteinOrder::W1,
-                    );
-                    let wy = wasserstein_1d(
-                        &column_empirical(&gen, "y"),
-                        pop_y,
-                        WassersteinOrder::W1,
-                    );
+                    let wx =
+                        wasserstein_1d(&column_empirical(&gen, "x"), pop_x, WassersteinOrder::W1);
+                    let wy =
+                        wasserstein_1d(&column_empirical(&gen, "y"), pop_y, WassersteinOrder::W1);
                     let nn = mean_nn(&gen, &data.population);
                     (lambda, wx, wy, nn)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("λ run")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("λ run"))
+            .collect()
+    });
     for (lambda, wx, wy, nn) in results {
         println!("{lambda:>8.3} {wx:>12.5} {wy:>12.5} {nn:>14.5}");
     }

@@ -21,7 +21,10 @@ fn main() {
         }
     };
     println!("Ablation A3: matching loss (spiral, Fig. 6 protocol)");
-    for (name, order) in [("W1", WassersteinOrder::W1), ("W2^2", WassersteinOrder::W2Squared)] {
+    for (name, order) in [
+        ("W1", WassersteinOrder::W1),
+        ("W2^2", WassersteinOrder::W2Squared),
+    ] {
         let config = Fig6Config {
             spiral: spiral.clone(),
             swg: SwgConfig {

@@ -46,7 +46,10 @@ fn main() {
 
     // Ground truth over the derived population.
     let long_rows: Vec<usize> = {
-        let d = data.population.column_by_name("distance").expect("distance");
+        let d = data
+            .population
+            .column_by_name("distance")
+            .expect("distance");
         (0..data.population.num_rows())
             .filter(|&r| d.f64_at(r).unwrap_or(0.0) > 1000.0)
             .collect()
@@ -86,7 +89,10 @@ fn main() {
     let q = "SELECT SEMI-OPEN AVG(elapsed_time) FROM LongFlights";
     println!("Ablation A4: metadata path (Fig. 3), query: {q}");
     println!("ground truth AVG(elapsed_time | distance>1000): {truth_avg:.2}");
-    for (name, db) in [("GP metadata (left path)", &mut db_gp), ("query-pop metadata (bottom path)", &mut db_qp)] {
+    for (name, db) in [
+        ("GP metadata (left path)", &mut db_gp),
+        ("query-pop metadata (bottom path)", &mut db_qp),
+    ] {
         let result = db.execute(q).expect("query");
         let est = result.table.value(0, 0).as_f64().expect("avg");
         println!(

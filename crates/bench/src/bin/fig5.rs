@@ -98,16 +98,11 @@ fn main() {
         spiral_cfg.population, spiral_cfg.sample
     );
     let data = spiral::generate(&spiral_cfg);
-    let mut model = MSwg::fit_with_progress(
-        &data.sample,
-        &data.marginals,
-        swg_cfg,
-        |epoch, loss| {
-            if epoch % 5 == 0 {
-                eprintln!("  epoch {epoch}: loss {loss:.5}");
-            }
-        },
-    )
+    let model = MSwg::fit_with_progress(&data.sample, &data.marginals, swg_cfg, |epoch, loss| {
+        if epoch % 5 == 0 {
+            eprintln!("  epoch {epoch}: loss {loss:.5}");
+        }
+    })
     .expect("M-SWG fits");
     let mut rng = StdRng::seed_from_u64(99);
     let generated = model.generate(data.sample.num_rows(), &mut rng);
@@ -120,8 +115,14 @@ fn main() {
     eprintln!("wrote {out_dir}/population.csv, biased_sample.csv, mswg_sample.csv");
 
     println!("Figure 5 (quantitative): marginal fit and manifold fit");
-    println!("{:<18} {:>12} {:>12} {:>16}", "dataset", "W1(x)", "W1(y)", "mean NN->pop");
-    for (name, table) in [("biased sample", &data.sample), ("M-SWG sample", &generated)] {
+    println!(
+        "{:<18} {:>12} {:>12} {:>16}",
+        "dataset", "W1(x)", "W1(y)", "mean NN->pop"
+    );
+    for (name, table) in [
+        ("biased sample", &data.sample),
+        ("M-SWG sample", &generated),
+    ] {
         let wx = marginal_w1(table, "x", &data.marginals[0]);
         let wy = marginal_w1(table, "y", &data.marginals[1]);
         let nn = mean_nn_distance(table, &data.population, 2000);

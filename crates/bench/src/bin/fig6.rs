@@ -54,9 +54,9 @@ fn main() {
         "Paper claim: M-SWG outperforms Unif at every coverage except the \
          narrowest boxes, where both methods have high error."
     );
-    let wins = rows
-        .iter()
-        .filter(|r| r.mswg.mean < r.unif.mean)
-        .count();
-    println!("M-SWG wins {wins}/{} coverage levels on mean error.", rows.len());
+    let wins = rows.iter().filter(|r| r.mswg.mean < r.unif.mean).count();
+    println!(
+        "M-SWG wins {wins}/{} coverage levels on mean error.",
+        rows.len()
+    );
 }

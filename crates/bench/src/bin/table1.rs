@@ -42,9 +42,7 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "Paper values: carrier 14, taxi_out 1, taxi_in 1, elapsed_time 1, distance 1."
-    );
+    println!("Paper values: carrier 14, taxi_out 1, taxi_in 1, elapsed_time 1, distance 1.");
     println!(
         "population rows: {} | sample rows: {} (5% biased, 95% long flights)",
         data.population.num_rows(),

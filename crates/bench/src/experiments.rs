@@ -75,8 +75,7 @@ pub fn answer_error(
     if truth.is_empty() || estimate.is_empty() {
         return None;
     }
-    let est: HashMap<&Option<String>, f64> =
-        estimate.iter().map(|(k, v)| (k, *v)).collect();
+    let est: HashMap<&Option<String>, f64> = estimate.iter().map(|(k, v)| (k, *v)).collect();
     let diffs: Vec<f64> = truth
         .iter()
         .filter_map(|(k, t)| group_percent_diff(est.get(k).copied(), Some(*t)))
@@ -136,7 +135,7 @@ pub struct Fig6Row {
 pub fn fig6(config: &Fig6Config) -> Vec<Fig6Row> {
     let data = spiral::generate(&config.spiral);
     let pop_n = data.population.num_rows() as f64;
-    let mut model =
+    let model =
         MSwg::fit(&data.sample, &data.marginals, config.swg.clone()).expect("spiral M-SWG fits");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let gen_tables: Vec<Table> = (0..config.generated_samples)
@@ -243,7 +242,7 @@ pub fn fig7_prepare(config: &Fig7Config) -> Fig7Artifacts {
     let data = flights::generate(&config.flights);
     let ipf = Ipf::new(&data.sample, &data.marginals, &data.binners).expect("ipf indexes");
     let (ipf_weights, _report) = ipf.fit(None, &config.ipf);
-    let mut model =
+    let model =
         MSwg::fit(&data.sample, &data.marginals, config.swg.clone()).expect("flights M-SWG fits");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let generated = (0..config.generated_samples)

@@ -116,11 +116,11 @@ fn generate_row<R: Rng + ?Sized>(rng: &mut R) -> (usize, i64, i64, i64, i64) {
     let c = sample_carrier(rng);
     // Carrier flavor: low-cost short-haul carriers fly shorter routes.
     let long_haul_share = match c {
-        0 => 0.25,  // WN: mostly short hops
-        1 | 2 | 3 => 0.45, // AA/DL/UA: mixed networks
-        9 => 0.70,  // HA: island long hauls
-        10 => 0.30, // US
-        11 => 0.35, // F9
+        0 => 0.25,     // WN: mostly short hops
+        1..=3 => 0.45, // AA/DL/UA: mixed networks
+        9 => 0.70,     // HA: island long hauls
+        10 => 0.30,    // US
+        11 => 0.35,    // F9
         _ => 0.30,
     };
     let distance = if rng.random::<f64>() < long_haul_share {
@@ -132,11 +132,13 @@ fn generate_row<R: Rng + ?Sized>(rng: &mut R) -> (usize, i64, i64, i64, i64) {
     };
     // Hub congestion: big networks taxi longer.
     let taxi_base = match c {
-        1 | 2 | 3 => 18.0,
+        1..=3 => 18.0,
         0 => 13.0,
         _ => 15.0,
     };
-    let taxi_out = (taxi_base + 4.0 * standard_normal(rng)).clamp(3.0, 60.0).round();
+    let taxi_out = (taxi_base + 4.0 * standard_normal(rng))
+        .clamp(3.0, 60.0)
+        .round();
     let taxi_in = (6.0 + 0.3 * taxi_base + 2.5 * standard_normal(rng))
         .clamp(2.0, 40.0)
         .round();
@@ -146,7 +148,13 @@ fn generate_row<R: Rng + ?Sized>(rng: &mut R) -> (usize, i64, i64, i64, i64) {
     let elapsed = (air + taxi_out + taxi_in + 6.0 * standard_normal(rng))
         .max(20.0)
         .round();
-    (c, taxi_out as i64, taxi_in as i64, elapsed as i64, distance as i64)
+    (
+        c,
+        taxi_out as i64,
+        taxi_in as i64,
+        elapsed as i64,
+        distance as i64,
+    )
 }
 
 /// Generate the population, the biased sample, and the paper's marginals.
@@ -194,8 +202,7 @@ pub fn from_population(population: Table, config: &FlightsConfig) -> FlightsData
     // selection bias is never a clean one-attribute cut, and this tilt is
     // exactly what the published (D,E)/(O,E) marginals let IPF and the
     // M-SWG correct while Unif cannot.
-    let sample_size =
-        ((population.num_rows() as f64) * config.sample_fraction).round() as usize;
+    let sample_size = ((population.num_rows() as f64) * config.sample_fraction).round() as usize;
     let n_long = ((sample_size as f64) * config.long_flight_bias).round() as usize;
     let n_short = sample_size.saturating_sub(n_long);
     let dist_col = population.column_by_name("distance").expect("distance");
@@ -339,8 +346,7 @@ mod tests {
             syy += y * y;
             sxy += x * y;
         }
-        let corr = (n * sxy - sx * sy)
-            / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
+        let corr = (n * sxy - sx * sy) / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
         assert!(corr > 0.9, "corr {corr}");
     }
 
@@ -365,7 +371,10 @@ mod tests {
     fn marginals_cover_the_four_pairs() {
         let d = tiny();
         assert_eq!(d.marginals.len(), 4);
-        assert_eq!(d.marginals[0].attrs(), &["carrier".to_string(), "elapsed_time".into()]);
+        assert_eq!(
+            d.marginals[0].attrs(),
+            &["carrier".to_string(), "elapsed_time".into()]
+        );
         for m in &d.marginals {
             assert!((m.total() - 20_000.0).abs() < 1e-6);
         }

@@ -132,7 +132,10 @@ pub fn count_in_box(table: &Table, x0: f64, x1: f64, y0: f64, y1: f64) -> f64 {
     let ys = table.column_by_name("y").expect("y");
     let mut c = 0.0;
     for r in 0..table.num_rows() {
-        let (x, y) = (xs.f64_at(r).unwrap_or(f64::NAN), ys.f64_at(r).unwrap_or(f64::NAN));
+        let (x, y) = (
+            xs.f64_at(r).unwrap_or(f64::NAN),
+            ys.f64_at(r).unwrap_or(f64::NAN),
+        );
         if x >= x0 && x <= x1 && y >= y0 && y <= y1 {
             c += 1.0;
         }
@@ -141,6 +144,7 @@ pub fn count_in_box(table: &Table, x0: f64, x1: f64, y0: f64, y1: f64) -> f64 {
 }
 
 /// Weighted count in a box.
+#[allow(clippy::needless_range_loop)]
 pub fn weighted_count_in_box(
     table: &Table,
     weights: &[f64],
@@ -153,7 +157,10 @@ pub fn weighted_count_in_box(
     let ys = table.column_by_name("y").expect("y");
     let mut c = 0.0;
     for r in 0..table.num_rows() {
-        let (x, y) = (xs.f64_at(r).unwrap_or(f64::NAN), ys.f64_at(r).unwrap_or(f64::NAN));
+        let (x, y) = (
+            xs.f64_at(r).unwrap_or(f64::NAN),
+            ys.f64_at(r).unwrap_or(f64::NAN),
+        );
         if x >= x0 && x <= x1 && y >= y0 && y <= y1 {
             c += weights[r];
         }
@@ -200,7 +207,12 @@ mod tests {
     #[test]
     fn population_roughly_in_unit_square() {
         let d = tiny();
-        let (minx, maxx) = d.population.column_by_name("x").unwrap().numeric_range().unwrap();
+        let (minx, maxx) = d
+            .population
+            .column_by_name("x")
+            .unwrap()
+            .numeric_range()
+            .unwrap();
         assert!(minx > -0.3 && maxx < 1.3, "x range [{minx}, {maxx}]");
     }
 

@@ -82,7 +82,11 @@ impl BayesNet {
     /// Fit structure (Chow–Liu maximum-MI spanning tree) and CPTs on a
     /// weighted sample. Pass IPF weights to realize the Themis pipeline;
     /// pass `None` for an unweighted fit.
-    pub fn fit(sample: &Table, weights: Option<&[f64]>, config: &BnConfig) -> Result<BayesNet, BnError> {
+    pub fn fit(
+        sample: &Table,
+        weights: Option<&[f64]>,
+        config: &BnConfig,
+    ) -> Result<BayesNet, BnError> {
         let n = sample.num_rows();
         if n == 0 {
             return Err(BnError::EmptySample);
@@ -226,7 +230,12 @@ impl BayesNet {
                 decode: decodes[u].clone(),
                 cardinality: card,
                 // Remap parent to position in `order`.
-                parent: parent[u].map(|p| order.iter().position(|&x| x == p).expect("parent ordered first")),
+                parent: parent[u].map(|p| {
+                    order
+                        .iter()
+                        .position(|&x| x == p)
+                        .expect("parent ordered first")
+                }),
                 cpt,
             });
         }
@@ -294,10 +303,7 @@ impl BayesNet {
 
     fn state_value_repr(&self, node: &Node, state: usize) -> Value {
         match &node.decode {
-            Decode::Categorical(values) => values
-                .get(state)
-                .cloned()
-                .unwrap_or(Value::Null),
+            Decode::Categorical(values) => values.get(state).cloned().unwrap_or(Value::Null),
             Decode::Binned { binner, integer } => {
                 let mid = binner.midpoint(state);
                 if *integer {
@@ -359,13 +365,7 @@ impl BayesNet {
 }
 
 /// Weighted mutual information between two discretized columns.
-fn mutual_information(
-    a: &[usize],
-    b: &[usize],
-    w: &[f64],
-    card_a: usize,
-    card_b: usize,
-) -> f64 {
+fn mutual_information(a: &[usize], b: &[usize], w: &[f64], card_a: usize, card_b: usize) -> f64 {
     let total: f64 = w.iter().sum();
     if total <= 0.0 {
         return 0.0;
@@ -424,9 +424,9 @@ mod tests {
         let edges = bn.edges();
         // x and y are strongly dependent: the tree must contain the x—y edge.
         assert!(
-            edges.iter().any(|(c, p)| {
-                (c == "x" && p == "y") || (c == "y" && p == "x")
-            }),
+            edges
+                .iter()
+                .any(|(c, p)| { (c == "x" && p == "y") || (c == "y" && p == "x") }),
             "edges: {edges:?}"
         );
     }
@@ -488,7 +488,8 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..1000 {
-            b.push_row(vec![(rng.random::<f64>() * 10.0).into()]).unwrap();
+            b.push_row(vec![(rng.random::<f64>() * 10.0).into()])
+                .unwrap();
         }
         let t = b.finish();
         let bn = BayesNet::fit(&t, None, &BnConfig::default()).unwrap();

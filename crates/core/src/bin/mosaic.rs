@@ -74,10 +74,8 @@ fn main() {
                                     .iter()
                                     .map(|f| format!("{} {}", f.name, f.data_type))
                                     .collect();
-                                let create = format!(
-                                    "CREATE TABLE {table} ({})",
-                                    schema_sql.join(", ")
-                                );
+                                let create =
+                                    format!("CREATE TABLE {table} ({})", schema_sql.join(", "));
                                 match db.execute(&create).and_then(|_| {
                                     // Bulk-insert the rows.
                                     let mut stmts = String::new();

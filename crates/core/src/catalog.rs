@@ -286,7 +286,9 @@ impl Catalog {
         let lower = metadata_name.to_ascii_lowercase();
         for pop in self.populations.values() {
             let p = pop.name.to_ascii_lowercase();
-            if lower.strip_prefix(&p).is_some_and(|rest| rest.starts_with('_'))
+            if lower
+                .strip_prefix(&p)
+                .is_some_and(|rest| rest.starts_with('_'))
                 && candidate.is_none_or(|c| c.name.len() < pop.name.len())
             {
                 candidate = Some(pop);

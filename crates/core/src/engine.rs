@@ -5,17 +5,15 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mosaic_bn::BnConfig;
-use mosaic_sql::{
-    parse, Expr, InsertSource, SelectItem, SelectStmt, Statement, Visibility,
-};
+use mosaic_sql::{parse, Expr, InsertSource, SelectItem, SelectStmt, Statement, Visibility};
 use mosaic_stats::{Binner, Ipf, IpfConfig, Marginal};
-use mosaic_storage::{
-    Column, DataType, Field, Schema, Table, TableBuilder, Value,
-};
+use mosaic_storage::{Column, DataType, Field, Schema, Table, TableBuilder, Value};
 use mosaic_swg::SwgConfig;
 use parking_lot::Mutex;
 
-use crate::catalog::{empty_table, marginal_from_table, Catalog, Mechanism, MetadataEntry, Population, Sample};
+use crate::catalog::{
+    empty_table, marginal_from_table, Catalog, Mechanism, MetadataEntry, Population, Sample,
+};
 use crate::eval::eval_scalar;
 use crate::exec::{apply_order_limit, run_select};
 use crate::models::{BnModel, GenerativeModel, SwgModel};
@@ -115,6 +113,10 @@ impl QueryResult {
     }
 }
 
+/// Fitted generative models keyed by `population|backend`, tagged with
+/// the catalog epoch they were trained at.
+type ModelCache = Mutex<HashMap<String, (u64, Box<dyn GenerativeModel>)>>;
+
 /// The Mosaic database engine.
 ///
 /// See the crate docs for an end-to-end example. All statement execution
@@ -122,7 +124,7 @@ impl QueryResult {
 pub struct MosaicDb {
     catalog: Catalog,
     options: EngineOptions,
-    model_cache: Mutex<HashMap<String, (u64, Box<dyn GenerativeModel>)>>,
+    model_cache: ModelCache,
 }
 
 impl Default for MosaicDb {
@@ -212,7 +214,8 @@ impl MosaicDb {
                         "CREATE TABLE {name} requires a column list"
                     )));
                 }
-                self.catalog.create_aux(&name, Table::empty(Schema::new(fields)))?;
+                self.catalog
+                    .create_aux(&name, Table::empty(Schema::new(fields)))?;
                 Ok(None)
             }
             Statement::CreatePopulation {
@@ -224,9 +227,10 @@ impl MosaicDb {
                 let schema = if !fields.is_empty() {
                     Schema::new(fields)
                 } else if let Some((gp, _, cols)) = &source {
-                    let gp_pop = self.catalog.population(gp).ok_or_else(|| {
-                        MosaicError::Catalog(format!("unknown population {gp}"))
-                    })?;
+                    let gp_pop = self
+                        .catalog
+                        .population(gp)
+                        .ok_or_else(|| MosaicError::Catalog(format!("unknown population {gp}")))?;
                     if cols.is_empty() {
                         Arc::clone(&gp_pop.schema)
                     } else {
@@ -292,15 +296,11 @@ impl MosaicDb {
                 let from = query.from.as_deref().ok_or_else(|| {
                     MosaicError::Execution("metadata query needs a FROM table".into())
                 })?;
-                let src = self
-                    .catalog
-                    .aux(from)
-                    .cloned()
-                    .ok_or_else(|| {
-                        MosaicError::Catalog(format!(
-                            "metadata queries run over auxiliary tables; unknown table {from}"
-                        ))
-                    })?;
+                let src = self.catalog.aux(from).cloned().ok_or_else(|| {
+                    MosaicError::Catalog(format!(
+                        "metadata queries run over auxiliary tables; unknown table {from}"
+                    ))
+                })?;
                 let result = run_select(&query, &src, None)?;
                 let marginal = marginal_from_table(&result)?;
                 self.catalog.create_metadata(MetadataEntry {
@@ -349,10 +349,7 @@ impl MosaicDb {
             InsertSource::Values(rows) => {
                 let mut b = TableBuilder::with_capacity(Arc::clone(&target_schema), rows.len());
                 for row in rows {
-                    let values: Vec<Value> = row
-                        .iter()
-                        .map(eval_scalar)
-                        .collect::<Result<_>>()?;
+                    let values: Vec<Value> = row.iter().map(eval_scalar).collect::<Result<_>>()?;
                     b.push_row(self.arrange_row(&target_schema, columns, values)?)?;
                 }
                 b.finish()
@@ -464,8 +461,7 @@ impl MosaicDb {
         }
         if stmt.visibility.is_some() {
             return Err(MosaicError::Unsupported(
-                "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only"
-                    .into(),
+                "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only".into(),
             ));
         }
         if let Some(t) = self.catalog.aux(&from) {
@@ -580,8 +576,7 @@ impl MosaicDb {
         let own_meta = self.catalog.metadata_for(&pop.name);
         if !own_meta.is_empty() {
             let (data, init) = apply_view_weighted(&sample.data, &sample.weights, view)?;
-            let marginals: Vec<Marginal> =
-                own_meta.iter().map(|m| m.marginal.clone()).collect();
+            let marginals: Vec<Marginal> = own_meta.iter().map(|m| m.marginal.clone()).collect();
             let ipf = Ipf::new(&data, &marginals, &self.options.binners)?;
             let (weights, report) = ipf.fit(Some(&init), &self.options.ipf);
             notes.push(format!(
@@ -590,15 +585,18 @@ impl MosaicDb {
                 pop.name,
                 report.iterations,
                 report.max_rel_error,
-                if report.converged { "" } else { " (not converged)" },
+                if report.converged {
+                    ""
+                } else {
+                    " (not converged)"
+                },
             ));
             return Ok((data, weights, notes));
         }
         if let Some((gp, _)) = &pop.source {
             let gp_meta = self.catalog.metadata_for(gp);
             if !gp_meta.is_empty() {
-                let marginals: Vec<Marginal> =
-                    gp_meta.iter().map(|m| m.marginal.clone()).collect();
+                let marginals: Vec<Marginal> = gp_meta.iter().map(|m| m.marginal.clone()).collect();
                 let ipf = Ipf::new(&sample.data, &marginals, &self.options.binners)?;
                 let (weights, report) = ipf.fit(Some(&sample.weights), &self.options.ipf);
                 notes.push(format!(
@@ -639,9 +637,7 @@ impl MosaicDb {
                     .catalog
                     .metadata_for(&sample.population)
                     .into_iter()
-                    .find(|m| {
-                        m.marginal.dim() == 1 && m.marginal.covers(attr)
-                    });
+                    .find(|m| m.marginal.dim() == 1 && m.marginal.covers(attr));
                 let col = sample.data.column_by_name(attr)?;
                 match meta {
                     Some(m) => {
@@ -720,11 +716,12 @@ impl MosaicDb {
                 "no sample rows available to train the generative model".into(),
             ));
         }
-        let pop_size = marginals
-            .iter()
-            .map(|m| m.total())
-            .fold(0.0f64, f64::max);
-        let cache_key = format!("{}|{}", pop.name.to_ascii_lowercase(), self.options.open.backend.id());
+        let pop_size = marginals.iter().map(|m| m.total()).fold(0.0f64, f64::max);
+        let cache_key = format!(
+            "{}|{}",
+            pop.name.to_ascii_lowercase(),
+            self.options.open.backend.id()
+        );
         let epoch = self.catalog.epoch;
         let mut cache = self.model_cache.lock();
         let needs_fit = !matches!(cache.get(&cache_key), Some((e, _)) if *e == epoch);
@@ -749,7 +746,8 @@ impl MosaicDb {
         } else {
             notes.push("generative model cache hit".into());
         }
-        let (_, model) = cache.get_mut(&cache_key).expect("just inserted");
+        let (_, model) = cache.get(&cache_key).expect("just inserted");
+        let model: &dyn GenerativeModel = model.as_ref();
 
         let per_sample = self
             .options
@@ -757,27 +755,18 @@ impl MosaicDb {
             .rows_per_sample
             .unwrap_or_else(|| train_data.num_rows());
         let runs = self.options.open.num_generated.max(1);
-        let has_agg = !stmt.group_by.is_empty()
-            || stmt.items.iter().any(|i| match i {
-                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-                SelectItem::Wildcard => false,
-            });
-        // Inner statement: same body, no ORDER BY / LIMIT (applied after
-        // combining).
-        let inner = SelectStmt {
-            order_by: Vec::new(),
-            limit: None,
-            ..stmt.clone()
-        };
-        let mut per_run: Vec<Table> = Vec::with_capacity(runs);
-        for run in 0..runs {
-            let seed = self
-                .options
-                .open
-                .seed
+        let has_agg = crate::plan::has_aggregate_shape(stmt);
+        let base_seed = self.options.open.seed;
+        let run_seed = |run: usize| {
+            base_seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(run as u64 + 1);
-            let generated = model.generate(per_sample, seed)?;
+                .wrapping_add(run as u64 + 1)
+        };
+        // One replicate: generate, view-filter, uniformly reweight to the
+        // population size, answer the (inner) query. Returns the answer
+        // plus the post-view generated row count (for diagnostics).
+        let replicate = |stmt: &SelectStmt, run: usize| -> Result<(Table, usize)> {
+            let generated = model.generate(per_sample, run_seed(run))?;
             let generated = if meta_is_gp {
                 apply_view(&generated, view)?
             } else {
@@ -789,23 +778,47 @@ impl MosaicDb {
                 pop_size / per_sample as f64
             };
             let weights = vec![weight; generated.num_rows()];
-            if !has_agg {
-                // Non-aggregate OPEN query: a single generated sample IS
-                // the answer (a representative population).
-                notes.push(format!(
-                    "non-aggregate OPEN query answered from one generated sample of {} rows",
-                    generated.num_rows()
-                ));
-                let out = run_select(stmt, &generated, Some(&weights))?;
-                return Ok((out, notes));
-            }
-            per_run.push(run_select(&inner, &generated, Some(&weights))?);
+            let rows = generated.num_rows();
+            run_select(stmt, &generated, Some(&weights)).map(|t| (t, rows))
+        };
+        if !has_agg {
+            // Non-aggregate OPEN query: a single generated sample IS the
+            // answer (a representative population).
+            let (out, rows) = replicate(stmt, 0)?;
+            notes.push(format!(
+                "non-aggregate OPEN query answered from one generated sample of {rows} rows"
+            ));
+            return Ok((out, notes));
         }
+        // Inner statement: same body, no ORDER BY / LIMIT (applied after
+        // combining).
+        let inner = SelectStmt {
+            order_by: Vec::new(),
+            limit: None,
+            ..stmt.clone()
+        };
+        // The replicates are independent and the fitted model is shared
+        // immutably, so run the paper's `num_generated = 10` loop on
+        // worker threads. Seeding per run index keeps the combined
+        // answer identical to serial execution.
+        let per_run: Vec<(Table, usize)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..runs)
+                .map(|run| {
+                    let inner = &inner;
+                    let replicate = &replicate;
+                    s.spawn(move || replicate(inner, run))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("OPEN replicate worker panicked"))
+                .collect::<Result<_>>()
+        })?;
         notes.push(format!(
-            "combined {} generated samples of {} rows (population size {:.0})",
+            "combined {} generated samples of {} rows across worker threads (population size {:.0})",
             runs, per_sample, pop_size
         ));
-        let combined = combine_open_runs(&inner, per_run)?;
+        let combined = combine_open_runs(&inner, per_run.into_iter().map(|(t, _)| t).collect())?;
         let combined = apply_order_limit(stmt, combined)?;
         Ok((combined, notes))
     }
@@ -816,7 +829,7 @@ fn apply_view(table: &Table, view: Option<&Expr>) -> Result<Table> {
     match view {
         None => Ok(table.clone()),
         Some(pred) => {
-            let sel = crate::eval::eval_predicate(pred, table)?;
+            let sel = crate::plan::vector::eval_predicate(pred, table)?;
             Ok(table.filter(&sel))
         }
     }
@@ -831,7 +844,7 @@ fn apply_view_weighted(
     match view {
         None => Ok((table.clone(), weights.to_vec())),
         Some(pred) => {
-            let sel = crate::eval::eval_predicate(pred, table)?;
+            let sel = crate::plan::vector::eval_predicate(pred, table)?;
             let idx = sel.to_indices();
             let w = idx.iter().map(|&i| weights[i]).collect();
             Ok((table.take(&idx), w))

@@ -1,5 +1,11 @@
-//! Expression evaluation over tables (SQL three-valued logic, numeric
-//! coercion between `Int` and `Float`).
+//! Row-at-a-time expression evaluation over tables (SQL three-valued
+//! logic, numeric coercion between `Int` and `Float`).
+//!
+//! This module is the **reference oracle** for the vectorized evaluator
+//! in [`crate::plan::vector`]: it defines the semantics, the vectorized
+//! kernels must reproduce it value-for-value (the property-based suite
+//! in `tests/` asserts exactly that), and unsupported expression shapes
+//! fall back to it at runtime.
 
 use std::cmp::Ordering;
 
@@ -19,8 +25,9 @@ pub fn eval_scalar(expr: &Expr) -> Result<Value> {
     }
 }
 
-/// Evaluate an expression for every row of `table`, returning a column.
-pub fn eval_expr(expr: &Expr, table: &Table) -> Result<Column> {
+/// Evaluate an expression for every row of `table`, returning a column
+/// (row-at-a-time reference path; prefer [`crate::eval_expr`]).
+pub fn eval_expr_rowwise(expr: &Expr, table: &Table) -> Result<Column> {
     let n = table.num_rows();
     let mut values = Vec::with_capacity(n);
     for row in 0..n {
@@ -49,8 +56,9 @@ pub fn eval_expr(expr: &Expr, table: &Table) -> Result<Column> {
 }
 
 /// Evaluate a predicate into a selection bitmap (NULL ⇒ excluded, per SQL
-/// semantics).
-pub fn eval_predicate(expr: &Expr, table: &Table) -> Result<Bitmap> {
+/// semantics; row-at-a-time reference path; prefer
+/// [`crate::eval_predicate`]).
+pub fn eval_predicate_rowwise(expr: &Expr, table: &Table) -> Result<Bitmap> {
     let n = table.num_rows();
     let mut bm = Bitmap::zeros(n);
     for row in 0..n {
@@ -66,9 +74,8 @@ pub(crate) fn eval_row(expr: &Expr, table: Option<&Table>, row: usize) -> Result
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column(name) => {
-            let t = table.ok_or_else(|| {
-                MosaicError::Execution(format!("column {name} not allowed here"))
-            })?;
+            let t = table
+                .ok_or_else(|| MosaicError::Execution(format!("column {name} not allowed here")))?;
             Ok(t.column_by_name(name)?.value(row))
         }
         Expr::Unary { op, expr } => {
@@ -78,14 +85,14 @@ pub(crate) fn eval_row(expr: &Expr, table: Option<&Table>, row: usize) -> Result
                     Value::Null => Ok(Value::Null),
                     Value::Int(i) => Ok(Value::Int(-i)),
                     Value::Float(f) => Ok(Value::Float(-f)),
-                    other => Err(MosaicError::Execution(format!(
-                        "cannot negate {other}"
-                    ))),
+                    other => Err(MosaicError::Execution(format!("cannot negate {other}"))),
                 },
                 UnaryOp::Not => match v {
                     Value::Null => Ok(Value::Null),
                     Value::Bool(b) => Ok(Value::Bool(!b)),
-                    other => Err(MosaicError::Execution(format!("NOT of non-boolean {other}"))),
+                    other => Err(MosaicError::Execution(format!(
+                        "NOT of non-boolean {other}"
+                    ))),
                 },
             }
         }
@@ -194,9 +201,9 @@ fn eval_binary(
     }
     match op {
         BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
-            let ord = l.sql_cmp(&r).ok_or_else(|| {
-                MosaicError::Execution(format!("cannot compare {l} with {r}"))
-            })?;
+            let ord = l
+                .sql_cmp(&r)
+                .ok_or_else(|| MosaicError::Execution(format!("cannot compare {l} with {r}")))?;
             let res = match op {
                 BinOp::Eq => ord == Ordering::Equal,
                 BinOp::NotEq => ord != Ordering::Equal,
@@ -233,12 +240,10 @@ fn eval_binary(
                 };
             }
             let (a, b) = (
-                l.as_f64().ok_or_else(|| {
-                    MosaicError::Execution(format!("non-numeric operand {l}"))
-                })?,
-                r.as_f64().ok_or_else(|| {
-                    MosaicError::Execution(format!("non-numeric operand {r}"))
-                })?,
+                l.as_f64()
+                    .ok_or_else(|| MosaicError::Execution(format!("non-numeric operand {l}")))?,
+                r.as_f64()
+                    .ok_or_else(|| MosaicError::Execution(format!("non-numeric operand {r}")))?,
             );
             let x = match op {
                 BinOp::Add => a + b,
@@ -284,7 +289,7 @@ mod tests {
     }
 
     fn pred(src: &str, t: &Table) -> Vec<usize> {
-        eval_predicate(&parse_expr(src).unwrap(), t)
+        eval_predicate_rowwise(&parse_expr(src).unwrap(), t)
             .unwrap()
             .to_indices()
     }
@@ -319,10 +324,10 @@ mod tests {
     #[test]
     fn arithmetic_types() {
         let t = table();
-        let c = eval_expr(&parse_expr("x * 2").unwrap(), &t).unwrap();
+        let c = eval_expr_rowwise(&parse_expr("x * 2").unwrap(), &t).unwrap();
         assert_eq!(c.data_type(), DataType::Int);
         assert_eq!(c.value(2), Value::Int(6));
-        let c = eval_expr(&parse_expr("x + f").unwrap(), &t).unwrap();
+        let c = eval_expr_rowwise(&parse_expr("x + f").unwrap(), &t).unwrap();
         assert_eq!(c.data_type(), DataType::Float);
         assert_eq!(c.value(0), Value::Float(1.5));
         assert!(c.is_null(2)); // null propagates
@@ -330,7 +335,10 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_null() {
-        assert_eq!(eval_scalar(&parse_expr("1 / 0").unwrap()).unwrap(), Value::Null);
+        assert_eq!(
+            eval_scalar(&parse_expr("1 / 0").unwrap()).unwrap(),
+            Value::Null
+        );
         assert_eq!(
             eval_scalar(&parse_expr("5 / 2").unwrap()).unwrap(),
             Value::Float(2.5)
@@ -357,6 +365,6 @@ mod tests {
     #[test]
     fn aggregates_rejected_here() {
         let t = table();
-        assert!(eval_expr(&parse_expr("COUNT(*)").unwrap(), &t).is_err());
+        assert!(eval_expr_rowwise(&parse_expr("COUNT(*)").unwrap(), &t).is_err());
     }
 }

@@ -6,18 +6,31 @@
 //! aggregate to be over a weight attribute (e.g. COUNT(*) becomes
 //! SUM(weight))"). With `weights = None`, aggregates behave like ordinary
 //! SQL.
+//!
+//! [`run_select`] lowers the statement into a vectorized physical plan
+//! (see [`crate::plan`]); [`run_select_rowwise`] is the retained
+//! row-at-a-time implementation, kept as the semantics oracle for the
+//! property-based equivalence suite and as the baseline in the
+//! `query_exec` benchmark.
 
 use std::collections::HashMap;
 
 use mosaic_sql::{AggFunc, Expr, SelectItem, SelectStmt};
-use mosaic_storage::{ColumnBuilder, DataType, Field, Schema, Table, Value};
+use mosaic_storage::{Field, Schema, Table, Value};
 
-use crate::eval::{eval_predicate, eval_row};
+use crate::eval::{eval_predicate_rowwise, eval_row};
+use crate::plan::{self, output_name, ExecContext, LimitOp, PhysicalOperator, SortOp};
 use crate::{MosaicError, Result};
 
-/// Execute a SELECT over one table. `weights` (parallel to the table's
-/// rows) turns aggregates into weighted aggregates.
+/// Execute a SELECT over one table through the vectorized physical plan.
+/// `weights` (parallel to the table's rows) turns aggregates into
+/// weighted aggregates.
 pub fn run_select(stmt: &SelectStmt, table: &Table, weights: Option<&[f64]>) -> Result<Table> {
+    check_weights(table, weights)?;
+    plan::lower(stmt, weights.is_some()).execute(table, weights)
+}
+
+fn check_weights(table: &Table, weights: Option<&[f64]>) -> Result<()> {
     if let Some(w) = weights {
         if w.len() != table.num_rows() {
             return Err(MosaicError::Execution(format!(
@@ -27,21 +40,29 @@ pub fn run_select(stmt: &SelectStmt, table: &Table, weights: Option<&[f64]>) -> 
             )));
         }
     }
+    Ok(())
+}
+
+/// Row-at-a-time reference implementation of [`run_select`]. Every value
+/// it produces must match the vectorized plan byte-for-byte; the
+/// `planner_oracle` property suite enforces this.
+pub fn run_select_rowwise(
+    stmt: &SelectStmt,
+    table: &Table,
+    weights: Option<&[f64]>,
+) -> Result<Table> {
+    check_weights(table, weights)?;
     // 1. WHERE
     let (filtered, fweights): (Table, Option<Vec<f64>>) = match &stmt.where_clause {
         Some(pred) => {
-            let sel = eval_predicate(pred, table)?;
+            let sel = eval_predicate_rowwise(pred, table)?;
             let idx = sel.to_indices();
             let w = weights.map(|w| idx.iter().map(|&i| w[i]).collect());
             (table.take(&idx), w)
         }
         None => (table.clone(), weights.map(|w| w.to_vec())),
     };
-    let has_agg = !stmt.group_by.is_empty()
-        || stmt.items.iter().any(|item| match item {
-            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-            SelectItem::Wildcard => false,
-        });
+    let has_agg = plan::has_aggregate_shape(stmt);
     let mut out = if has_agg {
         aggregate(stmt, &filtered, fweights.as_deref())?
     } else {
@@ -58,15 +79,6 @@ pub fn run_select(stmt: &SelectStmt, table: &Table, weights: Option<&[f64]>) -> 
     Ok(out)
 }
 
-fn output_name(item: &SelectItem) -> String {
-    match item {
-        SelectItem::Wildcard => "*".into(),
-        SelectItem::Expr { expr, alias } => alias
-            .clone()
-            .unwrap_or_else(|| expr.default_name()),
-    }
-}
-
 fn project(stmt: &SelectStmt, table: &Table) -> Result<Table> {
     let mut fields = Vec::new();
     let mut columns = Vec::new();
@@ -79,7 +91,7 @@ fn project(stmt: &SelectStmt, table: &Table) -> Result<Table> {
                 }
             }
             SelectItem::Expr { expr, .. } => {
-                let col = crate::eval::eval_expr(expr, table)?;
+                let col = crate::eval::eval_expr_rowwise(expr, table)?;
                 fields.push(Field::new(output_name(item), col.data_type()));
                 columns.push(col);
             }
@@ -147,32 +159,9 @@ fn aggregate(stmt: &SelectStmt, table: &Table, weights: Option<&[f64]>) -> Resul
         }
         fields.push(output_name(item));
     }
-    // Assemble columns with type inference.
-    let ncols = fields.len();
-    let mut schema_fields = Vec::with_capacity(ncols);
-    let mut columns = Vec::with_capacity(ncols);
-    for c in 0..ncols {
-        let mut ty: Option<DataType> = None;
-        for row in &value_rows {
-            match (ty, row[c].data_type()) {
-                (None, Some(t)) => ty = Some(t),
-                (Some(DataType::Int), Some(DataType::Float)) => ty = Some(DataType::Float),
-                _ => {}
-            }
-        }
-        let ty = ty.unwrap_or(DataType::Int);
-        let mut b = ColumnBuilder::with_capacity(ty, value_rows.len());
-        for row in &value_rows {
-            let v = match (&row[c], ty) {
-                (Value::Int(i), DataType::Float) => Value::Float(*i as f64),
-                (v, _) => v.clone(),
-            };
-            b.push(v)?;
-        }
-        schema_fields.push(Field::new(fields[c].clone(), ty));
-        columns.push(b.finish());
-    }
-    Table::new(Schema::new(schema_fields), columns).map_err(Into::into)
+    // Assemble columns with type inference (shared with the vectorized
+    // aggregate so both executors apply one widening rule).
+    plan::assemble_value_rows(&fields, &value_rows)
 }
 
 /// Evaluate an expression that contains aggregates, for one group.
@@ -316,14 +305,24 @@ fn compute_aggregate(
 /// Apply a statement's ORDER BY and LIMIT to an already-computed result
 /// table (used by the OPEN-query combiner, which evaluates the aggregate
 /// body per generated sample and orders only the merged result).
-pub(crate) fn apply_order_limit(stmt: &SelectStmt, mut table: Table) -> Result<Table> {
+pub(crate) fn apply_order_limit(stmt: &SelectStmt, table: Table) -> Result<Table> {
+    let ctx = ExecContext {
+        filtered_input: None,
+    };
+    let mut batch = plan::Batch {
+        table,
+        weights: None,
+    };
     if !stmt.order_by.is_empty() {
-        table = order_by(stmt, table, None)?;
+        let sort = SortOp {
+            keys: stmt.order_by.clone(),
+        };
+        batch = sort.execute(&ctx, &batch)?;
     }
     if let Some(n) = stmt.limit {
-        table = table.limit(n);
+        batch = LimitOp { n }.execute(&ctx, &batch)?;
     }
-    Ok(table)
+    Ok(batch.table)
 }
 
 fn order_by(stmt: &SelectStmt, out: Table, input: Option<&Table>) -> Result<Table> {
@@ -394,7 +393,12 @@ mod tests {
     #[test]
     fn simple_projection_and_filter() {
         let t = table();
-        let out = run_select(&select("SELECT carrier, distance FROM t WHERE distance > 400"), &t, None).unwrap();
+        let out = run_select(
+            &select("SELECT carrier, distance FROM t WHERE distance > 400"),
+            &t,
+            None,
+        )
+        .unwrap();
         assert_eq!(out.num_rows(), 3);
         assert_eq!(out.num_columns(), 2);
     }
@@ -411,7 +415,9 @@ mod tests {
     fn unweighted_aggregates() {
         let t = table();
         let out = run_select(
-            &select("SELECT COUNT(*), SUM(distance), AVG(elapsed), MIN(distance), MAX(distance) FROM t"),
+            &select(
+                "SELECT COUNT(*), SUM(distance), AVG(elapsed), MIN(distance), MAX(distance) FROM t",
+            ),
             &t,
             None,
         )
@@ -427,7 +433,12 @@ mod tests {
     fn weighted_aggregates_match_rewrite() {
         let t = table();
         let w = [10.0, 10.0, 1.0, 1.0, 1.0];
-        let out = run_select(&select("SELECT COUNT(*), AVG(distance) FROM t"), &t, Some(&w)).unwrap();
+        let out = run_select(
+            &select("SELECT COUNT(*), AVG(distance) FROM t"),
+            &t,
+            Some(&w),
+        )
+        .unwrap();
         assert_eq!(out.value(0, 0), Value::Float(23.0));
         let avg = (10.0 * 100.0 + 10.0 * 500.0 + 900.0 + 1500.0 + 300.0) / 23.0;
         assert!((out.value(0, 1).as_f64().unwrap() - avg).abs() < 1e-9);
@@ -476,7 +487,12 @@ mod tests {
     #[test]
     fn empty_group_semantics() {
         let t = table();
-        let out = run_select(&select("SELECT COUNT(*), SUM(distance) FROM t WHERE distance > 99999"), &t, None).unwrap();
+        let out = run_select(
+            &select("SELECT COUNT(*), SUM(distance) FROM t WHERE distance > 99999"),
+            &t,
+            None,
+        )
+        .unwrap();
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.value(0, 0), Value::Int(0));
         assert_eq!(out.value(0, 1), Value::Null);

@@ -55,13 +55,16 @@ mod error;
 mod eval;
 mod exec;
 mod models;
+pub mod plan;
 
 pub use catalog::{Catalog, Mechanism, MetadataEntry, Population, Sample};
 pub use engine::{EngineOptions, MosaicDb, OpenBackend, OpenOptions, QueryResult};
 pub use error::MosaicError;
-pub use eval::{eval_expr, eval_predicate, eval_scalar};
-pub use exec::run_select;
+pub use eval::{eval_expr_rowwise, eval_predicate_rowwise, eval_scalar};
+pub use exec::{run_select, run_select_rowwise};
 pub use models::{BnModel, GenerativeModel, SwgModel};
+pub use plan::vector::{eval_expr, eval_predicate};
+pub use plan::{lower, PhysicalOperator, PhysicalPlan};
 
 // Re-export the pieces users need to drive the engine programmatically.
 pub use mosaic_sql::{parse, Expr, SelectStmt, Statement, Visibility};

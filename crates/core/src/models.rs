@@ -19,7 +19,11 @@ use crate::Result;
 
 /// A generative model trainable from a biased sample plus population
 /// marginals, able to synthesize population tuples.
-pub trait GenerativeModel: Send {
+///
+/// `generate` borrows `&self` and the trait requires `Sync`: a fitted
+/// model serves the engine's OPEN replicate loop from multiple worker
+/// threads simultaneously (generation is still deterministic per seed).
+pub trait GenerativeModel: Send + Sync {
     /// Short backend identifier (used in cache keys and diagnostics).
     fn name(&self) -> &'static str;
 
@@ -29,7 +33,7 @@ pub trait GenerativeModel: Send {
     fn fit(&mut self, sample: &Table, ipf_weights: &[f64], marginals: &[Marginal]) -> Result<()>;
 
     /// Generate `n` synthetic tuples deterministically from `seed`.
-    fn generate(&mut self, n: usize, seed: u64) -> Result<Table>;
+    fn generate(&self, n: usize, seed: u64) -> Result<Table>;
 }
 
 /// The Marginal-Constrained Sliced Wasserstein Generator backend.
@@ -63,10 +67,10 @@ impl GenerativeModel for SwgModel {
         Ok(())
     }
 
-    fn generate(&mut self, n: usize, seed: u64) -> Result<Table> {
+    fn generate(&self, n: usize, seed: u64) -> Result<Table> {
         let model = self
             .model
-            .as_mut()
+            .as_ref()
             .ok_or_else(|| crate::MosaicError::Execution("M-SWG not fitted".into()))?;
         let mut rng = StdRng::seed_from_u64(seed);
         Ok(model.generate(n, &mut rng))
@@ -100,7 +104,7 @@ impl GenerativeModel for BnModel {
         Ok(())
     }
 
-    fn generate(&mut self, n: usize, seed: u64) -> Result<Table> {
+    fn generate(&self, n: usize, seed: u64) -> Result<Table> {
         let model = self
             .model
             .as_ref()

@@ -1,0 +1,465 @@
+//! Vectorized hash aggregation.
+//!
+//! Group keys are dictionary-encoded per column into dense `u32` codes
+//! (no per-row `Vec<Value>` materialization), aggregates accumulate
+//! through the grouped kernels in `mosaic_storage::kernels`, and only the
+//! final per-group outputs round-trip through [`Value`] — mirroring the
+//! row-at-a-time reference in `exec.rs` value-for-value, including its
+//! error messages and its Int/Float output-typing rules.
+
+use std::collections::HashMap;
+
+use mosaic_sql::{AggFunc, Expr, SelectItem};
+use mosaic_storage::kernels;
+use mosaic_storage::{Column, DataType, Table, Value};
+
+use crate::plan::vector;
+use crate::{MosaicError, Result};
+
+/// Execute the aggregate shape of a SELECT over an already-filtered
+/// table. `weights` realize the paper's §5.3 weighted-aggregate rewrite.
+pub(crate) fn execute(
+    items: &[SelectItem],
+    group_by: &[Expr],
+    table: &Table,
+    weights: Option<&[f64]>,
+) -> Result<Table> {
+    let n = table.num_rows();
+    // 1. Group identification.
+    let (group_ids, rep_rows, key_cols) = if group_by.is_empty() {
+        (vec![0u32; n], Vec::new(), Vec::new())
+    } else {
+        let key_cols: Vec<Column> = group_by
+            .iter()
+            .map(|e| vector::eval_expr(e, table))
+            .collect::<Result<_>>()?;
+        let (ids, reps) = compute_group_ids(&key_cols);
+        (ids, reps, key_cols)
+    };
+    let n_groups = if group_by.is_empty() {
+        1
+    } else {
+        rep_rows.len()
+    };
+
+    // 2. Per-item, per-group output values.
+    let mut fields = Vec::with_capacity(items.len());
+    let mut value_rows: Vec<Vec<Value>> = vec![Vec::new(); n_groups];
+    for item in items {
+        let expr = match item {
+            SelectItem::Wildcard => {
+                return Err(MosaicError::Execution(
+                    "SELECT * cannot be combined with GROUP BY / aggregates".into(),
+                ))
+            }
+            SelectItem::Expr { expr, .. } => expr,
+        };
+        if expr.contains_aggregate() {
+            // Compute every distinct base aggregate in the expression
+            // vectorized, then fold the outer arithmetic per group.
+            let mut base: Vec<(Expr, Vec<Value>)> = Vec::new();
+            collect_aggregates(expr, &mut base)?;
+            for (agg_expr, out) in &mut base {
+                let Expr::Agg { func, arg } = agg_expr else {
+                    unreachable!("collect_aggregates only collects Agg nodes")
+                };
+                *out =
+                    compute_aggregate(*func, arg.as_deref(), table, &group_ids, n_groups, weights)?;
+            }
+            for (gi, row) in value_rows.iter_mut().enumerate() {
+                row.push(eval_over_groups(expr, gi, &base)?);
+            }
+        } else {
+            let pos = group_by.iter().position(|g| g == expr).ok_or_else(|| {
+                MosaicError::Execution(format!(
+                    "projection {} is neither an aggregate nor a GROUP BY expression",
+                    expr.default_name()
+                ))
+            })?;
+            for (gi, row) in value_rows.iter_mut().enumerate() {
+                row.push(key_cols[pos].value(rep_rows[gi]));
+            }
+        }
+        fields.push(super::output_name(item));
+    }
+    super::assemble_value_rows(&fields, &value_rows)
+}
+
+/// Dictionary-encode each key column, then iteratively combine per-column
+/// codes into dense group ids in first-appearance order. Returns the
+/// per-row group id plus each group's first row index.
+fn compute_group_ids(key_cols: &[Column]) -> (Vec<u32>, Vec<usize>) {
+    let n = key_cols.first().map_or(0, Column::len);
+    let mut ids = encode_column(&key_cols[0]);
+    for col in &key_cols[1..] {
+        let next = encode_column(col);
+        // Combine (ids, next) pairs into fresh dense codes.
+        let mut index: HashMap<(u32, u32), u32> = HashMap::new();
+        for i in 0..n {
+            let key = (ids[i], next[i]);
+            let new_len = index.len() as u32;
+            let code = *index.entry(key).or_insert(new_len);
+            ids[i] = code;
+        }
+    }
+    // Densify to first-appearance order (single-column dictionaries and
+    // the pairwise combiner both already assign in appearance order, but
+    // re-densifying also yields the representative rows).
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut reps = Vec::new();
+    for (row, id) in ids.iter_mut().enumerate() {
+        let new_len = remap.len() as u32;
+        let code = *remap.entry(*id).or_insert_with(|| {
+            reps.push(row);
+            new_len
+        });
+        *id = code;
+    }
+    (ids, reps)
+}
+
+/// Per-column dictionary codes. Equality must match `Value` equality
+/// within the column's type: exact for ints/bools/strings, bit-pattern
+/// for floats (`Value::PartialEq` compares floats by `to_bits`).
+fn encode_column(col: &Column) -> Vec<u32> {
+    let n = col.len();
+    let mut codes = vec![0u32; n];
+    const NULL: u32 = 0;
+    if let Some(data) = col.i64_data() {
+        let mut dict: HashMap<i64, u32> = HashMap::new();
+        for (i, &v) in data.iter().enumerate() {
+            codes[i] = if col.is_null(i) {
+                NULL
+            } else {
+                let next = dict.len() as u32 + 1;
+                *dict.entry(v).or_insert(next)
+            };
+        }
+    } else if let Some(data) = col.f64_data() {
+        let mut dict: HashMap<u64, u32> = HashMap::new();
+        for (i, &v) in data.iter().enumerate() {
+            codes[i] = if col.is_null(i) {
+                NULL
+            } else {
+                let next = dict.len() as u32 + 1;
+                *dict.entry(v.to_bits()).or_insert(next)
+            };
+        }
+    } else if let Some(data) = col.str_data() {
+        let mut dict: HashMap<&str, u32> = HashMap::new();
+        for (i, v) in data.iter().enumerate() {
+            codes[i] = if col.is_null(i) {
+                NULL
+            } else {
+                let next = dict.len() as u32 + 1;
+                *dict.entry(v.as_str()).or_insert(next)
+            };
+        }
+    } else if let Some(data) = col.bool_data() {
+        for (i, &v) in data.iter().enumerate() {
+            codes[i] = if col.is_null(i) { NULL } else { v as u32 + 1 };
+        }
+    }
+    codes
+}
+
+/// Collect the distinct `Agg` nodes of an aggregate expression, erroring
+/// on shapes the reference evaluator also rejects.
+fn collect_aggregates(expr: &Expr, out: &mut Vec<(Expr, Vec<Value>)>) -> Result<()> {
+    match expr {
+        Expr::Agg { .. } => {
+            if !out.iter().any(|(e, _)| e == expr) {
+                out.push((expr.clone(), Vec::new()));
+            }
+            Ok(())
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_aggregates(left, out)?;
+            collect_aggregates(right, out)
+        }
+        Expr::Unary { expr, .. } => collect_aggregates(expr, out),
+        Expr::Literal(_) => Ok(()),
+        other => Err(MosaicError::Execution(format!(
+            "expression {} mixes aggregates with row-level terms",
+            other.default_name()
+        ))),
+    }
+}
+
+/// Evaluate the non-aggregate shell of an item for one group, with every
+/// `Agg` node replaced by its precomputed per-group value.
+fn eval_over_groups(expr: &Expr, gi: usize, base: &[(Expr, Vec<Value>)]) -> Result<Value> {
+    match expr {
+        Expr::Agg { .. } => Ok(base
+            .iter()
+            .find(|(e, _)| e == expr)
+            .expect("collected above")
+            .1[gi]
+            .clone()),
+        Expr::Binary { left, op, right } => {
+            let l = eval_over_groups(left, gi, base)?;
+            let r = eval_over_groups(right, gi, base)?;
+            crate::eval::eval_row(
+                &Expr::Binary {
+                    left: Box::new(Expr::Literal(l)),
+                    op: *op,
+                    right: Box::new(Expr::Literal(r)),
+                },
+                None,
+                0,
+            )
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_over_groups(expr, gi, base)?;
+            crate::eval::eval_row(
+                &Expr::Unary {
+                    op: *op,
+                    expr: Box::new(Expr::Literal(v)),
+                },
+                None,
+                0,
+            )
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        other => Err(MosaicError::Execution(format!(
+            "expression {} mixes aggregates with row-level terms",
+            other.default_name()
+        ))),
+    }
+}
+
+/// Compute one base aggregate for every group through the grouped
+/// kernels.
+fn compute_aggregate(
+    func: AggFunc,
+    arg: Option<&Expr>,
+    table: &Table,
+    group_ids: &[u32],
+    n_groups: usize,
+    weights: Option<&[f64]>,
+) -> Result<Vec<Value>> {
+    match func {
+        AggFunc::Count => {
+            let arg_col = arg.map(|e| vector::eval_expr(e, table)).transpose()?;
+            let mut wsums = vec![0.0; n_groups];
+            let mut counts = vec![0u64; n_groups];
+            kernels::group_count(
+                arg_col.as_ref().and_then(Column::validity),
+                group_ids,
+                weights,
+                &mut wsums,
+                &mut counts,
+            );
+            Ok((0..n_groups)
+                .map(|g| {
+                    if weights.is_none() {
+                        Value::Int(wsums[g] as i64)
+                    } else {
+                        Value::Float(wsums[g])
+                    }
+                })
+                .collect())
+        }
+        AggFunc::Sum | AggFunc::Avg => {
+            let e = arg.ok_or_else(|| {
+                MosaicError::Execution(format!("{}(*) requires an argument", func.name()))
+            })?;
+            let col = vector::eval_expr(e, table)?;
+            let mut sums = vec![0.0; n_groups];
+            let mut wsums = vec![0.0; n_groups];
+            let mut counts = vec![0u64; n_groups];
+            let all_int = col.data_type() == DataType::Int;
+            match col.data_type() {
+                DataType::Int if weights.is_none() => {
+                    kernels::group_sum_i64(
+                        col.i64_data().expect("typed"),
+                        col.validity(),
+                        group_ids,
+                        &mut sums,
+                        &mut counts,
+                    );
+                    for (w, &c) in wsums.iter_mut().zip(&counts) {
+                        *w = c as f64;
+                    }
+                }
+                DataType::Int => {
+                    let widened = kernels::widen_i64(col.i64_data().expect("typed"));
+                    kernels::group_sum_f64(
+                        &widened,
+                        col.validity(),
+                        group_ids,
+                        weights,
+                        &mut sums,
+                        &mut wsums,
+                        &mut counts,
+                    );
+                }
+                DataType::Float => {
+                    kernels::group_sum_f64(
+                        col.f64_data().expect("typed"),
+                        col.validity(),
+                        group_ids,
+                        weights,
+                        &mut sums,
+                        &mut wsums,
+                        &mut counts,
+                    );
+                }
+                DataType::Bool => {
+                    let widened: Vec<f64> = col
+                        .bool_data()
+                        .expect("typed")
+                        .iter()
+                        .map(|&b| b as u8 as f64)
+                        .collect();
+                    kernels::group_sum_f64(
+                        &widened,
+                        col.validity(),
+                        group_ids,
+                        weights,
+                        &mut sums,
+                        &mut wsums,
+                        &mut counts,
+                    );
+                }
+                DataType::Str => {
+                    // Any non-null string makes some group error in the
+                    // reference path, which fails the whole statement.
+                    if col.null_count() < col.len() {
+                        return Err(MosaicError::Execution(format!(
+                            "{} over non-numeric value",
+                            func.name()
+                        )));
+                    }
+                }
+            }
+            Ok((0..n_groups)
+                .map(|g| {
+                    if counts[g] == 0 {
+                        return Value::Null;
+                    }
+                    match func {
+                        AggFunc::Sum => {
+                            if weights.is_none() && all_int {
+                                Value::Int(sums[g] as i64)
+                            } else {
+                                Value::Float(sums[g])
+                            }
+                        }
+                        AggFunc::Avg => Value::Float(sums[g] / wsums[g]),
+                        _ => unreachable!(),
+                    }
+                })
+                .collect())
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let e = arg.ok_or_else(|| {
+                MosaicError::Execution(format!("{}(*) requires an argument", func.name()))
+            })?;
+            let col = vector::eval_expr(e, table)?;
+            compute_min_max(func, &col, group_ids, n_groups)
+        }
+    }
+}
+
+fn compute_min_max(
+    func: AggFunc,
+    col: &Column,
+    group_ids: &[u32],
+    n_groups: usize,
+) -> Result<Vec<Value>> {
+    let mut counts = vec![0u64; n_groups];
+    match col.data_type() {
+        DataType::Int => {
+            // The reference compares through sql_cmp's f64 coercion with
+            // first-wins ties, so ints beyond 2^53 (where f64 collapses
+            // neighbours) must use the scalar reference loop to match.
+            let data = col.i64_data().expect("typed");
+            if data.iter().any(|v| v.unsigned_abs() >= (1u64 << 53)) {
+                return min_max_by_cmp(func, col, group_ids, n_groups);
+            }
+            let mut mins = vec![i64::MAX; n_groups];
+            let mut maxs = vec![i64::MIN; n_groups];
+            kernels::group_min_max_i64(
+                col.i64_data().expect("typed"),
+                col.validity(),
+                group_ids,
+                &mut mins,
+                &mut maxs,
+                &mut counts,
+            );
+            Ok((0..n_groups)
+                .map(|g| {
+                    if counts[g] == 0 {
+                        Value::Null
+                    } else if func == AggFunc::Min {
+                        Value::Int(mins[g])
+                    } else {
+                        Value::Int(maxs[g])
+                    }
+                })
+                .collect())
+        }
+        DataType::Float => {
+            let data = col.f64_data().expect("typed");
+            if data.iter().any(|v| v.is_nan()) {
+                // NaN compares as incomparable in sql_cmp (the earlier
+                // value survives); delegate to the scalar reference loop.
+                return min_max_by_cmp(func, col, group_ids, n_groups);
+            }
+            let mut mins = vec![f64::INFINITY; n_groups];
+            let mut maxs = vec![f64::NEG_INFINITY; n_groups];
+            kernels::group_min_max_f64(
+                data,
+                col.validity(),
+                group_ids,
+                &mut mins,
+                &mut maxs,
+                &mut counts,
+            );
+            Ok((0..n_groups)
+                .map(|g| {
+                    if counts[g] == 0 {
+                        Value::Null
+                    } else if func == AggFunc::Min {
+                        Value::Float(mins[g])
+                    } else {
+                        Value::Float(maxs[g])
+                    }
+                })
+                .collect())
+        }
+        DataType::Str | DataType::Bool => min_max_by_cmp(func, col, group_ids, n_groups),
+    }
+}
+
+/// Scalar min/max replicating the reference comparison semantics
+/// (`sql_cmp`, first-wins on incomparable values).
+fn min_max_by_cmp(
+    func: AggFunc,
+    col: &Column,
+    group_ids: &[u32],
+    n_groups: usize,
+) -> Result<Vec<Value>> {
+    let mut best: Vec<Value> = vec![Value::Null; n_groups];
+    for row in 0..col.len() {
+        let v = col.value(row);
+        if v.is_null() {
+            continue;
+        }
+        let b = &mut best[group_ids[row] as usize];
+        if b.is_null() {
+            *b = v;
+            continue;
+        }
+        let keep_new = match v.sql_cmp(b) {
+            Some(std::cmp::Ordering::Less) => func == AggFunc::Min,
+            Some(std::cmp::Ordering::Greater) => func == AggFunc::Max,
+            _ => false,
+        };
+        if keep_new {
+            *b = v;
+        }
+    }
+    Ok(best)
+}

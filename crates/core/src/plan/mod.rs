@@ -1,0 +1,461 @@
+//! The physical plan layer: lowering a [`SelectStmt`] into a pipeline of
+//! vectorized physical operators.
+//!
+//! A SELECT lowers to `Scan → Filter? → (Project | HashAggregate) →
+//! Sort? → Limit?`. Operators implement [`PhysicalOperator`] and exchange
+//! [`Batch`]es (a table plus optional parallel row weights — the weights
+//! realize the paper's §5.3 weighted-aggregate rewrite and are a
+//! first-class plan property, not an executor afterthought). Expression
+//! evaluation inside the operators is vectorized over the typed kernels
+//! of `mosaic_storage::kernels`, with the row-at-a-time evaluator in
+//! [`crate::eval`] retained as the semantics oracle and runtime fallback.
+
+pub(crate) mod aggregate;
+pub mod vector;
+
+use std::fmt;
+
+use mosaic_sql::{Expr, SelectItem, SelectStmt};
+use mosaic_storage::kernels;
+use mosaic_storage::{Column, ColumnBuilder, DataType, Field, Schema, Table, Value};
+
+use crate::Result;
+
+/// The unit of exchange between physical operators: a table plus an
+/// optional weight per row.
+pub struct Batch {
+    /// Rows.
+    pub table: Table,
+    /// Optional per-row weights (parallel to `table`).
+    pub weights: Option<Vec<f64>>,
+}
+
+/// Execution-scoped context handed to operators.
+pub struct ExecContext<'a> {
+    /// The post-filter, pre-projection input. `Sort` uses it to resolve
+    /// ORDER BY keys that reference source columns dropped by the
+    /// projection (non-aggregate queries only).
+    pub filtered_input: Option<&'a Table>,
+}
+
+/// A vectorized physical operator.
+pub trait PhysicalOperator: Send + Sync {
+    /// Operator name for plan rendering.
+    fn name(&self) -> &'static str;
+
+    /// Consume an input batch, produce the output batch.
+    fn execute(&self, ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch>;
+}
+
+/// `WHERE` — evaluate the predicate into a selection bitmap and gather
+/// the surviving rows (and their weights).
+pub struct FilterOp {
+    /// The predicate.
+    pub predicate: Expr,
+}
+
+impl PhysicalOperator for FilterOp {
+    fn name(&self) -> &'static str {
+        "Filter"
+    }
+
+    fn execute(&self, _ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
+        let sel = vector::eval_predicate(&self.predicate, &input.table)?;
+        let idx = sel.to_indices();
+        let weights = input.weights.as_ref().map(|w| kernels::take_f64(w, &idx));
+        Ok(Batch {
+            table: input.table.take(&idx),
+            weights,
+        })
+    }
+}
+
+/// Projection without aggregates.
+pub struct ProjectOp {
+    /// The SELECT list.
+    pub items: Vec<SelectItem>,
+}
+
+impl PhysicalOperator for ProjectOp {
+    fn name(&self) -> &'static str {
+        "Project"
+    }
+
+    fn execute(&self, _ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
+        let table = &input.table;
+        let mut fields = Vec::new();
+        let mut columns = Vec::new();
+        for item in &self.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, f) in table.schema().fields().iter().enumerate() {
+                        fields.push(f.clone());
+                        columns.push(table.column(i).clone());
+                    }
+                }
+                SelectItem::Expr { expr, .. } => {
+                    let col = vector::eval_expr(expr, table)?;
+                    fields.push(Field::new(output_name(item), col.data_type()));
+                    columns.push(col);
+                }
+            }
+        }
+        Ok(Batch {
+            table: Table::new(Schema::new(fields), columns)?,
+            weights: None,
+        })
+    }
+}
+
+/// Grouped (or global) aggregation; `weighted` records whether the plan
+/// rewrites aggregates into their weighted forms.
+pub struct HashAggregateOp {
+    /// The SELECT list.
+    pub items: Vec<SelectItem>,
+    /// GROUP BY expressions (empty = one global group).
+    pub group_by: Vec<Expr>,
+    /// Weighted-rewrite property (paper §5.3): COUNT(*) → SUM(weight),
+    /// SUM(x) → SUM(weight·x), AVG → weighted mean.
+    pub weighted: bool,
+}
+
+impl PhysicalOperator for HashAggregateOp {
+    fn name(&self) -> &'static str {
+        "HashAggregate"
+    }
+
+    fn execute(&self, _ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
+        debug_assert_eq!(self.weighted, input.weights.is_some());
+        let table = aggregate::execute(
+            &self.items,
+            &self.group_by,
+            &input.table,
+            input.weights.as_deref(),
+        )?;
+        Ok(Batch {
+            table,
+            weights: None,
+        })
+    }
+}
+
+/// `ORDER BY` — stable sort on evaluated key columns.
+pub struct SortOp {
+    /// `(expr, descending)` sort keys.
+    pub keys: Vec<(Expr, bool)>,
+}
+
+impl PhysicalOperator for SortOp {
+    fn name(&self) -> &'static str {
+        "Sort"
+    }
+
+    fn execute(&self, ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
+        let out = &input.table;
+        // Prefer keys resolved against the output (aliases, aggregate
+        // names); fall back to the pre-projection input when the output
+        // lacks the column and row counts line up.
+        let mut key_cols: Vec<Column> = Vec::with_capacity(self.keys.len());
+        for (expr, _) in &self.keys {
+            let col = match vector::eval_expr(expr, out) {
+                Ok(c) => c,
+                Err(e) => match ctx.filtered_input {
+                    Some(t) if t.num_rows() == out.num_rows() => vector::eval_expr(expr, t)?,
+                    _ => return Err(e),
+                },
+            };
+            key_cols.push(col);
+        }
+        let mut idx: Vec<usize> = (0..out.num_rows()).collect();
+        idx.sort_by(|&a, &b| {
+            for (ki, (_, desc)) in self.keys.iter().enumerate() {
+                let ord = key_cols[ki].total_cmp_rows(a, b);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(Batch {
+            table: out.take(&idx),
+            weights: input.weights.as_ref().map(|w| kernels::take_f64(w, &idx)),
+        })
+    }
+}
+
+/// `LIMIT n`.
+pub struct LimitOp {
+    /// Maximum number of output rows.
+    pub n: usize,
+}
+
+impl PhysicalOperator for LimitOp {
+    fn name(&self) -> &'static str {
+        "Limit"
+    }
+
+    fn execute(&self, _ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
+        Ok(Batch {
+            table: input.table.limit(self.n),
+            weights: input
+                .weights
+                .as_ref()
+                .map(|w| w[..w.len().min(self.n)].to_vec()),
+        })
+    }
+}
+
+/// A lowered SELECT: filter stages, one shape stage (projection or
+/// aggregation), then ordering stages.
+pub struct PhysicalPlan {
+    pre_shape: Vec<Box<dyn PhysicalOperator>>,
+    shape: Box<dyn PhysicalOperator>,
+    post_shape: Vec<Box<dyn PhysicalOperator>>,
+    /// True when `shape` aggregates. ORDER BY keys must then resolve
+    /// against the aggregate output only — offering the pre-shape input
+    /// as a fallback would let sorts silently bind to unaggregated
+    /// source columns whenever the group count happens to equal the
+    /// input row count.
+    aggregate_shape: bool,
+}
+
+impl PhysicalPlan {
+    /// Execute against a source table with optional row weights.
+    pub fn execute(&self, table: &Table, weights: Option<&[f64]>) -> Result<Table> {
+        let no_input = ExecContext {
+            filtered_input: None,
+        };
+        let mut batch = Batch {
+            table: table.clone(),
+            weights: weights.map(<[f64]>::to_vec),
+        };
+        for op in &self.pre_shape {
+            batch = op.execute(&no_input, &batch)?;
+        }
+        let mut out = self.shape.execute(&no_input, &batch)?;
+        let ctx = ExecContext {
+            filtered_input: (!self.aggregate_shape).then_some(&batch.table),
+        };
+        for op in &self.post_shape {
+            out = op.execute(&ctx, &out)?;
+        }
+        Ok(out.table)
+    }
+
+    /// Operator names in execution order (EXPLAIN-style).
+    pub fn operators(&self) -> Vec<&'static str> {
+        let mut names = vec!["Scan"];
+        names.extend(self.pre_shape.iter().map(|op| op.name()));
+        names.push(self.shape.name());
+        names.extend(self.post_shape.iter().map(|op| op.name()));
+        names
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.operators().join(" → "))
+    }
+}
+
+/// True when the statement needs the aggregate shape.
+pub(crate) fn has_aggregate_shape(stmt: &SelectStmt) -> bool {
+    !stmt.group_by.is_empty()
+        || stmt.items.iter().any(|item| match item {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            SelectItem::Wildcard => false,
+        })
+}
+
+/// Lower a SELECT into a physical plan. `weighted` marks whether the
+/// execution will carry row weights (population queries under SEMI-OPEN /
+/// OPEN visibility).
+pub fn lower(stmt: &SelectStmt, weighted: bool) -> PhysicalPlan {
+    let mut pre_shape: Vec<Box<dyn PhysicalOperator>> = Vec::new();
+    if let Some(pred) = &stmt.where_clause {
+        pre_shape.push(Box::new(FilterOp {
+            predicate: pred.clone(),
+        }));
+    }
+    let aggregate_shape = has_aggregate_shape(stmt);
+    let shape: Box<dyn PhysicalOperator> = if aggregate_shape {
+        Box::new(HashAggregateOp {
+            items: stmt.items.clone(),
+            group_by: stmt.group_by.clone(),
+            weighted,
+        })
+    } else {
+        Box::new(ProjectOp {
+            items: stmt.items.clone(),
+        })
+    };
+    let mut post_shape: Vec<Box<dyn PhysicalOperator>> = Vec::new();
+    if !stmt.order_by.is_empty() {
+        post_shape.push(Box::new(SortOp {
+            keys: stmt.order_by.clone(),
+        }));
+    }
+    if let Some(n) = stmt.limit {
+        post_shape.push(Box::new(LimitOp { n }));
+    }
+    PhysicalPlan {
+        pre_shape,
+        shape,
+        post_shape,
+        aggregate_shape,
+    }
+}
+
+/// Output column name of a projection item.
+pub(crate) fn output_name(item: &SelectItem) -> String {
+    match item {
+        SelectItem::Wildcard => "*".into(),
+        SelectItem::Expr { expr, alias } => alias.clone().unwrap_or_else(|| expr.default_name()),
+    }
+}
+
+/// Assemble per-group output rows into a table, inferring each column's
+/// type with the Int→Float widening rule the reference executor uses.
+pub(crate) fn assemble_value_rows(fields: &[String], value_rows: &[Vec<Value>]) -> Result<Table> {
+    let ncols = fields.len();
+    let mut schema_fields = Vec::with_capacity(ncols);
+    let mut columns = Vec::with_capacity(ncols);
+    for c in 0..ncols {
+        let mut ty: Option<DataType> = None;
+        for row in value_rows {
+            match (ty, row[c].data_type()) {
+                (None, Some(t)) => ty = Some(t),
+                (Some(DataType::Int), Some(DataType::Float)) => ty = Some(DataType::Float),
+                _ => {}
+            }
+        }
+        let ty = ty.unwrap_or(DataType::Int);
+        let mut b = ColumnBuilder::with_capacity(ty, value_rows.len());
+        for row in value_rows {
+            let v = match (&row[c], ty) {
+                (Value::Int(i), DataType::Float) => Value::Float(*i as f64),
+                (v, _) => v.clone(),
+            };
+            b.push(v)?;
+        }
+        schema_fields.push(Field::new(fields[c].clone(), ty));
+        columns.push(b.finish());
+    }
+    Table::new(Schema::new(schema_fields), columns).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_sql::{parse, Statement};
+    use mosaic_storage::TableBuilder;
+
+    fn select(src: &str) -> SelectStmt {
+        match parse(src).unwrap().pop().unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (k, v) in [("a", 1), ("b", 2), ("a", 3), ("b", 4), ("c", 5)] {
+            b.push_row(vec![k.into(), (v as i64).into()]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn lowering_shapes() {
+        let plan = lower(&select("SELECT * FROM t"), false);
+        assert_eq!(plan.operators(), vec!["Scan", "Project"]);
+        let plan = lower(
+            &select("SELECT k, COUNT(*) FROM t WHERE v > 1 GROUP BY k ORDER BY k LIMIT 2"),
+            true,
+        );
+        assert_eq!(
+            plan.operators(),
+            vec!["Scan", "Filter", "HashAggregate", "Sort", "Limit"]
+        );
+        assert_eq!(
+            plan.to_string(),
+            "Scan → Filter → HashAggregate → Sort → Limit"
+        );
+    }
+
+    #[test]
+    fn plan_executes_group_by() {
+        let plan = lower(
+            &select("SELECT k, SUM(v) AS s FROM t GROUP BY k ORDER BY s DESC"),
+            false,
+        );
+        let out = plan.execute(&table(), None).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.value(0, 0), Value::Str("b".into()));
+        assert_eq!(out.value(0, 1), Value::Int(6));
+        assert_eq!(out.value(1, 0), Value::Str("c".into()));
+        assert_eq!(out.value(2, 0), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn weighted_plan_property() {
+        let plan = lower(&select("SELECT COUNT(*) FROM t"), true);
+        let w = [2.0, 2.0, 2.0, 2.0, 2.0];
+        let out = plan.execute(&table(), Some(&w)).unwrap();
+        assert_eq!(out.value(0, 0), Value::Float(10.0));
+    }
+
+    #[test]
+    fn aggregate_sort_cannot_bind_source_columns() {
+        // Every key is its own group, so group count == input row count;
+        // the sort must still refuse to fall back to the unaggregated
+        // input (the row-wise reference errors here too).
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (k, v) in [("a", 3), ("b", 1), ("c", 2)] {
+            b.push_row(vec![k.into(), (v as i64).into()]).unwrap();
+        }
+        let t = b.finish();
+        let plan = lower(
+            &select("SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY v"),
+            false,
+        );
+        assert!(plan.execute(&t, None).is_err());
+    }
+
+    #[test]
+    fn min_max_beyond_f64_precision_matches_oracle() {
+        // 2^53 + 1 and 2^53 collapse to the same f64; the reference's
+        // sql_cmp sees them as equal and keeps the first value.
+        let schema = Schema::new(vec![Field::new("v", DataType::Int)]);
+        let mut b = TableBuilder::new(schema);
+        for v in [(1i64 << 53) + 1, 1i64 << 53] {
+            b.push_row(vec![v.into()]).unwrap();
+        }
+        let t = b.finish();
+        let stmt = select("SELECT MIN(v), MAX(v) FROM t");
+        let vectorized = lower(&stmt, false).execute(&t, None).unwrap();
+        let rowwise = crate::exec::run_select_rowwise(&stmt, &t, None).unwrap();
+        assert_eq!(vectorized.value(0, 0), rowwise.value(0, 0));
+        assert_eq!(vectorized.value(0, 1), rowwise.value(0, 1));
+    }
+
+    #[test]
+    fn sort_falls_back_to_filtered_input() {
+        let plan = lower(
+            &select("SELECT k FROM t WHERE v > 1 ORDER BY v DESC"),
+            false,
+        );
+        let out = plan.execute(&table(), None).unwrap();
+        assert_eq!(out.value(0, 0), Value::Str("c".into()));
+        assert_eq!(out.num_rows(), 4);
+    }
+}

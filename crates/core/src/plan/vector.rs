@@ -1,0 +1,918 @@
+//! Vectorized expression evaluation over columnar tables.
+//!
+//! Expressions are lowered onto the typed kernels of
+//! `mosaic_storage::kernels` whenever their shape allows it (numeric
+//! arithmetic and comparisons, string comparisons, boolean logic in
+//! three-valued form, `IN` lists, `BETWEEN`, `IS NULL`). Shapes outside
+//! the fast path fall back to the row-at-a-time reference evaluator in
+//! [`crate::eval`], which also serves as the equivalence oracle for the
+//! property-test suite: for every expression, this module's results are
+//! value-identical to the oracle's (including error cases, which are
+//! always delegated to the oracle so messages match exactly).
+
+use std::borrow::Cow;
+
+use mosaic_sql::{BinOp, Expr, UnaryOp};
+use mosaic_storage::kernels::{self, CmpOp, FloatArithOp, IntArithOp};
+use mosaic_storage::{Bitmap, Column, ColumnBuilder, DataType, Table, Value};
+
+use crate::Result;
+
+/// A three-valued-logic boolean vector: row `i` is TRUE iff
+/// `truth[i] && valid[i]`, FALSE iff `!truth[i] && valid[i]`, and NULL
+/// (unknown) iff `!valid[i]`. `valid = None` means every row is known.
+pub(crate) struct BoolVec {
+    truth: Bitmap,
+    valid: Option<Bitmap>,
+}
+
+impl BoolVec {
+    fn all_known(truth: Bitmap) -> BoolVec {
+        BoolVec { truth, valid: None }
+    }
+
+    fn known_true(&self) -> Bitmap {
+        match &self.valid {
+            None => self.truth.clone(),
+            Some(v) => self.truth.and(v),
+        }
+    }
+
+    fn known_false(&self) -> Bitmap {
+        match &self.valid {
+            None => self.truth.not(),
+            Some(v) => self.truth.not().and(v),
+        }
+    }
+
+    /// Selection bitmap under SQL predicate semantics (NULL ⇒ excluded).
+    pub(crate) fn selection(&self) -> Bitmap {
+        self.known_true()
+    }
+}
+
+/// A numeric intermediate: either a scalar (splat lazily) or a typed
+/// vector with optional validity.
+enum Num<'a> {
+    ScalarInt(i64),
+    ScalarFloat(f64),
+    /// A literal NULL (propagates to every row).
+    ScalarNull,
+    Int(Cow<'a, [i64]>, Option<Bitmap>),
+    Float(Cow<'a, [f64]>, Option<Bitmap>),
+}
+
+impl Num<'_> {
+    fn validity(&self) -> Option<&Bitmap> {
+        match self {
+            Num::Int(_, v) | Num::Float(_, v) => v.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+// ---- public entry points ----
+
+/// Vectorized predicate evaluation into a selection bitmap; falls back to
+/// the row-at-a-time reference evaluator for unsupported shapes.
+pub fn eval_predicate(expr: &Expr, table: &Table) -> Result<Bitmap> {
+    match eval_bool(expr, table) {
+        Some(bv) => Ok(bv.selection()),
+        None => crate::eval::eval_predicate_rowwise(expr, table),
+    }
+}
+
+/// Vectorized expression-to-column evaluation; falls back to the
+/// row-at-a-time reference evaluator for unsupported shapes.
+pub fn eval_expr(expr: &Expr, table: &Table) -> Result<Column> {
+    let n = table.num_rows();
+    if n == 0 {
+        // The reference evaluator never inspects the expression on an
+        // empty table and infers the default Int type; mirror that.
+        return Ok(ColumnBuilder::new(DataType::Int).finish());
+    }
+    if let Some(col) = try_eval_column(expr, table, n) {
+        return Ok(finalize_column(col));
+    }
+    crate::eval::eval_expr_rowwise(expr, table)
+}
+
+fn try_eval_column(expr: &Expr, table: &Table, n: usize) -> Option<Column> {
+    match expr {
+        Expr::Column(name) => table.column_by_name(name).ok().cloned(),
+        Expr::Literal(v) => splat_value(v, n),
+        _ => {
+            if let Some(num) = eval_num(expr, table) {
+                Some(num_to_column(num, n))
+            } else {
+                eval_bool(expr, table).map(bool_to_column)
+            }
+        }
+    }
+}
+
+/// The reference evaluator infers a column type from the values it sees,
+/// defaulting to Int when every value is NULL; mirror that so output
+/// schemas are identical.
+fn finalize_column(col: Column) -> Column {
+    let n = col.len();
+    if n > 0 && col.null_count() == n && col.data_type() != DataType::Int {
+        return Column::from_i64_opt(vec![0; n], Some(Bitmap::zeros(n)));
+    }
+    col
+}
+
+fn splat_value(v: &Value, n: usize) -> Option<Column> {
+    Some(match v {
+        Value::Null => Column::from_i64_opt(vec![0; n], Some(Bitmap::zeros(n))),
+        Value::Bool(b) => Column::from_bool(vec![*b; n]),
+        Value::Int(i) => Column::from_i64(vec![*i; n]),
+        Value::Float(f) => Column::from_f64(vec![*f; n]),
+        Value::Str(s) => Column::from_str(vec![s.clone(); n]),
+    })
+}
+
+fn num_to_column(num: Num<'_>, n: usize) -> Column {
+    match num {
+        Num::ScalarInt(i) => Column::from_i64(vec![i; n]),
+        Num::ScalarFloat(f) => Column::from_f64(vec![f; n]),
+        Num::ScalarNull => Column::from_i64_opt(vec![0; n], Some(Bitmap::zeros(n))),
+        Num::Int(d, v) => Column::from_i64_opt(d.into_owned(), v),
+        Num::Float(d, v) => Column::from_f64_opt(d.into_owned(), v),
+    }
+}
+
+fn bool_to_column(bv: BoolVec) -> Column {
+    let data: Vec<bool> = (0..bv.truth.len()).map(|i| bv.truth.get(i)).collect();
+    Column::from_bool_opt(data, bv.valid)
+}
+
+// ---- numeric expression lowering ----
+
+fn eval_num<'a>(expr: &'a Expr, table: &'a Table) -> Option<Num<'a>> {
+    match expr {
+        Expr::Literal(Value::Int(i)) => Some(Num::ScalarInt(*i)),
+        Expr::Literal(Value::Float(f)) => Some(Num::ScalarFloat(*f)),
+        Expr::Literal(Value::Null) => Some(Num::ScalarNull),
+        Expr::Literal(_) => None,
+        Expr::Column(name) => {
+            let col = table.column_by_name(name).ok()?;
+            match col.data_type() {
+                DataType::Int => Some(Num::Int(
+                    Cow::Borrowed(col.i64_data()?),
+                    col.validity().cloned(),
+                )),
+                DataType::Float => Some(Num::Float(
+                    Cow::Borrowed(col.f64_data()?),
+                    col.validity().cloned(),
+                )),
+                _ => None,
+            }
+        }
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => Some(match eval_num(expr, table)? {
+            Num::ScalarInt(i) => Num::ScalarInt(i.wrapping_neg()),
+            Num::ScalarFloat(f) => Num::ScalarFloat(-f),
+            Num::ScalarNull => Num::ScalarNull,
+            Num::Int(d, v) => Num::Int(Cow::Owned(kernels::neg_i64(&d)), v),
+            Num::Float(d, v) => Num::Float(Cow::Owned(kernels::neg_f64(&d)), v),
+        }),
+        Expr::Binary { left, op, right }
+            if matches!(
+                op,
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+            ) =>
+        {
+            let l = eval_num(left, table)?;
+            let r = eval_num(right, table)?;
+            num_binary(l, *op, r)
+        }
+        _ => None,
+    }
+}
+
+/// Scalar∘scalar arithmetic through the reference evaluator (guarantees
+/// identical semantics for Int/Int division, div-by-zero, …).
+fn scalar_binary(l: Value, op: BinOp, r: Value) -> Option<Num<'static>> {
+    let expr = Expr::Binary {
+        left: Box::new(Expr::Literal(l)),
+        op,
+        right: Box::new(Expr::Literal(r)),
+    };
+    match crate::eval::eval_row(&expr, None, 0).ok()? {
+        Value::Int(i) => Some(Num::ScalarInt(i)),
+        Value::Float(f) => Some(Num::ScalarFloat(f)),
+        Value::Null => Some(Num::ScalarNull),
+        _ => None,
+    }
+}
+
+fn scalar_value(num: &Num<'_>) -> Option<Value> {
+    match num {
+        Num::ScalarInt(i) => Some(Value::Int(*i)),
+        Num::ScalarFloat(f) => Some(Value::Float(*f)),
+        Num::ScalarNull => Some(Value::Null),
+        _ => None,
+    }
+}
+
+fn is_scalar(num: &Num<'_>) -> bool {
+    scalar_value(num).is_some()
+}
+
+fn int_arith_op(op: BinOp) -> Option<IntArithOp> {
+    match op {
+        BinOp::Add => Some(IntArithOp::Add),
+        BinOp::Sub => Some(IntArithOp::Sub),
+        BinOp::Mul => Some(IntArithOp::Mul),
+        _ => None,
+    }
+}
+
+fn float_arith_op(op: BinOp) -> Option<FloatArithOp> {
+    match op {
+        BinOp::Add => Some(FloatArithOp::Add),
+        BinOp::Sub => Some(FloatArithOp::Sub),
+        BinOp::Mul => Some(FloatArithOp::Mul),
+        _ => None,
+    }
+}
+
+/// Materialize a numeric operand as `f64` data (widening ints, splatting
+/// scalars to `len`).
+fn to_f64_vec(num: &Num<'_>, len: usize) -> Option<Vec<f64>> {
+    match num {
+        Num::ScalarInt(i) => Some(vec![*i as f64; len]),
+        Num::ScalarFloat(f) => Some(vec![*f; len]),
+        Num::ScalarNull => None,
+        Num::Int(d, _) => Some(kernels::widen_i64(d)),
+        Num::Float(d, _) => Some(d.to_vec()),
+    }
+}
+
+fn num_len(num: &Num<'_>) -> Option<usize> {
+    match num {
+        Num::Int(d, _) => Some(d.len()),
+        Num::Float(d, _) => Some(d.len()),
+        _ => None,
+    }
+}
+
+fn num_binary<'a>(l: Num<'a>, op: BinOp, r: Num<'a>) -> Option<Num<'a>> {
+    // NULL literal on either side nulls every row.
+    if matches!(l, Num::ScalarNull) || matches!(r, Num::ScalarNull) {
+        return Some(Num::ScalarNull);
+    }
+    if is_scalar(&l) && is_scalar(&r) {
+        return scalar_binary(scalar_value(&l)?, op, scalar_value(&r)?);
+    }
+    let len = num_len(&l).or_else(|| num_len(&r))?;
+    let valid = kernels::combine_validity(l.validity(), r.validity());
+
+    // Integer-preserving paths (Add/Sub/Mul/Mod stay Int when both sides
+    // are Int; Div is always float per SQL semantics).
+    if let (Num::Int(a, _), Num::Int(b, _)) = (&l, &r) {
+        if let Some(iop) = int_arith_op(op) {
+            return Some(Num::Int(Cow::Owned(kernels::arith_i64(a, iop, b)), valid));
+        }
+        if op == BinOp::Mod {
+            let (out, nonzero) = kernels::mod_i64(a, b);
+            let valid = kernels::combine_validity(valid.as_ref(), Some(&nonzero));
+            return Some(Num::Int(Cow::Owned(out), valid));
+        }
+    }
+    if let (Num::Int(a, _), Num::ScalarInt(b)) = (&l, &r) {
+        if let Some(iop) = int_arith_op(op) {
+            return Some(Num::Int(
+                Cow::Owned(kernels::arith_i64_scalar(a, iop, *b)),
+                valid,
+            ));
+        }
+        if op == BinOp::Mod {
+            let (out, nonzero) = kernels::mod_i64(a, &vec![*b; len]);
+            let valid = kernels::combine_validity(valid.as_ref(), Some(&nonzero));
+            return Some(Num::Int(Cow::Owned(out), valid));
+        }
+    }
+    if let (Num::ScalarInt(a), Num::Int(b, _)) = (&l, &r) {
+        match op {
+            // Commutative ops reuse the scalar-rhs kernel directly.
+            BinOp::Add => {
+                return Some(Num::Int(
+                    Cow::Owned(kernels::arith_i64_scalar(b, IntArithOp::Add, *a)),
+                    valid,
+                ))
+            }
+            BinOp::Mul => {
+                return Some(Num::Int(
+                    Cow::Owned(kernels::arith_i64_scalar(b, IntArithOp::Mul, *a)),
+                    valid,
+                ))
+            }
+            // a - x = -(x - a), still one pass plus an in-place negate.
+            BinOp::Sub => {
+                return Some(Num::Int(
+                    Cow::Owned(kernels::neg_i64(&kernels::arith_i64_scalar(
+                        b,
+                        IntArithOp::Sub,
+                        *a,
+                    ))),
+                    valid,
+                ))
+            }
+            // Scalar % vector has no cheap rewrite; splat the scalar.
+            BinOp::Mod => {
+                let (out, nonzero) = kernels::mod_i64(&vec![*a; len], b);
+                let valid = kernels::combine_validity(valid.as_ref(), Some(&nonzero));
+                return Some(Num::Int(Cow::Owned(out), valid));
+            }
+            _ => {}
+        }
+    }
+
+    // Scalar-broadcast fast paths: no splat of the scalar side.
+    if let Some(fop) = float_arith_op(op) {
+        match (scalar_f64(&l), scalar_f64(&r)) {
+            (None, Some(b)) => {
+                let a = num_f64_data(&l)?;
+                return Some(Num::Float(
+                    Cow::Owned(kernels::arith_f64_scalar(&a, fop, b)),
+                    valid,
+                ));
+            }
+            (Some(a), None) => {
+                let b = num_f64_data(&r)?;
+                return Some(Num::Float(
+                    Cow::Owned(kernels::arith_scalar_f64(a, fop, &b)),
+                    valid,
+                ));
+            }
+            _ => {}
+        }
+    }
+    // Float path (covers Div over ints and every mixed combination).
+    let a = to_f64_vec(&l, len)?;
+    let b = to_f64_vec(&r, len)?;
+    match op {
+        BinOp::Div => {
+            let (out, nonzero) = kernels::div_f64(&a, &b);
+            let valid = kernels::combine_validity(valid.as_ref(), Some(&nonzero));
+            Some(Num::Float(Cow::Owned(out), valid))
+        }
+        BinOp::Mod => {
+            let (out, nonzero) = kernels::mod_f64(&a, &b);
+            let valid = kernels::combine_validity(valid.as_ref(), Some(&nonzero));
+            Some(Num::Float(Cow::Owned(out), valid))
+        }
+        _ => {
+            let fop = float_arith_op(op)?;
+            Some(Num::Float(
+                Cow::Owned(kernels::arith_f64(&a, fop, &b)),
+                valid,
+            ))
+        }
+    }
+}
+
+/// Numeric scalar as `f64` (ints widen); `None` for vectors and NULL.
+fn scalar_f64(num: &Num<'_>) -> Option<f64> {
+    match num {
+        Num::ScalarInt(i) => Some(*i as f64),
+        Num::ScalarFloat(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Vector payload as `f64` data (borrowed for floats, widened for ints);
+/// `None` for scalars.
+fn num_f64_data<'b>(num: &'b Num<'_>) -> Option<Cow<'b, [f64]>> {
+    match num {
+        Num::Int(d, _) => Some(Cow::Owned(kernels::widen_i64(d))),
+        Num::Float(d, _) => Some(Cow::Borrowed(d)),
+        _ => None,
+    }
+}
+
+// ---- boolean expression lowering ----
+
+fn cmp_op(op: BinOp) -> Option<CmpOp> {
+    match op {
+        BinOp::Eq => Some(CmpOp::Eq),
+        BinOp::NotEq => Some(CmpOp::Ne),
+        BinOp::Lt => Some(CmpOp::Lt),
+        BinOp::LtEq => Some(CmpOp::Le),
+        BinOp::Gt => Some(CmpOp::Gt),
+        BinOp::GtEq => Some(CmpOp::Ge),
+        _ => None,
+    }
+}
+
+/// Mirror of the comparison for swapped operands (`5 < x` ⇔ `x > 5`).
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+pub(crate) fn eval_bool(expr: &Expr, table: &Table) -> Option<BoolVec> {
+    let n = table.num_rows();
+    match expr {
+        Expr::Literal(Value::Bool(b)) => Some(BoolVec::all_known(if *b {
+            Bitmap::ones(n)
+        } else {
+            Bitmap::zeros(n)
+        })),
+        Expr::Literal(Value::Null) => Some(BoolVec {
+            truth: Bitmap::zeros(n),
+            valid: Some(Bitmap::zeros(n)),
+        }),
+        Expr::Column(name) => {
+            let col = table.column_by_name(name).ok()?;
+            let data = col.bool_data()?;
+            Some(BoolVec {
+                truth: Bitmap::from_iter(data.iter().copied()),
+                valid: col.validity().cloned(),
+            })
+        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => {
+            let bv = eval_bool(expr, table)?;
+            Some(BoolVec {
+                truth: bv.known_false(),
+                valid: bv.valid,
+            })
+        }
+        Expr::Binary { left, op, right } => match op {
+            BinOp::And | BinOp::Or => {
+                let l = eval_bool(left, table)?;
+                let r = eval_bool(right, table)?;
+                if l.valid.is_none() && r.valid.is_none() {
+                    let truth = if *op == BinOp::And {
+                        l.truth.and(&r.truth)
+                    } else {
+                        l.truth.or(&r.truth)
+                    };
+                    return Some(BoolVec::all_known(truth));
+                }
+                let (lt, lf) = (l.known_true(), l.known_false());
+                let (rt, rf) = (r.known_true(), r.known_false());
+                let (kt, kf) = if *op == BinOp::And {
+                    (lt.and(&rt), lf.or(&rf))
+                } else {
+                    (lt.or(&rt), lf.and(&rf))
+                };
+                let valid = kt.or(&kf);
+                Some(BoolVec {
+                    truth: kt,
+                    valid: Some(valid),
+                })
+            }
+            _ => {
+                let cop = cmp_op(*op)?;
+                eval_comparison(left, cop, right, table)
+            }
+        },
+        Expr::IsNull { expr, negated } => eval_is_null(expr, *negated, table),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => eval_in_list(expr, list, *negated, table),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            // Direct lowering (NOT decomposable into 3VL AND: the
+            // reference evaluator yields NULL when *any* bound is NULL,
+            // even if the other bound already decides the answer).
+            let v = eval_num(expr, table)?;
+            let lo = eval_num(low, table)?;
+            let hi = eval_num(high, table)?;
+            // Vector operand with scalar bounds takes the fused range
+            // kernel (scalar, NULL, or NaN-bearing operands use the
+            // general path, whose compare_nums NaN guard falls back to
+            // the row-wise oracle).
+            if let (Some(lo), Some(hi)) = (scalar_f64(&lo), scalar_f64(&hi)) {
+                let inside = if lo.is_nan() || hi.is_nan() || contains_nan(&v) {
+                    None
+                } else {
+                    match &v {
+                        Num::Int(d, _) => Some(kernels::between_i64(d, lo, hi)),
+                        Num::Float(d, _) => Some(kernels::between_f64(d, lo, hi)),
+                        _ => None,
+                    }
+                };
+                if let Some(inside) = inside {
+                    return Some(BoolVec {
+                        truth: if *negated { inside.not() } else { inside },
+                        valid: v.validity().cloned(),
+                    });
+                }
+            }
+            let ge = compare_nums(&v, CmpOp::Ge, &lo, n)?;
+            let le = compare_nums(&v, CmpOp::Le, &hi, n)?;
+            let inside = ge.truth.and(&le.truth);
+            let valid = kernels::combine_validity(ge.valid.as_ref(), le.valid.as_ref());
+            Some(BoolVec {
+                truth: if *negated { inside.not() } else { inside },
+                valid,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn eval_comparison(left: &Expr, op: CmpOp, right: &Expr, table: &Table) -> Option<BoolVec> {
+    let n = table.num_rows();
+    // Numeric comparison (everything coerces through f64, like sql_cmp).
+    if let (Some(l), Some(r)) = (eval_num(left, table), eval_num(right, table)) {
+        return compare_nums(&l, op, &r, n);
+    }
+    // String comparison.
+    let l = str_operand(left, table)?;
+    let r = str_operand(right, table)?;
+    match (l, r) {
+        (StrOperand::Scalar(a), StrOperand::Scalar(b)) => {
+            let truth = op.holds(a.cmp(b));
+            Some(BoolVec::all_known(if truth {
+                Bitmap::ones(n)
+            } else {
+                Bitmap::zeros(n)
+            }))
+        }
+        (StrOperand::Col(d, v), StrOperand::Scalar(s)) => Some(BoolVec {
+            truth: kernels::cmp_str_scalar(d, op, s),
+            valid: v.cloned(),
+        }),
+        (StrOperand::Scalar(s), StrOperand::Col(d, v)) => Some(BoolVec {
+            truth: kernels::cmp_str_scalar(d, flip(op), s),
+            valid: v.cloned(),
+        }),
+        (StrOperand::Col(a, va), StrOperand::Col(b, vb)) => Some(BoolVec {
+            truth: kernels::cmp_str(a, b, op),
+            valid: kernels::combine_validity(va, vb),
+        }),
+    }
+}
+
+enum StrOperand<'a> {
+    Scalar(&'a str),
+    Col(&'a [String], Option<&'a Bitmap>),
+}
+
+fn str_operand<'a>(expr: &'a Expr, table: &'a Table) -> Option<StrOperand<'a>> {
+    match expr {
+        Expr::Literal(Value::Str(s)) => Some(StrOperand::Scalar(s)),
+        Expr::Column(name) => {
+            let col = table.column_by_name(name).ok()?;
+            Some(StrOperand::Col(col.str_data()?, col.validity()))
+        }
+        _ => None,
+    }
+}
+
+/// True if a numeric operand can contain NaN anywhere `sql_cmp` would
+/// see it. The reference evaluator *errors* on NaN comparisons
+/// (`partial_cmp` returns `None` → "cannot compare"), so the kernels
+/// must not silently answer them — bail to the row-wise fallback.
+fn contains_nan(num: &Num<'_>) -> bool {
+    match num {
+        Num::ScalarFloat(f) => f.is_nan(),
+        Num::Float(d, _) => d.iter().any(|v| v.is_nan()),
+        _ => false,
+    }
+}
+
+fn compare_nums(l: &Num<'_>, op: CmpOp, r: &Num<'_>, n: usize) -> Option<BoolVec> {
+    if matches!(l, Num::ScalarNull) || matches!(r, Num::ScalarNull) {
+        return Some(BoolVec {
+            truth: Bitmap::zeros(n),
+            valid: Some(Bitmap::zeros(n)),
+        });
+    }
+    if contains_nan(l) || contains_nan(r) {
+        return None;
+    }
+    let valid = kernels::combine_validity(l.validity(), r.validity());
+    let truth = match (l, r) {
+        (Num::Int(a, _), Num::ScalarInt(b)) => kernels::cmp_i64_scalar(a, op, *b as f64),
+        (Num::Int(a, _), Num::ScalarFloat(b)) => kernels::cmp_i64_scalar(a, op, *b),
+        (Num::Float(a, _), Num::ScalarInt(b)) => kernels::cmp_f64_scalar(a, op, *b as f64),
+        (Num::Float(a, _), Num::ScalarFloat(b)) => kernels::cmp_f64_scalar(a, op, *b),
+        (Num::ScalarInt(a), Num::Int(b, _)) => kernels::cmp_i64_scalar(b, flip(op), *a as f64),
+        (Num::ScalarFloat(a), Num::Int(b, _)) => kernels::cmp_i64_scalar(b, flip(op), *a),
+        (Num::ScalarInt(a), Num::Float(b, _)) => kernels::cmp_f64_scalar(b, flip(op), *a as f64),
+        (Num::ScalarFloat(a), Num::Float(b, _)) => kernels::cmp_f64_scalar(b, flip(op), *a),
+        (Num::Int(a, _), Num::Int(b, _)) => kernels::cmp_i64(a, b, op),
+        (Num::Float(a, _), Num::Float(b, _)) => kernels::cmp_f64(a, b, op),
+        (Num::Int(a, _), Num::Float(b, _)) => kernels::cmp_i64_f64(a, b, op),
+        (Num::Float(a, _), Num::Int(b, _)) => kernels::cmp_f64_i64(a, b, op),
+        (a, b) => {
+            // Scalar vs scalar: evaluate once and splat.
+            let expr = Expr::Binary {
+                left: Box::new(Expr::Literal(scalar_value(a)?)),
+                op: scalar_cmp_binop(op),
+                right: Box::new(Expr::Literal(scalar_value(b)?)),
+            };
+            return match crate::eval::eval_row(&expr, None, 0).ok()? {
+                Value::Bool(t) => Some(BoolVec {
+                    truth: if t { Bitmap::ones(n) } else { Bitmap::zeros(n) },
+                    valid,
+                }),
+                Value::Null => Some(BoolVec {
+                    truth: Bitmap::zeros(n),
+                    valid: Some(Bitmap::zeros(n)),
+                }),
+                _ => None,
+            };
+        }
+    };
+    Some(BoolVec { truth, valid })
+}
+
+fn scalar_cmp_binop(op: CmpOp) -> BinOp {
+    match op {
+        CmpOp::Eq => BinOp::Eq,
+        CmpOp::Ne => BinOp::NotEq,
+        CmpOp::Lt => BinOp::Lt,
+        CmpOp::Le => BinOp::LtEq,
+        CmpOp::Gt => BinOp::Gt,
+        CmpOp::Ge => BinOp::GtEq,
+    }
+}
+
+fn eval_is_null(operand: &Expr, negated: bool, table: &Table) -> Option<BoolVec> {
+    let n = table.num_rows();
+    // Any column type works directly off the validity bitmap.
+    let null_mask: Bitmap = if let Expr::Column(name) = operand {
+        let col = table.column_by_name(name).ok()?;
+        match col.validity() {
+            Some(v) => v.not(),
+            None => Bitmap::zeros(n),
+        }
+    } else if let Some(num) = eval_num(operand, table) {
+        match num {
+            Num::ScalarNull => Bitmap::ones(n),
+            Num::ScalarInt(_) | Num::ScalarFloat(_) => Bitmap::zeros(n),
+            Num::Int(_, v) | Num::Float(_, v) => match v {
+                Some(v) => v.not(),
+                None => Bitmap::zeros(n),
+            },
+        }
+    } else {
+        return None;
+    };
+    Some(BoolVec::all_known(if negated {
+        null_mask.not()
+    } else {
+        null_mask
+    }))
+}
+
+fn eval_in_list(operand: &Expr, list: &[Expr], negated: bool, table: &Table) -> Option<BoolVec> {
+    // Only literal lists are lowered (the universal case in practice).
+    let mut literals = Vec::with_capacity(list.len());
+    for item in list {
+        match item {
+            Expr::Literal(v) => literals.push(v),
+            _ => return None,
+        }
+    }
+    let saw_null = literals.iter().any(|v| v.is_null());
+    let (matched, operand_valid) = match operand {
+        Expr::Column(name) => {
+            let col = table.column_by_name(name).ok()?;
+            let matched = match col.data_type() {
+                DataType::Str => {
+                    // Non-string literals never match a string operand
+                    // under sql_cmp (and don't count as NULL sightings
+                    // unless they are literal NULLs).
+                    let set: Vec<&str> = literals.iter().filter_map(|v| v.as_str()).collect();
+                    kernels::in_str_set(col.str_data()?, &set)
+                }
+                DataType::Int => {
+                    let set: Vec<f64> = literals.iter().filter_map(|v| v.as_f64()).collect();
+                    kernels::in_i64_set(col.i64_data()?, &set)
+                }
+                DataType::Float => {
+                    let set: Vec<f64> = literals.iter().filter_map(|v| v.as_f64()).collect();
+                    kernels::in_f64_set(col.f64_data()?, &set)
+                }
+                DataType::Bool => return None,
+            };
+            (matched, col.validity().cloned())
+        }
+        _ => {
+            let num = eval_num(operand, table)?;
+            let set: Vec<f64> = literals.iter().filter_map(|v| v.as_f64()).collect();
+            let matched = match &num {
+                Num::Int(d, _) => kernels::in_i64_set(d, &set),
+                Num::Float(d, _) => kernels::in_f64_set(d, &set),
+                // Scalar operands are rare; let the oracle handle them.
+                _ => return None,
+            };
+            (matched, num.validity().cloned())
+        }
+    };
+    // Row semantics: operand NULL ⇒ NULL; matched ⇒ !negated;
+    // unmatched with a NULL in the list ⇒ NULL; else ⇒ negated.
+    let truth = if negated {
+        matched.not()
+    } else {
+        matched.clone()
+    };
+    let valid = if saw_null {
+        Some(match &operand_valid {
+            Some(v) => v.and(&matched),
+            None => matched,
+        })
+    } else {
+        operand_valid
+    };
+    Some(BoolVec { truth, valid })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_sql::parse_expr;
+    use mosaic_storage::{Field, Schema, TableBuilder};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("s", DataType::Str),
+            Field::new("f", DataType::Float),
+            Field::new("b", DataType::Bool),
+        ]);
+        let mut t = TableBuilder::new(schema);
+        t.push_row(vec![1.into(), "a".into(), 0.5.into(), true.into()])
+            .unwrap();
+        t.push_row(vec![2.into(), "b".into(), 1.5.into(), false.into()])
+            .unwrap();
+        t.push_row(vec![3.into(), "a".into(), Value::Null, Value::Null])
+            .unwrap();
+        t.push_row(vec![Value::Null, "c".into(), 4.5.into(), true.into()])
+            .unwrap();
+        t.finish()
+    }
+
+    /// Every predicate here must agree with the row-at-a-time oracle.
+    #[test]
+    fn predicates_match_oracle() {
+        let t = table();
+        for src in [
+            "x > 1",
+            "x > 1 AND s = 'a'",
+            "x = 1 OR s = 'b'",
+            "NOT x = 2",
+            "f < 100",
+            "f IS NULL",
+            "f IS NOT NULL",
+            "s IN ('a', 'z')",
+            "s NOT IN ('a')",
+            "x IN (1, 3, NULL)",
+            "x NOT IN (1, NULL)",
+            "x BETWEEN 2 AND 3",
+            "x NOT BETWEEN 2 AND 3",
+            "f BETWEEN 0 AND 2",
+            "x + 1 > 2",
+            "x * 2 = 4",
+            "x / 0 > 1",
+            "f > 0 OR x = 3",
+            "f > 0 AND x >= 1",
+            "b",
+            "NOT b",
+            "b = true",
+            "x % 2 = 1",
+            "2 < x",
+            "'a' = s",
+            "1 = 1",
+            "NULL > 1",
+            "-x < -1",
+            "x > 0.5",
+            "f = 1.5",
+            "x + f > 2",
+        ] {
+            let expr = parse_expr(src).unwrap();
+            let vec = eval_predicate(&expr, &t).unwrap();
+            let row = crate::eval::eval_predicate_rowwise(&expr, &t).unwrap();
+            assert_eq!(vec.to_indices(), row.to_indices(), "predicate {src}");
+        }
+    }
+
+    #[test]
+    fn projections_match_oracle() {
+        let t = table();
+        for src in [
+            "x",
+            "s",
+            "f",
+            "b",
+            "x + 1",
+            "x * 2",
+            "2 + x",
+            "2 * x",
+            "2 - x",
+            "7 % x",
+            "x + f",
+            "x / 2",
+            "x / 0",
+            "x % 2",
+            "f - 0.5",
+            "-x",
+            "-f",
+            "2",
+            "2.5",
+            "'lit'",
+            "NULL",
+            "x > 2",
+            "s = 'a'",
+            "f IS NULL",
+            "x IN (1, 2)",
+            "x BETWEEN 1 AND 2",
+        ] {
+            let expr = parse_expr(src).unwrap();
+            let vec = eval_expr(&expr, &t).unwrap();
+            let row = crate::eval::eval_expr_rowwise(&expr, &t).unwrap();
+            assert_eq!(vec.data_type(), row.data_type(), "type of {src}");
+            assert_eq!(vec.len(), row.len(), "len of {src}");
+            for i in 0..vec.len() {
+                assert_eq!(vec.value(i), row.value(i), "{src} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_table_defaults_to_int() {
+        let t = Table::empty(Schema::new(vec![Field::new("s", DataType::Str)]));
+        let c = eval_expr(&parse_expr("s").unwrap(), &t).unwrap();
+        assert_eq!(c.data_type(), DataType::Int);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn all_null_results_default_to_int() {
+        let schema = Schema::new(vec![Field::new("f", DataType::Float)]);
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec![Value::Null]).unwrap();
+        let t = b.finish();
+        let vec = eval_expr(&parse_expr("f + 1").unwrap(), &t).unwrap();
+        let row = crate::eval::eval_expr_rowwise(&parse_expr("f + 1").unwrap(), &t).unwrap();
+        assert_eq!(vec.data_type(), row.data_type());
+        assert_eq!(vec.value(0), row.value(0));
+    }
+
+    #[test]
+    fn nan_comparisons_agree_with_oracle() {
+        // The oracle errors on NaN comparisons (sql_cmp -> None) and
+        // yields NULL for NaN BETWEEN bounds; the kernels must not
+        // silently answer either shape.
+        let schema = Schema::new(vec![Field::new("f", DataType::Float)]);
+        let mut b = TableBuilder::new(schema);
+        for v in [1.0, f64::NAN, -2.0] {
+            b.push_row(vec![v.into()]).unwrap();
+        }
+        let t = b.finish();
+        for src in ["f > 0", "f BETWEEN 0 AND 2", "f NOT BETWEEN 0 AND 2"] {
+            let expr = parse_expr(src).unwrap();
+            let vec = eval_predicate(&expr, &t);
+            let row = crate::eval::eval_predicate_rowwise(&expr, &t);
+            match (vec, row) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_indices(), b.to_indices(), "{src}"),
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "{src}"),
+                other => panic!("divergence on {src}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back() {
+        let t = table();
+        // Bool arithmetic has no kernel path; the fallback must agree
+        // with (i.e. be) the oracle.
+        let expr = parse_expr("b + 1").unwrap();
+        let vec = eval_expr(&expr, &t);
+        let row = crate::eval::eval_expr_rowwise(&expr, &t);
+        match (vec, row) {
+            (Ok(a), Ok(b)) => {
+                for i in 0..a.len() {
+                    assert_eq!(a.value(i), b.value(i));
+                }
+            }
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            other => panic!("divergence: {other:?}"),
+        }
+    }
+}

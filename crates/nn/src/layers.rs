@@ -11,6 +11,12 @@ pub trait Layer {
     /// batch statistics vs. running statistics).
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix;
 
+    /// Evaluation-mode forward pass without mutation: no activation
+    /// caching, batch-norm uses running statistics. Because it borrows
+    /// `&self`, a fitted network can run inference from many threads at
+    /// once (the engine generates OPEN-query replicates in parallel).
+    fn forward_eval(&self, input: &Matrix) -> Matrix;
+
     /// Backward pass: consumes `dL/d output`, accumulates parameter grads,
     /// returns `dL/d input`. Must be called after a `forward` with
     /// `train = true`.
@@ -48,11 +54,15 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
-        let mut out = input.matmul(&self.weight.value);
-        out.add_row_broadcast(&self.bias.value);
         if train {
             self.cached_input = Some(input.clone());
         }
+        self.forward_eval(input)
+    }
+
+    fn forward_eval(&self, input: &Matrix) -> Matrix {
+        let mut out = input.matmul(&self.weight.value);
+        out.add_row_broadcast(&self.bias.value);
         out
     }
 
@@ -91,6 +101,10 @@ impl Layer for Relu {
             self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
             self.shape = (input.rows(), input.cols());
         }
+        self.forward_eval(input)
+    }
+
+    fn forward_eval(&self, input: &Matrix) -> Matrix {
         input.map(|x| x.max(0.0))
     }
 
@@ -144,6 +158,7 @@ impl BatchNorm {
     }
 }
 
+#[allow(clippy::needless_range_loop)]
 impl Layer for BatchNorm {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
         let (n, d) = (input.rows(), input.cols());
@@ -177,8 +192,11 @@ impl Layer for BatchNorm {
             for j in 0..d {
                 let rm = self.running_mean.get(0, j);
                 let rv = self.running_var.get(0, j);
-                self.running_mean
-                    .set(0, j, (1.0 - self.momentum) * rm + self.momentum * mean.get(0, j));
+                self.running_mean.set(
+                    0,
+                    j,
+                    (1.0 - self.momentum) * rm + self.momentum * mean.get(0, j),
+                );
                 self.running_var
                     .set(0, j, (1.0 - self.momentum) * rv + self.momentum * var[j]);
             }
@@ -194,18 +212,23 @@ impl Layer for BatchNorm {
             self.inv_std = Some(inv_std);
             out
         } else {
-            let mut out = input.clone();
-            for r in 0..n {
-                let row = out.row_mut(r);
-                for j in 0..d {
-                    let m = self.running_mean.get(0, j);
-                    let v = self.running_var.get(0, j);
-                    let xhat = (row[j] - m) / (v + self.eps).sqrt();
-                    row[j] = xhat * self.gamma.value.get(0, j) + self.beta.value.get(0, j);
-                }
-            }
-            out
+            self.forward_eval(input)
         }
+    }
+
+    fn forward_eval(&self, input: &Matrix) -> Matrix {
+        let (n, d) = (input.rows(), input.cols());
+        let mut out = input.clone();
+        for r in 0..n {
+            let row = out.row_mut(r);
+            for j in 0..d {
+                let m = self.running_mean.get(0, j);
+                let v = self.running_var.get(0, j);
+                let xhat = (row[j] - m) / (v + self.eps).sqrt();
+                row[j] = xhat * self.gamma.value.get(0, j) + self.beta.value.get(0, j);
+            }
+        }
+        out
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -273,6 +296,14 @@ impl BlockSoftmax {
 
 impl Layer for BlockSoftmax {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        let out = self.forward_eval(input);
+        if train {
+            self.output = Some(out.clone());
+        }
+        out
+    }
+
+    fn forward_eval(&self, input: &Matrix) -> Matrix {
         let mut out = input.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
@@ -288,9 +319,6 @@ impl Layer for BlockSoftmax {
                     *x /= sum;
                 }
             }
-        }
-        if train {
-            self.output = Some(out.clone());
         }
         out
     }
@@ -370,9 +398,21 @@ mod tests {
         let eps = 1e-5;
         let orig = layer.params_mut()[0].value.get(0, 0);
         layer.params_mut()[0].value.set(0, 0, orig + eps);
-        let lp: f64 = 0.5 * layer.forward(&x, false).data().iter().map(|v| v * v).sum::<f64>();
+        let lp: f64 = 0.5
+            * layer
+                .forward(&x, false)
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>();
         layer.params_mut()[0].value.set(0, 0, orig - eps);
-        let lm: f64 = 0.5 * layer.forward(&x, false).data().iter().map(|v| v * v).sum::<f64>();
+        let lm: f64 = 0.5
+            * layer
+                .forward(&x, false)
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>();
         layer.params_mut()[0].value.set(0, 0, orig);
         let numeric = (lp - lm) / (2.0 * eps);
         assert!((numeric - analytic).abs() < 1e-4 * (1.0 + numeric.abs()));

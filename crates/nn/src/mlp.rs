@@ -9,7 +9,7 @@ use crate::{BatchNorm, BlockSoftmax, Dense, Layer, Matrix, Param, Relu};
 /// optional [`BlockSoftmax`] head for one-hot categorical blocks;
 /// [`Mlp::generator`] builds exactly that shape.
 pub struct Mlp {
-    layers: Vec<Box<dyn Layer + Send>>,
+    layers: Vec<Box<dyn Layer + Send + Sync>>,
 }
 
 impl Mlp {
@@ -19,7 +19,7 @@ impl Mlp {
     }
 
     /// Append a layer.
-    pub fn push(&mut self, layer: impl Layer + Send + 'static) -> &mut Self {
+    pub fn push(&mut self, layer: impl Layer + Send + Sync + 'static) -> &mut Self {
         self.layers.push(Box::new(layer));
         self
     }
@@ -61,6 +61,16 @@ impl Mlp {
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Evaluation-mode forward pass without mutation (shared-reference
+    /// inference; see [`Layer::forward_eval`]).
+    pub fn forward_eval(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward_eval(&x);
         }
         x
     }
@@ -136,10 +146,20 @@ mod tests {
         for idx in 0..x.data().len() {
             let mut xp = x.clone();
             xp.data_mut()[idx] += eps;
-            let lp: f64 = 0.5 * g.forward(&xp, true).data().iter().map(|v| v * v).sum::<f64>();
+            let lp: f64 = 0.5
+                * g.forward(&xp, true)
+                    .data()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>();
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let lm: f64 = 0.5 * g.forward(&xm, true).data().iter().map(|v| v * v).sum::<f64>();
+            let lm: f64 = 0.5
+                * g.forward(&xm, true)
+                    .data()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (numeric - dx.data()[idx]).abs() < 1e-4 * (1.0 + numeric.abs()),

@@ -225,11 +225,7 @@ impl Expr {
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
         }
     }
@@ -446,13 +442,7 @@ mod tests {
     #[test]
     fn expr_helpers() {
         let e = Expr::col("a").and(Expr::lit(1));
-        assert!(matches!(
-            e,
-            Expr::Binary {
-                op: BinOp::And,
-                ..
-            }
-        ));
+        assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
     }
 
     #[test]

@@ -37,8 +37,8 @@ mod lexer;
 mod parser;
 
 pub use ast::{
-    AggFunc, BinOp, Expr, InsertSource, MechanismSpec, SelectItem, SelectStmt, Statement,
-    UnaryOp, Visibility,
+    AggFunc, BinOp, Expr, InsertSource, MechanismSpec, SelectItem, SelectStmt, Statement, UnaryOp,
+    Visibility,
 };
 pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::{parse, parse_expr, ParseError};

@@ -368,9 +368,8 @@ impl Parser {
             let name = self.ident()?;
             let ty_name = self.ident()?;
             let offset = self.peek().offset;
-            let data_type = DataType::parse_sql(&ty_name).ok_or_else(|| {
-                ParseError::new(format!("unknown type {ty_name}"), offset)
-            })?;
+            let data_type = DataType::parse_sql(&ty_name)
+                .ok_or_else(|| ParseError::new(format!("unknown type {ty_name}"), offset))?;
             let mut nullable = true;
             if self.eat_kw("NOT") {
                 self.expect_kw("NULL")?;
@@ -463,7 +462,12 @@ impl Parser {
             let offset = self.peek().offset;
             match self.advance().kind {
                 TokenKind::Int(n) if n >= 0 => Some(n as usize),
-                _ => return Err(ParseError::new("LIMIT expects a non-negative integer".into(), offset)),
+                _ => {
+                    return Err(ParseError::new(
+                        "LIMIT expects a non-negative integer".into(),
+                        offset,
+                    ))
+                }
             }
         } else {
             None
@@ -571,13 +575,13 @@ impl Parser {
             });
         }
         // [NOT] IN / [NOT] BETWEEN
-        let negated = if self.at_kw("NOT") && (self.at_kw_ahead(1, "IN") || self.at_kw_ahead(1, "BETWEEN"))
-        {
-            self.pos += 1;
-            true
-        } else {
-            false
-        };
+        let negated =
+            if self.at_kw("NOT") && (self.at_kw_ahead(1, "IN") || self.at_kw_ahead(1, "BETWEEN")) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            };
         if self.eat_kw("IN") {
             let close = if self.eat(&TokenKind::LParen) {
                 TokenKind::RParen
@@ -761,9 +765,30 @@ impl Parser {
 /// Words that cannot appear as bare column references (clause keywords).
 fn is_reserved(name: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "LIMIT", "AS", "AND", "OR", "NOT",
-        "IN", "BETWEEN", "IS", "CREATE", "INSERT", "INTO", "VALUES", "DROP", "USING",
-        "MECHANISM", "HAVING", "JOIN", "ON",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "ORDER",
+        "BY",
+        "LIMIT",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "BETWEEN",
+        "IS",
+        "CREATE",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "DROP",
+        "USING",
+        "MECHANISM",
+        "HAVING",
+        "JOIN",
+        "ON",
     ];
     RESERVED.iter().any(|k| k.eq_ignore_ascii_case(name))
 }
@@ -798,7 +823,12 @@ mod tests {
     #[test]
     fn parse_create_global_population() {
         match one("CREATE GLOBAL POPULATION EuropeMigrants (country TEXT, email TEXT);") {
-            Statement::CreatePopulation { name, global, fields, source } => {
+            Statement::CreatePopulation {
+                name,
+                global,
+                fields,
+                source,
+            } => {
                 assert_eq!(name, "EuropeMigrants");
                 assert!(global);
                 assert_eq!(fields.len(), 2);
@@ -810,7 +840,9 @@ mod tests {
 
     #[test]
     fn parse_derived_population() {
-        match one("CREATE POPULATION UkMigrants AS (SELECT * FROM EuropeMigrants WHERE country = 'UK');") {
+        match one(
+            "CREATE POPULATION UkMigrants AS (SELECT * FROM EuropeMigrants WHERE country = 'UK');",
+        ) {
             Statement::CreatePopulation { global, source, .. } => {
                 assert!(!global);
                 let (gp, pred, cols) = source.unwrap();
@@ -914,14 +946,20 @@ mod tests {
     #[test]
     fn parse_insert_values_and_select() {
         match one("INSERT INTO t VALUES (1, 'a'), (2, 'b')") {
-            Statement::Insert { source: InsertSource::Values(rows), .. } => {
+            Statement::Insert {
+                source: InsertSource::Values(rows),
+                ..
+            } => {
                 assert_eq!(rows.len(), 2);
                 assert_eq!(rows[1][0], Expr::lit(2));
             }
             other => panic!("wrong statement: {other:?}"),
         }
         match one("INSERT INTO s SELECT a, b FROM aux WHERE a > 0") {
-            Statement::Insert { source: InsertSource::Select(sel), .. } => {
+            Statement::Insert {
+                source: InsertSource::Select(sel),
+                ..
+            } => {
                 assert_eq!(sel.from.as_deref(), Some("aux"));
             }
             other => panic!("wrong statement: {other:?}"),
@@ -957,7 +995,9 @@ mod tests {
     #[test]
     fn metadata_with_explicit_population() {
         match one("CREATE METADATA m FOR Pop AS (SELECT a, COUNT(*) FROM aux GROUP BY a)") {
-            Statement::CreateMetadata { population, query, .. } => {
+            Statement::CreateMetadata {
+                population, query, ..
+            } => {
                 assert_eq!(population.as_deref(), Some("Pop"));
                 assert_eq!(query.group_by.len(), 1);
             }

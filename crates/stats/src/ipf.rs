@@ -91,6 +91,7 @@ impl Ipf {
     /// Index a sample table against a set of marginals. `binners`
     /// discretize continuous attributes (keyed by attribute name) and must
     /// match the binning used to build the marginals.
+    #[allow(clippy::needless_range_loop)]
     pub fn new(
         sample: &Table,
         marginals: &[Marginal],
@@ -106,15 +107,15 @@ impl Ipf {
                 .iter()
                 .map(|a| sample.column_by_name(a))
                 .collect::<mosaic_storage::Result<Vec<_>>>()?;
-            let col_binners: Vec<Option<&Binner>> =
-                m.attrs()
-                    .iter()
-                    .map(|a| {
-                        binners
-                            .get(a.as_str())
-                            .or_else(|| binners.get(&a.to_ascii_lowercase()))
-                    })
-                    .collect();
+            let col_binners: Vec<Option<&Binner>> = m
+                .attrs()
+                .iter()
+                .map(|a| {
+                    binners
+                        .get(a.as_str())
+                        .or_else(|| binners.get(&a.to_ascii_lowercase()))
+                })
+                .collect();
             // Stable cell order for the targets vector.
             let mut cell_index: HashMap<Vec<Value>, usize> = HashMap::new();
             let mut targets = Vec::with_capacity(m.num_cells());
@@ -172,7 +173,11 @@ impl Ipf {
     /// Run the raking loop. `initial_weights` defaults to all-ones (the
     /// paper: sample weights are "initialized to be one for every tuple").
     /// Returns the fitted weights and a convergence report.
-    pub fn fit(&self, initial_weights: Option<&[f64]>, config: &IpfConfig) -> (Vec<f64>, IpfReport) {
+    pub fn fit(
+        &self,
+        initial_weights: Option<&[f64]>,
+        config: &IpfConfig,
+    ) -> (Vec<f64>, IpfReport) {
         let mut weights: Vec<f64> = match initial_weights {
             Some(w) => {
                 assert_eq!(w.len(), self.num_rows, "initial weight length mismatch");
@@ -195,9 +200,7 @@ impl Ipf {
                         totals[cell] += weights[row];
                     }
                 }
-                for (cell, (&total, &target)) in
-                    totals.iter().zip(&m.targets).enumerate()
-                {
+                for (cell, (&total, &target)) in totals.iter().zip(&m.targets).enumerate() {
                     let _ = cell;
                     if target > 0.0 && total > 0.0 {
                         pass_err = pass_err.max((total - target).abs() / target);

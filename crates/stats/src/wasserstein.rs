@@ -107,12 +107,8 @@ pub fn sliced_wasserstein(
     assert!(!projections.is_empty(), "need at least one projection");
     let mut acc = 0.0;
     for w in projections {
-        let a = WeightedEmpirical::from_pairs(
-            points_a.iter().map(|(x, m)| (dot(x, w), *m)),
-        );
-        let b = WeightedEmpirical::from_pairs(
-            points_b.iter().map(|(x, m)| (dot(x, w), *m)),
-        );
+        let a = WeightedEmpirical::from_pairs(points_a.iter().map(|(x, m)| (dot(x, w), *m)));
+        let b = WeightedEmpirical::from_pairs(points_b.iter().map(|(x, m)| (dot(x, w), *m)));
         acc += wasserstein_1d(&a, &b, order);
     }
     acc / projections.len() as f64
@@ -188,7 +184,12 @@ mod tests {
     fn sliced_zero_for_identical_clouds() {
         let mut rng = StdRng::seed_from_u64(3);
         let pts: Vec<(Vec<f64>, f64)> = (0..50)
-            .map(|_| (vec![standard_normal(&mut rng), standard_normal(&mut rng)], 1.0))
+            .map(|_| {
+                (
+                    vec![standard_normal(&mut rng), standard_normal(&mut rng)],
+                    1.0,
+                )
+            })
             .collect();
         let proj = random_unit_vectors(2, 10, &mut rng);
         let d = sliced_wasserstein(&pts, &pts, &proj, WassersteinOrder::W2Squared);
@@ -199,7 +200,12 @@ mod tests {
     fn sliced_detects_translation() {
         let mut rng = StdRng::seed_from_u64(3);
         let a: Vec<(Vec<f64>, f64)> = (0..100)
-            .map(|_| (vec![standard_normal(&mut rng), standard_normal(&mut rng)], 1.0))
+            .map(|_| {
+                (
+                    vec![standard_normal(&mut rng), standard_normal(&mut rng)],
+                    1.0,
+                )
+            })
             .collect();
         let b: Vec<(Vec<f64>, f64)> = a
             .iter()

@@ -28,6 +28,7 @@ impl Bitmap {
     }
 
     /// Build from an iterator of booleans.
+    #[allow(clippy::should_implement_trait)] // established inherent name
     pub fn from_iter(iter: impl IntoIterator<Item = bool>) -> Self {
         let mut words = Vec::new();
         let mut len = 0usize;

@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use crate::{Bitmap, DataType, Result, StorageError, Value};
 
 /// A typed, contiguous column with an optional validity bitmap.
@@ -5,9 +7,14 @@ use crate::{Bitmap, DataType, Result, StorageError, Value};
 /// Invariant: if `validity` is `Some`, its length equals the data length and
 /// a cleared bit means the slot is NULL (the slot's payload is a type default
 /// and must not be observed).
+///
+/// The payload is shared behind an [`Arc`]: columns are immutable after
+/// construction, so `Clone` is O(1) and tables can flow through the
+/// physical-plan pipeline (and the engine's catalog snapshots) without
+/// copying data.
 #[derive(Debug, Clone)]
 pub struct Column {
-    data: ColumnData,
+    data: Arc<ColumnData>,
     validity: Option<Bitmap>,
 }
 
@@ -33,7 +40,7 @@ impl Column {
     /// Column of 64-bit integers (no NULLs).
     pub fn from_i64(values: Vec<i64>) -> Column {
         Column {
-            data: ColumnData::Int(values),
+            data: Arc::new(ColumnData::Int(values)),
             validity: None,
         }
     }
@@ -41,15 +48,16 @@ impl Column {
     /// Column of 64-bit floats (no NULLs).
     pub fn from_f64(values: Vec<f64>) -> Column {
         Column {
-            data: ColumnData::Float(values),
+            data: Arc::new(ColumnData::Float(values)),
             validity: None,
         }
     }
 
     /// Column of strings (no NULLs).
+    #[allow(clippy::should_implement_trait)] // established inherent name
     pub fn from_str(values: Vec<String>) -> Column {
         Column {
-            data: ColumnData::Str(values),
+            data: Arc::new(ColumnData::Str(values)),
             validity: None,
         }
     }
@@ -57,14 +65,14 @@ impl Column {
     /// Column of booleans (no NULLs).
     pub fn from_bool(values: Vec<bool>) -> Column {
         Column {
-            data: ColumnData::Bool(values),
+            data: Arc::new(ColumnData::Bool(values)),
             validity: None,
         }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        match &self.data {
+        match self.data.as_ref() {
             ColumnData::Bool(v) => v.len(),
             ColumnData::Int(v) => v.len(),
             ColumnData::Float(v) => v.len(),
@@ -79,7 +87,7 @@ impl Column {
 
     /// Physical type.
     pub fn data_type(&self) -> DataType {
-        match &self.data {
+        match self.data.as_ref() {
             ColumnData::Bool(_) => DataType::Bool,
             ColumnData::Int(_) => DataType::Int,
             ColumnData::Float(_) => DataType::Float,
@@ -109,7 +117,7 @@ impl Column {
         if self.is_null(i) {
             return Value::Null;
         }
-        match &self.data {
+        match self.data.as_ref() {
             ColumnData::Bool(v) => Value::Bool(v[i]),
             ColumnData::Int(v) => Value::Int(v[i]),
             ColumnData::Float(v) => Value::Float(v[i]),
@@ -123,7 +131,7 @@ impl Column {
         if self.is_null(i) {
             return None;
         }
-        match &self.data {
+        match self.data.as_ref() {
             ColumnData::Int(v) => Some(v[i] as f64),
             ColumnData::Float(v) => Some(v[i]),
             ColumnData::Bool(v) => Some(v[i] as u8 as f64),
@@ -133,7 +141,7 @@ impl Column {
 
     /// Borrowed `i64` slice if this is a non-null Int column.
     pub fn as_i64_slice(&self) -> Option<&[i64]> {
-        match (&self.data, &self.validity) {
+        match (self.data.as_ref(), &self.validity) {
             (ColumnData::Int(v), None) => Some(v),
             _ => None,
         }
@@ -141,9 +149,99 @@ impl Column {
 
     /// Borrowed `f64` slice if this is a non-null Float column.
     pub fn as_f64_slice(&self) -> Option<&[f64]> {
-        match (&self.data, &self.validity) {
+        match (self.data.as_ref(), &self.validity) {
             (ColumnData::Float(v), None) => Some(v),
             _ => None,
+        }
+    }
+
+    /// Raw `i64` payload regardless of validity (NULL slots hold a type
+    /// default and must be masked with [`Column::validity`]).
+    pub fn i64_data(&self) -> Option<&[i64]> {
+        match self.data.as_ref() {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw `f64` payload regardless of validity.
+    pub fn f64_data(&self) -> Option<&[f64]> {
+        match self.data.as_ref() {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw `bool` payload regardless of validity.
+    pub fn bool_data(&self) -> Option<&[bool]> {
+        match self.data.as_ref() {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw string payload regardless of validity.
+    pub fn str_data(&self) -> Option<&[String]> {
+        match self.data.as_ref() {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The validity bitmap (`None` = no NULLs).
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    /// Int column from raw parts; an all-ones validity is normalized to
+    /// `None` so kernel outputs are indistinguishable from builder output.
+    pub fn from_i64_opt(values: Vec<i64>, validity: Option<Bitmap>) -> Column {
+        Column {
+            data: Arc::new(ColumnData::Int(values)),
+            validity: normalize_validity(validity),
+        }
+    }
+
+    /// Float column from raw parts (see [`Column::from_i64_opt`]).
+    pub fn from_f64_opt(values: Vec<f64>, validity: Option<Bitmap>) -> Column {
+        Column {
+            data: Arc::new(ColumnData::Float(values)),
+            validity: normalize_validity(validity),
+        }
+    }
+
+    /// Bool column from raw parts (see [`Column::from_i64_opt`]).
+    pub fn from_bool_opt(values: Vec<bool>, validity: Option<Bitmap>) -> Column {
+        Column {
+            data: Arc::new(ColumnData::Bool(values)),
+            validity: normalize_validity(validity),
+        }
+    }
+
+    /// String column from raw parts (see [`Column::from_i64_opt`]).
+    pub fn from_str_opt(values: Vec<String>, validity: Option<Bitmap>) -> Column {
+        Column {
+            data: Arc::new(ColumnData::Str(values)),
+            validity: normalize_validity(validity),
+        }
+    }
+
+    /// Total order between two rows of this column (NULLs first, floats
+    /// via `total_cmp`) without materializing [`Value`]s — the sort
+    /// comparator of the physical plan layer.
+    pub fn total_cmp_rows(&self, a: usize, b: usize) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self.is_null(a), self.is_null(b)) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            (false, false) => {}
+        }
+        match self.data.as_ref() {
+            ColumnData::Bool(v) => v[a].cmp(&v[b]),
+            ColumnData::Int(v) => v[a].cmp(&v[b]),
+            ColumnData::Float(v) => v[a].total_cmp(&v[b]),
+            ColumnData::Str(v) => v[a].cmp(&v[b]),
         }
     }
 
@@ -158,15 +256,16 @@ impl Column {
             .validity
             .as_ref()
             .map(|v| Bitmap::from_iter(indices.iter().map(|&i| v.get(i))));
-        let data = match &self.data {
+        let data = match self.data.as_ref() {
             ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Str(v) => {
-                ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
-            }
+            ColumnData::Str(v) => ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect()),
         };
-        Column { data, validity }
+        Column {
+            data: Arc::new(data),
+            validity,
+        }
     }
 
     /// Keep rows whose selection bit is set.
@@ -213,6 +312,10 @@ impl Column {
         }
         seen.then_some((min, max))
     }
+}
+
+fn normalize_validity(validity: Option<Bitmap>) -> Option<Bitmap> {
+    validity.filter(|v| !v.all())
 }
 
 /// Incremental, type-checked column construction.
@@ -313,7 +416,7 @@ impl ColumnBuilder {
             self.validity = Some(Bitmap::from_iter(self.nulls.iter().map(|&n| !n)));
         }
         Column {
-            data: self.data,
+            data: Arc::new(self.data),
             validity: self.validity,
         }
     }
@@ -383,6 +486,39 @@ mod tests {
         let a = Column::from_i64(vec![1]);
         let b = Column::from_str(vec!["x".into()]);
         assert!(a.concat(&b).is_err());
+    }
+
+    #[test]
+    fn from_parts_normalizes_all_ones_validity() {
+        let c = Column::from_i64_opt(vec![1, 2], Some(Bitmap::ones(2)));
+        assert!(c.validity().is_none());
+        assert!(c.as_i64_slice().is_some());
+        let c = Column::from_f64_opt(vec![1.0, 2.0], Some(Bitmap::from_iter([true, false])));
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.value(1), Value::Null);
+    }
+
+    #[test]
+    fn total_cmp_rows_matches_value_total_cmp() {
+        let mut b = ColumnBuilder::new(DataType::Float);
+        for v in [
+            Value::Float(2.0),
+            Value::Null,
+            Value::Float(-1.0),
+            Value::Float(2.0),
+        ] {
+            b.push(v).unwrap();
+        }
+        let c = b.finish();
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(
+                    c.total_cmp_rows(a, b),
+                    c.value(a).total_cmp(&c.value(b)),
+                    "rows {a},{b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -73,8 +73,7 @@ pub fn read_csv(reader: impl BufRead) -> Result<Table> {
         .transpose()
         .map_err(|e| StorageError::InvalidValue(format!("io error: {e}")))?
         .ok_or_else(|| StorageError::InvalidValue("empty CSV input".into()))?;
-    let names = split_record(header.trim_end_matches('\r'))
-        .map_err(StorageError::InvalidValue)?;
+    let names = split_record(header.trim_end_matches('\r')).map_err(StorageError::InvalidValue)?;
     // First pass: collect raw values and infer types.
     let mut rows: Vec<Vec<Value>> = Vec::new();
     for (lineno, line) in lines.enumerate() {
@@ -83,9 +82,8 @@ pub fn read_csv(reader: impl BufRead) -> Result<Table> {
         if line.is_empty() {
             continue;
         }
-        let fields = split_record(line).map_err(|e| {
-            StorageError::InvalidValue(format!("line {}: {e}", lineno + 2))
-        })?;
+        let fields = split_record(line)
+            .map_err(|e| StorageError::InvalidValue(format!("line {}: {e}", lineno + 2)))?;
         if fields.len() != names.len() {
             return Err(StorageError::LengthMismatch {
                 expected: names.len(),
@@ -107,8 +105,9 @@ pub fn read_csv(reader: impl BufRead) -> Result<Table> {
             types[c] = Some(match (types[c], vt) {
                 (None, t) => t,
                 (Some(a), b) if a == b => a,
-                (Some(DataType::Int), DataType::Float)
-                | (Some(DataType::Float), DataType::Int) => DataType::Float,
+                (Some(DataType::Int), DataType::Float) | (Some(DataType::Float), DataType::Int) => {
+                    DataType::Float
+                }
                 _ => DataType::Str,
             });
         }
@@ -192,8 +191,8 @@ mod tests {
 
     #[test]
     fn roundtrip_inferred_types() {
-        let t = read_csv_str("name,age,score,member\nalice,30,1.5,true\nbob,41,2.0,false\n")
-            .unwrap();
+        let t =
+            read_csv_str("name,age,score,member\nalice,30,1.5,true\nbob,41,2.0,false\n").unwrap();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.schema().field(0).data_type, DataType::Str);
         assert_eq!(t.schema().field(1).data_type, DataType::Int);

@@ -1,0 +1,617 @@
+//! Vectorized compute kernels over typed column data.
+//!
+//! These are the hot loops of the query executor: comparison, arithmetic,
+//! and gather/filter primitives that operate directly on `&[i64]` /
+//! `&[f64]` / `&[String]` slices plus [`Bitmap`]s, never materializing a
+//! per-cell [`crate::Value`]. The planner in `mosaic-core` lowers
+//! expression trees onto these kernels and falls back to row-at-a-time
+//! evaluation only for shapes the kernels don't cover.
+//!
+//! Numeric comparison semantics intentionally mirror `Value::sql_cmp`:
+//! *all* numeric comparisons (including Int vs Int) coerce through `f64`,
+//! so kernel results are bit-identical to the row-at-a-time reference
+//! oracle.
+
+use std::cmp::Ordering;
+
+use crate::Bitmap;
+
+/// Comparison operator for the `cmp_*` kernel family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Whether an `Ordering` satisfies this operator.
+    #[inline]
+    pub fn holds(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+// ---- comparison kernels (truth bitmaps; NULL handling is the caller's
+// ---- job via validity intersection) ----
+
+macro_rules! cmp_scalar_kernel {
+    ($name:ident, $t:ty) => {
+        /// Compare every element against a scalar, producing a truth
+        /// bitmap. Numeric inputs coerce through `f64` (SQL semantics).
+        pub fn $name(data: &[$t], op: CmpOp, rhs: f64) -> Bitmap {
+            match op {
+                CmpOp::Eq => Bitmap::from_iter(data.iter().map(|&v| v as f64 == rhs)),
+                CmpOp::Ne => Bitmap::from_iter(data.iter().map(|&v| v as f64 != rhs)),
+                CmpOp::Lt => Bitmap::from_iter(data.iter().map(|&v| (v as f64) < rhs)),
+                CmpOp::Le => Bitmap::from_iter(data.iter().map(|&v| v as f64 <= rhs)),
+                CmpOp::Gt => Bitmap::from_iter(data.iter().map(|&v| v as f64 > rhs)),
+                CmpOp::Ge => Bitmap::from_iter(data.iter().map(|&v| v as f64 >= rhs)),
+            }
+        }
+    };
+}
+
+cmp_scalar_kernel!(cmp_i64_scalar, i64);
+cmp_scalar_kernel!(cmp_f64_scalar, f64);
+
+macro_rules! cmp_binary_kernel {
+    ($name:ident, $ta:ty, $tb:ty) => {
+        /// Element-wise comparison of two equal-length slices.
+        pub fn $name(a: &[$ta], b: &[$tb], op: CmpOp) -> Bitmap {
+            assert_eq!(a.len(), b.len(), "kernel length mismatch");
+            let pairs = a.iter().zip(b.iter());
+            match op {
+                CmpOp::Eq => Bitmap::from_iter(pairs.map(|(&x, &y)| x as f64 == y as f64)),
+                CmpOp::Ne => Bitmap::from_iter(pairs.map(|(&x, &y)| x as f64 != y as f64)),
+                CmpOp::Lt => Bitmap::from_iter(pairs.map(|(&x, &y)| (x as f64) < y as f64)),
+                CmpOp::Le => Bitmap::from_iter(pairs.map(|(&x, &y)| x as f64 <= y as f64)),
+                CmpOp::Gt => Bitmap::from_iter(pairs.map(|(&x, &y)| x as f64 > y as f64)),
+                CmpOp::Ge => Bitmap::from_iter(pairs.map(|(&x, &y)| x as f64 >= y as f64)),
+            }
+        }
+    };
+}
+
+cmp_binary_kernel!(cmp_i64, i64, i64);
+cmp_binary_kernel!(cmp_f64, f64, f64);
+cmp_binary_kernel!(cmp_i64_f64, i64, f64);
+cmp_binary_kernel!(cmp_f64_i64, f64, i64);
+
+/// Compare every string against a scalar.
+pub fn cmp_str_scalar(data: &[String], op: CmpOp, rhs: &str) -> Bitmap {
+    Bitmap::from_iter(data.iter().map(|v| op.holds(v.as_str().cmp(rhs))))
+}
+
+/// Element-wise comparison of two string slices.
+pub fn cmp_str(a: &[String], b: &[String], op: CmpOp) -> Bitmap {
+    assert_eq!(a.len(), b.len(), "kernel length mismatch");
+    Bitmap::from_iter(a.iter().zip(b).map(|(x, y)| op.holds(x.cmp(y))))
+}
+
+/// Membership of every numeric element in a literal set (`IN` lists).
+/// The set is tiny in practice, so a linear scan beats hashing.
+pub fn in_f64_set(data: &[f64], set: &[f64]) -> Bitmap {
+    Bitmap::from_iter(data.iter().map(|&v| set.contains(&v)))
+}
+
+/// Membership of every integer element in a numeric literal set.
+pub fn in_i64_set(data: &[i64], set: &[f64]) -> Bitmap {
+    Bitmap::from_iter(data.iter().map(|&v| set.contains(&(v as f64))))
+}
+
+/// Membership of every string element in a literal set.
+pub fn in_str_set(data: &[String], set: &[&str]) -> Bitmap {
+    Bitmap::from_iter(data.iter().map(|v| set.iter().any(|s| s == v)))
+}
+
+/// `low <= v <= high` for every element (numeric `BETWEEN`).
+pub fn between_f64(data: &[f64], low: f64, high: f64) -> Bitmap {
+    Bitmap::from_iter(data.iter().map(|&v| v >= low && v <= high))
+}
+
+/// `low <= v <= high` for every integer element.
+pub fn between_i64(data: &[i64], low: f64, high: f64) -> Bitmap {
+    Bitmap::from_iter(data.iter().map(|&v| v as f64 >= low && v as f64 <= high))
+}
+
+// ---- arithmetic kernels ----
+
+/// Integer arithmetic operator for [`arith_i64`] (division is excluded:
+/// SQL division always produces a float — see [`div_f64`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntArithOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+}
+
+/// Element-wise wrapping integer arithmetic.
+pub fn arith_i64(a: &[i64], op: IntArithOp, b: &[i64]) -> Vec<i64> {
+    assert_eq!(a.len(), b.len(), "kernel length mismatch");
+    let pairs = a.iter().zip(b.iter());
+    match op {
+        IntArithOp::Add => pairs.map(|(&x, &y)| x.wrapping_add(y)).collect(),
+        IntArithOp::Sub => pairs.map(|(&x, &y)| x.wrapping_sub(y)).collect(),
+        IntArithOp::Mul => pairs.map(|(&x, &y)| x.wrapping_mul(y)).collect(),
+    }
+}
+
+/// Wrapping integer arithmetic against a scalar right-hand side.
+pub fn arith_i64_scalar(a: &[i64], op: IntArithOp, b: i64) -> Vec<i64> {
+    match op {
+        IntArithOp::Add => a.iter().map(|&x| x.wrapping_add(b)).collect(),
+        IntArithOp::Sub => a.iter().map(|&x| x.wrapping_sub(b)).collect(),
+        IntArithOp::Mul => a.iter().map(|&x| x.wrapping_mul(b)).collect(),
+    }
+}
+
+/// Float arithmetic operator for [`arith_f64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloatArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+}
+
+/// Element-wise float arithmetic.
+pub fn arith_f64(a: &[f64], op: FloatArithOp, b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "kernel length mismatch");
+    let pairs = a.iter().zip(b.iter());
+    match op {
+        FloatArithOp::Add => pairs.map(|(&x, &y)| x + y).collect(),
+        FloatArithOp::Sub => pairs.map(|(&x, &y)| x - y).collect(),
+        FloatArithOp::Mul => pairs.map(|(&x, &y)| x * y).collect(),
+    }
+}
+
+/// Float arithmetic against a scalar right-hand side.
+pub fn arith_f64_scalar(a: &[f64], op: FloatArithOp, b: f64) -> Vec<f64> {
+    match op {
+        FloatArithOp::Add => a.iter().map(|&x| x + b).collect(),
+        FloatArithOp::Sub => a.iter().map(|&x| x - b).collect(),
+        FloatArithOp::Mul => a.iter().map(|&x| x * b).collect(),
+    }
+}
+
+/// Float arithmetic with a scalar *left*-hand side (`2 - x`).
+pub fn arith_scalar_f64(a: f64, op: FloatArithOp, b: &[f64]) -> Vec<f64> {
+    match op {
+        FloatArithOp::Add => b.iter().map(|&y| a + y).collect(),
+        FloatArithOp::Sub => b.iter().map(|&y| a - y).collect(),
+        FloatArithOp::Mul => b.iter().map(|&y| a * y).collect(),
+    }
+}
+
+/// SQL division: always float, divisor zero ⇒ NULL. Returns the quotients
+/// plus a bitmap of rows that stay valid (cleared where the divisor is
+/// zero).
+pub fn div_f64(a: &[f64], b: &[f64]) -> (Vec<f64>, Bitmap) {
+    assert_eq!(a.len(), b.len(), "kernel length mismatch");
+    let valid = Bitmap::from_iter(b.iter().map(|&y| y != 0.0));
+    let out = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| if y == 0.0 { 0.0 } else { x / y })
+        .collect();
+    (out, valid)
+}
+
+/// SQL modulo over floats: divisor zero ⇒ NULL.
+pub fn mod_f64(a: &[f64], b: &[f64]) -> (Vec<f64>, Bitmap) {
+    assert_eq!(a.len(), b.len(), "kernel length mismatch");
+    let valid = Bitmap::from_iter(b.iter().map(|&y| y != 0.0));
+    let out = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| if y == 0.0 { 0.0 } else { x % y })
+        .collect();
+    (out, valid)
+}
+
+/// SQL modulo over integers (stays integral): divisor zero ⇒ NULL.
+pub fn mod_i64(a: &[i64], b: &[i64]) -> (Vec<i64>, Bitmap) {
+    assert_eq!(a.len(), b.len(), "kernel length mismatch");
+    let valid = Bitmap::from_iter(b.iter().map(|&y| y != 0));
+    let out = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| if y == 0 { 0 } else { x % y })
+        .collect();
+    (out, valid)
+}
+
+/// Widen an integer slice to `f64` (for mixed-type arithmetic).
+pub fn widen_i64(data: &[i64]) -> Vec<f64> {
+    data.iter().map(|&v| v as f64).collect()
+}
+
+/// Negate every integer.
+pub fn neg_i64(data: &[i64]) -> Vec<i64> {
+    data.iter().map(|&v| v.wrapping_neg()).collect()
+}
+
+/// Negate every float.
+pub fn neg_f64(data: &[f64]) -> Vec<f64> {
+    data.iter().map(|&v| -v).collect()
+}
+
+// ---- gather / filter kernels ----
+
+/// Gather `data[indices[i]]` (indices may repeat and reorder).
+pub fn take_i64(data: &[i64], indices: &[usize]) -> Vec<i64> {
+    indices.iter().map(|&i| data[i]).collect()
+}
+
+/// Gather floats by index.
+pub fn take_f64(data: &[f64], indices: &[usize]) -> Vec<f64> {
+    indices.iter().map(|&i| data[i]).collect()
+}
+
+/// Keep elements whose selection bit is set.
+pub fn filter_i64(data: &[i64], selection: &Bitmap) -> Vec<i64> {
+    assert_eq!(data.len(), selection.len(), "selection length mismatch");
+    selection.iter_ones().map(|i| data[i]).collect()
+}
+
+/// Keep floats whose selection bit is set.
+pub fn filter_f64(data: &[f64], selection: &Bitmap) -> Vec<f64> {
+    assert_eq!(data.len(), selection.len(), "selection length mismatch");
+    selection.iter_ones().map(|i| data[i]).collect()
+}
+
+/// Intersect two optional validity bitmaps (`None` = all valid).
+pub fn combine_validity(a: Option<&Bitmap>, b: Option<&Bitmap>) -> Option<Bitmap> {
+    match (a, b) {
+        (None, None) => None,
+        (Some(v), None) | (None, Some(v)) => Some(v.clone()),
+        (Some(x), Some(y)) => Some(x.and(y)),
+    }
+}
+
+// ---- grouped aggregation kernels ----
+//
+// `group_ids` assigns every row to a dense group index; the accumulator
+// slices are indexed by group. `weights` (when present) realize the
+// paper's §5.3 weighted-aggregate rewrite without any per-row branching
+// in the unweighted case.
+
+/// Weighted/unweighted grouped sum over floats. Accumulates `Σ w·x` into
+/// `sums` and the qualifying row count into `counts`, skipping invalid
+/// (NULL) rows.
+pub fn group_sum_f64(
+    data: &[f64],
+    validity: Option<&Bitmap>,
+    group_ids: &[u32],
+    weights: Option<&[f64]>,
+    sums: &mut [f64],
+    wsums: &mut [f64],
+    counts: &mut [u64],
+) {
+    assert_eq!(data.len(), group_ids.len(), "kernel length mismatch");
+    match (validity, weights) {
+        (None, None) => {
+            for (i, &x) in data.iter().enumerate() {
+                let g = group_ids[i] as usize;
+                sums[g] += x;
+                wsums[g] += 1.0;
+                counts[g] += 1;
+            }
+        }
+        (None, Some(w)) => {
+            for (i, &x) in data.iter().enumerate() {
+                let g = group_ids[i] as usize;
+                sums[g] += w[i] * x;
+                wsums[g] += w[i];
+                counts[g] += 1;
+            }
+        }
+        (Some(v), None) => {
+            for i in v.iter_ones() {
+                let g = group_ids[i] as usize;
+                sums[g] += data[i];
+                wsums[g] += 1.0;
+                counts[g] += 1;
+            }
+        }
+        (Some(v), Some(w)) => {
+            for i in v.iter_ones() {
+                let g = group_ids[i] as usize;
+                sums[g] += w[i] * data[i];
+                wsums[g] += w[i];
+                counts[g] += 1;
+            }
+        }
+    }
+}
+
+/// Grouped sum over integers (unweighted fast path for `SUM(int_col)`).
+pub fn group_sum_i64(
+    data: &[i64],
+    validity: Option<&Bitmap>,
+    group_ids: &[u32],
+    sums: &mut [f64],
+    counts: &mut [u64],
+) {
+    assert_eq!(data.len(), group_ids.len(), "kernel length mismatch");
+    match validity {
+        None => {
+            for (i, &x) in data.iter().enumerate() {
+                let g = group_ids[i] as usize;
+                sums[g] += x as f64;
+                counts[g] += 1;
+            }
+        }
+        Some(v) => {
+            for i in v.iter_ones() {
+                let g = group_ids[i] as usize;
+                sums[g] += data[i] as f64;
+                counts[g] += 1;
+            }
+        }
+    }
+}
+
+/// Grouped COUNT: weighted count (`Σ w`) plus raw qualifying-row count
+/// for every group, skipping invalid rows.
+pub fn group_count(
+    validity: Option<&Bitmap>,
+    group_ids: &[u32],
+    weights: Option<&[f64]>,
+    wsums: &mut [f64],
+    counts: &mut [u64],
+) {
+    match (validity, weights) {
+        (None, None) => {
+            for &g in group_ids {
+                wsums[g as usize] += 1.0;
+                counts[g as usize] += 1;
+            }
+        }
+        (None, Some(w)) => {
+            for (i, &g) in group_ids.iter().enumerate() {
+                wsums[g as usize] += w[i];
+                counts[g as usize] += 1;
+            }
+        }
+        (Some(v), None) => {
+            for i in v.iter_ones() {
+                wsums[group_ids[i] as usize] += 1.0;
+                counts[group_ids[i] as usize] += 1;
+            }
+        }
+        (Some(v), Some(w)) => {
+            for i in v.iter_ones() {
+                wsums[group_ids[i] as usize] += w[i];
+                counts[group_ids[i] as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Grouped min/max over floats (weights never change extrema).
+/// `mins`/`maxs` must be seeded with `INFINITY`/`NEG_INFINITY`.
+pub fn group_min_max_f64(
+    data: &[f64],
+    validity: Option<&Bitmap>,
+    group_ids: &[u32],
+    mins: &mut [f64],
+    maxs: &mut [f64],
+    counts: &mut [u64],
+) {
+    assert_eq!(data.len(), group_ids.len(), "kernel length mismatch");
+    let mut visit = |i: usize| {
+        let g = group_ids[i] as usize;
+        let x = data[i];
+        if x < mins[g] {
+            mins[g] = x;
+        }
+        if x > maxs[g] {
+            maxs[g] = x;
+        }
+        counts[g] += 1;
+    };
+    match validity {
+        None => (0..data.len()).for_each(&mut visit),
+        Some(v) => v.iter_ones().for_each(&mut visit),
+    }
+}
+
+/// Grouped min/max over integers.
+pub fn group_min_max_i64(
+    data: &[i64],
+    validity: Option<&Bitmap>,
+    group_ids: &[u32],
+    mins: &mut [i64],
+    maxs: &mut [i64],
+    counts: &mut [u64],
+) {
+    assert_eq!(data.len(), group_ids.len(), "kernel length mismatch");
+    let mut visit = |i: usize| {
+        let g = group_ids[i] as usize;
+        let x = data[i];
+        if x < mins[g] {
+            mins[g] = x;
+        }
+        if x > maxs[g] {
+            maxs[g] = x;
+        }
+        counts[g] += 1;
+    };
+    match validity {
+        None => (0..data.len()).for_each(&mut visit),
+        Some(v) => v.iter_ones().for_each(&mut visit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_scalar_matches_manual() {
+        let data = [1i64, 5, 3, 5, -2];
+        let bm = cmp_i64_scalar(&data, CmpOp::Gt, 2.0);
+        assert_eq!(bm.to_indices(), vec![1, 2, 3]);
+        let bm = cmp_f64_scalar(&[1.0, 2.5, 2.5], CmpOp::Eq, 2.5);
+        assert_eq!(bm.to_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn cmp_mixed_int_float() {
+        let bm = cmp_i64_f64(&[1, 2, 3], &[1.5, 2.0, 2.5], CmpOp::Ge);
+        assert_eq!(bm.to_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn cmp_str_kernels() {
+        let data: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            cmp_str_scalar(&data, CmpOp::Ne, "b").to_indices(),
+            vec![0, 2]
+        );
+        assert_eq!(cmp_str(&data, &data, CmpOp::Eq).count_ones(), 3);
+    }
+
+    #[test]
+    fn in_set_kernels() {
+        assert_eq!(in_i64_set(&[1, 2, 3], &[2.0, 9.0]).to_indices(), vec![1]);
+        let strs: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(in_str_set(&strs, &["y", "z"]).to_indices(), vec![1]);
+    }
+
+    #[test]
+    fn between_inclusive() {
+        assert_eq!(
+            between_i64(&[1, 2, 3, 4], 2.0, 3.0).to_indices(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn int_arith_wraps() {
+        assert_eq!(
+            arith_i64(&[1, i64::MAX], IntArithOp::Add, &[2, 1]),
+            vec![3, i64::MIN]
+        );
+        assert_eq!(arith_i64_scalar(&[5, 6], IntArithOp::Mul, 3), vec![15, 18]);
+    }
+
+    #[test]
+    fn div_by_zero_invalidates() {
+        let (q, valid) = div_f64(&[6.0, 1.0], &[2.0, 0.0]);
+        assert_eq!(q[0], 3.0);
+        assert!(valid.get(0) && !valid.get(1));
+        let (m, valid) = mod_i64(&[7, 7], &[4, 0]);
+        assert_eq!(m[0], 3);
+        assert!(!valid.get(1));
+    }
+
+    #[test]
+    fn take_and_filter() {
+        assert_eq!(take_i64(&[10, 20, 30], &[2, 0, 0]), vec![30, 10, 10]);
+        let sel = Bitmap::from_iter([true, false, true]);
+        assert_eq!(filter_f64(&[1.0, 2.0, 3.0], &sel), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn validity_combines_as_and() {
+        let a = Bitmap::from_iter([true, true, false]);
+        let b = Bitmap::from_iter([true, false, true]);
+        assert_eq!(
+            combine_validity(Some(&a), Some(&b)).unwrap().to_indices(),
+            vec![0]
+        );
+        assert_eq!(combine_validity(None, Some(&b)).unwrap(), b);
+        assert!(combine_validity(None, None).is_none());
+    }
+
+    #[test]
+    fn grouped_sum_weighted() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let gids = [0u32, 1, 0, 1];
+        let w = [10.0, 1.0, 10.0, 1.0];
+        let mut sums = [0.0; 2];
+        let mut wsums = [0.0; 2];
+        let mut counts = [0u64; 2];
+        group_sum_f64(
+            &data,
+            None,
+            &gids,
+            Some(&w),
+            &mut sums,
+            &mut wsums,
+            &mut counts,
+        );
+        assert_eq!(sums, [40.0, 6.0]);
+        assert_eq!(wsums, [20.0, 2.0]);
+        assert_eq!(counts, [2, 2]);
+    }
+
+    #[test]
+    fn grouped_sum_skips_nulls() {
+        let data = [1.0, 99.0, 3.0];
+        let validity = Bitmap::from_iter([true, false, true]);
+        let gids = [0u32, 0, 0];
+        let mut sums = [0.0; 1];
+        let mut wsums = [0.0; 1];
+        let mut counts = [0u64; 1];
+        group_sum_f64(
+            &data,
+            Some(&validity),
+            &gids,
+            None,
+            &mut sums,
+            &mut wsums,
+            &mut counts,
+        );
+        assert_eq!(sums, [4.0]);
+        assert_eq!(counts, [2]);
+    }
+
+    #[test]
+    fn grouped_min_max() {
+        let data = [5i64, -1, 9, 0];
+        let gids = [0u32, 0, 1, 1];
+        let mut mins = [i64::MAX; 2];
+        let mut maxs = [i64::MIN; 2];
+        let mut counts = [0u64; 2];
+        group_min_max_i64(&data, None, &gids, &mut mins, &mut maxs, &mut counts);
+        assert_eq!(mins, [-1, 0]);
+        assert_eq!(maxs, [5, 9]);
+    }
+
+    #[test]
+    fn grouped_count_weighted_null_aware() {
+        let validity = Bitmap::from_iter([true, false, true, true]);
+        let gids = [0u32, 0, 1, 1];
+        let w = [2.0, 3.0, 4.0, 5.0];
+        let mut wsums = [0.0; 2];
+        let mut counts = [0u64; 2];
+        group_count(Some(&validity), &gids, Some(&w), &mut wsums, &mut counts);
+        assert_eq!(wsums, [2.0, 9.0]);
+        assert_eq!(counts, [1, 2]);
+    }
+}

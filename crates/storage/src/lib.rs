@@ -16,12 +16,16 @@
 //!
 //! The layout is deliberately Arrow-like (typed vectors + validity bitmaps)
 //! so filters produce selection bitmaps and aggregates run vectorized, per
-//! the database-engine idioms this project follows.
+//! the database-engine idioms this project follows. The [`kernels`] module
+//! holds the vectorized compute primitives (comparison, arithmetic,
+//! filter/take, grouped aggregation) that the `mosaic-core` planner lowers
+//! query expressions onto.
 
 mod bitmap;
 mod column;
 pub mod csv;
 mod error;
+pub mod kernels;
 mod schema;
 mod table;
 mod value;

@@ -307,7 +307,11 @@ impl TableBuilder {
         let num_rows = self.len();
         Table {
             schema: self.schema,
-            columns: self.builders.into_iter().map(ColumnBuilder::finish).collect(),
+            columns: self
+                .builders
+                .into_iter()
+                .map(ColumnBuilder::finish)
+                .collect(),
             num_rows,
         }
     }
@@ -325,9 +329,12 @@ mod tests {
             Field::new("score", DataType::Float),
         ]);
         let mut b = TableBuilder::new(schema);
-        b.push_row(vec![1.into(), "alice".into(), 3.5.into()]).unwrap();
-        b.push_row(vec![2.into(), "bob".into(), 1.0.into()]).unwrap();
-        b.push_row(vec![3.into(), "carol".into(), 2.25.into()]).unwrap();
+        b.push_row(vec![1.into(), "alice".into(), 3.5.into()])
+            .unwrap();
+        b.push_row(vec![2.into(), "bob".into(), 1.0.into()])
+            .unwrap();
+        b.push_row(vec![3.into(), "carol".into(), 2.25.into()])
+            .unwrap();
         b.finish()
     }
 

@@ -256,7 +256,7 @@ mod tests {
 
     #[test]
     fn total_cmp_sorts_nulls_first() {
-        let mut vs = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        let mut vs = [Value::Int(2), Value::Null, Value::Int(1)];
         vs.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[1], Value::Int(1));

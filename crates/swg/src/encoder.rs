@@ -2,9 +2,7 @@ use std::collections::HashMap;
 
 use mosaic_nn::Matrix;
 use mosaic_stats::Marginal;
-use mosaic_storage::{
-    Column, DataType, Field, Schema, Table, TableBuilder, Value,
-};
+use mosaic_storage::{Column, DataType, Field, Schema, Table, TableBuilder, Value};
 
 /// Per-attribute encoding specification.
 #[derive(Debug, Clone, PartialEq)]
@@ -230,10 +228,7 @@ impl Encoder {
                 let start = self.offsets[ai];
                 match spec {
                     AttrSpec::Numeric {
-                        min,
-                        max,
-                        integer,
-                        ..
+                        min, max, integer, ..
                     } => {
                         let x = row[start].clamp(0.0, 1.0) * (max - min) + min;
                         if *integer {

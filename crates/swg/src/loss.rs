@@ -66,6 +66,7 @@ pub fn quantile_matching_1d(
 ///
 /// `scale` multiplies both the loss and the gradient (the `k` coefficient
 /// of Eq. 1, or `1` for 2-D terms).
+#[allow(clippy::needless_range_loop)]
 pub fn marginal_loss_grad(
     output: &Matrix,
     marginal: &EncodedMarginal,
@@ -148,6 +149,7 @@ pub fn marginal_loss_grad(
 /// prescribe an index and brute force over a subsample preserves the
 /// objective in expectation). Returns the loss and accumulates gradients
 /// `2λ(x−y)/n` into `grad_output`.
+#[allow(clippy::needless_range_loop)]
 pub fn coverage_loss_grad(
     output: &Matrix,
     sample_enc: &Matrix,
@@ -201,8 +203,7 @@ mod tests {
         let target = WeightedEmpirical::from_values([0.0, 1.0]);
         let values = [0.0, 1.0];
         let mut grad = [0.0; 2];
-        let loss =
-            quantile_matching_1d(&values, &target, WassersteinOrder::W2Squared, &mut grad);
+        let loss = quantile_matching_1d(&values, &target, WassersteinOrder::W2Squared, &mut grad);
         assert!(loss.abs() < 1e-12);
         assert!(grad.iter().all(|g| g.abs() < 1e-12));
     }

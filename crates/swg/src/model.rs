@@ -215,8 +215,7 @@ impl MSwg {
         for spec in encoder.specs() {
             let covered = marginals.iter().any(|m| m.covers(spec.name()));
             if !covered {
-                let sm =
-                    Marginal::from_table(sample, &[spec.name()], None, &HashMap::new())?;
+                let sm = Marginal::from_table(sample, &[spec.name()], None, &HashMap::new())?;
                 labels.push(format!("{} (sample)", spec.name()));
                 all_marginals.push(sm);
             }
@@ -263,14 +262,8 @@ impl MSwg {
                             1.0,
                         )
                     };
-                    loss += marginal_loss_grad(
-                        &out,
-                        em,
-                        &projections,
-                        config.order,
-                        scale,
-                        &mut grad,
-                    );
+                    loss +=
+                        marginal_loss_grad(&out, em, &projections, config.order, scale, &mut grad);
                 }
                 if config.lambda > 0.0 {
                     let k = config.coverage_subsample.min(n_sample);
@@ -279,13 +272,7 @@ impl MSwg {
                     } else {
                         (0..k).map(|_| rng.random_range(0..n_sample)).collect()
                     };
-                    loss += coverage_loss_grad(
-                        &out,
-                        &sample_enc,
-                        &rows,
-                        config.lambda,
-                        &mut grad,
-                    );
+                    loss += coverage_loss_grad(&out, &sample_enc, &rows, config.lambda, &mut grad);
                 }
                 mlp.backward(&grad);
                 opt.step(mlp.params_mut());
@@ -323,14 +310,16 @@ impl MSwg {
 
     /// Generate `n` synthetic population tuples (evaluation mode: batch
     /// norm uses running statistics; categorical blocks are
-    /// argmax-discretized).
-    pub fn generate<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Table {
+    /// argmax-discretized). Borrows `&self`, so a fitted generator can
+    /// serve many threads concurrently (the engine's parallel OPEN
+    /// replicates).
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Table {
         let mut assembled = Matrix::zeros(n, self.encoder.dim());
         let mut done = 0;
         while done < n {
             let batch = self.config.batch_size.min(n - done);
             let z = Matrix::randn(batch, self.latent_dim, 1.0, rng);
-            let out = self.mlp.forward(&z, false);
+            let out = self.mlp.forward_eval(&z);
             for r in 0..batch {
                 assembled.row_mut(done + r).copy_from_slice(out.row(r));
             }
@@ -398,7 +387,7 @@ mod tests {
         marg.add(vec![Value::Float(0.7)], 1.0);
         marg.add(vec![Value::Float(0.8)], 2.0);
         marg.add(vec![Value::Float(0.9)], 1.0);
-        let mut model = MSwg::fit(&sample, std::slice::from_ref(&marg), small_config()).unwrap();
+        let model = MSwg::fit(&sample, std::slice::from_ref(&marg), small_config()).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let gen = model.generate(512, &mut rng);
         let xs: Vec<f64> = gen
@@ -437,8 +426,11 @@ mod tests {
         ]);
         let mut b = TableBuilder::new(schema);
         for i in 0..32 {
-            b.push_row(vec![(i as f64 / 32.0).into(), (1.0 - i as f64 / 32.0).into()])
-                .unwrap();
+            b.push_row(vec![
+                (i as f64 / 32.0).into(),
+                (1.0 - i as f64 / 32.0).into(),
+            ])
+            .unwrap();
         }
         let sample = b.finish();
         let mut marg = Marginal::new(vec!["x".into()]);
@@ -474,7 +466,7 @@ mod tests {
             epochs: 60,
             ..small_config()
         };
-        let mut model = MSwg::fit(&sample, std::slice::from_ref(&marg), cfg).unwrap();
+        let model = MSwg::fit(&sample, std::slice::from_ref(&marg), cfg).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let gen = model.generate(400, &mut rng);
         let us = gen
@@ -484,10 +476,7 @@ mod tests {
             .filter(|v| v == &Value::Str("US".into()))
             .count();
         let frac = us as f64 / 400.0;
-        assert!(
-            (0.2..=0.8).contains(&frac),
-            "US fraction {frac}, want ~0.5"
-        );
+        assert!((0.2..=0.8).contains(&frac), "US fraction {frac}, want ~0.5");
     }
 
     #[test]
@@ -499,8 +488,8 @@ mod tests {
             epochs: 2,
             ..small_config()
         };
-        let mut m1 = MSwg::fit(&sample, std::slice::from_ref(&marg), cfg.clone()).unwrap();
-        let mut m2 = MSwg::fit(&sample, std::slice::from_ref(&marg), cfg).unwrap();
+        let m1 = MSwg::fit(&sample, std::slice::from_ref(&marg), cfg.clone()).unwrap();
+        let m2 = MSwg::fit(&sample, std::slice::from_ref(&marg), cfg).unwrap();
         let g1 = m1.generate(10, &mut StdRng::seed_from_u64(3));
         let g2 = m2.generate(10, &mut StdRng::seed_from_u64(3));
         for r in 0..10 {

@@ -56,9 +56,7 @@ fn main() {
         None,
     )
     .unwrap();
-    println!(
-        "\nQuery 3 of Table 2: SELECT AVG(elapsed_time) FROM Flights WHERE distance > 1000"
-    );
+    println!("\nQuery 3 of Table 2: SELECT AVG(elapsed_time) FROM Flights WHERE distance > 1000");
     println!("ground truth: {}", truth.value(0, 0));
 
     for vis in ["CLOSED", "SEMI-OPEN", "OPEN"] {

@@ -43,10 +43,8 @@ fn main() {
     db.options_mut().open.rows_per_sample = Some(4000);
 
     // ---- The exact DDL of the paper's §2 listing ----
-    db.execute(
-        "CREATE TEMPORARY TABLE Eurostat (country TEXT, email TEXT, reported_count INT);",
-    )
-    .expect("eurostat table");
+    db.execute("CREATE TEMPORARY TABLE Eurostat (country TEXT, email TEXT, reported_count INT);")
+        .expect("eurostat table");
     // "...Ingest Eurostat reports to Eurostat table" — per-country totals
     // (email NULL) and per-provider totals (country NULL).
     let mut by_country = std::collections::HashMap::new();
@@ -82,7 +80,13 @@ fn main() {
     // "...Ingest Yahoo sample to YahooMigrants": a 10% sample of the
     // Yahoo migrants only — the selection bias of the motivating example.
     let mut rng = StdRng::seed_from_u64(1);
-    let schema = db.catalog().sample("YahooMigrants").unwrap().data.schema().clone();
+    let schema = db
+        .catalog()
+        .sample("YahooMigrants")
+        .unwrap()
+        .data
+        .schema()
+        .clone();
     let mut b = TableBuilder::new(schema);
     for (c, e, n) in WORLD {
         if *e != "Yahoo" {
@@ -94,10 +98,13 @@ fn main() {
             }
         }
     }
-    db.ingest_sample("YahooMigrants", b.finish()).expect("ingest");
+    db.ingest_sample("YahooMigrants", b.finish())
+        .expect("ingest");
 
     // ---- The two queries of the paper ----
-    println!("SELECT SEMI-OPEN country, email, COUNT(*) FROM EuropeMigrants GROUP BY country, email;");
+    println!(
+        "SELECT SEMI-OPEN country, email, COUNT(*) FROM EuropeMigrants GROUP BY country, email;"
+    );
     let semi = db
         .execute(
             "SELECT SEMI-OPEN country, email, COUNT(*) FROM EuropeMigrants \

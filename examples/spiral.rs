@@ -24,7 +24,7 @@ fn main() {
     });
 
     println!("Training the M-SWG on the biased spiral sample (paper Fig. 5)...");
-    let mut model = MSwg::fit_with_progress(
+    let model = MSwg::fit_with_progress(
         &data.sample,
         &data.marginals,
         SwgConfig {
@@ -49,7 +49,10 @@ fn main() {
 
     println!("\nWasserstein distance to the *population* per attribute:");
     println!("{:<16} {:>12} {:>12}", "", "x", "y");
-    for (name, t) in [("biased sample", &data.sample), ("M-SWG sample", &generated)] {
+    for (name, t) in [
+        ("biased sample", &data.sample),
+        ("M-SWG sample", &generated),
+    ] {
         let wx = wasserstein_1d(
             &empirical(t, "x"),
             &empirical(&data.population, "x"),
@@ -66,8 +69,7 @@ fn main() {
     // A range-count check like Fig. 6.
     let truth = spiral::count_in_box(&data.population, 0.1, 0.5, 0.0, 0.4);
     let scale = data.population.num_rows() as f64 / data.sample.num_rows() as f64;
-    let unif = scale
-        * spiral::count_in_box(&data.sample, 0.1, 0.5, 0.0, 0.4);
+    let unif = scale * spiral::count_in_box(&data.sample, 0.1, 0.5, 0.0, 0.4);
     let mswg = scale * spiral::count_in_box(&generated, 0.1, 0.5, 0.0, 0.4);
     println!("\nrange COUNT over the box [0.1,0.5]x[0.0,0.4]:");
     println!("  truth {truth:.0} | uniform sample estimate {unif:.0} | M-SWG estimate {mswg:.0}");

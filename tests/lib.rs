@@ -1,0 +1,1 @@
+//! Integration-test-only crate: all tests live under `tests/`.

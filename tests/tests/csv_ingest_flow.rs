@@ -41,10 +41,8 @@ fn csv_to_population_query() {
         ))
         .unwrap();
     }
-    db.execute(
-        "CREATE METADATA People_M1 AS (SELECT region, reported_count FROM CensusReport);",
-    )
-    .unwrap();
+    db.execute("CREATE METADATA People_M1 AS (SELECT region, reported_count FROM CensusReport);")
+        .unwrap();
 
     // Load the sample CSV straight into the sample (schema-coerced).
     let sample = read_csv_str(SAMPLE_CSV).unwrap();

@@ -7,8 +7,8 @@ use std::collections::HashMap;
 use mosaic_bench::flights::{self, FlightsConfig};
 use mosaic_bench::spiral::{self, SpiralConfig};
 use mosaic_bn::{BayesNet, BnConfig};
-use mosaic_stats::{weighted, Ipf, IpfConfig, Marginal, WeightedEmpirical};
 use mosaic_stats::{wasserstein_1d, WassersteinOrder};
+use mosaic_stats::{weighted, Ipf, IpfConfig, Marginal, WeightedEmpirical};
 use mosaic_storage::Table;
 use mosaic_swg::{MSwg, SwgConfig};
 use rand::rngs::StdRng;
@@ -25,21 +25,19 @@ fn ipf_recovers_population_mean_on_flights() {
         marginal_bins: 24,
         ..FlightsConfig::default()
     });
-    let truth =
-        weighted::weighted_mean(&col_f64(&data.population, "elapsed_time"), &vec![
-            1.0;
-            data.population.num_rows()
-        ])
-        .unwrap();
-    let biased = weighted::weighted_mean(&col_f64(&data.sample, "elapsed_time"), &vec![
-        1.0;
-        data.sample.num_rows()
-    ])
+    let truth = weighted::weighted_mean(
+        &col_f64(&data.population, "elapsed_time"),
+        &vec![1.0; data.population.num_rows()],
+    )
+    .unwrap();
+    let biased = weighted::weighted_mean(
+        &col_f64(&data.sample, "elapsed_time"),
+        &vec![1.0; data.sample.num_rows()],
+    )
     .unwrap();
     let ipf = Ipf::new(&data.sample, &data.marginals, &data.binners).unwrap();
     let (w, _) = ipf.fit(None, &IpfConfig::default());
-    let debiased =
-        weighted::weighted_mean(&col_f64(&data.sample, "elapsed_time"), &w).unwrap();
+    let debiased = weighted::weighted_mean(&col_f64(&data.sample, "elapsed_time"), &w).unwrap();
     // The biased sample is way off; IPF should close most of the gap.
     let bias_err = (biased - truth).abs();
     let ipf_err = (debiased - truth).abs();
@@ -121,7 +119,8 @@ fn ipf_multiple_marginals_reduce_error_even_without_convergence() {
         total
     };
     let raw_err = err_of(&vec![
-        data.population.num_rows() as f64 / data.sample.num_rows() as f64;
+        data.population.num_rows() as f64
+            / data.sample.num_rows() as f64;
         data.sample.num_rows()
     ]);
     let ipf_err = err_of(&w);
@@ -141,7 +140,7 @@ fn mswg_debiases_the_spiral_sample() {
         sample: 1_000,
         ..SpiralConfig::default()
     });
-    let mut model = MSwg::fit(
+    let model = MSwg::fit(
         &data.sample,
         &data.marginals,
         SwgConfig {
@@ -154,14 +153,11 @@ fn mswg_debiases_the_spiral_sample() {
     let mut rng = StdRng::seed_from_u64(2);
     let gen = model.generate(1_000, &mut rng);
     for attr in ["x", "y"] {
-        let pop = WeightedEmpirical::from_values(
-            col_f64(&data.population, attr).into_iter().flatten(),
-        );
-        let biased = WeightedEmpirical::from_values(
-            col_f64(&data.sample, attr).into_iter().flatten(),
-        );
-        let generated =
-            WeightedEmpirical::from_values(col_f64(&gen, attr).into_iter().flatten());
+        let pop =
+            WeightedEmpirical::from_values(col_f64(&data.population, attr).into_iter().flatten());
+        let biased =
+            WeightedEmpirical::from_values(col_f64(&data.sample, attr).into_iter().flatten());
+        let generated = WeightedEmpirical::from_values(col_f64(&gen, attr).into_iter().flatten());
         let d_biased = wasserstein_1d(&biased, &pop, WassersteinOrder::W1);
         let d_gen = wasserstein_1d(&generated, &pop, WassersteinOrder::W1);
         assert!(
@@ -214,8 +210,7 @@ fn binned_marginals_round_trip_through_engine_conventions() {
         sample: 500,
         ..SpiralConfig::default()
     });
-    let sample_m =
-        Marginal::from_table(&data.sample, &["x"], None, &data.binners).unwrap();
+    let sample_m = Marginal::from_table(&data.sample, &["x"], None, &data.binners).unwrap();
     let pop_m = &data.marginals[0];
     // Every sample cell key must exist in the population marginal (same
     // binning ⇒ same midpoint keys).

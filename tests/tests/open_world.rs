@@ -41,13 +41,8 @@ fn setup(backend: OpenBackend) -> MosaicDb {
          CREATE SAMPLE YahooSample AS (SELECT * FROM Migrants WHERE email = 'Yahoo');",
     )
     .unwrap();
-    let mut rows = Vec::new();
-    for _ in 0..30 {
-        rows.push("('UK','Yahoo')");
-    }
-    for _ in 0..20 {
-        rows.push("('FR','Yahoo')");
-    }
+    let mut rows = vec!["('UK','Yahoo')"; 30];
+    rows.extend(vec!["('FR','Yahoo')"; 20]);
     db.execute(&format!(
         "INSERT INTO YahooSample VALUES {}",
         rows.join(",")
@@ -60,9 +55,7 @@ fn setup(backend: OpenBackend) -> MosaicDb {
 fn open_generates_missing_email_providers() {
     let mut db = setup(OpenBackend::Swg(tiny_swg()));
     let open = db
-        .execute(
-            "SELECT OPEN email, COUNT(*) FROM Migrants GROUP BY email ORDER BY email",
-        )
+        .execute("SELECT OPEN email, COUNT(*) FROM Migrants GROUP BY email ORDER BY email")
         .unwrap();
     assert_eq!(open.visibility, Some(Visibility::Open));
     let emails: Vec<String> = (0..open.table.num_rows())
@@ -114,9 +107,7 @@ fn bayes_net_backend_also_answers_open_queries() {
 #[test]
 fn model_cache_hits_on_repeat_queries() {
     let mut db = setup(OpenBackend::Swg(tiny_swg()));
-    let first = db
-        .execute("SELECT OPEN COUNT(*) FROM Migrants")
-        .unwrap();
+    let first = db.execute("SELECT OPEN COUNT(*) FROM Migrants").unwrap();
     assert!(
         first.notes.iter().any(|n| n.contains("trained")),
         "first OPEN query trains: {:?}",

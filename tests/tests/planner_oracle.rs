@@ -1,0 +1,200 @@
+//! Property-based equivalence: the vectorized physical-plan executor must
+//! produce results identical to the retained row-at-a-time reference
+//! (`run_select_rowwise`) — same schema, same values bit-for-bit, and the
+//! same errors — across generated tables (with NULLs), expressions, and
+//! weight vectors. This is the safety net under every later executor
+//! optimization.
+
+use mosaic_core::{run_select, run_select_rowwise};
+use mosaic_sql::{parse, Statement};
+use mosaic_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
+use proptest::prelude::*;
+
+type Row = (Option<u8>, Option<i64>, Option<f64>);
+
+/// Mixed-type table with NULLs in every column: `k` (string from a small
+/// alphabet), `i` (int), `f` (float).
+fn build_table(rows: &[Row]) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Str),
+        Field::new("i", DataType::Int),
+        Field::new("f", DataType::Float),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    for (k, i, f) in rows {
+        b.push_row(vec![
+            k.map_or(Value::Null, |k| Value::Str(format!("v{}", k % 3))),
+            i.map_or(Value::Null, Value::Int),
+            f.map_or(Value::Null, Value::Float),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+fn select(src: &str) -> mosaic_sql::SelectStmt {
+    match parse(src).unwrap().pop().unwrap() {
+        Statement::Select(s) => s,
+        other => panic!("not a select: {other:?}"),
+    }
+}
+
+/// Exact table equality: schema (names and types) plus `Value` equality
+/// per cell (floats compare by bit pattern via `Value::PartialEq`).
+fn tables_identical(a: &Table, b: &Table) -> std::result::Result<(), String> {
+    if a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns() {
+        return Err(format!(
+            "shape {}x{} vs {}x{}",
+            a.num_rows(),
+            a.num_columns(),
+            b.num_rows(),
+            b.num_columns()
+        ));
+    }
+    for c in 0..a.num_columns() {
+        let (fa, fb) = (a.schema().field(c), b.schema().field(c));
+        if fa.name != fb.name || fa.data_type != fb.data_type {
+            return Err(format!(
+                "field {c}: {} {} vs {} {}",
+                fa.name, fa.data_type, fb.name, fb.data_type
+            ));
+        }
+    }
+    for r in 0..a.num_rows() {
+        for c in 0..a.num_columns() {
+            if a.value(r, c) != b.value(r, c) {
+                return Err(format!(
+                    "cell ({r},{c}): {:?} vs {:?}",
+                    a.value(r, c),
+                    b.value(r, c)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run a query through both executors and demand identical outcomes.
+fn assert_equivalent(src: &str, table: &Table, weights: Option<&[f64]>) {
+    let stmt = select(src);
+    let vectorized = run_select(&stmt, table, weights);
+    let rowwise = run_select_rowwise(&stmt, table, weights);
+    match (vectorized, rowwise) {
+        (Ok(v), Ok(r)) => {
+            if let Err(msg) = tables_identical(&v, &r) {
+                panic!("divergence on {src:?}: {msg}\nvectorized:\n{v}\nrowwise:\n{r}");
+            }
+        }
+        (Err(v), Err(r)) => {
+            assert_eq!(v.to_string(), r.to_string(), "error mismatch on {src:?}");
+        }
+        (v, r) => panic!(
+            "one path failed on {src:?}: vectorized {:?}, rowwise {:?}",
+            v.map(|t| t.num_rows()),
+            r.map(|t| t.num_rows())
+        ),
+    }
+}
+
+/// Query templates exercised against every generated table. `{thr}` is
+/// substituted with a generated threshold.
+const QUERIES: &[&str] = &[
+    "SELECT * FROM t",
+    "SELECT k, i FROM t WHERE i > {thr}",
+    "SELECT i + f, i * 2, f / 2 FROM t",
+    "SELECT i / 0, i % 3, -i, -f FROM t",
+    "SELECT 2 + i, 2 * i, 2 - i, 7 % i, {thr} - i FROM t",
+    "SELECT i FROM t WHERE i % 7 = 0",
+    "SELECT k FROM t WHERE i IS NULL OR f IS NULL",
+    "SELECT k FROM t WHERE k IN ('v0', 'v1') ORDER BY i DESC LIMIT 5",
+    "SELECT i FROM t WHERE i BETWEEN -10 AND {thr} ORDER BY i",
+    "SELECT f FROM t WHERE f * 2.0 > 10.0 AND i <= {thr}",
+    "SELECT k FROM t WHERE NOT i = {thr} AND k IS NOT NULL",
+    "SELECT i FROM t WHERE i IN (1, 2, NULL)",
+    "SELECT i FROM t WHERE i NOT IN (3, {thr})",
+    "SELECT k, i, f FROM t ORDER BY k, i DESC, f LIMIT 7",
+    "SELECT i > {thr}, f IS NULL, k = 'v1' FROM t",
+    "SELECT COUNT(*) FROM t",
+    "SELECT COUNT(f), COUNT(i) FROM t",
+    "SELECT SUM(i), AVG(f), MIN(i), MAX(f) FROM t",
+    "SELECT MIN(k), MAX(k) FROM t",
+    "SELECT SUM(i) / COUNT(*) FROM t",
+    "SELECT SUM(i + f), AVG(i * 2) FROM t",
+    "SELECT COUNT(*) FROM t WHERE f > 0.0 OR i < 0",
+    "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k",
+    "SELECT k, SUM(i) AS s FROM t GROUP BY k ORDER BY s DESC, k LIMIT 3",
+    "SELECT k, AVG(f) AS a, MIN(i), MAX(i) FROM t GROUP BY k ORDER BY k",
+    "SELECT k, COUNT(i) AS c FROM t WHERE f IS NOT NULL GROUP BY k ORDER BY c DESC, k",
+    "SELECT i, COUNT(*) FROM t GROUP BY i ORDER BY i LIMIT 10",
+    "SELECT f, COUNT(*) FROM t GROUP BY f ORDER BY f LIMIT 10",
+    "SELECT k, i, COUNT(*) FROM t GROUP BY k, i ORDER BY k, i",
+    "SELECT k, SUM(i) + AVG(f) AS m FROM t WHERE i > {thr} GROUP BY k ORDER BY k",
+    // Sorting an aggregate result by a non-projected source column must
+    // error identically in both executors (no silent input fallback).
+    "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY i",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unweighted equivalence over every template.
+    #[test]
+    fn vectorized_matches_rowwise(
+        rows in proptest::collection::vec(
+            (
+                proptest::option::of(0u8..3),
+                proptest::option::of(-40i64..40),
+                proptest::option::of(-25.0f64..25.0),
+            ),
+            0..50,
+        ),
+        thr in -40i64..40,
+    ) {
+        let table = build_table(&rows);
+        for template in QUERIES {
+            let src = template.replace("{thr}", &thr.to_string());
+            assert_equivalent(&src, &table, None);
+        }
+    }
+
+    /// Weighted equivalence: the §5.3 weighted-aggregate rewrite must be
+    /// a plan property, not a behavioural fork.
+    #[test]
+    fn weighted_vectorized_matches_rowwise(
+        rows in proptest::collection::vec(
+            (
+                proptest::option::of(0u8..3),
+                proptest::option::of(-40i64..40),
+                proptest::option::of(-25.0f64..25.0),
+            ),
+            1..40,
+        ),
+        raw_weights in proptest::collection::vec(0.05f64..20.0, 40),
+        thr in -40i64..40,
+    ) {
+        let table = build_table(&rows);
+        let weights = &raw_weights[..rows.len()];
+        for template in QUERIES {
+            let src = template.replace("{thr}", &thr.to_string());
+            assert_equivalent(&src, &table, Some(weights));
+        }
+    }
+
+    /// Degenerate shapes: empty tables, all-NULL columns, single rows.
+    #[test]
+    fn degenerate_tables_match(nulls in 0u8..4, n in 0usize..3) {
+        let rows: Vec<Row> = (0..n)
+            .map(|_| match nulls {
+                0 => (None, None, None),
+                1 => (Some(1), None, Some(2.5)),
+                2 => (None, Some(7), None),
+                _ => (Some(0), Some(-3), Some(-0.0)),
+            })
+            .collect();
+        let table = build_table(&rows);
+        for template in QUERIES {
+            let src = template.replace("{thr}", "0");
+            assert_equivalent(&src, &table, None);
+        }
+    }
+}

@@ -7,9 +7,7 @@ use std::collections::HashMap;
 
 use mosaic_core::run_select;
 use mosaic_sql::{parse, Statement};
-use mosaic_stats::{
-    wasserstein_1d, Ipf, IpfConfig, Marginal, WassersteinOrder, WeightedEmpirical,
-};
+use mosaic_stats::{wasserstein_1d, Ipf, IpfConfig, Marginal, WassersteinOrder, WeightedEmpirical};
 use mosaic_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
 use mosaic_swg::Encoder;
 use proptest::prelude::*;

@@ -58,7 +58,9 @@ fn closed_query_is_raw_sample() {
     db.execute("INSERT INTO YahooMigrants VALUES ('UK','Yahoo'), ('FR','Yahoo');")
         .unwrap();
     let closed = db
-        .execute("SELECT CLOSED country, COUNT(*) FROM EuropeMigrants GROUP BY country ORDER BY country")
+        .execute(
+            "SELECT CLOSED country, COUNT(*) FROM EuropeMigrants GROUP BY country ORDER BY country",
+        )
         .unwrap();
     assert_eq!(closed.table.value(0, 1), Value::Int(1));
     assert_eq!(closed.table.value(1, 1), Value::Int(1));
@@ -183,9 +185,7 @@ fn sample_scan_exposes_weight_column() {
     let mut db = db_with_paper_schema();
     db.execute("INSERT INTO YahooMigrants VALUES ('UK','Yahoo'), ('FR','Yahoo');")
         .unwrap();
-    let r = db
-        .execute("SELECT SUM(weight) FROM YahooMigrants")
-        .unwrap();
+    let r = db.execute("SELECT SUM(weight) FROM YahooMigrants").unwrap();
     // Initial weights are 1 per tuple (paper §3.2).
     assert_eq!(r.table.value(0, 0).as_f64().unwrap(), 2.0);
 }
@@ -193,10 +193,8 @@ fn sample_scan_exposes_weight_column() {
 #[test]
 fn user_set_initial_weights_respected_by_ipf() {
     let mut db = db_with_paper_schema();
-    db.execute(
-        "INSERT INTO YahooMigrants VALUES ('UK','Yahoo'), ('UK','Yahoo'), ('FR','Yahoo');",
-    )
-    .unwrap();
+    db.execute("INSERT INTO YahooMigrants VALUES ('UK','Yahoo'), ('UK','Yahoo'), ('FR','Yahoo');")
+        .unwrap();
     db.set_sample_weights("YahooMigrants", vec![3.0, 1.0, 1.0])
         .unwrap();
     let r = db
