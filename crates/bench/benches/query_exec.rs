@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mosaic_bench::flights::{self, FlightsConfig};
-use mosaic_core::{run_select, run_select_rowwise, MosaicDb, OpenBackend};
+use mosaic_core::{run_select_parallel, run_select_rowwise, MosaicDb, OpenBackend};
 use mosaic_sql::{parse, SelectStmt, Statement};
 use mosaic_swg::SwgConfig;
 use std::hint::black_box;
@@ -86,7 +86,9 @@ fn stmt(src: &str) -> SelectStmt {
 /// Vectorized plan vs. the retained row-at-a-time oracle on a 100k-row
 /// flights table: filter + group-by aggregate (the acceptance benchmark
 /// for the physical-plan layer), plus a filter-only query to isolate the
-/// predicate kernels.
+/// predicate kernels. Pinned to `parallelism = 1` so the comparison
+/// measures vectorization alone — thread scaling has its own bench
+/// (`bench_parallel_scaling`).
 fn bench_vectorized_vs_rowwise(c: &mut Criterion) {
     let data = flights::generate(&FlightsConfig {
         population: 100_000,
@@ -107,19 +109,19 @@ fn bench_vectorized_vs_rowwise(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
     group.bench_function("filter_agg_vectorized", |b| {
-        b.iter(|| black_box(run_select(&agg, &table, None).unwrap()))
+        b.iter(|| black_box(run_select_parallel(&agg, &table, None, 1).unwrap()))
     });
     group.bench_function("filter_agg_rowwise", |b| {
         b.iter(|| black_box(run_select_rowwise(&agg, &table, None).unwrap()))
     });
     group.bench_function("filter_agg_weighted_vectorized", |b| {
-        b.iter(|| black_box(run_select(&agg, &table, Some(&weights)).unwrap()))
+        b.iter(|| black_box(run_select_parallel(&agg, &table, Some(&weights), 1).unwrap()))
     });
     group.bench_function("filter_agg_weighted_rowwise", |b| {
         b.iter(|| black_box(run_select_rowwise(&agg, &table, Some(&weights)).unwrap()))
     });
     group.bench_function("filter_only_vectorized", |b| {
-        b.iter(|| black_box(run_select(&filter, &table, None).unwrap()))
+        b.iter(|| black_box(run_select_parallel(&filter, &table, None, 1).unwrap()))
     });
     group.bench_function("filter_only_rowwise", |b| {
         b.iter(|| black_box(run_select_rowwise(&filter, &table, None).unwrap()))
@@ -127,5 +129,63 @@ fn bench_vectorized_vs_rowwise(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries, bench_vectorized_vs_rowwise);
+/// Morsel-driven parallel executor vs. the serial vectorized path
+/// (`parallelism = 1`) on filter + group-by aggregates at 100K and 1M
+/// rows, swept over worker-thread counts. Before timing anything, the
+/// driver's core invariant is asserted: results at every thread count
+/// are bit-identical to the serial result.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let threads = [1usize, 2, 4, 8];
+    for rows in [100_000usize, 1_000_000] {
+        let data = flights::generate(&FlightsConfig {
+            population: rows,
+            marginal_bins: 16,
+            ..FlightsConfig::default()
+        });
+        let table = data.population;
+        assert_eq!(table.num_rows(), rows);
+        let weights = vec![1.7; rows];
+        let agg = stmt(
+            "SELECT carrier, COUNT(*), AVG(distance), MAX(elapsed_time) \
+             FROM t WHERE elapsed_time > 120 AND distance < 2200 GROUP BY carrier",
+        );
+
+        // Bit-identity across the sweep (weighted and unweighted).
+        let baseline = run_select_parallel(&agg, &table, None, 1).unwrap();
+        let baseline_w = run_select_parallel(&agg, &table, Some(&weights), 1).unwrap();
+        for &t in &threads[1..] {
+            for (base, w) in [(&baseline, None), (&baseline_w, Some(weights.as_slice()))] {
+                let out = run_select_parallel(&agg, &table, w, t).unwrap();
+                assert_eq!(out.num_rows(), base.num_rows(), "{rows} rows, {t} threads");
+                for r in 0..out.num_rows() {
+                    for col in 0..out.num_columns() {
+                        assert_eq!(
+                            out.value(r, col),
+                            base.value(r, col),
+                            "{rows} rows, {t} threads, cell ({r},{col})"
+                        );
+                    }
+                }
+            }
+        }
+
+        let mut group = c.benchmark_group(format!("parallel_scaling_{}k", rows / 1000));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(1500));
+        for &t in &threads {
+            group.bench_function(format!("filter_agg_{t}_threads"), |b| {
+                b.iter(|| black_box(run_select_parallel(&agg, &table, None, t).unwrap()))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_queries,
+    bench_vectorized_vs_rowwise,
+    bench_parallel_scaling
+);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mosaic_bench::flights::{self, FlightsConfig};
-use mosaic_core::run_select;
+use mosaic_core::run_select_parallel;
 use mosaic_sql::{parse, Statement};
 use mosaic_storage::Bitmap;
 use std::hint::black_box;
@@ -43,11 +43,11 @@ fn bench_storage(c: &mut Criterion) {
              WHERE distance > 500 GROUP BY carrier",
         );
         group.bench_with_input(BenchmarkId::new("filter_group_agg", n), t, |b, t| {
-            b.iter(|| black_box(run_select(&agg, t, None).unwrap()))
+            b.iter(|| black_box(run_select_parallel(&agg, t, None, 1).unwrap()))
         });
         let weights = vec![1.5; t.num_rows()];
         group.bench_with_input(BenchmarkId::new("weighted_group_agg", n), t, |b, t| {
-            b.iter(|| black_box(run_select(&agg, t, Some(&weights)).unwrap()))
+            b.iter(|| black_box(run_select_parallel(&agg, t, Some(&weights), 1).unwrap()))
         });
     }
     group.finish();

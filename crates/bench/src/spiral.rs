@@ -63,7 +63,7 @@ fn spiral_schema() -> std::sync::Arc<Schema> {
 /// Generate the spiral population, biased sample, and marginals.
 ///
 /// The population follows the experiments of Cai et al. (paper reference
-/// [9]): points along an Archimedean spiral with Gaussian noise, scaled
+/// \[9\]): points along an Archimedean spiral with Gaussian noise, scaled
 /// into roughly the unit square (matching the axes of Fig. 5).
 pub fn generate(config: &SpiralConfig) -> SpiralData {
     let mut rng = StdRng::seed_from_u64(config.seed);

@@ -11,6 +11,10 @@
 //! Statements may span lines; they execute at each `;`. Meta-commands:
 //! `.help`, `.quit`, `.notes on|off` (execution diagnostics),
 //! `.load <csv> <table>` (ingest a CSV file as an auxiliary table).
+//!
+//! Flags: `--batch` (no prompts), `--threads N` (worker-thread cap for
+//! the morsel-driven executor; overrides `MOSAIC_PARALLELISM`; never
+//! changes results).
 
 use std::io::{BufRead, Write};
 
@@ -18,10 +22,20 @@ use mosaic_core::MosaicDb;
 
 fn main() {
     let mut db = MosaicDb::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let interactive = !args.iter().any(|a| a == "--batch");
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => db.options_mut().parallelism = n,
+            _ => {
+                eprintln!("error: --threads requires a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut show_notes = true;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
-    let interactive = std::env::args().all(|a| a != "--batch");
     if interactive {
         eprintln!("Mosaic — a sample-based database for open-world query processing");
         eprintln!("type .help for meta-commands; statements end with ';'");

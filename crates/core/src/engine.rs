@@ -15,7 +15,7 @@ use crate::catalog::{
     empty_table, marginal_from_table, Catalog, Mechanism, MetadataEntry, Population, Sample,
 };
 use crate::eval::eval_scalar;
-use crate::exec::{apply_order_limit, run_select};
+use crate::exec::{apply_order_limit, run_select_parallel};
 use crate::models::{BnModel, GenerativeModel, SwgModel};
 use crate::{MosaicError, Result};
 
@@ -77,6 +77,12 @@ pub struct EngineOptions {
     /// Binners for continuous attributes (keyed by attribute name),
     /// shared by metadata construction and IPF cell formation.
     pub binners: HashMap<String, Binner>,
+    /// Worker-thread cap shared by the morsel-driven executor and the
+    /// OPEN replicate loop (which split it between themselves rather
+    /// than multiplying — one pool's worth of threads, never more).
+    /// Defaults to `MOSAIC_PARALLELISM` or the machine's core count;
+    /// never changes results, only wall-clock time.
+    pub parallelism: usize,
 }
 
 impl Default for EngineOptions {
@@ -86,6 +92,7 @@ impl Default for EngineOptions {
             open: OpenOptions::default(),
             ipf: IpfConfig::default(),
             binners: HashMap::new(),
+            parallelism: crate::plan::parallel::default_parallelism(),
         }
     }
 }
@@ -206,6 +213,17 @@ impl MosaicDb {
         self.catalog.set_sample_weights(sample, weights)
     }
 
+    /// Run one SELECT through the morsel-driven executor with the
+    /// engine's thread cap.
+    fn run_select(
+        &self,
+        stmt: &SelectStmt,
+        table: &Table,
+        weights: Option<&[f64]>,
+    ) -> Result<Table> {
+        run_select_parallel(stmt, table, weights, self.options.parallelism)
+    }
+
     fn execute_statement(&mut self, stmt: Statement) -> Result<Option<QueryResult>> {
         match stmt {
             Statement::CreateTable { name, fields, .. } => {
@@ -301,7 +319,7 @@ impl MosaicDb {
                         "metadata queries run over auxiliary tables; unknown table {from}"
                     ))
                 })?;
-                let result = run_select(&query, &src, None)?;
+                let result = self.run_select(&query, &src, None)?;
                 let marginal = marginal_from_table(&result)?;
                 self.catalog.create_metadata(MetadataEntry {
                     name,
@@ -449,7 +467,7 @@ impl MosaicDb {
                 .cloned()
                 .collect();
             let stmt2 = SelectStmt { items, ..stmt };
-            let table = run_select(&stmt2, &one_row, None)?;
+            let table = self.run_select(&stmt2, &one_row, None)?;
             return Ok(QueryResult {
                 table,
                 visibility: None,
@@ -465,7 +483,7 @@ impl MosaicDb {
             ));
         }
         if let Some(t) = self.catalog.aux(&from) {
-            let table = run_select(&stmt, &t.clone(), None)?;
+            let table = self.run_select(&stmt, &t.clone(), None)?;
             return Ok(QueryResult {
                 table,
                 visibility: None,
@@ -475,7 +493,7 @@ impl MosaicDb {
         if let Some(s) = self.catalog.sample(&from) {
             // Expose the engine-managed weights as a `weight` column.
             let table = table_with_weight_column(&s.data, &s.weights)?;
-            let table = run_select(&stmt, &table, None)?;
+            let table = self.run_select(&stmt, &table, None)?;
             return Ok(QueryResult {
                 table,
                 visibility: None,
@@ -506,13 +524,13 @@ impl MosaicDb {
             Visibility::Closed => {
                 // LAV-style: samples used as-is, no debiasing.
                 let data = apply_view(&sample.data, view_predicate.as_ref())?;
-                run_select(stmt, &data, None)?
+                self.run_select(stmt, &data, None)?
             }
             Visibility::SemiOpen => {
                 let (data, weights, mut w_notes) =
                     self.semi_open_weights(&pop, &sample, view_predicate.as_ref())?;
                 notes.append(&mut w_notes);
-                run_select(stmt, &data, Some(&weights))?
+                self.run_select(stmt, &data, Some(&weights))?
             }
             Visibility::Open => {
                 let (table, mut o_notes) =
@@ -762,10 +780,16 @@ impl MosaicDb {
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(run as u64 + 1)
         };
+        // The engine owns one thread budget: when several replicates run
+        // concurrently, each runs its inner query single-threaded; a lone
+        // replicate hands the whole budget to the morsel executor. Either
+        // way at most `parallelism` threads are busy — the replicate pool
+        // and the executor pool never multiply.
+        let parallelism = self.options.parallelism.max(1);
         // One replicate: generate, view-filter, uniformly reweight to the
         // population size, answer the (inner) query. Returns the answer
         // plus the post-view generated row count (for diagnostics).
-        let replicate = |stmt: &SelectStmt, run: usize| -> Result<(Table, usize)> {
+        let replicate = |stmt: &SelectStmt, run: usize, threads: usize| -> Result<(Table, usize)> {
             let generated = model.generate(per_sample, run_seed(run))?;
             let generated = if meta_is_gp {
                 apply_view(&generated, view)?
@@ -779,12 +803,12 @@ impl MosaicDb {
             };
             let weights = vec![weight; generated.num_rows()];
             let rows = generated.num_rows();
-            run_select(stmt, &generated, Some(&weights)).map(|t| (t, rows))
+            run_select_parallel(stmt, &generated, Some(&weights), threads).map(|t| (t, rows))
         };
         if !has_agg {
             // Non-aggregate OPEN query: a single generated sample IS the
             // answer (a representative population).
-            let (out, rows) = replicate(stmt, 0)?;
+            let (out, rows) = replicate(stmt, 0, parallelism)?;
             notes.push(format!(
                 "non-aggregate OPEN query answered from one generated sample of {rows} rows"
             ));
@@ -798,25 +822,21 @@ impl MosaicDb {
             ..stmt.clone()
         };
         // The replicates are independent and the fitted model is shared
-        // immutably, so run the paper's `num_generated = 10` loop on
-        // worker threads. Seeding per run index keeps the combined
-        // answer identical to serial execution.
-        let per_run: Vec<(Table, usize)> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..runs)
-                .map(|run| {
-                    let inner = &inner;
-                    let replicate = &replicate;
-                    s.spawn(move || replicate(inner, run))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("OPEN replicate worker panicked"))
-                .collect::<Result<_>>()
-        })?;
+        // immutably, so run the paper's `num_generated = 10` loop on a
+        // bounded worker pool: idle workers pull the next run index off a
+        // shared counter. Seeding per run index and collecting by run
+        // index keep the combined answer identical to serial execution.
+        let workers = runs.min(parallelism);
+        let inner_threads = if workers > 1 { 1 } else { parallelism };
+        let per_run: Vec<(Table, usize)> =
+            crate::plan::parallel::run_ordered(runs, workers, |run| {
+                replicate(&inner, run, inner_threads)
+            })
+            .into_iter()
+            .collect::<Result<_>>()?;
         notes.push(format!(
-            "combined {} generated samples of {} rows across worker threads (population size {:.0})",
-            runs, per_sample, pop_size
+            "combined {} generated samples of {} rows across {} worker thread(s) (population size {:.0})",
+            runs, per_sample, workers, pop_size
         ));
         let combined = combine_open_runs(&inner, per_run.into_iter().map(|(t, _)| t).collect())?;
         let combined = apply_order_limit(stmt, combined)?;

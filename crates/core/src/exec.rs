@@ -22,12 +22,29 @@ use crate::eval::{eval_predicate_rowwise, eval_row};
 use crate::plan::{self, output_name, ExecContext, LimitOp, PhysicalOperator, SortOp};
 use crate::{MosaicError, Result};
 
-/// Execute a SELECT over one table through the vectorized physical plan.
-/// `weights` (parallel to the table's rows) turns aggregates into
-/// weighted aggregates.
+/// Execute a SELECT over one table through the vectorized, morsel-driven
+/// physical plan. `weights` (parallel to the table's rows) turns
+/// aggregates into weighted aggregates. Uses the default thread cap
+/// ([`plan::parallel::default_parallelism`]); the thread count never
+/// changes results.
 pub fn run_select(stmt: &SelectStmt, table: &Table, weights: Option<&[f64]>) -> Result<Table> {
     check_weights(table, weights)?;
     plan::lower(stmt, weights.is_some()).execute(table, weights)
+}
+
+/// [`run_select`] with an explicit worker-thread cap. `parallelism = 1`
+/// executes the morsel pipeline inline on the calling thread;
+/// any cap produces bit-identical results.
+pub fn run_select_parallel(
+    stmt: &SelectStmt,
+    table: &Table,
+    weights: Option<&[f64]>,
+    parallelism: usize,
+) -> Result<Table> {
+    check_weights(table, weights)?;
+    plan::lower(stmt, weights.is_some())
+        .with_parallelism(parallelism)
+        .execute(table, weights)
 }
 
 fn check_weights(table: &Table, weights: Option<&[f64]>) -> Result<()> {

@@ -48,6 +48,18 @@
 //! ```
 //!
 //! See `examples/migrants.rs` for the full §2 scenario.
+//!
+//! ## Parallel execution
+//!
+//! Query execution is morsel-driven: scans split into fixed-size morsels
+//! of Arc-shared column slices that a scoped worker pool processes in
+//! parallel, with per-worker partial aggregates merged in a final
+//! single-threaded pass (see [`plan`]). The thread cap comes from
+//! [`EngineOptions::parallelism`] / [`run_select_parallel`], defaulting
+//! to the `MOSAIC_PARALLELISM` environment variable or the core count —
+//! and never changes results, only latency.
+
+#![warn(missing_docs)]
 
 pub mod catalog;
 mod engine;
@@ -61,8 +73,9 @@ pub use catalog::{Catalog, Mechanism, MetadataEntry, Population, Sample};
 pub use engine::{EngineOptions, MosaicDb, OpenBackend, OpenOptions, QueryResult};
 pub use error::MosaicError;
 pub use eval::{eval_expr_rowwise, eval_predicate_rowwise, eval_scalar};
-pub use exec::{run_select, run_select_rowwise};
+pub use exec::{run_select, run_select_parallel, run_select_rowwise};
 pub use models::{BnModel, GenerativeModel, SwgModel};
+pub use plan::parallel::{default_parallelism, MORSEL_ROWS};
 pub use plan::vector::{eval_expr, eval_predicate};
 pub use plan::{lower, PhysicalOperator, PhysicalPlan};
 

@@ -1,4 +1,5 @@
-//! Vectorized hash aggregation.
+//! Vectorized hash aggregation, split into a mergeable partial phase and
+//! a single-threaded final phase.
 //!
 //! Group keys are dictionary-encoded per column into dense `u32` codes
 //! (no per-row `Vec<Value>` materialization), aggregates accumulate
@@ -6,11 +7,19 @@
 //! final per-group outputs round-trip through [`Value`] — mirroring the
 //! row-at-a-time reference in `exec.rs` value-for-value, including its
 //! error messages and its Int/Float output-typing rules.
+//!
+//! The split exists for the morsel-driven driver in
+//! [`crate::plan::parallel`]: each worker computes a [`MorselPartial`]
+//! over its morsel ([`compute_partial`]), and [`merge_finalize`] unifies
+//! the per-morsel group dictionaries and folds the partial states **in
+//! morsel order**, so the result is independent of which thread ran which
+//! morsel. Executing a table as one single morsel reproduces the previous
+//! whole-table vectorized path bit-for-bit.
 
 use std::collections::HashMap;
 
 use mosaic_sql::{AggFunc, Expr, SelectItem};
-use mosaic_storage::kernels;
+use mosaic_storage::kernels::{self, AggState};
 use mosaic_storage::{Column, DataType, Table, Value};
 
 use crate::plan::vector;
@@ -24,65 +33,285 @@ pub(crate) fn execute(
     table: &Table,
     weights: Option<&[f64]>,
 ) -> Result<Table> {
+    let partial = compute_partial(items, group_by, table, weights).map_err(|(_, e)| e)?;
+    merge_finalize(items, weights.is_some(), &[partial])
+}
+
+/// A result whose error carries the rank of the stage that failed
+/// (0 = group keys, `1 + i` = SELECT item `i`). The morsel driver picks
+/// the error with the lowest (rank, morsel) pair, which reproduces the
+/// stage-by-stage error order of a whole-table pass.
+pub(crate) type Ranked<T> = std::result::Result<T, (u32, MosaicError)>;
+
+/// The per-morsel output of the partial aggregation phase.
+pub(crate) struct MorselPartial {
+    /// Per local group (in first-appearance order), the evaluated
+    /// GROUP BY key tuple. A single empty tuple for global aggregates.
+    keys: Vec<Vec<Value>>,
+    /// Per SELECT item, its partial state.
+    items: Vec<ItemPartial>,
+}
+
+enum ItemPartial {
+    /// The item projects GROUP BY expression `pos`.
+    Key(usize),
+    /// The item aggregates: partial state per distinct base aggregate.
+    Aggs(Vec<(Expr, AggPartial)>),
+}
+
+enum AggPartial {
+    /// COUNT / SUM / AVG accumulators. `int_typed` records whether the
+    /// argument column evaluated to Int in this morsel (drives the
+    /// Int-vs-Float output typing of unweighted SUM).
+    Num { state: AggState, int_typed: bool },
+    /// MIN / MAX best-so-far per local group (`Value::Null` = no
+    /// qualifying row), under `sql_cmp` first-wins semantics.
+    MinMax(Vec<Value>),
+}
+
+/// Compute the partial aggregate state of one (already filtered) morsel.
+/// Group keys and items are processed in SELECT order, and errors carry
+/// the failing stage's rank, so the error the driver ultimately selects
+/// matches what the whole-table executor would report on the same data.
+pub(crate) fn compute_partial(
+    items: &[SelectItem],
+    group_by: &[Expr],
+    table: &Table,
+    weights: Option<&[f64]>,
+) -> Ranked<MorselPartial> {
     let n = table.num_rows();
-    // 1. Group identification.
+    // 1. Group identification (stage rank 0).
     let (group_ids, rep_rows, key_cols) = if group_by.is_empty() {
         (vec![0u32; n], Vec::new(), Vec::new())
     } else {
         let key_cols: Vec<Column> = group_by
             .iter()
             .map(|e| vector::eval_expr(e, table))
-            .collect::<Result<_>>()?;
+            .collect::<Result<_>>()
+            .map_err(|e| (0, e))?;
         let (ids, reps) = compute_group_ids(&key_cols);
         (ids, reps, key_cols)
     };
-    let n_groups = if group_by.is_empty() {
-        1
+    let (n_groups, keys) = if group_by.is_empty() {
+        (1, vec![Vec::new()])
     } else {
-        rep_rows.len()
+        let keys = rep_rows
+            .iter()
+            .map(|&row| key_cols.iter().map(|c| c.value(row)).collect())
+            .collect::<Vec<Vec<Value>>>();
+        (rep_rows.len(), keys)
     };
 
-    // 2. Per-item, per-group output values.
-    let mut fields = Vec::with_capacity(items.len());
-    let mut value_rows: Vec<Vec<Value>> = vec![Vec::new(); n_groups];
-    for item in items {
+    // 2. Per-item partial state (item `ii` is stage rank `1 + ii`).
+    let mut item_partials = Vec::with_capacity(items.len());
+    for (ii, item) in items.iter().enumerate() {
+        let rank = 1 + ii as u32;
         let expr = match item {
             SelectItem::Wildcard => {
-                return Err(MosaicError::Execution(
-                    "SELECT * cannot be combined with GROUP BY / aggregates".into(),
+                return Err((
+                    rank,
+                    MosaicError::Execution(
+                        "SELECT * cannot be combined with GROUP BY / aggregates".into(),
+                    ),
                 ))
             }
             SelectItem::Expr { expr, .. } => expr,
         };
         if expr.contains_aggregate() {
-            // Compute every distinct base aggregate in the expression
-            // vectorized, then fold the outer arithmetic per group.
             let mut base: Vec<(Expr, Vec<Value>)> = Vec::new();
-            collect_aggregates(expr, &mut base)?;
-            for (agg_expr, out) in &mut base {
+            collect_aggregates(expr, &mut base).map_err(|e| (rank, e))?;
+            let mut states = Vec::with_capacity(base.len());
+            for (agg_expr, _) in &base {
                 let Expr::Agg { func, arg } = agg_expr else {
                     unreachable!("collect_aggregates only collects Agg nodes")
                 };
-                *out =
-                    compute_aggregate(*func, arg.as_deref(), table, &group_ids, n_groups, weights)?;
+                let state =
+                    partial_aggregate(*func, arg.as_deref(), table, &group_ids, n_groups, weights)
+                        .map_err(|e| (rank, e))?;
+                states.push((agg_expr.clone(), state));
             }
-            for (gi, row) in value_rows.iter_mut().enumerate() {
-                row.push(eval_over_groups(expr, gi, &base)?);
-            }
+            item_partials.push(ItemPartial::Aggs(states));
         } else {
             let pos = group_by.iter().position(|g| g == expr).ok_or_else(|| {
-                MosaicError::Execution(format!(
-                    "projection {} is neither an aggregate nor a GROUP BY expression",
-                    expr.default_name()
-                ))
+                (
+                    rank,
+                    MosaicError::Execution(format!(
+                        "projection {} is neither an aggregate nor a GROUP BY expression",
+                        expr.default_name()
+                    )),
+                )
             })?;
-            for (gi, row) in value_rows.iter_mut().enumerate() {
-                row.push(key_cols[pos].value(rep_rows[gi]));
+            item_partials.push(ItemPartial::Key(pos));
+        }
+    }
+    Ok(MorselPartial {
+        keys,
+        items: item_partials,
+    })
+}
+
+/// Unify the per-morsel group dictionaries (global group order =
+/// first-appearance order across morsels, which for a single morsel is
+/// the serial order), fold the partial states together in morsel order,
+/// and assemble the output table.
+pub(crate) fn merge_finalize(
+    items: &[SelectItem],
+    weighted: bool,
+    partials: &[MorselPartial],
+) -> Result<Table> {
+    // 1. Global group dictionary + per-morsel local→global maps.
+    let mut index: HashMap<&[Value], u32> = HashMap::new();
+    let mut order: Vec<&Vec<Value>> = Vec::new();
+    let mut maps: Vec<Vec<u32>> = Vec::with_capacity(partials.len());
+    for partial in partials {
+        let mut map = Vec::with_capacity(partial.keys.len());
+        for key in &partial.keys {
+            let next = index.len() as u32;
+            let gid = *index.entry(key.as_slice()).or_insert_with(|| {
+                order.push(key);
+                next
+            });
+            map.push(gid);
+        }
+        maps.push(map);
+    }
+    let n_global = order.len();
+
+    // 2. Merge and finalize every item.
+    let mut fields = Vec::with_capacity(items.len());
+    let mut value_rows: Vec<Vec<Value>> = vec![Vec::new(); n_global];
+    for (ii, item) in items.iter().enumerate() {
+        match first_item_partial(partials, ii) {
+            ItemPartial::Key(pos) => {
+                for (gi, row) in value_rows.iter_mut().enumerate() {
+                    row.push(order[gi][*pos].clone());
+                }
+            }
+            ItemPartial::Aggs(bases) => {
+                let mut merged: Vec<(Expr, Vec<Value>)> = Vec::with_capacity(bases.len());
+                for (bi, (agg_expr, _)) in bases.iter().enumerate() {
+                    let Expr::Agg { func, .. } = agg_expr else {
+                        unreachable!("collect_aggregates only collects Agg nodes")
+                    };
+                    let values =
+                        merge_base_aggregate(*func, weighted, partials, &maps, ii, bi, n_global);
+                    merged.push((agg_expr.clone(), values));
+                }
+                let SelectItem::Expr { expr, .. } = item else {
+                    unreachable!("wildcards were rejected in the partial phase")
+                };
+                for (gi, row) in value_rows.iter_mut().enumerate() {
+                    row.push(eval_over_groups(expr, gi, &merged)?);
+                }
             }
         }
         fields.push(super::output_name(item));
     }
     super::assemble_value_rows(&fields, &value_rows)
+}
+
+/// The item partial of item `ii` in the first morsel (every morsel has
+/// the same item structure — it depends only on the statement).
+fn first_item_partial(partials: &[MorselPartial], ii: usize) -> &ItemPartial {
+    &partials.first().expect("at least one morsel partial").items[ii]
+}
+
+/// Merge base aggregate `bi` of item `ii` across all morsels (in morsel
+/// order) and finalize it into one `Value` per global group.
+fn merge_base_aggregate(
+    func: AggFunc,
+    weighted: bool,
+    partials: &[MorselPartial],
+    maps: &[Vec<u32>],
+    ii: usize,
+    bi: usize,
+    n_global: usize,
+) -> Vec<Value> {
+    let locals = partials.iter().zip(maps).map(|(p, map)| {
+        let ItemPartial::Aggs(bases) = &p.items[ii] else {
+            unreachable!("item structure is morsel-invariant")
+        };
+        (&bases[bi].1, map.as_slice())
+    });
+    match func {
+        AggFunc::Count | AggFunc::Sum | AggFunc::Avg => {
+            let mut state = AggState::new(n_global);
+            let mut int_typed = true;
+            for (local, map) in locals {
+                let AggPartial::Num {
+                    state: ls,
+                    int_typed: li,
+                } = local
+                else {
+                    unreachable!("numeric aggregate has numeric partials")
+                };
+                // A morsel whose argument column came out all-NULL
+                // reports Int (the evaluator's degenerate-type rule); it
+                // contributes no rows, so only real Int morsels keep the
+                // output integral — exactly the whole-column rule.
+                int_typed &= *li;
+                state.merge_from(ls, map);
+            }
+            (0..n_global)
+                .map(|g| match func {
+                    AggFunc::Count => {
+                        if weighted {
+                            Value::Float(state.wsums[g])
+                        } else {
+                            Value::Int(state.wsums[g] as i64)
+                        }
+                    }
+                    AggFunc::Sum => {
+                        if state.counts[g] == 0 {
+                            Value::Null
+                        } else if !weighted && int_typed {
+                            Value::Int(state.sums[g] as i64)
+                        } else {
+                            Value::Float(state.sums[g])
+                        }
+                    }
+                    AggFunc::Avg => {
+                        if state.counts[g] == 0 {
+                            Value::Null
+                        } else {
+                            Value::Float(state.sums[g] / state.wsums[g])
+                        }
+                    }
+                    _ => unreachable!(),
+                })
+                .collect()
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Vec<Value> = vec![Value::Null; n_global];
+            for (local, map) in locals {
+                let AggPartial::MinMax(lb) = local else {
+                    unreachable!("min/max aggregate has min/max partials")
+                };
+                for (l, v) in lb.iter().enumerate() {
+                    if v.is_null() {
+                        continue;
+                    }
+                    let b = &mut best[map[l] as usize];
+                    if b.is_null() {
+                        *b = v.clone();
+                        continue;
+                    }
+                    // First-wins on incomparable values, like the scalar
+                    // reference loop — merging per-morsel bests in morsel
+                    // order preserves the sequential-scan outcome.
+                    let keep_new = match v.sql_cmp(b) {
+                        Some(std::cmp::Ordering::Less) => func == AggFunc::Min,
+                        Some(std::cmp::Ordering::Greater) => func == AggFunc::Max,
+                        _ => false,
+                    };
+                    if keep_new {
+                        *b = v.clone();
+                    }
+                }
+            }
+            best
+        }
+    }
 }
 
 /// Dictionary-encode each key column, then iteratively combine per-column
@@ -228,57 +457,49 @@ fn eval_over_groups(expr: &Expr, gi: usize, base: &[(Expr, Vec<Value>)]) -> Resu
     }
 }
 
-/// Compute one base aggregate for every group through the grouped
-/// kernels.
-fn compute_aggregate(
+/// Compute the partial state of one base aggregate over one morsel
+/// through the grouped kernels.
+fn partial_aggregate(
     func: AggFunc,
     arg: Option<&Expr>,
     table: &Table,
     group_ids: &[u32],
     n_groups: usize,
     weights: Option<&[f64]>,
-) -> Result<Vec<Value>> {
+) -> Result<AggPartial> {
     match func {
         AggFunc::Count => {
             let arg_col = arg.map(|e| vector::eval_expr(e, table)).transpose()?;
-            let mut wsums = vec![0.0; n_groups];
-            let mut counts = vec![0u64; n_groups];
+            let mut state = AggState::new(n_groups);
             kernels::group_count(
                 arg_col.as_ref().and_then(Column::validity),
                 group_ids,
                 weights,
-                &mut wsums,
-                &mut counts,
+                &mut state.wsums,
+                &mut state.counts,
             );
-            Ok((0..n_groups)
-                .map(|g| {
-                    if weights.is_none() {
-                        Value::Int(wsums[g] as i64)
-                    } else {
-                        Value::Float(wsums[g])
-                    }
-                })
-                .collect())
+            Ok(AggPartial::Num {
+                state,
+                int_typed: false,
+            })
         }
         AggFunc::Sum | AggFunc::Avg => {
             let e = arg.ok_or_else(|| {
                 MosaicError::Execution(format!("{}(*) requires an argument", func.name()))
             })?;
             let col = vector::eval_expr(e, table)?;
-            let mut sums = vec![0.0; n_groups];
-            let mut wsums = vec![0.0; n_groups];
-            let mut counts = vec![0u64; n_groups];
-            let all_int = col.data_type() == DataType::Int;
+            let mut state = AggState::new(n_groups);
+            let int_typed = col.data_type() == DataType::Int;
             match col.data_type() {
                 DataType::Int if weights.is_none() => {
                     kernels::group_sum_i64(
                         col.i64_data().expect("typed"),
                         col.validity(),
                         group_ids,
-                        &mut sums,
-                        &mut counts,
+                        &mut state.sums,
+                        &mut state.counts,
                     );
-                    for (w, &c) in wsums.iter_mut().zip(&counts) {
+                    for (w, &c) in state.wsums.iter_mut().zip(&state.counts) {
                         *w = c as f64;
                     }
                 }
@@ -289,9 +510,9 @@ fn compute_aggregate(
                         col.validity(),
                         group_ids,
                         weights,
-                        &mut sums,
-                        &mut wsums,
-                        &mut counts,
+                        &mut state.sums,
+                        &mut state.wsums,
+                        &mut state.counts,
                     );
                 }
                 DataType::Float => {
@@ -300,9 +521,9 @@ fn compute_aggregate(
                         col.validity(),
                         group_ids,
                         weights,
-                        &mut sums,
-                        &mut wsums,
-                        &mut counts,
+                        &mut state.sums,
+                        &mut state.wsums,
+                        &mut state.counts,
                     );
                 }
                 DataType::Bool => {
@@ -317,14 +538,15 @@ fn compute_aggregate(
                         col.validity(),
                         group_ids,
                         weights,
-                        &mut sums,
-                        &mut wsums,
-                        &mut counts,
+                        &mut state.sums,
+                        &mut state.wsums,
+                        &mut state.counts,
                     );
                 }
                 DataType::Str => {
                     // Any non-null string makes some group error in the
                     // reference path, which fails the whole statement.
+                    // (An all-NULL argument never evaluates to Str.)
                     if col.null_count() < col.len() {
                         return Err(MosaicError::Execution(format!(
                             "{} over non-numeric value",
@@ -333,31 +555,14 @@ fn compute_aggregate(
                     }
                 }
             }
-            Ok((0..n_groups)
-                .map(|g| {
-                    if counts[g] == 0 {
-                        return Value::Null;
-                    }
-                    match func {
-                        AggFunc::Sum => {
-                            if weights.is_none() && all_int {
-                                Value::Int(sums[g] as i64)
-                            } else {
-                                Value::Float(sums[g])
-                            }
-                        }
-                        AggFunc::Avg => Value::Float(sums[g] / wsums[g]),
-                        _ => unreachable!(),
-                    }
-                })
-                .collect())
+            Ok(AggPartial::Num { state, int_typed })
         }
         AggFunc::Min | AggFunc::Max => {
             let e = arg.ok_or_else(|| {
                 MosaicError::Execution(format!("{}(*) requires an argument", func.name()))
             })?;
             let col = vector::eval_expr(e, table)?;
-            compute_min_max(func, &col, group_ids, n_groups)
+            compute_min_max(func, &col, group_ids, n_groups).map(AggPartial::MinMax)
         }
     }
 }
@@ -374,6 +579,9 @@ fn compute_min_max(
             // The reference compares through sql_cmp's f64 coercion with
             // first-wins ties, so ints beyond 2^53 (where f64 collapses
             // neighbours) must use the scalar reference loop to match.
+            // Below 2^53 the i64 and f64 orders agree, so the kernel and
+            // the cmp loop pick identical bests — which also keeps this
+            // per-morsel choice consistent with the whole-column one.
             let data = col.i64_data().expect("typed");
             if data.iter().any(|v| v.unsigned_abs() >= (1u64 << 53)) {
                 return min_max_by_cmp(func, col, group_ids, n_groups);

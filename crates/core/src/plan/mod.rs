@@ -8,9 +8,19 @@
 //! first-class plan property, not an executor afterthought). Expression
 //! evaluation inside the operators is vectorized over the typed kernels
 //! of `mosaic_storage::kernels`, with the row-at-a-time evaluator in
-//! [`crate::eval`] retained as the semantics oracle and runtime fallback.
+//! `crate::eval` retained as the semantics oracle and runtime fallback.
+//!
+//! Execution is **morsel-driven and parallel** (see [`parallel`]): the
+//! scan splits into fixed-size morsels of Arc-shared column slices,
+//! Filter/Project and the partial-aggregate phase of HashAggregate run
+//! per morsel on a scoped worker pool, and a single-threaded final pass
+//! merges the per-worker partial states before Sort/Limit. The thread
+//! count is a plan property ([`PhysicalPlan::with_parallelism`],
+//! defaulting to the `MOSAIC_PARALLELISM` environment variable or the
+//! machine's core count) and never affects results.
 
 pub(crate) mod aggregate;
+pub mod parallel;
 pub mod vector;
 
 use std::fmt;
@@ -76,16 +86,16 @@ pub struct ProjectOp {
     pub items: Vec<SelectItem>,
 }
 
-impl PhysicalOperator for ProjectOp {
-    fn name(&self) -> &'static str {
-        "Project"
-    }
-
-    fn execute(&self, _ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
-        let table = &input.table;
+impl ProjectOp {
+    /// Evaluate the projection, tagging any error with the failing
+    /// item's stage rank (`1 + i` for item `i`; rank 0 is reserved for
+    /// stages that precede the shape). The morsel driver uses the rank
+    /// to reproduce whole-table error ordering across morsels.
+    pub(crate) fn project_ranked(&self, table: &Table) -> aggregate::Ranked<Table> {
         let mut fields = Vec::new();
         let mut columns = Vec::new();
-        for item in &self.items {
+        for (ii, item) in self.items.iter().enumerate() {
+            let rank = 1 + ii as u32;
             match item {
                 SelectItem::Wildcard => {
                     for (i, f) in table.schema().fields().iter().enumerate() {
@@ -94,16 +104,28 @@ impl PhysicalOperator for ProjectOp {
                     }
                 }
                 SelectItem::Expr { expr, .. } => {
-                    let col = vector::eval_expr(expr, table)?;
+                    let col = vector::eval_expr(expr, table).map_err(|e| (rank, e))?;
                     fields.push(Field::new(output_name(item), col.data_type()));
                     columns.push(col);
                 }
             }
         }
-        Ok(Batch {
-            table: Table::new(Schema::new(fields), columns)?,
-            weights: None,
-        })
+        Table::new(Schema::new(fields), columns).map_err(|e| (u32::MAX, e.into()))
+    }
+}
+
+impl PhysicalOperator for ProjectOp {
+    fn name(&self) -> &'static str {
+        "Project"
+    }
+
+    fn execute(&self, _ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
+        self.project_ranked(&input.table)
+            .map(|table| Batch {
+                table,
+                weights: None,
+            })
+            .map_err(|(_, e)| e)
     }
 }
 
@@ -206,41 +228,73 @@ impl PhysicalOperator for LimitOp {
     }
 }
 
+/// The shape stage of a plan: exactly one of projection or aggregation.
+/// Kept as an enum (not a boxed trait object) so the morsel driver can
+/// split aggregation into its partial and final phases.
+pub(crate) enum Shape {
+    /// Projection without aggregates.
+    Project(ProjectOp),
+    /// Grouped or global aggregation.
+    Aggregate(HashAggregateOp),
+}
+
+impl Shape {
+    fn name(&self) -> &'static str {
+        match self {
+            Shape::Project(op) => op.name(),
+            Shape::Aggregate(op) => op.name(),
+        }
+    }
+}
+
 /// A lowered SELECT: filter stages, one shape stage (projection or
 /// aggregation), then ordering stages.
+///
+/// Execution is morsel-driven (see [`parallel`]): the scan splits into
+/// fixed-size morsels of Arc-shared column slices, the filter and shape
+/// stages run per morsel — on `parallelism` worker threads when the
+/// input spans several morsels — and per-morsel outputs merge in morsel
+/// order before the ordering stages. Morsel boundaries depend only on
+/// the row count, so results are **bit-identical at every thread
+/// count**, and a single-morsel input reproduces the serial whole-table
+/// path exactly.
 pub struct PhysicalPlan {
     pre_shape: Vec<Box<dyn PhysicalOperator>>,
-    shape: Box<dyn PhysicalOperator>,
-    post_shape: Vec<Box<dyn PhysicalOperator>>,
-    /// True when `shape` aggregates. ORDER BY keys must then resolve
-    /// against the aggregate output only — offering the pre-shape input
-    /// as a fallback would let sorts silently bind to unaggregated
-    /// source columns whenever the group count happens to equal the
-    /// input row count.
-    aggregate_shape: bool,
+    pub(crate) shape: Shape,
+    pub(crate) post_shape: Vec<Box<dyn PhysicalOperator>>,
+    parallelism: usize,
 }
 
 impl PhysicalPlan {
     /// Execute against a source table with optional row weights.
     pub fn execute(&self, table: &Table, weights: Option<&[f64]>) -> Result<Table> {
-        let no_input = ExecContext {
-            filtered_input: None,
-        };
-        let mut batch = Batch {
-            table: table.clone(),
-            weights: weights.map(<[f64]>::to_vec),
-        };
-        for op in &self.pre_shape {
-            batch = op.execute(&no_input, &batch)?;
-        }
-        let mut out = self.shape.execute(&no_input, &batch)?;
-        let ctx = ExecContext {
-            filtered_input: (!self.aggregate_shape).then_some(&batch.table),
-        };
-        for op in &self.post_shape {
-            out = op.execute(&ctx, &out)?;
-        }
-        Ok(out.table)
+        parallel::execute_plan(self, table, weights)
+    }
+
+    /// Cap the number of worker threads the plan may use (minimum 1).
+    /// The thread count never changes results — only wall-clock time.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// The plan's worker-thread cap.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// True when the shape stage aggregates. ORDER BY keys must then
+    /// resolve against the aggregate output only — offering the
+    /// pre-shape input as a fallback would let sorts silently bind to
+    /// unaggregated source columns whenever the group count happens to
+    /// equal the input row count.
+    pub(crate) fn is_aggregate(&self) -> bool {
+        matches!(self.shape, Shape::Aggregate(_))
+    }
+
+    /// The filter stages that run before the shape stage.
+    pub(crate) fn pre_shape(&self) -> &[Box<dyn PhysicalOperator>] {
+        &self.pre_shape
     }
 
     /// Operator names in execution order (EXPLAIN-style).
@@ -278,15 +332,14 @@ pub fn lower(stmt: &SelectStmt, weighted: bool) -> PhysicalPlan {
             predicate: pred.clone(),
         }));
     }
-    let aggregate_shape = has_aggregate_shape(stmt);
-    let shape: Box<dyn PhysicalOperator> = if aggregate_shape {
-        Box::new(HashAggregateOp {
+    let shape = if has_aggregate_shape(stmt) {
+        Shape::Aggregate(HashAggregateOp {
             items: stmt.items.clone(),
             group_by: stmt.group_by.clone(),
             weighted,
         })
     } else {
-        Box::new(ProjectOp {
+        Shape::Project(ProjectOp {
             items: stmt.items.clone(),
         })
     };
@@ -303,7 +356,7 @@ pub fn lower(stmt: &SelectStmt, weighted: bool) -> PhysicalPlan {
         pre_shape,
         shape,
         post_shape,
-        aggregate_shape,
+        parallelism: parallel::default_parallelism(),
     }
 }
 

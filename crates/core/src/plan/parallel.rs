@@ -1,0 +1,489 @@
+//! The morsel-driven parallel execution driver.
+//!
+//! A [`PhysicalPlan`] executes in three phases:
+//!
+//! 1. **Split** — the scanned table is cut into fixed-size morsels of
+//!    [`MORSEL_ROWS`] rows. Morsels are zero-copy windows
+//!    ([`Table::slice`]): every column keeps sharing its Arc'd payload.
+//! 2. **Morsel phase** — each morsel independently runs the plan's
+//!    filter stages and its shape stage: projection produces an output
+//!    fragment, aggregation produces a mergeable partial state
+//!    (`aggregate::compute_partial`). When the input spans more
+//!    than one morsel and the plan allows more than one thread, a scoped
+//!    worker pool executes this phase; idle workers pull the next
+//!    unclaimed morsel off a shared counter (classic morsel-driven
+//!    scheduling — load balances skewed filters for free).
+//! 3. **Merge** — a single-threaded pass stitches the per-morsel results
+//!    back together *in morsel order*: output fragments concatenate
+//!    ([`Table::vstack`]), partial aggregate states fold into global
+//!    per-group states (`aggregate::merge_finalize`). Sort and
+//!    Limit then run once over the merged result.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical at every thread count** by construction:
+//! morsel boundaries depend only on the input row count, merging always
+//! walks morsels in index order, and error reporting picks the failing
+//! morsel with the lowest index. Threads only decide *who* computes a
+//! morsel, never *what* is computed. A single-morsel input (≤
+//! [`MORSEL_ROWS`] rows — including every table the row-at-a-time oracle
+//! suite generates) additionally reproduces the pre-morsel whole-table
+//! vectorized path bit-for-bit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mosaic_storage::{ColumnBuilder, DataType, Field, Schema, Table, Value};
+use parking_lot::Mutex;
+
+use super::{aggregate, Batch, ExecContext, PhysicalPlan, Shape};
+use crate::{MosaicError, Result};
+
+/// Rows per morsel. Fixed (never derived from the thread count) so that
+/// morsel boundaries — and therefore merged float accumulations — are a
+/// function of the data alone. 16Ki rows keeps a handful of columns
+/// comfortably inside L2 while giving a 100K-row scan enough morsels to
+/// feed eight workers.
+pub const MORSEL_ROWS: usize = 16 * 1024;
+
+/// The default worker-thread cap for new plans: the `MOSAIC_PARALLELISM`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism. Computed once per process (`lower`
+/// consults this on every statement).
+pub fn default_parallelism() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("MOSAIC_PARALLELISM") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Run `n_tasks` independent tasks on at most `workers` scoped threads
+/// and return their results **in task order**. Idle workers claim the
+/// next unstarted task off a shared counter (morsel-driven scheduling);
+/// with `workers <= 1` the tasks simply run inline on the calling
+/// thread. Shared by the morsel phase and the engine's OPEN replicate
+/// loop — one ordered-pool implementation, not two.
+pub(crate) fn run_ordered<T: Send>(
+    n_tasks: usize,
+    workers: usize,
+    run: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let workers = workers.min(n_tasks);
+    if workers <= 1 {
+        return (0..n_tasks).map(run).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                *slots[i].lock() = Some(run(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every task was claimed"))
+        .collect()
+}
+
+/// What one morsel contributes to the merge phase.
+enum MorselOut {
+    /// Projection shape: the projected fragment, plus the post-filter
+    /// input fragment when a Sort may need to resolve dropped columns.
+    Shaped { out: Table, filtered: Option<Table> },
+    /// Aggregation shape: a mergeable partial state.
+    Partial(aggregate::MorselPartial),
+}
+
+/// Execute `plan` over `table` with the plan's `parallelism`.
+pub(crate) fn execute_plan(
+    plan: &PhysicalPlan,
+    table: &Table,
+    weights: Option<&[f64]>,
+) -> Result<Table> {
+    let n = table.num_rows();
+    let n_morsels = n.div_ceil(MORSEL_ROWS).max(1);
+    // The filtered input only matters when a Sort might fall back to it
+    // (non-aggregate plans with ordering stages); with no filter stages
+    // the original table serves directly, with zero merging.
+    let keep_filtered =
+        !plan.is_aggregate() && !plan.post_shape.is_empty() && !plan.pre_shape().is_empty();
+
+    // Every stage has a rank (filter op `i` = `i`; group keys / item
+    // `j` of the shape = `pre_len + 0 / 1 + j`) and stages run in rank
+    // order within a morsel, so a (rank, morsel) error key reproduces
+    // the whole-table executor's error exactly: stages error in plan
+    // order, and within a stage the lowest failing morsel holds the
+    // first failing row.
+    let pre_len = plan.pre_shape().len() as u32;
+    let run = |mi: usize| -> aggregate::Ranked<MorselOut> {
+        let start = mi * MORSEL_ROWS;
+        let len = MORSEL_ROWS.min(n - start);
+        let mut batch = Batch {
+            table: table.slice(start, len),
+            weights: weights.map(|w| w[start..start + len].to_vec()),
+        };
+        let ctx = ExecContext {
+            filtered_input: None,
+        };
+        for (oi, op) in plan.pre_shape().iter().enumerate() {
+            batch = op.execute(&ctx, &batch).map_err(|e| (oi as u32, e))?;
+        }
+        match &plan.shape {
+            Shape::Aggregate(agg) => {
+                debug_assert_eq!(agg.weighted, batch.weights.is_some());
+                aggregate::compute_partial(
+                    &agg.items,
+                    &agg.group_by,
+                    &batch.table,
+                    batch.weights.as_deref(),
+                )
+                .map(MorselOut::Partial)
+                .map_err(|(r, e)| (pre_len + r, e))
+            }
+            Shape::Project(project) => project
+                .project_ranked(&batch.table)
+                .map(|out| MorselOut::Shaped {
+                    out,
+                    filtered: keep_filtered.then_some(batch.table),
+                })
+                .map_err(|(r, e)| (pre_len.saturating_add(r), e)),
+        }
+    };
+
+    let results = run_ordered(n_morsels, plan.parallelism(), run);
+
+    // Surface the error of the lowest (stage rank, morsel index) pair —
+    // the error a whole-table pass (and a sequential morsel walk)
+    // reports.
+    let mut outs = Vec::with_capacity(n_morsels);
+    let mut first_err: Option<(u32, MosaicError)> = None;
+    for r in results {
+        match r {
+            Ok(o) => outs.push(o),
+            Err((rank, e)) => {
+                // Earlier morsels are seen first, so a strict `<` keeps
+                // the lowest morsel within a rank.
+                if first_err.as_ref().is_none_or(|(br, _)| rank < *br) {
+                    first_err = Some((rank, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+
+    // Merge phase.
+    let (mut batch, filtered_merged) = match &plan.shape {
+        Shape::Aggregate(agg) => {
+            let partials: Vec<aggregate::MorselPartial> = outs
+                .into_iter()
+                .map(|o| match o {
+                    MorselOut::Partial(p) => p,
+                    MorselOut::Shaped { .. } => unreachable!("aggregate plans emit partials"),
+                })
+                .collect();
+            let table = aggregate::merge_finalize(&agg.items, weights.is_some(), &partials)?;
+            (
+                Batch {
+                    table,
+                    weights: None,
+                },
+                None,
+            )
+        }
+        Shape::Project(_) => {
+            let mut fragments = Vec::with_capacity(outs.len());
+            let mut filtered = Vec::with_capacity(outs.len());
+            for o in outs {
+                match o {
+                    MorselOut::Shaped { out, filtered: f } => {
+                        fragments.push(out);
+                        filtered.extend(f);
+                    }
+                    MorselOut::Partial(_) => unreachable!("projection plans emit fragments"),
+                }
+            }
+            let merged = vstack_fragments(&fragments)?;
+            let filtered_merged = if !plan.post_shape.is_empty() {
+                if plan.pre_shape().is_empty() {
+                    Some(table.clone())
+                } else {
+                    let refs: Vec<&Table> = filtered.iter().collect();
+                    Some(Table::vstack(&refs)?)
+                }
+            } else {
+                None
+            };
+            (
+                Batch {
+                    table: merged,
+                    weights: None,
+                },
+                filtered_merged,
+            )
+        }
+    };
+
+    let ctx = ExecContext {
+        filtered_input: filtered_merged.as_ref(),
+    };
+    for op in &plan.post_shape {
+        batch = op.execute(&ctx, &batch)?;
+    }
+    Ok(batch.table)
+}
+
+/// Concatenate per-morsel projection outputs, reconciling the evaluator's
+/// degenerate-type rule: a morsel whose output column came out all-NULL
+/// (or whose every row was filtered away) types that column `Int`, while
+/// sibling morsels carry the real type. All-NULL columns are recast to
+/// the real type — nulls stay nulls, so no value changes — which is
+/// exactly the type the whole-table pass would have inferred.
+fn vstack_fragments(fragments: &[Table]) -> Result<Table> {
+    let non_empty: Vec<&Table> = fragments.iter().filter(|t| !t.is_empty()).collect();
+    let Some(first) = non_empty.first() else {
+        // Everything filtered away (or an empty input): any fragment
+        // carries the canonical empty-result schema.
+        return Ok(fragments.first().expect("at least one morsel").clone());
+    };
+    let ncols = first.num_columns();
+    // Per column, the type of some fragment that has at least one
+    // non-NULL value (all fragments with one agree — output types are a
+    // function of the statement and the input schema).
+    let mut target: Vec<DataType> = (0..ncols).map(|c| first.column(c).data_type()).collect();
+    for t in &non_empty {
+        for (c, ty) in target.iter_mut().enumerate() {
+            let col = t.column(c);
+            if col.null_count() < col.len() {
+                *ty = col.data_type();
+            }
+        }
+    }
+    let parts: Vec<Table> = non_empty
+        .iter()
+        .map(|t| recast_all_null_columns(t, &target))
+        .collect::<Result<_>>()?;
+    let refs: Vec<&Table> = parts.iter().collect();
+    Table::vstack(&refs).map_err(Into::into)
+}
+
+/// Rebuild any all-NULL column whose type disagrees with the target as
+/// an all-NULL column *of* the target type.
+fn recast_all_null_columns(t: &Table, target: &[DataType]) -> Result<Table> {
+    if (0..t.num_columns()).all(|c| t.column(c).data_type() == target[c]) {
+        return Ok(t.clone());
+    }
+    let fields: Vec<Field> = t
+        .schema()
+        .fields()
+        .iter()
+        .zip(target)
+        .map(|(f, &ty)| Field::new(f.name.clone(), ty))
+        .collect();
+    let columns = (0..t.num_columns())
+        .map(|c| {
+            let col = t.column(c);
+            if col.data_type() == target[c] {
+                return Ok(col.clone());
+            }
+            debug_assert_eq!(col.null_count(), col.len(), "only all-NULL columns recast");
+            let mut b = ColumnBuilder::with_capacity(target[c], col.len());
+            for _ in 0..col.len() {
+                b.push(Value::Null)?;
+            }
+            Ok(b.finish())
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Table::new(Schema::new(fields), columns).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::lower;
+    use mosaic_sql::{parse, SelectStmt, Statement};
+    use mosaic_storage::TableBuilder;
+
+    fn select(src: &str) -> SelectStmt {
+        match parse(src).unwrap().pop().unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    /// A table spanning several morsels, with NULLs and a skewed filter.
+    fn big_table(rows: usize) -> (Table, Vec<f64>) {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("i", DataType::Int),
+            Field::new("f", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for r in 0..rows {
+            b.push_row(vec![
+                Value::Str(format!("g{}", r % 7)),
+                if r % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((r % 1000) as i64 - 300)
+                },
+                if r % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float((r as f64) * 0.25 - 100.0)
+                },
+            ])
+            .unwrap();
+        }
+        let weights = (0..rows).map(|r| 0.5 + (r % 10) as f64 * 0.3).collect();
+        (b.finish(), weights)
+    }
+
+    fn identical(a: &Table, b: &Table) {
+        assert_eq!(a.num_rows(), b.num_rows());
+        assert_eq!(a.num_columns(), b.num_columns());
+        for c in 0..a.num_columns() {
+            assert_eq!(a.schema().field(c).name, b.schema().field(c).name);
+            assert_eq!(a.schema().field(c).data_type, b.schema().field(c).data_type);
+        }
+        for r in 0..a.num_rows() {
+            for c in 0..a.num_columns() {
+                assert_eq!(a.value(r, c), b.value(r, c), "cell ({r},{c})");
+            }
+        }
+    }
+
+    /// The bit-identity invariant: thread count never changes results,
+    /// on inputs that span many morsels, weighted and unweighted.
+    #[test]
+    fn thread_count_never_changes_results() {
+        let (table, weights) = big_table(3 * MORSEL_ROWS + 123);
+        for src in [
+            "SELECT k, COUNT(*), SUM(i), AVG(f), MIN(i), MAX(f) FROM t \
+             WHERE i > -100 GROUP BY k ORDER BY k",
+            "SELECT COUNT(*), SUM(f) / COUNT(f) FROM t WHERE f IS NOT NULL",
+            "SELECT k, i FROM t WHERE i % 5 = 0 ORDER BY f DESC LIMIT 50",
+            "SELECT i + 1, f * 2.0 FROM t WHERE k = 'g3'",
+        ] {
+            let stmt = select(src);
+            for weights in [None, Some(weights.as_slice())] {
+                let baseline = lower(&stmt, weights.is_some())
+                    .with_parallelism(1)
+                    .execute(&table, weights)
+                    .unwrap();
+                for threads in [2, 3, 8] {
+                    let out = lower(&stmt, weights.is_some())
+                        .with_parallelism(threads)
+                        .execute(&table, weights)
+                        .unwrap();
+                    identical(&baseline, &out);
+                }
+            }
+        }
+    }
+
+    /// A morsel whose output is entirely NULL types its column Int; the
+    /// merge must recast it to the real column type.
+    #[test]
+    fn all_null_morsel_outputs_recast() {
+        let rows = 2 * MORSEL_ROWS;
+        let schema = Schema::new(vec![Field::new("f", DataType::Float)]);
+        let mut b = TableBuilder::new(schema);
+        for r in 0..rows {
+            // Second morsel entirely NULL.
+            b.push_row(vec![if r >= MORSEL_ROWS {
+                Value::Null
+            } else {
+                Value::Float(r as f64)
+            }])
+            .unwrap();
+        }
+        let t = b.finish();
+        let stmt = select("SELECT f + 1 FROM t");
+        let out = lower(&stmt, false)
+            .with_parallelism(2)
+            .execute(&t, None)
+            .unwrap();
+        assert_eq!(out.num_rows(), rows);
+        assert_eq!(out.schema().field(0).data_type, DataType::Float);
+        assert_eq!(out.value(0, 0), Value::Float(1.0));
+        assert_eq!(out.value(MORSEL_ROWS, 0), Value::Null);
+    }
+
+    /// Fully-filtered inputs keep the serial empty-result schema.
+    #[test]
+    fn empty_result_schema_is_stable() {
+        let (table, _) = big_table(2 * MORSEL_ROWS);
+        let stmt = select("SELECT k, f FROM t WHERE i > 99999");
+        for threads in [1, 4] {
+            let out = lower(&stmt, false)
+                .with_parallelism(threads)
+                .execute(&table, None)
+                .unwrap();
+            assert_eq!(out.num_rows(), 0);
+            assert_eq!(out.num_columns(), 2);
+        }
+    }
+
+    /// Different SELECT items failing in different morsels must surface
+    /// the error of the *earliest item* (stage rank), matching the
+    /// whole-table executor — not the error of the earliest morsel.
+    #[test]
+    fn error_selection_is_stage_ordered() {
+        let rows = 2 * MORSEL_ROWS;
+        let schema = Schema::new(vec![
+            Field::new("s1", DataType::Str),
+            Field::new("s2", DataType::Str),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for r in 0..rows {
+            // s1 is all-NULL in morsel 0 (so morsel 0's AVG(s1) sees an
+            // Int-typed column and passes) but non-null in morsel 1;
+            // s2 is non-null in morsel 0 (so morsel 0 fails on SUM(s2)).
+            b.push_row(vec![
+                if r < MORSEL_ROWS {
+                    Value::Null
+                } else {
+                    Value::Str("x".into())
+                },
+                if r < MORSEL_ROWS {
+                    Value::Str("y".into())
+                } else {
+                    Value::Null
+                },
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        let stmt = select("SELECT AVG(s1), SUM(s2) FROM t");
+        let serial = crate::exec::run_select_rowwise(&stmt, &t, None).unwrap_err();
+        for threads in [1, 2, 8] {
+            let err = lower(&stmt, false)
+                .with_parallelism(threads)
+                .execute(&t, None)
+                .unwrap_err();
+            assert_eq!(err.to_string(), serial.to_string(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn env_override_parses() {
+        // Only asserts the parser contract, not the ambient environment.
+        assert!(default_parallelism() >= 1);
+    }
+}

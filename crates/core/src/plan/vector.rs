@@ -5,7 +5,7 @@
 //! arithmetic and comparisons, string comparisons, boolean logic in
 //! three-valued form, `IN` lists, `BETWEEN`, `IS NULL`). Shapes outside
 //! the fast path fall back to the row-at-a-time reference evaluator in
-//! [`crate::eval`], which also serves as the equivalence oracle for the
+//! `crate::eval`, which also serves as the equivalence oracle for the
 //! property-test suite: for every expression, this module's results are
 //! value-identical to the oracle's (including error cases, which are
 //! always delegated to the oracle so messages match exactly).

@@ -275,7 +275,7 @@ impl Layer for BatchNorm {
 }
 
 /// Softmax applied independently over disjoint column blocks; identity on
-/// uncovered columns. The paper "add[s] a softmax layer for the categorical
+/// uncovered columns. The paper "add\[s\] a softmax layer for the categorical
 /// variable" — each one-hot-encoded categorical attribute is a block.
 #[derive(Debug, Clone)]
 pub struct BlockSoftmax {

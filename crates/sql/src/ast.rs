@@ -336,8 +336,8 @@ pub struct SelectStmt {
     pub limit: Option<usize>,
 }
 
-/// A sampling mechanism declaration (paper §3.1: "USING MECHANISM
-/// <mechanism> PERCENT <perc>").
+/// A sampling mechanism declaration (paper §3.1: `USING MECHANISM
+/// <mechanism> PERCENT <perc>`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum MechanismSpec {
     /// `UNIFORM PERCENT p`: every GP tuple included independently so the

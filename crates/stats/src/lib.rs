@@ -11,7 +11,7 @@
 //! * [`WeightedEmpirical`] — a sorted, weighted 1-D empirical distribution
 //!   with exact inverse-CDF evaluation.
 //! * [`wasserstein_1d`] / [`sliced_wasserstein`] — exact 1-D Wasserstein
-//!   distance (the paper computes it "exactly [49] instead of using the
+//!   distance (the paper computes it "exactly \[49\] instead of using the
 //!   discriminator approach", §5.2) and its sliced generalization for
 //!   2-dimensional marginals.
 //! * [`Ipf`] — Iterative Proportional Fitting (Deming–Stephan raking), the

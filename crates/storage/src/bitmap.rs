@@ -157,6 +157,24 @@ impl Bitmap {
         out
     }
 
+    /// Copy bits `[offset, offset + len)` into a new bitmap (the morsel
+    /// view of a validity bitmap: ~len/8 bytes, negligible next to the
+    /// column payload it masks, which is shared rather than copied).
+    pub fn slice(&self, offset: usize, len: usize) -> Bitmap {
+        assert!(offset + len <= self.len, "bitmap slice out of bounds");
+        if offset.is_multiple_of(64) {
+            // Word-aligned fast path: copy whole words and mask the tail.
+            let words = offset / 64;
+            let mut b = Bitmap {
+                words: self.words[words..words + len.div_ceil(64)].to_vec(),
+                len,
+            };
+            b.mask_tail();
+            return b;
+        }
+        Bitmap::from_iter((offset..offset + len).map(|i| self.get(i)))
+    }
+
     fn mask_tail(&mut self) {
         let tail = self.len % 64;
         if tail != 0 {
@@ -216,6 +234,18 @@ mod tests {
         let b = Bitmap::from_iter((0..10).map(|i| i % 3 == 0));
         assert_eq!(a.and(&b).to_indices(), vec![0, 6]);
         assert_eq!(a.or(&b).count_ones(), 7);
+    }
+
+    #[test]
+    fn slice_windows() {
+        let b = Bitmap::from_iter((0..200).map(|i| i % 7 == 0));
+        for (off, len) in [(0, 200), (64, 100), (3, 70), (199, 1), (200, 0)] {
+            let s = b.slice(off, len);
+            assert_eq!(s.len(), len, "slice ({off},{len})");
+            for i in 0..len {
+                assert_eq!(s.get(i), b.get(off + i), "bit {i} of slice ({off},{len})");
+            }
+        }
     }
 
     #[test]

@@ -11,11 +11,18 @@ use crate::{Bitmap, DataType, Result, StorageError, Value};
 /// The payload is shared behind an [`Arc`]: columns are immutable after
 /// construction, so `Clone` is O(1) and tables can flow through the
 /// physical-plan pipeline (and the engine's catalog snapshots) without
-/// copying data.
+/// copying data. A column may additionally be a *view* over a window of
+/// its payload (`offset`/`len`, see [`Column::slice`]): morsel-driven
+/// execution slices each column into ~fixed-row morsels that share the
+/// same `Arc` payload, so slicing costs O(1) per column plus a small
+/// validity-bitmap copy. The stored `validity` is always relative to the
+/// view, never to the full payload.
 #[derive(Debug, Clone)]
 pub struct Column {
     data: Arc<ColumnData>,
     validity: Option<Bitmap>,
+    offset: usize,
+    len: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -24,6 +31,17 @@ enum ColumnData {
     Int(Vec<i64>),
     Float(Vec<f64>),
     Str(Vec<String>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
 }
 
 impl Column {
@@ -37,47 +55,41 @@ impl Column {
         Ok(b.finish())
     }
 
+    /// Wrap a full (unsliced) payload.
+    fn full(data: ColumnData, validity: Option<Bitmap>) -> Column {
+        let len = data.len();
+        Column {
+            data: Arc::new(data),
+            validity,
+            offset: 0,
+            len,
+        }
+    }
+
     /// Column of 64-bit integers (no NULLs).
     pub fn from_i64(values: Vec<i64>) -> Column {
-        Column {
-            data: Arc::new(ColumnData::Int(values)),
-            validity: None,
-        }
+        Column::full(ColumnData::Int(values), None)
     }
 
     /// Column of 64-bit floats (no NULLs).
     pub fn from_f64(values: Vec<f64>) -> Column {
-        Column {
-            data: Arc::new(ColumnData::Float(values)),
-            validity: None,
-        }
+        Column::full(ColumnData::Float(values), None)
     }
 
     /// Column of strings (no NULLs).
     #[allow(clippy::should_implement_trait)] // established inherent name
     pub fn from_str(values: Vec<String>) -> Column {
-        Column {
-            data: Arc::new(ColumnData::Str(values)),
-            validity: None,
-        }
+        Column::full(ColumnData::Str(values), None)
     }
 
     /// Column of booleans (no NULLs).
     pub fn from_bool(values: Vec<bool>) -> Column {
-        Column {
-            data: Arc::new(ColumnData::Bool(values)),
-            validity: None,
-        }
+        Column::full(ColumnData::Bool(values), None)
     }
 
-    /// Number of rows.
+    /// Number of rows (of this view, not of the shared payload).
     pub fn len(&self) -> usize {
-        match self.data.as_ref() {
-            ColumnData::Bool(v) => v.len(),
-            ColumnData::Int(v) => v.len(),
-            ColumnData::Float(v) => v.len(),
-            ColumnData::Str(v) => v.len(),
-        }
+        self.len
     }
 
     /// True if the column has no rows.
@@ -117,6 +129,7 @@ impl Column {
         if self.is_null(i) {
             return Value::Null;
         }
+        let i = self.offset + i;
         match self.data.as_ref() {
             ColumnData::Bool(v) => Value::Bool(v[i]),
             ColumnData::Int(v) => Value::Int(v[i]),
@@ -131,6 +144,7 @@ impl Column {
         if self.is_null(i) {
             return None;
         }
+        let i = self.offset + i;
         match self.data.as_ref() {
             ColumnData::Int(v) => Some(v[i] as f64),
             ColumnData::Float(v) => Some(v[i]),
@@ -142,7 +156,7 @@ impl Column {
     /// Borrowed `i64` slice if this is a non-null Int column.
     pub fn as_i64_slice(&self) -> Option<&[i64]> {
         match (self.data.as_ref(), &self.validity) {
-            (ColumnData::Int(v), None) => Some(v),
+            (ColumnData::Int(v), None) => Some(&v[self.offset..self.offset + self.len]),
             _ => None,
         }
     }
@@ -150,7 +164,7 @@ impl Column {
     /// Borrowed `f64` slice if this is a non-null Float column.
     pub fn as_f64_slice(&self) -> Option<&[f64]> {
         match (self.data.as_ref(), &self.validity) {
-            (ColumnData::Float(v), None) => Some(v),
+            (ColumnData::Float(v), None) => Some(&v[self.offset..self.offset + self.len]),
             _ => None,
         }
     }
@@ -159,7 +173,7 @@ impl Column {
     /// default and must be masked with [`Column::validity`]).
     pub fn i64_data(&self) -> Option<&[i64]> {
         match self.data.as_ref() {
-            ColumnData::Int(v) => Some(v),
+            ColumnData::Int(v) => Some(&v[self.offset..self.offset + self.len]),
             _ => None,
         }
     }
@@ -167,7 +181,7 @@ impl Column {
     /// Raw `f64` payload regardless of validity.
     pub fn f64_data(&self) -> Option<&[f64]> {
         match self.data.as_ref() {
-            ColumnData::Float(v) => Some(v),
+            ColumnData::Float(v) => Some(&v[self.offset..self.offset + self.len]),
             _ => None,
         }
     }
@@ -175,7 +189,7 @@ impl Column {
     /// Raw `bool` payload regardless of validity.
     pub fn bool_data(&self) -> Option<&[bool]> {
         match self.data.as_ref() {
-            ColumnData::Bool(v) => Some(v),
+            ColumnData::Bool(v) => Some(&v[self.offset..self.offset + self.len]),
             _ => None,
         }
     }
@@ -183,7 +197,7 @@ impl Column {
     /// Raw string payload regardless of validity.
     pub fn str_data(&self) -> Option<&[String]> {
         match self.data.as_ref() {
-            ColumnData::Str(v) => Some(v),
+            ColumnData::Str(v) => Some(&v[self.offset..self.offset + self.len]),
             _ => None,
         }
     }
@@ -196,34 +210,22 @@ impl Column {
     /// Int column from raw parts; an all-ones validity is normalized to
     /// `None` so kernel outputs are indistinguishable from builder output.
     pub fn from_i64_opt(values: Vec<i64>, validity: Option<Bitmap>) -> Column {
-        Column {
-            data: Arc::new(ColumnData::Int(values)),
-            validity: normalize_validity(validity),
-        }
+        Column::full(ColumnData::Int(values), normalize_validity(validity))
     }
 
     /// Float column from raw parts (see [`Column::from_i64_opt`]).
     pub fn from_f64_opt(values: Vec<f64>, validity: Option<Bitmap>) -> Column {
-        Column {
-            data: Arc::new(ColumnData::Float(values)),
-            validity: normalize_validity(validity),
-        }
+        Column::full(ColumnData::Float(values), normalize_validity(validity))
     }
 
     /// Bool column from raw parts (see [`Column::from_i64_opt`]).
     pub fn from_bool_opt(values: Vec<bool>, validity: Option<Bitmap>) -> Column {
-        Column {
-            data: Arc::new(ColumnData::Bool(values)),
-            validity: normalize_validity(validity),
-        }
+        Column::full(ColumnData::Bool(values), normalize_validity(validity))
     }
 
     /// String column from raw parts (see [`Column::from_i64_opt`]).
     pub fn from_str_opt(values: Vec<String>, validity: Option<Bitmap>) -> Column {
-        Column {
-            data: Arc::new(ColumnData::Str(values)),
-            validity: normalize_validity(validity),
-        }
+        Column::full(ColumnData::Str(values), normalize_validity(validity))
     }
 
     /// Total order between two rows of this column (NULLs first, floats
@@ -237,6 +239,7 @@ impl Column {
             (false, true) => return Ordering::Greater,
             (false, false) => {}
         }
+        let (a, b) = (self.offset + a, self.offset + b);
         match self.data.as_ref() {
             ColumnData::Bool(v) => v[a].cmp(&v[b]),
             ColumnData::Int(v) => v[a].cmp(&v[b]),
@@ -256,15 +259,33 @@ impl Column {
             .validity
             .as_ref()
             .map(|v| Bitmap::from_iter(indices.iter().map(|&i| v.get(i))));
+        let o = self.offset;
         let data = match self.data.as_ref() {
-            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Str(v) => ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[o + i]).collect()),
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[o + i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[o + i]).collect()),
+            ColumnData::Str(v) => {
+                ColumnData::Str(indices.iter().map(|&i| v[o + i].clone()).collect())
+            }
         };
+        Column::full(data, validity)
+    }
+
+    /// Zero-copy view of rows `[offset, offset + len)`: the payload stays
+    /// shared behind the `Arc`; only the validity window is copied. This
+    /// is the morsel entry point of the storage layer — every typed
+    /// kernel accepts the slices such a view exposes.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        assert!(offset + len <= self.len, "column slice out of bounds");
         Column {
-            data: Arc::new(data),
-            validity,
+            data: Arc::clone(&self.data),
+            validity: self
+                .validity
+                .as_ref()
+                .map(|v| v.slice(offset, len))
+                .and_then(|v| normalize_validity(Some(v))),
+            offset: self.offset + offset,
+            len,
         }
     }
 
@@ -291,6 +312,82 @@ impl Column {
             b.push(other.value(i))?;
         }
         Ok(b.finish())
+    }
+
+    /// Vertically concatenate many same-typed columns in one pass,
+    /// extending raw payload slices instead of round-tripping per-cell
+    /// [`Value`]s — the merge step of morsel-driven execution. Payload
+    /// bits (including float NaN payloads) are preserved exactly.
+    pub fn concat_many(parts: &[&Column]) -> Result<Column> {
+        let Some(first) = parts.first() else {
+            return Err(StorageError::InvalidValue(
+                "Column::concat_many needs at least one input".into(),
+            ));
+        };
+        let ty = first.data_type();
+        for p in parts {
+            if p.data_type() != ty {
+                return Err(StorageError::TypeMismatch {
+                    expected: ty.to_string(),
+                    actual: p.data_type().to_string(),
+                    context: "Column::concat_many".into(),
+                });
+            }
+        }
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let validity = if parts.iter().any(|p| p.validity.is_some()) {
+            let mut bits = Bitmap::zeros(total);
+            let mut at = 0;
+            for p in parts {
+                match &p.validity {
+                    Some(v) => {
+                        for i in v.iter_ones() {
+                            bits.set(at + i, true);
+                        }
+                    }
+                    None => {
+                        for i in 0..p.len() {
+                            bits.set(at + i, true);
+                        }
+                    }
+                }
+                at += p.len();
+            }
+            Some(bits)
+        } else {
+            None
+        };
+        let data = match ty {
+            DataType::Int => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    out.extend_from_slice(p.i64_data().expect("type-checked"));
+                }
+                ColumnData::Int(out)
+            }
+            DataType::Float => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    out.extend_from_slice(p.f64_data().expect("type-checked"));
+                }
+                ColumnData::Float(out)
+            }
+            DataType::Bool => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    out.extend_from_slice(p.bool_data().expect("type-checked"));
+                }
+                ColumnData::Bool(out)
+            }
+            DataType::Str => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    out.extend_from_slice(p.str_data().expect("type-checked"));
+                }
+                ColumnData::Str(out)
+            }
+        };
+        Ok(Column::full(data, normalize_validity(validity)))
     }
 
     /// Iterate dynamic values.
@@ -415,10 +512,7 @@ impl ColumnBuilder {
         if self.has_null {
             self.validity = Some(Bitmap::from_iter(self.nulls.iter().map(|&n| !n)));
         }
-        Column {
-            data: Arc::new(self.data),
-            validity: self.validity,
-        }
+        Column::full(self.data, self.validity)
     }
 }
 
@@ -486,6 +580,55 @@ mod tests {
         let a = Column::from_i64(vec![1]);
         let b = Column::from_str(vec!["x".into()]);
         assert!(a.concat(&b).is_err());
+    }
+
+    #[test]
+    fn slice_is_a_window() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        for v in [
+            Value::Int(10),
+            Value::Null,
+            Value::Int(30),
+            Value::Int(40),
+            Value::Int(50),
+        ] {
+            b.push(v).unwrap();
+        }
+        let c = b.finish();
+        let s = c.slice(1, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.value(0), Value::Null);
+        assert_eq!(s.value(1), Value::Int(30));
+        assert_eq!(s.i64_data().unwrap(), &[0, 30, 40]);
+        assert_eq!(s.null_count(), 1);
+        // Nested slices compose; an all-valid window drops its validity.
+        let s2 = s.slice(1, 2);
+        assert!(s2.validity().is_none());
+        assert_eq!(s2.as_i64_slice().unwrap(), &[30, 40]);
+        assert_eq!(s2.take(&[1, 0]).as_i64_slice().unwrap(), &[40, 30]);
+        assert_eq!(s2.total_cmp_rows(0, 1), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn concat_many_rebuilds_slices() {
+        let mut b = ColumnBuilder::new(DataType::Float);
+        for v in [
+            Value::Float(1.5),
+            Value::Null,
+            Value::Float(f64::NAN),
+            Value::Float(-0.0),
+        ] {
+            b.push(v).unwrap();
+        }
+        let c = b.finish();
+        let whole = Column::concat_many(&[&c.slice(0, 2), &c.slice(2, 2)]).unwrap();
+        assert_eq!(whole.len(), 4);
+        for i in 0..4 {
+            assert_eq!(whole.value(i), c.value(i), "row {i}");
+        }
+        let no_nulls = Column::concat_many(&[&c.slice(0, 1), &c.slice(3, 1)]).unwrap();
+        assert!(no_nulls.validity().is_none());
+        assert!(Column::concat_many(&[]).is_err());
     }
 
     #[test]

@@ -1,16 +1,35 @@
 //! Vectorized compute kernels over typed column data.
 //!
 //! These are the hot loops of the query executor: comparison, arithmetic,
-//! and gather/filter primitives that operate directly on `&[i64]` /
-//! `&[f64]` / `&[String]` slices plus [`Bitmap`]s, never materializing a
-//! per-cell [`crate::Value`]. The planner in `mosaic-core` lowers
-//! expression trees onto these kernels and falls back to row-at-a-time
-//! evaluation only for shapes the kernels don't cover.
+//! gather/filter, and grouped-aggregation primitives that operate
+//! directly on `&[i64]` / `&[f64]` / `&[String]` slices plus [`Bitmap`]s,
+//! never materializing a per-cell [`crate::Value`]. The planner in
+//! `mosaic-core` lowers expression trees onto these kernels and falls
+//! back to row-at-a-time evaluation only for shapes the kernels don't
+//! cover.
+//!
+//! Every kernel takes plain slices, so all of them are *morsel-sliceable*:
+//! a caller may hand in any window of a column's payload (see
+//! `Column::slice`) and combine the per-window results afterwards. For
+//! aggregation that combination is explicit — workers accumulate into a
+//! mergeable [`AggState`] per morsel and the final pass folds the partial
+//! states together in morsel order.
 //!
 //! Numeric comparison semantics intentionally mirror `Value::sql_cmp`:
 //! *all* numeric comparisons (including Int vs Int) coerce through `f64`,
 //! so kernel results are bit-identical to the row-at-a-time reference
 //! oracle.
+//!
+//! ```
+//! use mosaic_storage::kernels::{self, CmpOp};
+//!
+//! // Predicate kernel: `v > 2` over a typed slice → selection bitmap.
+//! let data = [1i64, 5, 3];
+//! let sel = kernels::cmp_i64_scalar(&data, CmpOp::Gt, 2.0);
+//! assert_eq!(sel.to_indices(), vec![1, 2]);
+//! // Gather kernel: keep the selected rows.
+//! assert_eq!(kernels::filter_i64(&data, &sel), vec![5, 3]);
+//! ```
 
 use std::cmp::Ordering;
 
@@ -297,6 +316,94 @@ pub fn combine_validity(a: Option<&Bitmap>, b: Option<&Bitmap>) -> Option<Bitmap
 // slices are indexed by group. `weights` (when present) realize the
 // paper's §5.3 weighted-aggregate rewrite without any per-row branching
 // in the unweighted case.
+
+/// Mergeable partial-aggregate state for SUM / AVG / COUNT over one set
+/// of groups: `Σ x·w` (`sums`), `Σ w` (`wsums`, 1-weights when
+/// unweighted), and the qualifying row count (`counts`), each indexed by
+/// dense group id.
+///
+/// Morsel-driven execution gives every worker its own `AggState` filled
+/// through [`group_sum_f64`] / [`group_sum_i64`] / [`group_count`] over
+/// that worker's morsels, then folds the states together with
+/// [`AggState::merge_from`] **in morsel order** — fixed morsel boundaries
+/// plus an ordered merge make the result independent of how many threads
+/// ran the morsels.
+///
+/// ```
+/// use mosaic_storage::kernels::{self, AggState};
+///
+/// // Two morsels of `SUM(x) GROUP BY g` with groups appearing in
+/// // different local orders.
+/// let mut m0 = AggState::new(2); // local groups: [a, b]
+/// kernels::group_sum_f64(
+///     &[1.0, 2.0, 4.0],
+///     None,
+///     &[0, 1, 0],
+///     None,
+///     &mut m0.sums,
+///     &mut m0.wsums,
+///     &mut m0.counts,
+/// );
+/// let mut m1 = AggState::new(2); // local groups: [b, a]
+/// kernels::group_sum_f64(
+///     &[10.0, 20.0],
+///     None,
+///     &[0, 1],
+///     None,
+///     &mut m1.sums,
+///     &mut m1.wsums,
+///     &mut m1.counts,
+/// );
+/// // Global group order is first-appearance order: [a, b].
+/// let mut global = AggState::new(2);
+/// global.merge_from(&m0, &[0, 1]); // local a→0, b→1
+/// global.merge_from(&m1, &[1, 0]); // local b→1, a→0
+/// assert_eq!(global.sums, vec![25.0, 12.0]);
+/// assert_eq!(global.counts, vec![3, 2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AggState {
+    /// Per-group `Σ x·w` (plain `Σ x` when unweighted).
+    pub sums: Vec<f64>,
+    /// Per-group `Σ w` (the qualifying row count as `f64` when
+    /// unweighted) — the denominator of weighted AVG.
+    pub wsums: Vec<f64>,
+    /// Per-group count of qualifying (non-NULL) rows.
+    pub counts: Vec<u64>,
+}
+
+impl AggState {
+    /// Zeroed state for `n_groups` groups.
+    pub fn new(n_groups: usize) -> AggState {
+        AggState {
+            sums: vec![0.0; n_groups],
+            wsums: vec![0.0; n_groups],
+            counts: vec![0u64; n_groups],
+        }
+    }
+
+    /// Number of groups this state covers.
+    pub fn n_groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Fold another state's accumulators into this one. `group_map[l]`
+    /// is the index in `self` of the other state's local group `l`;
+    /// mapped indices must be in bounds.
+    pub fn merge_from(&mut self, other: &AggState, group_map: &[u32]) {
+        assert_eq!(
+            other.n_groups(),
+            group_map.len(),
+            "group map length mismatch"
+        );
+        for (l, &g) in group_map.iter().enumerate() {
+            let g = g as usize;
+            self.sums[g] += other.sums[l];
+            self.wsums[g] += other.wsums[l];
+            self.counts[g] += other.counts[l];
+        }
+    }
+}
 
 /// Weighted/unweighted grouped sum over floats. Accumulates `Σ w·x` into
 /// `sums` and the qualifying row count into `counts`, skipping invalid

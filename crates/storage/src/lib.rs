@@ -19,7 +19,12 @@
 //! the database-engine idioms this project follows. The [`kernels`] module
 //! holds the vectorized compute primitives (comparison, arithmetic,
 //! filter/take, grouped aggregation) that the `mosaic-core` planner lowers
-//! query expressions onto.
+//! query expressions onto. Columns and tables support zero-copy windowed
+//! views ([`Column::slice`], [`Table::slice`]) so the executor can split
+//! a scan into Arc-shared morsels, and mergeable partial-aggregate states
+//! ([`kernels::AggState`]) so per-morsel results combine deterministically.
+
+#![warn(missing_docs)]
 
 mod bitmap;
 mod column;

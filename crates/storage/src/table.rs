@@ -128,6 +128,46 @@ impl Table {
         self.take(&selection.to_indices())
     }
 
+    /// Zero-copy view of rows `[offset, offset + len)`: every column
+    /// keeps sharing its payload (see [`Column::slice`]). This is how the
+    /// morsel-driven executor splits a scan into worker-sized units.
+    pub fn slice(&self, offset: usize, len: usize) -> Table {
+        Table {
+            schema: Arc::clone(&self.schema),
+            columns: self.columns.iter().map(|c| c.slice(offset, len)).collect(),
+            num_rows: len,
+        }
+    }
+
+    /// Vertically concatenate many schema-compatible tables in one pass
+    /// per column ([`Column::concat_many`]) — the materializing merge of
+    /// per-morsel outputs. With a single input this is an O(1) clone.
+    pub fn vstack(parts: &[&Table]) -> Result<Table> {
+        let Some(first) = parts.first() else {
+            return Err(StorageError::SchemaMismatch(
+                "Table::vstack needs at least one input".into(),
+            ));
+        };
+        if parts.len() == 1 {
+            return Ok((*first).clone());
+        }
+        for p in &parts[1..] {
+            if !first.schema.compatible_with(p.schema()) {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "cannot vstack {} with {}",
+                    first.schema, p.schema
+                )));
+            }
+        }
+        let columns = (0..first.num_columns())
+            .map(|c| {
+                let cols: Vec<&Column> = parts.iter().map(|p| p.column(c)).collect();
+                Column::concat_many(&cols)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Table::new(Arc::clone(&first.schema), columns)
+    }
+
     /// Project columns by name into a new table.
     pub fn project(&self, names: &[&str]) -> Result<Table> {
         let schema = self.schema.project(names)?;
@@ -377,6 +417,22 @@ mod tests {
         let t = sample_table();
         let c = t.concat(&t).unwrap();
         assert_eq!(c.num_rows(), 6);
+    }
+
+    #[test]
+    fn slice_then_vstack_roundtrips() {
+        let t = sample_table();
+        let (a, b) = (t.slice(0, 2), t.slice(2, 1));
+        assert_eq!(a.num_rows(), 2);
+        assert_eq!(b.value(0, 1), Value::Str("carol".into()));
+        let whole = Table::vstack(&[&a, &b]).unwrap();
+        assert_eq!(whole.num_rows(), 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(whole.value(r, c), t.value(r, c), "cell ({r},{c})");
+            }
+        }
+        assert!(Table::vstack(&[]).is_err());
     }
 
     #[test]

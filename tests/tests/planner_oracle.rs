@@ -1,11 +1,13 @@
-//! Property-based equivalence: the vectorized physical-plan executor must
-//! produce results identical to the retained row-at-a-time reference
-//! (`run_select_rowwise`) — same schema, same values bit-for-bit, and the
-//! same errors — across generated tables (with NULLs), expressions, and
-//! weight vectors. This is the safety net under every later executor
-//! optimization.
+//! Property-based equivalence, three ways: the vectorized physical-plan
+//! executor — serial (`parallelism = 1`) *and* parallel (thread counts
+//! {2, 8}) — must produce results identical to the retained
+//! row-at-a-time reference (`run_select_rowwise`): same schema, same
+//! values bit-for-bit, and the same errors — across generated tables
+//! (with NULLs), expressions, and weight vectors. This is the safety net
+//! under every later executor optimization, and it pins the morsel
+//! driver's invariant that the thread count never changes results.
 
-use mosaic_core::{run_select, run_select_rowwise};
+use mosaic_core::{run_select_parallel, run_select_rowwise};
 use mosaic_sql::{parse, Statement};
 use mosaic_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
 use proptest::prelude::*;
@@ -74,25 +76,38 @@ fn tables_identical(a: &Table, b: &Table) -> std::result::Result<(), String> {
     Ok(())
 }
 
-/// Run a query through both executors and demand identical outcomes.
+/// Thread counts every query is checked at: serial, a partial pool, and
+/// an oversubscribed pool.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Run a query through the row-wise reference and the vectorized
+/// executor at every thread count, and demand identical outcomes.
 fn assert_equivalent(src: &str, table: &Table, weights: Option<&[f64]>) {
     let stmt = select(src);
-    let vectorized = run_select(&stmt, table, weights);
     let rowwise = run_select_rowwise(&stmt, table, weights);
-    match (vectorized, rowwise) {
-        (Ok(v), Ok(r)) => {
-            if let Err(msg) = tables_identical(&v, &r) {
-                panic!("divergence on {src:?}: {msg}\nvectorized:\n{v}\nrowwise:\n{r}");
+    for threads in THREAD_COUNTS {
+        let vectorized = run_select_parallel(&stmt, table, weights, threads);
+        match (vectorized, &rowwise) {
+            (Ok(v), Ok(r)) => {
+                if let Err(msg) = tables_identical(&v, r) {
+                    panic!(
+                        "divergence on {src:?} at {threads} thread(s): {msg}\nvectorized:\n{v}\nrowwise:\n{r}"
+                    );
+                }
             }
+            (Err(v), Err(r)) => {
+                assert_eq!(
+                    v.to_string(),
+                    r.to_string(),
+                    "error mismatch on {src:?} at {threads} thread(s)"
+                );
+            }
+            (v, r) => panic!(
+                "one path failed on {src:?} at {threads} thread(s): vectorized {:?}, rowwise {:?}",
+                v.map(|t| t.num_rows()),
+                r.as_ref().map(|t| t.num_rows())
+            ),
         }
-        (Err(v), Err(r)) => {
-            assert_eq!(v.to_string(), r.to_string(), "error mismatch on {src:?}");
-        }
-        (v, r) => panic!(
-            "one path failed on {src:?}: vectorized {:?}, rowwise {:?}",
-            v.map(|t| t.num_rows()),
-            r.map(|t| t.num_rows())
-        ),
     }
 }
 
@@ -133,6 +148,48 @@ const QUERIES: &[&str] = &[
     // error identically in both executors (no silent input fallback).
     "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY i",
 ];
+
+/// Multi-morsel bit-identity: on a table spanning several morsels, every
+/// template (weighted and unweighted) must produce the exact same table
+/// at thread counts {1, 2, 8} — the morsel driver's core invariant,
+/// beyond the reach of the small proptest tables.
+#[test]
+fn multi_morsel_thread_counts_agree() {
+    let rows = 2 * mosaic_core::MORSEL_ROWS + 777;
+    let table = build_table(
+        &(0..rows)
+            .map(|r| {
+                (
+                    (r % 5 != 0).then_some((r % 3) as u8),
+                    (r % 11 != 0).then_some((r % 83) as i64 - 40),
+                    (r % 13 != 0).then_some((r % 59) as f64 * 0.75 - 22.0),
+                )
+            })
+            .collect::<Vec<Row>>(),
+    );
+    let weights: Vec<f64> = (0..rows).map(|r| 0.1 + (r % 17) as f64 * 0.4).collect();
+    for template in QUERIES {
+        let src = template.replace("{thr}", "7");
+        let stmt = select(&src);
+        for weights in [None, Some(weights.as_slice())] {
+            let baseline = run_select_parallel(&stmt, &table, weights, 1);
+            for threads in [2, 8] {
+                let out = run_select_parallel(&stmt, &table, weights, threads);
+                match (&baseline, &out) {
+                    (Ok(b), Ok(o)) => {
+                        if let Err(msg) = tables_identical(b, o) {
+                            panic!("thread-count divergence on {src:?} at {threads}: {msg}");
+                        }
+                    }
+                    (Err(b), Err(o)) => {
+                        assert_eq!(b.to_string(), o.to_string(), "error mismatch on {src:?}")
+                    }
+                    _ => panic!("ok/err divergence on {src:?} at {threads} threads"),
+                }
+            }
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
