@@ -19,12 +19,10 @@ fn bench_swg(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(900));
     for &batch in &[128usize, 512] {
-        let cfg = SwgConfig {
-            batch_size: batch,
-            epochs: 1,
-            steps_per_epoch: Some(4),
-            ..SwgConfig::paper_spiral()
-        };
+        let cfg = SwgConfig::paper_spiral()
+            .with_batch_size(batch)
+            .with_epochs(1)
+            .with_steps_per_epoch(Some(4));
         group.bench_with_input(
             BenchmarkId::new("train_4_steps_batch", batch),
             &cfg,
@@ -34,13 +32,11 @@ fn bench_swg(c: &mut Criterion) {
         );
     }
     for &hidden in &[50usize, 200] {
-        let cfg = SwgConfig {
-            hidden_dim: hidden,
-            epochs: 1,
-            steps_per_epoch: Some(4),
-            batch_size: 256,
-            ..SwgConfig::paper_spiral()
-        };
+        let cfg = SwgConfig::paper_spiral()
+            .with_hidden_dim(hidden)
+            .with_epochs(1)
+            .with_steps_per_epoch(Some(4))
+            .with_batch_size(256);
         group.bench_with_input(
             BenchmarkId::new("train_4_steps_hidden", hidden),
             &cfg,
@@ -50,11 +46,9 @@ fn bench_swg(c: &mut Criterion) {
         );
     }
     // Generation throughput from a trained model.
-    let cfg = SwgConfig {
-        epochs: 3,
-        batch_size: 256,
-        ..SwgConfig::paper_spiral()
-    };
+    let cfg = SwgConfig::paper_spiral()
+        .with_epochs(3)
+        .with_batch_size(256);
     let model = MSwg::fit(&data.sample, &data.marginals, cfg).unwrap();
     group.bench_function("generate_10k_rows", |b| {
         b.iter(|| {

@@ -72,12 +72,10 @@ fn main() {
                 let pop_x = &pop_x;
                 let pop_y = &pop_y;
                 s.spawn(move || {
-                    let cfg = SwgConfig {
-                        lambda,
-                        epochs: if full { 50 } else { 25 },
-                        batch_size: 256,
-                        ..SwgConfig::paper_spiral()
-                    };
+                    let cfg = SwgConfig::paper_spiral()
+                        .with_lambda(lambda)
+                        .with_epochs(if full { 50 } else { 25 })
+                        .with_batch_size(256);
                     let model = MSwg::fit(&data.sample, &data.marginals, cfg).expect("fit");
                     let mut rng = StdRng::seed_from_u64(5);
                     let gen = model.generate(data.sample.num_rows(), &mut rng);

@@ -27,12 +27,10 @@ fn main() {
     ] {
         let config = Fig6Config {
             spiral: spiral.clone(),
-            swg: SwgConfig {
-                order,
-                epochs: if full { 50 } else { 25 },
-                batch_size: 256,
-                ..SwgConfig::paper_spiral()
-            },
+            swg: SwgConfig::paper_spiral()
+                .with_order(order)
+                .with_epochs(if full { 50 } else { 25 })
+                .with_batch_size(256),
             queries: 60,
             generated_samples: 5,
             coverages: vec![0.2, 0.4, 0.6],

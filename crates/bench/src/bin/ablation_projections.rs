@@ -37,11 +37,9 @@ fn main() {
     for p in ps {
         let config = Fig7Config {
             flights: flights.clone(),
-            swg: SwgConfig {
-                projections: p,
-                epochs: if full { 30 } else { 12 },
-                ..SwgConfig::paper_flights()
-            },
+            swg: SwgConfig::paper_flights()
+                .with_projections(p)
+                .with_epochs(if full { 30 } else { 12 }),
             generated_samples: 5,
             ..Fig7Config::default()
         };

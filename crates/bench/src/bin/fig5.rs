@@ -81,16 +81,11 @@ fn main() {
     // Paper §5.3 footnote 3: 3 ReLU FC layers × 100 nodes, λ=0.04, ℓ=2,
     // batch 500.
     let swg_cfg = if full {
-        SwgConfig {
-            epochs: 60,
-            ..SwgConfig::paper_spiral()
-        }
+        SwgConfig::paper_spiral().with_epochs(60)
     } else {
-        SwgConfig {
-            epochs: 25,
-            batch_size: 256,
-            ..SwgConfig::paper_spiral()
-        }
+        SwgConfig::paper_spiral()
+            .with_epochs(25)
+            .with_batch_size(256)
     };
 
     eprintln!(

@@ -13,10 +13,7 @@ fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let config = if full {
         Fig6Config {
-            swg: SwgConfig {
-                epochs: 60,
-                ..SwgConfig::paper_spiral()
-            },
+            swg: SwgConfig::paper_spiral().with_epochs(60),
             ..Fig6Config::default()
         }
     } else {
@@ -26,11 +23,9 @@ fn main() {
                 sample: 2_000,
                 ..SpiralConfig::default()
             },
-            swg: SwgConfig {
-                epochs: 25,
-                batch_size: 256,
-                ..SwgConfig::paper_spiral()
-            },
+            swg: SwgConfig::paper_spiral()
+                .with_epochs(25)
+                .with_batch_size(256),
             queries: 100,
             generated_samples: 10,
             ..Fig6Config::default()

@@ -17,11 +17,9 @@ fn main() {
     let config = if full {
         Fig7Config {
             flights: FlightsConfig::paper_scale(),
-            swg: SwgConfig {
-                projections: 256,
-                epochs: 40,
-                ..SwgConfig::paper_flights()
-            },
+            swg: SwgConfig::paper_flights()
+                .with_projections(256)
+                .with_epochs(40),
             ..Fig7Config::default()
         }
     } else {

@@ -29,16 +29,14 @@ fn main() {
             ..FlightsConfig::default()
         }
     };
-    let swg = SwgConfig {
-        hidden_dim: 50,
-        hidden_layers: 3,
-        latent_dim: None,
-        lambda: 1e-7,
-        projections: if full { 128 } else { 32 },
-        epochs: if full { 30 } else { 15 },
-        batch_size: 256,
-        ..SwgConfig::default()
-    };
+    let swg = SwgConfig::default()
+        .with_hidden_dim(50)
+        .with_hidden_layers(3)
+        .with_latent_dim(None)
+        .with_lambda(1e-7)
+        .with_projections(if full { 128 } else { 32 })
+        .with_epochs(if full { 30 } else { 15 })
+        .with_batch_size(256);
     let dropped = ["US", "F9", "HA", "VX"];
     eprintln!(
         "visibility: population={}, dropping carriers {:?} from the sample",

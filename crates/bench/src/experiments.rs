@@ -199,14 +199,12 @@ impl Default for Fig7Config {
     fn default() -> Self {
         Fig7Config {
             flights: FlightsConfig::default(),
-            swg: SwgConfig {
-                // The paper's flights config, with laptop-scale projection
-                // and epoch counts (see DESIGN.md). ~30 s of training on
-                // one core; `--full` harness flags raise both.
-                projections: 96,
-                epochs: 60,
-                ..SwgConfig::paper_flights()
-            },
+            // The paper's flights config, with laptop-scale projection
+            // and epoch counts (see DESIGN.md). ~30 s of training on
+            // one core; `--full` harness flags raise both.
+            swg: SwgConfig::paper_flights()
+                .with_projections(96)
+                .with_epochs(60),
             generated_samples: 10,
             ipf: IpfConfig::default(),
             seed: 2,
@@ -494,17 +492,15 @@ mod tests {
     use super::*;
 
     fn tiny_swg() -> SwgConfig {
-        SwgConfig {
-            hidden_dim: 16,
-            hidden_layers: 1,
-            latent_dim: Some(2),
-            projections: 8,
-            batch_size: 64,
-            epochs: 4,
-            steps_per_epoch: Some(2),
-            coverage_subsample: 128,
-            ..SwgConfig::default()
-        }
+        SwgConfig::default()
+            .with_hidden_dim(16)
+            .with_hidden_layers(1)
+            .with_latent_dim(Some(2))
+            .with_projections(8)
+            .with_batch_size(64)
+            .with_epochs(4)
+            .with_steps_per_epoch(Some(2))
+            .with_coverage_subsample(128)
     }
 
     #[test]

@@ -7,11 +7,26 @@ use rand::Rng;
 
 /// Bayesian-network hyperparameters.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct BnConfig {
     /// Equal-width bins for continuous attributes.
     pub bins: usize,
     /// Laplace smoothing pseudo-count for CPT cells.
     pub laplace: f64,
+}
+
+impl BnConfig {
+    /// Set the number of equal-width bins for continuous attributes.
+    pub fn with_bins(mut self, bins: usize) -> Self {
+        self.bins = bins;
+        self
+    }
+
+    /// Set the Laplace smoothing pseudo-count.
+    pub fn with_laplace(mut self, laplace: f64) -> Self {
+        self.laplace = laplace;
+        self
+    }
 }
 
 impl Default for BnConfig {

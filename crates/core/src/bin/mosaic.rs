@@ -8,32 +8,47 @@
 //! ...
 //! ```
 //!
-//! Statements may span lines; they execute at each `;`. Meta-commands:
-//! `.help`, `.quit`, `.notes on|off` (execution diagnostics),
-//! `.load <csv> <table>` (ingest a CSV file as an auxiliary table).
+//! Statements may span lines; they execute at each `;`. Multi-statement
+//! input runs statement by statement: an error reports *which* statement
+//! failed (1-based index plus its text) and stops the rest of the chunk.
 //!
-//! Flags: `--batch` (no prompts), `--threads N` (worker-thread cap for
-//! the morsel-driven executor; overrides `MOSAIC_PARALLELISM`; never
-//! changes results).
+//! Meta-commands (leading `.` or `\`):
+//! `.help`, `.quit`, `.notes on|off` (execution diagnostics),
+//! `.load <csv> <table>` (ingest a CSV file as an auxiliary table),
+//! `\prepare <name> <select>` (parse/bind/plan once, keep under `name`),
+//! `\exec <name> [v1, v2, …]` (run a prepared statement with `?` values),
+//! `\explain <select>` (shorthand for the `EXPLAIN` statement).
+//!
+//! Flags: `--batch` (no prompts), `--threads N` (session worker-thread
+//! cap for the morsel-driven executor; overrides `MOSAIC_PARALLELISM`;
+//! never changes results).
 
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
-use mosaic_core::MosaicDb;
+use mosaic_core::{eval_scalar, MosaicEngine, Prepared, QueryResult, Session, Value};
+use mosaic_sql::parse_spanned;
 
 fn main() {
-    let mut db = MosaicDb::new();
+    let engine = Arc::new(MosaicEngine::new());
+    let mut session = engine.session();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let interactive = !args.iter().any(|a| a == "--batch");
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) if n >= 1 => db.options_mut().parallelism = n,
+            Some(n) if n >= 1 => session = session.with_parallelism(n),
             _ => {
                 eprintln!("error: --threads requires a positive integer");
                 std::process::exit(2);
             }
         }
     }
-    let mut show_notes = true;
+    let mut shell = Shell {
+        session,
+        prepared: HashMap::new(),
+        show_notes: true,
+    };
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     if interactive {
@@ -57,69 +72,9 @@ fn main() {
             }
         }
         let trimmed = line.trim();
-        if buffer.is_empty() && trimmed.starts_with('.') {
-            let mut parts = trimmed.split_whitespace();
-            match parts.next() {
-                Some(".quit") | Some(".exit") => break,
-                Some(".help") => {
-                    println!(
-                        ".help                 this message\n\
-                         .quit                 exit\n\
-                         .notes on|off         toggle execution diagnostics\n\
-                         .load <csv> <table>   ingest a CSV file as an auxiliary table\n\
-                         SQL: CREATE TABLE / [GLOBAL] POPULATION / SAMPLE / METADATA,\n\
-                              INSERT, DROP, SELECT [CLOSED|SEMI-OPEN|OPEN] ..."
-                    );
-                }
-                Some(".notes") => {
-                    show_notes = parts.next() != Some("off");
-                    println!("notes {}", if show_notes { "on" } else { "off" });
-                }
-                Some(".load") => match (parts.next(), parts.next()) {
-                    (Some(path), Some(table)) => {
-                        match mosaic_storage::csv::read_csv_path(path) {
-                            Ok(t) => {
-                                let rows = t.num_rows();
-                                // Register (or replace) as an auxiliary
-                                // table via the engine's DDL path.
-                                let schema_sql: Vec<String> = t
-                                    .schema()
-                                    .fields()
-                                    .iter()
-                                    .map(|f| format!("{} {}", f.name, f.data_type))
-                                    .collect();
-                                let create =
-                                    format!("CREATE TABLE {table} ({})", schema_sql.join(", "));
-                                match db.execute(&create).and_then(|_| {
-                                    // Bulk-insert the rows.
-                                    let mut stmts = String::new();
-                                    for r in 0..t.num_rows() {
-                                        let vals: Vec<String> = (0..t.num_columns())
-                                            .map(|c| match t.value(r, c) {
-                                                mosaic_core::Value::Str(s) => {
-                                                    format!("'{}'", s.replace('\'', "''"))
-                                                }
-                                                mosaic_core::Value::Null => "NULL".into(),
-                                                v => v.to_string(),
-                                            })
-                                            .collect();
-                                        stmts.push_str(&format!(
-                                            "INSERT INTO {table} VALUES ({});",
-                                            vals.join(",")
-                                        ));
-                                    }
-                                    db.execute(&stmts)
-                                }) {
-                                    Ok(_) => println!("loaded {rows} rows into {table}"),
-                                    Err(e) => eprintln!("error: {e}"),
-                                }
-                            }
-                            Err(e) => eprintln!("error: {e}"),
-                        }
-                    }
-                    _ => eprintln!("usage: .load <csv-path> <table-name>"),
-                },
-                _ => eprintln!("unknown meta-command (try .help)"),
+        if buffer.is_empty() && (trimmed.starts_with('.') || trimmed.starts_with('\\')) {
+            if !shell.meta_command(trimmed) {
+                break;
             }
             continue;
         }
@@ -131,20 +86,213 @@ fn main() {
         if sql.trim().is_empty() {
             continue;
         }
-        match db.execute(&sql) {
-            Ok(result) => {
-                if result.table.num_columns() > 0 {
-                    print!("{}", result.table);
-                } else {
-                    println!("ok");
-                }
-                if show_notes {
-                    for note in &result.notes {
-                        eprintln!("-- {note}");
+        shell.run_script(&sql);
+    }
+}
+
+struct Shell {
+    session: Session,
+    prepared: HashMap<String, Prepared>,
+    show_notes: bool,
+}
+
+impl Shell {
+    /// Execute a `;`-separated chunk statement by statement, so an error
+    /// names the statement that failed instead of swallowing the rest of
+    /// the script. Stops at the first failure (later statements may
+    /// depend on the failed one).
+    fn run_script(&mut self, sql: &str) {
+        let spanned = match parse_spanned(sql) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return;
+            }
+        };
+        let total = spanned.len();
+        let mut last: Option<QueryResult> = None;
+        for (i, (stmt, span)) in spanned.into_iter().enumerate() {
+            match self.session.execute_parsed(stmt) {
+                Ok(r) => {
+                    if let Some(r) = r {
+                        last = Some(r);
                     }
+                }
+                Err(e) => {
+                    if total > 1 {
+                        eprintln!(
+                            "error in statement {} of {total} ({}): {e}",
+                            i + 1,
+                            snippet(&sql[span])
+                        );
+                    } else {
+                        eprintln!("error: {e}");
+                    }
+                    return;
+                }
+            }
+        }
+        match last {
+            Some(r) => self.print_result(&r),
+            None => println!("ok"),
+        }
+    }
+
+    fn print_result(&self, result: &QueryResult) {
+        if result.table.num_columns() > 0 {
+            print!("{}", result.table);
+        } else {
+            println!("ok");
+        }
+        if self.show_notes {
+            for note in &result.notes {
+                eprintln!("-- {note}");
+            }
+        }
+    }
+
+    /// Handle one meta-command line; returns `false` to quit the shell.
+    fn meta_command(&mut self, line: &str) -> bool {
+        let body = &line[1..];
+        let (cmd, rest) = match body.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (body, ""),
+        };
+        match cmd {
+            "quit" | "exit" => return false,
+            "help" => {
+                println!(
+                    ".help                      this message\n\
+                     .quit                      exit\n\
+                     .notes on|off              toggle execution diagnostics\n\
+                     .load <csv> <table>        ingest a CSV file as an auxiliary table\n\
+                     \\prepare <name> <select>   parse+bind+plan once, keep under <name>\n\
+                     \\exec <name> [v1, v2, …]   run a prepared statement with ? values\n\
+                     \\explain <select>          shorthand for EXPLAIN <select>\n\
+                     SQL: CREATE TABLE / [GLOBAL] POPULATION / SAMPLE / METADATA,\n\
+                          INSERT, DROP, EXPLAIN, SELECT [CLOSED|SEMI-OPEN|OPEN] ...\n\
+                          (meta-commands accept either a '.' or a '\\' prefix)"
+                );
+            }
+            "notes" => {
+                self.show_notes = rest != "off";
+                println!("notes {}", if self.show_notes { "on" } else { "off" });
+            }
+            "load" => {
+                let mut parts = rest.split_whitespace();
+                match (parts.next(), parts.next()) {
+                    (Some(path), Some(table)) => self.load_csv(path, table),
+                    _ => eprintln!("usage: .load <csv-path> <table-name>"),
+                }
+            }
+            "prepare" => {
+                let (name, stmt_sql) = match rest.split_once(char::is_whitespace) {
+                    Some((n, s)) if !s.trim().is_empty() => (n, s.trim()),
+                    _ => {
+                        eprintln!("usage: \\prepare <name> <select-statement>");
+                        return true;
+                    }
+                };
+                match self.session.prepare(stmt_sql.trim_end_matches(';')) {
+                    Ok(p) => {
+                        println!(
+                            "prepared {name}: {} parameter(s) — run with \\exec {name} [values]",
+                            p.param_count()
+                        );
+                        self.prepared.insert(name.to_string(), p);
+                    }
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+            "exec" => {
+                let (name, args) = match rest.split_once(char::is_whitespace) {
+                    Some((n, a)) => (n, a.trim()),
+                    None => (rest, ""),
+                };
+                if name.is_empty() {
+                    eprintln!("usage: \\exec <name> [v1, v2, …]");
+                    return true;
+                }
+                let Some(p) = self.prepared.get(name) else {
+                    eprintln!("error: no prepared statement named {name} (see \\prepare)");
+                    return true;
+                };
+                match parse_params(args) {
+                    Ok(params) => match self.session.execute_prepared(p, &params) {
+                        Ok(r) => self.print_result(&r),
+                        Err(e) => eprintln!("error: {e}"),
+                    },
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+            "explain" => {
+                if rest.is_empty() {
+                    eprintln!("usage: \\explain <select-statement>");
+                    return true;
+                }
+                self.run_script(&format!("EXPLAIN {}", rest.trim_end_matches(';')));
+            }
+            _ => eprintln!("unknown meta-command (try .help)"),
+        }
+        true
+    }
+
+    fn load_csv(&mut self, path: &str, table: &str) {
+        match mosaic_storage::csv::read_csv_path(path) {
+            Ok(t) => {
+                let rows = t.num_rows();
+                // Register directly through the engine's bulk path (no
+                // SQL INSERT round-trip per row).
+                match self.session.engine().register_table(table, t) {
+                    Ok(()) => println!("loaded {rows} rows into {table}"),
+                    Err(e) => eprintln!("error: {e}"),
                 }
             }
             Err(e) => eprintln!("error: {e}"),
         }
+    }
+}
+
+/// Parse a comma-separated list of literal expressions into parameter
+/// values (e.g. `120, 'WN, DL', 1.5`). Splits at *top-level* comma
+/// tokens (lexing first), so string values containing commas work.
+fn parse_params(args: &str) -> Result<Vec<Value>, String> {
+    if args.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    use mosaic_sql::TokenKind;
+    let tokens = mosaic_sql::tokenize(args).map_err(|e| e.to_string())?;
+    let mut chunks: Vec<&str> = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for t in &tokens {
+        match t.kind {
+            TokenKind::LParen | TokenKind::LBracket => depth += 1,
+            TokenKind::RParen | TokenKind::RBracket => depth = depth.saturating_sub(1),
+            TokenKind::Comma if depth == 0 => {
+                chunks.push(&args[start..t.offset]);
+                start = t.offset + 1;
+            }
+            _ => {}
+        }
+    }
+    chunks.push(&args[start..]);
+    chunks
+        .into_iter()
+        .map(|chunk| {
+            let expr = mosaic_sql::parse_expr(chunk.trim()).map_err(|e| e.to_string())?;
+            eval_scalar(&expr).map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+/// Trim a statement's text to one error-message-sized line.
+fn snippet(sql: &str) -> String {
+    let flat = sql.split_whitespace().collect::<Vec<_>>().join(" ");
+    if flat.chars().count() > 60 {
+        let head: String = flat.chars().take(59).collect();
+        format!("{head}…")
+    } else {
+        flat
     }
 }

@@ -1,5 +1,15 @@
-//! [`MosaicDb`] — the Mosaic engine: DDL/DML handling plus the
-//! three-visibility population query pipeline of paper §4.
+//! [`MosaicEngine`] — the shared Mosaic engine: DDL/DML handling plus
+//! the three-visibility population query pipeline of paper §4 — and
+//! [`MosaicDb`], the single-owner compatibility wrapper over one
+//! engine + one session.
+//!
+//! The engine is `Arc`-shareable: its catalog sits behind a
+//! `parking_lot::RwLock`, so any number of sessions run SELECTs
+//! concurrently under read locks while DDL/DML statements take the
+//! write lock. Fitted generative models are cached behind their own
+//! mutex as `Arc<dyn GenerativeModel>`, so concurrent OPEN queries
+//! share a fitted model without holding the cache lock during
+//! generation.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -9,7 +19,7 @@ use mosaic_sql::{parse, Expr, InsertSource, SelectItem, SelectStmt, Statement, V
 use mosaic_stats::{Binner, Ipf, IpfConfig, Marginal};
 use mosaic_storage::{Column, DataType, Field, Schema, Table, TableBuilder, Value};
 use mosaic_swg::SwgConfig;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::catalog::{
     empty_table, marginal_from_table, Catalog, Mechanism, MetadataEntry, Population, Sample,
@@ -17,6 +27,8 @@ use crate::catalog::{
 use crate::eval::eval_scalar;
 use crate::exec::{apply_order_limit, run_select_parallel};
 use crate::models::{BnModel, GenerativeModel, SwgModel};
+use crate::plan::PhysicalPlan;
+use crate::session::{Session, SessionOptions};
 use crate::{MosaicError, Result};
 
 /// Which generative model answers OPEN queries.
@@ -30,7 +42,7 @@ pub enum OpenBackend {
 }
 
 impl OpenBackend {
-    fn id(&self) -> &'static str {
+    pub(crate) fn id(&self) -> &'static str {
         match self {
             OpenBackend::Swg(_) => "m-swg",
             OpenBackend::BayesNet(_) => "bayes-net",
@@ -39,7 +51,11 @@ impl OpenBackend {
 }
 
 /// OPEN query processing options.
+///
+/// `#[non_exhaustive]`: construct with [`OpenOptions::default`] and the
+/// `with_*` builders so future fields are not breaking changes.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct OpenOptions {
     /// Generative backend.
     pub backend: OpenBackend,
@@ -65,8 +81,38 @@ impl Default for OpenOptions {
     }
 }
 
+impl OpenOptions {
+    /// Set the generative backend.
+    pub fn with_backend(mut self, backend: OpenBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Set the number of generated samples combined per query.
+    pub fn with_num_generated(mut self, n: usize) -> Self {
+        self.num_generated = n;
+        self
+    }
+
+    /// Set the rows per generated sample (`None` = training-sample size).
+    pub fn with_rows_per_sample(mut self, n: Option<usize>) -> Self {
+        self.rows_per_sample = n;
+        self
+    }
+
+    /// Set the base generation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// Engine-wide options.
+///
+/// `#[non_exhaustive]`: construct with [`EngineOptions::default`] and the
+/// `with_*` builders so future fields are not breaking changes.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineOptions {
     /// Visibility applied to population queries that don't specify one.
     pub default_visibility: Visibility,
@@ -97,7 +143,39 @@ impl Default for EngineOptions {
     }
 }
 
-/// The result of `MosaicDb::execute`: the last query's table plus
+impl EngineOptions {
+    /// Set the default visibility of population queries.
+    pub fn with_default_visibility(mut self, v: Visibility) -> Self {
+        self.default_visibility = v;
+        self
+    }
+
+    /// Set the OPEN query options.
+    pub fn with_open(mut self, open: OpenOptions) -> Self {
+        self.open = open;
+        self
+    }
+
+    /// Set the IPF convergence settings.
+    pub fn with_ipf(mut self, ipf: IpfConfig) -> Self {
+        self.ipf = ipf;
+        self
+    }
+
+    /// Register a binner for a continuous attribute.
+    pub fn with_binner(mut self, attr: &str, binner: Binner) -> Self {
+        self.binners.insert(attr.to_ascii_lowercase(), binner);
+        self
+    }
+
+    /// Set the worker-thread cap (minimum 1).
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+}
+
+/// The result of executing a statement: the last query's table plus
 /// execution diagnostics.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -111,7 +189,7 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
-    fn empty() -> QueryResult {
+    pub(crate) fn empty() -> QueryResult {
         QueryResult {
             table: Table::empty(Schema::new(Vec::new())),
             visibility: None,
@@ -120,88 +198,126 @@ impl QueryResult {
     }
 }
 
-/// Fitted generative models keyed by `population|backend`, tagged with
-/// the catalog epoch they were trained at.
-type ModelCache = Mutex<HashMap<String, (u64, Box<dyn GenerativeModel>)>>;
+/// Fitted generative models keyed by `population|backend|config-hash`,
+/// tagged with the catalog epoch they were trained at. Models are stored
+/// as `Arc` so the cache lock is released before generation starts:
+/// concurrent OPEN queries share one fitted model.
+type ModelCache = Mutex<HashMap<String, (u64, Arc<dyn GenerativeModel>)>>;
 
-/// The Mosaic database engine.
+/// Prepared-statement hooks threaded through the SELECT dispatch: the
+/// cached physical plan(s) and the positional-parameter values of one
+/// `execute_prepared` call. [`QueryPlans::default`] (no plans, no
+/// params) is the unprepared path.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct QueryPlans<'a> {
+    /// The lowered plan of the full statement.
+    pub plan: Option<&'a PhysicalPlan>,
+    /// For aggregate OPEN queries: the lowered plan of the inner body
+    /// (ORDER BY / LIMIT stripped) each replicate runs.
+    pub inner_plan: Option<&'a PhysicalPlan>,
+    /// Positional-parameter values.
+    pub params: &'a [Value],
+}
+
+/// The shared Mosaic engine.
 ///
-/// See the crate docs for an end-to-end example. All statement execution
-/// is deterministic given `EngineOptions::open.seed`.
-pub struct MosaicDb {
-    catalog: Catalog,
-    options: EngineOptions,
+/// All methods take `&self`; wrap the engine in an [`Arc`] and open any
+/// number of [`Session`]s onto it. Concurrent SELECTs proceed under
+/// catalog read locks; DDL/DML statements (`CREATE …`, `INSERT`,
+/// `DROP`) serialize behind the write lock. All statement execution is
+/// deterministic given the effective options.
+///
+/// ```
+/// use std::sync::Arc;
+/// use mosaic_core::MosaicEngine;
+///
+/// let engine = Arc::new(MosaicEngine::new());
+/// let session = engine.session();
+/// session.execute("CREATE TABLE t (x INT); INSERT INTO t VALUES (1), (2);").unwrap();
+/// let prepared = session.prepare("SELECT COUNT(*) FROM t WHERE x > ?").unwrap();
+/// let result = session.execute_prepared(&prepared, &[1.into()]).unwrap();
+/// assert_eq!(result.table.value(0, 0), 1i64.into());
+/// ```
+pub struct MosaicEngine {
+    catalog: RwLock<Catalog>,
+    options: RwLock<EngineOptions>,
     model_cache: ModelCache,
 }
 
-impl Default for MosaicDb {
+impl Default for MosaicEngine {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl MosaicDb {
+impl MosaicEngine {
     /// New engine with default options (SEMI-OPEN default visibility,
     /// M-SWG OPEN backend).
-    pub fn new() -> MosaicDb {
+    pub fn new() -> MosaicEngine {
         Self::with_options(EngineOptions::default())
     }
 
     /// New engine with explicit options.
-    pub fn with_options(options: EngineOptions) -> MosaicDb {
-        MosaicDb {
-            catalog: Catalog::new(),
-            options,
+    pub fn with_options(options: EngineOptions) -> MosaicEngine {
+        MosaicEngine {
+            catalog: RwLock::new(Catalog::new()),
+            options: RwLock::new(options),
             model_cache: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The catalog (read access for inspection).
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Open a new session on this shared engine. Sessions are cheap
+    /// (an `Arc` clone plus an override set) and independent: each can
+    /// carry its own default visibility, seed, thread cap, and OPEN
+    /// backend without mutating the engine-wide options.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(Arc::clone(self))
     }
 
-    /// Mutable engine options.
-    pub fn options_mut(&mut self) -> &mut EngineOptions {
-        &mut self.options
+    /// Read access to the catalog. Holding the guard blocks writers
+    /// (DDL/DML), not other readers — drop it promptly.
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.catalog.read()
+    }
+
+    /// Snapshot of the engine-wide options.
+    pub fn options(&self) -> EngineOptions {
+        self.options.read().clone()
+    }
+
+    /// Write access to the engine-wide options. Prefer per-session
+    /// overrides ([`Session::with_parallelism`] etc.) for anything
+    /// query-scoped; this changes defaults for every session.
+    pub fn options_write(&self) -> RwLockWriteGuard<'_, EngineOptions> {
+        self.options.write()
     }
 
     /// Register a binner for a continuous attribute (shared by metadata
     /// construction and IPF).
-    pub fn register_binner(&mut self, attr: &str, binner: Binner) {
+    pub fn register_binner(&self, attr: &str, binner: Binner) {
         self.options
+            .write()
             .binners
             .insert(attr.to_ascii_lowercase(), binner);
     }
 
-    /// Execute a script of semicolon-separated statements; returns the
-    /// result of the last SELECT (or an empty result).
-    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        let stmts = parse(sql)?;
-        let mut last = QueryResult::empty();
-        for stmt in stmts {
-            if let Some(r) = self.execute_statement(stmt)? {
-                last = r;
-            }
-        }
-        Ok(last)
-    }
-
-    /// Execute a script and return just the last result table.
-    pub fn query(&mut self, sql: &str) -> Result<Table> {
-        self.execute(sql).map(|r| r.table)
+    /// Register (or replace) an auxiliary table programmatically —
+    /// the bulk-ingestion path that skips SQL `INSERT` round-trips.
+    pub fn register_table(&self, name: &str, table: Table) -> Result<()> {
+        self.catalog.write().create_aux(name, table)
     }
 
     /// Ingest rows into a sample programmatically (the paper's "...Ingest
     /// Yahoo sample to YahooMigrants" step).
-    pub fn ingest_sample(&mut self, sample: &str, rows: Table) -> Result<()> {
-        let coerced = self.coerce_to_sample_schema(sample, rows)?;
-        self.catalog.append_to_sample(sample, coerced)
+    pub fn ingest_sample(&self, sample: &str, rows: Table) -> Result<()> {
+        let mut cat = self.catalog.write();
+        let coerced = coerce_to_sample_schema(&cat, sample, rows)?;
+        cat.append_to_sample(sample, coerced)
     }
 
     /// Attach a marginal to a population programmatically.
-    pub fn add_metadata(&mut self, name: &str, population: &str, marginal: Marginal) -> Result<()> {
-        self.catalog.create_metadata(MetadataEntry {
+    pub fn add_metadata(&self, name: &str, population: &str, marginal: Marginal) -> Result<()> {
+        self.catalog.write().create_metadata(MetadataEntry {
             name: name.to_string(),
             population: population.to_string(),
             marginal,
@@ -209,22 +325,48 @@ impl MosaicDb {
     }
 
     /// Overwrite a sample's initial weights (paper §3.2).
-    pub fn set_sample_weights(&mut self, sample: &str, weights: Vec<f64>) -> Result<()> {
-        self.catalog.set_sample_weights(sample, weights)
+    pub fn set_sample_weights(&self, sample: &str, weights: Vec<f64>) -> Result<()> {
+        self.catalog.write().set_sample_weights(sample, weights)
     }
 
-    /// Run one SELECT through the morsel-driven executor with the
-    /// engine's thread cap.
-    fn run_select(
+    /// Merge a session's overrides over the engine-wide options.
+    pub(crate) fn effective_options(&self, session: &SessionOptions) -> EngineOptions {
+        let mut o = self.options.read().clone();
+        if let Some(v) = session.default_visibility {
+            o.default_visibility = v;
+        }
+        if let Some(seed) = session.seed {
+            o.open.seed = seed;
+        }
+        if let Some(p) = session.parallelism {
+            o.parallelism = p.max(1);
+        }
+        if let Some(b) = &session.open_backend {
+            o.open.backend = b.clone();
+        }
+        o
+    }
+
+    /// Execute a script of semicolon-separated statements under the
+    /// given session overrides; returns the result of the last SELECT
+    /// (or an empty result).
+    pub(crate) fn execute_with(&self, sql: &str, session: &SessionOptions) -> Result<QueryResult> {
+        let stmts = parse(sql)?;
+        let opts = self.effective_options(session);
+        let mut last = QueryResult::empty();
+        for stmt in stmts {
+            if let Some(r) = self.execute_statement(stmt, &opts)? {
+                last = r;
+            }
+        }
+        Ok(last)
+    }
+
+    pub(crate) fn execute_statement(
         &self,
-        stmt: &SelectStmt,
-        table: &Table,
-        weights: Option<&[f64]>,
-    ) -> Result<Table> {
-        run_select_parallel(stmt, table, weights, self.options.parallelism)
-    }
-
-    fn execute_statement(&mut self, stmt: Statement) -> Result<Option<QueryResult>> {
+        stmt: Statement,
+        opts: &EngineOptions,
+    ) -> Result<Option<QueryResult>> {
         match stmt {
             Statement::CreateTable { name, fields, .. } => {
                 if fields.is_empty() {
@@ -233,6 +375,7 @@ impl MosaicDb {
                     )));
                 }
                 self.catalog
+                    .write()
                     .create_aux(&name, Table::empty(Schema::new(fields)))?;
                 Ok(None)
             }
@@ -242,11 +385,11 @@ impl MosaicDb {
                 fields,
                 source,
             } => {
+                let mut cat = self.catalog.write();
                 let schema = if !fields.is_empty() {
                     Schema::new(fields)
                 } else if let Some((gp, _, cols)) = &source {
-                    let gp_pop = self
-                        .catalog
+                    let gp_pop = cat
                         .population(gp)
                         .ok_or_else(|| MosaicError::Catalog(format!("unknown population {gp}")))?;
                     if cols.is_empty() {
@@ -261,7 +404,7 @@ impl MosaicDb {
                         "population {name} needs attributes or an AS SELECT definition"
                     )));
                 };
-                self.catalog.create_population(Population {
+                cat.create_population(Population {
                     name,
                     schema,
                     global,
@@ -277,7 +420,8 @@ impl MosaicDb {
                 predicate,
                 mechanism,
             } => {
-                let pop = self.catalog.population(&population).ok_or_else(|| {
+                let mut cat = self.catalog.write();
+                let pop = cat.population(&population).ok_or_else(|| {
                     MosaicError::Catalog(format!("unknown population {population}"))
                 })?;
                 let schema = if !fields.is_empty() {
@@ -288,7 +432,7 @@ impl MosaicDb {
                     pop.schema
                         .project(&columns.iter().map(String::as_str).collect::<Vec<_>>())?
                 };
-                self.catalog.create_sample(Sample {
+                cat.create_sample(Sample {
                     name,
                     population,
                     predicate,
@@ -303,9 +447,13 @@ impl MosaicDb {
                 population,
                 query,
             } => {
+                // One write lock for the whole statement: the metadata
+                // query runs over an auxiliary table via the executor
+                // directly (no engine re-entry), so this cannot deadlock.
+                let mut cat = self.catalog.write();
                 let pop = match population {
                     Some(p) => p,
-                    None => self.catalog.infer_metadata_population(&name).ok_or_else(|| {
+                    None => cat.infer_metadata_population(&name).ok_or_else(|| {
                         MosaicError::Catalog(format!(
                             "cannot infer the population for metadata {name}; use CREATE METADATA {name} FOR <population> AS …"
                         ))
@@ -314,14 +462,14 @@ impl MosaicDb {
                 let from = query.from.as_deref().ok_or_else(|| {
                     MosaicError::Execution("metadata query needs a FROM table".into())
                 })?;
-                let src = self.catalog.aux(from).cloned().ok_or_else(|| {
+                let src = cat.aux(from).cloned().ok_or_else(|| {
                     MosaicError::Catalog(format!(
                         "metadata queries run over auxiliary tables; unknown table {from}"
                     ))
                 })?;
-                let result = self.run_select(&query, &src, None)?;
+                let result = run_select_parallel(&query, &src, None, opts.parallelism)?;
                 let marginal = marginal_from_table(&result)?;
-                self.catalog.create_metadata(MetadataEntry {
+                cat.create_metadata(MetadataEntry {
                     name,
                     population: pop,
                     marginal,
@@ -333,29 +481,58 @@ impl MosaicDb {
                 columns,
                 source,
             } => {
-                self.insert(&table, columns.as_deref(), source)?;
+                self.insert(&table, columns.as_deref(), source, opts)?;
                 Ok(None)
             }
-            Statement::Select(stmt) => self.select(stmt).map(Some),
+            Statement::Select(stmt) => {
+                let cat = self.catalog.read();
+                self.select(&cat, opts, &stmt, QueryPlans::default())
+                    .map(Some)
+            }
+            Statement::Explain(stmt) => {
+                let cat = self.catalog.read();
+                let lines = crate::explain::render(&cat, opts, &stmt)?;
+                let table = Table::new(
+                    Schema::new(vec![Field::new("plan", DataType::Str)]),
+                    vec![Column::from_str(lines)],
+                )?;
+                Ok(Some(QueryResult {
+                    table,
+                    visibility: None,
+                    notes: Vec::new(),
+                }))
+            }
             Statement::Drop { name } => {
-                self.catalog.drop_any(&name)?;
+                self.catalog.write().drop_any(&name)?;
                 Ok(None)
             }
         }
     }
 
     fn insert(
-        &mut self,
+        &self,
         target: &str,
         columns: Option<&[String]>,
         source: InsertSource,
+        opts: &EngineOptions,
     ) -> Result<()> {
+        // For a SELECT source, run the query under a read lock first —
+        // taking the write lock around a SELECT that re-enters the
+        // engine would self-deadlock.
+        let selected = match &source {
+            InsertSource::Select(stmt) => {
+                let cat = self.catalog.read();
+                Some(self.select(&cat, opts, stmt, QueryPlans::default())?.table)
+            }
+            InsertSource::Values(_) => None,
+        };
+        let mut cat = self.catalog.write();
         // Resolve the target schema (aux table or sample).
-        let (target_schema, is_sample) = if let Some(t) = self.catalog.aux(target) {
+        let (target_schema, is_sample) = if let Some(t) = cat.aux(target) {
             (Arc::clone(t.schema()), false)
-        } else if let Some(s) = self.catalog.sample(target) {
+        } else if let Some(s) = cat.sample(target) {
             (Arc::clone(s.data.schema()), true)
-        } else if self.catalog.population(target).is_some() {
+        } else if cat.population(target).is_some() {
             return Err(MosaicError::Unsupported(
                 "cannot INSERT into a population: population tuples are unknown by definition; ingest into a SAMPLE instead"
                     .into(),
@@ -363,97 +540,85 @@ impl MosaicDb {
         } else {
             return Err(MosaicError::Catalog(format!("unknown relation {target}")));
         };
-        let rows = match source {
-            InsertSource::Values(rows) => {
+        let rows = match (source, selected) {
+            (InsertSource::Values(rows), _) => {
                 let mut b = TableBuilder::with_capacity(Arc::clone(&target_schema), rows.len());
                 for row in rows {
                     let values: Vec<Value> = row.iter().map(eval_scalar).collect::<Result<_>>()?;
-                    b.push_row(self.arrange_row(&target_schema, columns, values)?)?;
+                    b.push_row(arrange_row(&target_schema, columns, values)?)?;
                 }
                 b.finish()
             }
-            InsertSource::Select(stmt) => {
-                let result = self.select(*stmt)?.table;
+            (InsertSource::Select(_), Some(result)) => {
                 // Re-type row by row so compatible columns coerce.
                 let mut b =
                     TableBuilder::with_capacity(Arc::clone(&target_schema), result.num_rows());
                 for row in result.rows() {
-                    b.push_row(self.arrange_row(&target_schema, columns, row)?)?;
+                    b.push_row(arrange_row(&target_schema, columns, row)?)?;
                 }
                 b.finish()
             }
+            (InsertSource::Select(_), None) => unreachable!("selected above"),
         };
         if is_sample {
-            self.catalog.append_to_sample(target, rows)
+            cat.append_to_sample(target, rows)
         } else {
-            let existing = self.catalog.aux(target).expect("checked above");
+            let existing = cat.aux(target).expect("checked above");
             let merged = if existing.is_empty() {
                 rows
             } else {
                 existing.concat(&rows)?
             };
-            self.catalog.replace_aux(target, merged)
+            cat.replace_aux(target, merged)
         }
-    }
-
-    /// Map a row (possibly with an explicit column list) onto the target
-    /// schema order, filling unmentioned columns with NULL.
-    fn arrange_row(
-        &self,
-        schema: &Schema,
-        columns: Option<&[String]>,
-        values: Vec<Value>,
-    ) -> Result<Vec<Value>> {
-        match columns {
-            None => {
-                if values.len() != schema.len() {
-                    return Err(MosaicError::Execution(format!(
-                        "INSERT arity {} != table arity {}",
-                        values.len(),
-                        schema.len()
-                    )));
-                }
-                Ok(values)
-            }
-            Some(cols) => {
-                if values.len() != cols.len() {
-                    return Err(MosaicError::Execution(format!(
-                        "INSERT arity {} != column list arity {}",
-                        values.len(),
-                        cols.len()
-                    )));
-                }
-                let mut row = vec![Value::Null; schema.len()];
-                for (c, v) in cols.iter().zip(values) {
-                    row[schema.index_of(c)?] = v;
-                }
-                Ok(row)
-            }
-        }
-    }
-
-    fn coerce_to_sample_schema(&self, sample: &str, rows: Table) -> Result<Table> {
-        let s = self
-            .catalog
-            .sample(sample)
-            .ok_or_else(|| MosaicError::Catalog(format!("unknown sample {sample}")))?;
-        let schema = Arc::clone(s.data.schema());
-        let mut b = TableBuilder::with_capacity(Arc::clone(&schema), rows.num_rows());
-        // Reorder incoming columns by name.
-        let mapping: Vec<usize> = schema
-            .fields()
-            .iter()
-            .map(|f| rows.schema().index_of(&f.name))
-            .collect::<mosaic_storage::Result<_>>()?;
-        for r in 0..rows.num_rows() {
-            b.push_row(mapping.iter().map(|&c| rows.value(r, c)).collect())?;
-        }
-        Ok(b.finish())
     }
 
     // ---- SELECT dispatch ----
 
-    fn select(&mut self, stmt: SelectStmt) -> Result<QueryResult> {
+    /// Run one SELECT through the morsel-driven executor: the prepared
+    /// plan when `plans` carries one, a freshly lowered plan otherwise.
+    fn run_select(
+        &self,
+        stmt: &SelectStmt,
+        table: &Table,
+        weights: Option<&[f64]>,
+        threads: usize,
+        plan: Option<&PhysicalPlan>,
+        params: &[Value],
+    ) -> Result<Table> {
+        match plan {
+            Some(p) => {
+                if let Some(w) = weights {
+                    if w.len() != table.num_rows() {
+                        return Err(MosaicError::Execution(format!(
+                            "weight vector length {} != table rows {}",
+                            w.len(),
+                            table.num_rows()
+                        )));
+                    }
+                }
+                p.execute_capped(table, weights, params, threads)
+            }
+            None => run_select_parallel(stmt, table, weights, threads),
+        }
+    }
+
+    pub(crate) fn select(
+        &self,
+        cat: &Catalog,
+        opts: &EngineOptions,
+        stmt: &SelectStmt,
+        plans: QueryPlans<'_>,
+    ) -> Result<QueryResult> {
+        if plans.plan.is_none() && plans.inner_plan.is_none() {
+            let n = stmt.param_count();
+            if n > 0 {
+                return Err(MosaicError::Param(format!(
+                    "statement expects {n} parameter(s); use Session::prepare / execute_prepared"
+                )));
+            }
+        }
+        let threads = opts.parallelism;
         let Some(from) = stmt.from.clone() else {
             // SELECT of scalars (no FROM).
             let one_row = Table::new(
@@ -466,34 +631,39 @@ impl MosaicDb {
                 .filter(|i| !matches!(i, SelectItem::Wildcard))
                 .cloned()
                 .collect();
-            let stmt2 = SelectStmt { items, ..stmt };
-            let table = self.run_select(&stmt2, &one_row, None)?;
+            let stmt2 = SelectStmt {
+                items,
+                ..stmt.clone()
+            };
+            let table =
+                self.run_select(&stmt2, &one_row, None, threads, plans.plan, plans.params)?;
             return Ok(QueryResult {
                 table,
                 visibility: None,
                 notes: Vec::new(),
             });
         };
-        if self.catalog.population(&from).is_some() {
-            return self.query_population(&from, &stmt);
+        if cat.population(&from).is_some() {
+            return self.query_population(cat, opts, plans, &from, stmt);
         }
         if stmt.visibility.is_some() {
             return Err(MosaicError::Unsupported(
                 "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only".into(),
             ));
         }
-        if let Some(t) = self.catalog.aux(&from) {
-            let table = self.run_select(&stmt, &t.clone(), None)?;
+        if let Some(t) = cat.aux(&from) {
+            let table =
+                self.run_select(stmt, &t.clone(), None, threads, plans.plan, plans.params)?;
             return Ok(QueryResult {
                 table,
                 visibility: None,
                 notes: Vec::new(),
             });
         }
-        if let Some(s) = self.catalog.sample(&from) {
+        if let Some(s) = cat.sample(&from) {
             // Expose the engine-managed weights as a `weight` column.
             let table = table_with_weight_column(&s.data, &s.weights)?;
-            let table = self.run_select(&stmt, &table, None)?;
+            let table = self.run_select(stmt, &table, None, threads, plans.plan, plans.params)?;
             return Ok(QueryResult {
                 table,
                 visibility: None,
@@ -505,14 +675,17 @@ impl MosaicDb {
 
     // ---- population queries (paper §4) ----
 
-    fn query_population(&mut self, pop_name: &str, stmt: &SelectStmt) -> Result<QueryResult> {
-        let visibility = stmt.visibility.unwrap_or(self.options.default_visibility);
-        let pop = self
-            .catalog
-            .population(pop_name)
-            .expect("caller checked")
-            .clone();
-        let (sample, view_predicate) = self.choose_sample(&pop)?;
+    fn query_population(
+        &self,
+        cat: &Catalog,
+        opts: &EngineOptions,
+        plans: QueryPlans<'_>,
+        pop_name: &str,
+        stmt: &SelectStmt,
+    ) -> Result<QueryResult> {
+        let visibility = stmt.visibility.unwrap_or(opts.default_visibility);
+        let pop = cat.population(pop_name).expect("caller checked").clone();
+        let (sample, view_predicate) = choose_sample(cat, &pop)?;
         let mut notes = vec![format!(
             "population {} via sample {} ({} rows), visibility {}",
             pop.name,
@@ -520,21 +693,36 @@ impl MosaicDb {
             sample.len(),
             visibility
         )];
+        let threads = opts.parallelism;
         let table = match visibility {
             Visibility::Closed => {
                 // LAV-style: samples used as-is, no debiasing.
                 let data = apply_view(&sample.data, view_predicate.as_ref())?;
-                self.run_select(stmt, &data, None)?
+                self.run_select(stmt, &data, None, threads, plans.plan, plans.params)?
             }
             Visibility::SemiOpen => {
                 let (data, weights, mut w_notes) =
-                    self.semi_open_weights(&pop, &sample, view_predicate.as_ref())?;
+                    semi_open_weights(cat, opts, &pop, &sample, view_predicate.as_ref())?;
                 notes.append(&mut w_notes);
-                self.run_select(stmt, &data, Some(&weights))?
+                self.run_select(
+                    stmt,
+                    &data,
+                    Some(&weights),
+                    threads,
+                    plans.plan,
+                    plans.params,
+                )?
             }
             Visibility::Open => {
-                let (table, mut o_notes) =
-                    self.open_answer(&pop, &sample, view_predicate.as_ref(), stmt)?;
+                let (table, mut o_notes) = self.open_answer(
+                    cat,
+                    opts,
+                    plans,
+                    &pop,
+                    &sample,
+                    view_predicate.as_ref(),
+                    stmt,
+                )?;
                 notes.append(&mut o_notes);
                 table
             }
@@ -546,154 +734,16 @@ impl MosaicDb {
         })
     }
 
-    /// Pick "a single, optimal sample" (paper §4 assumption 2): prefer
-    /// samples declared on the query population, falling back to the GP's
-    /// samples (with the population's defining predicate as a view);
-    /// largest sample wins.
-    fn choose_sample(&self, pop: &Population) -> Result<(Sample, Option<Expr>)> {
-        let own: Vec<&Sample> = self.catalog.samples_for(&pop.name);
-        if let Some(best) = own.iter().max_by_key(|s| s.len()) {
-            if !best.is_empty() {
-                return Ok(((*best).clone(), None));
-            }
-        }
-        if let Some((gp, pred)) = &pop.source {
-            let gp_samples = self.catalog.samples_for(gp);
-            if let Some(best) = gp_samples.iter().max_by_key(|s| s.len()) {
-                if !best.is_empty() {
-                    return Ok(((*best).clone(), pred.clone()));
-                }
-            }
-        }
-        Err(MosaicError::Execution(format!(
-            "no non-empty sample available for population {}",
-            pop.name
-        )))
-    }
-
-    /// SEMI-OPEN weighting (paper §4.1): inverse-probability weights when
-    /// the mechanism is known, IPF against the metadata otherwise.
-    /// Returns the (possibly view-filtered) sample data and its weights.
-    fn semi_open_weights(
-        &self,
-        pop: &Population,
-        sample: &Sample,
-        view: Option<&Expr>,
-    ) -> Result<(Table, Vec<f64>, Vec<String>)> {
-        let mut notes = Vec::new();
-        if let Some(mechanism) = &sample.mechanism {
-            // Known mechanism: weight = 1 / Pr_S(t).
-            let weights = self.mechanism_weights(sample, mechanism, &mut notes)?;
-            let (data, weights) = apply_view_weighted(&sample.data, &weights, view)?;
-            return Ok((data, weights, notes));
-        }
-        // Unknown mechanism: IPF. Prefer metadata on the query population
-        // (reweight the view directly — the more accurate bottom path of
-        // Fig. 3); otherwise reweight to the GP and treat the population
-        // as a view (left path).
-        let own_meta = self.catalog.metadata_for(&pop.name);
-        if !own_meta.is_empty() {
-            let (data, init) = apply_view_weighted(&sample.data, &sample.weights, view)?;
-            let marginals: Vec<Marginal> = own_meta.iter().map(|m| m.marginal.clone()).collect();
-            let ipf = Ipf::new(&data, &marginals, &self.options.binners)?;
-            let (weights, report) = ipf.fit(Some(&init), &self.options.ipf);
-            notes.push(format!(
-                "IPF vs {} marginal(s) of {}: {} iterations, max rel err {:.2e}{}",
-                marginals.len(),
-                pop.name,
-                report.iterations,
-                report.max_rel_error,
-                if report.converged {
-                    ""
-                } else {
-                    " (not converged)"
-                },
-            ));
-            return Ok((data, weights, notes));
-        }
-        if let Some((gp, _)) = &pop.source {
-            let gp_meta = self.catalog.metadata_for(gp);
-            if !gp_meta.is_empty() {
-                let marginals: Vec<Marginal> = gp_meta.iter().map(|m| m.marginal.clone()).collect();
-                let ipf = Ipf::new(&sample.data, &marginals, &self.options.binners)?;
-                let (weights, report) = ipf.fit(Some(&sample.weights), &self.options.ipf);
-                notes.push(format!(
-                    "IPF vs {} marginal(s) of GP {gp}: {} iterations, max rel err {:.2e}",
-                    marginals.len(),
-                    report.iterations,
-                    report.max_rel_error
-                ));
-                let (data, weights) = apply_view_weighted(&sample.data, &weights, view)?;
-                return Ok((data, weights, notes));
-            }
-        }
-        Err(MosaicError::Execution(format!(
-            "SEMI-OPEN query over {} needs either a known sampling mechanism or population metadata (CREATE METADATA …)",
-            pop.name
-        )))
-    }
-
-    fn mechanism_weights(
-        &self,
-        sample: &Sample,
-        mechanism: &Mechanism,
-        notes: &mut Vec<String>,
-    ) -> Result<Vec<f64>> {
-        let n = sample.len();
-        match mechanism {
-            Mechanism::Uniform { percent } => {
-                let w = 100.0 / percent;
-                notes.push(format!(
-                    "known UNIFORM mechanism: inverse-probability weight {w:.3}"
-                ));
-                Ok(vec![w; n])
-            }
-            Mechanism::Stratified { attr, percent } => {
-                // Use a 1-D marginal over the stratification attribute to
-                // compute N_h / n_h; fall back to 100/percent.
-                let meta = self
-                    .catalog
-                    .metadata_for(&sample.population)
-                    .into_iter()
-                    .find(|m| m.marginal.dim() == 1 && m.marginal.covers(attr));
-                let col = sample.data.column_by_name(attr)?;
-                match meta {
-                    Some(m) => {
-                        let mut counts: HashMap<Value, f64> = HashMap::new();
-                        for v in col.iter() {
-                            *counts.entry(v).or_insert(0.0) += 1.0;
-                        }
-                        let mut weights = Vec::with_capacity(n);
-                        for row in 0..n {
-                            let v = col.value(row);
-                            let n_h = counts.get(&v).copied().unwrap_or(1.0);
-                            let cap_n_h = m.marginal.get(&[v]).unwrap_or(0.0);
-                            weights.push(if cap_n_h > 0.0 { cap_n_h / n_h } else { 0.0 });
-                        }
-                        notes.push(format!(
-                            "known STRATIFIED mechanism on {attr}: per-stratum N_h/n_h from metadata {}",
-                            m.name
-                        ));
-                        Ok(weights)
-                    }
-                    None => {
-                        let w = 100.0 / percent;
-                        notes.push(format!(
-                            "known STRATIFIED mechanism on {attr} but no marginal over it; falling back to uniform weight {w:.3}"
-                        ));
-                        Ok(vec![w; n])
-                    }
-                }
-            }
-        }
-    }
-
     /// OPEN answering (paper §4.2, §5.3 protocol): train a generative
     /// model, draw `num_generated` samples, answer the query on each,
     /// keep groups present in every answer, average the aggregates, and
     /// uniformly reweight to the population size implied by the metadata.
+    #[allow(clippy::too_many_arguments)]
     fn open_answer(
-        &mut self,
+        &self,
+        cat: &Catalog,
+        opts: &EngineOptions,
+        plans: QueryPlans<'_>,
         pop: &Population,
         sample: &Sample,
         view: Option<&Expr>,
@@ -702,11 +752,11 @@ impl MosaicDb {
         let mut notes = Vec::new();
         // Metadata: prefer the query population's, else the GP's.
         let (marginals, meta_is_gp): (Vec<Marginal>, bool) = {
-            let own = self.catalog.metadata_for(&pop.name);
+            let own = cat.metadata_for(&pop.name);
             if !own.is_empty() {
                 (own.iter().map(|m| m.marginal.clone()).collect(), false)
             } else if let Some((gp, _)) = &pop.source {
-                let m = self.catalog.metadata_for(gp);
+                let m = cat.metadata_for(gp);
                 if m.is_empty() {
                     return Err(MosaicError::Execution(format!(
                         "OPEN query over {} requires population metadata",
@@ -735,46 +785,60 @@ impl MosaicDb {
             ));
         }
         let pop_size = marginals.iter().map(|m| m.total()).fold(0.0f64, f64::max);
+        // The cache key covers the backend *configuration*, not just its
+        // kind: sessions overriding the OPEN backend must not be handed
+        // a model fitted under someone else's hyper-parameters.
         let cache_key = format!(
-            "{}|{}",
+            "{}|{}|{:016x}",
             pop.name.to_ascii_lowercase(),
-            self.options.open.backend.id()
+            opts.open.backend.id(),
+            backend_fingerprint(opts)
         );
-        let epoch = self.catalog.epoch;
-        let mut cache = self.model_cache.lock();
-        let needs_fit = !matches!(cache.get(&cache_key), Some((e, _)) if *e == epoch);
-        if needs_fit {
-            let mut model: Box<dyn GenerativeModel> = match &self.options.open.backend {
-                OpenBackend::Swg(cfg) => Box::new(SwgModel::new(cfg.clone())),
-                OpenBackend::BayesNet(cfg) => Box::new(BnModel::new(cfg.clone())),
-            };
-            // Explicit backends want IPF weights; compute them when
-            // possible (ignore failure: marginals may not be IPF-able).
-            let ipf_weights = Ipf::new(&train_data, &marginals, &self.options.binners)
-                .map(|ipf| ipf.fit(Some(&train_init), &self.options.ipf).0)
-                .unwrap_or_else(|_| train_init.clone());
-            model.fit(&train_data, &ipf_weights, &marginals)?;
-            notes.push(format!(
-                "trained {} on {} rows with {} marginal(s)",
-                model.name(),
-                train_data.num_rows(),
-                marginals.len()
-            ));
-            cache.insert(cache_key.clone(), (epoch, model));
-        } else {
-            notes.push("generative model cache hit".into());
-        }
-        let (_, model) = cache.get(&cache_key).expect("just inserted");
+        let epoch = cat.epoch;
+        let model: Arc<dyn GenerativeModel> = {
+            let mut cache = self.model_cache.lock();
+            match cache.get(&cache_key) {
+                Some((e, m)) if *e == epoch => {
+                    notes.push("generative model cache hit".into());
+                    Arc::clone(m)
+                }
+                _ => {
+                    let mut model: Box<dyn GenerativeModel> = match &opts.open.backend {
+                        OpenBackend::Swg(cfg) => Box::new(SwgModel::new(cfg.clone())),
+                        OpenBackend::BayesNet(cfg) => Box::new(BnModel::new(cfg.clone())),
+                    };
+                    // Explicit backends want IPF weights; compute them when
+                    // possible (ignore failure: marginals may not be IPF-able).
+                    let ipf_weights = Ipf::new(&train_data, &marginals, &opts.binners)
+                        .map(|ipf| ipf.fit(Some(&train_init), &opts.ipf).0)
+                        .unwrap_or_else(|_| train_init.clone());
+                    model.fit(&train_data, &ipf_weights, &marginals)?;
+                    notes.push(format!(
+                        "trained {} on {} rows with {} marginal(s)",
+                        model.name(),
+                        train_data.num_rows(),
+                        marginals.len()
+                    ));
+                    let model: Arc<dyn GenerativeModel> = Arc::from(model);
+                    // Evict models fitted at older catalog epochs: the
+                    // epoch only grows, so they can never be served
+                    // again — without this, every DDL statement strands
+                    // its era's fitted models in the map forever.
+                    cache.retain(|_, (e, _)| *e == epoch);
+                    cache.insert(cache_key, (epoch, Arc::clone(&model)));
+                    model
+                }
+            }
+        };
         let model: &dyn GenerativeModel = model.as_ref();
 
-        let per_sample = self
-            .options
+        let per_sample = opts
             .open
             .rows_per_sample
             .unwrap_or_else(|| train_data.num_rows());
-        let runs = self.options.open.num_generated.max(1);
+        let runs = opts.open.num_generated.max(1);
         let has_agg = crate::plan::has_aggregate_shape(stmt);
-        let base_seed = self.options.open.seed;
+        let base_seed = opts.open.seed;
         let run_seed = |run: usize| {
             base_seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -785,11 +849,15 @@ impl MosaicDb {
         // replicate hands the whole budget to the morsel executor. Either
         // way at most `parallelism` threads are busy — the replicate pool
         // and the executor pool never multiply.
-        let parallelism = self.options.parallelism.max(1);
+        let parallelism = opts.parallelism.max(1);
         // One replicate: generate, view-filter, uniformly reweight to the
         // population size, answer the (inner) query. Returns the answer
         // plus the post-view generated row count (for diagnostics).
-        let replicate = |stmt: &SelectStmt, run: usize, threads: usize| -> Result<(Table, usize)> {
+        let replicate = |stmt: &SelectStmt,
+                         plan: Option<&PhysicalPlan>,
+                         run: usize,
+                         threads: usize|
+         -> Result<(Table, usize)> {
             let generated = model.generate(per_sample, run_seed(run))?;
             let generated = if meta_is_gp {
                 apply_view(&generated, view)?
@@ -803,12 +871,20 @@ impl MosaicDb {
             };
             let weights = vec![weight; generated.num_rows()];
             let rows = generated.num_rows();
-            run_select_parallel(stmt, &generated, Some(&weights), threads).map(|t| (t, rows))
+            self.run_select(
+                stmt,
+                &generated,
+                Some(&weights),
+                threads,
+                plan,
+                plans.params,
+            )
+            .map(|t| (t, rows))
         };
         if !has_agg {
             // Non-aggregate OPEN query: a single generated sample IS the
             // answer (a representative population).
-            let (out, rows) = replicate(stmt, 0, parallelism)?;
+            let (out, rows) = replicate(stmt, plans.plan, 0, parallelism)?;
             notes.push(format!(
                 "non-aggregate OPEN query answered from one generated sample of {rows} rows"
             ));
@@ -830,7 +906,7 @@ impl MosaicDb {
         let inner_threads = if workers > 1 { 1 } else { parallelism };
         let per_run: Vec<(Table, usize)> =
             crate::plan::parallel::run_ordered(runs, workers, |run| {
-                replicate(&inner, run, inner_threads)
+                replicate(&inner, plans.inner_plan, run, inner_threads)
             })
             .into_iter()
             .collect::<Result<_>>()?;
@@ -839,9 +915,246 @@ impl MosaicDb {
             runs, per_sample, workers, pop_size
         ));
         let combined = combine_open_runs(&inner, per_run.into_iter().map(|(t, _)| t).collect())?;
-        let combined = apply_order_limit(stmt, combined)?;
+        let combined = apply_order_limit(stmt, combined, plans.params)?;
         Ok((combined, notes))
     }
+}
+
+/// Pick "a single, optimal sample" (paper §4 assumption 2): prefer
+/// samples declared on the query population, falling back to the GP's
+/// samples (with the population's defining predicate as a view);
+/// largest sample wins.
+pub(crate) fn choose_sample(cat: &Catalog, pop: &Population) -> Result<(Sample, Option<Expr>)> {
+    let own: Vec<&Sample> = cat.samples_for(&pop.name);
+    if let Some(best) = own.iter().max_by_key(|s| s.len()) {
+        if !best.is_empty() {
+            return Ok(((*best).clone(), None));
+        }
+    }
+    if let Some((gp, pred)) = &pop.source {
+        let gp_samples = cat.samples_for(gp);
+        if let Some(best) = gp_samples.iter().max_by_key(|s| s.len()) {
+            if !best.is_empty() {
+                return Ok(((*best).clone(), pred.clone()));
+            }
+        }
+    }
+    Err(MosaicError::Execution(format!(
+        "no non-empty sample available for population {}",
+        pop.name
+    )))
+}
+
+/// SEMI-OPEN weighting (paper §4.1): inverse-probability weights when
+/// the mechanism is known, IPF against the metadata otherwise.
+/// Returns the (possibly view-filtered) sample data and its weights.
+fn semi_open_weights(
+    cat: &Catalog,
+    opts: &EngineOptions,
+    pop: &Population,
+    sample: &Sample,
+    view: Option<&Expr>,
+) -> Result<(Table, Vec<f64>, Vec<String>)> {
+    let mut notes = Vec::new();
+    if let Some(mechanism) = &sample.mechanism {
+        // Known mechanism: weight = 1 / Pr_S(t).
+        let weights = mechanism_weights(cat, sample, mechanism, &mut notes)?;
+        let (data, weights) = apply_view_weighted(&sample.data, &weights, view)?;
+        return Ok((data, weights, notes));
+    }
+    // Unknown mechanism: IPF. Prefer metadata on the query population
+    // (reweight the view directly — the more accurate bottom path of
+    // Fig. 3); otherwise reweight to the GP and treat the population
+    // as a view (left path).
+    let own_meta = cat.metadata_for(&pop.name);
+    if !own_meta.is_empty() {
+        let (data, init) = apply_view_weighted(&sample.data, &sample.weights, view)?;
+        let marginals: Vec<Marginal> = own_meta.iter().map(|m| m.marginal.clone()).collect();
+        let ipf = Ipf::new(&data, &marginals, &opts.binners)?;
+        let (weights, report) = ipf.fit(Some(&init), &opts.ipf);
+        notes.push(format!(
+            "IPF vs {} marginal(s) of {}: {} iterations, max rel err {:.2e}{}",
+            marginals.len(),
+            pop.name,
+            report.iterations,
+            report.max_rel_error,
+            if report.converged {
+                ""
+            } else {
+                " (not converged)"
+            },
+        ));
+        return Ok((data, weights, notes));
+    }
+    if let Some((gp, _)) = &pop.source {
+        let gp_meta = cat.metadata_for(gp);
+        if !gp_meta.is_empty() {
+            let marginals: Vec<Marginal> = gp_meta.iter().map(|m| m.marginal.clone()).collect();
+            let ipf = Ipf::new(&sample.data, &marginals, &opts.binners)?;
+            let (weights, report) = ipf.fit(Some(&sample.weights), &opts.ipf);
+            notes.push(format!(
+                "IPF vs {} marginal(s) of GP {gp}: {} iterations, max rel err {:.2e}",
+                marginals.len(),
+                report.iterations,
+                report.max_rel_error
+            ));
+            let (data, weights) = apply_view_weighted(&sample.data, &weights, view)?;
+            return Ok((data, weights, notes));
+        }
+    }
+    Err(MosaicError::Execution(format!(
+        "SEMI-OPEN query over {} needs either a known sampling mechanism or population metadata (CREATE METADATA …)",
+        pop.name
+    )))
+}
+
+fn mechanism_weights(
+    cat: &Catalog,
+    sample: &Sample,
+    mechanism: &Mechanism,
+    notes: &mut Vec<String>,
+) -> Result<Vec<f64>> {
+    let n = sample.len();
+    match mechanism {
+        Mechanism::Uniform { percent } => {
+            let w = 100.0 / percent;
+            notes.push(format!(
+                "known UNIFORM mechanism: inverse-probability weight {w:.3}"
+            ));
+            Ok(vec![w; n])
+        }
+        Mechanism::Stratified { attr, percent } => {
+            // Use a 1-D marginal over the stratification attribute to
+            // compute N_h / n_h; fall back to 100/percent.
+            let meta = cat
+                .metadata_for(&sample.population)
+                .into_iter()
+                .find(|m| m.marginal.dim() == 1 && m.marginal.covers(attr));
+            let col = sample.data.column_by_name(attr)?;
+            match meta {
+                Some(m) => {
+                    let mut counts: HashMap<Value, f64> = HashMap::new();
+                    for v in col.iter() {
+                        *counts.entry(v).or_insert(0.0) += 1.0;
+                    }
+                    let mut weights = Vec::with_capacity(n);
+                    for row in 0..n {
+                        let v = col.value(row);
+                        let n_h = counts.get(&v).copied().unwrap_or(1.0);
+                        let cap_n_h = m.marginal.get(&[v]).unwrap_or(0.0);
+                        weights.push(if cap_n_h > 0.0 { cap_n_h / n_h } else { 0.0 });
+                    }
+                    notes.push(format!(
+                        "known STRATIFIED mechanism on {attr}: per-stratum N_h/n_h from metadata {}",
+                        m.name
+                    ));
+                    Ok(weights)
+                }
+                None => {
+                    let w = 100.0 / percent;
+                    notes.push(format!(
+                        "known STRATIFIED mechanism on {attr} but no marginal over it; falling back to uniform weight {w:.3}"
+                    ));
+                    Ok(vec![w; n])
+                }
+            }
+        }
+    }
+}
+
+/// EXPLAIN needs the same mechanism-vs-IPF decision the SEMI-OPEN
+/// pipeline makes; expose a description of it without computing weights.
+pub(crate) fn describe_semi_open(cat: &Catalog, pop: &Population, sample: &Sample) -> String {
+    if let Some(mechanism) = &sample.mechanism {
+        return match mechanism {
+            Mechanism::Uniform { percent } => {
+                format!("inverse-probability weights (known UNIFORM mechanism, {percent}%)")
+            }
+            Mechanism::Stratified { attr, percent } => format!(
+                "inverse-probability weights (known STRATIFIED mechanism on {attr}, {percent}%)"
+            ),
+        };
+    }
+    let own_meta = cat.metadata_for(&pop.name);
+    if !own_meta.is_empty() {
+        return format!(
+            "IPF reweighting against {} marginal(s) of {}",
+            own_meta.len(),
+            pop.name
+        );
+    }
+    if let Some((gp, _)) = &pop.source {
+        let gp_meta = cat.metadata_for(gp);
+        if !gp_meta.is_empty() {
+            return format!(
+                "IPF reweighting against {} marginal(s) of GP {gp}",
+                gp_meta.len()
+            );
+        }
+    }
+    "no known mechanism or metadata — execution would fail".into()
+}
+
+/// Hash the parts of the options that shape a fitted model (backend
+/// hyper-parameters and IPF settings), for the model-cache key.
+fn backend_fingerprint(opts: &EngineOptions) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{:?}|{:?}", opts.open.backend, opts.ipf).hash(&mut h);
+    h.finish()
+}
+
+/// Map a row (possibly with an explicit column list) onto the target
+/// schema order, filling unmentioned columns with NULL.
+fn arrange_row(
+    schema: &Schema,
+    columns: Option<&[String]>,
+    values: Vec<Value>,
+) -> Result<Vec<Value>> {
+    match columns {
+        None => {
+            if values.len() != schema.len() {
+                return Err(MosaicError::Execution(format!(
+                    "INSERT arity {} != table arity {}",
+                    values.len(),
+                    schema.len()
+                )));
+            }
+            Ok(values)
+        }
+        Some(cols) => {
+            if values.len() != cols.len() {
+                return Err(MosaicError::Execution(format!(
+                    "INSERT arity {} != column list arity {}",
+                    values.len(),
+                    cols.len()
+                )));
+            }
+            let mut row = vec![Value::Null; schema.len()];
+            for (c, v) in cols.iter().zip(values) {
+                row[schema.index_of(c)?] = v;
+            }
+            Ok(row)
+        }
+    }
+}
+
+fn coerce_to_sample_schema(cat: &Catalog, sample: &str, rows: Table) -> Result<Table> {
+    let s = cat
+        .sample(sample)
+        .ok_or_else(|| MosaicError::Catalog(format!("unknown sample {sample}")))?;
+    let schema = Arc::clone(s.data.schema());
+    let mut b = TableBuilder::with_capacity(Arc::clone(&schema), rows.num_rows());
+    // Reorder incoming columns by name.
+    let mapping: Vec<usize> = schema
+        .fields()
+        .iter()
+        .map(|f| rows.schema().index_of(&f.name))
+        .collect::<mosaic_storage::Result<_>>()?;
+    for r in 0..rows.num_rows() {
+        b.push_row(mapping.iter().map(|&c| rows.value(r, c)).collect())?;
+    }
+    Ok(b.finish())
 }
 
 /// Filter a table by an optional predicate.
@@ -957,4 +1270,119 @@ fn combine_open_runs(stmt: &SelectStmt, runs: Vec<Table>) -> Result<Table> {
         b.push_row(coerced)?;
     }
     Ok(b.finish())
+}
+
+/// The single-owner Mosaic database handle: one [`MosaicEngine`] plus
+/// one [`Session`], behind the original `&mut self` API.
+///
+/// This is a thin compatibility wrapper — `execute` simply forwards to
+/// the session. New code that needs concurrency, prepared statements,
+/// or per-session overrides should use [`MosaicEngine::session`]
+/// directly; `MosaicDb::session()` opens additional sessions onto the
+/// same engine.
+///
+/// See the crate docs for an end-to-end example. All statement execution
+/// is deterministic given `EngineOptions::open.seed`.
+pub struct MosaicDb {
+    session: Session,
+}
+
+impl Default for MosaicDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MosaicDb {
+    /// New engine with default options (SEMI-OPEN default visibility,
+    /// M-SWG OPEN backend).
+    pub fn new() -> MosaicDb {
+        Self::with_options(EngineOptions::default())
+    }
+
+    /// New engine with explicit options.
+    pub fn with_options(options: EngineOptions) -> MosaicDb {
+        let engine = Arc::new(MosaicEngine::with_options(options));
+        MosaicDb {
+            session: engine.session(),
+        }
+    }
+
+    /// The shared engine under this handle (share it across threads
+    /// with `Arc::clone`, then open sessions on it).
+    pub fn engine(&self) -> &Arc<MosaicEngine> {
+        self.session.engine()
+    }
+
+    /// Open a new independent session on the same engine.
+    pub fn session(&self) -> Session {
+        self.session.engine().session()
+    }
+
+    /// The catalog (read access for inspection). The returned guard
+    /// blocks writers while held.
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.engine().catalog()
+    }
+
+    /// Mutable engine options (a write guard — derefs to
+    /// [`EngineOptions`]).
+    pub fn options_mut(&mut self) -> RwLockWriteGuard<'_, EngineOptions> {
+        self.engine().options_write()
+    }
+
+    /// Register a binner for a continuous attribute (shared by metadata
+    /// construction and IPF).
+    pub fn register_binner(&mut self, attr: &str, binner: Binner) {
+        self.engine().register_binner(attr, binner);
+    }
+
+    /// Execute a script of semicolon-separated statements; returns the
+    /// result of the last SELECT (or an empty result).
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        self.session.execute(sql)
+    }
+
+    /// Execute a script and return just the last result table.
+    pub fn query(&mut self, sql: &str) -> Result<Table> {
+        self.execute(sql).map(|r| r.table)
+    }
+
+    /// Prepare a single SELECT: parse once, bind names against the
+    /// catalog, lower and cache the physical plan (see
+    /// [`Session::prepare`]).
+    pub fn prepare(&self, sql: &str) -> Result<crate::session::Prepared> {
+        self.session.prepare(sql)
+    }
+
+    /// Execute a prepared statement with positional-parameter values
+    /// (see [`Session::execute_prepared`]).
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &crate::session::Prepared,
+        params: &[Value],
+    ) -> Result<QueryResult> {
+        self.session.execute_prepared(prepared, params)
+    }
+
+    /// Ingest rows into a sample programmatically (the paper's "...Ingest
+    /// Yahoo sample to YahooMigrants" step).
+    pub fn ingest_sample(&mut self, sample: &str, rows: Table) -> Result<()> {
+        self.engine().ingest_sample(sample, rows)
+    }
+
+    /// Register (or replace) an auxiliary table programmatically.
+    pub fn register_table(&mut self, name: &str, table: Table) -> Result<()> {
+        self.engine().register_table(name, table)
+    }
+
+    /// Attach a marginal to a population programmatically.
+    pub fn add_metadata(&mut self, name: &str, population: &str, marginal: Marginal) -> Result<()> {
+        self.engine().add_metadata(name, population, marginal)
+    }
+
+    /// Overwrite a sample's initial weights (paper §3.2).
+    pub fn set_sample_weights(&mut self, sample: &str, weights: Vec<f64>) -> Result<()> {
+        self.engine().set_sample_weights(sample, weights)
+    }
 }

@@ -17,6 +17,12 @@ pub enum MosaicError {
     Unsupported(String),
     /// Query planning/execution error.
     Execution(String),
+    /// Prepare-time binding failure: the statement references a relation,
+    /// column, or shape that does not exist in the catalog.
+    Bind(String),
+    /// Positional-parameter mismatch: wrong parameter count, or a `?`
+    /// placeholder evaluated without a bound value.
+    Param(String),
     /// M-SWG training/generation failure.
     Swg(mosaic_swg::SwgError),
     /// Bayesian-network failure.
@@ -31,6 +37,8 @@ impl fmt::Display for MosaicError {
             MosaicError::Catalog(m) => write!(f, "catalog error: {m}"),
             MosaicError::Unsupported(m) => write!(f, "unsupported: {m}"),
             MosaicError::Execution(m) => write!(f, "execution error: {m}"),
+            MosaicError::Bind(m) => write!(f, "bind error: {m}"),
+            MosaicError::Param(m) => write!(f, "parameter error: {m}"),
             MosaicError::Swg(e) => write!(f, "M-SWG error: {e}"),
             MosaicError::Bn(e) => write!(f, "Bayesian network error: {e}"),
         }

@@ -73,6 +73,10 @@ pub fn eval_predicate_rowwise(expr: &Expr, table: &Table) -> Result<Bitmap> {
 pub(crate) fn eval_row(expr: &Expr, table: Option<&Table>, row: usize) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param(i) => Err(MosaicError::Param(format!(
+            "unbound parameter ?{}: supply values through a prepared statement",
+            i + 1
+        ))),
         Expr::Column(name) => {
             let t = table
                 .ok_or_else(|| MosaicError::Execution(format!("column {name} not allowed here")))?;

@@ -322,9 +322,14 @@ fn compute_aggregate(
 /// Apply a statement's ORDER BY and LIMIT to an already-computed result
 /// table (used by the OPEN-query combiner, which evaluates the aggregate
 /// body per generated sample and orders only the merged result).
-pub(crate) fn apply_order_limit(stmt: &SelectStmt, table: Table) -> Result<Table> {
+pub(crate) fn apply_order_limit(
+    stmt: &SelectStmt,
+    table: Table,
+    params: &[mosaic_storage::Value],
+) -> Result<Table> {
     let ctx = ExecContext {
         filtered_input: None,
+        params,
     };
     let mut batch = plan::Batch {
         table,

@@ -1,0 +1,205 @@
+//! `EXPLAIN <select>` rendering: the bound physical plan — operators,
+//! morsel count, thread budget, and the visibility pipeline the engine
+//! would run — as lines of a one-column result table.
+//!
+//! EXPLAIN binds against the live catalog exactly like `prepare` does
+//! (it resolves the population's sample, the mechanism-vs-IPF decision,
+//! and the OPEN replicate protocol) but executes nothing.
+
+use mosaic_sql::{SelectItem, SelectStmt, Visibility};
+
+use crate::catalog::Catalog;
+use crate::engine::{choose_sample, describe_semi_open, EngineOptions};
+use crate::plan::parallel::MORSEL_ROWS;
+use crate::plan::{has_aggregate_shape, lower, PhysicalPlan};
+use crate::{MosaicError, Result};
+
+/// Render the EXPLAIN lines for one SELECT.
+pub(crate) fn render(
+    cat: &Catalog,
+    opts: &EngineOptions,
+    stmt: &SelectStmt,
+) -> Result<Vec<String>> {
+    let mut lines = Vec::new();
+    match stmt.from.as_deref() {
+        None => {
+            let items: Vec<SelectItem> = stmt
+                .items
+                .iter()
+                .filter(|i| !matches!(i, SelectItem::Wildcard))
+                .cloned()
+                .collect();
+            let stmt2 = SelectStmt {
+                items,
+                ..stmt.clone()
+            };
+            lines.push("SELECT (scalar, no FROM)".to_string());
+            push_plan(&mut lines, &lower(&stmt2, false), "<one row>", 1);
+        }
+        Some(from) => {
+            if let Some(pop) = cat.population(from) {
+                let vis = stmt.visibility.unwrap_or(opts.default_visibility);
+                let (sample, view) = choose_sample(cat, pop)?;
+                lines.push(format!("SELECT {vis} FROM population {}", pop.name));
+                lines.push(format!(
+                    "  source: sample {} ({} rows{})",
+                    sample.name,
+                    sample.len(),
+                    match &view {
+                        Some(pred) => format!(", view filter: {}", pred.default_name()),
+                        None => String::new(),
+                    }
+                ));
+                match vis {
+                    Visibility::Closed => lines
+                        .push("  visibility: CLOSED — raw sample scan, no reweighting".to_string()),
+                    Visibility::SemiOpen => lines.push(format!(
+                        "  visibility: SEMI-OPEN — {}",
+                        describe_semi_open(cat, pop, &sample)
+                    )),
+                    Visibility::Open => {
+                        lines.push(format!(
+                            "  visibility: OPEN — {} generative replicate(s), backend {}, seed {}",
+                            opts.open.num_generated.max(1),
+                            opts.open.backend.id(),
+                            opts.open.seed
+                        ));
+                        if has_aggregate_shape(stmt) {
+                            lines.push(
+                                "  combine: keep groups present in every replicate, average \
+                                 aggregates; ORDER BY / LIMIT applied after combining"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                }
+                let weighted = vis != Visibility::Closed;
+                push_plan(
+                    &mut lines,
+                    &lower(stmt, weighted),
+                    &sample.name,
+                    sample.len(),
+                );
+            } else if stmt.visibility.is_some() {
+                return Err(MosaicError::Unsupported(
+                    "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only"
+                        .into(),
+                ));
+            } else if let Some(t) = cat.aux(from) {
+                lines.push(format!("SELECT FROM table {from}"));
+                push_plan(&mut lines, &lower(stmt, false), from, t.num_rows());
+            } else if let Some(s) = cat.sample(from) {
+                lines.push(format!(
+                    "SELECT FROM sample {} (raw scan; engine weights exposed as column `weight`)",
+                    s.name
+                ));
+                push_plan(&mut lines, &lower(stmt, false), &s.name, s.len());
+            } else {
+                return Err(MosaicError::Catalog(format!("unknown relation {from}")));
+            }
+        }
+    }
+    lines.push(format!(
+        "  parallelism: {} worker thread(s)",
+        opts.parallelism
+    ));
+    let params = stmt.param_count();
+    if params > 0 {
+        lines.push(format!("  parameters: {params} positional (?1..?{params})"));
+    }
+    Ok(lines)
+}
+
+/// Append the operator-tree lines: the one-line pipeline, then the scan
+/// with its morsel split, then each operator's description.
+fn push_plan(lines: &mut Vec<String>, plan: &PhysicalPlan, source: &str, rows: usize) {
+    let morsels = rows.div_ceil(MORSEL_ROWS).max(1);
+    lines.push(format!("  plan: {plan}"));
+    lines.push(format!(
+        "    Scan: {source} ({rows} rows, {morsels} morsel(s) of {MORSEL_ROWS} rows)"
+    ));
+    for d in plan.describe_operators() {
+        lines.push(format!("    {d}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MosaicEngine, Visibility};
+    use std::sync::Arc;
+
+    fn lines_of(result: &crate::QueryResult) -> Vec<String> {
+        (0..result.table.num_rows())
+            .map(|r| result.table.value(r, 0).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn explain_aux_table_query() {
+        let engine = Arc::new(MosaicEngine::new());
+        let s = engine.session();
+        s.execute("CREATE TABLE t (k TEXT, v INT); INSERT INTO t VALUES ('a', 1), ('b', 2);")
+            .unwrap();
+        let r = s
+            .execute("EXPLAIN SELECT k, COUNT(*) FROM t WHERE v > 0 GROUP BY k ORDER BY k LIMIT 5")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(text.contains("SELECT FROM table t"), "{text}");
+        assert!(
+            text.contains("Scan → Filter → HashAggregate → Sort → Limit"),
+            "{text}"
+        );
+        assert!(text.contains("Filter: v > 0"), "{text}");
+        assert!(text.contains("2 rows, 1 morsel(s)"), "{text}");
+        assert!(text.contains("parallelism:"), "{text}");
+    }
+
+    #[test]
+    fn explain_population_pipeline_and_params() {
+        let engine = Arc::new(MosaicEngine::new());
+        let s = engine.session();
+        s.execute(
+            "CREATE TABLE Report (city TEXT, n INT);
+             INSERT INTO Report VALUES ('x', 10), ('y', 30);
+             CREATE GLOBAL POPULATION People (city TEXT);
+             CREATE METADATA People_M1 AS (SELECT city, n FROM Report);
+             CREATE SAMPLE S AS (SELECT * FROM People);
+             INSERT INTO S VALUES ('x'), ('y'), ('y');",
+        )
+        .unwrap();
+        // EXPLAIN accepts parameter placeholders without values.
+        let r = s
+            .execute(
+                "EXPLAIN SELECT SEMI-OPEN city, COUNT(*) FROM People WHERE city = ? GROUP BY city",
+            )
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(
+            text.contains("SELECT SEMI-OPEN FROM population People"),
+            "{text}"
+        );
+        assert!(
+            text.contains("IPF reweighting against 1 marginal(s) of People"),
+            "{text}"
+        );
+        assert!(text.contains("HashAggregate[weighted]"), "{text}");
+        assert!(text.contains("Filter: city = ?1"), "{text}");
+        assert!(text.contains("parameters: 1 positional"), "{text}");
+
+        let r = s
+            .execute("EXPLAIN SELECT OPEN city, COUNT(*) FROM People GROUP BY city")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(text.contains("visibility: OPEN"), "{text}");
+        assert!(text.contains("replicate(s)"), "{text}");
+
+        // CLOSED plans are unweighted.
+        let closed = engine.session().with_default_visibility(Visibility::Closed);
+        let r = closed
+            .execute("EXPLAIN SELECT city, COUNT(*) FROM People GROUP BY city")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(text.contains("CLOSED — raw sample scan"), "{text}");
+        assert!(text.contains("HashAggregate:"), "{text}");
+    }
+}

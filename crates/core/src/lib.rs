@@ -49,6 +49,31 @@
 //!
 //! See `examples/migrants.rs` for the full §2 scenario.
 //!
+//! ## Sessions, prepared statements, EXPLAIN
+//!
+//! [`MosaicDb`] is the single-owner convenience handle; the engine
+//! underneath it is [`MosaicEngine`], which is `Arc`-shareable: its
+//! catalog sits behind a reader–writer lock, so any number of
+//! [`Session`]s execute SELECTs concurrently while DDL/DML serializes.
+//! Sessions carry per-session overrides (default visibility, seed,
+//! thread cap, OPEN backend) without touching the engine-wide options:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mosaic_core::{MosaicEngine, Value};
+//!
+//! let engine = Arc::new(MosaicEngine::new());
+//! let session = engine.session();
+//! session.execute("CREATE TABLE t (x INT); INSERT INTO t VALUES (1), (2), (3);").unwrap();
+//! // Prepare once (parse + bind + plan), execute many (bind values only).
+//! let prepared = session.prepare("SELECT COUNT(*) FROM t WHERE x >= ?").unwrap();
+//! assert_eq!(session.query_prepared(&prepared, &[Value::Int(2)]).unwrap().value(0, 0), 2i64.into());
+//! assert_eq!(session.query_prepared(&prepared, &[Value::Int(3)]).unwrap().value(0, 0), 1i64.into());
+//! // EXPLAIN renders the bound plan as a result table.
+//! let plan = session.query("EXPLAIN SELECT COUNT(*) FROM t WHERE x >= 2").unwrap();
+//! assert!(plan.num_rows() > 2);
+//! ```
+//!
 //! ## Parallel execution
 //!
 //! Query execution is morsel-driven: scans split into fixed-size morsels
@@ -66,11 +91,13 @@ mod engine;
 mod error;
 mod eval;
 mod exec;
+mod explain;
 mod models;
 pub mod plan;
+mod session;
 
 pub use catalog::{Catalog, Mechanism, MetadataEntry, Population, Sample};
-pub use engine::{EngineOptions, MosaicDb, OpenBackend, OpenOptions, QueryResult};
+pub use engine::{EngineOptions, MosaicDb, MosaicEngine, OpenBackend, OpenOptions, QueryResult};
 pub use error::MosaicError;
 pub use eval::{eval_expr_rowwise, eval_predicate_rowwise, eval_scalar};
 pub use exec::{run_select, run_select_parallel, run_select_rowwise};
@@ -78,6 +105,7 @@ pub use models::{BnModel, GenerativeModel, SwgModel};
 pub use plan::parallel::{default_parallelism, MORSEL_ROWS};
 pub use plan::vector::{eval_expr, eval_predicate};
 pub use plan::{lower, PhysicalOperator, PhysicalPlan};
+pub use session::{Prepared, Session, SessionOptions};
 
 // Re-export the pieces users need to drive the engine programmatically.
 pub use mosaic_sql::{parse, Expr, SelectStmt, Statement, Visibility};

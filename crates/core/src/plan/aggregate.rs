@@ -26,15 +26,17 @@ use crate::plan::vector;
 use crate::{MosaicError, Result};
 
 /// Execute the aggregate shape of a SELECT over an already-filtered
-/// table. `weights` realize the paper's §5.3 weighted-aggregate rewrite.
+/// table. `weights` realize the paper's §5.3 weighted-aggregate rewrite;
+/// `params` bind any positional-parameter placeholders.
 pub(crate) fn execute(
     items: &[SelectItem],
     group_by: &[Expr],
     table: &Table,
     weights: Option<&[f64]>,
+    params: &[Value],
 ) -> Result<Table> {
-    let partial = compute_partial(items, group_by, table, weights).map_err(|(_, e)| e)?;
-    merge_finalize(items, weights.is_some(), &[partial])
+    let partial = compute_partial(items, group_by, table, weights, params).map_err(|(_, e)| e)?;
+    merge_finalize(items, weights.is_some(), &[partial], params)
 }
 
 /// A result whose error carries the rank of the stage that failed
@@ -78,8 +80,18 @@ pub(crate) fn compute_partial(
     group_by: &[Expr],
     table: &Table,
     weights: Option<&[f64]>,
+    params: &[Value],
 ) -> Ranked<MorselPartial> {
     let n = table.num_rows();
+    // Positional parameters bind up front; grouped-projection matching
+    // below compares the *bound* forms, so `GROUP BY x + ?` pairs with
+    // the projection `x + ?` even though the two placeholders carry
+    // different lexical indices.
+    let group_by: Vec<std::borrow::Cow<'_, Expr>> = group_by
+        .iter()
+        .map(|e| super::bind_expr(e, params))
+        .collect::<Result<_>>()
+        .map_err(|e| (0, e))?;
     // 1. Group identification (stage rank 0).
     let (group_ids, rep_rows, key_cols) = if group_by.is_empty() {
         (vec![0u32; n], Vec::new(), Vec::new())
@@ -117,9 +129,10 @@ pub(crate) fn compute_partial(
             }
             SelectItem::Expr { expr, .. } => expr,
         };
+        let expr = super::bind_expr(expr, params).map_err(|e| (rank, e))?;
         if expr.contains_aggregate() {
             let mut base: Vec<(Expr, Vec<Value>)> = Vec::new();
-            collect_aggregates(expr, &mut base).map_err(|e| (rank, e))?;
+            collect_aggregates(&expr, &mut base).map_err(|e| (rank, e))?;
             let mut states = Vec::with_capacity(base.len());
             for (agg_expr, _) in &base {
                 let Expr::Agg { func, arg } = agg_expr else {
@@ -132,15 +145,18 @@ pub(crate) fn compute_partial(
             }
             item_partials.push(ItemPartial::Aggs(states));
         } else {
-            let pos = group_by.iter().position(|g| g == expr).ok_or_else(|| {
-                (
-                    rank,
-                    MosaicError::Execution(format!(
-                        "projection {} is neither an aggregate nor a GROUP BY expression",
-                        expr.default_name()
-                    )),
-                )
-            })?;
+            let pos = group_by
+                .iter()
+                .position(|g| g.as_ref() == expr.as_ref())
+                .ok_or_else(|| {
+                    (
+                        rank,
+                        MosaicError::Execution(format!(
+                            "projection {} is neither an aggregate nor a GROUP BY expression",
+                            expr.default_name()
+                        )),
+                    )
+                })?;
             item_partials.push(ItemPartial::Key(pos));
         }
     }
@@ -158,6 +174,7 @@ pub(crate) fn merge_finalize(
     items: &[SelectItem],
     weighted: bool,
     partials: &[MorselPartial],
+    params: &[Value],
 ) -> Result<Table> {
     // 1. Global group dictionary + per-morsel local→global maps.
     let mut index: HashMap<&[Value], u32> = HashMap::new();
@@ -200,8 +217,11 @@ pub(crate) fn merge_finalize(
                 let SelectItem::Expr { expr, .. } = item else {
                     unreachable!("wildcards were rejected in the partial phase")
                 };
+                // Bind the same way the partial phase did, so the shell
+                // matches the stored (bound) base aggregates.
+                let expr = super::bind_expr(expr, params)?;
                 for (gi, row) in value_rows.iter_mut().enumerate() {
-                    row.push(eval_over_groups(expr, gi, &merged)?);
+                    row.push(eval_over_groups(&expr, gi, &merged)?);
                 }
             }
         }

@@ -23,13 +23,34 @@ pub(crate) mod aggregate;
 pub mod parallel;
 pub mod vector;
 
+use std::borrow::Cow;
 use std::fmt;
 
 use mosaic_sql::{Expr, SelectItem, SelectStmt};
 use mosaic_storage::kernels;
 use mosaic_storage::{Column, ColumnBuilder, DataType, Field, Schema, Table, Value};
 
-use crate::Result;
+use crate::{MosaicError, Result};
+
+/// Bind an expression's positional parameters against the execution's
+/// parameter vector. Parameter-free expressions (the overwhelmingly
+/// common case) are borrowed, not cloned.
+pub(crate) fn bind_expr<'a>(expr: &'a Expr, params: &[Value]) -> Result<Cow<'a, Expr>> {
+    if !expr.has_params() {
+        return Ok(Cow::Borrowed(expr));
+    }
+    expr.bind_params(params)
+        .map(Cow::Owned)
+        .map_err(|i| missing_param(i, params.len()))
+}
+
+/// The error for a `?` placeholder with no bound value.
+pub(crate) fn missing_param(index: usize, supplied: usize) -> MosaicError {
+    MosaicError::Param(format!(
+        "statement references parameter ?{} but only {supplied} value(s) were supplied",
+        index + 1
+    ))
+}
 
 /// The unit of exchange between physical operators: a table plus an
 /// optional weight per row.
@@ -46,12 +67,22 @@ pub struct ExecContext<'a> {
     /// ORDER BY keys that reference source columns dropped by the
     /// projection (non-aggregate queries only).
     pub filtered_input: Option<&'a Table>,
+    /// Positional-parameter values for this execution (empty for
+    /// unprepared statements). Operators bind [`Expr::Param`] nodes
+    /// against this vector before evaluating.
+    pub params: &'a [Value],
 }
 
 /// A vectorized physical operator.
 pub trait PhysicalOperator: Send + Sync {
     /// Operator name for plan rendering.
     fn name(&self) -> &'static str;
+
+    /// One-line operator description for `EXPLAIN` output (name plus its
+    /// bound expressions).
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
 
     /// Consume an input batch, produce the output batch.
     fn execute(&self, ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch>;
@@ -69,8 +100,13 @@ impl PhysicalOperator for FilterOp {
         "Filter"
     }
 
-    fn execute(&self, _ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
-        let sel = vector::eval_predicate(&self.predicate, &input.table)?;
+    fn describe(&self) -> String {
+        format!("Filter: {}", self.predicate.default_name())
+    }
+
+    fn execute(&self, ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
+        let predicate = bind_expr(&self.predicate, ctx.params)?;
+        let sel = vector::eval_predicate(&predicate, &input.table)?;
         let idx = sel.to_indices();
         let weights = input.weights.as_ref().map(|w| kernels::take_f64(w, &idx));
         Ok(Batch {
@@ -91,7 +127,11 @@ impl ProjectOp {
     /// item's stage rank (`1 + i` for item `i`; rank 0 is reserved for
     /// stages that precede the shape). The morsel driver uses the rank
     /// to reproduce whole-table error ordering across morsels.
-    pub(crate) fn project_ranked(&self, table: &Table) -> aggregate::Ranked<Table> {
+    pub(crate) fn project_ranked(
+        &self,
+        table: &Table,
+        params: &[Value],
+    ) -> aggregate::Ranked<Table> {
         let mut fields = Vec::new();
         let mut columns = Vec::new();
         for (ii, item) in self.items.iter().enumerate() {
@@ -104,7 +144,8 @@ impl ProjectOp {
                     }
                 }
                 SelectItem::Expr { expr, .. } => {
-                    let col = vector::eval_expr(expr, table).map_err(|e| (rank, e))?;
+                    let expr = bind_expr(expr, params).map_err(|e| (rank, e))?;
+                    let col = vector::eval_expr(&expr, table).map_err(|e| (rank, e))?;
                     fields.push(Field::new(output_name(item), col.data_type()));
                     columns.push(col);
                 }
@@ -119,8 +160,13 @@ impl PhysicalOperator for ProjectOp {
         "Project"
     }
 
-    fn execute(&self, _ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
-        self.project_ranked(&input.table)
+    fn describe(&self) -> String {
+        let names: Vec<String> = self.items.iter().map(output_name).collect();
+        format!("Project: [{}]", names.join(", "))
+    }
+
+    fn execute(&self, ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
+        self.project_ranked(&input.table, ctx.params)
             .map(|table| Batch {
                 table,
                 weights: None,
@@ -146,13 +192,25 @@ impl PhysicalOperator for HashAggregateOp {
         "HashAggregate"
     }
 
-    fn execute(&self, _ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
+    fn describe(&self) -> String {
+        let keys: Vec<String> = self.group_by.iter().map(Expr::default_name).collect();
+        let items: Vec<String> = self.items.iter().map(output_name).collect();
+        format!(
+            "HashAggregate{}: keys=[{}], items=[{}]",
+            if self.weighted { "[weighted]" } else { "" },
+            keys.join(", "),
+            items.join(", ")
+        )
+    }
+
+    fn execute(&self, ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
         debug_assert_eq!(self.weighted, input.weights.is_some());
         let table = aggregate::execute(
             &self.items,
             &self.group_by,
             &input.table,
             input.weights.as_deref(),
+            ctx.params,
         )?;
         Ok(Batch {
             table,
@@ -172,6 +230,15 @@ impl PhysicalOperator for SortOp {
         "Sort"
     }
 
+    fn describe(&self) -> String {
+        let keys: Vec<String> = self
+            .keys
+            .iter()
+            .map(|(e, desc)| format!("{}{}", e.default_name(), if *desc { " DESC" } else { "" }))
+            .collect();
+        format!("Sort: [{}]", keys.join(", "))
+    }
+
     fn execute(&self, ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
         let out = &input.table;
         // Prefer keys resolved against the output (aliases, aggregate
@@ -179,10 +246,11 @@ impl PhysicalOperator for SortOp {
         // lacks the column and row counts line up.
         let mut key_cols: Vec<Column> = Vec::with_capacity(self.keys.len());
         for (expr, _) in &self.keys {
-            let col = match vector::eval_expr(expr, out) {
+            let expr = bind_expr(expr, ctx.params)?;
+            let col = match vector::eval_expr(&expr, out) {
                 Ok(c) => c,
                 Err(e) => match ctx.filtered_input {
-                    Some(t) if t.num_rows() == out.num_rows() => vector::eval_expr(expr, t)?,
+                    Some(t) if t.num_rows() == out.num_rows() => vector::eval_expr(&expr, t)?,
                     _ => return Err(e),
                 },
             };
@@ -217,6 +285,10 @@ impl PhysicalOperator for LimitOp {
         "Limit"
     }
 
+    fn describe(&self) -> String {
+        format!("Limit: {}", self.n)
+    }
+
     fn execute(&self, _ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
         Ok(Batch {
             table: input.table.limit(self.n),
@@ -245,6 +317,13 @@ impl Shape {
             Shape::Aggregate(op) => op.name(),
         }
     }
+
+    fn describe(&self) -> String {
+        match self {
+            Shape::Project(op) => op.describe(),
+            Shape::Aggregate(op) => op.describe(),
+        }
+    }
 }
 
 /// A lowered SELECT: filter stages, one shape stage (projection or
@@ -268,7 +347,33 @@ pub struct PhysicalPlan {
 impl PhysicalPlan {
     /// Execute against a source table with optional row weights.
     pub fn execute(&self, table: &Table, weights: Option<&[f64]>) -> Result<Table> {
-        parallel::execute_plan(self, table, weights)
+        self.execute_with_params(table, weights, &[])
+    }
+
+    /// Execute with positional-parameter values bound into the plan's
+    /// [`Expr::Param`] placeholders (the prepared-statement fast path:
+    /// the plan was built once at prepare time; only parameter binding
+    /// and execution happen here).
+    pub fn execute_with_params(
+        &self,
+        table: &Table,
+        weights: Option<&[f64]>,
+        params: &[Value],
+    ) -> Result<Table> {
+        parallel::execute_plan(self, table, weights, params, self.parallelism)
+    }
+
+    /// [`Self::execute_with_params`] with a per-execution worker-thread
+    /// cap overriding the plan's own. The OPEN replicate loop uses this
+    /// to run a prepared plan single-threaded inside its worker pool.
+    pub(crate) fn execute_capped(
+        &self,
+        table: &Table,
+        weights: Option<&[f64]>,
+        params: &[Value],
+        threads: usize,
+    ) -> Result<Table> {
+        parallel::execute_plan(self, table, weights, params, threads.max(1))
     }
 
     /// Cap the number of worker threads the plan may use (minimum 1).
@@ -304,6 +409,16 @@ impl PhysicalPlan {
         names.push(self.shape.name());
         names.extend(self.post_shape.iter().map(|op| op.name()));
         names
+    }
+
+    /// One description line per operator (excluding the scan, which only
+    /// the engine can describe — it knows the relation) in execution
+    /// order. Used by `EXPLAIN`.
+    pub fn describe_operators(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self.pre_shape.iter().map(|op| op.describe()).collect();
+        lines.push(self.shape.describe());
+        lines.extend(self.post_shape.iter().map(|op| op.describe()));
+        lines
     }
 }
 

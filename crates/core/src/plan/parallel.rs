@@ -108,11 +108,14 @@ enum MorselOut {
     Partial(aggregate::MorselPartial),
 }
 
-/// Execute `plan` over `table` with the plan's `parallelism`.
+/// Execute `plan` over `table` on at most `threads` workers, binding
+/// `params` into any positional-parameter placeholders.
 pub(crate) fn execute_plan(
     plan: &PhysicalPlan,
     table: &Table,
     weights: Option<&[f64]>,
+    params: &[Value],
+    threads: usize,
 ) -> Result<Table> {
     let n = table.num_rows();
     let n_morsels = n.div_ceil(MORSEL_ROWS).max(1);
@@ -138,6 +141,7 @@ pub(crate) fn execute_plan(
         };
         let ctx = ExecContext {
             filtered_input: None,
+            params,
         };
         for (oi, op) in plan.pre_shape().iter().enumerate() {
             batch = op.execute(&ctx, &batch).map_err(|e| (oi as u32, e))?;
@@ -150,12 +154,13 @@ pub(crate) fn execute_plan(
                     &agg.group_by,
                     &batch.table,
                     batch.weights.as_deref(),
+                    params,
                 )
                 .map(MorselOut::Partial)
                 .map_err(|(r, e)| (pre_len + r, e))
             }
             Shape::Project(project) => project
-                .project_ranked(&batch.table)
+                .project_ranked(&batch.table, params)
                 .map(|out| MorselOut::Shaped {
                     out,
                     filtered: keep_filtered.then_some(batch.table),
@@ -164,7 +169,7 @@ pub(crate) fn execute_plan(
         }
     };
 
-    let results = run_ordered(n_morsels, plan.parallelism(), run);
+    let results = run_ordered(n_morsels, threads, run);
 
     // Surface the error of the lowest (stage rank, morsel index) pair —
     // the error a whole-table pass (and a sequential morsel walk)
@@ -197,7 +202,8 @@ pub(crate) fn execute_plan(
                     MorselOut::Shaped { .. } => unreachable!("aggregate plans emit partials"),
                 })
                 .collect();
-            let table = aggregate::merge_finalize(&agg.items, weights.is_some(), &partials)?;
+            let table =
+                aggregate::merge_finalize(&agg.items, weights.is_some(), &partials, params)?;
             (
                 Batch {
                     table,
@@ -241,6 +247,7 @@ pub(crate) fn execute_plan(
 
     let ctx = ExecContext {
         filtered_input: filtered_merged.as_ref(),
+        params,
     };
     for op in &plan.post_shape {
         batch = op.execute(&ctx, &batch)?;

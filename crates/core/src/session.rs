@@ -1,0 +1,497 @@
+//! Sessions and prepared statements — the concurrent client surface of
+//! the engine.
+//!
+//! A [`Session`] is a lightweight handle onto a shared
+//! [`MosaicEngine`]: an `Arc` plus a set of per-session overrides
+//! (default visibility, generation seed, thread cap, OPEN backend).
+//! Sessions never mutate the engine-wide [`EngineOptions`], so any
+//! number of them can run concurrently with different settings.
+//!
+//! [`Session::prepare`] implements the prepare-once/execute-many
+//! pattern of the paper's workload (§5.3 re-runs one aggregate template
+//! across visibilities and replicates): the SQL is parsed once, names
+//! are bound against the catalog, the physical plan is lowered and
+//! cached, and [`Session::execute_prepared`] only binds `?` parameter
+//! values and executes — no parsing, no planning.
+
+use std::sync::Arc;
+
+use mosaic_sql::{SelectItem, SelectStmt, Statement, Visibility};
+use mosaic_storage::{Schema, Table, Value};
+
+use crate::catalog::Catalog;
+use crate::engine::{
+    choose_sample, EngineOptions, MosaicEngine, OpenBackend, QueryPlans, QueryResult,
+};
+use crate::plan::{has_aggregate_shape, lower, PhysicalPlan};
+use crate::{MosaicError, Result};
+
+/// Per-session overrides over the engine-wide [`EngineOptions`]. Every
+/// field is optional: `None` means "inherit the engine default".
+///
+/// `#[non_exhaustive]`: construct via [`SessionOptions::default`] and
+/// the [`Session::with_*`](Session::with_parallelism) builders.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct SessionOptions {
+    /// Visibility applied to population queries that don't specify one.
+    pub default_visibility: Option<Visibility>,
+    /// Base seed for OPEN-query generation.
+    pub seed: Option<u64>,
+    /// Worker-thread cap for this session's queries.
+    pub parallelism: Option<usize>,
+    /// Generative backend for this session's OPEN queries.
+    pub open_backend: Option<OpenBackend>,
+}
+
+/// A client session on a shared [`MosaicEngine`].
+///
+/// Cloning a session clones its overrides and shares the engine.
+/// Sessions are `Send`: move them into threads freely — the engine's
+/// catalog lock lets all sessions read concurrently while DDL/DML
+/// serializes.
+#[derive(Clone)]
+pub struct Session {
+    engine: Arc<MosaicEngine>,
+    overrides: SessionOptions,
+}
+
+impl Session {
+    pub(crate) fn new(engine: Arc<MosaicEngine>) -> Session {
+        Session {
+            engine,
+            overrides: SessionOptions::default(),
+        }
+    }
+
+    /// The shared engine this session runs on.
+    pub fn engine(&self) -> &Arc<MosaicEngine> {
+        &self.engine
+    }
+
+    /// This session's overrides.
+    pub fn overrides(&self) -> &SessionOptions {
+        &self.overrides
+    }
+
+    /// Override the default visibility of population queries.
+    pub fn with_default_visibility(mut self, v: Visibility) -> Session {
+        self.overrides.default_visibility = Some(v);
+        self
+    }
+
+    /// Override the OPEN-query generation seed.
+    pub fn with_seed(mut self, seed: u64) -> Session {
+        self.overrides.seed = Some(seed);
+        self
+    }
+
+    /// Override the worker-thread cap (minimum 1; never changes
+    /// results, only wall-clock time).
+    pub fn with_parallelism(mut self, n: usize) -> Session {
+        self.overrides.parallelism = Some(n.max(1));
+        self
+    }
+
+    /// Override the OPEN generative backend.
+    pub fn with_open_backend(mut self, backend: OpenBackend) -> Session {
+        self.overrides.open_backend = Some(backend);
+        self
+    }
+
+    /// Execute a script of semicolon-separated statements; returns the
+    /// result of the last SELECT (or an empty result).
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.engine.execute_with(sql, &self.overrides)
+    }
+
+    /// Execute a script and return just the last result table.
+    pub fn query(&self, sql: &str) -> Result<Table> {
+        self.execute(sql).map(|r| r.table)
+    }
+
+    /// Execute one already-parsed statement (shells use this to report
+    /// per-statement errors). Returns `None` for statements without a
+    /// result (DDL/DML).
+    pub fn execute_parsed(&self, stmt: Statement) -> Result<Option<QueryResult>> {
+        let opts = self.engine.effective_options(&self.overrides);
+        self.engine.execute_statement(stmt, &opts)
+    }
+
+    /// Prepare a single SELECT statement: parse once, bind names
+    /// against the catalog, resolve the visibility pipeline, lower the
+    /// physical plan, and count `?` parameters. The returned
+    /// [`Prepared`] is immutable and `Sync` — share it across sessions
+    /// and threads, and re-execute it with different parameter values
+    /// without re-parsing or re-planning.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        let mut stmts = mosaic_sql::parse(sql)?;
+        if stmts.len() != 1 {
+            return Err(MosaicError::Bind(format!(
+                "prepare expects exactly one statement, found {}",
+                stmts.len()
+            )));
+        }
+        let stmt = match stmts.pop().expect("checked length") {
+            Statement::Select(s) => s,
+            other => {
+                return Err(MosaicError::Bind(format!(
+                    "only SELECT statements can be prepared, found {other:?}"
+                )))
+            }
+        };
+        let opts = self.engine.effective_options(&self.overrides);
+        let cat = self.engine.catalog();
+        Prepared::bind(&cat, &opts, stmt, sql)
+    }
+
+    /// Execute a prepared statement with positional-parameter values
+    /// (one [`Value`] per `?`, in lexical order). Skips parsing and
+    /// planning entirely: the cached plan runs with the parameters
+    /// bound into its placeholder expressions.
+    pub fn execute_prepared(&self, prepared: &Prepared, params: &[Value]) -> Result<QueryResult> {
+        if params.len() != prepared.param_count {
+            return Err(MosaicError::Param(format!(
+                "prepared statement expects {} parameter(s), got {}",
+                prepared.param_count,
+                params.len()
+            )));
+        }
+        let opts = self.engine.effective_options(&self.overrides);
+        let cat = self.engine.catalog();
+        prepared.check_source(&cat)?;
+        let plans = QueryPlans {
+            plan: Some(&prepared.plan),
+            inner_plan: prepared.inner_plan.as_ref(),
+            params,
+        };
+        self.engine.select(&cat, &opts, &prepared.stmt, plans)
+    }
+
+    /// [`Session::execute_prepared`], returning just the result table.
+    pub fn query_prepared(&self, prepared: &Prepared, params: &[Value]) -> Result<Table> {
+        self.execute_prepared(prepared, params).map(|r| r.table)
+    }
+}
+
+/// What relation a prepared statement was bound against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PreparedSource {
+    /// `SELECT` without FROM.
+    Scalar,
+    /// An auxiliary table.
+    Aux(String),
+    /// A raw sample scan.
+    Sample(String),
+    /// A population query (visibility resolved at prepare time).
+    Population(String),
+}
+
+/// A prepared SELECT: the parsed statement, its binding against the
+/// catalog, and the cached physical plan(s).
+///
+/// Produced by [`Session::prepare`]; executed by
+/// [`Session::execute_prepared`]. Immutable and thread-safe: one
+/// `Prepared` can serve any number of sessions concurrently.
+pub struct Prepared {
+    sql: String,
+    stmt: SelectStmt,
+    param_count: usize,
+    source: PreparedSource,
+    plan: PhysicalPlan,
+    /// For aggregate OPEN queries: the plan of the inner body (ORDER
+    /// BY / LIMIT stripped) each generative replicate runs.
+    inner_plan: Option<PhysicalPlan>,
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("sql", &self.sql)
+            .field("param_count", &self.param_count)
+            .field("source", &self.source)
+            .field("plan", &self.plan.to_string())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Prepared {
+    /// The original SQL text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Number of positional parameters (`?`) the statement expects.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The resolved visibility (population queries; `None` otherwise).
+    pub fn visibility(&self) -> Option<Visibility> {
+        self.stmt.visibility
+    }
+
+    /// Bind a parsed SELECT against the catalog: resolve the source
+    /// relation, check every referenced column against its schema,
+    /// resolve the visibility pipeline, and lower the plan(s).
+    fn bind(cat: &Catalog, opts: &EngineOptions, stmt: SelectStmt, sql: &str) -> Result<Prepared> {
+        let param_count = stmt.param_count();
+        let (source, stmt, schema): (PreparedSource, SelectStmt, Option<Arc<Schema>>) = match stmt
+            .from
+            .clone()
+        {
+            None => {
+                let cols = stmt.referenced_columns();
+                if let Some(c) = cols.first() {
+                    return Err(MosaicError::Bind(format!(
+                        "column {c} is not allowed in a SELECT without FROM"
+                    )));
+                }
+                // Mirror the engine's scalar path: wildcards drop.
+                let items: Vec<SelectItem> = stmt
+                    .items
+                    .iter()
+                    .filter(|i| !matches!(i, SelectItem::Wildcard))
+                    .cloned()
+                    .collect();
+                (PreparedSource::Scalar, SelectStmt { items, ..stmt }, None)
+            }
+            Some(from) => {
+                if let Some(pop) = cat.population(&from) {
+                    // Resolve the visibility now so the plan's
+                    // weighted-rewrite property is fixed; the session
+                    // default is baked into the prepared statement.
+                    let vis = stmt.visibility.unwrap_or(opts.default_visibility);
+                    let stmt = SelectStmt {
+                        visibility: Some(vis),
+                        ..stmt
+                    };
+                    (
+                        PreparedSource::Population(pop.name.clone()),
+                        stmt,
+                        Some(Arc::clone(&pop.schema)),
+                    )
+                } else if stmt.visibility.is_some() {
+                    return Err(MosaicError::Bind(
+                            "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only"
+                                .into(),
+                        ));
+                } else if let Some(t) = cat.aux(&from) {
+                    (
+                        PreparedSource::Aux(from.clone()),
+                        stmt,
+                        Some(Arc::clone(t.schema())),
+                    )
+                } else if let Some(s) = cat.sample(&from) {
+                    (
+                        PreparedSource::Sample(s.name.clone()),
+                        stmt,
+                        Some(Arc::clone(s.data.schema())),
+                    )
+                } else {
+                    return Err(MosaicError::Bind(format!("unknown relation {from}")));
+                }
+            }
+        };
+        // Name binding: every referenced column must exist in the
+        // source schema (samples also expose the engine-managed
+        // `weight` column).
+        if let Some(schema) = &schema {
+            let extra_weight = matches!(source, PreparedSource::Sample(_));
+            for c in stmt.referenced_columns() {
+                let known =
+                    schema.contains(&c) || (extra_weight && c.eq_ignore_ascii_case("weight"));
+                if !known {
+                    return Err(MosaicError::Bind(format!(
+                        "unknown column {c} in relation {}",
+                        stmt.from.as_deref().unwrap_or("<scalar>")
+                    )));
+                }
+            }
+        }
+        // Lower the plan(s). The weighted-rewrite property is a
+        // function of the resolved visibility.
+        let (weighted, open_agg) = match (&source, stmt.visibility) {
+            (PreparedSource::Population(_), Some(Visibility::Closed)) => (false, false),
+            (PreparedSource::Population(_), Some(Visibility::Open)) => {
+                (true, has_aggregate_shape(&stmt))
+            }
+            (PreparedSource::Population(_), _) => (true, false),
+            _ => (false, false),
+        };
+        // No `with_parallelism` here: the thread cap is an execution-time
+        // property — every prepared execution passes the session's
+        // effective cap through `execute_capped`.
+        let plan = lower(&stmt, weighted);
+        let inner_plan = open_agg.then(|| {
+            let inner = SelectStmt {
+                order_by: Vec::new(),
+                limit: None,
+                ..stmt.clone()
+            };
+            lower(&inner, true)
+        });
+        Ok(Prepared {
+            sql: sql.to_string(),
+            stmt,
+            param_count,
+            source,
+            plan,
+            inner_plan,
+        })
+    }
+
+    /// Verify the catalog still resolves this statement's source to the
+    /// same relation kind (DDL may have dropped or replaced it since
+    /// prepare; running a stale plan against a different relation kind
+    /// would silently change semantics).
+    fn check_source(&self, cat: &Catalog) -> Result<()> {
+        let ok = match &self.source {
+            PreparedSource::Scalar => true,
+            PreparedSource::Aux(name) => cat.aux(name).is_some(),
+            PreparedSource::Sample(name) => cat.sample(name).is_some(),
+            PreparedSource::Population(name) => {
+                if cat.population(name).is_none() {
+                    return Err(MosaicError::Bind(format!(
+                        "prepared statement is stale: population {name} no longer exists"
+                    )));
+                }
+                // The population must still have a usable sample; the
+                // pipeline re-resolves it (data may have grown).
+                let pop = cat.population(name).expect("checked");
+                choose_sample(cat, pop).is_ok()
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(MosaicError::Bind(format!(
+                "prepared statement is stale: its source relation no longer exists ({:?})",
+                self.source
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_storage::Value;
+
+    fn engine_with_table() -> Arc<MosaicEngine> {
+        let engine = Arc::new(MosaicEngine::new());
+        engine
+            .session()
+            .execute(
+                "CREATE TABLE t (k TEXT, v INT);
+                 INSERT INTO t VALUES ('a', 1), ('b', 2), ('a', 3), ('c', 4);",
+            )
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn prepare_execute_roundtrip() {
+        let engine = engine_with_table();
+        let s = engine.session();
+        let p = s
+            .prepare("SELECT k, COUNT(*) AS c FROM t WHERE v > ? GROUP BY k ORDER BY k")
+            .unwrap();
+        assert_eq!(p.param_count(), 1);
+        let r1 = s.query_prepared(&p, &[Value::Int(0)]).unwrap();
+        assert_eq!(r1.num_rows(), 3);
+        let r2 = s.query_prepared(&p, &[Value::Int(2)]).unwrap();
+        assert_eq!(r2.num_rows(), 2); // a (v=3) and c (v=4)
+                                      // Must match the unprepared path with the literal inlined.
+        let direct = s
+            .query("SELECT k, COUNT(*) AS c FROM t WHERE v > 2 GROUP BY k ORDER BY k")
+            .unwrap();
+        assert_eq!(r2.num_rows(), direct.num_rows());
+        for r in 0..direct.num_rows() {
+            for c in 0..direct.num_columns() {
+                assert_eq!(r2.value(r, c), direct.value(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn param_count_mismatch_is_param_error() {
+        let engine = engine_with_table();
+        let s = engine.session();
+        let p = s
+            .prepare("SELECT * FROM t WHERE v BETWEEN ? AND ?")
+            .unwrap();
+        assert_eq!(p.param_count(), 2);
+        let err = s.execute_prepared(&p, &[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, MosaicError::Param(_)), "{err}");
+    }
+
+    #[test]
+    fn unprepared_params_rejected() {
+        let engine = engine_with_table();
+        let s = engine.session();
+        let err = s.execute("SELECT * FROM t WHERE v > ?").unwrap_err();
+        assert!(matches!(err, MosaicError::Param(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_column_is_bind_error() {
+        let engine = engine_with_table();
+        let s = engine.session();
+        let err = s.prepare("SELECT nope FROM t").unwrap_err();
+        assert!(matches!(err, MosaicError::Bind(_)), "{err}");
+        let err = s.prepare("SELECT v FROM missing").unwrap_err();
+        assert!(matches!(err, MosaicError::Bind(_)), "{err}");
+        let err = s.prepare("SELECT 1; SELECT 2").unwrap_err();
+        assert!(matches!(err, MosaicError::Bind(_)), "{err}");
+        let err = s.prepare("DROP TABLE t").unwrap_err();
+        assert!(matches!(err, MosaicError::Bind(_)), "{err}");
+    }
+
+    #[test]
+    fn stale_prepared_statement_detected() {
+        let engine = engine_with_table();
+        let s = engine.session();
+        let p = s.prepare("SELECT COUNT(*) FROM t").unwrap();
+        s.execute("DROP TABLE t").unwrap();
+        let err = s.execute_prepared(&p, &[]).unwrap_err();
+        assert!(matches!(err, MosaicError::Bind(_)), "{err}");
+    }
+
+    #[test]
+    fn session_visibility_override() {
+        let engine = Arc::new(MosaicEngine::new());
+        let setup = engine.session();
+        setup
+            .execute(
+                "CREATE TABLE Report (city TEXT, n INT);
+                 INSERT INTO Report VALUES ('x', 10), ('y', 30);
+                 CREATE GLOBAL POPULATION People (city TEXT);
+                 CREATE METADATA People_M1 AS (SELECT city, n FROM Report);
+                 CREATE SAMPLE S AS (SELECT * FROM People);
+                 INSERT INTO S VALUES ('x'), ('y'), ('y');",
+            )
+            .unwrap();
+        // Engine default is SEMI-OPEN; a CLOSED-override session answers
+        // from the raw sample instead.
+        let closed = engine.session().with_default_visibility(Visibility::Closed);
+        let r = closed.execute("SELECT COUNT(*) FROM People").unwrap();
+        assert_eq!(r.visibility, Some(Visibility::Closed));
+        assert_eq!(r.table.value(0, 0), Value::Int(3));
+        let semi = engine.session();
+        let r = semi.execute("SELECT COUNT(*) FROM People").unwrap();
+        assert_eq!(r.visibility, Some(Visibility::SemiOpen));
+        assert!((r.table.value(0, 0).as_f64().unwrap() - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scalar_and_sample_prepared() {
+        let engine = Arc::new(MosaicEngine::new());
+        let s = engine.session();
+        let p = s.prepare("SELECT 1 + ?").unwrap();
+        let out = s.query_prepared(&p, &[Value::Int(41)]).unwrap();
+        assert_eq!(out.value(0, 0), Value::Int(42));
+        let err = s.prepare("SELECT x").unwrap_err();
+        assert!(matches!(err, MosaicError::Bind(_)), "{err}");
+    }
+}

@@ -189,6 +189,10 @@ pub enum Expr {
         /// Argument expression (None = `*`).
         arg: Option<Box<Expr>>,
     },
+    /// A positional statement parameter (`?`), 0-indexed in lexical
+    /// order. Parameters are bound to [`Value`]s at execution time by a
+    /// prepared statement; evaluating an unbound parameter is an error.
+    Param(usize),
 }
 
 impl Expr {
@@ -215,7 +219,7 @@ impl Expr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             Expr::Agg { .. } => true,
-            Expr::Literal(_) | Expr::Column(_) => false,
+            Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => false,
             Expr::Unary { expr, .. } => expr.contains_aggregate(),
             Expr::Binary { left, right, .. } => {
                 left.contains_aggregate() || right.contains_aggregate()
@@ -245,7 +249,7 @@ impl Expr {
                     out.push(name.clone());
                 }
             }
-            Expr::Literal(_) => {}
+            Expr::Literal(_) | Expr::Param(_) => {}
             Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.collect_columns(out),
             Expr::Binary { left, right, .. } => {
                 left.collect_columns(out);
@@ -296,7 +300,86 @@ impl Expr {
                 expr.default_name(),
                 if *negated { "NOT " } else { "" }
             ),
+            Expr::Param(i) => format!("?{}", i + 1),
         }
+    }
+
+    /// True if the expression contains a positional parameter.
+    pub fn has_params(&self) -> bool {
+        self.max_param().is_some()
+    }
+
+    /// Highest parameter index referenced, if any.
+    pub fn max_param(&self) -> Option<usize> {
+        match self {
+            Expr::Param(i) => Some(*i),
+            Expr::Literal(_) | Expr::Column(_) => None,
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.max_param(),
+            Expr::Binary { left, right, .. } => left.max_param().max(right.max_param()),
+            Expr::InList { expr, list, .. } => list
+                .iter()
+                .filter_map(Expr::max_param)
+                .max()
+                .max(expr.max_param()),
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.max_param().max(low.max_param()).max(high.max_param()),
+            Expr::Agg { arg, .. } => arg.as_deref().and_then(Expr::max_param),
+        }
+    }
+
+    /// Replace every [`Expr::Param`] with the corresponding literal from
+    /// `params`. Errors with the offending 0-based index when a parameter
+    /// is out of range.
+    pub fn bind_params(&self, params: &[Value]) -> Result<Expr, usize> {
+        let bind_box = |e: &Expr| e.bind_params(params).map(Box::new);
+        Ok(match self {
+            Expr::Param(i) => match params.get(*i) {
+                Some(v) => Expr::Literal(v.clone()),
+                None => return Err(*i),
+            },
+            Expr::Literal(_) | Expr::Column(_) => self.clone(),
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: bind_box(expr)?,
+            },
+            Expr::Binary { left, op, right } => Expr::Binary {
+                left: bind_box(left)?,
+                op: *op,
+                right: bind_box(right)?,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: bind_box(expr)?,
+                list: list
+                    .iter()
+                    .map(|e| e.bind_params(params))
+                    .collect::<Result<_, _>>()?,
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: bind_box(expr)?,
+                low: bind_box(low)?,
+                high: bind_box(high)?,
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: bind_box(expr)?,
+                negated: *negated,
+            },
+            Expr::Agg { func, arg } => Expr::Agg {
+                func: *func,
+                arg: arg.as_deref().map(bind_box).transpose()?,
+            },
+        })
     }
 }
 
@@ -334,6 +417,80 @@ pub struct SelectStmt {
     pub order_by: Vec<(Expr, bool)>,
     /// LIMIT row count.
     pub limit: Option<usize>,
+}
+
+impl SelectStmt {
+    /// Every expression in the statement, in clause order.
+    fn exprs(&self) -> impl Iterator<Item = &Expr> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Expr { expr, .. } => Some(expr),
+                SelectItem::Wildcard => None,
+            })
+            .chain(self.where_clause.iter())
+            .chain(self.group_by.iter())
+            .chain(self.order_by.iter().map(|(e, _)| e))
+    }
+
+    /// Number of positional parameters the statement expects
+    /// (`1 + max index`; parameters are numbered in lexical order).
+    pub fn param_count(&self) -> usize {
+        self.exprs()
+            .filter_map(Expr::max_param)
+            .max()
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Column names referenced anywhere in the statement (deduplicated,
+    /// in first appearance order) — the prepare-time binding set.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for e in self.exprs() {
+            for c in e.referenced_columns() {
+                if !out.iter().any(|n: &String| n.eq_ignore_ascii_case(&c)) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Replace every positional parameter with the corresponding literal.
+    /// Errors with the offending 0-based index on out-of-range access.
+    pub fn bind_params(&self, params: &[Value]) -> Result<SelectStmt, usize> {
+        Ok(SelectStmt {
+            visibility: self.visibility,
+            items: self
+                .items
+                .iter()
+                .map(|i| match i {
+                    SelectItem::Wildcard => Ok(SelectItem::Wildcard),
+                    SelectItem::Expr { expr, alias } => Ok(SelectItem::Expr {
+                        expr: expr.bind_params(params)?,
+                        alias: alias.clone(),
+                    }),
+                })
+                .collect::<Result<_, usize>>()?,
+            from: self.from.clone(),
+            where_clause: self
+                .where_clause
+                .as_ref()
+                .map(|e| e.bind_params(params))
+                .transpose()?,
+            group_by: self
+                .group_by
+                .iter()
+                .map(|e| e.bind_params(params))
+                .collect::<Result<_, usize>>()?,
+            order_by: self
+                .order_by
+                .iter()
+                .map(|(e, d)| e.bind_params(params).map(|e| (e, *d)))
+                .collect::<Result<_, usize>>()?,
+            limit: self.limit,
+        })
+    }
 }
 
 /// A sampling mechanism declaration (paper §3.1: `USING MECHANISM
@@ -428,6 +585,10 @@ pub enum Statement {
     },
     /// A SELECT query.
     Select(SelectStmt),
+    /// `EXPLAIN <select>` — render the bound physical plan (operators,
+    /// morsel count, thread budget, visibility pipeline) as a result
+    /// table instead of executing the query.
+    Explain(SelectStmt),
     /// `DROP TABLE|POPULATION|SAMPLE|METADATA name`.
     Drop {
         /// Relation name.

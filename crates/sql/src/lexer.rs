@@ -59,6 +59,8 @@ pub enum TokenKind {
     GtEq,
     /// `.`.
     Dot,
+    /// `?` — a positional statement parameter.
+    Question,
     /// End of input.
     Eof,
 }
@@ -88,6 +90,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Gt => write!(f, ">"),
             TokenKind::GtEq => write!(f, ">="),
             TokenKind::Dot => write!(f, "."),
+            TokenKind::Question => write!(f, "?"),
             TokenKind::Eof => write!(f, "<eof>"),
         }
     }
@@ -224,6 +227,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, crate::ParseError> {
                     '%' => (TokenKind::Percent, 1),
                     '=' => (TokenKind::Eq, 1),
                     '.' => (TokenKind::Dot, 1),
+                    '?' => (TokenKind::Question, 1),
                     '!' if chars.get(i + 1) == Some(&'=') => (TokenKind::NotEq, 2),
                     '<' if chars.get(i + 1) == Some(&'>') => (TokenKind::NotEq, 2),
                     '<' if chars.get(i + 1) == Some(&'=') => (TokenKind::LtEq, 2),
@@ -291,6 +295,12 @@ mod tests {
                 TokenKind::Eof
             ]
         );
+    }
+
+    #[test]
+    fn question_mark_token() {
+        let k = kinds("x > ? AND y = ?");
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Question).count(), 2);
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   (§3.2). Without `FOR`, the target population is inferred from the
 //!   `<pop>_<suffix>` naming convention used in the paper's example.
 //! * `SELECT CLOSED|SEMI-OPEN|OPEN …` — per-query visibility level (§3.3).
+//! * `?` — positional statement parameters ([`Expr::Param`]), numbered in
+//!   lexical order per statement and bound to values at execution time by
+//!   the engine's prepared statements.
+//! * `EXPLAIN <select>` — render the bound physical plan as a result
+//!   table instead of executing the query.
 //!
 //! ```
 //! use mosaic_sql::{parse, Statement, Visibility};
@@ -41,4 +46,4 @@ pub use ast::{
     Visibility,
 };
 pub use lexer::{tokenize, Token, TokenKind};
-pub use parser::{parse, parse_expr, ParseError};
+pub use parser::{parse, parse_expr, parse_spanned, ParseError};

@@ -30,15 +30,31 @@ impl std::error::Error for ParseError {}
 
 /// Parse a semicolon-separated script into statements.
 pub fn parse(src: &str) -> Result<Vec<Statement>, ParseError> {
+    Ok(parse_spanned(src)?.into_iter().map(|(s, _)| s).collect())
+}
+
+/// Parse a semicolon-separated script, returning each statement together
+/// with its byte span in `src` (used by shells to report *which*
+/// statement of a multi-statement input failed).
+pub fn parse_spanned(src: &str) -> Result<Vec<(Statement, std::ops::Range<usize>)>, ParseError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_param: 0,
+    };
     let mut stmts = Vec::new();
     loop {
         while p.eat(&TokenKind::Semicolon) {}
         if p.check_eof() {
             break;
         }
-        stmts.push(p.statement()?);
+        let start = p.peek().offset;
+        // Positional parameters are numbered per statement.
+        p.next_param = 0;
+        let stmt = p.statement()?;
+        let end = p.peek().offset;
+        stmts.push((stmt, start..end));
         if !p.eat(&TokenKind::Semicolon) && !p.check_eof() {
             return Err(p.unexpected("';' or end of input"));
         }
@@ -50,7 +66,11 @@ pub fn parse(src: &str) -> Result<Vec<Statement>, ParseError> {
 /// predicate construction).
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_param: 0,
+    };
     let e = p.expr()?;
     if !p.check_eof() {
         return Err(p.unexpected("end of expression"));
@@ -61,6 +81,9 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Next positional-parameter index to hand out (`?` placeholders are
+    /// numbered in lexical order within one statement).
+    next_param: usize,
 }
 
 impl Parser {
@@ -153,6 +176,9 @@ impl Parser {
         if self.at_kw("SELECT") {
             return Ok(Statement::Select(self.select()?));
         }
+        if self.eat_kw("EXPLAIN") {
+            return Ok(Statement::Explain(self.select()?));
+        }
         if self.eat_kw("DROP") {
             // DROP TABLE|POPULATION|SAMPLE|METADATA <name>
             for k in ["TABLE", "POPULATION", "SAMPLE", "METADATA"] {
@@ -163,7 +189,7 @@ impl Parser {
             let name = self.ident()?;
             return Ok(Statement::Drop { name });
         }
-        Err(self.unexpected("statement (CREATE, INSERT, SELECT, DROP)"))
+        Err(self.unexpected("statement (CREATE, INSERT, SELECT, EXPLAIN, DROP)"))
     }
 
     fn create(&mut self) -> Result<Statement, ParseError> {
@@ -712,6 +738,12 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 Ok(e)
             }
+            TokenKind::Question => {
+                self.pos += 1;
+                let i = self.next_param;
+                self.next_param += 1;
+                Ok(Expr::Param(i))
+            }
             TokenKind::Ident(name) => {
                 if is_reserved(&name) {
                     return Err(ParseError::new(
@@ -780,6 +812,7 @@ fn is_reserved(name: &str) -> bool {
         "BETWEEN",
         "IS",
         "CREATE",
+        "EXPLAIN",
         "INSERT",
         "INTO",
         "VALUES",
@@ -1016,6 +1049,61 @@ mod tests {
     #[test]
     fn unknown_function_rejected() {
         assert!(parse_expr("MEDIAN(x)").is_err());
+    }
+
+    #[test]
+    fn positional_params_number_lexically() {
+        match one("SELECT a FROM t WHERE a > ? AND b IN (?, ?) ORDER BY a LIMIT 3") {
+            Statement::Select(s) => {
+                assert_eq!(s.param_count(), 3);
+                let w = s.where_clause.as_ref().unwrap();
+                assert_eq!(w.max_param(), Some(2));
+                let bound = s
+                    .bind_params(&[
+                        Value::Int(1),
+                        Value::Str("x".into()),
+                        Value::Str("y".into()),
+                    ])
+                    .unwrap();
+                assert_eq!(bound.param_count(), 0);
+                // Out-of-range binding reports the missing index.
+                assert_eq!(s.bind_params(&[Value::Int(1)]), Err(1));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn params_reset_per_statement() {
+        let stmts = parse("SELECT a FROM t WHERE a > ?; SELECT b FROM t WHERE b < ?").unwrap();
+        for s in &stmts {
+            match s {
+                Statement::Select(s) => assert_eq!(s.param_count(), 1),
+                other => panic!("wrong statement: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn explain_parses() {
+        match one("EXPLAIN SELECT SEMI-OPEN a, COUNT(*) FROM P GROUP BY a") {
+            Statement::Explain(s) => {
+                assert_eq!(s.visibility, Some(Visibility::SemiOpen));
+                assert_eq!(s.from.as_deref(), Some("P"));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // EXPLAIN is reserved: not a bare column name.
+        assert!(parse("SELECT explain FROM t").is_err());
+    }
+
+    #[test]
+    fn spanned_statements_carry_source_ranges() {
+        let src = "SELECT a FROM t;  SELECT b FROM u";
+        let spanned = parse_spanned(src).unwrap();
+        assert_eq!(spanned.len(), 2);
+        assert_eq!(&src[spanned[0].1.clone()], "SELECT a FROM t");
+        assert_eq!(&src[spanned[1].1.clone()], "SELECT b FROM u");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::{Binner, Marginal};
 
 /// Configuration for Iterative Proportional Fitting.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct IpfConfig {
     /// Maximum raking passes over all marginals.
     pub max_iterations: usize,
@@ -19,6 +20,20 @@ impl Default for IpfConfig {
             max_iterations: 200,
             tolerance: 1e-8,
         }
+    }
+}
+
+impl IpfConfig {
+    /// Set the maximum raking passes over all marginals.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Set the convergence threshold on the maximum relative cell error.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
     }
 }
 

@@ -13,7 +13,12 @@ use crate::{EncodedMarginal, Encoder};
 /// M-SWG hyperparameters. Defaults follow the paper's synthetic-data
 /// experiment (§5.3, footnote 3): 3 ReLU FC layers × 100 nodes, λ = 0.04,
 /// batch size 500, Adam at 1e-3 with reduce-on-plateau.
+///
+/// `#[non_exhaustive]`: construct with [`SwgConfig::default`] (or the
+/// `paper_*` presets) and the `with_*` builders so future fields are
+/// not breaking changes.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SwgConfig {
     /// Hidden layer width.
     pub hidden_dim: usize,
@@ -95,6 +100,90 @@ impl SwgConfig {
             lambda: 0.04,
             ..SwgConfig::default()
         }
+    }
+
+    /// Set the hidden layer width.
+    pub fn with_hidden_dim(mut self, n: usize) -> Self {
+        self.hidden_dim = n;
+        self
+    }
+
+    /// Set the number of hidden `Dense→ReLU→BatchNorm` groups.
+    pub fn with_hidden_layers(mut self, n: usize) -> Self {
+        self.hidden_layers = n;
+        self
+    }
+
+    /// Set the latent dimension (`None` = encoded data dimensionality).
+    pub fn with_latent_dim(mut self, dim: Option<usize>) -> Self {
+        self.latent_dim = dim;
+        self
+    }
+
+    /// Set the coverage-term weight λ.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Set the random projections per ≥2-D marginal per step.
+    pub fn with_projections(mut self, n: usize) -> Self {
+        self.projections = n;
+        self
+    }
+
+    /// Set the training batch size.
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n;
+        self
+    }
+
+    /// Set the initial Adam learning rate.
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Set the number of training epochs.
+    pub fn with_epochs(mut self, n: usize) -> Self {
+        self.epochs = n;
+        self
+    }
+
+    /// Set the steps per epoch (`None` = `max(1, rows / batch_size)`).
+    pub fn with_steps_per_epoch(mut self, n: Option<usize>) -> Self {
+        self.steps_per_epoch = n;
+        self
+    }
+
+    /// Set the matching loss order.
+    pub fn with_order(mut self, order: WassersteinOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Set the coefficient on the 1-D marginal terms of Eq. 1.
+    pub fn with_one_dim_scale(mut self, k: f64) -> Self {
+        self.one_dim_scale = k;
+        self
+    }
+
+    /// Set the coverage-term subsample size.
+    pub fn with_coverage_subsample(mut self, n: usize) -> Self {
+        self.coverage_subsample = n;
+        self
+    }
+
+    /// Set the plateau patience (epochs before a 10× LR decay).
+    pub fn with_plateau_patience(mut self, n: usize) -> Self {
+        self.plateau_patience = n;
+        self
+    }
+
+    /// Set the training RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 

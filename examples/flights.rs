@@ -21,11 +21,11 @@ fn main() {
     );
 
     let mut db = MosaicDb::new();
-    db.options_mut().open.backend = OpenBackend::Swg(SwgConfig {
-        projections: 64,
-        epochs: 60,
-        ..SwgConfig::paper_flights()
-    });
+    db.options_mut().open.backend = OpenBackend::Swg(
+        SwgConfig::paper_flights()
+            .with_projections(64)
+            .with_epochs(60),
+    );
     db.options_mut().open.num_generated = 5;
     db.execute(
         "CREATE GLOBAL POPULATION Flights (carrier TEXT, taxi_out INT, taxi_in INT, elapsed_time INT, distance INT);

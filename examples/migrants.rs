@@ -28,17 +28,17 @@ fn main() {
     let mut db = MosaicDb::new();
     // A lighter generator than the engine default keeps the example
     // snappy; the marginals here are tiny.
-    db.options_mut().open.backend = OpenBackend::Swg(SwgConfig {
-        hidden_dim: 32,
-        hidden_layers: 2,
-        latent_dim: Some(4),
-        lambda: 0.0,
-        epochs: 120,
-        batch_size: 256,
-        steps_per_epoch: Some(2),
-        learning_rate: 5e-3,
-        ..SwgConfig::default()
-    });
+    db.options_mut().open.backend = OpenBackend::Swg(
+        SwgConfig::default()
+            .with_hidden_dim(32)
+            .with_hidden_layers(2)
+            .with_latent_dim(Some(4))
+            .with_lambda(0.0)
+            .with_epochs(120)
+            .with_batch_size(256)
+            .with_steps_per_epoch(Some(2))
+            .with_learning_rate(5e-3),
+    );
     db.options_mut().open.num_generated = 5;
     db.options_mut().open.rows_per_sample = Some(4000);
 

@@ -1,9 +1,12 @@
 //! Quickstart: declare a population, attach metadata, ingest a biased
-//! sample, and compare CLOSED vs SEMI-OPEN answers.
+//! sample, and compare CLOSED vs SEMI-OPEN answers — then re-ask the
+//! same question through the concurrent session API: prepared
+//! statements with `?` parameters, EXPLAIN, and four threads sharing
+//! one engine.
 //!
 //! Run with: `cargo run --release -p mosaic-examples --bin quickstart`
 
-use mosaic_core::MosaicDb;
+use mosaic_core::{MosaicDb, Value, Visibility};
 
 fn main() {
     let mut db = MosaicDb::new();
@@ -68,4 +71,73 @@ fn main() {
         .execute("SELECT SEMI-OPEN AVG(age) FROM People")
         .expect("avg");
     println!("\nSEMI-OPEN AVG(age):\n{}", avg.table);
+
+    // 7. The same question, production-style: prepare once (parse +
+    //    bind + plan), then execute many times binding only the `?`
+    //    parameter values.
+    let session = db.session();
+    let prepared = session
+        .prepare("SELECT SEMI-OPEN city, COUNT(*) FROM People WHERE age >= ? GROUP BY city ORDER BY city")
+        .expect("prepare");
+    for min_age in [30i64, 50] {
+        let out = session
+            .query_prepared(&prepared, &[Value::Int(min_age)])
+            .expect("execute_prepared");
+        println!("\nSEMI-OPEN counts with age >= {min_age} (prepared):\n{out}");
+    }
+
+    // 8. EXPLAIN renders the bound plan — operators, morsel split,
+    //    thread budget, and the visibility pipeline — without running it.
+    let plan = session
+        .query("EXPLAIN SELECT SEMI-OPEN city, COUNT(*) FROM People WHERE age >= 30 GROUP BY city")
+        .expect("explain");
+    println!("EXPLAIN:\n{plan}");
+
+    // 9. The engine is Arc-shared: sessions on other threads execute
+    //    concurrently under catalog read locks. One session per
+    //    visibility level — a per-session default, no engine mutation —
+    //    each preparing and running its own parameterized query, while
+    //    two more share the SEMI-OPEN prepared statement from step 7.
+    let engine = db.engine().clone();
+    std::thread::scope(|s| {
+        let defaults: Vec<_> = [Visibility::Closed, Visibility::SemiOpen]
+            .into_iter()
+            .map(|vis| {
+                let engine = &engine;
+                s.spawn(move || {
+                    let session = engine.session().with_default_visibility(vis);
+                    let prepared = session
+                        .prepare("SELECT city, COUNT(*) FROM People WHERE age >= ? GROUP BY city")
+                        .expect("prepare");
+                    let out = session
+                        .query_prepared(&prepared, &[Value::Int(30)])
+                        .expect("concurrent execute");
+                    (vis, out.num_rows())
+                })
+            })
+            .collect();
+        let shared: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = &engine;
+                let prepared = &prepared;
+                s.spawn(move || {
+                    engine
+                        .session()
+                        .query_prepared(prepared, &[Value::Int(50)])
+                        .expect("shared prepared execute")
+                        .num_rows()
+                })
+            })
+            .collect();
+        for h in defaults {
+            let (vis, groups) = h.join().expect("join");
+            println!("concurrent session at {vis}: {groups} group(s)");
+        }
+        for h in shared {
+            println!(
+                "shared prepared statement: {} group(s)",
+                h.join().expect("join")
+            );
+        }
+    });
 }

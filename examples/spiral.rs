@@ -27,11 +27,9 @@ fn main() {
     let model = MSwg::fit_with_progress(
         &data.sample,
         &data.marginals,
-        SwgConfig {
-            epochs: 30,
-            batch_size: 256,
-            ..SwgConfig::paper_spiral()
-        },
+        SwgConfig::paper_spiral()
+            .with_epochs(30)
+            .with_batch_size(256),
         |epoch, loss| {
             if epoch % 10 == 0 {
                 println!("  epoch {epoch:>3}: loss {loss:.5}");

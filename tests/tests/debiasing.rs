@@ -96,10 +96,9 @@ fn ipf_multiple_marginals_reduce_error_even_without_convergence() {
     let ipf = Ipf::new(&data.sample, &data.marginals, &data.binners).unwrap();
     let (w, report) = ipf.fit(
         None,
-        &IpfConfig {
-            max_iterations: 500,
-            tolerance: 1e-6,
-        },
+        &IpfConfig::default()
+            .with_max_iterations(500)
+            .with_tolerance(1e-6),
     );
     assert!(report.empty_target_cells > 0);
     let target = &data.marginals[0];
@@ -143,11 +142,9 @@ fn mswg_debiases_the_spiral_sample() {
     let model = MSwg::fit(
         &data.sample,
         &data.marginals,
-        SwgConfig {
-            epochs: 25,
-            batch_size: 256,
-            ..SwgConfig::paper_spiral()
-        },
+        SwgConfig::paper_spiral()
+            .with_epochs(25)
+            .with_batch_size(256),
     )
     .unwrap();
     let mut rng = StdRng::seed_from_u64(2);

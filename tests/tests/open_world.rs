@@ -7,19 +7,17 @@ use mosaic_core::{MosaicDb, OpenBackend, Value, Visibility};
 use mosaic_swg::SwgConfig;
 
 fn tiny_swg() -> SwgConfig {
-    SwgConfig {
-        hidden_dim: 24,
-        hidden_layers: 2,
-        latent_dim: Some(4),
-        lambda: 0.0,
-        projections: 16,
-        batch_size: 128,
-        epochs: 60,
-        steps_per_epoch: Some(2),
-        learning_rate: 5e-3,
-        seed: 3,
-        ..SwgConfig::default()
-    }
+    SwgConfig::default()
+        .with_hidden_dim(24)
+        .with_hidden_layers(2)
+        .with_latent_dim(Some(4))
+        .with_lambda(0.0)
+        .with_projections(16)
+        .with_batch_size(128)
+        .with_epochs(60)
+        .with_steps_per_epoch(Some(2))
+        .with_learning_rate(5e-3)
+        .with_seed(3)
 }
 
 /// A world with two categorical attributes where the sample only covers

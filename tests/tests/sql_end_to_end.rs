@@ -264,7 +264,8 @@ fn metadata_group_by_query_builds_marginal() {
          CREATE METADATA P_M1 AS (SELECT city, COUNT(*) FROM Raw GROUP BY city);",
     )
     .unwrap();
-    let meta = db.catalog().metadata_for("P");
+    let catalog = db.catalog();
+    let meta = catalog.metadata_for("P");
     assert_eq!(meta.len(), 1);
     assert_eq!(meta[0].marginal.get(&[Value::Str("A".into())]), Some(2.0));
 }
