@@ -7,9 +7,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mosaic_bench::flights::{self, FlightsConfig};
 use mosaic_core::{
-    run_select_parallel, run_select_rowwise, MosaicDb, MosaicEngine, OpenBackend, Value,
+    run_select_parallel, run_select_rowwise, run_select_with, MosaicDb, MosaicEngine, OpenBackend,
+    Value,
 };
 use mosaic_sql::{parse, SelectStmt, Statement};
+use mosaic_storage::{Column, DataType, Field, Schema, Table};
 use mosaic_swg::SwgConfig;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -254,11 +256,97 @@ fn bench_prepared_vs_unprepared(c: &mut Criterion) {
     }
 }
 
+/// Exact-equality assertion shared by the optimizer benches: the
+/// optimizer must never change results, so every pair is checked
+/// bit-for-bit before any timing starts.
+fn assert_tables_identical(a: &Table, b: &Table, context: &str) {
+    assert_eq!(a.num_rows(), b.num_rows(), "{context}: row count");
+    assert_eq!(a.num_columns(), b.num_columns(), "{context}: column count");
+    for c in 0..a.num_columns() {
+        assert_eq!(
+            a.schema().field(c).name,
+            b.schema().field(c).name,
+            "{context}: field {c}"
+        );
+        assert_eq!(
+            a.schema().field(c).data_type,
+            b.schema().field(c).data_type,
+            "{context}: type {c}"
+        );
+    }
+    for r in 0..a.num_rows() {
+        for c in 0..a.num_columns() {
+            assert_eq!(a.value(r, c), b.value(r, c), "{context}: cell ({r},{c})");
+        }
+    }
+}
+
+/// A wide columnar table: `g` (small-cardinality Int group key) followed
+/// by `c1..c{width-1}` Float columns. Only two of the `width` columns
+/// are referenced by the pruning bench query.
+fn wide_table(rows: usize, width: usize) -> Table {
+    let mut fields = vec![Field::new("g", DataType::Int)];
+    let mut columns = vec![Column::from_i64(
+        (0..rows).map(|r| (r % 9) as i64).collect(),
+    )];
+    for c in 1..width {
+        fields.push(Field::new(format!("c{c}"), DataType::Float));
+        columns.push(Column::from_f64(
+            (0..rows)
+                .map(|r| ((r * 31 + c * 7) % 1000) as f64 * 0.1)
+                .collect(),
+        ));
+    }
+    Table::new(Schema::new(fields), columns).unwrap()
+}
+
+/// The logical optimizer's two headline rules, measured in isolation at
+/// `parallelism = 1` with pre-timing bit-identity asserts:
+///
+/// * projection pruning on a 20-column table where the query references
+///   2 columns — unoptimized, the post-filter row gather materializes
+///   all 20 columns per morsel; pruned, it touches 2;
+/// * Sort+Limit fusion — `TopK` selects 10 of 100K rows with bounded
+///   heaps (O(n·log k)) against the full stable sort (O(n·log n)).
+fn bench_optimizer(c: &mut Criterion) {
+    let rows = 100_000;
+    let wide = wide_table(rows, 20);
+    let prune = stmt("SELECT g, SUM(c1) FROM t WHERE c1 > 30.0 GROUP BY g ORDER BY g");
+    let narrow = wide_table(rows, 3);
+    let topk = stmt("SELECT g, c1 FROM t ORDER BY c1 DESC, c2 LIMIT 10");
+
+    // The optimizer must not change results — asserted before timing.
+    for (name, table, q) in [("prune", &wide, &prune), ("topk", &narrow, &topk)] {
+        let unopt = run_select_with(q, table, None, 1, false).unwrap();
+        let opt = run_select_with(q, table, None, 1, true).unwrap();
+        assert_tables_identical(&unopt, &opt, name);
+    }
+
+    let mut group = c.benchmark_group("optimizer_100k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("wide20_ref2_unoptimized", |b| {
+        b.iter(|| black_box(run_select_with(&prune, &wide, None, 1, false).unwrap()))
+    });
+    group.bench_function("wide20_ref2_pruned", |b| {
+        b.iter(|| black_box(run_select_with(&prune, &wide, None, 1, true).unwrap()))
+    });
+    group.bench_function("sort_limit_unfused", |b| {
+        b.iter(|| black_box(run_select_with(&topk, &narrow, None, 1, false).unwrap()))
+    });
+    group.bench_function("topk_fused", |b| {
+        b.iter(|| black_box(run_select_with(&topk, &narrow, None, 1, true).unwrap()))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_queries,
     bench_vectorized_vs_rowwise,
     bench_parallel_scaling,
-    bench_prepared_vs_unprepared
+    bench_prepared_vs_unprepared,
+    bench_optimizer
 );
 criterion_main!(benches);

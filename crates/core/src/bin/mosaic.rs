@@ -14,6 +14,8 @@
 //!
 //! Meta-commands (leading `.` or `\`):
 //! `.help`, `.quit`, `.notes on|off` (execution diagnostics),
+//! `.optimizer on|off` (session override of the logical-plan optimizer;
+//! `\explain` then shows the optimized pipeline with the fired rules),
 //! `.load <csv> <table>` (ingest a CSV file as an auxiliary table),
 //! `\prepare <name> <select>` (parse/bind/plan once, keep under `name`),
 //! `\exec <name> [v1, v2, …]` (run a prepared statement with `?` values),
@@ -165,6 +167,7 @@ impl Shell {
                     ".help                      this message\n\
                      .quit                      exit\n\
                      .notes on|off              toggle execution diagnostics\n\
+                     .optimizer on|off          toggle the logical plan optimizer (this session)\n\
                      .load <csv> <table>        ingest a CSV file as an auxiliary table\n\
                      \\prepare <name> <select>   parse+bind+plan once, keep under <name>\n\
                      \\exec <name> [v1, v2, …]   run a prepared statement with ? values\n\
@@ -177,6 +180,21 @@ impl Shell {
             "notes" => {
                 self.show_notes = rest != "off";
                 println!("notes {}", if self.show_notes { "on" } else { "off" });
+            }
+            "optimizer" => {
+                // Session-level override of the rule-based logical
+                // optimizer. Results are bit-identical either way;
+                // statements prepared earlier keep their cached plans.
+                let on = match rest {
+                    "on" => true,
+                    "off" => false,
+                    _ => {
+                        eprintln!("usage: .optimizer on|off");
+                        return true;
+                    }
+                };
+                self.session = self.session.clone().with_optimizer(on);
+                println!("optimizer {}", if on { "on" } else { "off" });
             }
             "load" => {
                 let mut parts = rest.split_whitespace();

@@ -25,7 +25,7 @@ use crate::catalog::{
     empty_table, marginal_from_table, Catalog, Mechanism, MetadataEntry, Population, Sample,
 };
 use crate::eval::eval_scalar;
-use crate::exec::{apply_order_limit, run_select_parallel};
+use crate::exec::{apply_order_limit, run_select_with};
 use crate::models::{BnModel, GenerativeModel, SwgModel};
 use crate::plan::PhysicalPlan;
 use crate::session::{Session, SessionOptions};
@@ -129,6 +129,13 @@ pub struct EngineOptions {
     /// Defaults to `MOSAIC_PARALLELISM` or the machine's core count;
     /// never changes results, only wall-clock time.
     pub parallelism: usize,
+    /// Whether SELECT planning runs the rule-based logical optimizer
+    /// (projection pruning, constant folding, Sort+Limit → TopK fusion;
+    /// see [`crate::plan::optimize`]). Defaults to on unless the
+    /// `MOSAIC_OPTIMIZER` environment variable disables it. The
+    /// optimizer is a pure plan rewrite — results are bit-identical
+    /// with it on or off, only latency changes.
+    pub optimizer: bool,
 }
 
 impl Default for EngineOptions {
@@ -139,6 +146,7 @@ impl Default for EngineOptions {
             ipf: IpfConfig::default(),
             binners: HashMap::new(),
             parallelism: crate::plan::parallel::default_parallelism(),
+            optimizer: crate::plan::optimize::default_optimizer(),
         }
     }
 }
@@ -171,6 +179,15 @@ impl EngineOptions {
     /// Set the worker-thread cap (minimum 1).
     pub fn with_parallelism(mut self, n: usize) -> Self {
         self.parallelism = n.max(1);
+        self
+    }
+
+    /// Enable or disable the rule-based logical optimizer. Results are
+    /// bit-identical either way; the off switch exists so the
+    /// unoptimized path stays exercisable (and the oracle suite can A/B
+    /// both paths).
+    pub fn with_optimizer(mut self, on: bool) -> Self {
+        self.optimizer = on;
         self
     }
 }
@@ -344,6 +361,9 @@ impl MosaicEngine {
         if let Some(b) = &session.open_backend {
             o.open.backend = b.clone();
         }
+        if let Some(opt) = session.optimizer {
+            o.optimizer = opt;
+        }
         o
     }
 
@@ -467,7 +487,7 @@ impl MosaicEngine {
                         "metadata queries run over auxiliary tables; unknown table {from}"
                     ))
                 })?;
-                let result = run_select_parallel(&query, &src, None, opts.parallelism)?;
+                let result = run_select_with(&query, &src, None, opts.parallelism, opts.optimizer)?;
                 let marginal = marginal_from_table(&result)?;
                 cat.create_metadata(MetadataEntry {
                     name,
@@ -576,9 +596,12 @@ impl MosaicEngine {
     // ---- SELECT dispatch ----
 
     /// Run one SELECT through the morsel-driven executor: the prepared
-    /// plan when `plans` carries one, a freshly lowered plan otherwise.
+    /// plan when `plans` carries one, a freshly planned (and, per
+    /// `opts.optimizer`, optimized) plan otherwise.
+    #[allow(clippy::too_many_arguments)]
     fn run_select(
         &self,
+        opts: &EngineOptions,
         stmt: &SelectStmt,
         table: &Table,
         weights: Option<&[f64]>,
@@ -599,7 +622,7 @@ impl MosaicEngine {
                 }
                 p.execute_capped(table, weights, params, threads)
             }
-            None => run_select_parallel(stmt, table, weights, threads),
+            None => run_select_with(stmt, table, weights, threads, opts.optimizer),
         }
     }
 
@@ -635,8 +658,15 @@ impl MosaicEngine {
                 items,
                 ..stmt.clone()
             };
-            let table =
-                self.run_select(&stmt2, &one_row, None, threads, plans.plan, plans.params)?;
+            let table = self.run_select(
+                opts,
+                &stmt2,
+                &one_row,
+                None,
+                threads,
+                plans.plan,
+                plans.params,
+            )?;
             return Ok(QueryResult {
                 table,
                 visibility: None,
@@ -652,8 +682,15 @@ impl MosaicEngine {
             ));
         }
         if let Some(t) = cat.aux(&from) {
-            let table =
-                self.run_select(stmt, &t.clone(), None, threads, plans.plan, plans.params)?;
+            let table = self.run_select(
+                opts,
+                stmt,
+                &t.clone(),
+                None,
+                threads,
+                plans.plan,
+                plans.params,
+            )?;
             return Ok(QueryResult {
                 table,
                 visibility: None,
@@ -663,7 +700,8 @@ impl MosaicEngine {
         if let Some(s) = cat.sample(&from) {
             // Expose the engine-managed weights as a `weight` column.
             let table = table_with_weight_column(&s.data, &s.weights)?;
-            let table = self.run_select(stmt, &table, None, threads, plans.plan, plans.params)?;
+            let table =
+                self.run_select(opts, stmt, &table, None, threads, plans.plan, plans.params)?;
             return Ok(QueryResult {
                 table,
                 visibility: None,
@@ -698,13 +736,14 @@ impl MosaicEngine {
             Visibility::Closed => {
                 // LAV-style: samples used as-is, no debiasing.
                 let data = apply_view(&sample.data, view_predicate.as_ref())?;
-                self.run_select(stmt, &data, None, threads, plans.plan, plans.params)?
+                self.run_select(opts, stmt, &data, None, threads, plans.plan, plans.params)?
             }
             Visibility::SemiOpen => {
                 let (data, weights, mut w_notes) =
                     semi_open_weights(cat, opts, &pop, &sample, view_predicate.as_ref())?;
                 notes.append(&mut w_notes);
                 self.run_select(
+                    opts,
                     stmt,
                     &data,
                     Some(&weights),
@@ -872,6 +911,7 @@ impl MosaicEngine {
             let weights = vec![weight; generated.num_rows()];
             let rows = generated.num_rows();
             self.run_select(
+                opts,
                 stmt,
                 &generated,
                 Some(&weights),
@@ -1183,6 +1223,21 @@ fn apply_view_weighted(
             Ok((table.take(&idx), w))
         }
     }
+}
+
+/// The schema a raw sample scan executes against: the sample's data
+/// schema plus the engine-managed `weight` column (mirroring
+/// [`table_with_weight_column`]). Prepared statements and EXPLAIN bind
+/// and optimize against this, so projection pruning can never drop the
+/// weight column a query references.
+pub(crate) fn sample_scan_schema(sample: &Sample) -> Arc<Schema> {
+    let schema = sample.data.schema();
+    if schema.contains("weight") {
+        return Arc::clone(schema);
+    }
+    let mut fields = schema.fields().to_vec();
+    fields.push(Field::new("weight", DataType::Float));
+    Schema::new(fields)
 }
 
 /// Append the engine-managed weight vector as a `weight` column (raw

@@ -25,11 +25,17 @@ use crate::{MosaicError, Result};
 /// Execute a SELECT over one table through the vectorized, morsel-driven
 /// physical plan. `weights` (parallel to the table's rows) turns
 /// aggregates into weighted aggregates. Uses the default thread cap
-/// ([`plan::parallel::default_parallelism`]); the thread count never
+/// ([`plan::parallel::default_parallelism`]) and the default optimizer
+/// setting ([`plan::optimize::default_optimizer`]); neither ever
 /// changes results.
 pub fn run_select(stmt: &SelectStmt, table: &Table, weights: Option<&[f64]>) -> Result<Table> {
-    check_weights(table, weights)?;
-    plan::lower(stmt, weights.is_some()).execute(table, weights)
+    run_select_with(
+        stmt,
+        table,
+        weights,
+        plan::parallel::default_parallelism(),
+        plan::optimize::default_optimizer(),
+    )
 }
 
 /// [`run_select`] with an explicit worker-thread cap. `parallelism = 1`
@@ -41,8 +47,29 @@ pub fn run_select_parallel(
     weights: Option<&[f64]>,
     parallelism: usize,
 ) -> Result<Table> {
+    run_select_with(
+        stmt,
+        table,
+        weights,
+        parallelism,
+        plan::optimize::default_optimizer(),
+    )
+}
+
+/// [`run_select_parallel`] with the optimizer explicitly on or off —
+/// the A/B entry point of the four-way oracle suite. The optimizer is
+/// a pure plan rewrite: results are bit-identical either way (the
+/// `planner_oracle` suite enforces this for every template at every
+/// thread count).
+pub fn run_select_with(
+    stmt: &SelectStmt,
+    table: &Table,
+    weights: Option<&[f64]>,
+    parallelism: usize,
+    optimizer: bool,
+) -> Result<Table> {
     check_weights(table, weights)?;
-    plan::lower(stmt, weights.is_some())
+    plan::physical_plan_for(stmt, weights.is_some(), optimizer, Some(table.schema()))
         .with_parallelism(parallelism)
         .execute(table, weights)
 }

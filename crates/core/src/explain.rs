@@ -1,17 +1,21 @@
-//! `EXPLAIN <select>` rendering: the bound physical plan — operators,
-//! morsel count, thread budget, and the visibility pipeline the engine
-//! would run — as lines of a one-column result table.
+//! `EXPLAIN <select>` rendering: the bound plan at every layer — the
+//! canonical logical plan, the optimized logical plan with the fired
+//! rule names, and the physical operator pipeline (morsel count, thread
+//! budget) — plus the visibility pipeline the engine would run, as lines
+//! of a one-column result table.
 //!
 //! EXPLAIN binds against the live catalog exactly like `prepare` does
 //! (it resolves the population's sample, the mechanism-vs-IPF decision,
-//! and the OPEN replicate protocol) but executes nothing.
+//! the OPEN replicate protocol, and the source schema the optimizer
+//! prunes against) but executes nothing.
 
 use mosaic_sql::{SelectItem, SelectStmt, Visibility};
+use mosaic_storage::Schema;
 
 use crate::catalog::Catalog;
-use crate::engine::{choose_sample, describe_semi_open, EngineOptions};
+use crate::engine::{choose_sample, describe_semi_open, sample_scan_schema, EngineOptions};
 use crate::plan::parallel::MORSEL_ROWS;
-use crate::plan::{has_aggregate_shape, lower, PhysicalPlan};
+use crate::plan::{has_aggregate_shape, plan_select, Planned};
 use crate::{MosaicError, Result};
 
 /// Render the EXPLAIN lines for one SELECT.
@@ -34,7 +38,8 @@ pub(crate) fn render(
                 ..stmt.clone()
             };
             lines.push("SELECT (scalar, no FROM)".to_string());
-            push_plan(&mut lines, &lower(&stmt2, false), "<one row>", 1);
+            let planned = plan_select(&stmt2, false, opts.optimizer, None);
+            push_plan(&mut lines, &planned, opts.optimizer, "<one row>", 1);
         }
         Some(from) => {
             if let Some(pop) = cat.population(from) {
@@ -74,9 +79,12 @@ pub(crate) fn render(
                     }
                 }
                 let weighted = vis != Visibility::Closed;
+                let planned =
+                    plan_select(stmt, weighted, opts.optimizer, Some(pop.schema.as_ref()));
                 push_plan(
                     &mut lines,
-                    &lower(stmt, weighted),
+                    &planned,
+                    opts.optimizer,
                     &sample.name,
                     sample.len(),
                 );
@@ -87,13 +95,16 @@ pub(crate) fn render(
                 ));
             } else if let Some(t) = cat.aux(from) {
                 lines.push(format!("SELECT FROM table {from}"));
-                push_plan(&mut lines, &lower(stmt, false), from, t.num_rows());
+                let planned = plan_select(stmt, false, opts.optimizer, Some(t.schema().as_ref()));
+                push_plan(&mut lines, &planned, opts.optimizer, from, t.num_rows());
             } else if let Some(s) = cat.sample(from) {
                 lines.push(format!(
                     "SELECT FROM sample {} (raw scan; engine weights exposed as column `weight`)",
                     s.name
                 ));
-                push_plan(&mut lines, &lower(stmt, false), &s.name, s.len());
+                let schema: std::sync::Arc<Schema> = sample_scan_schema(s);
+                let planned = plan_select(stmt, false, opts.optimizer, Some(schema.as_ref()));
+                push_plan(&mut lines, &planned, opts.optimizer, &s.name, s.len());
             } else {
                 return Err(MosaicError::Catalog(format!("unknown relation {from}")));
             }
@@ -110,13 +121,34 @@ pub(crate) fn render(
     Ok(lines)
 }
 
-/// Append the operator-tree lines: the one-line pipeline, then the scan
-/// with its morsel split, then each operator's description.
-fn push_plan(lines: &mut Vec<String>, plan: &PhysicalPlan, source: &str, rows: usize) {
+/// Append the plan lines: logical before/after with the fired rule
+/// names, then the physical pipeline — scan (with its morsel split and
+/// pruned column list) plus each operator's description.
+fn push_plan(
+    lines: &mut Vec<String>,
+    planned: &Planned,
+    optimizer: bool,
+    source: &str,
+    rows: usize,
+) {
+    lines.push(format!("  logical: {}", planned.logical));
+    if !optimizer {
+        lines.push("  optimizer: off".to_string());
+    } else if planned.fired.is_empty() {
+        lines.push("  optimized: (no rules fired)".to_string());
+    } else {
+        lines.push(format!("  optimized: {}", planned.optimized));
+        lines.push(format!("    rules fired: {}", planned.fired.join(", ")));
+    }
+    let plan = &planned.physical;
     let morsels = rows.div_ceil(MORSEL_ROWS).max(1);
     lines.push(format!("  plan: {plan}"));
+    let cols = match plan.scan_columns() {
+        Some(cols) => format!(", columns: [{}]", cols.join(", ")),
+        None => String::new(),
+    };
     lines.push(format!(
-        "    Scan: {source} ({rows} rows, {morsels} morsel(s) of {MORSEL_ROWS} rows)"
+        "    Scan: {source} ({rows} rows, {morsels} morsel(s) of {MORSEL_ROWS} rows{cols})"
     ));
     for d in plan.describe_operators() {
         lines.push(format!("    {d}"));
@@ -137,7 +169,9 @@ mod tests {
     #[test]
     fn explain_aux_table_query() {
         let engine = Arc::new(MosaicEngine::new());
-        let s = engine.session();
+        // Explicit override: the assertions are about the optimized
+        // rendering regardless of the ambient MOSAIC_OPTIMIZER default.
+        let s = engine.session().with_optimizer(true);
         s.execute("CREATE TABLE t (k TEXT, v INT); INSERT INTO t VALUES ('a', 1), ('b', 2);")
             .unwrap();
         let r = s
@@ -146,12 +180,49 @@ mod tests {
         let text = lines_of(&r).join("\n");
         assert!(text.contains("SELECT FROM table t"), "{text}");
         assert!(
-            text.contains("Scan → Filter → HashAggregate → Sort → Limit"),
+            text.contains("logical: Scan → Filter(v > 0) → Aggregate"),
             "{text}"
         );
+        assert!(
+            text.contains("Scan → Filter → HashAggregate → TopK"),
+            "{text}"
+        );
+        assert!(text.contains("rules fired: sort_limit_fusion"), "{text}");
         assert!(text.contains("Filter: v > 0"), "{text}");
         assert!(text.contains("2 rows, 1 morsel(s)"), "{text}");
         assert!(text.contains("parallelism:"), "{text}");
+    }
+
+    #[test]
+    fn explain_shows_pruned_scan_and_folded_constants() {
+        let engine = Arc::new(MosaicEngine::new());
+        let s = engine.session().with_optimizer(true);
+        s.execute(
+            "CREATE TABLE wide (a INT, b INT, c INT, d INT);
+             INSERT INTO wide VALUES (1, 2, 3, 4);",
+        )
+        .unwrap();
+        let r = s
+            .execute("EXPLAIN SELECT a FROM wide WHERE b > 1 + 1")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(text.contains("Scan[a#0, b#1]"), "{text}");
+        assert!(text.contains("Filter(b > 2)"), "{text}");
+        assert!(
+            text.contains("rules fired: constant_folding, projection_pruning"),
+            "{text}"
+        );
+        assert!(text.contains("columns: [a, b]"), "{text}");
+
+        // Optimizer off: logical only, no rewrite lines.
+        let off = s.clone().with_optimizer(false);
+        let r = off
+            .execute("EXPLAIN SELECT a FROM wide WHERE b > 1 + 1")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(text.contains("optimizer: off"), "{text}");
+        assert!(!text.contains("rules fired"), "{text}");
+        assert!(text.contains("Filter(b > 1 + 1)"), "{text}");
     }
 
     #[test]

@@ -74,6 +74,20 @@
 //! assert!(plan.num_rows() > 2);
 //! ```
 //!
+//! ## Planning and the logical optimizer
+//!
+//! A bound SELECT plans in three layers: the statement becomes a
+//! [`LogicalPlan`] IR (`Scan → Filter? → Project | Aggregate → Sort? →
+//! Limit?`), a rule-based optimizer rewrites it (projection pruning,
+//! param-aware constant folding, Sort+Limit → `TopK` fusion — see
+//! [`plan::optimize`]), and the result lowers to a [`PhysicalPlan`].
+//! The optimizer is a pure plan rewrite — results are **bit-identical**
+//! with it on or off (the oracle suite A/Bs both paths) — and is gated
+//! by [`EngineOptions::with_optimizer`], [`Session::with_optimizer`],
+//! or the `MOSAIC_OPTIMIZER=off` environment variable. Prepared
+//! statements optimize once, at prepare time; `EXPLAIN` shows the
+//! logical plan before and after rewriting with the fired rule names.
+//!
 //! ## Parallel execution
 //!
 //! Query execution is morsel-driven: scans split into fixed-size morsels
@@ -100,11 +114,13 @@ pub use catalog::{Catalog, Mechanism, MetadataEntry, Population, Sample};
 pub use engine::{EngineOptions, MosaicDb, MosaicEngine, OpenBackend, OpenOptions, QueryResult};
 pub use error::MosaicError;
 pub use eval::{eval_expr_rowwise, eval_predicate_rowwise, eval_scalar};
-pub use exec::{run_select, run_select_parallel, run_select_rowwise};
+pub use exec::{run_select, run_select_parallel, run_select_rowwise, run_select_with};
 pub use models::{BnModel, GenerativeModel, SwgModel};
+pub use plan::logical::{LogicalPlan, ScanColumn};
+pub use plan::optimize::{default_optimizer, optimize};
 pub use plan::parallel::{default_parallelism, MORSEL_ROWS};
 pub use plan::vector::{eval_expr, eval_predicate};
-pub use plan::{lower, PhysicalOperator, PhysicalPlan};
+pub use plan::{lower, lower_logical, plan_select, PhysicalOperator, PhysicalPlan, Planned};
 pub use session::{Prepared, Session, SessionOptions};
 
 // Re-export the pieces users need to drive the engine programmatically.

@@ -1,8 +1,14 @@
-//! The physical plan layer: lowering a [`SelectStmt`] into a pipeline of
-//! vectorized physical operators.
+//! The plan layer: a [`SelectStmt`] lowers into a [`LogicalPlan`] IR
+//! (see [`logical`]), the rule-based optimizer in [`optimize`] rewrites
+//! it (projection pruning, constant folding, Sort+Limit → TopK fusion),
+//! and [`lower_logical`] turns the result into a pipeline of vectorized
+//! physical operators. [`plan_select`] runs the whole chain and keeps
+//! the before/after logical plans plus the fired rule names for
+//! `EXPLAIN`; [`lower`] is the direct unoptimized translation.
 //!
 //! A SELECT lowers to `Scan → Filter? → (Project | HashAggregate) →
-//! Sort? → Limit?`. Operators implement [`PhysicalOperator`] and exchange
+//! Sort? → Limit?` (`Sort → Limit` becomes a single `TopK` when the
+//! optimizer fuses them). Operators implement [`PhysicalOperator`] and exchange
 //! [`Batch`]es (a table plus optional parallel row weights — the weights
 //! realize the paper's §5.3 weighted-aggregate rewrite and are a
 //! first-class plan property, not an executor afterthought). Expression
@@ -20,6 +26,8 @@
 //! machine's core count) and never affects results.
 
 pub(crate) mod aggregate;
+pub mod logical;
+pub mod optimize;
 pub mod parallel;
 pub mod vector;
 
@@ -31,6 +39,7 @@ use mosaic_storage::kernels;
 use mosaic_storage::{Column, ColumnBuilder, DataType, Field, Schema, Table, Value};
 
 use crate::{MosaicError, Result};
+use logical::LogicalPlan;
 
 /// Bind an expression's positional parameters against the execution's
 /// parameter vector. Parameter-free expressions (the overwhelmingly
@@ -241,21 +250,7 @@ impl PhysicalOperator for SortOp {
 
     fn execute(&self, ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
         let out = &input.table;
-        // Prefer keys resolved against the output (aliases, aggregate
-        // names); fall back to the pre-projection input when the output
-        // lacks the column and row counts line up.
-        let mut key_cols: Vec<Column> = Vec::with_capacity(self.keys.len());
-        for (expr, _) in &self.keys {
-            let expr = bind_expr(expr, ctx.params)?;
-            let col = match vector::eval_expr(&expr, out) {
-                Ok(c) => c,
-                Err(e) => match ctx.filtered_input {
-                    Some(t) if t.num_rows() == out.num_rows() => vector::eval_expr(&expr, t)?,
-                    _ => return Err(e),
-                },
-            };
-            key_cols.push(col);
-        }
+        let key_cols = eval_sort_keys(&self.keys, ctx, out)?;
         let mut idx: Vec<usize> = (0..out.num_rows()).collect();
         idx.sort_by(|&a, &b| {
             for (ki, (_, desc)) in self.keys.iter().enumerate() {
@@ -272,6 +267,32 @@ impl PhysicalOperator for SortOp {
             weights: input.weights.as_ref().map(|w| kernels::take_f64(w, &idx)),
         })
     }
+}
+
+/// Evaluate `ORDER BY` key columns: prefer keys resolved against the
+/// operator output (aliases, aggregate names); fall back to the
+/// pre-projection input when the output lacks the column and row counts
+/// line up. Shared by [`SortOp`] and [`TopKOp`] — the fused operator
+/// must resolve keys exactly like the sort it replaces, or the
+/// optimizer's bit-identity contract breaks.
+fn eval_sort_keys(
+    keys: &[(Expr, bool)],
+    ctx: &ExecContext<'_>,
+    out: &Table,
+) -> Result<Vec<Column>> {
+    let mut key_cols: Vec<Column> = Vec::with_capacity(keys.len());
+    for (expr, _) in keys {
+        let expr = bind_expr(expr, ctx.params)?;
+        let col = match vector::eval_expr(&expr, out) {
+            Ok(c) => c,
+            Err(e) => match ctx.filtered_input {
+                Some(t) if t.num_rows() == out.num_rows() => vector::eval_expr(&expr, t)?,
+                _ => return Err(e),
+            },
+        };
+        key_cols.push(col);
+    }
+    Ok(key_cols)
 }
 
 /// `LIMIT n`.
@@ -297,6 +318,126 @@ impl PhysicalOperator for LimitOp {
                 .as_ref()
                 .map(|w| w[..w.len().min(self.n)].to_vec()),
         })
+    }
+}
+
+/// Fused `ORDER BY … LIMIT n`: the first `n` rows of the stable sort
+/// order, selected with bounded per-morsel heaps plus an ordered merge
+/// instead of a full sort — O(rows · log n) against Sort's
+/// O(rows · log rows). Ties break on the original row index, which is
+/// exactly what a stable sort followed by `LIMIT n` produces, so the
+/// fused operator is bit-identical to the `Sort → Limit` pair it
+/// replaces (the optimizer's `sort_limit_fusion` rule relies on this).
+pub struct TopKOp {
+    /// `(expr, descending)` sort keys.
+    pub keys: Vec<(Expr, bool)>,
+    /// Number of rows to keep.
+    pub n: usize,
+}
+
+impl PhysicalOperator for TopKOp {
+    fn name(&self) -> &'static str {
+        "TopK"
+    }
+
+    fn describe(&self) -> String {
+        let keys: Vec<String> = self
+            .keys
+            .iter()
+            .map(|(e, desc)| format!("{}{}", e.default_name(), if *desc { " DESC" } else { "" }))
+            .collect();
+        format!("TopK: [{}] limit {}", keys.join(", "), self.n)
+    }
+
+    fn execute(&self, ctx: &ExecContext<'_>, input: &Batch) -> Result<Batch> {
+        let out = &input.table;
+        let key_cols = eval_sort_keys(&self.keys, ctx, out)?;
+        // Strict total order: key comparison, then the original row
+        // index — the order a stable sort realizes.
+        let cmp = |a: usize, b: usize| -> std::cmp::Ordering {
+            for (ki, (_, desc)) in self.keys.iter().enumerate() {
+                let ord = key_cols[ki].total_cmp_rows(a, b);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(&b)
+        };
+        let rows = out.num_rows();
+        // Bounded heap per morsel-sized block, then an ordered merge of
+        // the ≤ n survivors per block.
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + parallel::MORSEL_ROWS).min(rows);
+            top_n_in_range(start..end, self.n, &cmp, &mut candidates);
+            start = end;
+        }
+        candidates.sort_unstable_by(|&a, &b| cmp(a, b));
+        candidates.truncate(self.n);
+        Ok(Batch {
+            table: out.take(&candidates),
+            weights: input
+                .weights
+                .as_ref()
+                .map(|w| kernels::take_f64(w, &candidates)),
+        })
+    }
+}
+
+/// Append the `n` smallest row indices (under `cmp`) of `range` to
+/// `out`, using a bounded binary max-heap (the root is the worst row
+/// currently kept, so a better row replaces it in O(log n)).
+fn top_n_in_range(
+    range: std::ops::Range<usize>,
+    n: usize,
+    cmp: &impl Fn(usize, usize) -> std::cmp::Ordering,
+    out: &mut Vec<usize>,
+) {
+    if n == 0 {
+        return;
+    }
+    let base = out.len();
+    for row in range {
+        if out.len() - base < n {
+            out.push(row);
+            // Sift up.
+            let heap = &mut out[base..];
+            let mut i = heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if cmp(heap[i], heap[parent]) == std::cmp::Ordering::Greater {
+                    heap.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+            continue;
+        }
+        let heap = &mut out[base..];
+        if cmp(row, heap[0]) != std::cmp::Ordering::Less {
+            continue;
+        }
+        heap[0] = row;
+        // Sift down.
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < heap.len() && cmp(heap[l], heap[largest]) == std::cmp::Ordering::Greater {
+                largest = l;
+            }
+            if r < heap.len() && cmp(heap[r], heap[largest]) == std::cmp::Ordering::Greater {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            heap.swap(i, largest);
+            i = largest;
+        }
     }
 }
 
@@ -338,6 +479,12 @@ impl Shape {
 /// count**, and a single-morsel input reproduces the serial whole-table
 /// path exactly.
 pub struct PhysicalPlan {
+    /// Columns the scan keeps (`None` = all): the physical realization
+    /// of the optimizer's projection-pruning rule. Resolved by *name*
+    /// against the actual table at execution time — relations can be
+    /// re-bound between prepare and execute, so plan-time column ids
+    /// are advisory (they live on the logical plan for display).
+    scan_columns: Option<Vec<String>>,
     pre_shape: Vec<Box<dyn PhysicalOperator>>,
     pub(crate) shape: Shape,
     pub(crate) post_shape: Vec<Box<dyn PhysicalOperator>>,
@@ -402,6 +549,11 @@ impl PhysicalPlan {
         &self.pre_shape
     }
 
+    /// The pruned scan's column names (`None` = scan every column).
+    pub fn scan_columns(&self) -> Option<&[String]> {
+        self.scan_columns.as_deref()
+    }
+
     /// Operator names in execution order (EXPLAIN-style).
     pub fn operators(&self) -> Vec<&'static str> {
         let mut names = vec!["Scan"];
@@ -437,42 +589,139 @@ pub(crate) fn has_aggregate_shape(stmt: &SelectStmt) -> bool {
         })
 }
 
-/// Lower a SELECT into a physical plan. `weighted` marks whether the
-/// execution will carry row weights (population queries under SEMI-OPEN /
-/// OPEN visibility).
+/// Lower a SELECT into a physical plan **without optimization** — the
+/// direct structural translation (`Scan → Filter? → shape → Sort? →
+/// Limit?`). `weighted` marks whether the execution will carry row
+/// weights (population queries under SEMI-OPEN / OPEN visibility).
+/// [`plan_select`] is the full bind → logical → optimize → physical
+/// path.
 pub fn lower(stmt: &SelectStmt, weighted: bool) -> PhysicalPlan {
+    lower_logical(&LogicalPlan::from_stmt(stmt, weighted))
+}
+
+/// Lower a logical plan into the physical operator pipeline.
+///
+/// Plans built by [`LogicalPlan::from_stmt`] always carry exactly one
+/// shape node (`Project` or `Aggregate`). A hand-assembled chain
+/// without one lowers as an implicit `SELECT *` projection — the
+/// identity shape — rather than panicking.
+pub fn lower_logical(plan: &LogicalPlan) -> PhysicalPlan {
+    let mut scan_columns = None;
     let mut pre_shape: Vec<Box<dyn PhysicalOperator>> = Vec::new();
-    if let Some(pred) = &stmt.where_clause {
-        pre_shape.push(Box::new(FilterOp {
-            predicate: pred.clone(),
-        }));
-    }
-    let shape = if has_aggregate_shape(stmt) {
-        Shape::Aggregate(HashAggregateOp {
-            items: stmt.items.clone(),
-            group_by: stmt.group_by.clone(),
-            weighted,
-        })
-    } else {
-        Shape::Project(ProjectOp {
-            items: stmt.items.clone(),
-        })
-    };
+    let mut shape: Option<Shape> = None;
     let mut post_shape: Vec<Box<dyn PhysicalOperator>> = Vec::new();
-    if !stmt.order_by.is_empty() {
-        post_shape.push(Box::new(SortOp {
-            keys: stmt.order_by.clone(),
-        }));
-    }
-    if let Some(n) = stmt.limit {
-        post_shape.push(Box::new(LimitOp { n }));
+    for node in plan.nodes() {
+        match node {
+            LogicalPlan::Scan { columns } => {
+                scan_columns = columns
+                    .as_ref()
+                    .map(|cols| cols.iter().map(|c| c.name.clone()).collect());
+            }
+            LogicalPlan::Filter { predicate, .. } => pre_shape.push(Box::new(FilterOp {
+                predicate: predicate.clone(),
+            })),
+            LogicalPlan::Project { items, .. } => {
+                shape = Some(Shape::Project(ProjectOp {
+                    items: items.clone(),
+                }));
+            }
+            LogicalPlan::Aggregate {
+                items,
+                group_by,
+                weighted,
+                ..
+            } => {
+                shape = Some(Shape::Aggregate(HashAggregateOp {
+                    items: items.clone(),
+                    group_by: group_by.clone(),
+                    weighted: *weighted,
+                }));
+            }
+            LogicalPlan::Sort { keys, .. } => {
+                post_shape.push(Box::new(SortOp { keys: keys.clone() }))
+            }
+            LogicalPlan::Limit { n, .. } => post_shape.push(Box::new(LimitOp { n: *n })),
+            LogicalPlan::TopK { keys, n, .. } => post_shape.push(Box::new(TopKOp {
+                keys: keys.clone(),
+                n: *n,
+            })),
+        }
     }
     PhysicalPlan {
+        scan_columns,
         pre_shape,
-        shape,
+        shape: shape.unwrap_or_else(|| {
+            Shape::Project(ProjectOp {
+                items: vec![SelectItem::Wildcard],
+            })
+        }),
         post_shape,
         parallelism: parallel::default_parallelism(),
     }
+}
+
+/// A fully planned SELECT: the canonical logical plan, the optimized
+/// logical plan with the fired rule names, and the lowered physical
+/// plan. Produced by [`plan_select`]; `EXPLAIN` renders all three
+/// layers, prepared statements cache the whole bundle so rules run once
+/// at prepare time.
+pub struct Planned {
+    /// The canonical logical plan (before optimization).
+    pub logical: LogicalPlan,
+    /// The logical plan after the optimizer ran (identical to
+    /// `logical` when the optimizer is off or no rule fired).
+    pub optimized: LogicalPlan,
+    /// Names of the optimizer rules that fired, in application order
+    /// (empty when the optimizer is off).
+    pub fired: Vec<&'static str>,
+    /// The physical plan lowered from `optimized`.
+    pub physical: PhysicalPlan,
+}
+
+/// Plan one bound SELECT: build the logical plan, optimize it (when
+/// `optimizer` is true; `schema` — the bound source schema, if known —
+/// enables projection pruning), and lower the physical plan.
+///
+/// This retains both logical layers for `EXPLAIN` and prepared
+/// statements; ad-hoc execution, which only needs the physical plan,
+/// uses the crate-internal `physical_plan_for` and skips the
+/// expression-tree clones.
+pub fn plan_select(
+    stmt: &SelectStmt,
+    weighted: bool,
+    optimizer: bool,
+    schema: Option<&Schema>,
+) -> Planned {
+    let logical = LogicalPlan::from_stmt(stmt, weighted);
+    let (optimized, fired) = if optimizer {
+        optimize::optimize(logical.clone(), schema)
+    } else {
+        (logical.clone(), Vec::new())
+    };
+    let physical = lower_logical(&optimized);
+    Planned {
+        logical,
+        optimized,
+        fired,
+        physical,
+    }
+}
+
+/// [`plan_select`] for callers that discard the logical layers (the
+/// ad-hoc execution path): same bind → logical → optimize → lower
+/// pipeline, optimizing the IR by value so no expression tree is
+/// cloned per statement.
+pub(crate) fn physical_plan_for(
+    stmt: &SelectStmt,
+    weighted: bool,
+    optimizer: bool,
+    schema: Option<&Schema>,
+) -> PhysicalPlan {
+    let mut logical = LogicalPlan::from_stmt(stmt, weighted);
+    if optimizer {
+        logical = optimize::optimize(logical, schema).0;
+    }
+    lower_logical(&logical)
 }
 
 /// Output column name of a projection item.
@@ -614,6 +863,89 @@ mod tests {
         let rowwise = crate::exec::run_select_rowwise(&stmt, &t, None).unwrap();
         assert_eq!(vectorized.value(0, 0), rowwise.value(0, 0));
         assert_eq!(vectorized.value(0, 1), rowwise.value(0, 1));
+    }
+
+    /// The fused TopK operator must reproduce Sort → Limit bit-for-bit:
+    /// same rows, same (stable) tie order — across multi-chunk inputs
+    /// with heavy ties, NULL keys, mixed directions, and limits around
+    /// the edge cases.
+    #[test]
+    fn topk_matches_sort_limit() {
+        let rows = 2 * parallel::MORSEL_ROWS + 321;
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("f", DataType::Float),
+            Field::new("id", DataType::Int),
+        ]);
+        let mut b = mosaic_storage::TableBuilder::new(schema);
+        for r in 0..rows {
+            b.push_row(vec![
+                Value::Int((r % 5) as i64), // heavy ties
+                if r % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float((r % 97) as f64 - 48.0)
+                },
+                Value::Int(r as i64),
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        for src in [
+            "SELECT g, id FROM t ORDER BY g LIMIT 13",
+            "SELECT g, id FROM t ORDER BY g DESC, f LIMIT 50",
+            "SELECT id FROM t WHERE f IS NOT NULL ORDER BY f DESC LIMIT 7",
+            "SELECT g, f, id FROM t ORDER BY f, g DESC LIMIT 0",
+            "SELECT g, id FROM t ORDER BY g LIMIT 1000000",
+        ] {
+            let stmt = select(src);
+            for threads in [1, 4] {
+                let unopt = plan_select(&stmt, false, false, Some(t.schema()))
+                    .physical
+                    .with_parallelism(threads)
+                    .execute(&t, None)
+                    .unwrap();
+                let opt = plan_select(&stmt, false, true, Some(t.schema()))
+                    .physical
+                    .with_parallelism(threads)
+                    .execute(&t, None)
+                    .unwrap();
+                assert_eq!(unopt.num_rows(), opt.num_rows(), "{src}");
+                assert_eq!(unopt.num_columns(), opt.num_columns(), "{src}");
+                for r in 0..unopt.num_rows() {
+                    for c in 0..unopt.num_columns() {
+                        assert_eq!(unopt.value(r, c), opt.value(r, c), "{src} cell ({r},{c})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_plan_shapes() {
+        let planned = plan_select(
+            &select("SELECT k FROM t WHERE v > 1 ORDER BY v LIMIT 2"),
+            false,
+            true,
+            None,
+        );
+        assert_eq!(
+            planned.physical.operators(),
+            vec!["Scan", "Filter", "Project", "TopK"]
+        );
+        assert_eq!(planned.fired, vec!["sort_limit_fusion"]);
+        // Without the optimizer the structure is untouched.
+        let planned = plan_select(
+            &select("SELECT k FROM t WHERE v > 1 ORDER BY v LIMIT 2"),
+            false,
+            false,
+            None,
+        );
+        assert_eq!(
+            planned.physical.operators(),
+            vec!["Scan", "Filter", "Project", "Sort", "Limit"]
+        );
+        assert!(planned.fired.is_empty());
     }
 
     #[test]

@@ -1,0 +1,505 @@
+//! The rule-based logical optimizer.
+//!
+//! [`optimize`] rewrites a [`LogicalPlan`] with three rules, reporting
+//! which fired (the names surface in `EXPLAIN`):
+//!
+//! * **`constant_folding`** — every constant subexpression (no columns,
+//!   no parameters, no aggregates) collapses to the literal the
+//!   row-at-a-time reference evaluator produces for it, so folding can
+//!   never change a value. Parameter-aware: at prepare time, subtrees
+//!   containing `?` keep their placeholders while their constant
+//!   siblings still fold (`v > ? + (1 + 1)` → `v > ?1 + 2`). Constant
+//!   subtrees whose evaluation *errors* are left intact so the error
+//!   surfaces at execution exactly as the unoptimized plan reports it.
+//!   Unaliased SELECT items that fold keep their original output name
+//!   via a synthesized alias, so result schemas are identical with the
+//!   optimizer on or off. Inside an `Aggregate` node only
+//!   aggregate-containing items fold: GROUP BY expressions and the key
+//!   items pair by structural equality at execution time, so rewriting
+//!   either side could create (or destroy) a pairing the unoptimized
+//!   plan doesn't have — both spellings stay intact instead.
+//! * **`projection_pruning`** — when the statement has no `*` item, the
+//!   scan keeps only the columns the statement references (resolved
+//!   against the bound source schema). Columns are `Arc`-shared, so a
+//!   pruned scan is free to build — the win is downstream: `Filter`'s
+//!   row gather and the sort fallback input stop materializing columns
+//!   nobody reads. A statement referencing no columns at all (e.g.
+//!   `SELECT COUNT(*)`) keeps the first column so the scan's row count
+//!   survives.
+//! * **`sort_limit_fusion`** — `Sort → Limit` fuses into
+//!   [`LogicalPlan::TopK`], which selects the first `n` rows of the
+//!   stable sort order with bounded per-morsel heaps (O(rows · log n))
+//!   instead of sorting everything (O(rows · log rows)). Ties break on
+//!   the original row index — exactly the stable sort's order — so the
+//!   fusion is bit-identical.
+//!
+//! All rules are pure functions of the plan (and the bound schema), so
+//! optimization is deterministic; the whole pass is gated by
+//! `EngineOptions::with_optimizer` / the `MOSAIC_OPTIMIZER` environment
+//! variable so the unoptimized path stays exercisable (the oracle suite
+//! A/Bs both paths bit-identically).
+
+use std::sync::OnceLock;
+
+use mosaic_sql::{Expr, SelectItem};
+use mosaic_storage::Schema;
+
+use super::logical::{LogicalPlan, ScanColumn};
+
+/// Whether new plans are optimized by default: `false` when the
+/// `MOSAIC_OPTIMIZER` environment variable is set to `off`/`0`/`false`/
+/// `no`, `true` otherwise. Computed once per process; engine options and
+/// per-session overrides take precedence over this default.
+pub fn default_optimizer() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("MOSAIC_OPTIMIZER") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "off" | "0" | "false" | "no"
+        ),
+        Err(_) => true,
+    })
+}
+
+/// Run every rule over the plan; returns the rewritten plan plus the
+/// names of the rules that fired, in application order. `schema` is the
+/// bound source schema when known (projection pruning needs it to
+/// resolve column ids; without it that rule is skipped).
+pub fn optimize(
+    mut plan: LogicalPlan,
+    schema: Option<&Schema>,
+) -> (LogicalPlan, Vec<&'static str>) {
+    let mut fired = Vec::new();
+    if constant_folding(&mut plan) {
+        fired.push("constant_folding");
+    }
+    if let Some(schema) = schema {
+        if projection_pruning(&mut plan, schema) {
+            fired.push("projection_pruning");
+        }
+    }
+    if sort_limit_fusion(&mut plan) {
+        fired.push("sort_limit_fusion");
+    }
+    (plan, fired)
+}
+
+// ---- constant folding ----
+
+/// Fold constant subexpressions throughout the plan. Returns true if
+/// anything changed.
+fn constant_folding(plan: &mut LogicalPlan) -> bool {
+    let mut changed = false;
+    let mut cur = Some(plan);
+    while let Some(node) = cur {
+        match node {
+            LogicalPlan::Scan { .. } | LogicalPlan::Limit { .. } => {}
+            LogicalPlan::Filter { predicate, .. } => {
+                changed |= fold_in_place(predicate);
+            }
+            LogicalPlan::Project { items, .. } => {
+                changed |= fold_items(items, false);
+            }
+            LogicalPlan::Aggregate { items, .. } => {
+                // Fold only aggregate-containing items. GROUP BY
+                // expressions and key items pair by *structural*
+                // equality at execution time ("projection X is neither
+                // an aggregate nor a GROUP BY expression" otherwise), so
+                // rewriting either side independently could create a
+                // match the unoptimized plan doesn't have — e.g.
+                // `SELECT x + 2 … GROUP BY x + (1 + 1)` errors
+                // unoptimized but would succeed folded. Keeping both
+                // spellings intact keeps the pairing — and therefore
+                // the result or error — bit-identical.
+                changed |= fold_items(items, true);
+            }
+            LogicalPlan::Sort { keys, .. } | LogicalPlan::TopK { keys, .. } => {
+                for (e, _) in keys.iter_mut() {
+                    changed |= fold_in_place(e);
+                }
+            }
+        }
+        cur = node.input_mut();
+    }
+    changed
+}
+
+/// Fold the SELECT list. Unaliased items that fold get an alias carrying
+/// their original display name, so output schemas never change. With
+/// `aggregates_only`, non-aggregate items are left untouched (they pair
+/// with GROUP BY expressions structurally — see the Aggregate arm of
+/// [`constant_folding`]).
+fn fold_items(items: &mut [SelectItem], aggregates_only: bool) -> bool {
+    let mut changed = false;
+    for item in items.iter_mut() {
+        if let SelectItem::Expr { expr, alias } = item {
+            if aggregates_only && !expr.contains_aggregate() {
+                continue;
+            }
+            let mut c = false;
+            let folded = fold_expr(expr, &mut c);
+            if c {
+                if alias.is_none() {
+                    *alias = Some(expr.default_name());
+                }
+                *expr = folded;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+fn fold_in_place(expr: &mut Expr) -> bool {
+    let mut changed = false;
+    let folded = fold_expr(expr, &mut changed);
+    if changed {
+        *expr = folded;
+    }
+    changed
+}
+
+/// Recursively fold constant subtrees to literals via the row-at-a-time
+/// reference evaluator (so a folded value is *by definition* the value
+/// every row would have seen). Erroring constants stay unfolded.
+fn fold_expr(expr: &Expr, changed: &mut bool) -> Expr {
+    if expr.is_const() && !matches!(expr, Expr::Literal(_)) {
+        if let Ok(v) = crate::eval::eval_scalar(expr) {
+            *changed = true;
+            return Expr::Literal(v);
+        }
+        return expr.clone();
+    }
+    let fold_box = |e: &Expr, changed: &mut bool| Box::new(fold_expr(e, changed));
+    match expr {
+        Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => expr.clone(),
+        Expr::Unary { op, expr: inner } => Expr::Unary {
+            op: *op,
+            expr: fold_box(inner, changed),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: fold_box(left, changed),
+            op: *op,
+            right: fold_box(right, changed),
+        },
+        Expr::InList {
+            expr: inner,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: fold_box(inner, changed),
+            list: list.iter().map(|e| fold_expr(e, changed)).collect(),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr: inner,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: fold_box(inner, changed),
+            low: fold_box(low, changed),
+            high: fold_box(high, changed),
+            negated: *negated,
+        },
+        Expr::IsNull {
+            expr: inner,
+            negated,
+        } => Expr::IsNull {
+            expr: fold_box(inner, changed),
+            negated: *negated,
+        },
+        Expr::Agg { func, arg } => Expr::Agg {
+            func: *func,
+            arg: arg.as_deref().map(|a| fold_box(a, changed)),
+        },
+    }
+}
+
+// ---- projection pruning ----
+
+/// Restrict the scan to the columns the plan references. Fires only when
+/// the statement has no wildcard and the referenced set is narrower than
+/// the source schema.
+fn projection_pruning(plan: &mut LogicalPlan, schema: &Schema) -> bool {
+    let mut referenced: Vec<String> = Vec::new();
+    let mut add = |exprs: &[&Expr]| {
+        for e in exprs {
+            for c in e.referenced_columns() {
+                if !referenced.iter().any(|n| n.eq_ignore_ascii_case(&c)) {
+                    referenced.push(c);
+                }
+            }
+        }
+    };
+    for node in plan.nodes() {
+        match node {
+            LogicalPlan::Scan { .. } | LogicalPlan::Limit { .. } => {}
+            LogicalPlan::Filter { predicate, .. } => add(&[predicate]),
+            LogicalPlan::Project { items, .. } => {
+                if !collect_item_columns(items, &mut add) {
+                    return false; // wildcard: the scan schema is the output
+                }
+            }
+            LogicalPlan::Aggregate {
+                items, group_by, ..
+            } => {
+                if !collect_item_columns(items, &mut add) {
+                    return false;
+                }
+                add(&group_by.iter().collect::<Vec<_>>());
+            }
+            LogicalPlan::Sort { keys, .. } | LogicalPlan::TopK { keys, .. } => {
+                add(&keys.iter().map(|(e, _)| e).collect::<Vec<_>>());
+            }
+        }
+    }
+    // Resolve against the bound schema, in schema order. Referenced
+    // names the schema lacks are dropped here — evaluation reports the
+    // same unknown-column error with or without pruning.
+    let mut ids: Vec<usize> = referenced
+        .iter()
+        .filter_map(|n| schema.index_of(n).ok())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() >= schema.len() {
+        return false; // nothing to prune
+    }
+    if ids.is_empty() {
+        if schema.is_empty() {
+            return false;
+        }
+        // No columns referenced (SELECT COUNT(*), SELECT 1, …): keep one
+        // column so the scan's row count survives the pruning.
+        ids.push(0);
+    }
+    let cols: Vec<ScanColumn> = ids
+        .into_iter()
+        .map(|id| ScanColumn {
+            name: schema.field(id).name.clone(),
+            id,
+        })
+        .collect();
+    *scan_columns_mut(plan) = Some(cols);
+    true
+}
+
+/// Collect column references from SELECT items into `add`; returns false
+/// if a wildcard makes pruning unsafe.
+fn collect_item_columns(items: &[SelectItem], add: &mut impl FnMut(&[&Expr])) -> bool {
+    for item in items {
+        match item {
+            SelectItem::Wildcard => return false,
+            SelectItem::Expr { expr, .. } => add(&[expr]),
+        }
+    }
+    true
+}
+
+fn scan_columns_mut(plan: &mut LogicalPlan) -> &mut Option<Vec<ScanColumn>> {
+    match plan {
+        LogicalPlan::Scan { columns } => columns,
+        other => scan_columns_mut(
+            other
+                .input_mut()
+                .expect("non-scan logical nodes have an input"),
+        ),
+    }
+}
+
+// ---- sort/limit fusion ----
+
+/// Fuse `Limit(Sort(x))` into `TopK(x)`.
+fn sort_limit_fusion(plan: &mut LogicalPlan) -> bool {
+    if let LogicalPlan::Limit { input, n } = plan {
+        let n = *n;
+        if let LogicalPlan::Sort {
+            input: sort_in,
+            keys,
+        } = input.as_mut()
+        {
+            let keys = std::mem::take(keys);
+            let inner = std::mem::replace(sort_in, Box::new(LogicalPlan::Scan { columns: None }));
+            *plan = LogicalPlan::TopK {
+                input: inner,
+                keys,
+                n,
+            };
+            return true;
+        }
+    }
+    match plan.input_mut() {
+        Some(input) => sort_limit_fusion(input),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_sql::{parse, parse_expr, SelectStmt, Statement};
+    use mosaic_storage::{DataType, Field};
+
+    fn select(src: &str) -> SelectStmt {
+        match parse(src).unwrap().pop().unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::Int),
+            Field::new("w", DataType::Float),
+        ])
+    }
+
+    fn optimize_stmt(src: &str) -> (LogicalPlan, Vec<&'static str>) {
+        let plan = LogicalPlan::from_stmt(&select(src), false);
+        optimize(plan, Some(&schema()))
+    }
+
+    #[test]
+    fn folds_constants_and_keeps_param_residuals() {
+        let (plan, fired) = optimize_stmt("SELECT v FROM t WHERE v > 1 + 1");
+        assert!(fired.contains(&"constant_folding"), "{fired:?}");
+        let nodes = plan.nodes();
+        let LogicalPlan::Filter { predicate, .. } = nodes[1] else {
+            panic!("expected filter, got {}", nodes[1].describe());
+        };
+        assert_eq!(predicate, &parse_expr("v > 2").unwrap());
+
+        // A `?` residual blocks its own subtree but not constant siblings.
+        let (plan, fired) = optimize_stmt("SELECT v FROM t WHERE v > ? + (2 * 3)");
+        assert!(fired.contains(&"constant_folding"), "{fired:?}");
+        let text = plan.to_string();
+        assert!(text.contains("?1 + 6"), "{text}");
+    }
+
+    #[test]
+    fn folded_items_keep_their_output_name() {
+        let (plan, _) = optimize_stmt("SELECT 1 + 2, v FROM t");
+        let nodes = plan.nodes();
+        let LogicalPlan::Project { items, .. } = nodes[1] else {
+            panic!("expected project");
+        };
+        let mosaic_sql::SelectItem::Expr { expr, alias } = &items[0] else {
+            panic!("expected expr item");
+        };
+        assert_eq!(expr, &parse_expr("3").unwrap());
+        assert_eq!(alias.as_deref(), Some("1 + 2"));
+    }
+
+    #[test]
+    fn group_by_pairing_is_never_rewritten() {
+        // Execution pairs non-aggregate items with GROUP BY expressions
+        // by structural equality; folding either side independently
+        // could create a match the unoptimized plan rejects. Both
+        // spellings must survive untouched — in both directions.
+        for src in [
+            "SELECT v + 2, COUNT(*) FROM t GROUP BY v + (1 + 1)",
+            "SELECT v + (1 + 1), COUNT(*) FROM t GROUP BY v + 2",
+        ] {
+            let (plan, _) = optimize_stmt(src);
+            let LogicalPlan::Aggregate {
+                items, group_by, ..
+            } = plan.nodes()[1]
+            else {
+                panic!("expected aggregate: {plan}");
+            };
+            let stmt = select(src);
+            assert_eq!(&stmt.group_by, group_by, "{src}");
+            let mosaic_sql::SelectItem::Expr { expr, .. } = &items[0] else {
+                panic!("expected expr item");
+            };
+            let mosaic_sql::SelectItem::Expr { expr: orig, .. } = &stmt.items[0] else {
+                panic!("expected expr item");
+            };
+            assert_eq!(expr, orig, "{src}");
+        }
+        // Aggregate-containing items still fold (their shells never
+        // participate in GROUP BY pairing).
+        let (plan, fired) = optimize_stmt("SELECT k, SUM(v) * (1 + 1) FROM t GROUP BY k");
+        assert!(fired.contains(&"constant_folding"), "{fired:?}");
+        let LogicalPlan::Aggregate { items, .. } = plan.nodes()[1] else {
+            panic!("expected aggregate: {plan}");
+        };
+        let mosaic_sql::SelectItem::Expr { expr, alias } = &items[1] else {
+            panic!("expected expr item");
+        };
+        assert_eq!(expr, &parse_expr("SUM(v) * 2").unwrap());
+        assert_eq!(alias.as_deref(), Some("SUM(v) * 1 + 1"));
+    }
+
+    #[test]
+    fn erroring_constants_stay_unfolded() {
+        // `'x' > 1` is constant but errors in the reference evaluator;
+        // it must survive folding untouched so execution reports the
+        // same error with the optimizer on or off.
+        let (plan, _) = optimize_stmt("SELECT v FROM t WHERE k = 'a' AND 'x' > 1");
+        let nodes = plan.nodes();
+        let LogicalPlan::Filter { predicate, .. } = nodes[1] else {
+            panic!("expected filter, got {}", nodes[1].describe());
+        };
+        assert_eq!(predicate, &parse_expr("k = 'a' AND 'x' > 1").unwrap());
+    }
+
+    #[test]
+    fn prunes_scan_to_referenced_columns() {
+        let (plan, fired) = optimize_stmt("SELECT k FROM t WHERE v > 1 ORDER BY v DESC");
+        assert!(fired.contains(&"projection_pruning"), "{fired:?}");
+        let LogicalPlan::Scan {
+            columns: Some(cols),
+        } = plan.scan()
+        else {
+            panic!("expected pruned scan: {plan}");
+        };
+        let names: Vec<&str> = cols.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["k", "v"]);
+        assert_eq!(cols[0].id, 0);
+        assert_eq!(cols[1].id, 1);
+    }
+
+    #[test]
+    fn wildcard_blocks_pruning() {
+        let (plan, fired) = optimize_stmt("SELECT * FROM t WHERE v > 1");
+        assert!(!fired.contains(&"projection_pruning"), "{fired:?}");
+        assert!(matches!(plan.scan(), LogicalPlan::Scan { columns: None }));
+    }
+
+    #[test]
+    fn column_free_statement_keeps_one_column() {
+        let (plan, fired) = optimize_stmt("SELECT COUNT(*) FROM t");
+        assert!(fired.contains(&"projection_pruning"), "{fired:?}");
+        let LogicalPlan::Scan {
+            columns: Some(cols),
+        } = plan.scan()
+        else {
+            panic!("expected pruned scan");
+        };
+        assert_eq!(cols.len(), 1);
+        assert_eq!(cols[0].id, 0);
+    }
+
+    #[test]
+    fn fully_referenced_schema_not_pruned() {
+        let (_, fired) = optimize_stmt("SELECT k, v, w FROM t");
+        assert!(!fired.contains(&"projection_pruning"), "{fired:?}");
+    }
+
+    #[test]
+    fn sort_limit_fuses_to_topk() {
+        let (plan, fired) = optimize_stmt("SELECT k FROM t ORDER BY v DESC, k LIMIT 5");
+        assert!(fired.contains(&"sort_limit_fusion"), "{fired:?}");
+        let names: Vec<&str> = plan.nodes().iter().map(|n| n.name()).collect();
+        assert_eq!(names, vec!["Scan", "Project", "TopK"]);
+        assert!(plan.to_string().contains("TopK[v DESC, k](n=5)"), "{plan}");
+
+        // No LIMIT → Sort stays.
+        let (plan, fired) = optimize_stmt("SELECT k FROM t ORDER BY v");
+        assert!(!fired.contains(&"sort_limit_fusion"), "{fired:?}");
+        assert!(plan.to_string().contains("Sort[v]"), "{plan}");
+    }
+}

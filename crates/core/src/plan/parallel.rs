@@ -117,6 +117,19 @@ pub(crate) fn execute_plan(
     params: &[Value],
     threads: usize,
 ) -> Result<Table> {
+    // Pruned scan: keep only the columns the optimizer proved the plan
+    // references. Columns are Arc-shared, so this is a cheap header-only
+    // projection — the payoff is downstream, where Filter's row gather
+    // and the sort-fallback merge stop materializing unread columns.
+    // Weights are row-parallel and unaffected.
+    let pruned;
+    let table = match plan.scan_columns() {
+        Some(cols) => {
+            pruned = prune_scan(table, cols)?;
+            &pruned
+        }
+        None => table,
+    };
     let n = table.num_rows();
     let n_morsels = n.div_ceil(MORSEL_ROWS).max(1);
     // The filtered input only matters when a Sort might fall back to it
@@ -253,6 +266,31 @@ pub(crate) fn execute_plan(
         batch = op.execute(&ctx, &batch)?;
     }
     Ok(batch.table)
+}
+
+/// Resolve a pruned scan's column list against the actual table (by
+/// name: the relation may have been re-bound since planning). Names the
+/// table lacks are dropped — expressions referencing them report the
+/// same unknown-column error they would without pruning. When nothing
+/// survives (a column-free statement such as `SELECT COUNT(*)`), the
+/// first column is kept so the scan's row count is preserved.
+fn prune_scan(table: &Table, cols: &[String]) -> Result<Table> {
+    let kept: Vec<&str> = cols
+        .iter()
+        .map(String::as_str)
+        .filter(|n| table.schema().contains(n))
+        .collect();
+    if kept.len() == table.num_columns() {
+        return Ok(table.clone());
+    }
+    if kept.is_empty() {
+        if table.num_columns() == 0 {
+            return Ok(table.clone());
+        }
+        let first = table.schema().field(0).name.clone();
+        return table.project(&[first.as_str()]).map_err(Into::into);
+    }
+    table.project(&kept).map_err(Into::into)
 }
 
 /// Concatenate per-morsel projection outputs, reconciling the evaluator's

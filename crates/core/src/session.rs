@@ -23,7 +23,8 @@ use crate::catalog::Catalog;
 use crate::engine::{
     choose_sample, EngineOptions, MosaicEngine, OpenBackend, QueryPlans, QueryResult,
 };
-use crate::plan::{has_aggregate_shape, lower, PhysicalPlan};
+use crate::plan::logical::LogicalPlan;
+use crate::plan::{has_aggregate_shape, plan_select, PhysicalPlan};
 use crate::{MosaicError, Result};
 
 /// Per-session overrides over the engine-wide [`EngineOptions`]. Every
@@ -42,6 +43,9 @@ pub struct SessionOptions {
     pub parallelism: Option<usize>,
     /// Generative backend for this session's OPEN queries.
     pub open_backend: Option<OpenBackend>,
+    /// Whether this session's SELECT planning runs the rule-based
+    /// logical optimizer (overrides [`EngineOptions::optimizer`]).
+    pub optimizer: Option<bool>,
 }
 
 /// A client session on a shared [`MosaicEngine`].
@@ -96,6 +100,15 @@ impl Session {
     /// Override the OPEN generative backend.
     pub fn with_open_backend(mut self, backend: OpenBackend) -> Session {
         self.overrides.open_backend = Some(backend);
+        self
+    }
+
+    /// Enable or disable the rule-based logical optimizer for this
+    /// session's statements (results are bit-identical either way —
+    /// only latency changes). Statements prepared *before* the override
+    /// keep the plans they were prepared with.
+    pub fn with_optimizer(mut self, on: bool) -> Session {
+        self.overrides.optimizer = Some(on);
         self
     }
 
@@ -198,6 +211,12 @@ pub struct Prepared {
     stmt: SelectStmt,
     param_count: usize,
     source: PreparedSource,
+    /// The *optimized* logical plan (rules ran once, at prepare time;
+    /// parameter-aware constant folding leaves `?` residuals for
+    /// execution to bind).
+    logical: LogicalPlan,
+    /// Optimizer rules that fired at prepare time.
+    fired: Vec<&'static str>,
     plan: PhysicalPlan,
     /// For aggregate OPEN queries: the plan of the inner body (ORDER
     /// BY / LIMIT stripped) each generative replicate runs.
@@ -210,6 +229,8 @@ impl std::fmt::Debug for Prepared {
             .field("sql", &self.sql)
             .field("param_count", &self.param_count)
             .field("source", &self.source)
+            .field("logical", &self.logical.to_string())
+            .field("fired", &self.fired)
             .field("plan", &self.plan.to_string())
             .finish_non_exhaustive()
     }
@@ -229,6 +250,18 @@ impl Prepared {
     /// The resolved visibility (population queries; `None` otherwise).
     pub fn visibility(&self) -> Option<Visibility> {
         self.stmt.visibility
+    }
+
+    /// The cached logical plan — already optimized, so every execution
+    /// reuses the rewrite the optimizer did once at prepare time.
+    pub fn logical_plan(&self) -> &LogicalPlan {
+        &self.logical
+    }
+
+    /// Names of the optimizer rules that fired at prepare time (empty
+    /// when the optimizer was off or nothing applied).
+    pub fn fired_rules(&self) -> &[&'static str] {
+        &self.fired
     }
 
     /// Bind a parsed SELECT against the catalog: resolve the source
@@ -283,10 +316,12 @@ impl Prepared {
                         Some(Arc::clone(t.schema())),
                     )
                 } else if let Some(s) = cat.sample(&from) {
+                    // Samples expose the engine-managed `weight` column;
+                    // bind (and optimize) against the augmented schema.
                     (
                         PreparedSource::Sample(s.name.clone()),
                         stmt,
-                        Some(Arc::clone(s.data.schema())),
+                        Some(crate::engine::sample_scan_schema(s)),
                     )
                 } else {
                     return Err(MosaicError::Bind(format!("unknown relation {from}")));
@@ -294,14 +329,11 @@ impl Prepared {
             }
         };
         // Name binding: every referenced column must exist in the
-        // source schema (samples also expose the engine-managed
-        // `weight` column).
+        // source schema (sample schemas were already augmented with the
+        // engine-managed `weight` column above).
         if let Some(schema) = &schema {
-            let extra_weight = matches!(source, PreparedSource::Sample(_));
             for c in stmt.referenced_columns() {
-                let known =
-                    schema.contains(&c) || (extra_weight && c.eq_ignore_ascii_case("weight"));
-                if !known {
+                if !schema.contains(&c) {
                     return Err(MosaicError::Bind(format!(
                         "unknown column {c} in relation {}",
                         stmt.from.as_deref().unwrap_or("<scalar>")
@@ -309,8 +341,11 @@ impl Prepared {
                 }
             }
         }
-        // Lower the plan(s). The weighted-rewrite property is a
-        // function of the resolved visibility.
+        // Plan: build the logical IR, run the optimizer once (projection
+        // pruning against the bound schema, param-aware constant
+        // folding, Sort+Limit fusion), lower the physical plan. The
+        // weighted-rewrite property is a function of the resolved
+        // visibility.
         let (weighted, open_agg) = match (&source, stmt.visibility) {
             (PreparedSource::Population(_), Some(Visibility::Closed)) => (false, false),
             (PreparedSource::Population(_), Some(Visibility::Open)) => {
@@ -322,21 +357,23 @@ impl Prepared {
         // No `with_parallelism` here: the thread cap is an execution-time
         // property — every prepared execution passes the session's
         // effective cap through `execute_capped`.
-        let plan = lower(&stmt, weighted);
+        let planned = plan_select(&stmt, weighted, opts.optimizer, schema.as_deref());
         let inner_plan = open_agg.then(|| {
             let inner = SelectStmt {
                 order_by: Vec::new(),
                 limit: None,
                 ..stmt.clone()
             };
-            lower(&inner, true)
+            plan_select(&inner, true, opts.optimizer, schema.as_deref()).physical
         });
         Ok(Prepared {
             sql: sql.to_string(),
             stmt,
             param_count,
             source,
-            plan,
+            logical: planned.optimized,
+            fired: planned.fired,
+            plan: planned.physical,
             inner_plan,
         })
     }
@@ -482,6 +519,56 @@ mod tests {
         let r = semi.execute("SELECT COUNT(*) FROM People").unwrap();
         assert_eq!(r.visibility, Some(Visibility::SemiOpen));
         assert!((r.table.value(0, 0).as_f64().unwrap() - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prepared_caches_optimized_plan() {
+        let engine = engine_with_table();
+        // Explicit override so the test is independent of the ambient
+        // MOSAIC_OPTIMIZER default.
+        let s = engine.session().with_optimizer(true);
+        let sql = "SELECT k FROM t WHERE v > ? + (1 + 1) ORDER BY v DESC LIMIT 2";
+        let p = s.prepare(sql).unwrap();
+        // Rules ran once, at prepare: folding left the `?` residual,
+        // pruning resolved the scan columns, fusion produced TopK.
+        assert!(p.fired_rules().contains(&"constant_folding"), "{p:?}");
+        assert!(p.fired_rules().contains(&"sort_limit_fusion"), "{p:?}");
+        let logical = p.logical_plan().to_string();
+        assert!(logical.contains("?1 + 2"), "{logical}");
+        assert!(logical.contains("TopK"), "{logical}");
+        // Bit-identity against an optimizer-off session's prepared plan.
+        let off = s.clone().with_optimizer(false);
+        let p_off = off.prepare(sql).unwrap();
+        assert!(p_off.fired_rules().is_empty(), "{p_off:?}");
+        for v in [0i64, 1, 3] {
+            let a = s.query_prepared(&p, &[Value::Int(v)]).unwrap();
+            let b = off.query_prepared(&p_off, &[Value::Int(v)]).unwrap();
+            assert_eq!(a.num_rows(), b.num_rows(), "v = {v}");
+            for r in 0..a.num_rows() {
+                for c in 0..a.num_columns() {
+                    assert_eq!(a.value(r, c), b.value(r, c), "v = {v} cell ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_sample_scan_keeps_weight_column() {
+        let engine = Arc::new(MosaicEngine::new());
+        let s = engine.session();
+        s.execute(
+            "CREATE GLOBAL POPULATION People (city TEXT, age INT);
+             CREATE SAMPLE S AS (SELECT * FROM People);
+             INSERT INTO S VALUES ('x', 1), ('y', 2);",
+        )
+        .unwrap();
+        // `weight` is engine-managed, not part of the sample's declared
+        // schema; the pruned scan must still keep it.
+        let p = s
+            .prepare("SELECT SUM(weight) FROM S WHERE age > ?")
+            .unwrap();
+        let out = s.query_prepared(&p, &[Value::Int(0)]).unwrap();
+        assert_eq!(out.value(0, 0), Value::Float(2.0));
     }
 
     #[test]

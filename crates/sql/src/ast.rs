@@ -309,6 +309,24 @@ impl Expr {
         self.max_param().is_some()
     }
 
+    /// True if the expression is a pure literal computation: no column
+    /// references, no positional parameters, no aggregate calls anywhere
+    /// in the tree. Constant subtrees are what a planner may fold to a
+    /// single literal at plan (or prepare) time without changing
+    /// row-level semantics.
+    pub fn is_const(&self) -> bool {
+        match self {
+            Expr::Literal(_) => true,
+            Expr::Column(_) | Expr::Param(_) | Expr::Agg { .. } => false,
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.is_const(),
+            Expr::Binary { left, right, .. } => left.is_const() && right.is_const(),
+            Expr::InList { expr, list, .. } => expr.is_const() && list.iter().all(Expr::is_const),
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.is_const() && low.is_const() && high.is_const(),
+        }
+    }
+
     /// Highest parameter index referenced, if any.
     pub fn max_param(&self) -> Option<usize> {
         match self {

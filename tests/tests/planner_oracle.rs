@@ -1,13 +1,16 @@
-//! Property-based equivalence, three ways: the vectorized physical-plan
+//! Property-based equivalence, four ways: the vectorized physical-plan
 //! executor — serial (`parallelism = 1`) *and* parallel (thread counts
-//! {2, 8}) — must produce results identical to the retained
-//! row-at-a-time reference (`run_select_rowwise`): same schema, same
-//! values bit-for-bit, and the same errors — across generated tables
-//! (with NULLs), expressions, and weight vectors. This is the safety net
-//! under every later executor optimization, and it pins the morsel
-//! driver's invariant that the thread count never changes results.
+//! {2, 8}), with the logical optimizer **off and on** — must produce
+//! results identical to the retained row-at-a-time reference
+//! (`run_select_rowwise`): same schema, same values bit-for-bit, and
+//! the same errors — across generated tables (with NULLs), expressions,
+//! and weight vectors. This is the safety net under every later
+//! executor optimization; it pins the morsel driver's invariant that
+//! the thread count never changes results *and* the optimizer's
+//! invariant that plan rewriting (projection pruning, constant folding,
+//! Sort+Limit → TopK fusion) never changes results either.
 
-use mosaic_core::{run_select_parallel, run_select_rowwise};
+use mosaic_core::{run_select_rowwise, run_select_with};
 use mosaic_sql::{parse, Statement};
 use mosaic_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
 use proptest::prelude::*;
@@ -81,32 +84,35 @@ fn tables_identical(a: &Table, b: &Table) -> std::result::Result<(), String> {
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
 /// Run a query through the row-wise reference and the vectorized
-/// executor at every thread count, and demand identical outcomes.
+/// executor — optimizer off and on — at every thread count, and demand
+/// identical outcomes everywhere.
 fn assert_equivalent(src: &str, table: &Table, weights: Option<&[f64]>) {
     let stmt = select(src);
     let rowwise = run_select_rowwise(&stmt, table, weights);
     for threads in THREAD_COUNTS {
-        let vectorized = run_select_parallel(&stmt, table, weights, threads);
-        match (vectorized, &rowwise) {
-            (Ok(v), Ok(r)) => {
-                if let Err(msg) = tables_identical(&v, r) {
-                    panic!(
-                        "divergence on {src:?} at {threads} thread(s): {msg}\nvectorized:\n{v}\nrowwise:\n{r}"
+        for optimizer in [false, true] {
+            let vectorized = run_select_with(&stmt, table, weights, threads, optimizer);
+            match (vectorized, &rowwise) {
+                (Ok(v), Ok(r)) => {
+                    if let Err(msg) = tables_identical(&v, r) {
+                        panic!(
+                            "divergence on {src:?} at {threads} thread(s), optimizer={optimizer}: {msg}\nvectorized:\n{v}\nrowwise:\n{r}"
+                        );
+                    }
+                }
+                (Err(v), Err(r)) => {
+                    assert_eq!(
+                        v.to_string(),
+                        r.to_string(),
+                        "error mismatch on {src:?} at {threads} thread(s), optimizer={optimizer}"
                     );
                 }
+                (v, r) => panic!(
+                    "one path failed on {src:?} at {threads} thread(s), optimizer={optimizer}: vectorized {:?}, rowwise {:?}",
+                    v.map(|t| t.num_rows()),
+                    r.as_ref().map(|t| t.num_rows())
+                ),
             }
-            (Err(v), Err(r)) => {
-                assert_eq!(
-                    v.to_string(),
-                    r.to_string(),
-                    "error mismatch on {src:?} at {threads} thread(s)"
-                );
-            }
-            (v, r) => panic!(
-                "one path failed on {src:?} at {threads} thread(s): vectorized {:?}, rowwise {:?}",
-                v.map(|t| t.num_rows()),
-                r.as_ref().map(|t| t.num_rows())
-            ),
         }
     }
 }
@@ -172,19 +178,34 @@ fn multi_morsel_thread_counts_agree() {
         let src = template.replace("{thr}", "7");
         let stmt = select(&src);
         for weights in [None, Some(weights.as_slice())] {
-            let baseline = run_select_parallel(&stmt, &table, weights, 1);
-            for threads in [2, 8] {
-                let out = run_select_parallel(&stmt, &table, weights, threads);
-                match (&baseline, &out) {
-                    (Ok(b), Ok(o)) => {
-                        if let Err(msg) = tables_identical(b, o) {
-                            panic!("thread-count divergence on {src:?} at {threads}: {msg}");
+            // Baseline: serial, unoptimized. Every (thread count,
+            // optimizer) combination must reproduce it exactly.
+            let baseline = run_select_with(&stmt, &table, weights, 1, false);
+            for threads in [1, 2, 8] {
+                for optimizer in [false, true] {
+                    if threads == 1 && !optimizer {
+                        continue; // that is the baseline itself
+                    }
+                    let out = run_select_with(&stmt, &table, weights, threads, optimizer);
+                    match (&baseline, &out) {
+                        (Ok(b), Ok(o)) => {
+                            if let Err(msg) = tables_identical(b, o) {
+                                panic!(
+                                    "divergence on {src:?} at {threads} threads, optimizer={optimizer}: {msg}"
+                                );
+                            }
                         }
+                        (Err(b), Err(o)) => {
+                            assert_eq!(
+                                b.to_string(),
+                                o.to_string(),
+                                "error mismatch on {src:?}, optimizer={optimizer}"
+                            )
+                        }
+                        _ => panic!(
+                            "ok/err divergence on {src:?} at {threads} threads, optimizer={optimizer}"
+                        ),
                     }
-                    (Err(b), Err(o)) => {
-                        assert_eq!(b.to_string(), o.to_string(), "error mismatch on {src:?}")
-                    }
-                    _ => panic!("ok/err divergence on {src:?} at {threads} threads"),
                 }
             }
         }
