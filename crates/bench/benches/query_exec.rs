@@ -341,12 +341,121 @@ fn bench_optimizer(c: &mut Criterion) {
     group.finish();
 }
 
+/// The INNER hash equi-join on the ISSUE's acceptance shape: a 100K-row
+/// probe (fact) × 1K-row build (dimension), group-by aggregate over the
+/// joined rows. Before timing, the join result is asserted bit-identical
+/// to the row-wise reference (`mosaic_core::reference_join` — a
+/// canonical nested loop — followed by the row-at-a-time executor over
+/// the joined table). Timed at optimizer off/on (pushdown + pruning are
+/// the delta) and with a filtered variant where pushdown shrinks both
+/// join inputs before the build/probe.
+fn bench_join(c: &mut Criterion) {
+    let probe_rows = 100_000usize;
+    let build_rows = 1_000usize;
+    let fact = {
+        let fields = vec![
+            Field::new("code", DataType::Str),
+            Field::new("distance", DataType::Int),
+            Field::new("elapsed", DataType::Int),
+        ];
+        let columns = vec![
+            Column::from_str((0..probe_rows).map(|r| format!("c{}", r % 1317)).collect()),
+            Column::from_i64((0..probe_rows).map(|r| (r % 2600) as i64).collect()),
+            Column::from_i64((0..probe_rows).map(|r| (r % 400) as i64).collect()),
+        ];
+        Table::new(Schema::new(fields), columns).unwrap()
+    };
+    // 1K dimension rows; ~24% of fact codes miss the dimension.
+    let dim = Table::new(
+        Schema::new(vec![
+            Field::new("code", DataType::Str),
+            Field::new("region", DataType::Str),
+            Field::new("boost", DataType::Int),
+        ]),
+        vec![
+            Column::from_str((0..build_rows).map(|i| format!("c{i}")).collect()),
+            Column::from_str((0..build_rows).map(|i| format!("r{}", i % 7)).collect()),
+            Column::from_i64((0..build_rows).map(|i| (i % 19) as i64).collect()),
+        ],
+    )
+    .unwrap();
+    let engine = Arc::new(MosaicEngine::new());
+    engine.register_table("fact", fact.clone()).unwrap();
+    engine.register_table("dim", dim.clone()).unwrap();
+
+    let agg_sql = "SELECT d.region AS region, COUNT(*) AS n, SUM(f.distance) AS s \
+                   FROM fact f JOIN dim d ON f.code = d.code \
+                   GROUP BY d.region ORDER BY region";
+    let filtered_sql = "SELECT d.region AS region, COUNT(*) AS n, SUM(f.distance) AS s \
+                        FROM fact f JOIN dim d ON f.code = d.code \
+                        WHERE f.elapsed > 200 AND d.region != 'r3' \
+                        GROUP BY d.region ORDER BY region";
+
+    // Pre-timing bit-identity: hash join (optimizer off and on, threads
+    // 1 and 4) vs the row-wise reference join.
+    let keys = vec![(
+        mosaic_sql::parse_expr("code").unwrap(),
+        mosaic_sql::parse_expr("code").unwrap(),
+    )];
+    let joined = mosaic_core::reference_join(&fact, "f", &dim, "d", &keys).unwrap();
+    for (join_sql, flat_sql) in [
+        (
+            agg_sql,
+            "SELECT region, COUNT(*) AS n, SUM(distance) AS s FROM j \
+             GROUP BY region ORDER BY region",
+        ),
+        (
+            filtered_sql,
+            "SELECT region, COUNT(*) AS n, SUM(distance) AS s FROM j \
+             WHERE elapsed > 200 AND region != 'r3' GROUP BY region ORDER BY region",
+        ),
+    ] {
+        let reference = run_select_rowwise(&stmt(flat_sql), &joined, None).unwrap();
+        for optimizer in [false, true] {
+            for threads in [1usize, 4] {
+                let out = engine
+                    .session()
+                    .with_optimizer(optimizer)
+                    .with_parallelism(threads)
+                    .query(join_sql)
+                    .unwrap();
+                assert_tables_identical(
+                    &out,
+                    &reference,
+                    &format!("join optimizer={optimizer} threads={threads}"),
+                );
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("join_100k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let on = engine.session().with_optimizer(true).with_parallelism(1);
+    let off = engine.session().with_optimizer(false).with_parallelism(1);
+    group.bench_function("join_agg_optimized", |b| {
+        b.iter(|| black_box(on.query(agg_sql).unwrap()))
+    });
+    group.bench_function("join_agg_unoptimized", |b| {
+        b.iter(|| black_box(off.query(agg_sql).unwrap()))
+    });
+    group.bench_function("join_filtered_pushdown", |b| {
+        b.iter(|| black_box(on.query(filtered_sql).unwrap()))
+    });
+    group.bench_function("join_filtered_no_pushdown", |b| {
+        b.iter(|| black_box(off.query(filtered_sql).unwrap()))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_queries,
     bench_vectorized_vs_rowwise,
     bench_parallel_scaling,
     bench_prepared_vs_unprepared,
-    bench_optimizer
+    bench_optimizer,
+    bench_join
 );
 criterion_main!(benches);

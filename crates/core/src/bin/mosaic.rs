@@ -168,18 +168,38 @@ impl Shell {
                      .quit                      exit\n\
                      .notes on|off              toggle execution diagnostics\n\
                      .optimizer on|off          toggle the logical plan optimizer (this session)\n\
+                     .tables                    list registered relations with their kinds\n\
+                     .schema <name>             show a relation's columns with types\n\
                      .load <csv> <table>        ingest a CSV file as an auxiliary table\n\
                      \\prepare <name> <select>   parse+bind+plan once, keep under <name>\n\
                      \\exec <name> [v1, v2, …]   run a prepared statement with ? values\n\
                      \\explain <select>          shorthand for EXPLAIN <select>\n\
                      SQL: CREATE TABLE / [GLOBAL] POPULATION / SAMPLE / METADATA,\n\
-                          INSERT, DROP, EXPLAIN, SELECT [CLOSED|SEMI-OPEN|OPEN] ...\n\
+                          INSERT, DROP, EXPLAIN,\n\
+                          SELECT [CLOSED|SEMI-OPEN|OPEN] ... [FROM a [AS x] JOIN b ON x.k = b.k]\n\
                           (meta-commands accept either a '.' or a '\\' prefix)"
                 );
             }
             "notes" => {
                 self.show_notes = rest != "off";
                 println!("notes {}", if self.show_notes { "on" } else { "off" });
+            }
+            "tables" => {
+                let cat = self.session.engine().catalog();
+                let rels = cat.relations();
+                if rels.is_empty() {
+                    println!("(no relations registered)");
+                }
+                for (name, kind) in rels {
+                    println!("{name:<24} {kind}");
+                }
+            }
+            "schema" => {
+                if rest.is_empty() {
+                    eprintln!("usage: .schema <table|population|sample>");
+                    return true;
+                }
+                self.show_schema(rest);
             }
             "optimizer" => {
                 // Session-level override of the rule-based logical
@@ -253,6 +273,51 @@ impl Shell {
             _ => eprintln!("unknown meta-command (try .help)"),
         }
         true
+    }
+
+    /// Print one relation's columns with their types (`.schema <name>`).
+    fn show_schema(&self, name: &str) {
+        let cat = self.session.engine().catalog();
+        let print_fields = |schema: &mosaic_core::Schema| {
+            for f in schema.fields() {
+                println!(
+                    "  {:<20} {}{}",
+                    f.name,
+                    f.data_type,
+                    if f.nullable { "" } else { " NOT NULL" }
+                );
+            }
+        };
+        if let Some(t) = cat.aux(name) {
+            println!("table {name} ({} rows)", t.num_rows());
+            print_fields(t.schema());
+        } else if let Some(s) = cat.sample(name) {
+            println!(
+                "sample {} over population {} ({} rows)",
+                s.name,
+                s.population,
+                s.len()
+            );
+            print_fields(s.data.schema());
+            println!("  {:<20} FLOAT (engine-managed weight)", "weight");
+        } else if let Some(p) = cat.population(name) {
+            println!(
+                "population {}{}",
+                p.name,
+                if p.global { " (global)" } else { "" }
+            );
+            print_fields(&p.schema);
+        } else {
+            let names = cat.relation_names();
+            if names.is_empty() {
+                eprintln!("error: unknown relation {name} (the catalog has no relations yet)");
+            } else {
+                eprintln!(
+                    "error: unknown relation {name}; available: {}",
+                    names.join(", ")
+                );
+            }
+        }
     }
 
     fn load_csv(&mut self, path: &str, table: &str) {

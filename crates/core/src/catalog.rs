@@ -297,6 +297,31 @@ impl Catalog {
         candidate.map(|p| p.name.clone())
     }
 
+    /// Every registered relation as a `(name, kind)` pair, sorted by
+    /// name; kind is `"table"`, `"population"`, or `"sample"`. Drives
+    /// the CLI's `.tables` listing and the unknown-relation error's
+    /// "available relations" hint.
+    pub fn relations(&self) -> Vec<(String, &'static str)> {
+        let mut out: Vec<(String, &'static str)> = self
+            .aux
+            .keys()
+            .map(|n| (n.clone(), "table"))
+            .chain(
+                self.populations
+                    .values()
+                    .map(|p| (p.name.clone(), "population")),
+            )
+            .chain(self.samples.values().map(|s| (s.name.clone(), "sample")))
+            .collect();
+        out.sort_by_key(|r| r.0.to_ascii_lowercase());
+        out
+    }
+
+    /// Sorted names of every registered relation.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.relations().into_iter().map(|(n, _)| n).collect()
+    }
+
     /// Samples whose reference population is `population`.
     pub fn samples_for(&self, population: &str) -> Vec<&Sample> {
         self.samples

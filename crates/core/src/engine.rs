@@ -479,9 +479,15 @@ impl MosaicEngine {
                         ))
                     })?,
                 };
-                let from = query.from.as_deref().ok_or_else(|| {
-                    MosaicError::Execution("metadata query needs a FROM table".into())
-                })?;
+                let from = query
+                    .from
+                    .as_ref()
+                    .and_then(mosaic_sql::FromClause::single)
+                    .ok_or_else(|| {
+                        MosaicError::Execution(
+                            "metadata query needs a single FROM table (no joins or aliases)".into(),
+                        )
+                    })?;
                 let src = cat.aux(from).cloned().ok_or_else(|| {
                     MosaicError::Catalog(format!(
                         "metadata queries run over auxiliary tables; unknown table {from}"
@@ -642,7 +648,7 @@ impl MosaicEngine {
             }
         }
         let threads = opts.parallelism;
-        let Some(from) = stmt.from.clone() else {
+        let Some(from_clause) = stmt.from.clone() else {
             // SELECT of scalars (no FROM).
             let one_row = Table::new(
                 Schema::new(vec![Field::new("dummy", DataType::Int)]),
@@ -673,6 +679,10 @@ impl MosaicEngine {
                 notes: Vec::new(),
             });
         };
+        if crate::plan::join::needs_scope(stmt, &from_clause) {
+            return self.select_scope(cat, opts, stmt, &from_clause, plans);
+        }
+        let from = from_clause.base.name;
         if cat.population(&from).is_some() {
             return self.query_population(cat, opts, plans, &from, stmt);
         }
@@ -708,7 +718,81 @@ impl MosaicEngine {
                 notes: vec![format!("raw sample scan of {}", s.name)],
             });
         }
-        Err(MosaicError::Catalog(format!("unknown relation {from}")))
+        Err(unknown_relation(cat, &from))
+    }
+
+    /// Multi-relation (or aliased) FROM: resolve every relation, bind
+    /// the scope, and execute — the hash-join path for joins, the
+    /// ordinary single-table pipeline for a lone aliased relation.
+    fn select_scope(
+        &self,
+        cat: &Catalog,
+        opts: &EngineOptions,
+        stmt: &SelectStmt,
+        from: &mosaic_sql::FromClause,
+        plans: QueryPlans<'_>,
+    ) -> Result<QueryResult> {
+        if stmt.visibility.is_some() {
+            return Err(MosaicError::Unsupported(
+                "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only".into(),
+            ));
+        }
+        let (rels, tables) = resolve_scope_relations(cat, from)?;
+        let threads = opts.parallelism;
+        let mut notes = Vec::new();
+        for rel in &rels {
+            if rel.weighted {
+                notes.push(format!(
+                    "raw sample scan of {} (weights exposed as column `weight`)",
+                    rel.name
+                ));
+            }
+        }
+        if !from.has_joins() {
+            // A lone aliased relation: rewrite qualified references and
+            // run the ordinary single-table pipeline.
+            let rel = rels.into_iter().next().expect("one relation");
+            let rewritten = crate::plan::join::bind_single(stmt, rel)?;
+            let table = self.run_select(
+                opts,
+                &rewritten,
+                &tables[0],
+                None,
+                threads,
+                plans.plan,
+                plans.params,
+            )?;
+            return Ok(QueryResult {
+                table,
+                visibility: None,
+                notes,
+            });
+        }
+        notes.push(format!(
+            "hash equi-join of {} ⋈ {}",
+            rels[0].name,
+            rels.get(1).map(|r| r.name.as_str()).unwrap_or("?")
+        ));
+        let table = match plans.plan {
+            Some(plan) => {
+                plan.execute_join_capped(&tables[0], &tables[1], plans.params, threads)?
+            }
+            None => {
+                let bound = crate::plan::join::bind_join(stmt, rels)?;
+                let planned = crate::plan::plan_logical(bound.logical, opts.optimizer, None);
+                planned.physical.execute_join_capped(
+                    &tables[0],
+                    &tables[1],
+                    plans.params,
+                    threads,
+                )?
+            }
+        };
+        Ok(QueryResult {
+            table,
+            visibility: None,
+            notes,
+        })
     }
 
     // ---- population queries (paper §4) ----
@@ -958,6 +1042,64 @@ impl MosaicEngine {
         let combined = apply_order_limit(stmt, combined, plans.params)?;
         Ok((combined, notes))
     }
+}
+
+/// The unknown-relation error, listing what the catalog does have so a
+/// typo'd FROM is a one-glance fix.
+pub(crate) fn unknown_relation(cat: &Catalog, name: &str) -> MosaicError {
+    let names = cat.relation_names();
+    if names.is_empty() {
+        MosaicError::Catalog(format!(
+            "unknown relation {name} (the catalog has no relations yet)"
+        ))
+    } else {
+        MosaicError::Catalog(format!(
+            "unknown relation {name}; available relations: {}",
+            names.join(", ")
+        ))
+    }
+}
+
+/// Resolve a multi-relation FROM clause's relations against the catalog:
+/// auxiliary tables scan as-is, samples scan with the engine-managed
+/// `weight` column exposed (and are marked weighted). Populations are
+/// rejected — their visibility pipeline has no join support yet.
+pub(crate) fn resolve_scope_relations(
+    cat: &Catalog,
+    from: &mosaic_sql::FromClause,
+) -> Result<(Vec<crate::plan::join::ScopeRel>, Vec<Table>)> {
+    use crate::plan::join::ScopeRel;
+    let mut rels = Vec::new();
+    let mut tables = Vec::new();
+    for tref in from.relations() {
+        if cat.population(&tref.name).is_some() {
+            return Err(MosaicError::Unsupported(format!(
+                "population {} cannot appear in a join or aliased FROM yet; query the \
+                 population directly or join its sample",
+                tref.name
+            )));
+        }
+        if let Some(t) = cat.aux(&tref.name) {
+            rels.push(ScopeRel {
+                name: tref.name.clone(),
+                binding: tref.binding().to_string(),
+                schema: Arc::clone(t.schema()),
+                weighted: false,
+            });
+            tables.push(t.clone());
+        } else if let Some(s) = cat.sample(&tref.name) {
+            rels.push(ScopeRel {
+                name: s.name.clone(),
+                binding: tref.binding().to_string(),
+                schema: sample_scan_schema(s),
+                weighted: true,
+            });
+            tables.push(table_with_weight_column(&s.data, &s.weights)?);
+        } else {
+            return Err(unknown_relation(cat, &tref.name));
+        }
+    }
+    Ok((rels, tables))
 }
 
 /// Pick "a single, optimal sample" (paper §4 assumption 2): prefer

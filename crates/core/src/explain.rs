@@ -25,7 +25,12 @@ pub(crate) fn render(
     stmt: &SelectStmt,
 ) -> Result<Vec<String>> {
     let mut lines = Vec::new();
-    match stmt.from.as_deref() {
+    if let Some(fc) = &stmt.from {
+        if crate::plan::join::needs_scope(stmt, fc) {
+            return render_scope(cat, opts, stmt, fc);
+        }
+    }
+    match stmt.from.as_ref().map(|f| f.base.name.as_str()) {
         None => {
             let items: Vec<SelectItem> = stmt
                 .items
@@ -106,10 +111,15 @@ pub(crate) fn render(
                 let planned = plan_select(stmt, false, opts.optimizer, Some(schema.as_ref()));
                 push_plan(&mut lines, &planned, opts.optimizer, &s.name, s.len());
             } else {
-                return Err(MosaicError::Catalog(format!("unknown relation {from}")));
+                return Err(crate::engine::unknown_relation(cat, from));
             }
         }
     }
+    push_footer(&mut lines, opts, stmt);
+    Ok(lines)
+}
+
+fn push_footer(lines: &mut Vec<String>, opts: &EngineOptions, stmt: &SelectStmt) {
     lines.push(format!(
         "  parallelism: {} worker thread(s)",
         opts.parallelism
@@ -118,6 +128,80 @@ pub(crate) fn render(
     if params > 0 {
         lines.push(format!("  parameters: {params} positional (?1..?{params})"));
     }
+}
+
+/// Render a multi-relation (or aliased) FROM: the resolved relations,
+/// the join mechanics (keys, build-side rule), and the usual
+/// logical/optimized/physical plan layers.
+fn render_scope(
+    cat: &Catalog,
+    opts: &EngineOptions,
+    stmt: &SelectStmt,
+    fc: &mosaic_sql::FromClause,
+) -> Result<Vec<String>> {
+    if stmt.visibility.is_some() {
+        return Err(MosaicError::Unsupported(
+            "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only".into(),
+        ));
+    }
+    let (rels, tables) = crate::engine::resolve_scope_relations(cat, fc)?;
+    let mut lines = Vec::new();
+    if !fc.has_joins() {
+        let rel = rels.into_iter().next().expect("one relation");
+        lines.push(format!(
+            "SELECT FROM {} {} AS {}",
+            if rel.weighted { "sample" } else { "table" },
+            rel.name,
+            rel.binding
+        ));
+        let schema = std::sync::Arc::clone(&rel.schema);
+        let name = rel.name.clone();
+        let rewritten = crate::plan::join::bind_single(stmt, rel)?;
+        let planned = plan_select(&rewritten, false, opts.optimizer, Some(schema.as_ref()));
+        push_plan(
+            &mut lines,
+            &planned,
+            opts.optimizer,
+            &name,
+            tables[0].num_rows(),
+        );
+        push_footer(&mut lines, opts, stmt);
+        return Ok(lines);
+    }
+    let headline: Vec<String> = fc.relations().map(|t| t.to_string()).collect();
+    lines.push(format!("SELECT FROM {}", headline.join(" INNER JOIN ")));
+    for (i, (rel, table)) in rels.iter().zip(&tables).enumerate() {
+        lines.push(format!(
+            "  {}: {} {} ({} rows{})",
+            if i == 0 { "left" } else { "right" },
+            if rel.weighted { "sample" } else { "table" },
+            rel.name,
+            table.num_rows(),
+            if rel.weighted {
+                ", weights exposed as column `weight`"
+            } else {
+                ""
+            },
+        ));
+    }
+    let (lrows, rrows) = (tables[0].num_rows(), tables[1].num_rows());
+    let build = if lrows < rrows { &rels[0] } else { &rels[1] };
+    let probe = if lrows < rrows { &rels[1] } else { &rels[0] };
+    lines.push(format!(
+        "  join: INNER hash equi-join; build = smaller input ({}, currently), probe = {} \
+         morsel-parallel; output in canonical (left row, right row) order",
+        build.name, probe.name
+    ));
+    let bound = crate::plan::join::bind_join(stmt, rels)?;
+    let planned = crate::plan::plan_logical(bound.logical, opts.optimizer, None);
+    push_plan(
+        &mut lines,
+        &planned,
+        opts.optimizer,
+        &format!("{} ⋈ {}", fc.base.name, fc.joins[0].table.name),
+        lrows.max(rrows),
+    );
+    push_footer(&mut lines, opts, stmt);
     Ok(lines)
 }
 

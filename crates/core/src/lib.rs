@@ -78,9 +78,24 @@
 //!
 //! A bound SELECT plans in three layers: the statement becomes a
 //! [`LogicalPlan`] IR (`Scan → Filter? → Project | Aggregate → Sort? →
-//! Limit?`), a rule-based optimizer rewrites it (projection pruning,
-//! param-aware constant folding, Sort+Limit → `TopK` fusion — see
-//! [`plan::optimize`]), and the result lowers to a [`PhysicalPlan`].
+//! Limit?` — a tree with a [`LogicalPlan::Join`] leaf once a `FROM …
+//! JOIN …` appears), a rule-based optimizer rewrites it (projection
+//! pruning, param-aware constant folding, join predicate pushdown,
+//! Sort+Limit → `TopK` fusion — see [`plan::optimize`]), and the
+//! result lowers to a [`PhysicalPlan`].
+//!
+//! ## Joins
+//!
+//! Samples join ordinary dimension tables with INNER equi-joins
+//! (`FROM flights f JOIN carriers c ON f.carrier = c.code`): the scope
+//! binder resolves aliases and qualified columns (with bind-time
+//! ambiguity errors), the vectorized [`HashJoinOp`] builds on the
+//! smaller input and probes the larger one morsel-parallel, and output
+//! rows keep the canonical (left row, right row) order — bit-identical
+//! at every thread count and to the row-wise [`reference_join`]
+//! oracle. A joined sample carries its engine-managed `weight` column
+//! through; joining two weighted relations is a bind error (see
+//! [`plan::join`]).
 //! The optimizer is a pure plan rewrite — results are **bit-identical**
 //! with it on or off (the oracle suite A/Bs both paths) — and is gated
 //! by [`EngineOptions::with_optimizer`], [`Session::with_optimizer`],
@@ -116,15 +131,20 @@ pub use error::MosaicError;
 pub use eval::{eval_expr_rowwise, eval_predicate_rowwise, eval_scalar};
 pub use exec::{run_select, run_select_parallel, run_select_rowwise, run_select_with};
 pub use models::{BnModel, GenerativeModel, SwgModel};
-pub use plan::logical::{LogicalPlan, ScanColumn};
+pub use plan::join::{reference_join, HashJoinOp, JoinSide};
+pub use plan::logical::{JoinOutCol, LogicalPlan, ScanColumn};
 pub use plan::optimize::{default_optimizer, optimize};
 pub use plan::parallel::{default_parallelism, MORSEL_ROWS};
 pub use plan::vector::{eval_expr, eval_predicate};
-pub use plan::{lower, lower_logical, plan_select, PhysicalOperator, PhysicalPlan, Planned};
+pub use plan::{
+    lower, lower_logical, plan_logical, plan_select, PhysicalOperator, PhysicalPlan, Planned,
+};
 pub use session::{Prepared, Session, SessionOptions};
 
 // Re-export the pieces users need to drive the engine programmatically.
-pub use mosaic_sql::{parse, Expr, SelectStmt, Statement, Visibility};
+pub use mosaic_sql::{
+    parse, Expr, FromClause, JoinClause, SelectStmt, Statement, TableRef, Visibility,
+};
 pub use mosaic_stats::{Binner, IpfConfig, Marginal};
 pub use mosaic_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
 pub use mosaic_swg::SwgConfig;

@@ -40,17 +40,60 @@ impl fmt::Display for ScanColumn {
     }
 }
 
+/// One output column of a [`LogicalPlan::Join`]: the join's output name
+/// plus the provenance of the value (which input relation, which source
+/// column). Output names follow the scope rule: a column name that is
+/// unique across both sides keeps its bare name; a duplicated name is
+/// qualified as `binding.column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinOutCol {
+    /// Join output column name.
+    pub name: String,
+    /// Input relation index (0 = left/base, 1 = joined).
+    pub source: usize,
+    /// Column name in the source relation's schema.
+    pub column: String,
+    /// Column index in the source schema the plan was bound against
+    /// (plan-time resolution; execution re-resolves by name).
+    pub column_id: usize,
+    /// Bound column type (drives the pushdown safety check).
+    pub data_type: mosaic_storage::DataType,
+}
+
 /// A logical query plan: the relational IR a bound SELECT lowers to
-/// before optimization. Every node owns its input, so the plan is a
-/// chain today and a tree the day joins land.
+/// before optimization. Every node owns its input(s) — a chain for
+/// single-relation statements, a tree once a [`LogicalPlan::Join`]
+/// replaces the scan leaf.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogicalPlan {
     /// Leaf: scan the source relation. `columns: None` reads every
     /// column; `Some(cols)` is a pruned scan that materializes only the
     /// referenced columns (the projection-pruning rule's output).
     Scan {
+        /// Which bound relation this scan reads (0 for single-relation
+        /// statements; join inputs index the FROM clause's relations).
+        source: usize,
         /// Columns the scan keeps (`None` = all).
         columns: Option<Vec<ScanColumn>>,
+    },
+    /// INNER equi-join of two input subtrees. Keys are `(left, right)`
+    /// expression pairs written in each side's *source* column names;
+    /// a pair of rows joins iff every key pair is `sql_cmp`-equal
+    /// (NULL and NaN keys never match). Output rows are ordered by
+    /// (left row, right row) — the canonical nested-loop order — no
+    /// matter which side the executor builds its hash table on.
+    Join {
+        /// Left input (`Scan → Filter*` after predicate pushdown).
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Equi-join key pairs `(left expr, right expr)`.
+        keys: Vec<(Expr, Expr)>,
+        /// The join's output columns (narrowed by projection pruning).
+        output: Vec<JoinOutCol>,
+        /// Index of the input that exposes the engine-managed `weight`
+        /// column (a sample side), if any — pruning must keep it.
+        weighted: Option<usize>,
     },
     /// `WHERE` — keep rows satisfying the predicate.
     Filter {
@@ -112,7 +155,26 @@ impl LogicalPlan {
     /// a direct structural mirror of the statement. `weighted` marks
     /// whether execution will carry row weights.
     pub fn from_stmt(stmt: &SelectStmt, weighted: bool) -> LogicalPlan {
-        let mut node = LogicalPlan::Scan { columns: None };
+        Self::from_stmt_over(
+            stmt,
+            weighted,
+            LogicalPlan::Scan {
+                source: 0,
+                columns: None,
+            },
+        )
+    }
+
+    /// Build the statement's chain (`Filter? → Project | Aggregate →
+    /// Sort? → Limit?`) over an arbitrary leaf — the plain scan for
+    /// single-relation statements, a [`LogicalPlan::Join`] subtree for
+    /// multi-relation ones.
+    pub(crate) fn from_stmt_over(
+        stmt: &SelectStmt,
+        weighted: bool,
+        leaf: LogicalPlan,
+    ) -> LogicalPlan {
+        let mut node = leaf;
         if let Some(pred) = &stmt.where_clause {
             node = LogicalPlan::Filter {
                 input: Box::new(node),
@@ -151,6 +213,7 @@ impl LogicalPlan {
     pub fn name(&self) -> &'static str {
         match self {
             LogicalPlan::Scan { .. } => "Scan",
+            LogicalPlan::Join { .. } => "Join",
             LogicalPlan::Filter { .. } => "Filter",
             LogicalPlan::Project { .. } => "Project",
             LogicalPlan::Aggregate { .. } => "Aggregate",
@@ -160,10 +223,12 @@ impl LogicalPlan {
         }
     }
 
-    /// The node's input, if any (`None` for the scan leaf).
+    /// The node's chain input, if any (`None` for the scan leaf and for
+    /// [`LogicalPlan::Join`], whose two inputs are reached through the
+    /// node itself).
     pub fn input(&self) -> Option<&LogicalPlan> {
         match self {
-            LogicalPlan::Scan { .. } => None,
+            LogicalPlan::Scan { .. } | LogicalPlan::Join { .. } => None,
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }
@@ -173,16 +238,25 @@ impl LogicalPlan {
         }
     }
 
-    /// Mutable access to the node's input, if any.
+    /// Mutable access to the node's chain input, if any.
     pub(crate) fn input_mut(&mut self) -> Option<&mut LogicalPlan> {
         match self {
-            LogicalPlan::Scan { .. } => None,
+            LogicalPlan::Scan { .. } | LogicalPlan::Join { .. } => None,
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. }
             | LogicalPlan::TopK { input, .. } => Some(input),
+        }
+    }
+
+    /// The join node at the bottom of the chain, if this plan scans more
+    /// than one relation.
+    pub fn join(&self) -> Option<&LogicalPlan> {
+        match self.scan() {
+            j @ LogicalPlan::Join { .. } => Some(j),
+            _ => None,
         }
     }
 
@@ -198,7 +272,8 @@ impl LogicalPlan {
         out
     }
 
-    /// The scan leaf of the chain.
+    /// The leaf at the bottom of the chain: the scan for single-relation
+    /// plans, the [`LogicalPlan::Join`] node for multi-relation ones.
     pub fn scan(&self) -> &LogicalPlan {
         let mut cur = self;
         while let Some(input) = cur.input() {
@@ -208,15 +283,25 @@ impl LogicalPlan {
     }
 
     /// One-line description of this node alone (expressions included),
-    /// EXPLAIN-style.
+    /// EXPLAIN-style. A join's description embeds its two input chains.
     pub fn describe(&self) -> String {
         match self {
-            LogicalPlan::Scan { columns: None } => "Scan".to_string(),
+            LogicalPlan::Scan { columns: None, .. } => "Scan".to_string(),
             LogicalPlan::Scan {
                 columns: Some(cols),
+                ..
             } => {
                 let names: Vec<String> = cols.iter().map(ScanColumn::to_string).collect();
                 format!("Scan[{}]", names.join(", "))
+            }
+            LogicalPlan::Join {
+                left, right, keys, ..
+            } => {
+                let keys: Vec<String> = keys
+                    .iter()
+                    .map(|(l, r)| format!("{} = {}", l.default_name(), r.default_name()))
+                    .collect();
+                format!("Join[{}]({left} ⋈ {right})", keys.join(", "))
             }
             LogicalPlan::Filter { predicate, .. } => {
                 format!("Filter({})", predicate.default_name())

@@ -26,6 +26,7 @@
 //! machine's core count) and never affects results.
 
 pub(crate) mod aggregate;
+pub mod join;
 pub mod logical;
 pub mod optimize;
 pub mod parallel;
@@ -485,6 +486,12 @@ pub struct PhysicalPlan {
     /// re-bound between prepare and execute, so plan-time column ids
     /// are advisory (they live on the logical plan for display).
     scan_columns: Option<Vec<String>>,
+    /// The hash-join stage for two-relation plans (`None` for
+    /// single-relation plans). A join plan executes through
+    /// [`PhysicalPlan::execute_join`]: the join materializes the
+    /// combined table, then the remaining pipeline runs over it
+    /// morsel-parallel like any scan.
+    pub(crate) join: Option<join::HashJoinOp>,
     pre_shape: Vec<Box<dyn PhysicalOperator>>,
     pub(crate) shape: Shape,
     pub(crate) post_shape: Vec<Box<dyn PhysicalOperator>>,
@@ -495,6 +502,45 @@ impl PhysicalPlan {
     /// Execute against a source table with optional row weights.
     pub fn execute(&self, table: &Table, weights: Option<&[f64]>) -> Result<Table> {
         self.execute_with_params(table, weights, &[])
+    }
+
+    /// True when this plan joins two relations (execute it with
+    /// [`PhysicalPlan::execute_join`], not [`PhysicalPlan::execute`]).
+    pub fn is_join(&self) -> bool {
+        self.join.is_some()
+    }
+
+    /// The plan's hash-join stage, if any.
+    pub fn join_op(&self) -> Option<&join::HashJoinOp> {
+        self.join.as_ref()
+    }
+
+    /// Execute a two-relation join plan against its left and right
+    /// source tables (base relation first, joined relation second).
+    pub fn execute_join(&self, left: &Table, right: &Table) -> Result<Table> {
+        self.execute_join_with_params(left, right, &[])
+    }
+
+    /// [`PhysicalPlan::execute_join`] with positional-parameter values.
+    pub fn execute_join_with_params(
+        &self,
+        left: &Table,
+        right: &Table,
+        params: &[Value],
+    ) -> Result<Table> {
+        parallel::execute_join_plan(self, left, right, params, self.parallelism)
+    }
+
+    /// [`PhysicalPlan::execute_join_with_params`] with a per-execution
+    /// worker-thread cap overriding the plan's own.
+    pub(crate) fn execute_join_capped(
+        &self,
+        left: &Table,
+        right: &Table,
+        params: &[Value],
+        threads: usize,
+    ) -> Result<Table> {
+        parallel::execute_join_plan(self, left, right, params, threads.max(1))
     }
 
     /// Execute with positional-parameter values bound into the plan's
@@ -554,9 +600,14 @@ impl PhysicalPlan {
         self.scan_columns.as_deref()
     }
 
-    /// Operator names in execution order (EXPLAIN-style).
+    /// Operator names in execution order (EXPLAIN-style). Join plans
+    /// start at the hash join instead of a plain scan.
     pub fn operators(&self) -> Vec<&'static str> {
-        let mut names = vec!["Scan"];
+        let mut names = vec![if self.join.is_some() {
+            "HashJoin"
+        } else {
+            "Scan"
+        }];
         names.extend(self.pre_shape.iter().map(|op| op.name()));
         names.push(self.shape.name());
         names.extend(self.post_shape.iter().map(|op| op.name()));
@@ -567,7 +618,12 @@ impl PhysicalPlan {
     /// the engine can describe — it knows the relation) in execution
     /// order. Used by `EXPLAIN`.
     pub fn describe_operators(&self) -> Vec<String> {
-        let mut lines: Vec<String> = self.pre_shape.iter().map(|op| op.describe()).collect();
+        let mut lines: Vec<String> = Vec::new();
+        if let Some(join) = &self.join {
+            lines.push(join.describe());
+            lines.extend(join.describe_sides().into_iter().map(|l| format!("  {l}")));
+        }
+        lines.extend(self.pre_shape.iter().map(|op| op.describe()));
         lines.push(self.shape.describe());
         lines.extend(self.post_shape.iter().map(|op| op.describe()));
         lines
@@ -607,15 +663,29 @@ pub fn lower(stmt: &SelectStmt, weighted: bool) -> PhysicalPlan {
 /// identity shape — rather than panicking.
 pub fn lower_logical(plan: &LogicalPlan) -> PhysicalPlan {
     let mut scan_columns = None;
+    let mut join_stage = None;
     let mut pre_shape: Vec<Box<dyn PhysicalOperator>> = Vec::new();
     let mut shape: Option<Shape> = None;
     let mut post_shape: Vec<Box<dyn PhysicalOperator>> = Vec::new();
     for node in plan.nodes() {
         match node {
-            LogicalPlan::Scan { columns } => {
+            LogicalPlan::Scan { columns, .. } => {
                 scan_columns = columns
                     .as_ref()
                     .map(|cols| cols.iter().map(|c| c.name.clone()).collect());
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                keys,
+                output,
+                ..
+            } => {
+                join_stage = Some(join::HashJoinOp {
+                    left: lower_join_side(left, keys.iter().map(|(l, _)| l.clone()).collect()),
+                    right: lower_join_side(right, keys.iter().map(|(_, r)| r.clone()).collect()),
+                    output: output.clone(),
+                });
             }
             LogicalPlan::Filter { predicate, .. } => pre_shape.push(Box::new(FilterOp {
                 predicate: predicate.clone(),
@@ -649,6 +719,7 @@ pub fn lower_logical(plan: &LogicalPlan) -> PhysicalPlan {
     }
     PhysicalPlan {
         scan_columns,
+        join: join_stage,
         pre_shape,
         shape: shape.unwrap_or_else(|| {
             Shape::Project(ProjectOp {
@@ -657,6 +728,30 @@ pub fn lower_logical(plan: &LogicalPlan) -> PhysicalPlan {
         }),
         post_shape,
         parallelism: parallel::default_parallelism(),
+    }
+}
+
+/// Lower one join input chain (`Scan → Filter*`) into a [`join::JoinSide`].
+fn lower_join_side(side: &LogicalPlan, keys: Vec<Expr>) -> join::JoinSide {
+    let mut scan_columns = None;
+    let mut filters = Vec::new();
+    for node in side.nodes() {
+        match node {
+            LogicalPlan::Scan { columns, .. } => {
+                scan_columns = columns
+                    .as_ref()
+                    .map(|cols| cols.iter().map(|c| c.name.clone()).collect());
+            }
+            LogicalPlan::Filter { predicate, .. } => filters.push(FilterOp {
+                predicate: predicate.clone(),
+            }),
+            other => debug_assert!(false, "unexpected join-input node {}", other.name()),
+        }
+    }
+    join::JoinSide {
+        scan_columns,
+        filters,
+        keys,
     }
 }
 
@@ -692,7 +787,13 @@ pub fn plan_select(
     optimizer: bool,
     schema: Option<&Schema>,
 ) -> Planned {
-    let logical = LogicalPlan::from_stmt(stmt, weighted);
+    plan_logical(LogicalPlan::from_stmt(stmt, weighted), optimizer, schema)
+}
+
+/// Optimize + lower an already-built logical plan (the join binder
+/// constructs its [`LogicalPlan::Join`] tree itself; single-relation
+/// statements go through [`plan_select`]).
+pub fn plan_logical(logical: LogicalPlan, optimizer: bool, schema: Option<&Schema>) -> Planned {
     let (optimized, fired) = if optimizer {
         optimize::optimize(logical.clone(), schema)
     } else {

@@ -63,8 +63,11 @@ pub fn default_optimizer() -> bool {
 
 /// Run every rule over the plan; returns the rewritten plan plus the
 /// names of the rules that fired, in application order. `schema` is the
-/// bound source schema when known (projection pruning needs it to
-/// resolve column ids; without it that rule is skipped).
+/// bound source schema when known (single-relation projection pruning
+/// needs it to resolve column ids; without it that rule is skipped).
+/// Join plans carry their own binding (the [`LogicalPlan::Join`] output
+/// map), so the join rules — predicate pushdown, then join-aware
+/// projection pruning — never need the schema parameter.
 pub fn optimize(
     mut plan: LogicalPlan,
     schema: Option<&Schema>,
@@ -73,7 +76,14 @@ pub fn optimize(
     if constant_folding(&mut plan) {
         fired.push("constant_folding");
     }
-    if let Some(schema) = schema {
+    if matches!(plan.scan(), LogicalPlan::Join { .. }) {
+        if predicate_pushdown(&mut plan) {
+            fired.push("predicate_pushdown");
+        }
+        if join_projection_pruning(&mut plan) {
+            fired.push("projection_pruning");
+        }
+    } else if let Some(schema) = schema {
         if projection_pruning(&mut plan, schema) {
             fired.push("projection_pruning");
         }
@@ -94,6 +104,20 @@ fn constant_folding(plan: &mut LogicalPlan) -> bool {
     while let Some(node) = cur {
         match node {
             LogicalPlan::Scan { .. } | LogicalPlan::Limit { .. } => {}
+            LogicalPlan::Join {
+                left, right, keys, ..
+            } => {
+                // Keys fold like any expression: a folded constant
+                // subtree evaluates to the exact value every row saw, so
+                // the matched pairs are unchanged. Recurse into both
+                // input chains (they may carry filters).
+                for (l, r) in keys.iter_mut() {
+                    changed |= fold_in_place(l);
+                    changed |= fold_in_place(r);
+                }
+                changed |= constant_folding(left);
+                changed |= constant_folding(right);
+            }
             LogicalPlan::Filter { predicate, .. } => {
                 changed |= fold_in_place(predicate);
             }
@@ -235,6 +259,7 @@ fn projection_pruning(plan: &mut LogicalPlan, schema: &Schema) -> bool {
     for node in plan.nodes() {
         match node {
             LogicalPlan::Scan { .. } | LogicalPlan::Limit { .. } => {}
+            LogicalPlan::Join { .. } => return false, // join plans use join_projection_pruning
             LogicalPlan::Filter { predicate, .. } => add(&[predicate]),
             LogicalPlan::Project { items, .. } => {
                 if !collect_item_columns(items, &mut add) {
@@ -299,13 +324,327 @@ fn collect_item_columns(items: &[SelectItem], add: &mut impl FnMut(&[&Expr])) ->
 
 fn scan_columns_mut(plan: &mut LogicalPlan) -> &mut Option<Vec<ScanColumn>> {
     match plan {
-        LogicalPlan::Scan { columns } => columns,
+        LogicalPlan::Scan { columns, .. } => columns,
         other => scan_columns_mut(
             other
                 .input_mut()
                 .expect("non-scan logical nodes have an input"),
         ),
     }
+}
+
+// ---- join predicate pushdown ----
+
+/// Push WHERE conjuncts that reference exactly one join input — and that
+/// provably cannot error (see [`crate::plan::join::push_safe`]) — below
+/// the join, into that input's filter chain. The join is INNER, so a
+/// single-sided conjunct drops the same output rows whether it runs
+/// before or after the join; running it before shrinks the build /
+/// probe inputs. Conjuncts that span both sides, reference unknown
+/// columns, carry parameters in unsafe shapes, or could error stay
+/// above the join untouched.
+///
+/// The rule fires only when **every** conjunct — pushed *and* residual —
+/// is provably error-free: pushing one conjunct shrinks the set of rows
+/// the residual conjuncts evaluate over, so a residual that *could*
+/// error (say, a Float comparison hitting NaN on a row the pushed
+/// filter now removes) would error with the optimizer off but succeed
+/// with it on, breaking the bit-identical-including-errors contract.
+fn predicate_pushdown(plan: &mut LogicalPlan) -> bool {
+    // Find the Filter directly above the Join.
+    let mut cur = Some(plan);
+    while let Some(node) = cur {
+        if matches!(node, LogicalPlan::Filter { input, .. } if matches!(input.as_ref(), LogicalPlan::Join { .. }))
+        {
+            return push_filter_into_join(node);
+        }
+        cur = node.input_mut();
+    }
+    false
+}
+
+fn push_filter_into_join(node: &mut LogicalPlan) -> bool {
+    // Phase 1: classify the conjuncts (immutable).
+    let (mut pushed, residual): ([Vec<Expr>; 2], Vec<Expr>) = {
+        let LogicalPlan::Filter { input, predicate } = &*node else {
+            unreachable!("caller matched a filter-over-join");
+        };
+        let LogicalPlan::Join { output, .. } = input.as_ref() else {
+            unreachable!("caller matched a filter-over-join");
+        };
+        let mut conjuncts = Vec::new();
+        crate::plan::join::split_and(predicate, &mut conjuncts);
+        let out_type = |name: &str| {
+            output
+                .iter()
+                .find(|o| o.name.eq_ignore_ascii_case(name))
+                .map(|o| o.data_type)
+        };
+        // Every conjunct must be provably error-free before anything
+        // moves: a pushed conjunct shrinks the rows the residual ones
+        // evaluate over, which must never suppress (or introduce) an
+        // error the unoptimized plan reports.
+        if !conjuncts
+            .iter()
+            .all(|c| crate::plan::join::push_safe(c, &out_type))
+        {
+            return false;
+        }
+        let mut residual: Vec<Expr> = Vec::new();
+        let mut pushed: [Vec<Expr>; 2] = [Vec::new(), Vec::new()];
+        for conj in conjuncts {
+            match conjunct_side(conj, output) {
+                // Rewrite output names back to source column names.
+                Some(s) => pushed[s].push(rewrite_to_source(conj, output)),
+                None => residual.push(conj.clone()),
+            }
+        }
+        (pushed, residual)
+    };
+    if pushed[0].is_empty() && pushed[1].is_empty() {
+        return false;
+    }
+    // Phase 2: wrap the join inputs in the pushed filters.
+    {
+        let LogicalPlan::Filter { input, .. } = node else {
+            unreachable!("matched above");
+        };
+        let LogicalPlan::Join { left, right, .. } = input.as_mut() else {
+            unreachable!("matched above");
+        };
+        for (s, side) in [left, right].into_iter().enumerate() {
+            if !pushed[s].is_empty() {
+                let inner = std::mem::replace(
+                    side,
+                    Box::new(LogicalPlan::Scan {
+                        source: s,
+                        columns: None,
+                    }),
+                );
+                **side = LogicalPlan::Filter {
+                    input: inner,
+                    predicate: crate::plan::join::and_chain(std::mem::take(&mut pushed[s])),
+                };
+            }
+        }
+    }
+    // Phase 3: shrink or splice out the residual filter.
+    if residual.is_empty() {
+        let LogicalPlan::Filter { input, .. } = node else {
+            unreachable!("matched above");
+        };
+        let join = std::mem::replace(
+            input,
+            Box::new(LogicalPlan::Scan {
+                source: 0,
+                columns: None,
+            }),
+        );
+        *node = *join;
+    } else {
+        let LogicalPlan::Filter { predicate, .. } = node else {
+            unreachable!("matched above");
+        };
+        *predicate = crate::plan::join::and_chain(residual);
+    }
+    true
+}
+
+/// The single join input a conjunct references, if any: every referenced
+/// column must resolve to an output column of the same source. Unknown
+/// columns (the error surfaces at execution either way) and column-free
+/// conjuncts return `None`.
+fn conjunct_side(conj: &Expr, output: &[crate::plan::logical::JoinOutCol]) -> Option<usize> {
+    let cols = conj.referenced_columns();
+    let mut side = None;
+    for c in &cols {
+        let out = output.iter().find(|o| o.name.eq_ignore_ascii_case(c))?;
+        match side {
+            None => side = Some(out.source),
+            Some(s) if s != out.source => return None,
+            _ => {}
+        }
+    }
+    side
+}
+
+/// Rewrite a single-sided conjunct's output-name references to the
+/// side's source column names (names that resolve to no output column
+/// pass through untouched — the execution error is identical either
+/// way).
+fn rewrite_to_source(conj: &Expr, output: &[crate::plan::logical::JoinOutCol]) -> Expr {
+    crate::plan::join::map_columns(conj, &|name| {
+        Ok(output
+            .iter()
+            .find(|o| o.name.eq_ignore_ascii_case(name))
+            .map(|o| o.column.clone())
+            .unwrap_or_else(|| name.to_string()))
+    })
+    .expect("infallible column mapping")
+}
+
+// ---- join projection pruning ----
+
+/// Projection pruning through both join sides: narrow the join's output
+/// to the columns referenced above it (always keeping the weighted
+/// side's `weight` column — the sample-weight carrying rule — and at
+/// least one column so the row count survives), then prune each side's
+/// scan to the columns its keys, pushed filters, and surviving output
+/// need. Fires only when the statement has no `*` item.
+fn join_projection_pruning(plan: &mut LogicalPlan) -> bool {
+    // 1. Collect output-name references from the chain above the join.
+    let mut referenced: Vec<String> = Vec::new();
+    let mut add = |exprs: &[&Expr]| {
+        for e in exprs {
+            for c in e.referenced_columns() {
+                if !referenced.iter().any(|n| n.eq_ignore_ascii_case(&c)) {
+                    referenced.push(c);
+                }
+            }
+        }
+    };
+    for node in plan.nodes() {
+        match node {
+            LogicalPlan::Scan { .. } | LogicalPlan::Limit { .. } | LogicalPlan::Join { .. } => {}
+            LogicalPlan::Filter { predicate, .. } => add(&[predicate]),
+            LogicalPlan::Project { items, .. } => {
+                if !collect_item_columns(items, &mut add) {
+                    return false;
+                }
+            }
+            LogicalPlan::Aggregate {
+                items, group_by, ..
+            } => {
+                if !collect_item_columns(items, &mut add) {
+                    return false;
+                }
+                add(&group_by.iter().collect::<Vec<_>>());
+            }
+            LogicalPlan::Sort { keys, .. } | LogicalPlan::TopK { keys, .. } => {
+                add(&keys.iter().map(|(e, _)| e).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    // 2. Narrow the join node.
+    let join = join_mut(plan);
+    let LogicalPlan::Join {
+        left,
+        right,
+        keys,
+        output,
+        weighted,
+    } = join
+    else {
+        unreachable!("optimize() only calls this on join plans");
+    };
+    let mut changed = false;
+    let kept: Vec<crate::plan::logical::JoinOutCol> = output
+        .iter()
+        .filter(|o| {
+            referenced.iter().any(|n| n.eq_ignore_ascii_case(&o.name))
+                || (Some(o.source) == *weighted && o.column.eq_ignore_ascii_case("weight"))
+        })
+        .cloned()
+        .collect();
+    let kept = if kept.is_empty() {
+        vec![output[0].clone()]
+    } else {
+        kept
+    };
+    // 3. Prune each side's scan to (surviving output ∪ key refs ∪
+    //    pushed-filter refs), resolved through the pre-pruning output
+    //    map (which lists every source column with its bound id).
+    for (s, side) in [&mut *left, &mut *right].into_iter().enumerate() {
+        let mut needed: Vec<&str> = kept
+            .iter()
+            .filter(|o| o.source == s)
+            .map(|o| o.column.as_str())
+            .collect();
+        for (lk, rk) in keys.iter() {
+            let k = if s == 0 { lk } else { rk };
+            for c in k.referenced_columns() {
+                if let Some(o) = output
+                    .iter()
+                    .find(|o| o.source == s && o.column.eq_ignore_ascii_case(&c))
+                {
+                    if !needed.iter().any(|n| n.eq_ignore_ascii_case(&o.column)) {
+                        needed.push(o.column.as_str());
+                    }
+                }
+            }
+        }
+        let mut chain = Some(side.as_ref());
+        let mut filter_cols: Vec<String> = Vec::new();
+        while let Some(node) = chain {
+            if let LogicalPlan::Filter { predicate, .. } = node {
+                filter_cols.extend(predicate.referenced_columns());
+            }
+            chain = node.input();
+        }
+        for c in &filter_cols {
+            if let Some(o) = output
+                .iter()
+                .find(|o| o.source == s && o.column.eq_ignore_ascii_case(c))
+            {
+                if !needed.iter().any(|n| n.eq_ignore_ascii_case(&o.column)) {
+                    needed.push(o.column.as_str());
+                }
+            }
+        }
+        let mut cols: Vec<ScanColumn> = output
+            .iter()
+            .filter(|o| o.source == s && needed.iter().any(|n| n.eq_ignore_ascii_case(&o.column)))
+            .map(|o| ScanColumn {
+                name: o.column.clone(),
+                id: o.column_id,
+            })
+            .collect();
+        cols.sort_by_key(|c| c.id);
+        cols.dedup();
+        let side_width = output.iter().filter(|o| o.source == s).count();
+        if cols.is_empty() && side_width > 0 {
+            // Keep one column so the side's row count survives.
+            let first = output.iter().find(|o| o.source == s).expect("non-empty");
+            cols.push(ScanColumn {
+                name: first.column.clone(),
+                id: first.column_id,
+            });
+        }
+        if cols.len() < side_width {
+            let scan = side_scan_mut(side);
+            if let LogicalPlan::Scan { columns, .. } = scan {
+                if columns.as_ref() != Some(&cols) {
+                    *columns = Some(cols);
+                    changed = true;
+                }
+            }
+        }
+    }
+    if kept.len() < output.len() {
+        *output = kept;
+        changed = true;
+    }
+    changed
+}
+
+/// Mutable access to the join node at the bottom of the chain.
+fn join_mut(plan: &mut LogicalPlan) -> &mut LogicalPlan {
+    if matches!(plan, LogicalPlan::Join { .. }) {
+        return plan;
+    }
+    join_mut(
+        plan.input_mut()
+            .expect("join plans bottom out at the join node"),
+    )
+}
+
+/// Mutable access to the scan at the bottom of a join input chain.
+fn side_scan_mut(side: &mut LogicalPlan) -> &mut LogicalPlan {
+    if matches!(side, LogicalPlan::Scan { .. }) {
+        return side;
+    }
+    side_scan_mut(side.input_mut().expect("join inputs bottom out at a scan"))
 }
 
 // ---- sort/limit fusion ----
@@ -320,7 +659,13 @@ fn sort_limit_fusion(plan: &mut LogicalPlan) -> bool {
         } = input.as_mut()
         {
             let keys = std::mem::take(keys);
-            let inner = std::mem::replace(sort_in, Box::new(LogicalPlan::Scan { columns: None }));
+            let inner = std::mem::replace(
+                sort_in,
+                Box::new(LogicalPlan::Scan {
+                    source: 0,
+                    columns: None,
+                }),
+            );
             *plan = LogicalPlan::TopK {
                 input: inner,
                 keys,
@@ -452,6 +797,7 @@ mod tests {
         assert!(fired.contains(&"projection_pruning"), "{fired:?}");
         let LogicalPlan::Scan {
             columns: Some(cols),
+            ..
         } = plan.scan()
         else {
             panic!("expected pruned scan: {plan}");
@@ -466,7 +812,10 @@ mod tests {
     fn wildcard_blocks_pruning() {
         let (plan, fired) = optimize_stmt("SELECT * FROM t WHERE v > 1");
         assert!(!fired.contains(&"projection_pruning"), "{fired:?}");
-        assert!(matches!(plan.scan(), LogicalPlan::Scan { columns: None }));
+        assert!(matches!(
+            plan.scan(),
+            LogicalPlan::Scan { columns: None, .. }
+        ));
     }
 
     #[test]
@@ -475,6 +824,7 @@ mod tests {
         assert!(fired.contains(&"projection_pruning"), "{fired:?}");
         let LogicalPlan::Scan {
             columns: Some(cols),
+            ..
         } = plan.scan()
         else {
             panic!("expected pruned scan");

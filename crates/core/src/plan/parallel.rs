@@ -108,6 +108,26 @@ enum MorselOut {
     Partial(aggregate::MorselPartial),
 }
 
+/// Execute a two-relation join plan: the hash-join stage materializes
+/// the combined table (build single-threaded on the smaller input,
+/// probe morsel-parallel — see [`crate::plan::join::HashJoinOp`]), then
+/// the remaining pipeline (residual filters, shape, ordering) runs over
+/// the joined table through the ordinary morsel driver.
+pub(crate) fn execute_join_plan(
+    plan: &PhysicalPlan,
+    left: &Table,
+    right: &Table,
+    params: &[Value],
+    threads: usize,
+) -> Result<Table> {
+    let join = plan
+        .join
+        .as_ref()
+        .ok_or_else(|| MosaicError::Execution("plan has no join stage".into()))?;
+    let joined = join.execute(left, right, params, threads)?;
+    execute_plan(plan, &joined, None, params, threads)
+}
+
 /// Execute `plan` over `table` on at most `threads` workers, binding
 /// `params` into any positional-parameter placeholders.
 pub(crate) fn execute_plan(
@@ -274,7 +294,7 @@ pub(crate) fn execute_plan(
 /// same unknown-column error they would without pruning. When nothing
 /// survives (a column-free statement such as `SELECT COUNT(*)`), the
 /// first column is kept so the scan's row count is preserved.
-fn prune_scan(table: &Table, cols: &[String]) -> Result<Table> {
+pub(crate) fn prune_scan(table: &Table, cols: &[String]) -> Result<Table> {
     let kept: Vec<&str> = cols
         .iter()
         .map(String::as_str)

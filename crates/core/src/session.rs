@@ -198,6 +198,9 @@ enum PreparedSource {
     Sample(String),
     /// A population query (visibility resolved at prepare time).
     Population(String),
+    /// A multi-relation scope (join): every relation with its bound
+    /// kind, in source order. `true` marks a sample.
+    Scope(Vec<(String, bool)>),
 }
 
 /// A prepared SELECT: the parsed statement, its binding against the
@@ -265,13 +268,21 @@ impl Prepared {
     }
 
     /// Bind a parsed SELECT against the catalog: resolve the source
-    /// relation, check every referenced column against its schema,
+    /// relation(s), check every referenced column against its schema,
     /// resolve the visibility pipeline, and lower the plan(s).
     fn bind(cat: &Catalog, opts: &EngineOptions, stmt: SelectStmt, sql: &str) -> Result<Prepared> {
         let param_count = stmt.param_count();
+        // Multi-relation scopes (joins, aliases, qualified references)
+        // bind through the scope binder and cache the join plan.
+        if let Some(fc) = stmt.from.clone() {
+            if crate::plan::join::needs_scope(&stmt, &fc) {
+                return Self::bind_scope(cat, opts, stmt, &fc, sql, param_count);
+            }
+        }
         let (source, stmt, schema): (PreparedSource, SelectStmt, Option<Arc<Schema>>) = match stmt
             .from
             .clone()
+            .map(|f| f.base.name)
         {
             None => {
                 let cols = stmt.referenced_columns();
@@ -324,7 +335,10 @@ impl Prepared {
                         Some(crate::engine::sample_scan_schema(s)),
                     )
                 } else {
-                    return Err(MosaicError::Bind(format!("unknown relation {from}")));
+                    return Err(match crate::engine::unknown_relation(cat, &from) {
+                        MosaicError::Catalog(m) => MosaicError::Bind(m),
+                        other => other,
+                    });
                 }
             }
         };
@@ -336,7 +350,10 @@ impl Prepared {
                 if !schema.contains(&c) {
                     return Err(MosaicError::Bind(format!(
                         "unknown column {c} in relation {}",
-                        stmt.from.as_deref().unwrap_or("<scalar>")
+                        stmt.from
+                            .as_ref()
+                            .map(|f| f.base.name.as_str())
+                            .unwrap_or("<scalar>")
                     )));
                 }
             }
@@ -378,6 +395,66 @@ impl Prepared {
         })
     }
 
+    /// Bind a multi-relation (or aliased) FROM: resolve every relation,
+    /// run the scope binder (qualified-name resolution, ambiguity
+    /// checks, equi-key extraction), and cache the optimized join plan.
+    fn bind_scope(
+        cat: &Catalog,
+        opts: &EngineOptions,
+        stmt: SelectStmt,
+        fc: &mosaic_sql::FromClause,
+        sql: &str,
+        param_count: usize,
+    ) -> Result<Prepared> {
+        if stmt.visibility.is_some() {
+            return Err(MosaicError::Bind(
+                "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only".into(),
+            ));
+        }
+        let (rels, _tables) = match crate::engine::resolve_scope_relations(cat, fc) {
+            Ok(r) => r,
+            Err(MosaicError::Catalog(m)) => return Err(MosaicError::Bind(m)),
+            Err(other) => return Err(other),
+        };
+        if !fc.has_joins() {
+            // A lone aliased relation: rewrite to bare column names and
+            // fall into the ordinary single-relation plan.
+            let rel = rels.into_iter().next().expect("one relation");
+            let source = if rel.weighted {
+                PreparedSource::Sample(rel.name.clone())
+            } else {
+                PreparedSource::Aux(rel.name.clone())
+            };
+            let schema = Arc::clone(&rel.schema);
+            let rewritten = crate::plan::join::bind_single(&stmt, rel)?;
+            let planned = plan_select(&rewritten, false, opts.optimizer, Some(&schema));
+            return Ok(Prepared {
+                sql: sql.to_string(),
+                stmt: rewritten,
+                param_count,
+                source,
+                logical: planned.optimized,
+                fired: planned.fired,
+                plan: planned.physical,
+                inner_plan: None,
+            });
+        }
+        let source =
+            PreparedSource::Scope(rels.iter().map(|r| (r.name.clone(), r.weighted)).collect());
+        let bound = crate::plan::join::bind_join(&stmt, rels)?;
+        let planned = crate::plan::plan_logical(bound.logical, opts.optimizer, None);
+        Ok(Prepared {
+            sql: sql.to_string(),
+            stmt: bound.stmt,
+            param_count,
+            source,
+            logical: planned.optimized,
+            fired: planned.fired,
+            plan: planned.physical,
+            inner_plan: None,
+        })
+    }
+
     /// Verify the catalog still resolves this statement's source to the
     /// same relation kind (DDL may have dropped or replaced it since
     /// prepare; running a stale plan against a different relation kind
@@ -387,6 +464,13 @@ impl Prepared {
             PreparedSource::Scalar => true,
             PreparedSource::Aux(name) => cat.aux(name).is_some(),
             PreparedSource::Sample(name) => cat.sample(name).is_some(),
+            PreparedSource::Scope(rels) => rels.iter().all(|(name, is_sample)| {
+                if *is_sample {
+                    cat.sample(name).is_some()
+                } else {
+                    cat.aux(name).is_some()
+                }
+            }),
             PreparedSource::Population(name) => {
                 if cat.population(name).is_none() {
                     return Err(MosaicError::Bind(format!(

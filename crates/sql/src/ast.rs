@@ -415,9 +415,95 @@ pub enum SelectItem {
     },
 }
 
-/// A SELECT statement (single-relation FROM, per the paper's §4 assumption
-/// that population attributes are contained in the sample attributes — no
-/// joins are required for population queries).
+/// A relation reference in a FROM clause: the relation name plus an
+/// optional alias (`flights f` / `flights AS f`). Column references may
+/// qualify with the binding name (`f.carrier`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Relation name as written.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// A bare reference without an alias.
+    pub fn named(name: impl Into<String>) -> TableRef {
+        TableRef {
+            name: name.into(),
+            alias: None,
+        }
+    }
+
+    /// The name column references qualify with: the alias when present,
+    /// the relation name otherwise.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {a}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// One `JOIN <table> ON <predicate>` clause (INNER join semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// The joined relation.
+    pub table: TableRef,
+    /// The ON predicate. The binder requires a conjunction of equalities
+    /// between the two sides (an equi-join).
+    pub on: Expr,
+}
+
+/// A FROM clause: a base relation plus zero or more INNER joins
+/// (left-deep: each JOIN applies to everything to its left).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromClause {
+    /// The leftmost relation.
+    pub base: TableRef,
+    /// `JOIN … ON …` clauses, in source order.
+    pub joins: Vec<JoinClause>,
+}
+
+impl FromClause {
+    /// A single-relation clause without alias or joins.
+    pub fn table(name: impl Into<String>) -> FromClause {
+        FromClause {
+            base: TableRef::named(name),
+            joins: Vec::new(),
+        }
+    }
+
+    /// The bare relation name when this is a plain single-relation FROM
+    /// (no joins, no alias) — the shape every pre-join code path handles.
+    pub fn single(&self) -> Option<&str> {
+        if self.joins.is_empty() && self.base.alias.is_none() {
+            Some(&self.base.name)
+        } else {
+            None
+        }
+    }
+
+    /// True when the clause contains at least one JOIN.
+    pub fn has_joins(&self) -> bool {
+        !self.joins.is_empty()
+    }
+
+    /// Every referenced relation, base first, in source order.
+    pub fn relations(&self) -> impl Iterator<Item = &TableRef> {
+        std::iter::once(&self.base).chain(self.joins.iter().map(|j| &j.table))
+    }
+}
+
+/// A SELECT statement. A single-relation FROM covers the paper's §4
+/// population queries; multi-relation FROMs (INNER equi-joins) let a
+/// debiased sample join against ordinary dimension tables.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
     /// Optional visibility level (populations only; defaults applied by the
@@ -425,8 +511,8 @@ pub struct SelectStmt {
     pub visibility: Option<Visibility>,
     /// Projection list.
     pub items: Vec<SelectItem>,
-    /// Source relation (population, sample, or auxiliary table).
-    pub from: Option<String>,
+    /// Source relations (population, sample, or auxiliary tables).
+    pub from: Option<FromClause>,
     /// WHERE predicate.
     pub where_clause: Option<Expr>,
     /// GROUP BY expressions.
@@ -438,7 +524,9 @@ pub struct SelectStmt {
 }
 
 impl SelectStmt {
-    /// Every expression in the statement, in clause order.
+    /// Every expression in the statement, in clause order (JOIN … ON
+    /// predicates come between the SELECT list and WHERE, matching their
+    /// lexical position).
     fn exprs(&self) -> impl Iterator<Item = &Expr> {
         self.items
             .iter()
@@ -446,6 +534,7 @@ impl SelectStmt {
                 SelectItem::Expr { expr, .. } => Some(expr),
                 SelectItem::Wildcard => None,
             })
+            .chain(self.from.iter().flat_map(|f| f.joins.iter().map(|j| &j.on)))
             .chain(self.where_clause.iter())
             .chain(self.group_by.iter())
             .chain(self.order_by.iter().map(|(e, _)| e))
@@ -490,7 +579,25 @@ impl SelectStmt {
                     }),
                 })
                 .collect::<Result<_, usize>>()?,
-            from: self.from.clone(),
+            from: self
+                .from
+                .as_ref()
+                .map(|f| -> Result<FromClause, usize> {
+                    Ok(FromClause {
+                        base: f.base.clone(),
+                        joins: f
+                            .joins
+                            .iter()
+                            .map(|j| -> Result<JoinClause, usize> {
+                                Ok(JoinClause {
+                                    table: j.table.clone(),
+                                    on: j.on.bind_params(params)?,
+                                })
+                            })
+                            .collect::<Result<_, usize>>()?,
+                    })
+                })
+                .transpose()?,
             where_clause: self
                 .where_clause
                 .as_ref()

@@ -22,6 +22,9 @@
 //!   the engine's prepared statements.
 //! * `EXPLAIN <select>` — render the bound physical plan as a result
 //!   table instead of executing the query.
+//! * `FROM a [AS x] [INNER] JOIN b [AS y] ON x.k = y.k` — INNER
+//!   equi-joins with table aliases and qualified column references
+//!   ([`TableRef`], [`JoinClause`], [`FromClause`]).
 //!
 //! ```
 //! use mosaic_sql::{parse, Statement, Visibility};
@@ -42,8 +45,8 @@ mod lexer;
 mod parser;
 
 pub use ast::{
-    AggFunc, BinOp, Expr, InsertSource, MechanismSpec, SelectItem, SelectStmt, Statement, UnaryOp,
-    Visibility,
+    AggFunc, BinOp, Expr, FromClause, InsertSource, JoinClause, MechanismSpec, SelectItem,
+    SelectStmt, Statement, TableRef, UnaryOp, Visibility,
 };
 pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::{parse, parse_expr, parse_spanned, ParseError};

@@ -450,7 +450,20 @@ impl Parser {
             }
         }
         let from = if self.eat_kw("FROM") {
-            Some(self.ident()?)
+            let base = self.table_ref()?;
+            let mut joins = Vec::new();
+            loop {
+                if self.at_kw("INNER") && self.at_kw_ahead(1, "JOIN") {
+                    self.pos += 2;
+                } else if !self.eat_kw("JOIN") {
+                    break;
+                }
+                let table = self.table_ref()?;
+                self.expect_kw("ON")?;
+                let on = self.expr()?;
+                joins.push(JoinClause { table, on });
+            }
+            Some(FromClause { base, joins })
         } else {
             None
         };
@@ -507,6 +520,21 @@ impl Parser {
             order_by,
             limit,
         })
+    }
+
+    /// Parse `name [[AS] alias]`. A bare following identifier is taken as
+    /// an alias only when it is not a reserved clause keyword, so
+    /// `FROM t WHERE …` still parses.
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let name = self.ident()?;
+        let alias = if self.eat_kw("AS")
+            || matches!(&self.peek().kind, TokenKind::Ident(s) if !is_reserved(s))
+        {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
     }
 
     fn visibility(&mut self) -> Option<Visibility> {
@@ -761,6 +789,16 @@ impl Parser {
                 if name.eq_ignore_ascii_case("FALSE") {
                     return Ok(Expr::Literal(Value::Bool(false)));
                 }
+                // Qualified column reference: `alias.column`. The binder
+                // resolves the qualifier against the FROM scope.
+                if matches!(self.peek().kind, TokenKind::Dot) {
+                    if let TokenKind::Ident(field) = self.peek_at(1).kind.clone() {
+                        if !is_reserved(&field) {
+                            self.pos += 2;
+                            return Ok(Expr::Column(format!("{name}.{field}")));
+                        }
+                    }
+                }
                 if matches!(self.peek().kind, TokenKind::LParen) {
                     // Function call — only aggregates are supported.
                     let func = AggFunc::from_name(&name).ok_or_else(|| {
@@ -821,6 +859,7 @@ fn is_reserved(name: &str) -> bool {
         "MECHANISM",
         "HAVING",
         "JOIN",
+        "INNER",
         "ON",
     ];
     RESERVED.iter().any(|k| k.eq_ignore_ascii_case(name))
@@ -993,7 +1032,7 @@ mod tests {
                 source: InsertSource::Select(sel),
                 ..
             } => {
-                assert_eq!(sel.from.as_deref(), Some("aux"));
+                assert_eq!(sel.from.as_ref().and_then(FromClause::single), Some("aux"));
             }
             other => panic!("wrong statement: {other:?}"),
         }
@@ -1089,7 +1128,7 @@ mod tests {
         match one("EXPLAIN SELECT SEMI-OPEN a, COUNT(*) FROM P GROUP BY a") {
             Statement::Explain(s) => {
                 assert_eq!(s.visibility, Some(Visibility::SemiOpen));
-                assert_eq!(s.from.as_deref(), Some("P"));
+                assert_eq!(s.from.as_ref().and_then(FromClause::single), Some("P"));
             }
             other => panic!("wrong statement: {other:?}"),
         }
@@ -1104,6 +1143,78 @@ mod tests {
         assert_eq!(spanned.len(), 2);
         assert_eq!(&src[spanned[0].1.clone()], "SELECT a FROM t");
         assert_eq!(&src[spanned[1].1.clone()], "SELECT b FROM u");
+    }
+
+    #[test]
+    fn join_with_aliases_parses() {
+        match one(
+            "SELECT c.name, SUM(f.distance) FROM flights f JOIN carriers c \
+             ON f.carrier = c.code GROUP BY c.name",
+        ) {
+            Statement::Select(s) => {
+                let from = s.from.unwrap();
+                assert_eq!(from.base.name, "flights");
+                assert_eq!(from.base.binding(), "f");
+                assert_eq!(from.joins.len(), 1);
+                assert_eq!(from.joins[0].table.name, "carriers");
+                assert_eq!(from.joins[0].table.binding(), "c");
+                assert!(matches!(
+                    from.joins[0].on,
+                    Expr::Binary { op: BinOp::Eq, .. }
+                ));
+                // Qualified refs keep their dotted spelling for the binder.
+                match &s.group_by[0] {
+                    Expr::Column(c) => assert_eq!(c, "c.name"),
+                    other => panic!("wrong group key: {other:?}"),
+                }
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // INNER is accepted and AS aliases work.
+        match one("SELECT * FROM a AS x INNER JOIN b AS y ON x.k = y.k") {
+            Statement::Select(s) => {
+                let from = s.from.unwrap();
+                assert_eq!(from.base.binding(), "x");
+                assert_eq!(from.joins[0].table.binding(), "y");
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_table_from_stays_bare() {
+        match one("SELECT a FROM t WHERE a > 1") {
+            Statement::Select(s) => {
+                let from = s.from.unwrap();
+                assert_eq!(from.single(), Some("t"));
+                assert!(!from.has_joins());
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // An alias makes `single()` decline (the scope binder takes over).
+        match one("SELECT f.a FROM t f") {
+            Statement::Select(s) => {
+                let from = s.from.unwrap();
+                assert_eq!(from.single(), None);
+                assert_eq!(from.base.binding(), "f");
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_on_is_required() {
+        assert!(parse("SELECT * FROM a JOIN b").is_err());
+        assert!(parse("SELECT * FROM a JOIN b WHERE x = 1").is_err());
+    }
+
+    #[test]
+    fn params_in_on_count_lexically() {
+        // ON parameters number between the SELECT list and WHERE.
+        match one("SELECT a FROM t JOIN u ON t.k = u.k WHERE t.v > ? AND u.w < ?") {
+            Statement::Select(s) => assert_eq!(s.param_count(), 2),
+            other => panic!("wrong statement: {other:?}"),
+        }
     }
 
     #[test]

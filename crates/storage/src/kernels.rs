@@ -289,6 +289,62 @@ pub fn take_f64(data: &[f64], indices: &[usize]) -> Vec<f64> {
     indices.iter().map(|&i| data[i]).collect()
 }
 
+/// Gather strings by index (payload gather for join output columns).
+pub fn take_str(data: &[String], indices: &[usize]) -> Vec<String> {
+    indices.iter().map(|&i| data[i].clone()).collect()
+}
+
+// ---- join-key kernels ----
+//
+// Equi-join keys compare with `Value::sql_cmp` equality: every numeric
+// value (Int, Float, Bool) coerces through `f64`, strings compare
+// exactly, and NULL / NaN never match anything. The kernels normalize
+// numeric key columns into 64-bit tokens such that two values are
+// join-equal iff their tokens are equal — `-0.0` folds onto `0.0`
+// (`sql_cmp` calls them equal) and NaN rows are marked invalid.
+
+/// Normalized join-key token of one `f64`; `None` for NaN (a NaN key
+/// never matches, like NULL).
+#[inline]
+pub fn join_key_f64(v: f64) -> Option<u64> {
+    if v.is_nan() {
+        return None;
+    }
+    // -0.0 == 0.0 under sql_cmp but differs in bit pattern; normalize.
+    let v = if v == 0.0 { 0.0 } else { v };
+    Some(v.to_bits())
+}
+
+/// Join-key tokens of an integer key column. Ints coerce through `f64`
+/// first — `sql_cmp` compares all numerics that way, so integers beyond
+/// 2^53 that collapse to one double are join-equal by design.
+pub fn join_keys_i64(data: &[i64]) -> Vec<u64> {
+    data.iter().map(|&v| (v as f64).to_bits()).collect()
+}
+
+/// Join-key tokens of a float key column, plus the bitmap of rows whose
+/// key is usable (cleared for NaN — those rows never match).
+pub fn join_keys_f64(data: &[f64]) -> (Vec<u64>, Bitmap) {
+    let mut out = Vec::with_capacity(data.len());
+    let mut valid = Bitmap::ones(data.len());
+    for (i, &v) in data.iter().enumerate() {
+        match join_key_f64(v) {
+            Some(bits) => out.push(bits),
+            None => {
+                out.push(0);
+                valid.set(i, false);
+            }
+        }
+    }
+    (out, valid)
+}
+
+/// Join-key tokens of a boolean key column (`sql_cmp` coerces booleans
+/// numerically, so `true` join-matches `1` and `1.0`).
+pub fn join_keys_bool(data: &[bool]) -> Vec<u64> {
+    data.iter().map(|&b| (b as u8 as f64).to_bits()).collect()
+}
+
 /// Keep elements whose selection bit is set.
 pub fn filter_i64(data: &[i64], selection: &Bitmap) -> Vec<i64> {
     assert_eq!(data.len(), selection.len(), "selection length mismatch");
@@ -641,6 +697,28 @@ mod tests {
         assert_eq!(take_i64(&[10, 20, 30], &[2, 0, 0]), vec![30, 10, 10]);
         let sel = Bitmap::from_iter([true, false, true]);
         assert_eq!(filter_f64(&[1.0, 2.0, 3.0], &sel), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn join_key_tokens_follow_sql_equality() {
+        // Int 2 and Float 2.0 must produce the same token.
+        let ints = join_keys_i64(&[2, -1, 0]);
+        let (floats, valid) = join_keys_f64(&[2.0, -0.0, f64::NAN]);
+        assert_eq!(ints[0], floats[0]);
+        // -0.0 normalizes onto 0.0 (they are sql-equal).
+        assert_eq!(floats[1], join_keys_i64(&[0])[0]);
+        assert_eq!(ints[2], floats[1]);
+        // NaN keys are invalid — they never match.
+        assert!(valid.get(0) && valid.get(1) && !valid.get(2));
+        assert_eq!(join_key_f64(f64::NAN), None);
+        // Booleans coerce numerically, like sql_cmp.
+        assert_eq!(join_keys_bool(&[true, false]), join_keys_i64(&[1, 0]));
+    }
+
+    #[test]
+    fn take_str_reorders_and_repeats() {
+        let data: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(take_str(&data, &[2, 0, 0]), vec!["c", "a", "a"]);
     }
 
     #[test]

@@ -212,6 +212,240 @@ fn multi_morsel_thread_counts_agree() {
     }
 }
 
+// ---- the join oracle ----
+//
+// INNER equi-joins run through the same four-way oracle: the row-wise
+// reference is `mosaic_core::reference_join` (canonical nested loop)
+// followed by `run_select_rowwise` over the joined table, and the
+// engine's hash-join path must reproduce it bit-for-bit at optimizer
+// {off, on} × threads {1, 2, 8}.
+
+use mosaic_core::{reference_join, MosaicEngine};
+use std::sync::Arc;
+
+/// Fact table: string key `k` (with NULLs and values the dimension
+/// lacks), int key `num`, float key `fkey` (with NULLs), and data
+/// columns `dist` / `dur`.
+fn fact_table(rows: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Str),
+        Field::new("num", DataType::Int),
+        Field::new("fkey", DataType::Float),
+        Field::new("dist", DataType::Int),
+        Field::new("dur", DataType::Float),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    for r in 0..rows {
+        b.push_row(vec![
+            if r % 9 == 0 {
+                Value::Null // NULL join keys must never match
+            } else {
+                Value::Str(format!("v{}", r % 5)) // v3/v4 miss the dim side
+            },
+            Value::Int((r % 7) as i64),
+            if r % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Float((r % 4) as f64 + 0.5)
+            },
+            Value::Int((r % 83) as i64 - 40),
+            if r % 13 == 0 {
+                Value::Null
+            } else {
+                Value::Float((r % 59) as f64 * 0.75 - 22.0)
+            },
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+/// Dimension table: string key `code` (with a NULL and a code the fact
+/// side never produces), int key `ncode`, float key `fcode`, plus
+/// `grp` / `boost` payloads. Some codes repeat, so one probe row can
+/// match several build rows.
+fn dim_table() -> Table {
+    let schema = Schema::new(vec![
+        Field::new("code", DataType::Str),
+        Field::new("ncode", DataType::Int),
+        Field::new("fcode", DataType::Float),
+        Field::new("grp", DataType::Str),
+        Field::new("boost", DataType::Int),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    for (code, ncode, fcode, grp, boost) in [
+        (Value::Str("v0".into()), 1, 0.5, "g1", 10),
+        (Value::Str("v1".into()), 2, 1.5, "g1", 20),
+        (Value::Str("v2".into()), 3, 2.5, "g2", 30),
+        (Value::Str("v1".into()), 4, 1.5, "g2", 40), // duplicate keys
+        (Value::Null, 5, 3.5, "g3", 50),             // NULL key: never matches
+        (Value::Str("zz".into()), 99, 9.5, "g3", 60), // unmatched code
+    ] {
+        b.push_row(vec![
+            code,
+            Value::Int(ncode),
+            Value::Float(fcode),
+            Value::Str(grp.into()),
+            Value::Int(boost),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+/// A join template: the join SQL the engine runs, the equivalent
+/// single-table SQL over the reference-joined table, and the equi-join
+/// keys (in each side's own column names) for `reference_join`.
+const JOIN_TEMPLATES: &[(&str, &str, (&str, &str))] = &[
+    (
+        "SELECT * FROM fact f JOIN dim c ON f.k = c.code",
+        "SELECT * FROM j",
+        ("k", "code"),
+    ),
+    (
+        "SELECT c.grp AS grp, COUNT(*) AS n, SUM(f.dist) AS s, AVG(f.dur) AS a \
+         FROM fact f JOIN dim c ON f.k = c.code GROUP BY c.grp ORDER BY grp",
+        "SELECT grp, COUNT(*) AS n, SUM(dist) AS s, AVG(dur) AS a \
+         FROM j GROUP BY grp ORDER BY grp",
+        ("k", "code"),
+    ),
+    // Pushdown into both sides plus ORDER/LIMIT above the join.
+    (
+        "SELECT f.dist AS dist, c.boost AS boost FROM fact f JOIN dim c ON f.k = c.code \
+         WHERE f.dist > {thr} AND c.grp = 'g1' ORDER BY dist, boost LIMIT 7",
+        "SELECT dist, boost FROM j WHERE dist > {thr} AND grp = 'g1' \
+         ORDER BY dist, boost LIMIT 7",
+        ("k", "code"),
+    ),
+    // A cross-side conjunct stays above the join (not pushable).
+    (
+        "SELECT COUNT(*) AS n FROM fact f JOIN dim c ON f.k = c.code \
+         WHERE f.dist + c.boost > {thr}",
+        "SELECT COUNT(*) AS n FROM j WHERE dist + boost > {thr}",
+        ("k", "code"),
+    ),
+    // Expression keys over int columns.
+    (
+        "SELECT c.grp AS grp, COUNT(*) AS n FROM fact f JOIN dim c ON f.num + 1 = c.ncode \
+         GROUP BY c.grp ORDER BY grp",
+        "SELECT grp, COUNT(*) AS n FROM j GROUP BY grp ORDER BY grp",
+        ("num + 1", "ncode"),
+    ),
+    // Float keys (NULLs on the fact side never match).
+    (
+        "SELECT c.boost AS boost, COUNT(*) AS n FROM fact f JOIN dim c ON f.fkey = c.fcode \
+         GROUP BY c.boost ORDER BY boost",
+        "SELECT boost, COUNT(*) AS n FROM j GROUP BY boost ORDER BY boost",
+        ("fkey", "fcode"),
+    ),
+    // Empty build side: the pushed dimension filter matches nothing.
+    (
+        "SELECT f.dist AS dist, c.grp AS grp FROM fact f JOIN dim c ON f.k = c.code \
+         WHERE c.grp = 'nope'",
+        "SELECT dist, grp FROM j WHERE grp = 'nope'",
+        ("k", "code"),
+    ),
+];
+
+fn join_keys(spec: (&str, &str)) -> Vec<(mosaic_sql::Expr, mosaic_sql::Expr)> {
+    vec![(
+        mosaic_sql::parse_expr(spec.0).unwrap(),
+        mosaic_sql::parse_expr(spec.1).unwrap(),
+    )]
+}
+
+/// Run one join template through the four-way oracle against an engine
+/// holding `fact` and `dim` as auxiliary tables.
+fn assert_join_equivalent(engine: &Arc<MosaicEngine>, fact: &Table, dim: &Table, thr: i64) {
+    for (join_sql, ref_sql, keys) in JOIN_TEMPLATES {
+        let join_sql = join_sql.replace("{thr}", &thr.to_string());
+        let ref_sql = ref_sql.replace("{thr}", &thr.to_string());
+        let joined = reference_join(fact, "f", dim, "c", &join_keys(*keys)).unwrap();
+        let reference = run_select_rowwise(&select(&ref_sql), &joined, None).unwrap();
+        for threads in THREAD_COUNTS {
+            for optimizer in [false, true] {
+                let session = engine
+                    .session()
+                    .with_parallelism(threads)
+                    .with_optimizer(optimizer);
+                let out = session.query(&join_sql).unwrap_or_else(|e| {
+                    panic!("{join_sql:?} failed (threads {threads}, optimizer {optimizer}): {e}")
+                });
+                if let Err(msg) = tables_identical(&out, &reference) {
+                    panic!(
+                        "join divergence on {join_sql:?} at {threads} thread(s), \
+                         optimizer={optimizer}: {msg}\nhash join:\n{out}\nreference:\n{reference}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The join oracle on a small fact table (both build-side choices get
+/// exercised: the dimension is smaller, so it builds; the wildcard
+/// template's reference covers full-width output).
+#[test]
+fn join_templates_match_reference() {
+    let fact = fact_table(257);
+    let dim = dim_table();
+    let engine = Arc::new(MosaicEngine::new());
+    engine.register_table("fact", fact.clone()).unwrap();
+    engine.register_table("dim", dim.clone()).unwrap();
+    for thr in [-40, 0, 17] {
+        assert_join_equivalent(&engine, &fact, &dim, thr);
+    }
+}
+
+/// Build-side flip: when the left side is smaller, the executor builds
+/// on it and probes the right side — the canonical (left, right) output
+/// order must survive the flip.
+#[test]
+fn join_smaller_left_builds_and_order_survives() {
+    let fact = fact_table(4); // smaller than dim (6 rows)
+    let dim = dim_table();
+    let engine = Arc::new(MosaicEngine::new());
+    engine.register_table("fact", fact.clone()).unwrap();
+    engine.register_table("dim", dim.clone()).unwrap();
+    assert_join_equivalent(&engine, &fact, &dim, 0);
+}
+
+/// Multi-morsel probe determinism: a fact table spanning several
+/// morsels joined against a small dimension must produce the same table
+/// at every thread count, optimizer on and off — and match the
+/// row-wise reference.
+#[test]
+fn join_multi_morsel_probe_is_deterministic() {
+    let rows = 2 * mosaic_core::MORSEL_ROWS + 777;
+    let fact = fact_table(rows);
+    let dim = dim_table();
+    let engine = Arc::new(MosaicEngine::new());
+    engine.register_table("fact", fact.clone()).unwrap();
+    engine.register_table("dim", dim.clone()).unwrap();
+    let sql = "SELECT c.grp AS grp, COUNT(*) AS n, SUM(f.dist) AS s \
+               FROM fact f JOIN dim c ON f.k = c.code GROUP BY c.grp ORDER BY grp";
+    let joined = reference_join(&fact, "f", &dim, "c", &join_keys(("k", "code"))).unwrap();
+    let reference = run_select_rowwise(
+        &select("SELECT grp, COUNT(*) AS n, SUM(dist) AS s FROM j GROUP BY grp ORDER BY grp"),
+        &joined,
+        None,
+    )
+    .unwrap();
+    for threads in THREAD_COUNTS {
+        for optimizer in [false, true] {
+            let out = engine
+                .session()
+                .with_parallelism(threads)
+                .with_optimizer(optimizer)
+                .query(sql)
+                .unwrap();
+            if let Err(msg) = tables_identical(&out, &reference) {
+                panic!("multi-morsel join divergence at {threads} threads, optimizer={optimizer}: {msg}");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
