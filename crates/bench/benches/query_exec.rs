@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mosaic_bench::flights::{self, FlightsConfig};
 use mosaic_core::{
-    run_select_parallel, run_select_rowwise, run_select_with, MosaicDb, MosaicEngine, OpenBackend,
-    Value,
+    run_select_parallel, run_select_partitioned, run_select_rowwise, run_select_with, MosaicDb,
+    MosaicEngine, OpenBackend, Value,
 };
 use mosaic_sql::{parse, SelectStmt, Statement};
 use mosaic_storage::{Column, DataType, Field, Schema, Table};
@@ -174,6 +174,20 @@ fn bench_parallel_scaling(c: &mut Criterion) {
             }
         }
 
+        // High-cardinality string GROUP BY on the same row count: the
+        // flights carrier key has ~10 groups, so the merge phase is
+        // trivial there — this variant has rows/20 distinct string
+        // groups, which is what the radix-partitioned parallel merge
+        // (and dictionary-encoded key hashing) accelerates.
+        let hc = high_cardinality_table(rows, rows / 20);
+        let hc_agg = stmt("SELECT k, COUNT(*), SUM(v), AVG(v) FROM t GROUP BY k");
+        let hc_base = run_select_parallel(&hc_agg, &hc, None, 1).unwrap();
+        assert_eq!(hc_base.num_rows(), rows / 20);
+        for &t in &threads[1..] {
+            let out = run_select_parallel(&hc_agg, &hc, None, t).unwrap();
+            assert_tables_identical(&out, &hc_base, &format!("hc {rows} rows, {t} threads"));
+        }
+
         let mut group = c.benchmark_group(format!("parallel_scaling_{}k", rows / 1000));
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_millis(300));
@@ -183,8 +197,94 @@ fn bench_parallel_scaling(c: &mut Criterion) {
                 b.iter(|| black_box(run_select_parallel(&agg, &table, None, t).unwrap()))
             });
         }
+        for &t in &threads {
+            group.bench_function(format!("high_card_agg_{t}_threads"), |b| {
+                b.iter(|| black_box(run_select_parallel(&hc_agg, &hc, None, t).unwrap()))
+            });
+        }
         group.finish();
     }
+}
+
+/// `rows` rows with `groups` distinct dictionary-encoded string keys
+/// (strided so consecutive rows hit different groups) and an int
+/// payload.
+fn high_cardinality_table(rows: usize, groups: usize) -> Table {
+    Table::new(
+        Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::Int),
+        ]),
+        vec![
+            Column::from_str(
+                (0..rows)
+                    .map(|r| format!("k{:06}", (r * 31) % groups))
+                    .collect(),
+            ),
+            Column::from_i64((0..rows).map(|r| (r % 83) as i64 - 40).collect()),
+        ],
+    )
+    .unwrap()
+}
+
+/// The PR's acceptance benchmark: a 10M-row × 100K-string-group
+/// aggregate. `plain_t8_serial_merge` reproduces the pre-PR execution
+/// shape (plain per-row string keys, single-threaded merge);
+/// `dict_t8_p16` is the shipped default (dictionary-encoded keys,
+/// 16-way radix-partitioned parallel merge) and must come in ≥2× faster
+/// end-to-end. The two knobs are also measured in isolation
+/// (`dict_t8_serial_merge`, `dict_t1_p16`). Results across thread
+/// counts {1, 2, 8} × partition counts {1, 16} and across both string
+/// representations are asserted bit-identical before any timing.
+fn bench_agg_10m(c: &mut Criterion) {
+    let rows = 10_000_000usize;
+    let groups = 100_000usize;
+    let dict = high_cardinality_table(rows, groups);
+    assert!(dict.column(0).is_dict());
+    let plain = {
+        let keys: Vec<String> = (0..rows)
+            .map(|r| format!("k{:06}", (r * 31) % groups))
+            .collect();
+        Table::new(
+            Arc::clone(dict.schema()),
+            vec![
+                mosaic_storage::Column::from_str_plain(keys, None),
+                dict.column(1).clone(),
+            ],
+        )
+        .unwrap()
+    };
+    let agg = stmt("SELECT k, COUNT(*), SUM(v), AVG(v) FROM t GROUP BY k");
+
+    // Bit-identity across representations × threads × partitions.
+    let baseline = run_select_partitioned(&agg, &dict, None, 1, true, 1).unwrap();
+    assert_eq!(baseline.num_rows(), groups);
+    for threads in [1usize, 2, 8] {
+        for partitions in [1usize, 16] {
+            let d = run_select_partitioned(&agg, &dict, None, threads, true, partitions).unwrap();
+            assert_tables_identical(&d, &baseline, &format!("dict t{threads} p{partitions}"));
+            let p = run_select_partitioned(&agg, &plain, None, threads, true, partitions).unwrap();
+            assert_tables_identical(&p, &baseline, &format!("plain t{threads} p{partitions}"));
+        }
+    }
+
+    let mut group = c.benchmark_group("agg_10m");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("plain_t8_serial_merge", |b| {
+        b.iter(|| black_box(run_select_partitioned(&agg, &plain, None, 8, true, 1).unwrap()))
+    });
+    group.bench_function("dict_t8_p16", |b| {
+        b.iter(|| black_box(run_select_partitioned(&agg, &dict, None, 8, true, 16).unwrap()))
+    });
+    group.bench_function("dict_t8_serial_merge", |b| {
+        b.iter(|| black_box(run_select_partitioned(&agg, &dict, None, 8, true, 1).unwrap()))
+    });
+    group.bench_function("dict_t1_p16", |b| {
+        b.iter(|| black_box(run_select_partitioned(&agg, &dict, None, 1, true, 16).unwrap()))
+    });
+    group.finish();
 }
 
 /// Prepared vs unprepared throughput on a repeated aggregate: the
@@ -454,6 +554,7 @@ criterion_group!(
     bench_queries,
     bench_vectorized_vs_rowwise,
     bench_parallel_scaling,
+    bench_agg_10m,
     bench_prepared_vs_unprepared,
     bench_optimizer,
     bench_join

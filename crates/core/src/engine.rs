@@ -25,7 +25,7 @@ use crate::catalog::{
     empty_table, marginal_from_table, Catalog, Mechanism, MetadataEntry, Population, Sample,
 };
 use crate::eval::eval_scalar;
-use crate::exec::{apply_order_limit, run_select_with};
+use crate::exec::apply_order_limit;
 use crate::models::{BnModel, GenerativeModel, SwgModel};
 use crate::plan::PhysicalPlan;
 use crate::session::{Session, SessionOptions};
@@ -136,6 +136,10 @@ pub struct EngineOptions {
     /// optimizer is a pure plan rewrite — results are bit-identical
     /// with it on or off, only latency changes.
     pub optimizer: bool,
+    /// Radix-partition count of the parallel aggregate merge (1 = serial
+    /// merge). Defaults to `MOSAIC_AGG_PARTITIONS` or 16; like the
+    /// thread cap, never changes results.
+    pub agg_partitions: usize,
 }
 
 impl Default for EngineOptions {
@@ -147,6 +151,7 @@ impl Default for EngineOptions {
             binners: HashMap::new(),
             parallelism: crate::plan::parallel::default_parallelism(),
             optimizer: crate::plan::optimize::default_optimizer(),
+            agg_partitions: crate::plan::parallel::default_agg_partitions(),
         }
     }
 }
@@ -188,6 +193,13 @@ impl EngineOptions {
     /// both paths).
     pub fn with_optimizer(mut self, on: bool) -> Self {
         self.optimizer = on;
+        self
+    }
+
+    /// Set the aggregate-merge radix-partition count (minimum 1;
+    /// 1 = serial merge). Results are bit-identical for any count.
+    pub fn with_agg_partitions(mut self, n: usize) -> Self {
+        self.agg_partitions = n.max(1);
         self
     }
 }
@@ -358,6 +370,9 @@ impl MosaicEngine {
         if let Some(p) = session.parallelism {
             o.parallelism = p.max(1);
         }
+        if let Some(p) = session.agg_partitions {
+            o.agg_partitions = p.max(1);
+        }
         if let Some(b) = &session.open_backend {
             o.open.backend = b.clone();
         }
@@ -493,7 +508,14 @@ impl MosaicEngine {
                         "metadata queries run over auxiliary tables; unknown table {from}"
                     ))
                 })?;
-                let result = run_select_with(&query, &src, None, opts.parallelism, opts.optimizer)?;
+                let result = crate::exec::run_select_partitioned(
+                    &query,
+                    &src,
+                    None,
+                    opts.parallelism,
+                    opts.optimizer,
+                    opts.agg_partitions,
+                )?;
                 let marginal = marginal_from_table(&result)?;
                 cat.create_metadata(MetadataEntry {
                     name,
@@ -586,6 +608,10 @@ impl MosaicEngine {
             }
             (InsertSource::Select(_), None) => unreachable!("selected above"),
         };
+        // Dictionary-encode the ingested string columns: dict is the
+        // first-class string representation for every ingest path (CSV,
+        // VALUES, INSERT..SELECT), so scans hit the code-level kernels.
+        let rows = rows.dict_encoded();
         if is_sample {
             cat.append_to_sample(target, rows)
         } else {
@@ -626,9 +652,16 @@ impl MosaicEngine {
                         )));
                     }
                 }
-                p.execute_capped(table, weights, params, threads)
+                p.execute_capped(table, weights, params, threads, opts.agg_partitions)
             }
-            None => run_select_with(stmt, table, weights, threads, opts.optimizer),
+            None => crate::exec::run_select_partitioned(
+                stmt,
+                table,
+                weights,
+                threads,
+                opts.optimizer,
+                opts.agg_partitions,
+            ),
         }
     }
 
@@ -774,9 +807,13 @@ impl MosaicEngine {
             rels.get(1).map(|r| r.name.as_str()).unwrap_or("?")
         ));
         let table = match plans.plan {
-            Some(plan) => {
-                plan.execute_join_capped(&tables[0], &tables[1], plans.params, threads)?
-            }
+            Some(plan) => plan.execute_join_capped(
+                &tables[0],
+                &tables[1],
+                plans.params,
+                threads,
+                opts.agg_partitions,
+            )?,
             None => {
                 let bound = crate::plan::join::bind_join(stmt, rels)?;
                 let planned = crate::plan::plan_logical(bound.logical, opts.optimizer, None);
@@ -785,6 +822,7 @@ impl MosaicEngine {
                     &tables[1],
                     plans.params,
                     threads,
+                    opts.agg_partitions,
                 )?
             }
         };
@@ -1336,7 +1374,7 @@ fn coerce_to_sample_schema(cat: &Catalog, sample: &str, rows: Table) -> Result<T
     for r in 0..rows.num_rows() {
         b.push_row(mapping.iter().map(|&c| rows.value(r, c)).collect())?;
     }
-    Ok(b.finish())
+    Ok(b.finish().dict_encoded())
 }
 
 /// Filter a table by an optional predicate.

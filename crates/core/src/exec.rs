@@ -68,9 +68,33 @@ pub fn run_select_with(
     parallelism: usize,
     optimizer: bool,
 ) -> Result<Table> {
+    run_select_partitioned(
+        stmt,
+        table,
+        weights,
+        parallelism,
+        optimizer,
+        plan::parallel::default_agg_partitions(),
+    )
+}
+
+/// [`run_select_with`] with an explicit radix-partition count for the
+/// parallel aggregate merge (`agg_partitions = 1` runs the merge as a
+/// single serial pass). Like the thread cap, the partition count never
+/// changes results — the `planner_oracle` suite enforces bit-identity
+/// across partition counts.
+pub fn run_select_partitioned(
+    stmt: &SelectStmt,
+    table: &Table,
+    weights: Option<&[f64]>,
+    parallelism: usize,
+    optimizer: bool,
+    agg_partitions: usize,
+) -> Result<Table> {
     check_weights(table, weights)?;
     plan::physical_plan_for(stmt, weights.is_some(), optimizer, Some(table.schema()))
         .with_parallelism(parallelism)
+        .with_agg_partitions(agg_partitions)
         .execute(table, weights)
 }
 

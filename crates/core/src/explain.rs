@@ -102,6 +102,7 @@ pub(crate) fn render(
                 lines.push(format!("SELECT FROM table {from}"));
                 let planned = plan_select(stmt, false, opts.optimizer, Some(t.schema().as_ref()));
                 push_plan(&mut lines, &planned, opts.optimizer, from, t.num_rows());
+                push_encodings(&mut lines, t);
             } else if let Some(s) = cat.sample(from) {
                 lines.push(format!(
                     "SELECT FROM sample {} (raw scan; engine weights exposed as column `weight`)",
@@ -110,6 +111,7 @@ pub(crate) fn render(
                 let schema: std::sync::Arc<Schema> = sample_scan_schema(s);
                 let planned = plan_select(stmt, false, opts.optimizer, Some(schema.as_ref()));
                 push_plan(&mut lines, &planned, opts.optimizer, &s.name, s.len());
+                push_encodings(&mut lines, &s.data);
             } else {
                 return Err(crate::engine::unknown_relation(cat, from));
             }
@@ -124,9 +126,42 @@ fn push_footer(lines: &mut Vec<String>, opts: &EngineOptions, stmt: &SelectStmt)
         "  parallelism: {} worker thread(s)",
         opts.parallelism
     ));
+    if has_aggregate_shape(stmt) {
+        lines.push(format!(
+            "  aggregate merge: {} radix partition(s){}",
+            opts.agg_partitions,
+            if opts.agg_partitions == 1 {
+                " (serial merge)"
+            } else {
+                ""
+            }
+        ));
+    }
     let params = stmt.param_count();
     if params > 0 {
         lines.push(format!("  parameters: {params} positional (?1..?{params})"));
+    }
+}
+
+/// Append the string-column encoding report for a scanned table:
+/// `dict(K)` for dictionary-encoded columns (K distinct values in the
+/// dictionary), `plain` for per-row string storage. Non-string columns
+/// are elided; the line is omitted when the table has no string columns.
+fn push_encodings(lines: &mut Vec<String>, table: &mosaic_storage::Table) {
+    let mut parts = Vec::new();
+    for (i, f) in table.schema().fields().iter().enumerate() {
+        let col = table.column(i);
+        if col.data_type() != mosaic_storage::DataType::Str {
+            continue;
+        }
+        let enc = match col.dict_parts() {
+            Some((_, dict)) => format!("dict({})", dict.len()),
+            None => "plain".to_string(),
+        };
+        parts.push(format!("{}={enc}", f.name));
+    }
+    if !parts.is_empty() {
+        lines.push(format!("  encodings: {}", parts.join(", ")));
     }
 }
 
@@ -165,6 +200,7 @@ fn render_scope(
             &name,
             tables[0].num_rows(),
         );
+        push_encodings(&mut lines, &tables[0]);
         push_footer(&mut lines, opts, stmt);
         return Ok(lines);
     }
@@ -275,6 +311,32 @@ mod tests {
         assert!(text.contains("Filter: v > 0"), "{text}");
         assert!(text.contains("2 rows, 1 morsel(s)"), "{text}");
         assert!(text.contains("parallelism:"), "{text}");
+        // Aggregate-shaped query: the merge-partition count is reported.
+        assert!(text.contains("aggregate merge:"), "{text}");
+        assert!(text.contains("radix partition(s)"), "{text}");
+        // String columns report their encoding (TEXT ingest builds a
+        // dictionary over the 2 distinct keys).
+        assert!(text.contains("encodings: k=dict(2)"), "{text}");
+    }
+
+    #[test]
+    fn explain_partitions_follow_session_override() {
+        let engine = Arc::new(MosaicEngine::new());
+        let s = engine.session().with_agg_partitions(1);
+        s.execute("CREATE TABLE t (k TEXT, v INT); INSERT INTO t VALUES ('a', 1);")
+            .unwrap();
+        let r = s
+            .execute("EXPLAIN SELECT k, COUNT(*) FROM t GROUP BY k")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(
+            text.contains("aggregate merge: 1 radix partition(s) (serial merge)"),
+            "{text}"
+        );
+        // Non-aggregate queries have no merge phase to report.
+        let r = s.execute("EXPLAIN SELECT k FROM t").unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(!text.contains("aggregate merge:"), "{text}");
     }
 
     #[test]

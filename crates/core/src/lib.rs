@@ -129,7 +129,9 @@ pub use catalog::{Catalog, Mechanism, MetadataEntry, Population, Sample};
 pub use engine::{EngineOptions, MosaicDb, MosaicEngine, OpenBackend, OpenOptions, QueryResult};
 pub use error::MosaicError;
 pub use eval::{eval_expr_rowwise, eval_predicate_rowwise, eval_scalar};
-pub use exec::{run_select, run_select_parallel, run_select_rowwise, run_select_with};
+pub use exec::{
+    run_select, run_select_parallel, run_select_partitioned, run_select_rowwise, run_select_with,
+};
 pub use models::{BnModel, GenerativeModel, SwgModel};
 pub use plan::join::{reference_join, HashJoinOp, JoinSide};
 pub use plan::logical::{JoinOutCol, LogicalPlan, ScanColumn};

@@ -1,26 +1,32 @@
 //! Vectorized hash aggregation, split into a mergeable partial phase and
-//! a single-threaded final phase.
+//! a radix-partitioned parallel merge phase.
 //!
 //! Group keys are dictionary-encoded per column into dense `u32` codes
-//! (no per-row `Vec<Value>` materialization), aggregates accumulate
-//! through the grouped kernels in `mosaic_storage::kernels`, and only the
-//! final per-group outputs round-trip through [`Value`] — mirroring the
+//! (no per-row `Vec<Value>` materialization; string keys reuse their
+//! column's own dictionary codes), aggregates accumulate through the
+//! grouped kernels in `mosaic_storage::kernels`, and only the final
+//! per-group outputs round-trip through [`Value`] — mirroring the
 //! row-at-a-time reference in `exec.rs` value-for-value, including its
 //! error messages and its Int/Float output-typing rules.
 //!
 //! The split exists for the morsel-driven driver in
 //! [`crate::plan::parallel`]: each worker computes a [`MorselPartial`]
 //! over its morsel ([`compute_partial`]), and [`merge_finalize`] unifies
-//! the per-morsel group dictionaries and folds the partial states **in
-//! morsel order**, so the result is independent of which thread ran which
-//! morsel. Executing a table as one single morsel reproduces the previous
-//! whole-table vectorized path bit-for-bit.
+//! the per-morsel group dictionaries, hash-partitions the global group
+//! space into P radix partitions by group-key hash, and merges each
+//! partition independently on the shared worker pool — folding partial
+//! states **in morsel order** within every group, so the result is
+//! independent of which thread ran which morsel *and* of P (partition
+//! outputs are scattered back into global first-appearance order).
+//! Executing a table as one single morsel with P = 1 reproduces the
+//! previous whole-table vectorized path bit-for-bit.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mosaic_sql::{AggFunc, Expr, SelectItem};
 use mosaic_storage::kernels::{self, AggState};
-use mosaic_storage::{Column, DataType, Table, Value};
+use mosaic_storage::{Column, DataType, Dictionary, Table, Value};
 
 use crate::plan::vector;
 use crate::{MosaicError, Result};
@@ -36,7 +42,7 @@ pub(crate) fn execute(
     params: &[Value],
 ) -> Result<Table> {
     let partial = compute_partial(items, group_by, table, weights, params).map_err(|(_, e)| e)?;
-    merge_finalize(items, weights.is_some(), &[partial], params)
+    merge_finalize(items, weights.is_some(), &[partial], params, 1, 1)
 }
 
 /// A result whose error carries the rank of the stage that failed
@@ -49,7 +55,20 @@ pub(crate) type Ranked<T> = std::result::Result<T, (u32, MosaicError)>;
 pub(crate) struct MorselPartial {
     /// Per local group (in first-appearance order), the evaluated
     /// GROUP BY key tuple. A single empty tuple for global aggregates.
+    /// Empty when `codes` carries the group identities instead.
     keys: Vec<Vec<Value>>,
+    /// Per local group, a deterministic hash of its key tuple (the radix
+    /// partitioning key of the merge phase). Equal tuples always hash
+    /// equal, across morsels and across runs. Empty when `codes` is set.
+    hashes: Vec<u64>,
+    /// Fast-path group identity: when the single GROUP BY key evaluates
+    /// to a dictionary-encoded column, each local group is its
+    /// dictionary code (`dict.len()` encodes the NULL group) and no key
+    /// tuples are materialized. Every morsel slices the same column, so
+    /// the merge unifies codes through a dense code-indexed table with
+    /// no hashing, and materializes one string per *global* group at
+    /// output time instead of one per local group.
+    codes: Option<(Arc<Dictionary>, Vec<u32>)>,
     /// Per SELECT item, its partial state.
     items: Vec<ItemPartial>,
 }
@@ -104,8 +123,30 @@ pub(crate) fn compute_partial(
         let (ids, reps) = compute_group_ids(&key_cols);
         (ids, reps, key_cols)
     };
+    // Dictionary fast path: a single dict-encoded key column identifies
+    // every local group by code alone — skip the per-group Value-tuple
+    // materialization and hashing entirely (the dominant merge-side cost
+    // when groups are numerous).
+    let dict_codes = match &key_cols[..] {
+        [col] => col.dict_parts().map(|(codes, dict)| {
+            let kcodes = rep_rows
+                .iter()
+                .map(|&r| {
+                    if col.is_null(r) {
+                        dict.len() as u32
+                    } else {
+                        codes[r]
+                    }
+                })
+                .collect();
+            (Arc::clone(dict), kcodes)
+        }),
+        _ => None,
+    };
     let (n_groups, keys) = if group_by.is_empty() {
         (1, vec![Vec::new()])
+    } else if dict_codes.is_some() {
+        (rep_rows.len(), Vec::new())
     } else {
         let keys = rep_rows
             .iter()
@@ -160,49 +201,262 @@ pub(crate) fn compute_partial(
             item_partials.push(ItemPartial::Key(pos));
         }
     }
+    let hashes = keys.iter().map(|k| key_hash(k)).collect();
     Ok(MorselPartial {
         keys,
+        hashes,
+        codes: dict_codes,
         items: item_partials,
     })
 }
 
+/// Deterministic hash of a group-key tuple. Uses `DefaultHasher::new()`
+/// (fixed SipHash keys — stable within a build, unlike `RandomState`)
+/// with floats hashed by bit pattern, matching the bit-pattern equality
+/// that [`encode_column`] and `Value::eq` use for float group keys.
+fn key_hash(key: &[Value]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in key {
+        match v {
+            Value::Null => 0u8.hash(&mut h),
+            Value::Bool(b) => {
+                1u8.hash(&mut h);
+                b.hash(&mut h);
+            }
+            Value::Int(i) => {
+                2u8.hash(&mut h);
+                i.hash(&mut h);
+            }
+            Value::Float(f) => {
+                3u8.hash(&mut h);
+                f.to_bits().hash(&mut h);
+            }
+            Value::Str(s) => {
+                4u8.hash(&mut h);
+                s.hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Cheap deterministic mix of a dictionary code into a radix-partition
+/// hash (the splitmix64 finalizer). Only partition assignment depends
+/// on it, and the partitioned merge is partition-layout-invariant, so
+/// it need not agree with [`key_hash`] on the materialized-key path.
+fn mix_code(c: u32) -> u64 {
+    let mut x = c as u64;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Minimum global group count for the partitioned merge to engage:
+/// below this, partition-layout bookkeeping costs more than the merge
+/// itself, so the single-partition path runs regardless of the setting.
+const MIN_PARTITION_GROUPS: usize = 64;
+
 /// Unify the per-morsel group dictionaries (global group order =
 /// first-appearance order across morsels, which for a single morsel is
-/// the serial order), fold the partial states together in morsel order,
-/// and assemble the output table.
+/// the serial order), hash-partition the group space into `partitions`
+/// radix partitions, merge each partition independently on the shared
+/// worker pool (folding partial states in morsel order within every
+/// group), and assemble the output table in global group order.
+///
+/// The partition count never changes results: per-group fold order is
+/// morsel order for any P, and partition outputs are scattered back to
+/// first-appearance positions before assembly.
 pub(crate) fn merge_finalize(
     items: &[SelectItem],
     weighted: bool,
     partials: &[MorselPartial],
     params: &[Value],
+    threads: usize,
+    partitions: usize,
 ) -> Result<Table> {
-    // 1. Global group dictionary + per-morsel local→global maps.
-    let mut index: HashMap<&[Value], u32> = HashMap::new();
-    let mut order: Vec<&Vec<Value>> = Vec::new();
+    // 1. Global group dictionary + per-morsel local→global maps (serial:
+    // first-appearance order is inherently sequential). When every
+    // morsel identifies its groups by dictionary code over the same
+    // Arc'd dictionary (single dict-encoded GROUP BY key), unification
+    // is a dense code-indexed table — no hashing, no tuple compares, and
+    // key strings materialize once per global group instead of once per
+    // (morsel, group) pair. Otherwise, a hash map over key tuples.
+    let fast_dict = partials
+        .first()
+        .and_then(|p| p.codes.as_ref())
+        .map(|(d, _)| d)
+        .filter(|d| {
+            partials
+                .iter()
+                .all(|p| matches!(&p.codes, Some((pd, _)) if Arc::ptr_eq(pd, d)))
+        });
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut ghash: Vec<u64> = Vec::new();
     let mut maps: Vec<Vec<u32>> = Vec::with_capacity(partials.len());
-    for partial in partials {
-        let mut map = Vec::with_capacity(partial.keys.len());
-        for key in &partial.keys {
-            let next = index.len() as u32;
-            let gid = *index.entry(key.as_slice()).or_insert_with(|| {
-                order.push(key);
-                next
-            });
-            map.push(gid);
+    if let Some(dict) = fast_dict {
+        let null_code = dict.len() as u32;
+        let mut code_gid: Vec<u32> = vec![u32::MAX; dict.len() + 1];
+        let mut gcodes: Vec<u32> = Vec::new();
+        for partial in partials {
+            let (_, codes) = partial.codes.as_ref().expect("checked by fast_dict");
+            let mut map = Vec::with_capacity(codes.len());
+            for &c in codes {
+                let slot = &mut code_gid[c as usize];
+                if *slot == u32::MAX {
+                    *slot = gcodes.len() as u32;
+                    gcodes.push(c);
+                }
+                map.push(*slot);
+            }
+            maps.push(map);
         }
-        maps.push(map);
+        order = gcodes
+            .iter()
+            .map(|&c| {
+                vec![if c == null_code {
+                    Value::Null
+                } else {
+                    Value::Str(dict.get(c).to_string())
+                }]
+            })
+            .collect();
+        ghash = gcodes.iter().map(|&c| mix_code(c)).collect();
+    } else {
+        let mut index: HashMap<&[Value], u32> = HashMap::new();
+        for partial in partials {
+            let mut map = Vec::with_capacity(partial.keys.len());
+            for (l, key) in partial.keys.iter().enumerate() {
+                let next = order.len() as u32;
+                let gid = *index.entry(key.as_slice()).or_insert_with(|| {
+                    order.push(key.clone());
+                    ghash.push(partial.hashes[l]);
+                    next
+                });
+                map.push(gid);
+            }
+            maps.push(map);
+        }
     }
     let n_global = order.len();
 
-    // 2. Merge and finalize every item.
-    let mut fields = Vec::with_capacity(items.len());
-    let mut value_rows: Vec<Vec<Value>> = vec![Vec::new(); n_global];
+    // 2. Radix partition layout. Groups keep ascending (= first
+    // appearance) order within each partition; each morsel's local
+    // groups scatter into per-partition (local, dense) pairs in one pass
+    // over the maps.
+    let p = if partitions > 1 && n_global >= MIN_PARTITION_GROUPS {
+        partitions
+    } else {
+        1
+    };
+    let part_of: Vec<usize> = ghash.iter().map(|h| (h % p as u64) as usize).collect();
+    let mut pgroups: Vec<Vec<u32>> = vec![Vec::new(); p];
+    let mut pdense: Vec<u32> = vec![0; n_global];
+    for (g, &pi) in part_of.iter().enumerate() {
+        pdense[g] = pgroups[pi].len() as u32;
+        pgroups[pi].push(g as u32);
+    }
+    let mut ppairs: Vec<Vec<Vec<(u32, u32)>>> = vec![vec![Vec::new(); partials.len()]; p];
+    for (mi, map) in maps.iter().enumerate() {
+        for (l, &g) in map.iter().enumerate() {
+            ppairs[part_of[g as usize]][mi].push((l as u32, pdense[g as usize]));
+        }
+    }
+
+    // Pre-bind aggregate item shells the same way the partial phase did,
+    // so they match the stored (bound) base aggregates. The partial
+    // phase already bound these expressions, so this cannot newly fail.
+    let mut bound: Vec<Option<std::borrow::Cow<'_, Expr>>> = Vec::with_capacity(items.len());
     for (ii, item) in items.iter().enumerate() {
         match first_item_partial(partials, ii) {
-            ItemPartial::Key(pos) => {
-                for (gi, row) in value_rows.iter_mut().enumerate() {
-                    row.push(order[gi][*pos].clone());
+            ItemPartial::Key(_) => bound.push(None),
+            ItemPartial::Aggs(_) => {
+                let SelectItem::Expr { expr, .. } = item else {
+                    unreachable!("wildcards were rejected in the partial phase")
+                };
+                bound.push(Some(super::bind_expr(expr, params)?));
+            }
+        }
+    }
+
+    // 3. Merge every partition independently (p == 1 runs inline).
+    let results = super::parallel::run_ordered(p, threads, |pi| {
+        merge_partition(
+            items,
+            weighted,
+            partials,
+            &bound,
+            &order,
+            &pgroups[pi],
+            &ppairs[pi],
+        )
+    });
+
+    // Deterministic error selection: each partition reports its first
+    // error in (item, global group) order, so the minimum across
+    // partitions is exactly the error a serial pass would hit first.
+    let mut outs = Vec::with_capacity(p);
+    let mut first_err: Option<(usize, u32, MosaicError)> = None;
+    for r in results {
+        match r {
+            Ok(cols) => outs.push(cols),
+            Err(e) => {
+                if first_err
+                    .as_ref()
+                    .is_none_or(|(ii, g, _)| (e.0, e.1) < (*ii, *g))
+                {
+                    first_err = Some(e);
                 }
+                outs.push(Vec::new());
+            }
+        }
+    }
+    if let Some((_, _, e)) = first_err {
+        return Err(e);
+    }
+
+    // 4. Scatter partition outputs back into global group order (making
+    // the result invariant in P), then assemble. Partitions hold disjoint
+    // group sets, so draining each partition's columns in item order
+    // fills every group's row in item order.
+    let mut value_rows: Vec<Vec<Value>> = vec![Vec::with_capacity(items.len()); n_global];
+    for (out, groups) in outs.iter_mut().zip(&pgroups) {
+        for col in out.drain(..) {
+            for (&g, v) in groups.iter().zip(col) {
+                value_rows[g as usize].push(v);
+            }
+        }
+    }
+    let fields: Vec<String> = items.iter().map(super::output_name).collect();
+    super::assemble_value_rows(&fields, &value_rows)
+}
+
+/// Merge and finalize one radix partition. `pgroups` lists the
+/// partition's global groups (ascending), `ppairs[mi]` the morsel-local →
+/// partition-dense index pairs of morsel `mi`. Returns one output column
+/// (over the partition's groups) per item, or the partition's first
+/// error in (item, global group) order.
+#[allow(clippy::type_complexity)]
+fn merge_partition(
+    items: &[SelectItem],
+    weighted: bool,
+    partials: &[MorselPartial],
+    bound: &[Option<std::borrow::Cow<'_, Expr>>],
+    order: &[Vec<Value>],
+    pgroups: &[u32],
+    ppairs: &[Vec<(u32, u32)>],
+) -> std::result::Result<Vec<Vec<Value>>, (usize, u32, MosaicError)> {
+    let n_local = pgroups.len();
+    let mut cols = Vec::with_capacity(items.len());
+    for (ii, bound_item) in bound.iter().enumerate() {
+        match first_item_partial(partials, ii) {
+            ItemPartial::Key(pos) => {
+                cols.push(
+                    pgroups
+                        .iter()
+                        .map(|&g| order[g as usize][*pos].clone())
+                        .collect(),
+                );
             }
             ItemPartial::Aggs(bases) => {
                 let mut merged: Vec<(Expr, Vec<Value>)> = Vec::with_capacity(bases.len());
@@ -211,23 +465,19 @@ pub(crate) fn merge_finalize(
                         unreachable!("collect_aggregates only collects Agg nodes")
                     };
                     let values =
-                        merge_base_aggregate(*func, weighted, partials, &maps, ii, bi, n_global);
+                        merge_base_aggregate(*func, weighted, partials, ppairs, ii, bi, n_local);
                     merged.push((agg_expr.clone(), values));
                 }
-                let SelectItem::Expr { expr, .. } = item else {
-                    unreachable!("wildcards were rejected in the partial phase")
-                };
-                // Bind the same way the partial phase did, so the shell
-                // matches the stored (bound) base aggregates.
-                let expr = super::bind_expr(expr, params)?;
-                for (gi, row) in value_rows.iter_mut().enumerate() {
-                    row.push(eval_over_groups(&expr, gi, &merged)?);
+                let expr = bound_item.as_ref().expect("aggregate items are pre-bound");
+                let mut out = Vec::with_capacity(n_local);
+                for (dense, &g) in pgroups.iter().enumerate() {
+                    out.push(eval_over_groups(expr, dense, &merged).map_err(|e| (ii, g, e))?);
                 }
+                cols.push(out);
             }
         }
-        fields.push(super::output_name(item));
     }
-    super::assemble_value_rows(&fields, &value_rows)
+    Ok(cols)
 }
 
 /// The item partial of item `ii` in the first morsel (every morsel has
@@ -237,27 +487,30 @@ fn first_item_partial(partials: &[MorselPartial], ii: usize) -> &ItemPartial {
 }
 
 /// Merge base aggregate `bi` of item `ii` across all morsels (in morsel
-/// order) and finalize it into one `Value` per global group.
+/// order) and finalize it into one `Value` per group of this partition.
+/// Each morsel contributes at most one local group per target group, so
+/// folding morsels in order gives every group the same addition order as
+/// a dense whole-space merge — the partition count cannot perturb floats.
 fn merge_base_aggregate(
     func: AggFunc,
     weighted: bool,
     partials: &[MorselPartial],
-    maps: &[Vec<u32>],
+    ppairs: &[Vec<(u32, u32)>],
     ii: usize,
     bi: usize,
-    n_global: usize,
+    n_local: usize,
 ) -> Vec<Value> {
-    let locals = partials.iter().zip(maps).map(|(p, map)| {
+    let locals = partials.iter().zip(ppairs).map(|(p, pairs)| {
         let ItemPartial::Aggs(bases) = &p.items[ii] else {
             unreachable!("item structure is morsel-invariant")
         };
-        (&bases[bi].1, map.as_slice())
+        (&bases[bi].1, pairs.as_slice())
     });
     match func {
         AggFunc::Count | AggFunc::Sum | AggFunc::Avg => {
-            let mut state = AggState::new(n_global);
+            let mut state = AggState::new(n_local);
             let mut int_typed = true;
-            for (local, map) in locals {
+            for (local, pairs) in locals {
                 let AggPartial::Num {
                     state: ls,
                     int_typed: li,
@@ -270,9 +523,9 @@ fn merge_base_aggregate(
                 // contributes no rows, so only real Int morsels keep the
                 // output integral — exactly the whole-column rule.
                 int_typed &= *li;
-                state.merge_from(ls, map);
+                state.merge_pairs(ls, pairs);
             }
-            (0..n_global)
+            (0..n_local)
                 .map(|g| match func {
                     AggFunc::Count => {
                         if weighted {
@@ -302,16 +555,17 @@ fn merge_base_aggregate(
                 .collect()
         }
         AggFunc::Min | AggFunc::Max => {
-            let mut best: Vec<Value> = vec![Value::Null; n_global];
-            for (local, map) in locals {
+            let mut best: Vec<Value> = vec![Value::Null; n_local];
+            for (local, pairs) in locals {
                 let AggPartial::MinMax(lb) = local else {
                     unreachable!("min/max aggregate has min/max partials")
                 };
-                for (l, v) in lb.iter().enumerate() {
+                for &(l, d) in pairs {
+                    let v = &lb[l as usize];
                     if v.is_null() {
                         continue;
                     }
-                    let b = &mut best[map[l] as usize];
+                    let b = &mut best[d as usize];
                     if b.is_null() {
                         *b = v.clone();
                         continue;
@@ -393,6 +647,14 @@ fn encode_column(col: &Column) -> Vec<u32> {
                 let next = dict.len() as u32 + 1;
                 *dict.entry(v.to_bits()).or_insert(next)
             };
+        }
+    } else if let Some((data, _)) = col.dict_parts() {
+        // Dictionary-encoded strings: the column's own codes already
+        // identify distinct values, so no per-row string hashing at all.
+        // (compute_group_ids re-densifies to first-appearance order, so
+        // the dictionary's code order never leaks into group order.)
+        for (i, &c) in data.iter().enumerate() {
+            codes[i] = if col.is_null(i) { NULL } else { c + 1 };
         }
     } else if let Some(data) = col.str_data() {
         let mut dict: HashMap<&str, u32> = HashMap::new();

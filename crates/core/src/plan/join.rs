@@ -732,23 +732,35 @@ fn numeric_tokens(col: &Column) -> Option<TokenCol> {
     })
 }
 
-/// Tokenize the build side's string key column, assigning dictionary
-/// ids, then the probe side against the same dictionary (strings the
-/// build side never saw can't match — their rows become invalid).
+/// Tokenize a string build/probe key pair through the columns' own
+/// dictionaries (encoding on the fly when a side is still plain — the
+/// single source of truth for string token normalization). Sides sharing
+/// one dictionary `Arc` use their codes as tokens directly; otherwise
+/// the probe remaps onto the build dictionary once per *distinct* probe
+/// value. Strings the build side never saw can't match — their rows
+/// become invalid.
 fn str_tokens(build: &Column, probe: &Column) -> Option<(TokenCol, TokenCol)> {
-    let bd = build.str_data()?;
-    let pd = probe.str_data()?;
-    let mut dict: HashMap<&str, u64> = HashMap::with_capacity(bd.len());
-    let mut bt = Vec::with_capacity(bd.len());
-    for s in bd {
-        let next = dict.len() as u64;
-        bt.push(*dict.entry(s.as_str()).or_insert(next));
+    let build = build.dict_encoded();
+    let probe = probe.dict_encoded();
+    let (bc, bd) = build.dict_parts()?;
+    let (pc, pd) = probe.dict_parts()?;
+    let bt = TokenCol {
+        tokens: bc.iter().map(|&c| c as u64).collect(),
+        valid: build.validity().cloned(),
+    };
+    if Arc::ptr_eq(bd, pd) {
+        let pt = TokenCol {
+            tokens: pc.iter().map(|&c| c as u64).collect(),
+            valid: probe.validity().cloned(),
+        };
+        return Some((bt, pt));
     }
-    let mut pt = Vec::with_capacity(pd.len());
-    let mut pvalid = Bitmap::ones(pd.len());
-    for (i, s) in pd.iter().enumerate() {
-        match dict.get(s.as_str()) {
-            Some(&t) => pt.push(t),
+    let remap: Vec<Option<u32>> = pd.values().iter().map(|s| bd.code_of(s)).collect();
+    let mut pt = Vec::with_capacity(pc.len());
+    let mut pvalid = Bitmap::ones(pc.len());
+    for (i, &c) in pc.iter().enumerate() {
+        match remap[c as usize] {
+            Some(t) => pt.push(t as u64),
             None => {
                 pt.push(0);
                 pvalid.set(i, false);
@@ -756,10 +768,7 @@ fn str_tokens(build: &Column, probe: &Column) -> Option<(TokenCol, TokenCol)> {
         }
     }
     Some((
-        TokenCol {
-            tokens: bt,
-            valid: build.validity().cloned(),
-        },
+        bt,
         TokenCol {
             tokens: pt,
             valid: kernels::combine_validity(probe.validity(), Some(&pvalid)),

@@ -19,11 +19,13 @@
 //! Execution is **morsel-driven and parallel** (see [`parallel`]): the
 //! scan splits into fixed-size morsels of Arc-shared column slices,
 //! Filter/Project and the partial-aggregate phase of HashAggregate run
-//! per morsel on a scoped worker pool, and a single-threaded final pass
-//! merges the per-worker partial states before Sort/Limit. The thread
+//! per morsel on a scoped worker pool, and the aggregate merge itself is
+//! radix-partitioned across the same pool before Sort/Limit. The thread
 //! count is a plan property ([`PhysicalPlan::with_parallelism`],
 //! defaulting to the `MOSAIC_PARALLELISM` environment variable or the
-//! machine's core count) and never affects results.
+//! machine's core count) and never affects results; the same holds for
+//! the merge partition count ([`PhysicalPlan::with_agg_partitions`],
+//! defaulting to `MOSAIC_AGG_PARTITIONS` or 16).
 
 pub(crate) mod aggregate;
 pub mod join;
@@ -496,6 +498,7 @@ pub struct PhysicalPlan {
     pub(crate) shape: Shape,
     pub(crate) post_shape: Vec<Box<dyn PhysicalOperator>>,
     parallelism: usize,
+    agg_partitions: usize,
 }
 
 impl PhysicalPlan {
@@ -528,19 +531,27 @@ impl PhysicalPlan {
         right: &Table,
         params: &[Value],
     ) -> Result<Table> {
-        parallel::execute_join_plan(self, left, right, params, self.parallelism)
+        parallel::execute_join_plan(
+            self,
+            left,
+            right,
+            params,
+            self.parallelism,
+            self.agg_partitions,
+        )
     }
 
-    /// [`PhysicalPlan::execute_join_with_params`] with a per-execution
-    /// worker-thread cap overriding the plan's own.
+    /// [`PhysicalPlan::execute_join_with_params`] with per-execution
+    /// worker-thread and merge-partition caps overriding the plan's own.
     pub(crate) fn execute_join_capped(
         &self,
         left: &Table,
         right: &Table,
         params: &[Value],
         threads: usize,
+        partitions: usize,
     ) -> Result<Table> {
-        parallel::execute_join_plan(self, left, right, params, threads.max(1))
+        parallel::execute_join_plan(self, left, right, params, threads.max(1), partitions.max(1))
     }
 
     /// Execute with positional-parameter values bound into the plan's
@@ -553,20 +564,36 @@ impl PhysicalPlan {
         weights: Option<&[f64]>,
         params: &[Value],
     ) -> Result<Table> {
-        parallel::execute_plan(self, table, weights, params, self.parallelism)
+        parallel::execute_plan(
+            self,
+            table,
+            weights,
+            params,
+            self.parallelism,
+            self.agg_partitions,
+        )
     }
 
-    /// [`Self::execute_with_params`] with a per-execution worker-thread
-    /// cap overriding the plan's own. The OPEN replicate loop uses this
-    /// to run a prepared plan single-threaded inside its worker pool.
+    /// [`Self::execute_with_params`] with per-execution worker-thread
+    /// and merge-partition caps overriding the plan's own. The OPEN
+    /// replicate loop uses this to run a prepared plan single-threaded
+    /// inside its worker pool.
     pub(crate) fn execute_capped(
         &self,
         table: &Table,
         weights: Option<&[f64]>,
         params: &[Value],
         threads: usize,
+        partitions: usize,
     ) -> Result<Table> {
-        parallel::execute_plan(self, table, weights, params, threads.max(1))
+        parallel::execute_plan(
+            self,
+            table,
+            weights,
+            params,
+            threads.max(1),
+            partitions.max(1),
+        )
     }
 
     /// Cap the number of worker threads the plan may use (minimum 1).
@@ -579,6 +606,19 @@ impl PhysicalPlan {
     /// The plan's worker-thread cap.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Set the radix-partition count of the parallel aggregate merge
+    /// (minimum 1 = serial merge). Like the thread cap, the partition
+    /// count never changes results — only wall-clock time.
+    pub fn with_agg_partitions(mut self, partitions: usize) -> Self {
+        self.agg_partitions = partitions.max(1);
+        self
+    }
+
+    /// The plan's aggregate-merge partition count.
+    pub fn agg_partitions(&self) -> usize {
+        self.agg_partitions
     }
 
     /// True when the shape stage aggregates. ORDER BY keys must then
@@ -728,6 +768,7 @@ pub fn lower_logical(plan: &LogicalPlan) -> PhysicalPlan {
         }),
         post_shape,
         parallelism: parallel::default_parallelism(),
+        agg_partitions: parallel::default_agg_partitions(),
     }
 }
 

@@ -13,11 +13,15 @@
 //!    worker pool executes this phase; idle workers pull the next
 //!    unclaimed morsel off a shared counter (classic morsel-driven
 //!    scheduling — load balances skewed filters for free).
-//! 3. **Merge** — a single-threaded pass stitches the per-morsel results
-//!    back together *in morsel order*: output fragments concatenate
-//!    ([`Table::vstack`]), partial aggregate states fold into global
-//!    per-group states (`aggregate::merge_finalize`). Sort and
-//!    Limit then run once over the merged result.
+//! 3. **Merge** — per-morsel results stitch back together *in morsel
+//!    order*: output fragments concatenate ([`Table::vstack`]), partial
+//!    aggregate states fold into global per-group states
+//!    (`aggregate::merge_finalize`). The aggregate merge itself is
+//!    parallel: the global group space is hash-partitioned into
+//!    [`default_agg_partitions`] radix partitions and each partition
+//!    merges independently on the same worker pool, still folding in
+//!    morsel order within every group. Sort and Limit then run once
+//!    over the merged result.
 //!
 //! # Determinism
 //!
@@ -25,7 +29,10 @@
 //! morsel boundaries depend only on the input row count, merging always
 //! walks morsels in index order, and error reporting picks the failing
 //! morsel with the lowest index. Threads only decide *who* computes a
-//! morsel, never *what* is computed. A single-morsel input (≤
+//! morsel, never *what* is computed. The aggregate-merge partition count
+//! is equally inert: within any group the fold order is morsel order for
+//! every P, and partition outputs scatter back into global
+//! first-appearance order before assembly. A single-morsel input (≤
 //! [`MORSEL_ROWS`] rows — including every table the row-at-a-time oracle
 //! suite generates) additionally reproduces the pre-morsel whole-table
 //! vectorized path bit-for-bit.
@@ -62,6 +69,26 @@ pub fn default_parallelism() -> usize {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
+    })
+}
+
+/// The default radix-partition count for the parallel aggregate merge:
+/// the `MOSAIC_AGG_PARTITIONS` environment variable when set to a
+/// positive integer, otherwise 16. `1` disables partitioning (the merge
+/// runs as a single serial pass — the pre-partitioning behavior, kept
+/// verified by the CI matrix). The count is fixed independently of the
+/// thread count and never changes results.
+pub fn default_agg_partitions() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("MOSAIC_AGG_PARTITIONS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        16
     })
 }
 
@@ -119,23 +146,27 @@ pub(crate) fn execute_join_plan(
     right: &Table,
     params: &[Value],
     threads: usize,
+    partitions: usize,
 ) -> Result<Table> {
     let join = plan
         .join
         .as_ref()
         .ok_or_else(|| MosaicError::Execution("plan has no join stage".into()))?;
     let joined = join.execute(left, right, params, threads)?;
-    execute_plan(plan, &joined, None, params, threads)
+    execute_plan(plan, &joined, None, params, threads, partitions)
 }
 
 /// Execute `plan` over `table` on at most `threads` workers, binding
-/// `params` into any positional-parameter placeholders.
+/// `params` into any positional-parameter placeholders. `partitions`
+/// caps the radix-partition count of the aggregate merge phase (1 =
+/// serial merge); like the thread cap it never changes results.
 pub(crate) fn execute_plan(
     plan: &PhysicalPlan,
     table: &Table,
     weights: Option<&[f64]>,
     params: &[Value],
     threads: usize,
+    partitions: usize,
 ) -> Result<Table> {
     // Pruned scan: keep only the columns the optimizer proved the plan
     // references. Columns are Arc-shared, so this is a cheap header-only
@@ -235,8 +266,14 @@ pub(crate) fn execute_plan(
                     MorselOut::Shaped { .. } => unreachable!("aggregate plans emit partials"),
                 })
                 .collect();
-            let table =
-                aggregate::merge_finalize(&agg.items, weights.is_some(), &partials, params)?;
+            let table = aggregate::merge_finalize(
+                &agg.items,
+                weights.is_some(),
+                &partials,
+                params,
+                threads,
+                partitions,
+            )?;
             (
                 Batch {
                     table,

@@ -14,7 +14,7 @@ use std::borrow::Cow;
 
 use mosaic_sql::{BinOp, Expr, UnaryOp};
 use mosaic_storage::kernels::{self, CmpOp, FloatArithOp, IntArithOp};
-use mosaic_storage::{Bitmap, Column, ColumnBuilder, DataType, Table, Value};
+use mosaic_storage::{Bitmap, Column, ColumnBuilder, DataType, Dictionary, Table, Value};
 
 use crate::Result;
 
@@ -551,6 +551,16 @@ fn eval_comparison(left: &Expr, op: CmpOp, right: &Expr, table: &Table) -> Optio
                 Bitmap::zeros(n)
             }))
         }
+        // Dictionary vs literal: answer the predicate once per distinct
+        // value (a K-entry LUT), then one indexed load per row.
+        (StrOperand::Dict(codes, dict, v), StrOperand::Scalar(s)) => Some(BoolVec {
+            truth: kernels::lookup_codes(codes, &cmp_lut(dict, op, s)),
+            valid: v.cloned(),
+        }),
+        (StrOperand::Scalar(s), StrOperand::Dict(codes, dict, v)) => Some(BoolVec {
+            truth: kernels::lookup_codes(codes, &cmp_lut(dict, flip(op), s)),
+            valid: v.cloned(),
+        }),
         (StrOperand::Col(d, v), StrOperand::Scalar(s)) => Some(BoolVec {
             truth: kernels::cmp_str_scalar(d, op, s),
             valid: v.cloned(),
@@ -563,12 +573,49 @@ fn eval_comparison(left: &Expr, op: CmpOp, right: &Expr, table: &Table) -> Optio
             truth: kernels::cmp_str(a, b, op),
             valid: kernels::combine_validity(va, vb),
         }),
+        // Column vs column with a dictionary side: compare borrowed &str
+        // views (no String clones, no decode copy).
+        (a, b) => {
+            let (va, vb) = (a.validity(), b.validity());
+            let truth = kernels::cmp_str_pairs(&a.str_refs()?, &b.str_refs()?, op);
+            Some(BoolVec {
+                truth,
+                valid: kernels::combine_validity(va, vb),
+            })
+        }
     }
+}
+
+/// Per-code truth table for `value <op> rhs` over a dictionary.
+fn cmp_lut(dict: &Dictionary, op: CmpOp, rhs: &str) -> Vec<bool> {
+    dict.values()
+        .iter()
+        .map(|v| op.holds(v.as_str().cmp(rhs)))
+        .collect()
 }
 
 enum StrOperand<'a> {
     Scalar(&'a str),
     Col(&'a [String], Option<&'a Bitmap>),
+    Dict(&'a [u32], &'a Dictionary, Option<&'a Bitmap>),
+}
+
+impl<'a> StrOperand<'a> {
+    fn validity(&self) -> Option<&'a Bitmap> {
+        match self {
+            StrOperand::Scalar(_) => None,
+            StrOperand::Col(_, v) | StrOperand::Dict(_, _, v) => *v,
+        }
+    }
+
+    /// Borrowed per-row string views (columns only; scalars return None).
+    fn str_refs(&self) -> Option<Vec<&'a str>> {
+        match self {
+            StrOperand::Scalar(_) => None,
+            StrOperand::Col(d, _) => Some(d.iter().map(|s| s.as_str()).collect()),
+            StrOperand::Dict(codes, dict, _) => Some(codes.iter().map(|&c| dict.get(c)).collect()),
+        }
+    }
 }
 
 fn str_operand<'a>(expr: &'a Expr, table: &'a Table) -> Option<StrOperand<'a>> {
@@ -576,6 +623,9 @@ fn str_operand<'a>(expr: &'a Expr, table: &'a Table) -> Option<StrOperand<'a>> {
         Expr::Literal(Value::Str(s)) => Some(StrOperand::Scalar(s)),
         Expr::Column(name) => {
             let col = table.column_by_name(name).ok()?;
+            if let Some((codes, dict)) = col.dict_parts() {
+                return Some(StrOperand::Dict(codes, dict.as_ref(), col.validity()));
+            }
             Some(StrOperand::Col(col.str_data()?, col.validity()))
         }
         _ => None,
@@ -699,7 +749,17 @@ fn eval_in_list(operand: &Expr, list: &[Expr], negated: bool, table: &Table) -> 
                     // under sql_cmp (and don't count as NULL sightings
                     // unless they are literal NULLs).
                     let set: Vec<&str> = literals.iter().filter_map(|v| v.as_str()).collect();
-                    kernels::in_str_set(col.str_data()?, &set)
+                    if let Some((codes, dict)) = col.dict_parts() {
+                        // Membership decided once per distinct value.
+                        let lut: Vec<bool> = dict
+                            .values()
+                            .iter()
+                            .map(|v| set.iter().any(|s| s == v))
+                            .collect();
+                        kernels::lookup_codes(codes, &lut)
+                    } else {
+                        kernels::in_str_set(col.str_data()?, &set)
+                    }
                 }
                 DataType::Int => {
                     let set: Vec<f64> = literals.iter().filter_map(|v| v.as_f64()).collect();

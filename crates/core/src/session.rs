@@ -41,6 +41,9 @@ pub struct SessionOptions {
     pub seed: Option<u64>,
     /// Worker-thread cap for this session's queries.
     pub parallelism: Option<usize>,
+    /// Radix-partition count for the parallel aggregate merge (1 =
+    /// serial merge; never changes results, only wall-clock time).
+    pub agg_partitions: Option<usize>,
     /// Generative backend for this session's OPEN queries.
     pub open_backend: Option<OpenBackend>,
     /// Whether this session's SELECT planning runs the rule-based
@@ -94,6 +97,14 @@ impl Session {
     /// results, only wall-clock time).
     pub fn with_parallelism(mut self, n: usize) -> Session {
         self.overrides.parallelism = Some(n.max(1));
+        self
+    }
+
+    /// Override the radix-partition count of the parallel aggregate
+    /// merge (minimum 1; `1` runs the merge as a single serial pass).
+    /// Like the thread cap, the partition count never changes results.
+    pub fn with_agg_partitions(mut self, n: usize) -> Session {
+        self.overrides.agg_partitions = Some(n.max(1));
         self
     }
 
@@ -371,9 +382,10 @@ impl Prepared {
             (PreparedSource::Population(_), _) => (true, false),
             _ => (false, false),
         };
-        // No `with_parallelism` here: the thread cap is an execution-time
-        // property — every prepared execution passes the session's
-        // effective cap through `execute_capped`.
+        // No `with_parallelism` / `with_agg_partitions` here: the thread
+        // cap and merge-partition count are execution-time properties —
+        // every prepared execution passes the session's effective values
+        // through `execute_capped`.
         let planned = plan_select(&stmt, weighted, opts.optimizer, schema.as_deref());
         let inner_plan = open_agg.then(|| {
             let inner = SelectStmt {

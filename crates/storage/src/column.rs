@@ -1,6 +1,96 @@
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::{Bitmap, DataType, Result, StorageError, Value};
+
+/// A deduplicated string dictionary shared by dictionary-encoded columns.
+///
+/// Codes are assigned in order of first appearance, so encoding the same
+/// sequence of strings always yields the same `(codes, dict)` pair — the
+/// determinism contract of the engine extends down to the encoding. The
+/// auxiliary `sorted` / `ranks` permutations are precomputed so ordered
+/// row comparison ([`Column::total_cmp_rows`]) and literal lookup
+/// ([`Dictionary::code_of`]) run without any string comparison per row.
+#[derive(Debug)]
+pub struct Dictionary {
+    /// Distinct values, indexed by code (first-appearance order).
+    values: Vec<String>,
+    /// Codes ordered so that `values[sorted[0]] <= values[sorted[1]] <= ..`.
+    sorted: Vec<u32>,
+    /// `ranks[code]` = position of `code` in `sorted` (its sort rank).
+    ranks: Vec<u32>,
+}
+
+impl Dictionary {
+    /// Encode `values` into per-row codes plus the shared dictionary.
+    /// Strings are moved, never cloned; duplicates are dropped.
+    pub fn encode(values: Vec<String>) -> (Vec<u32>, Arc<Dictionary>) {
+        let mut map: HashMap<String, u32> = HashMap::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for s in values {
+            let next = map.len() as u32;
+            let code = *map.entry(s).or_insert(next);
+            codes.push(code);
+        }
+        let mut dict_values = vec![String::new(); map.len()];
+        for (s, c) in map {
+            dict_values[c as usize] = s;
+        }
+        (codes, Arc::new(Dictionary::from_values(dict_values)))
+    }
+
+    /// Build from already-distinct values (codes = positions).
+    fn from_values(values: Vec<String>) -> Dictionary {
+        let mut sorted: Vec<u32> = (0..values.len() as u32).collect();
+        sorted.sort_unstable_by(|&a, &b| values[a as usize].cmp(&values[b as usize]));
+        let mut ranks = vec![0u32; values.len()];
+        for (rank, &code) in sorted.iter().enumerate() {
+            ranks[code as usize] = rank as u32;
+        }
+        Dictionary {
+            values,
+            sorted,
+            ranks,
+        }
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the dictionary holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The string behind `code`.
+    #[inline]
+    pub fn get(&self, code: u32) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// All distinct values, indexed by code.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Look up the code for `s` (binary search over the sort permutation;
+    /// `None` if `s` is not in the dictionary).
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.sorted
+            .binary_search_by(|&c| self.values[c as usize].as_str().cmp(s))
+            .ok()
+            .map(|pos| self.sorted[pos])
+    }
+
+    /// Sort rank of `code`: comparing ranks orders rows exactly like
+    /// comparing the underlying strings.
+    #[inline]
+    pub fn rank(&self, code: u32) -> u32 {
+        self.ranks[code as usize]
+    }
+}
 
 /// A typed, contiguous column with an optional validity bitmap.
 ///
@@ -31,6 +121,13 @@ enum ColumnData {
     Int(Vec<i64>),
     Float(Vec<f64>),
     Str(Vec<String>),
+    /// Dictionary-encoded strings: per-row u32 codes into a shared
+    /// [`Dictionary`]. Reports [`DataType::Str`]; `take`/`slice`/
+    /// `concat_many` move only codes, never `String`s.
+    Dict {
+        codes: Vec<u32>,
+        dict: Arc<Dictionary>,
+    },
 }
 
 impl ColumnData {
@@ -40,6 +137,7 @@ impl ColumnData {
             ColumnData::Int(v) => v.len(),
             ColumnData::Float(v) => v.len(),
             ColumnData::Str(v) => v.len(),
+            ColumnData::Dict { codes, .. } => codes.len(),
         }
     }
 }
@@ -76,10 +174,11 @@ impl Column {
         Column::full(ColumnData::Float(values), None)
     }
 
-    /// Column of strings (no NULLs).
+    /// Column of strings (no NULLs), dictionary-encoded on construction.
     #[allow(clippy::should_implement_trait)] // established inherent name
     pub fn from_str(values: Vec<String>) -> Column {
-        Column::full(ColumnData::Str(values), None)
+        let (codes, dict) = Dictionary::encode(values);
+        Column::full(ColumnData::Dict { codes, dict }, None)
     }
 
     /// Column of booleans (no NULLs).
@@ -97,13 +196,13 @@ impl Column {
         self.len() == 0
     }
 
-    /// Physical type.
+    /// Physical type (dictionary-encoded columns report [`DataType::Str`]).
     pub fn data_type(&self) -> DataType {
         match self.data.as_ref() {
             ColumnData::Bool(_) => DataType::Bool,
             ColumnData::Int(_) => DataType::Int,
             ColumnData::Float(_) => DataType::Float,
-            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Str(_) | ColumnData::Dict { .. } => DataType::Str,
         }
     }
 
@@ -135,6 +234,7 @@ impl Column {
             ColumnData::Int(v) => Value::Int(v[i]),
             ColumnData::Float(v) => Value::Float(v[i]),
             ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Dict { codes, dict } => Value::Str(dict.get(codes[i]).to_string()),
         }
     }
 
@@ -149,7 +249,7 @@ impl Column {
             ColumnData::Int(v) => Some(v[i] as f64),
             ColumnData::Float(v) => Some(v[i]),
             ColumnData::Bool(v) => Some(v[i] as u8 as f64),
-            ColumnData::Str(_) => None,
+            ColumnData::Str(_) | ColumnData::Dict { .. } => None,
         }
     }
 
@@ -194,11 +294,42 @@ impl Column {
         }
     }
 
-    /// Raw string payload regardless of validity.
+    /// Raw string payload regardless of validity. `None` for
+    /// dictionary-encoded columns — use [`Column::dict_parts`] there.
     pub fn str_data(&self) -> Option<&[String]> {
         match self.data.as_ref() {
             ColumnData::Str(v) => Some(&v[self.offset..self.offset + self.len]),
             _ => None,
+        }
+    }
+
+    /// Per-row codes and shared dictionary if this column is
+    /// dictionary-encoded (codes windowed to this view).
+    pub fn dict_parts(&self) -> Option<(&[u32], &Arc<Dictionary>)> {
+        match self.data.as_ref() {
+            ColumnData::Dict { codes, dict } => {
+                Some((&codes[self.offset..self.offset + self.len], dict))
+            }
+            _ => None,
+        }
+    }
+
+    /// True if this column is dictionary-encoded.
+    pub fn is_dict(&self) -> bool {
+        matches!(self.data.as_ref(), ColumnData::Dict { .. })
+    }
+
+    /// Dictionary-encoded copy of this column: plain string columns are
+    /// encoded (one pass, strings cloned once); every other
+    /// representation is returned as-is (O(1) clone).
+    pub fn dict_encoded(&self) -> Column {
+        match self.data.as_ref() {
+            ColumnData::Str(v) => {
+                let window = v[self.offset..self.offset + self.len].to_vec();
+                let (codes, dict) = Dictionary::encode(window);
+                Column::full(ColumnData::Dict { codes, dict }, self.validity.clone())
+            }
+            _ => self.clone(),
         }
     }
 
@@ -223,8 +354,22 @@ impl Column {
         Column::full(ColumnData::Bool(values), normalize_validity(validity))
     }
 
-    /// String column from raw parts (see [`Column::from_i64_opt`]).
+    /// String column from raw parts (see [`Column::from_i64_opt`]),
+    /// dictionary-encoded on construction. NULL slots carry whatever
+    /// payload the caller supplied (by convention the empty string), and
+    /// that payload is encoded like any other value — so every code is
+    /// always in bounds for the dictionary.
     pub fn from_str_opt(values: Vec<String>, validity: Option<Bitmap>) -> Column {
+        let (codes, dict) = Dictionary::encode(values);
+        Column::full(
+            ColumnData::Dict { codes, dict },
+            normalize_validity(validity),
+        )
+    }
+
+    /// Plain (non-dictionary) string column from raw parts — the output
+    /// representation of [`ColumnBuilder`] and the row-wise executor.
+    pub fn from_str_plain(values: Vec<String>, validity: Option<Bitmap>) -> Column {
         Column::full(ColumnData::Str(values), normalize_validity(validity))
     }
 
@@ -245,6 +390,9 @@ impl Column {
             ColumnData::Int(v) => v[a].cmp(&v[b]),
             ColumnData::Float(v) => v[a].total_cmp(&v[b]),
             ColumnData::Str(v) => v[a].cmp(&v[b]),
+            // Comparing sort ranks orders rows exactly like comparing the
+            // underlying strings, without touching string bytes.
+            ColumnData::Dict { codes, dict } => dict.rank(codes[a]).cmp(&dict.rank(codes[b])),
         }
     }
 
@@ -265,8 +413,16 @@ impl Column {
             ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[o + i]).collect()),
             ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[o + i]).collect()),
             ColumnData::Str(v) => {
-                ColumnData::Str(indices.iter().map(|&i| v[o + i].clone()).collect())
+                let mut out = Vec::with_capacity(indices.len());
+                out.extend(indices.iter().map(|&i| v[o + i].clone()));
+                ColumnData::Str(out)
             }
+            // Gather u32 codes only — the dictionary is shared, no string
+            // is cloned no matter how many rows are taken.
+            ColumnData::Dict { codes, dict } => ColumnData::Dict {
+                codes: indices.iter().map(|&i| codes[o + i]).collect(),
+                dict: Arc::clone(dict),
+            },
         };
         Column::full(data, validity)
     }
@@ -295,23 +451,12 @@ impl Column {
         self.take(&selection.to_indices())
     }
 
-    /// Concatenate with another column of the same type.
+    /// Concatenate with another column of the same type. Delegates to
+    /// [`Column::concat_many`], so payload slices extend without per-cell
+    /// `Value` round-trips and dictionary encodings survive (mixed
+    /// plain/dict string inputs unify into a fresh dictionary).
     pub fn concat(&self, other: &Column) -> Result<Column> {
-        if self.data_type() != other.data_type() {
-            return Err(StorageError::TypeMismatch {
-                expected: self.data_type().to_string(),
-                actual: other.data_type().to_string(),
-                context: "Column::concat".into(),
-            });
-        }
-        let mut b = ColumnBuilder::new(self.data_type());
-        for i in 0..self.len() {
-            b.push(self.value(i))?;
-        }
-        for i in 0..other.len() {
-            b.push(other.value(i))?;
-        }
-        Ok(b.finish())
+        Self::concat_many(&[self, other])
     }
 
     /// Vertically concatenate many same-typed columns in one pass,
@@ -379,13 +524,7 @@ impl Column {
                 }
                 ColumnData::Bool(out)
             }
-            DataType::Str => {
-                let mut out = Vec::with_capacity(total);
-                for p in parts {
-                    out.extend_from_slice(p.str_data().expect("type-checked"));
-                }
-                ColumnData::Str(out)
-            }
+            DataType::Str => concat_str_parts(parts, total),
         };
         Ok(Column::full(data, normalize_validity(validity)))
     }
@@ -413,6 +552,73 @@ impl Column {
 
 fn normalize_validity(validity: Option<Bitmap>) -> Option<Bitmap> {
     validity.filter(|v| !v.all())
+}
+
+/// Concatenate the string payloads of `parts` (all type-checked as Str).
+///
+/// Morsel outputs usually slice one shared dictionary-encoded payload, so
+/// the common case concatenates u32 codes and shares the `Arc` — zero
+/// string traffic. Mixed representations (or distinct dictionaries) fall
+/// back to building one unified dictionary in first-appearance order,
+/// translating each *distinct* code once per part rather than per row.
+fn concat_str_parts(parts: &[&Column], total: usize) -> ColumnData {
+    if parts.iter().all(|p| !p.is_dict()) {
+        let mut out = Vec::with_capacity(total);
+        for p in parts {
+            out.extend_from_slice(p.str_data().expect("type-checked"));
+        }
+        return ColumnData::Str(out);
+    }
+    if let Some((_, d0)) = parts[0].dict_parts() {
+        if parts
+            .iter()
+            .all(|p| p.dict_parts().is_some_and(|(_, d)| Arc::ptr_eq(d, d0)))
+        {
+            let mut codes = Vec::with_capacity(total);
+            for p in parts {
+                codes.extend_from_slice(p.dict_parts().expect("checked dict").0);
+            }
+            return ColumnData::Dict {
+                codes,
+                dict: Arc::clone(d0),
+            };
+        }
+    }
+    fn unify(map: &mut HashMap<String, u32>, s: &str) -> u32 {
+        match map.get(s) {
+            Some(&c) => c,
+            None => {
+                let c = map.len() as u32;
+                map.insert(s.to_string(), c);
+                c
+            }
+        }
+    }
+    let mut map: HashMap<String, u32> = HashMap::new();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        if let Some((codes, dict)) = p.dict_parts() {
+            let mut remap = vec![u32::MAX; dict.len()];
+            for &c in codes {
+                if remap[c as usize] == u32::MAX {
+                    remap[c as usize] = unify(&mut map, dict.get(c));
+                }
+                out.push(remap[c as usize]);
+            }
+        } else {
+            for s in p.str_data().expect("type-checked") {
+                out.push(unify(&mut map, s));
+            }
+        }
+    }
+    let mut values = vec![String::new(); map.len()];
+    for (s, c) in map {
+        values[c as usize] = s;
+    }
+    ColumnData::Dict {
+        codes: out,
+        dict: Arc::new(Dictionary::from_values(values)),
+    }
 }
 
 /// Incremental, type-checked column construction.
@@ -488,18 +694,21 @@ impl ColumnBuilder {
                 ColumnData::Int(d) => d.push(0),
                 ColumnData::Float(d) => d.push(0.0),
                 ColumnData::Str(d) => d.push(String::new()),
+                ColumnData::Dict { .. } => unreachable!("builder never holds dict data"),
             }
             return Ok(());
         }
         self.nulls.push(false);
-        match (&mut self.data, &v) {
-            (ColumnData::Bool(d), Value::Bool(b)) => d.push(*b),
-            (ColumnData::Int(d), Value::Int(i)) => d.push(*i),
-            (ColumnData::Int(d), Value::Float(f)) if f.fract() == 0.0 => d.push(*f as i64),
-            (ColumnData::Float(d), Value::Float(f)) => d.push(*f),
-            (ColumnData::Float(d), Value::Int(i)) => d.push(*i as f64),
-            (ColumnData::Str(d), Value::Str(s)) => d.push(s.clone()),
-            _ => {
+        // Match by value so string payloads move into the column instead
+        // of being cloned per row.
+        match (&mut self.data, v) {
+            (ColumnData::Bool(d), Value::Bool(b)) => d.push(b),
+            (ColumnData::Int(d), Value::Int(i)) => d.push(i),
+            (ColumnData::Int(d), Value::Float(f)) if f.fract() == 0.0 => d.push(f as i64),
+            (ColumnData::Float(d), Value::Float(f)) => d.push(f),
+            (ColumnData::Float(d), Value::Int(i)) => d.push(i as f64),
+            (ColumnData::Str(d), Value::Str(s)) => d.push(s),
+            (_, v) => {
                 self.nulls.pop();
                 return Err(mismatch(&v, self.ty));
             }
@@ -662,6 +871,103 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn from_str_builds_dictionary() {
+        let c = Column::from_str(vec!["b".into(), "a".into(), "b".into(), "c".into()]);
+        assert!(c.is_dict());
+        assert_eq!(c.data_type(), DataType::Str);
+        let (codes, dict) = c.dict_parts().unwrap();
+        // Codes are assigned in first-appearance order.
+        assert_eq!(codes, &[0, 1, 0, 2]);
+        assert_eq!(dict.len(), 3);
+        assert_eq!(dict.get(0), "b");
+        assert_eq!(dict.code_of("c"), Some(2));
+        assert_eq!(dict.code_of("zzz"), None);
+        assert_eq!(c.value(2), Value::Str("b".into()));
+        assert!(c.str_data().is_none());
+    }
+
+    #[test]
+    fn dict_rank_orders_like_strings() {
+        let c = Column::from_str(vec!["pear".into(), "apple".into(), "mango".into()]);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(
+                    c.total_cmp_rows(a, b),
+                    c.value(a).total_cmp(&c.value(b)),
+                    "rows {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dict_take_and_slice_share_dictionary() {
+        let c = Column::from_str(vec!["x".into(), "y".into(), "x".into(), "z".into()]);
+        let (_, d0) = c.dict_parts().unwrap();
+        let d0 = Arc::clone(d0);
+        let t = c.take(&[3, 0, 0]);
+        assert!(Arc::ptr_eq(t.dict_parts().unwrap().1, &d0));
+        assert_eq!(t.value(0), Value::Str("z".into()));
+        let s = c.slice(1, 2);
+        assert_eq!(s.dict_parts().unwrap().0, &[1, 0]);
+        assert_eq!(s.value(1), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn concat_many_shared_dict_concats_codes() {
+        let c = Column::from_str(vec!["a".into(), "b".into(), "a".into(), "c".into()]);
+        let whole = Column::concat_many(&[&c.slice(0, 2), &c.slice(2, 2)]).unwrap();
+        assert!(Arc::ptr_eq(
+            whole.dict_parts().unwrap().1,
+            c.dict_parts().unwrap().1
+        ));
+        for i in 0..4 {
+            assert_eq!(whole.value(i), c.value(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn concat_many_mixed_representations_unifies() {
+        let dict = Column::from_str(vec!["a".into(), "b".into()]);
+        let mut b = ColumnBuilder::new(DataType::Str);
+        b.push(Value::Str("b".into())).unwrap();
+        b.push(Value::Null).unwrap();
+        b.push(Value::Str("c".into())).unwrap();
+        let plain = b.finish();
+        assert!(!plain.is_dict());
+        let other = Column::from_str(vec!["c".into(), "d".into()]);
+        let whole = Column::concat_many(&[&dict, &plain, &other]).unwrap();
+        assert!(whole.is_dict());
+        assert_eq!(whole.len(), 7);
+        let expect = ["a", "b", "b", "", "c", "c", "d"];
+        for (i, e) in expect.iter().enumerate() {
+            if i == 3 {
+                assert_eq!(whole.value(i), Value::Null);
+            } else {
+                assert_eq!(whole.value(i), Value::Str((*e).to_string()), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dict_encoded_roundtrips_plain() {
+        let mut b = ColumnBuilder::new(DataType::Str);
+        for v in [Value::Str("q".into()), Value::Null, Value::Str("p".into())] {
+            b.push(v).unwrap();
+        }
+        let plain = b.finish();
+        let dict = plain.dict_encoded();
+        assert!(dict.is_dict());
+        assert_eq!(dict.null_count(), 1);
+        for i in 0..3 {
+            assert_eq!(dict.value(i), plain.value(i), "row {i}");
+        }
+        // Already-dict and non-string columns pass through unchanged.
+        assert!(dict.dict_encoded().is_dict());
+        assert!(!Column::from_i64(vec![1]).dict_encoded().is_dict());
     }
 
     #[test]

@@ -132,7 +132,9 @@ pub fn read_csv(reader: impl BufRead) -> Result<Table> {
             .collect();
         b.push_row(coerced)?;
     }
-    Ok(b.finish())
+    // String columns dictionary-encode at ingest so every downstream
+    // kernel (filter, group-by, join, sort) runs over u32 codes.
+    Ok(b.finish().dict_encoded())
 }
 
 /// Read a CSV from an in-memory string.

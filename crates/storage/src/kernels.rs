@@ -140,6 +140,27 @@ pub fn in_str_set(data: &[String], set: &[&str]) -> Bitmap {
     Bitmap::from_iter(data.iter().map(|v| set.iter().any(|s| s == v)))
 }
 
+/// Per-row truth lookup for dictionary-encoded strings: `lut[code]` is
+/// the predicate's answer for that dictionary entry, precomputed once per
+/// dictionary (O(K) string comparisons), so the per-row cost is one
+/// indexed load. Codes beyond `lut` (impossible for a well-formed
+/// column) read as `false`.
+pub fn lookup_codes(codes: &[u32], lut: &[bool]) -> Bitmap {
+    Bitmap::from_iter(
+        codes
+            .iter()
+            .map(|&c| lut.get(c as usize).copied().unwrap_or(false)),
+    )
+}
+
+/// Element-wise comparison of two borrowed string slices — the
+/// column-vs-column path when at least one side is dictionary-encoded
+/// (each side materializes `&str` views, never owned `String`s).
+pub fn cmp_str_pairs(a: &[&str], b: &[&str], op: CmpOp) -> Bitmap {
+    assert_eq!(a.len(), b.len(), "kernel length mismatch");
+    Bitmap::from_iter(a.iter().zip(b).map(|(x, y)| op.holds(x.cmp(y))))
+}
+
 /// `low <= v <= high` for every element (numeric `BETWEEN`).
 pub fn between_f64(data: &[f64], low: f64, high: f64) -> Bitmap {
     Bitmap::from_iter(data.iter().map(|&v| v >= low && v <= high))
@@ -454,6 +475,20 @@ impl AggState {
         );
         for (l, &g) in group_map.iter().enumerate() {
             let g = g as usize;
+            self.sums[g] += other.sums[l];
+            self.wsums[g] += other.wsums[l];
+            self.counts[g] += other.counts[l];
+        }
+    }
+
+    /// Sparse variant of [`AggState::merge_from`] for partitioned merge:
+    /// fold only the listed `(local, target)` pairs. Because each local
+    /// group appears at most once per source state, per-target addition
+    /// order equals the order sources are folded — identical to
+    /// `merge_from`, so partitioning never changes float results.
+    pub fn merge_pairs(&mut self, other: &AggState, pairs: &[(u32, u32)]) {
+        for &(l, g) in pairs {
+            let (l, g) = (l as usize, g as usize);
             self.sums[g] += other.sums[l];
             self.wsums[g] += other.wsums[l];
             self.counts[g] += other.counts[l];
@@ -798,5 +833,52 @@ mod tests {
         group_count(Some(&validity), &gids, Some(&w), &mut wsums, &mut counts);
         assert_eq!(wsums, [2.0, 9.0]);
         assert_eq!(counts, [1, 2]);
+    }
+
+    #[test]
+    fn lookup_codes_applies_lut() {
+        let codes = [0u32, 2, 1, 5];
+        let lut = [true, false, true];
+        let out = lookup_codes(&codes, &lut);
+        // Code 5 is beyond the LUT and reads as false.
+        assert_eq!(out.to_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn cmp_str_pairs_matches_cmp_str() {
+        let a = vec!["a".to_string(), "b".into(), "c".into()];
+        let b = vec!["b".to_string(), "b".into(), "a".into()];
+        let ar: Vec<&str> = a.iter().map(|s| s.as_str()).collect();
+        let br: Vec<&str> = b.iter().map(|s| s.as_str()).collect();
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge] {
+            assert_eq!(
+                cmp_str_pairs(&ar, &br, op).to_indices(),
+                cmp_str(&a, &b, op).to_indices(),
+                "{op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_pairs_matches_merge_from() {
+        let mut local = AggState::new(3);
+        for g in 0..3 {
+            local.sums[g] = (g + 1) as f64;
+            local.wsums[g] = 1.0;
+            local.counts[g] = g as u64;
+        }
+        let map = [2u32, 0, 1];
+        let mut a = AggState::new(3);
+        a.merge_from(&local, &map);
+        let mut b = AggState::new(3);
+        let pairs: Vec<(u32, u32)> = map
+            .iter()
+            .enumerate()
+            .map(|(l, &g)| (l as u32, g))
+            .collect();
+        b.merge_pairs(&local, &pairs);
+        assert_eq!(a.sums, b.sums);
+        assert_eq!(a.wsums, b.wsums);
+        assert_eq!(a.counts, b.counts);
     }
 }

@@ -36,7 +36,7 @@ mod table;
 mod value;
 
 pub use bitmap::Bitmap;
-pub use column::{Column, ColumnBuilder};
+pub use column::{Column, ColumnBuilder, Dictionary};
 pub use error::StorageError;
 pub use schema::{DataType, Field, Schema};
 pub use table::{Table, TableBuilder};

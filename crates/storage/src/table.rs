@@ -168,6 +168,18 @@ impl Table {
         Table::new(Arc::clone(&first.schema), columns)
     }
 
+    /// Table with every plain string column dictionary-encoded (see
+    /// [`Column::dict_encoded`]); non-string columns pass through as O(1)
+    /// clones. Applied at CSV ingest and usable on any table built
+    /// row-wise.
+    pub fn dict_encoded(&self) -> Table {
+        Table {
+            schema: Arc::clone(&self.schema),
+            columns: self.columns.iter().map(|c| c.dict_encoded()).collect(),
+            num_rows: self.num_rows,
+        }
+    }
+
     /// Project columns by name into a new table.
     pub fn project(&self, names: &[&str]) -> Result<Table> {
         let schema = self.schema.project(names)?;
@@ -205,7 +217,9 @@ impl Table {
         let mut indices: Vec<usize> = (0..self.num_rows).collect();
         indices.sort_by(|&a, &b| {
             for (ci, col) in key_cols.iter().enumerate() {
-                let ord = col.value(a).total_cmp(&col.value(b));
+                // total_cmp_rows avoids materializing Values (and for
+                // dictionary columns compares precomputed sort ranks).
+                let ord = col.total_cmp_rows(a, b);
                 let ord = if descending.get(ci).copied().unwrap_or(false) {
                     ord.reverse()
                 } else {

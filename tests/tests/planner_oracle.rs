@@ -10,7 +10,7 @@
 //! invariant that plan rewriting (projection pruning, constant folding,
 //! Sort+Limit → TopK fusion) never changes results either.
 
-use mosaic_core::{run_select_rowwise, run_select_with};
+use mosaic_core::{run_select_partitioned, run_select_rowwise, run_select_with};
 use mosaic_sql::{parse, Statement};
 use mosaic_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
 use proptest::prelude::*;
@@ -207,6 +207,124 @@ fn multi_morsel_thread_counts_agree() {
                         ),
                     }
                 }
+            }
+        }
+    }
+}
+
+/// High-cardinality string GROUP BY: thousands of distinct groups over
+/// a multi-morsel table — the radix-partitioned aggregate merge must be
+/// bit-identical to the serial merge at every (thread count, partition
+/// count, optimizer) combination, and match the row-wise reference.
+#[test]
+fn high_cardinality_string_group_by_agrees() {
+    let rows = 2 * mosaic_core::MORSEL_ROWS + 777;
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Str),
+        Field::new("i", DataType::Int),
+        Field::new("f", DataType::Float),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    for r in 0..rows {
+        b.push_row(vec![
+            if r % 97 == 0 {
+                Value::Null
+            } else {
+                Value::Str(format!("g{}", r % 4500)) // ≥ 4K distinct groups
+            },
+            if r % 11 != 0 {
+                Value::Int((r % 83) as i64 - 40)
+            } else {
+                Value::Null
+            },
+            if r % 13 != 0 {
+                Value::Float((r % 59) as f64 * 0.75 - 22.0)
+            } else {
+                Value::Null
+            },
+        ])
+        .unwrap();
+    }
+    let table = b.finish().dict_encoded();
+    let weights: Vec<f64> = (0..rows).map(|r| 0.1 + (r % 17) as f64 * 0.4).collect();
+    let templates = [
+        "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k",
+        "SELECT k, SUM(i) AS s, AVG(f) AS a, MIN(i), MAX(f) FROM t GROUP BY k ORDER BY k LIMIT 50",
+        "SELECT k, COUNT(i) AS c FROM t WHERE f > 0.0 GROUP BY k ORDER BY c DESC, k LIMIT 20",
+        "SELECT k, SUM(i) + AVG(f) AS m FROM t GROUP BY k ORDER BY m DESC, k LIMIT 10",
+    ];
+    for src in templates {
+        let stmt = select(src);
+        for weights in [None, Some(weights.as_slice())] {
+            // Baseline: serial merge on one thread, optimizer off. Every
+            // (thread count, partition count, optimizer) combination
+            // must reproduce it bit-for-bit. (The row-wise reference
+            // folds weighted float sums in row order rather than morsel
+            // order, so — as in `multi_morsel_thread_counts_agree` —
+            // the serial vectorized run is the bit-identity anchor.)
+            let baseline = run_select_partitioned(&stmt, &table, weights, 1, false, 1).unwrap();
+            for threads in THREAD_COUNTS {
+                for partitions in [1, 16] {
+                    for optimizer in [false, true] {
+                        let out = run_select_partitioned(
+                            &stmt, &table, weights, threads, optimizer, partitions,
+                        )
+                        .unwrap();
+                        if let Err(msg) = tables_identical(&out, &baseline) {
+                            panic!(
+                                "high-cardinality divergence on {src:?} at {threads} thread(s), \
+                                 {partitions} partition(s), optimizer={optimizer}: {msg}"
+                            );
+                        }
+                    }
+                }
+            }
+            // Semantic anchor: the unweighted COUNT template is exact
+            // integer arithmetic, so it must also match the row-wise
+            // reference (not just be internally consistent).
+            if weights.is_none() && src.contains("COUNT(*) FROM t GROUP BY k ORDER BY k") {
+                let reference = run_select_rowwise(&stmt, &table, None).unwrap();
+                tables_identical(&baseline, &reference).unwrap();
+            }
+        }
+    }
+}
+
+/// Dictionary-vs-plain equivalence: the same logical table stored with
+/// plain per-row strings and with dictionary-encoded string columns
+/// must produce bit-identical results through every query template at
+/// every thread count. The encoding is a physical property only.
+#[test]
+fn dict_and_plain_representations_agree() {
+    let rows = mosaic_core::MORSEL_ROWS + 333;
+    let plain = build_table(
+        &(0..rows)
+            .map(|r| {
+                (
+                    (r % 5 != 0).then_some((r % 3) as u8),
+                    (r % 11 != 0).then_some((r % 83) as i64 - 40),
+                    (r % 13 != 0).then_some((r % 59) as f64 * 0.75 - 22.0),
+                )
+            })
+            .collect::<Vec<Row>>(),
+    );
+    assert!(!plain.column(0).is_dict(), "TableBuilder builds plain Str");
+    let dict = plain.dict_encoded();
+    assert!(dict.column(0).is_dict(), "dict_encoded builds Dict");
+    for template in QUERIES {
+        let src = template.replace("{thr}", "7");
+        let stmt = select(&src);
+        for threads in THREAD_COUNTS {
+            let p = run_select_with(&stmt, &plain, None, threads, true);
+            let d = run_select_with(&stmt, &dict, None, threads, true);
+            match (p, d) {
+                (Ok(p), Ok(d)) => {
+                    if let Err(msg) = tables_identical(&p, &d) {
+                        panic!("dict/plain divergence on {src:?} at {threads} thread(s): {msg}");
+                    }
+                }
+                (Err(p), Err(d)) => assert_eq!(p.to_string(), d.to_string()),
+                _ => panic!("ok/err divergence on {src:?} at {threads} thread(s)"),
             }
         }
     }
