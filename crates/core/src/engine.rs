@@ -754,9 +754,12 @@ impl MosaicEngine {
         Err(unknown_relation(cat, &from))
     }
 
-    /// Multi-relation (or aliased) FROM: resolve every relation, bind
-    /// the scope, and execute — the hash-join path for joins, the
-    /// ordinary single-table pipeline for a lone aliased relation.
+    /// Multi-relation (or aliased) FROM: resolve every relation —
+    /// population sides through their visibility pipeline — bind the
+    /// scope, and execute. Joins run the hash-join path; a population
+    /// side under OPEN runs the generate+query replicate loop over the
+    /// whole joined plan; a lone aliased relation runs the ordinary
+    /// single-table pipeline.
     fn select_scope(
         &self,
         cat: &Catalog,
@@ -765,31 +768,20 @@ impl MosaicEngine {
         from: &mosaic_sql::FromClause,
         plans: QueryPlans<'_>,
     ) -> Result<QueryResult> {
-        if stmt.visibility.is_some() {
-            return Err(MosaicError::Unsupported(
-                "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only".into(),
-            ));
-        }
-        let (rels, tables) = resolve_scope_relations(cat, from)?;
+        let (infos, vis) = resolve_scope(cat, opts.default_visibility, from, stmt.visibility)?;
         let threads = opts.parallelism;
         let mut notes = Vec::new();
-        for rel in &rels {
-            if rel.weighted {
-                notes.push(format!(
-                    "raw sample scan of {} (weights exposed as column `weight`)",
-                    rel.name
-                ));
-            }
-        }
         if !from.has_joins() {
             // A lone aliased relation: rewrite qualified references and
-            // run the ordinary single-table pipeline.
-            let rel = rels.into_iter().next().expect("one relation");
-            let rewritten = crate::plan::join::bind_single(stmt, rel)?;
+            // run the ordinary single-table pipeline (populations were
+            // rejected by resolve_scope).
+            let info = infos.into_iter().next().expect("one relation");
+            let table = scope_table(cat, opts, &info, vis, &mut notes)?;
+            let rewritten = crate::plan::join::bind_single(stmt, info.rel)?;
             let table = self.run_select(
                 opts,
                 &rewritten,
-                &tables[0],
+                &table,
                 None,
                 threads,
                 plans.plan,
@@ -801,34 +793,227 @@ impl MosaicEngine {
                 notes,
             });
         }
+        let rels: Vec<crate::plan::join::ScopeRel> = infos.iter().map(|i| i.rel.clone()).collect();
+        // Aggregates over a population-containing join get the §5.3
+        // weighted rewrite (the joined `weight` column feeds SUM(w·x));
+        // CLOSED scopes and plain sample joins keep raw aggregates with
+        // `weight` as an ordinary data column.
+        let weighted_agg = vis.is_some_and(|v| v != Visibility::Closed);
+        // An OPEN population side is generated per replicate, not
+        // materialized once (resolve_scope guarantees at most one).
+        let open_idx = if vis == Some(Visibility::Open) {
+            infos
+                .iter()
+                .position(|i| matches!(i.source, ScopeSource::Population { .. }))
+        } else {
+            None
+        };
+        let mut tables: Vec<Option<Table>> = Vec::with_capacity(infos.len());
+        for (i, info) in infos.iter().enumerate() {
+            if Some(i) == open_idx {
+                tables.push(None);
+            } else {
+                tables.push(Some(scope_table(cat, opts, info, vis, &mut notes)?));
+            }
+        }
+        let join_sym = match from.joins[0].kind {
+            mosaic_sql::JoinKind::Inner => "⋈",
+            mosaic_sql::JoinKind::LeftOuter => "⟕",
+        };
         notes.push(format!(
-            "hash equi-join of {} ⋈ {}",
+            "hash equi-join of {} {} {}",
             rels[0].name,
+            join_sym,
             rels.get(1).map(|r| r.name.as_str()).unwrap_or("?")
         ));
-        let table = match plans.plan {
-            Some(plan) => plan.execute_join_capped(
-                &tables[0],
-                &tables[1],
-                plans.params,
-                threads,
-                opts.agg_partitions,
-            )?,
-            None => {
-                let bound = crate::plan::join::bind_join(stmt, rels)?;
-                let planned = crate::plan::plan_logical(bound.logical, opts.optimizer, None);
-                planned.physical.execute_join_capped(
-                    &tables[0],
-                    &tables[1],
+        // When both sides of a reweighted (SEMI-OPEN/OPEN) join carry
+        // correction weights, the combined weight is their product —
+        // an independence assumption — raked by IPF against every
+        // declared marginal that projects onto the joined schema.
+        let recal_marginals: Vec<Marginal> =
+            if weighted_agg && infos.iter().filter(|i| i.rel.weighted).count() > 1 {
+                let mut cands = Vec::new();
+                let mut srcs: Vec<String> = Vec::new();
+                for info in &infos {
+                    if !info.rel.weighted {
+                        continue;
+                    }
+                    let pop_name = match &info.source {
+                        ScopeSource::Sample { population } => population.clone(),
+                        ScopeSource::Population { pop, .. } => pop.name.clone(),
+                        ScopeSource::Aux => continue,
+                    };
+                    let metas = cat.metadata_for(&pop_name);
+                    if !metas.is_empty() && !srcs.contains(&pop_name) {
+                        srcs.push(pop_name.clone());
+                    }
+                    for m in &metas {
+                        if !cands.contains(&m.marginal) {
+                            cands.push(m.marginal.clone());
+                        }
+                    }
+                }
+                if cands.is_empty() {
+                    notes.push(
+                        "combined weight = product of per-side weights (independence \
+                         assumption; no declared marginals to re-calibrate against)"
+                            .into(),
+                    );
+                } else {
+                    notes.push(format!(
+                        "combined weight = product of per-side weights, IPF re-calibrated \
+                         against {} declared marginal(s) of {}",
+                        cands.len(),
+                        srcs.join(", ")
+                    ));
+                }
+                cands
+            } else {
+                Vec::new()
+            };
+        let post_join_fn: Option<Box<dyn Fn(Table) -> Result<Table> + Sync>> =
+            if recal_marginals.is_empty() {
+                None
+            } else {
+                let binners = opts.binners.clone();
+                let ipf_cfg = opts.ipf.clone();
+                Some(Box::new(move |joined: Table| {
+                    recalibrate_joined_weights(joined, &recal_marginals, &binners, &ipf_cfg)
+                }))
+            };
+        let post_join = post_join_fn.as_deref();
+        let Some(pi) = open_idx else {
+            let t0 = tables[0].take().expect("fixed side");
+            let t1 = tables[1].take().expect("fixed side");
+            let table = match plans.plan {
+                Some(plan) => plan.execute_join_capped_with(
+                    &t0,
+                    &t1,
                     plans.params,
                     threads,
                     opts.agg_partitions,
-                )?
+                    post_join,
+                )?,
+                None => {
+                    let bound = crate::plan::join::bind_join(stmt, rels, weighted_agg)?;
+                    let planned = crate::plan::plan_logical(bound.logical, opts.optimizer, None);
+                    planned.physical.execute_join_capped_with(
+                        &t0,
+                        &t1,
+                        plans.params,
+                        threads,
+                        opts.agg_partitions,
+                        post_join,
+                    )?
+                }
+            };
+            return Ok(QueryResult {
+                table,
+                visibility: vis,
+                notes,
+            });
+        };
+        // ---- OPEN join: replicate loop over the joined plan ----
+        let ScopeSource::Population { pop, sample, view } = &infos[pi].source else {
+            unreachable!("open_idx points at a population side");
+        };
+        let om = self.open_model(cat, opts, pop, sample, view.as_ref(), &mut notes)?;
+        let fixed = tables[1 - pi].take().expect("other side fixed");
+        let has_agg = crate::plan::has_aggregate_shape(stmt);
+        let parallelism = opts.parallelism.max(1);
+        // A prepared statement arrives already scope-rewritten (the
+        // session stores `bound.stmt`), so use it as-is; an ad-hoc
+        // statement binds here.
+        let full_plan_owned;
+        let (full_stmt, full_plan): (SelectStmt, &PhysicalPlan) = match plans.plan {
+            Some(p) => (stmt.clone(), p),
+            None => {
+                let bound = crate::plan::join::bind_join(stmt, rels.clone(), weighted_agg)?;
+                full_plan_owned =
+                    crate::plan::plan_logical(bound.logical, opts.optimizer, None).physical;
+                (bound.stmt, &full_plan_owned)
             }
         };
+        // One replicate: generate the population side, expose its
+        // uniform weight as the `weight` column, and run the joined
+        // plan. Returns the answer plus the generated row count.
+        let replicate =
+            |plan: &PhysicalPlan, run: usize, threads: usize| -> Result<(Table, usize)> {
+                let (generated, weight) = om.generate(open_run_seed(opts.open.seed, run))?;
+                let rows = generated.num_rows();
+                let gen = table_with_weight_column(&generated, &vec![weight; rows])?;
+                let (lt, rt) = if pi == 0 {
+                    (&gen, &fixed)
+                } else {
+                    (&fixed, &gen)
+                };
+                plan.execute_join_capped_with(
+                    lt,
+                    rt,
+                    plans.params,
+                    threads,
+                    opts.agg_partitions,
+                    post_join,
+                )
+                .map(|t| (t, rows))
+            };
+        if !has_agg {
+            // Non-aggregate OPEN join: one generated sample IS the
+            // population side (a representative population).
+            let (table, rows) = replicate(full_plan, 0, parallelism)?;
+            notes.push(format!(
+                "non-aggregate OPEN join answered from one generated sample of {rows} rows"
+            ));
+            return Ok(QueryResult {
+                table,
+                visibility: vis,
+                notes,
+            });
+        }
+        // Aggregate: answer the ORDER BY/LIMIT-stripped statement per
+        // replicate, combine, then order/limit the combined answer —
+        // same protocol as the single-population OPEN loop.
+        let inner_plan_owned;
+        let (inner_stmt, inner_plan): (SelectStmt, &PhysicalPlan) = match plans.inner_plan {
+            Some(p) => (
+                SelectStmt {
+                    order_by: Vec::new(),
+                    limit: None,
+                    ..full_stmt.clone()
+                },
+                p,
+            ),
+            None => {
+                let inner_src = SelectStmt {
+                    order_by: Vec::new(),
+                    limit: None,
+                    ..stmt.clone()
+                };
+                let inner_bound = crate::plan::join::bind_join(&inner_src, rels, weighted_agg)?;
+                inner_plan_owned =
+                    crate::plan::plan_logical(inner_bound.logical, opts.optimizer, None).physical;
+                (inner_bound.stmt, &inner_plan_owned)
+            }
+        };
+        let runs = opts.open.num_generated.max(1);
+        let workers = runs.min(parallelism);
+        let inner_threads = if workers > 1 { 1 } else { parallelism };
+        let per_run: Vec<(Table, usize)> =
+            crate::plan::parallel::run_ordered(runs, workers, |run| {
+                replicate(inner_plan, run, inner_threads)
+            })
+            .into_iter()
+            .collect::<Result<_>>()?;
+        notes.push(format!(
+            "combined {} generated samples of {} rows across {} worker thread(s) (population size {:.0})",
+            runs, om.per_sample, workers, om.pop_size
+        ));
+        let combined =
+            combine_open_runs(&inner_stmt, per_run.into_iter().map(|(t, _)| t).collect())?;
+        let table = apply_order_limit(&full_stmt, combined, plans.params)?;
         Ok(QueryResult {
             table,
-            visibility: None,
+            visibility: vis,
             notes,
         })
     }
@@ -895,22 +1080,19 @@ impl MosaicEngine {
         })
     }
 
-    /// OPEN answering (paper §4.2, §5.3 protocol): train a generative
-    /// model, draw `num_generated` samples, answer the query on each,
-    /// keep groups present in every answer, average the aggregates, and
-    /// uniformly reweight to the population size implied by the metadata.
-    #[allow(clippy::too_many_arguments)]
-    fn open_answer(
+    /// Resolve metadata, choose training data, and fit (or fetch from
+    /// the epoch-keyed cache) the generative model for one OPEN
+    /// population side — shared by single-population OPEN answers and
+    /// the OPEN side of an open-world join.
+    fn open_model(
         &self,
         cat: &Catalog,
         opts: &EngineOptions,
-        plans: QueryPlans<'_>,
         pop: &Population,
         sample: &Sample,
         view: Option<&Expr>,
-        stmt: &SelectStmt,
-    ) -> Result<(Table, Vec<String>)> {
-        let mut notes = Vec::new();
+        notes: &mut Vec<String>,
+    ) -> Result<OpenModel> {
         // Metadata: prefer the query population's, else the GP's.
         let (marginals, meta_is_gp): (Vec<Marginal>, bool) = {
             let own = cat.metadata_for(&pop.name);
@@ -991,20 +1173,40 @@ impl MosaicEngine {
                 }
             }
         };
-        let model: &dyn GenerativeModel = model.as_ref();
-
         let per_sample = opts
             .open
             .rows_per_sample
             .unwrap_or_else(|| train_data.num_rows());
+        Ok(OpenModel {
+            model,
+            meta_is_gp,
+            view: view.cloned(),
+            pop_size,
+            per_sample,
+        })
+    }
+
+    /// OPEN answering (paper §4.2, §5.3 protocol): train a generative
+    /// model, draw `num_generated` samples, answer the query on each,
+    /// keep groups present in every answer, average the aggregates, and
+    /// uniformly reweight to the population size implied by the metadata.
+    #[allow(clippy::too_many_arguments)]
+    fn open_answer(
+        &self,
+        cat: &Catalog,
+        opts: &EngineOptions,
+        plans: QueryPlans<'_>,
+        pop: &Population,
+        sample: &Sample,
+        view: Option<&Expr>,
+        stmt: &SelectStmt,
+    ) -> Result<(Table, Vec<String>)> {
+        let mut notes = Vec::new();
+        let om = self.open_model(cat, opts, pop, sample, view, &mut notes)?;
+        let per_sample = om.per_sample;
+        let pop_size = om.pop_size;
         let runs = opts.open.num_generated.max(1);
         let has_agg = crate::plan::has_aggregate_shape(stmt);
-        let base_seed = opts.open.seed;
-        let run_seed = |run: usize| {
-            base_seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(run as u64 + 1)
-        };
         // The engine owns one thread budget: when several replicates run
         // concurrently, each runs its inner query single-threaded; a lone
         // replicate hands the whole budget to the morsel executor. Either
@@ -1019,17 +1221,7 @@ impl MosaicEngine {
                          run: usize,
                          threads: usize|
          -> Result<(Table, usize)> {
-            let generated = model.generate(per_sample, run_seed(run))?;
-            let generated = if meta_is_gp {
-                apply_view(&generated, view)?
-            } else {
-                generated
-            };
-            let weight = if generated.is_empty() {
-                0.0
-            } else {
-                pop_size / per_sample as f64
-            };
+            let (generated, weight) = om.generate(open_run_seed(opts.open.seed, run))?;
             let weights = vec![weight; generated.num_rows()];
             let rows = generated.num_rows();
             self.run_select(
@@ -1082,6 +1274,135 @@ impl MosaicEngine {
     }
 }
 
+/// A fitted generative model plus the replicate parameters of the OPEN
+/// loop (paper §4.2), produced by [`MosaicEngine::open_model`].
+struct OpenModel {
+    model: Arc<dyn GenerativeModel>,
+    /// Whether the marginals (and thus the model) describe the GP: the
+    /// view predicate then filters *generated* tuples.
+    meta_is_gp: bool,
+    /// The population's defining predicate over the GP, if any.
+    view: Option<Expr>,
+    /// Population size implied by the metadata (max marginal total).
+    pop_size: f64,
+    /// Rows drawn per replicate.
+    per_sample: usize,
+}
+
+impl OpenModel {
+    /// Generate one replicate: draw `per_sample` rows, view-filter when
+    /// the model was trained on the GP, and return the per-row uniform
+    /// weight — population size over draw count, 0 for an empty draw.
+    fn generate(&self, seed: u64) -> Result<(Table, f64)> {
+        let generated = self.model.generate(self.per_sample, seed)?;
+        let generated = if self.meta_is_gp {
+            apply_view(&generated, self.view.as_ref())?
+        } else {
+            generated
+        };
+        let weight = if generated.is_empty() {
+            0.0
+        } else {
+            self.pop_size / self.per_sample as f64
+        };
+        Ok((generated, weight))
+    }
+}
+
+/// Deterministic per-replicate seed: a splitmix-style multiply of the
+/// base seed, offset by the run index, so run `k` draws the same rows
+/// whichever worker thread executes it.
+fn open_run_seed(base: u64, run: usize) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(run as u64 + 1)
+}
+
+/// Rake the joined `weight` column — the product of per-side correction
+/// weights, an independence assumption — against the declared marginals
+/// that project onto the joined schema. A marginal attribute resolves to
+/// the column of that exact name, or — when the join qualified colliding
+/// names into `binding.column` form — to the leftmost `*.attr` column
+/// (for equi-join keys both sides agree, and the left side is never
+/// NULL-extended). Marginals naming attributes the join projected away
+/// are skipped; with none applicable the product stands as-is.
+fn recalibrate_joined_weights(
+    joined: Table,
+    marginals: &[Marginal],
+    binners: &HashMap<String, Binner>,
+    ipf: &IpfConfig,
+) -> Result<Table> {
+    let fields = joined.schema().fields();
+    let resolve = |attr: &str| -> Option<usize> {
+        fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(attr))
+            .or_else(|| {
+                fields.iter().position(|f| {
+                    f.name
+                        .rsplit_once('.')
+                        .is_some_and(|(_, col)| col.eq_ignore_ascii_case(attr))
+                })
+            })
+    };
+    // The marginals that fully resolve, plus the projected view IPF
+    // rakes over: each resolved attribute under its unqualified name.
+    let mut applicable: Vec<Marginal> = Vec::new();
+    let mut view_cols: Vec<(String, usize)> = Vec::new();
+    for m in marginals {
+        let Some(idxs) = m
+            .attrs()
+            .iter()
+            .map(|a| resolve(a))
+            .collect::<Option<Vec<usize>>>()
+        else {
+            continue;
+        };
+        if applicable.contains(m) {
+            continue; // both sides declared the same marginal
+        }
+        for (attr, &idx) in m.attrs().iter().zip(&idxs) {
+            if !view_cols.iter().any(|(n, _)| n.eq_ignore_ascii_case(attr)) {
+                view_cols.push((attr.clone(), idx));
+            }
+        }
+        applicable.push(m.clone());
+    }
+    if applicable.is_empty() || joined.is_empty() {
+        return Ok(joined);
+    }
+    let widx = fields
+        .iter()
+        .position(|f| f.name.eq_ignore_ascii_case("weight"))
+        .ok_or_else(|| {
+            MosaicError::Execution(
+                "combined-weight re-calibration requires the joined weight column".into(),
+            )
+        })?;
+    let wcol = joined.column(widx);
+    // NULL-extended (LEFT OUTER) rows enter IPF with weight 0 and stay
+    // there; their output weight keeps the NULL validity.
+    let init: Vec<f64> = (0..wcol.len())
+        .map(|i| wcol.f64_at(i).unwrap_or(0.0))
+        .collect();
+    let view = Table::new(
+        Schema::new(
+            view_cols
+                .iter()
+                .map(|(n, i)| Field::new(n, fields[*i].data_type))
+                .collect(),
+        ),
+        view_cols
+            .iter()
+            .map(|(_, i)| joined.column(*i).clone())
+            .collect(),
+    )?;
+    let (weights, _report) = Ipf::new(&view, &applicable, binners)?.fit(Some(&init), ipf);
+    let validity = wcol.validity().cloned();
+    let mut columns = joined.columns().to_vec();
+    columns[widx] = Column::from_f64_opt(weights, validity);
+    Table::new(Arc::clone(joined.schema()), columns).map_err(Into::into)
+}
+
 /// The unknown-relation error, listing what the catalog does have so a
 /// typo'd FROM is a one-glance fix.
 pub(crate) fn unknown_relation(cat: &Catalog, name: &str) -> MosaicError {
@@ -1098,46 +1419,193 @@ pub(crate) fn unknown_relation(cat: &Catalog, name: &str) -> MosaicError {
     }
 }
 
-/// Resolve a multi-relation FROM clause's relations against the catalog:
-/// auxiliary tables scan as-is, samples scan with the engine-managed
-/// `weight` column exposed (and are marked weighted). Populations are
-/// rejected — their visibility pipeline has no join support yet.
-pub(crate) fn resolve_scope_relations(
+/// How a scope relation sources its rows at execution time.
+pub(crate) enum ScopeSource {
+    /// Auxiliary table: scans as-is.
+    Aux,
+    /// Sample: scans with the engine-managed `weight` column exposed.
+    Sample {
+        /// The population the sample was declared on (its metadata
+        /// feeds the combined-weight IPF re-calibration).
+        population: String,
+    },
+    /// Population side of an open-world join, answered through its
+    /// chosen sample under the statement's effective visibility.
+    /// (Boxed: a `Sample` owns its full data table, dwarfing the other
+    /// variants.)
+    Population {
+        /// The population.
+        pop: Box<Population>,
+        /// The chosen sample (paper §4 assumption 2).
+        sample: Box<Sample>,
+        /// The population's defining predicate when the sample belongs
+        /// to the GP.
+        view: Option<Expr>,
+    },
+}
+
+/// One resolved relation of a multi-relation FROM scope.
+pub(crate) struct ScopeRelInfo {
+    /// The bound scope relation (binding, schema, weightedness).
+    pub rel: crate::plan::join::ScopeRel,
+    /// Where its rows come from.
+    pub source: ScopeSource,
+    /// Current row count (samples: sample size) — display only.
+    pub rows: usize,
+}
+
+/// Resolve a multi-relation FROM clause against the catalog,
+/// **population-aware**: auxiliary tables scan as-is, samples scan with
+/// the engine-managed `weight` column exposed (and are marked
+/// weighted), and populations resolve through their chosen sample under
+/// the statement's visibility — CLOSED sides scan the raw sample
+/// unweighted, SEMI-OPEN and OPEN sides expose correction weights.
+///
+/// Returns the resolved relations plus the scope's effective visibility:
+/// `Some(vis)` when a population is in scope (the open-world join
+/// pipeline), `None` for a plain table/sample scope. Rejects a
+/// visibility clause on a population-free scope, a population outside a
+/// JOIN, and an OPEN scope with more than one population side — each
+/// with an error naming the offending relations.
+pub(crate) fn resolve_scope(
     cat: &Catalog,
+    default_vis: Visibility,
     from: &mosaic_sql::FromClause,
-) -> Result<(Vec<crate::plan::join::ScopeRel>, Vec<Table>)> {
+    stmt_vis: Option<Visibility>,
+) -> Result<(Vec<ScopeRelInfo>, Option<Visibility>)> {
     use crate::plan::join::ScopeRel;
-    let mut rels = Vec::new();
-    let mut tables = Vec::new();
-    for tref in from.relations() {
-        if cat.population(&tref.name).is_some() {
+    let pops: Vec<String> = from
+        .relations()
+        .filter(|t| cat.population(&t.name).is_some())
+        .map(|t| t.name.clone())
+        .collect();
+    if pops.is_empty() {
+        if let Some(vis) = stmt_vis {
+            let rels: Vec<String> = from.relations().map(|t| t.name.clone()).collect();
             return Err(MosaicError::Unsupported(format!(
-                "population {} cannot appear in a join or aliased FROM yet; query the \
-                 population directly or join its sample",
-                tref.name
+                "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only: \
+                 SELECT {vis} over ({}) references no population",
+                rels.join(", ")
             )));
         }
-        if let Some(t) = cat.aux(&tref.name) {
-            rels.push(ScopeRel {
-                name: tref.name.clone(),
-                binding: tref.binding().to_string(),
-                schema: Arc::clone(t.schema()),
-                weighted: false,
+    } else if !from.has_joins() {
+        return Err(MosaicError::Unsupported(format!(
+            "population {} can appear in a multi-relation FROM only as a JOIN side; \
+             query the population directly or join its sample",
+            pops[0]
+        )));
+    }
+    let vis = stmt_vis.unwrap_or(default_vis);
+    if !pops.is_empty() && vis == Visibility::Open && pops.len() > 1 {
+        return Err(MosaicError::Unsupported(format!(
+            "OPEN join of populations {} and {} is not supported: each OPEN replicate \
+             generates rows for exactly one population side; query one side CLOSED or \
+             SEMI-OPEN, or join a declared sample instead",
+            pops[0], pops[1]
+        )));
+    }
+    let mut infos = Vec::new();
+    for tref in from.relations() {
+        if let Some(pop) = cat.population(&tref.name) {
+            let pop = pop.clone();
+            let (sample, view) = choose_sample(cat, &pop)?;
+            let (schema, weighted) = match vis {
+                Visibility::Closed => (Arc::clone(sample.data.schema()), false),
+                Visibility::SemiOpen | Visibility::Open => (sample_scan_schema(&sample), true),
+            };
+            infos.push(ScopeRelInfo {
+                rel: ScopeRel {
+                    name: pop.name.clone(),
+                    binding: tref.binding().to_string(),
+                    schema,
+                    weighted,
+                },
+                rows: sample.len(),
+                source: ScopeSource::Population {
+                    pop: Box::new(pop),
+                    sample: Box::new(sample),
+                    view,
+                },
             });
-            tables.push(t.clone());
+        } else if let Some(t) = cat.aux(&tref.name) {
+            infos.push(ScopeRelInfo {
+                rel: ScopeRel {
+                    name: tref.name.clone(),
+                    binding: tref.binding().to_string(),
+                    schema: Arc::clone(t.schema()),
+                    weighted: false,
+                },
+                rows: t.num_rows(),
+                source: ScopeSource::Aux,
+            });
         } else if let Some(s) = cat.sample(&tref.name) {
-            rels.push(ScopeRel {
-                name: s.name.clone(),
-                binding: tref.binding().to_string(),
-                schema: sample_scan_schema(s),
-                weighted: true,
+            infos.push(ScopeRelInfo {
+                rel: ScopeRel {
+                    name: s.name.clone(),
+                    binding: tref.binding().to_string(),
+                    schema: sample_scan_schema(s),
+                    weighted: true,
+                },
+                rows: s.len(),
+                source: ScopeSource::Sample {
+                    population: s.population.clone(),
+                },
             });
-            tables.push(table_with_weight_column(&s.data, &s.weights)?);
         } else {
             return Err(unknown_relation(cat, &tref.name));
         }
     }
-    Ok((rels, tables))
+    Ok((infos, if pops.is_empty() { None } else { Some(vis) }))
+}
+
+/// Materialize one resolved scope relation's table (non-OPEN sides: the
+/// OPEN replicate loop generates its side per run instead). SEMI-OPEN
+/// population sides run the full §4.1 reweighting pipeline and expose
+/// the weights as the `weight` column.
+fn scope_table(
+    cat: &Catalog,
+    opts: &EngineOptions,
+    info: &ScopeRelInfo,
+    vis: Option<Visibility>,
+    notes: &mut Vec<String>,
+) -> Result<Table> {
+    match &info.source {
+        ScopeSource::Aux => Ok(cat.aux(&info.rel.name).expect("resolved above").clone()),
+        ScopeSource::Sample { .. } => {
+            let s = cat.sample(&info.rel.name).expect("resolved above");
+            notes.push(format!(
+                "raw sample scan of {} (weights exposed as column `weight`)",
+                s.name
+            ));
+            table_with_weight_column(&s.data, &s.weights)
+        }
+        ScopeSource::Population { pop, sample, view } => {
+            match vis.expect("population sides carry a visibility") {
+                Visibility::Closed => {
+                    notes.push(format!(
+                        "population {} via sample {} ({} rows), CLOSED side",
+                        pop.name,
+                        sample.name,
+                        sample.len()
+                    ));
+                    apply_view(&sample.data, view.as_ref())
+                }
+                Visibility::SemiOpen => {
+                    notes.push(format!(
+                        "population {} via sample {} ({} rows), SEMI-OPEN side",
+                        pop.name,
+                        sample.name,
+                        sample.len()
+                    ));
+                    let (data, weights, mut w_notes) =
+                        semi_open_weights(cat, opts, pop, sample, view.as_ref())?;
+                    notes.append(&mut w_notes);
+                    table_with_weight_column(&data, &weights)
+                }
+                Visibility::Open => unreachable!("OPEN sides generate per replicate"),
+            }
+        }
+    }
 }
 
 /// Pick "a single, optimal sample" (paper §4 assumption 2): prefer

@@ -165,8 +165,9 @@ fn push_encodings(lines: &mut Vec<String>, table: &mosaic_storage::Table) {
     }
 }
 
-/// Render a multi-relation (or aliased) FROM: the resolved relations,
-/// the join mechanics (keys, build-side rule), and the usual
+/// Render a multi-relation (or aliased) FROM: the resolved relations —
+/// population sides with their visibility pipeline — the join mechanics
+/// (kind, keys, build-side rule, weight combination), and the usual
 /// logical/optimized/physical plan layers.
 fn render_scope(
     cat: &Catalog,
@@ -174,15 +175,14 @@ fn render_scope(
     stmt: &SelectStmt,
     fc: &mosaic_sql::FromClause,
 ) -> Result<Vec<String>> {
-    if stmt.visibility.is_some() {
-        return Err(MosaicError::Unsupported(
-            "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only".into(),
-        ));
-    }
-    let (rels, tables) = crate::engine::resolve_scope_relations(cat, fc)?;
+    use crate::engine::ScopeSource;
+    use mosaic_sql::JoinKind;
+    let (infos, vis) =
+        crate::engine::resolve_scope(cat, opts.default_visibility, fc, stmt.visibility)?;
     let mut lines = Vec::new();
     if !fc.has_joins() {
-        let rel = rels.into_iter().next().expect("one relation");
+        let info = infos.into_iter().next().expect("one relation");
+        let rel = info.rel;
         lines.push(format!(
             "SELECT FROM {} {} AS {}",
             if rel.weighted { "sample" } else { "table" },
@@ -193,26 +193,44 @@ fn render_scope(
         let name = rel.name.clone();
         let rewritten = crate::plan::join::bind_single(stmt, rel)?;
         let planned = plan_select(&rewritten, false, opts.optimizer, Some(schema.as_ref()));
-        push_plan(
-            &mut lines,
-            &planned,
-            opts.optimizer,
-            &name,
-            tables[0].num_rows(),
-        );
-        push_encodings(&mut lines, &tables[0]);
+        push_plan(&mut lines, &planned, opts.optimizer, &name, info.rows);
+        if let Some(t) = cat.aux(&name) {
+            push_encodings(&mut lines, t);
+        } else if let Some(s) = cat.sample(&name) {
+            push_encodings(&mut lines, &s.data);
+        }
         push_footer(&mut lines, opts, stmt);
         return Ok(lines);
     }
+    let kind = fc.joins[0].kind;
+    let join_word = match kind {
+        JoinKind::Inner => " INNER JOIN ",
+        JoinKind::LeftOuter => " LEFT JOIN ",
+    };
     let headline: Vec<String> = fc.relations().map(|t| t.to_string()).collect();
-    lines.push(format!("SELECT FROM {}", headline.join(" INNER JOIN ")));
-    for (i, (rel, table)) in rels.iter().zip(&tables).enumerate() {
+    let vis_prefix = vis.map(|v| format!("{v} ")).unwrap_or_default();
+    lines.push(format!(
+        "SELECT {vis_prefix}FROM {}",
+        headline.join(join_word)
+    ));
+    for (i, info) in infos.iter().enumerate() {
+        let rel = &info.rel;
+        let kind_word = match &info.source {
+            ScopeSource::Aux => "table",
+            ScopeSource::Sample { .. } => "sample",
+            ScopeSource::Population { .. } => "population",
+        };
+        let via = match &info.source {
+            ScopeSource::Population { sample, .. } => format!(", via sample {}", sample.name),
+            _ => String::new(),
+        };
         lines.push(format!(
-            "  {}: {} {} ({} rows{})",
+            "  {}: {} {} ({} rows{}{})",
             if i == 0 { "left" } else { "right" },
-            if rel.weighted { "sample" } else { "table" },
+            kind_word,
             rel.name,
-            table.num_rows(),
+            info.rows,
+            via,
             if rel.weighted {
                 ", weights exposed as column `weight`"
             } else {
@@ -220,21 +238,87 @@ fn render_scope(
             },
         ));
     }
-    let (lrows, rrows) = (tables[0].num_rows(), tables[1].num_rows());
-    let build = if lrows < rrows { &rels[0] } else { &rels[1] };
-    let probe = if lrows < rrows { &rels[1] } else { &rels[0] };
+    // Population sides: one line per side describing its visibility
+    // pipeline (the same decisions the engine makes at execution).
+    if let Some(v) = vis {
+        for info in &infos {
+            let ScopeSource::Population { pop, sample, .. } = &info.source else {
+                continue;
+            };
+            match v {
+                Visibility::Closed => lines.push(format!(
+                    "  visibility: CLOSED — {} scans raw sample {}, no reweighting",
+                    pop.name, sample.name
+                )),
+                Visibility::SemiOpen => lines.push(format!(
+                    "  visibility: SEMI-OPEN — {}: {}",
+                    pop.name,
+                    describe_semi_open(cat, pop, sample)
+                )),
+                Visibility::Open => {
+                    lines.push(format!(
+                        "  visibility: OPEN — {} side generated per replicate: {} replicate(s), \
+                         backend {}, seed {}",
+                        pop.name,
+                        opts.open.num_generated.max(1),
+                        opts.open.backend.id(),
+                        opts.open.seed
+                    ));
+                    if has_aggregate_shape(stmt) {
+                        lines.push(
+                            "  combine: keep groups present in every replicate, average \
+                             aggregates; ORDER BY / LIMIT applied after combining"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if infos.iter().filter(|i| i.rel.weighted).count() > 1 {
+        lines.push(
+            "  combined weight: product of per-side weights (independence assumption), \
+             IPF re-calibrated against declared marginals that survive into the joined schema"
+                .to_string(),
+        );
+    }
+    let (lrows, rrows) = (infos[0].rows, infos[1].rows);
+    let build = if lrows < rrows {
+        &infos[0].rel
+    } else {
+        &infos[1].rel
+    };
+    let probe = if lrows < rrows {
+        &infos[1].rel
+    } else {
+        &infos[0].rel
+    };
+    let kind_name = match kind {
+        JoinKind::Inner => "INNER",
+        JoinKind::LeftOuter => "LEFT OUTER",
+    };
+    let outer_note = match kind {
+        JoinKind::Inner => "",
+        JoinKind::LeftOuter => "; unmatched left rows NULL-extend the right side",
+    };
     lines.push(format!(
-        "  join: INNER hash equi-join; build = smaller input ({}, currently), probe = {} \
-         morsel-parallel; output in canonical (left row, right row) order",
+        "  join: {kind_name} hash equi-join; build = smaller input ({}, currently), probe = {} \
+         morsel-parallel; output in canonical (left row, right row) order{outer_note}",
         build.name, probe.name
     ));
-    let bound = crate::plan::join::bind_join(stmt, rels)?;
+    let weighted_agg = vis.is_some_and(|v| v != Visibility::Closed);
+    let rels: Vec<_> = infos.iter().map(|i| i.rel.clone()).collect();
+    let bound = crate::plan::join::bind_join(stmt, rels, weighted_agg)?;
     let planned = crate::plan::plan_logical(bound.logical, opts.optimizer, None);
+    let sym = match kind {
+        JoinKind::Inner => "⋈",
+        JoinKind::LeftOuter => "⟕",
+    };
     push_plan(
         &mut lines,
         &planned,
         opts.optimizer,
-        &format!("{} ⋈ {}", fc.base.name, fc.joins[0].table.name),
+        &format!("{} {sym} {}", fc.base.name, fc.joins[0].table.name),
         lrows.max(rrows),
     );
     push_footer(&mut lines, opts, stmt);

@@ -86,16 +86,23 @@
 //!
 //! ## Joins
 //!
-//! Samples join ordinary dimension tables with INNER equi-joins
-//! (`FROM flights f JOIN carriers c ON f.carrier = c.code`): the scope
-//! binder resolves aliases and qualified columns (with bind-time
+//! Relations join with INNER and LEFT OUTER equi-joins (`FROM flights f
+//! JOIN carriers c ON f.carrier = c.code`, `a LEFT JOIN b ON …`): the
+//! scope binder resolves aliases and qualified columns (with bind-time
 //! ambiguity errors), the vectorized [`HashJoinOp`] builds on the
 //! smaller input and probes the larger one morsel-parallel, and output
 //! rows keep the canonical (left row, right row) order — bit-identical
-//! at every thread count and to the row-wise [`reference_join`]
-//! oracle. A joined sample carries its engine-managed `weight` column
-//! through; joining two weighted relations is a bind error (see
-//! [`plan::join`]).
+//! at every thread count and to the row-wise [`reference_join`] /
+//! [`reference_join_kinded`] oracles. LEFT OUTER joins NULL-extend the
+//! right side of unmatched left rows. A joined sample carries its
+//! engine-managed `weight` column through; when **both** sides are
+//! weighted the join emits one combined `weight` column — the product
+//! of the per-side weights (see [`plan::join`]). Populations join too:
+//! a population side resolves through its chosen sample under the
+//! statement's visibility — CLOSED scans it raw, SEMI-OPEN attaches
+//! correction weights (with IPF re-calibration of a two-sided product
+//! against the declared marginals), and OPEN runs the generate+query
+//! replicate loop over the whole joined plan.
 //! The optimizer is a pure plan rewrite — results are **bit-identical**
 //! with it on or off (the oracle suite A/Bs both paths) — and is gated
 //! by [`EngineOptions::with_optimizer`], [`Session::with_optimizer`],
@@ -133,7 +140,7 @@ pub use exec::{
     run_select, run_select_parallel, run_select_partitioned, run_select_rowwise, run_select_with,
 };
 pub use models::{BnModel, GenerativeModel, SwgModel};
-pub use plan::join::{reference_join, HashJoinOp, JoinSide};
+pub use plan::join::{reference_join, reference_join_kinded, HashJoinOp, JoinSide};
 pub use plan::logical::{JoinOutCol, LogicalPlan, ScanColumn};
 pub use plan::optimize::{default_optimizer, optimize};
 pub use plan::parallel::{default_parallelism, MORSEL_ROWS};
@@ -145,7 +152,7 @@ pub use session::{Prepared, Session, SessionOptions};
 
 // Re-export the pieces users need to drive the engine programmatically.
 pub use mosaic_sql::{
-    parse, Expr, FromClause, JoinClause, SelectStmt, Statement, TableRef, Visibility,
+    parse, Expr, FromClause, JoinClause, JoinKind, SelectStmt, Statement, TableRef, Visibility,
 };
 pub use mosaic_stats::{Binner, IpfConfig, Marginal};
 pub use mosaic_storage::{DataType, Field, Schema, Table, TableBuilder, Value};

@@ -11,28 +11,34 @@
 //!
 //! Join semantics:
 //!
-//! * **INNER equi-join only.** The ON predicate must be a conjunction of
-//!   `left = right` equalities, each side referencing exactly one
-//!   relation. Two rows join iff every key pair is equal under
-//!   [`Value::sql_cmp`] — numerics coerce through `f64`, strings compare
-//!   exactly, and NULL or NaN keys never match anything.
+//! * **Equi-joins only (INNER or LEFT OUTER).** The ON predicate must be
+//!   a conjunction of `left = right` equalities, each side referencing
+//!   exactly one relation. Two rows join iff every key pair is equal
+//!   under [`Value::sql_cmp`] — numerics coerce through `f64`, strings
+//!   compare exactly, and NULL or NaN keys never match anything. A LEFT
+//!   OUTER join additionally keeps every unmatched left row once,
+//!   NULL-extended on the right side.
 //! * **Canonical output order.** Output rows are ordered by (left row,
 //!   right row) — the order a nested loop with the left side outermost
 //!   produces. The hash executor builds on the *smaller* input and
 //!   probes the larger one morsel-parallel, restoring the canonical
 //!   order afterwards, so results are bit-identical at every thread
-//!   count and to [`reference_join`].
-//! * **Weights.** At most one input may be a sample (which exposes the
-//!   engine-managed `weight` column); the join carries that column
-//!   through, and projection pruning never drops it. Joining two
-//!   weighted relations is a bind-time error.
+//!   count and to [`reference_join`]. An unmatched left row of a LEFT
+//!   OUTER join appears at its left position.
+//! * **Weights.** A sample input exposes the engine-managed `weight`
+//!   column and the join carries it through (projection pruning never
+//!   drops it). When *both* inputs are weighted, the join emits one
+//!   **combined** `weight` column — the elementwise product of the two
+//!   sides' correction weights, the open-world combination rule under
+//!   the independence assumption; the engine can re-calibrate it
+//!   against declared marginals with IPF afterwards.
 //!
 //! [`Value::sql_cmp`]: mosaic_storage::Value::sql_cmp
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use mosaic_sql::{BinOp, Expr, FromClause, SelectItem, SelectStmt};
+use mosaic_sql::{BinOp, Expr, FromClause, JoinKind, SelectItem, SelectStmt};
 use mosaic_storage::{kernels, Bitmap, Column, DataType, Field, Schema, Table, Value};
 
 use super::logical::{JoinOutCol, LogicalPlan};
@@ -72,16 +78,38 @@ pub(crate) struct Scope {
 /// The join's output columns for a list of (binding, schema) sides:
 /// every column of every side in source order, bare-named when unique
 /// across the scope, `binding.column` otherwise.
-pub(crate) fn output_columns(sides: &[(&str, &Schema)]) -> Vec<JoinOutCol> {
+///
+/// With `combine_weight` (both sides weighted), the two per-side
+/// `weight` columns collapse into one *combined* output named `weight`
+/// whose value is their elementwise product; the right side's weight
+/// column produces no output of its own.
+pub(crate) fn output_columns(sides: &[(&str, &Schema)], combine_weight: bool) -> Vec<JoinOutCol> {
+    let is_weight = |name: &str| name.eq_ignore_ascii_case("weight");
     let mut counts: HashMap<String, usize> = HashMap::new();
-    for (_, schema) in sides {
+    for (source, (_, schema)) in sides.iter().enumerate() {
         for f in schema.fields() {
+            if combine_weight && source > 0 && is_weight(&f.name) {
+                continue;
+            }
             *counts.entry(f.name.to_ascii_lowercase()).or_insert(0) += 1;
         }
     }
     let mut out = Vec::new();
     for (source, (binding, schema)) in sides.iter().enumerate() {
         for (id, f) in schema.fields().iter().enumerate() {
+            if combine_weight && is_weight(&f.name) {
+                if source == 0 {
+                    out.push(JoinOutCol {
+                        name: "weight".to_string(),
+                        source: 0,
+                        column: f.name.clone(),
+                        column_id: id,
+                        data_type: DataType::Float,
+                        combined: true,
+                    });
+                }
+                continue;
+            }
             let name = if counts[&f.name.to_ascii_lowercase()] > 1 {
                 format!("{binding}.{}", f.name)
             } else {
@@ -93,6 +121,7 @@ pub(crate) fn output_columns(sides: &[(&str, &Schema)]) -> Vec<JoinOutCol> {
                 column: f.name.clone(),
                 column_id: id,
                 data_type: f.data_type,
+                combined: false,
             });
         }
     }
@@ -100,8 +129,9 @@ pub(crate) fn output_columns(sides: &[(&str, &Schema)]) -> Vec<JoinOutCol> {
 }
 
 impl Scope {
-    /// Bind a scope. Errors on duplicate binding names and on more than
-    /// one weighted (sample) relation.
+    /// Bind a scope. Errors on duplicate binding names. Two weighted
+    /// (sample) relations are allowed: their correction weights combine
+    /// into one product `weight` output column.
     pub fn new(rels: Vec<ScopeRel>) -> Result<Scope> {
         for (i, a) in rels.iter().enumerate() {
             for b in &rels[i + 1..] {
@@ -113,23 +143,12 @@ impl Scope {
                 }
             }
         }
-        let weighted: Vec<&str> = rels
-            .iter()
-            .filter(|r| r.weighted)
-            .map(|r| r.name.as_str())
-            .collect();
-        if weighted.len() > 1 {
-            return Err(MosaicError::Bind(format!(
-                "joining two weighted relations ({}) is not supported: a join carries at most \
-                 one sample's weight column through",
-                weighted.join(", ")
-            )));
-        }
+        let combine_weight = rels.iter().filter(|r| r.weighted).count() > 1;
         let sides: Vec<(&str, &Schema)> = rels
             .iter()
             .map(|r| (r.binding.as_str(), r.schema.as_ref()))
             .collect();
-        let out = output_columns(&sides);
+        let out = output_columns(&sides, combine_weight);
         Ok(Scope { rels, out })
     }
 
@@ -138,9 +157,14 @@ impl Scope {
         &self.out
     }
 
-    /// Index of the weighted (sample) relation, if any.
-    pub fn weighted_source(&self) -> Option<usize> {
-        self.rels.iter().position(|r| r.weighted)
+    /// Indices of the weighted (sample) relations, in source order.
+    pub fn weighted_sources(&self) -> Vec<usize> {
+        self.rels
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.weighted)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Resolve a (possibly qualified) column reference to its output
@@ -164,6 +188,17 @@ impl Scope {
                 .out
                 .iter()
                 .find(|o| o.source == source && o.column.eq_ignore_ascii_case(col))
+                .or_else(|| {
+                    // Both sides weighted: either side's qualified
+                    // `weight` resolves to the single combined column
+                    // (the per-side weights are not separately
+                    // addressable through the join).
+                    if col.eq_ignore_ascii_case("weight") {
+                        self.out.iter().find(|o| o.combined)
+                    } else {
+                        None
+                    }
+                })
                 .ok_or_else(|| {
                     MosaicError::Bind(format!(
                         "unknown column {col} in relation {} ({})",
@@ -358,7 +393,17 @@ pub(crate) fn bind_single(stmt: &SelectStmt, rel: ScopeRel) -> Result<SelectStmt
 }
 
 /// Bind a join statement against its resolved relations (base first).
-pub(crate) fn bind_join(stmt: &SelectStmt, rels: Vec<ScopeRel>) -> Result<BoundJoin> {
+///
+/// `weighted_agg` marks the paper's §5.3 weighted-aggregate rewrite:
+/// population sides under SEMI-OPEN/OPEN visibility carry correction
+/// weights the aggregate must consume (the engine feeds the joined
+/// `weight` column in as row weights). Sample/table joins pass `false` —
+/// their `weight` stays an ordinary, explicitly-queried column.
+pub(crate) fn bind_join(
+    stmt: &SelectStmt,
+    rels: Vec<ScopeRel>,
+    weighted_agg: bool,
+) -> Result<BoundJoin> {
     let from = stmt
         .from
         .as_ref()
@@ -381,11 +426,12 @@ pub(crate) fn bind_join(stmt: &SelectStmt, rels: Vec<ScopeRel>) -> Result<BoundJ
             source: 1,
             columns: None,
         }),
+        kind: from.joins[0].kind,
         keys,
         output: scope.out().to_vec(),
-        weighted: scope.weighted_source(),
+        weighted: scope.weighted_sources(),
     };
-    let logical = LogicalPlan::from_stmt_over(&rewritten, false, leaf);
+    let logical = LogicalPlan::from_stmt_over(&rewritten, weighted_agg, leaf);
     Ok(BoundJoin {
         stmt: rewritten,
         logical,
@@ -407,8 +453,8 @@ fn extract_keys(scope: &Scope, on: &Expr) -> Result<Vec<(Expr, Expr)>> {
         } = conj
         else {
             return Err(MosaicError::Unsupported(format!(
-                "only INNER equi-joins are supported: ON must be a conjunction of \
-                 `left = right` equalities, found {}",
+                "only equi-joins are supported (INNER or LEFT OUTER): ON must be a \
+                 conjunction of `left = right` equalities, found {}",
                 conj.default_name()
             )));
         };
@@ -568,7 +614,8 @@ pub struct JoinSide {
     pub keys: Vec<Expr>,
 }
 
-/// The vectorized INNER hash equi-join stage of a physical plan.
+/// The vectorized hash equi-join stage of a physical plan (INNER or
+/// LEFT OUTER).
 ///
 /// Execution: both inputs are pruned and filtered, the **smaller** one
 /// is built single-threaded into a hash table keyed on normalized key
@@ -576,12 +623,16 @@ pub struct JoinSide {
 /// is probed morsel-parallel with ordered fragment merge, and matching
 /// row pairs are restored to the canonical (left row, right row) order
 /// before the output columns are gathered — so results are bit-identical
-/// at every thread count and to [`reference_join`].
+/// at every thread count and to [`reference_join`]. A LEFT OUTER join
+/// then inserts one NULL-extended row per unmatched left row via a
+/// single merge walk over the canonically ordered pairs.
 pub struct HashJoinOp {
     /// Left (base) input.
     pub left: JoinSide,
     /// Right (joined) input.
     pub right: JoinSide,
+    /// INNER or LEFT OUTER.
+    pub kind: JoinKind,
     /// Output columns (name, source, source column).
     pub output: Vec<JoinOutCol>,
 }
@@ -597,8 +648,12 @@ impl HashJoinOp {
             .map(|(l, r)| format!("{} = {}", l.default_name(), r.default_name()))
             .collect();
         let out: Vec<&str> = self.output.iter().map(|o| o.name.as_str()).collect();
+        let kind = match self.kind {
+            JoinKind::Inner => "",
+            JoinKind::LeftOuter => " LEFT OUTER",
+        };
         format!(
-            "HashJoin: keys [{}], output [{}] (build = smaller input, probe morsel-parallel)",
+            "HashJoin:{kind} keys [{}], output [{}] (build = smaller input, probe morsel-parallel)",
             keys.join(", "),
             out.join(", ")
         )
@@ -680,21 +735,100 @@ impl HashJoinOp {
             std::mem::swap(&mut left_idx, &mut right_idx);
         }
 
+        // LEFT OUTER: one merge walk over the canonically ordered pairs
+        // (left_idx is ascending) inserts each unmatched left row once,
+        // NULL-extended on the right. An empty inner result (empty
+        // build side, type-mismatched keys) NULL-extends every left row.
+        let right_opt: Option<Vec<Option<usize>>> = match self.kind {
+            JoinKind::Inner => None,
+            JoinKind::LeftOuter => {
+                let mut li = Vec::with_capacity(left_idx.len());
+                let mut ro = Vec::with_capacity(left_idx.len());
+                let mut p = 0;
+                for lr in 0..l.num_rows() {
+                    let matched = p < left_idx.len() && left_idx[p] == lr;
+                    while p < left_idx.len() && left_idx[p] == lr {
+                        li.push(lr);
+                        ro.push(Some(right_idx[p]));
+                        p += 1;
+                    }
+                    if !matched {
+                        li.push(lr);
+                        ro.push(None);
+                    }
+                }
+                left_idx = li;
+                Some(ro)
+            }
+        };
+
         // Gather the output columns from both sides.
         let mut fields = Vec::with_capacity(self.output.len());
         let mut columns = Vec::with_capacity(self.output.len());
         for out in &self.output {
-            let (src, idx) = if out.source == 0 {
-                (&l, &left_idx)
+            let col = if out.combined {
+                combined_weight_column(&l, &r, &left_idx, &right_idx, right_opt.as_deref())?
+            } else if out.source == 0 {
+                l.column_by_name(&out.column)?.take(&left_idx)
             } else {
-                (&r, &right_idx)
+                let src = r.column_by_name(&out.column)?;
+                match &right_opt {
+                    Some(ro) => src.take_opt(ro),
+                    None => src.take(&right_idx),
+                }
             };
-            let col = src.column_by_name(&out.column)?.take(idx);
             fields.push(Field::new(out.name.clone(), col.data_type()));
             columns.push(col);
         }
         Table::new(Schema::new(fields), columns).map_err(Into::into)
     }
+}
+
+/// A table's engine-managed weight column (name-insensitive lookup).
+fn weight_column(t: &Table) -> Result<&Column> {
+    let f = t
+        .schema()
+        .fields()
+        .iter()
+        .find(|f| f.name.eq_ignore_ascii_case("weight"))
+        .ok_or_else(|| {
+            MosaicError::Execution(
+                "combined weight output requires a weight column on both join sides".into(),
+            )
+        })?;
+    t.column_by_name(&f.name).map_err(Into::into)
+}
+
+/// Gather the *combined* weight column of a weighted×weighted join: the
+/// elementwise product of the two sides' correction weights
+/// (independence assumption). A NULL weight on either side — or a
+/// NULL-extended right row of a LEFT OUTER join — yields NULL.
+fn combined_weight_column(
+    l: &Table,
+    r: &Table,
+    left_idx: &[usize],
+    right_idx: &[usize],
+    right_opt: Option<&[Option<usize>]>,
+) -> Result<Column> {
+    let lw = weight_column(l)?;
+    let rw = weight_column(r)?;
+    let n = left_idx.len();
+    let mut vals = Vec::with_capacity(n);
+    let mut validity = Bitmap::ones(n);
+    for i in 0..n {
+        let rv = match right_opt {
+            Some(ro) => ro[i].and_then(|ri| rw.f64_at(ri)),
+            None => rw.f64_at(right_idx[i]),
+        };
+        match (lw.f64_at(left_idx[i]), rv) {
+            (Some(a), Some(b)) => vals.push(a * b),
+            _ => {
+                vals.push(0.0);
+                validity.set(i, false);
+            }
+        }
+    }
+    Ok(Column::from_f64_opt(vals, Some(validity)))
 }
 
 /// Evaluate a side's key expressions into columns.
@@ -900,7 +1034,29 @@ fn build_and_probe<K: Eq + std::hash::Hash + Send + Sync>(
 
 /// Row-at-a-time reference INNER equi-join — the semantics oracle for
 /// [`HashJoinOp`], mirroring what [`crate::run_select_rowwise`] is to
-/// the vectorized executor.
+/// the vectorized executor. Delegates to [`reference_join_kinded`] with
+/// `JoinKind::Inner` and no weighted sides.
+pub fn reference_join(
+    left: &Table,
+    left_binding: &str,
+    right: &Table,
+    right_binding: &str,
+    keys: &[(Expr, Expr)],
+) -> Result<Table> {
+    reference_join_kinded(
+        left,
+        left_binding,
+        right,
+        right_binding,
+        keys,
+        JoinKind::Inner,
+        &[],
+    )
+}
+
+/// Row-at-a-time reference equi-join covering every join semantic the
+/// vectorized [`HashJoinOp`] implements: INNER or LEFT OUTER, with
+/// optional per-side correction weights.
 ///
 /// A nested loop with the left side outermost: rows join iff every
 /// `(left key, right key)` pair is equal under
@@ -909,12 +1065,21 @@ fn build_and_probe<K: Eq + std::hash::Hash + Send + Sync>(
 /// order, and output columns follow the scope naming rule (bare when
 /// unique, `binding.column` otherwise). Key expressions are written in
 /// each side's own column names.
-pub fn reference_join(
+///
+/// A LEFT OUTER join keeps every unmatched left row once, at its left
+/// position, NULL-extended on the right. When `weighted` names both
+/// sides (`[0, 1]`), the two per-side `weight` columns collapse into
+/// one combined `weight` output — the row-wise product of the sides'
+/// weights, NULL when either factor is NULL or the right side is
+/// NULL-extended.
+pub fn reference_join_kinded(
     left: &Table,
     left_binding: &str,
     right: &Table,
     right_binding: &str,
     keys: &[(Expr, Expr)],
+    kind: JoinKind,
+    weighted: &[usize],
 ) -> Result<Table> {
     let materialize = |exprs: Vec<&Expr>, table: &Table| -> Result<Vec<Vec<Value>>> {
         exprs
@@ -928,8 +1093,9 @@ pub fn reference_join(
     let lk = materialize(keys.iter().map(|(l, _)| l).collect(), left)?;
     let rk = materialize(keys.iter().map(|(_, r)| r).collect(), right)?;
     let mut left_idx = Vec::new();
-    let mut right_idx = Vec::new();
+    let mut right_idx: Vec<Option<usize>> = Vec::new();
     for lr in 0..left.num_rows() {
+        let mut matched = false;
         for rr in 0..right.num_rows() {
             let all_equal = lk
                 .iter()
@@ -937,23 +1103,51 @@ pub fn reference_join(
                 .all(|(lc, rc)| lc[lr].sql_cmp(&rc[rr]) == Some(std::cmp::Ordering::Equal));
             if all_equal {
                 left_idx.push(lr);
-                right_idx.push(rr);
+                right_idx.push(Some(rr));
+                matched = true;
             }
         }
+        if !matched && kind == JoinKind::LeftOuter {
+            left_idx.push(lr);
+            right_idx.push(None);
+        }
     }
-    let out = output_columns(&[
-        (left_binding, left.schema().as_ref()),
-        (right_binding, right.schema().as_ref()),
-    ]);
+    let combine_weight = weighted.len() > 1;
+    let out = output_columns(
+        &[
+            (left_binding, left.schema().as_ref()),
+            (right_binding, right.schema().as_ref()),
+        ],
+        combine_weight,
+    );
     let mut fields = Vec::with_capacity(out.len());
     let mut columns = Vec::with_capacity(out.len());
     for o in &out {
-        let (src, idx) = if o.source == 0 {
-            (left, &left_idx)
+        let col = if o.combined {
+            // Row-at-a-time product through `Value`, independent of the
+            // vectorized gather.
+            let lw = weight_column(left)?;
+            let rw = weight_column(right)?;
+            let n = left_idx.len();
+            let mut vals = Vec::with_capacity(n);
+            let mut validity = Bitmap::ones(n);
+            for i in 0..n {
+                let a = lw.value(left_idx[i]).as_f64();
+                let b = right_idx[i].and_then(|ri| rw.value(ri).as_f64());
+                match (a, b) {
+                    (Some(a), Some(b)) => vals.push(a * b),
+                    _ => {
+                        vals.push(0.0);
+                        validity.set(i, false);
+                    }
+                }
+            }
+            Column::from_f64_opt(vals, Some(validity))
+        } else if o.source == 0 {
+            left.column_by_name(&o.column)?.take(&left_idx)
         } else {
-            (right, &right_idx)
+            right.column_by_name(&o.column)?.take_opt(&right_idx)
         };
-        let col = src.column_by_name(&o.column)?.take(idx);
         fields.push(Field::new(o.name.clone(), col.data_type()));
         columns.push(col);
     }
@@ -1030,14 +1224,44 @@ mod tests {
     }
 
     #[test]
-    fn two_weighted_relations_rejected() {
+    fn two_weighted_relations_combine_weight() {
         let rels = vec![
-            rel("s1", "s1", vec![Field::new("a", DataType::Int)], true),
-            rel("s2", "s2", vec![Field::new("b", DataType::Int)], true),
+            rel(
+                "s1",
+                "s1",
+                vec![
+                    Field::new("a", DataType::Int),
+                    Field::new("weight", DataType::Float),
+                ],
+                true,
+            ),
+            rel(
+                "s2",
+                "s2",
+                vec![
+                    Field::new("b", DataType::Int),
+                    Field::new("weight", DataType::Float),
+                ],
+                true,
+            ),
         ];
-        let err = Scope::new(rels).unwrap_err();
-        assert!(matches!(err, MosaicError::Bind(_)), "{err}");
-        assert!(err.to_string().contains("weighted"), "{err}");
+        let scope = Scope::new(rels).unwrap();
+        assert_eq!(scope.weighted_sources(), vec![0, 1]);
+        // The two per-side weight columns collapse into one combined
+        // `weight` output.
+        let weights: Vec<&JoinOutCol> = scope
+            .out()
+            .iter()
+            .filter(|o| o.name.eq_ignore_ascii_case("weight"))
+            .collect();
+        assert_eq!(weights.len(), 1);
+        assert!(weights[0].combined);
+        assert_eq!(weights[0].data_type, DataType::Float);
+        // Either side's qualified `weight` resolves to the combined
+        // column; bare `weight` is unambiguous.
+        assert!(scope.resolve("s1.weight").unwrap().combined);
+        assert!(scope.resolve("s2.weight").unwrap().combined);
+        assert!(scope.resolve("weight").unwrap().combined);
     }
 
     #[test]
@@ -1061,7 +1285,7 @@ mod tests {
             "SELECT c.name, SUM(f.distance) FROM flights f JOIN carriers c \
              ON f.carrier = c.code WHERE f.distance > 100 GROUP BY c.name",
         );
-        let bound = bind_join(&stmt, flights_carriers()).unwrap();
+        let bound = bind_join(&stmt, flights_carriers(), false).unwrap();
         let join = bound.logical.join().expect("join leaf");
         let LogicalPlan::Join { output, .. } = join else {
             unreachable!()
@@ -1199,6 +1423,151 @@ mod tests {
         for (ln, rn) in [(30usize, 8usize), (8, 30), (10, 10), (0, 5), (5, 0)] {
             let left = mk_left(ln);
             let right = mk_right(rn);
+            for kind in [JoinKind::Inner, JoinKind::LeftOuter] {
+                let op = HashJoinOp {
+                    left: JoinSide {
+                        scan_columns: None,
+                        filters: Vec::new(),
+                        keys: vec![keys[0].0.clone()],
+                    },
+                    right: JoinSide {
+                        scan_columns: None,
+                        filters: Vec::new(),
+                        keys: vec![keys[0].1.clone()],
+                    },
+                    kind,
+                    output: output_columns(
+                        &[
+                            ("l", left.schema().as_ref()),
+                            ("r", right.schema().as_ref()),
+                        ],
+                        false,
+                    ),
+                };
+                let reference =
+                    reference_join_kinded(&left, "l", &right, "r", &keys, kind, &[]).unwrap();
+                for threads in [1, 4] {
+                    let out = op.execute(&left, &right, &[], threads).unwrap();
+                    assert_eq!(out.num_rows(), reference.num_rows(), "{kind} {ln}x{rn}");
+                    for r in 0..out.num_rows() {
+                        for c in 0..out.num_columns() {
+                            assert_eq!(
+                                out.value(r, c),
+                                reference.value(r, c),
+                                "{kind} {ln}x{rn} cell ({r},{c}) at {threads} threads"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn left_outer_null_extends_and_keeps_order() {
+        let left = table(
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ],
+            vec![
+                vec![1.into(), 10.into()],
+                vec![Value::Null, 20.into()],
+                vec![3.into(), 30.into()],
+                vec![1.into(), 40.into()],
+            ],
+        );
+        let right = table(
+            vec![
+                Field::new("code", DataType::Int),
+                Field::new("n", DataType::Int),
+            ],
+            vec![vec![1.into(), 100.into()], vec![1.into(), 200.into()]],
+        );
+        let keys = vec![(parse_expr("k").unwrap(), parse_expr("code").unwrap())];
+        let op = HashJoinOp {
+            left: JoinSide {
+                scan_columns: None,
+                filters: Vec::new(),
+                keys: vec![keys[0].0.clone()],
+            },
+            right: JoinSide {
+                scan_columns: None,
+                filters: Vec::new(),
+                keys: vec![keys[0].1.clone()],
+            },
+            kind: JoinKind::LeftOuter,
+            output: output_columns(
+                &[
+                    ("l", left.schema().as_ref()),
+                    ("r", right.schema().as_ref()),
+                ],
+                false,
+            ),
+        };
+        let out = op.execute(&left, &right, &[], 2).unwrap();
+        // l0 matches r0,r1; l1 (NULL key) and l2 are NULL-extended at
+        // their left positions; l3 matches r0,r1 again.
+        assert_eq!(out.num_rows(), 6);
+        let rows: Vec<(Value, Value)> =
+            (0..6).map(|r| (out.value(r, 1), out.value(r, 3))).collect();
+        assert_eq!(
+            rows,
+            vec![
+                (10.into(), 100.into()),
+                (10.into(), 200.into()),
+                (20.into(), Value::Null),
+                (30.into(), Value::Null),
+                (40.into(), 100.into()),
+                (40.into(), 200.into()),
+            ]
+        );
+        let reference =
+            reference_join_kinded(&left, "l", &right, "r", &keys, JoinKind::LeftOuter, &[])
+                .unwrap();
+        assert_eq!(out.num_rows(), reference.num_rows());
+        for r in 0..out.num_rows() {
+            for c in 0..out.num_columns() {
+                assert_eq!(out.value(r, c), reference.value(r, c), "cell ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn combined_weight_is_product_and_null_extends() {
+        let left = table(
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("weight", DataType::Float),
+            ],
+            vec![
+                vec![1.into(), 2.0.into()],
+                vec![2.into(), 3.0.into()],
+                vec![9.into(), 5.0.into()],
+            ],
+        );
+        let right = table(
+            vec![
+                Field::new("code", DataType::Int),
+                Field::new("weight", DataType::Float),
+            ],
+            vec![vec![1.into(), 10.0.into()], vec![2.into(), 0.5.into()]],
+        );
+        let keys = vec![(parse_expr("k").unwrap(), parse_expr("code").unwrap())];
+        let output = output_columns(
+            &[
+                ("a", left.schema().as_ref()),
+                ("b", right.schema().as_ref()),
+            ],
+            true,
+        );
+        // One combined weight column; right's weight emits no output.
+        assert_eq!(
+            output.iter().filter(|o| o.name == "weight").count(),
+            1,
+            "{output:?}"
+        );
+        for kind in [JoinKind::Inner, JoinKind::LeftOuter] {
             let op = HashJoinOp {
                 left: JoinSide {
                     scan_columns: None,
@@ -1210,23 +1579,30 @@ mod tests {
                     filters: Vec::new(),
                     keys: vec![keys[0].1.clone()],
                 },
-                output: output_columns(&[
-                    ("l", left.schema().as_ref()),
-                    ("r", right.schema().as_ref()),
-                ]),
+                kind,
+                output: output.clone(),
             };
-            let reference = reference_join(&left, "l", &right, "r", &keys).unwrap();
-            for threads in [1, 4] {
-                let out = op.execute(&left, &right, &[], threads).unwrap();
-                assert_eq!(out.num_rows(), reference.num_rows(), "{ln}x{rn}");
-                for r in 0..out.num_rows() {
-                    for c in 0..out.num_columns() {
-                        assert_eq!(
-                            out.value(r, c),
-                            reference.value(r, c),
-                            "{ln}x{rn} cell ({r},{c}) at {threads} threads"
-                        );
-                    }
+            let out = op.execute(&left, &right, &[], 2).unwrap();
+            let w = out.column_by_name("weight").unwrap();
+            match kind {
+                JoinKind::Inner => {
+                    assert_eq!(out.num_rows(), 2);
+                    assert_eq!(w.value(0), Value::Float(20.0));
+                    assert_eq!(w.value(1), Value::Float(1.5));
+                }
+                JoinKind::LeftOuter => {
+                    // The unmatched left row k=9 gets a NULL combined
+                    // weight.
+                    assert_eq!(out.num_rows(), 3);
+                    assert_eq!(w.value(2), Value::Null);
+                }
+            }
+            let reference =
+                reference_join_kinded(&left, "a", &right, "b", &keys, kind, &[0, 1]).unwrap();
+            assert_eq!(out.num_rows(), reference.num_rows());
+            for r in 0..out.num_rows() {
+                for c in 0..out.num_columns() {
+                    assert_eq!(out.value(r, c), reference.value(r, c), "{kind} ({r},{c})");
                 }
             }
         }
@@ -1256,10 +1632,14 @@ mod tests {
                 filters: Vec::new(),
                 keys: vec![keys[0].1.clone()],
             },
-            output: output_columns(&[
-                ("l", left.schema().as_ref()),
-                ("r", right.schema().as_ref()),
-            ]),
+            kind: JoinKind::Inner,
+            output: output_columns(
+                &[
+                    ("l", left.schema().as_ref()),
+                    ("r", right.schema().as_ref()),
+                ],
+                false,
+            ),
         };
         let out = op.execute(&left, &right, &[], 1).unwrap();
         let reference = reference_join(&left, "l", &right, "r", &keys).unwrap();
@@ -1272,10 +1652,13 @@ mod tests {
             vec![vec!["1".into()]],
         );
         let op2 = HashJoinOp {
-            output: output_columns(&[
-                ("l", left.schema().as_ref()),
-                ("r", right_str.schema().as_ref()),
-            ]),
+            output: output_columns(
+                &[
+                    ("l", left.schema().as_ref()),
+                    ("r", right_str.schema().as_ref()),
+                ],
+                false,
+            ),
             ..op
         };
         assert_eq!(

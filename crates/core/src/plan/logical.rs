@@ -19,7 +19,7 @@
 
 use std::fmt;
 
-use mosaic_sql::{Expr, SelectItem, SelectStmt};
+use mosaic_sql::{Expr, JoinKind, SelectItem, SelectStmt};
 
 /// A column kept by a pruned scan: the source column's name plus the
 /// column id resolved against the source schema at plan time. Execution
@@ -58,6 +58,10 @@ pub struct JoinOutCol {
     pub column_id: usize,
     /// Bound column type (drives the pushdown safety check).
     pub data_type: mosaic_storage::DataType,
+    /// True for the *combined* `weight` column of a weighted×weighted
+    /// join: its value is the elementwise product of both sides' weight
+    /// columns (independence assumption), not a gather from one side.
+    pub combined: bool,
 }
 
 /// A logical query plan: the relational IR a bound SELECT lowers to
@@ -76,24 +80,30 @@ pub enum LogicalPlan {
         /// Columns the scan keeps (`None` = all).
         columns: Option<Vec<ScanColumn>>,
     },
-    /// INNER equi-join of two input subtrees. Keys are `(left, right)`
+    /// Equi-join of two input subtrees. Keys are `(left, right)`
     /// expression pairs written in each side's *source* column names;
     /// a pair of rows joins iff every key pair is `sql_cmp`-equal
     /// (NULL and NaN keys never match). Output rows are ordered by
     /// (left row, right row) — the canonical nested-loop order — no
-    /// matter which side the executor builds its hash table on.
+    /// matter which side the executor builds its hash table on. A
+    /// LEFT OUTER join additionally emits every unmatched left row
+    /// once, NULL-extended on the right, at its canonical position.
     Join {
         /// Left input (`Scan → Filter*` after predicate pushdown).
         left: Box<LogicalPlan>,
         /// Right input.
         right: Box<LogicalPlan>,
+        /// INNER or LEFT OUTER.
+        kind: JoinKind,
         /// Equi-join key pairs `(left expr, right expr)`.
         keys: Vec<(Expr, Expr)>,
         /// The join's output columns (narrowed by projection pruning).
         output: Vec<JoinOutCol>,
-        /// Index of the input that exposes the engine-managed `weight`
-        /// column (a sample side), if any — pruning must keep it.
-        weighted: Option<usize>,
+        /// Indices of the inputs that expose the engine-managed `weight`
+        /// column (sample sides) — pruning must keep it. Both sides
+        /// weighted means the output carries one *combined* `weight`
+        /// column (the per-side product).
+        weighted: Vec<usize>,
     },
     /// `WHERE` — keep rows satisfying the predicate.
     Filter {
@@ -295,13 +305,21 @@ impl LogicalPlan {
                 format!("Scan[{}]", names.join(", "))
             }
             LogicalPlan::Join {
-                left, right, keys, ..
+                left,
+                right,
+                kind,
+                keys,
+                ..
             } => {
                 let keys: Vec<String> = keys
                     .iter()
                     .map(|(l, r)| format!("{} = {}", l.default_name(), r.default_name()))
                     .collect();
-                format!("Join[{}]({left} ⋈ {right})", keys.join(", "))
+                let sym = match kind {
+                    JoinKind::Inner => "⋈",
+                    JoinKind::LeftOuter => "⟕",
+                };
+                format!("Join[{}]({left} {sym} {right})", keys.join(", "))
             }
             LogicalPlan::Filter { predicate, .. } => {
                 format!("Filter({})", predicate.default_name())

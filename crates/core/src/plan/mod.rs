@@ -542,16 +542,29 @@ impl PhysicalPlan {
     }
 
     /// [`PhysicalPlan::execute_join_with_params`] with per-execution
-    /// worker-thread and merge-partition caps overriding the plan's own.
-    pub(crate) fn execute_join_capped(
+    /// worker-thread and merge-partition caps overriding the plan's
+    /// own, plus a post-join hook: `post_join` runs over the
+    /// materialized joined table *before* the rest of the pipeline. The
+    /// engine uses it to IPF-re-calibrate the combined weight column of
+    /// a weighted×weighted join against declared marginals.
+    pub(crate) fn execute_join_capped_with(
         &self,
         left: &Table,
         right: &Table,
         params: &[Value],
         threads: usize,
         partitions: usize,
+        post_join: Option<&(dyn Fn(Table) -> Result<Table> + Sync)>,
     ) -> Result<Table> {
-        parallel::execute_join_plan(self, left, right, params, threads.max(1), partitions.max(1))
+        parallel::execute_join_plan_with(
+            self,
+            left,
+            right,
+            params,
+            threads.max(1),
+            partitions.max(1),
+            post_join,
+        )
     }
 
     /// Execute with positional-parameter values bound into the plan's
@@ -619,6 +632,13 @@ impl PhysicalPlan {
     /// The plan's aggregate-merge partition count.
     pub fn agg_partitions(&self) -> usize {
         self.agg_partitions
+    }
+
+    /// True when the shape stage is a *weighted* aggregate (§5.3
+    /// rewrite). A join plan with this property consumes the joined
+    /// `weight` column as its row-weight vector.
+    pub(crate) fn agg_weighted(&self) -> bool {
+        matches!(&self.shape, Shape::Aggregate(op) if op.weighted)
     }
 
     /// True when the shape stage aggregates. ORDER BY keys must then
@@ -717,6 +737,7 @@ pub fn lower_logical(plan: &LogicalPlan) -> PhysicalPlan {
             LogicalPlan::Join {
                 left,
                 right,
+                kind,
                 keys,
                 output,
                 ..
@@ -724,6 +745,7 @@ pub fn lower_logical(plan: &LogicalPlan) -> PhysicalPlan {
                 join_stage = Some(join::HashJoinOp {
                     left: lower_join_side(left, keys.iter().map(|(l, _)| l.clone()).collect()),
                     right: lower_join_side(right, keys.iter().map(|(_, r)| r.clone()).collect()),
+                    kind: *kind,
                     output: output.clone(),
                 });
             }

@@ -41,7 +41,7 @@
 
 use std::sync::OnceLock;
 
-use mosaic_sql::{Expr, SelectItem};
+use mosaic_sql::{Expr, JoinKind, SelectItem};
 use mosaic_storage::Schema;
 
 use super::logical::{LogicalPlan, ScanColumn};
@@ -337,12 +337,14 @@ fn scan_columns_mut(plan: &mut LogicalPlan) -> &mut Option<Vec<ScanColumn>> {
 
 /// Push WHERE conjuncts that reference exactly one join input — and that
 /// provably cannot error (see [`crate::plan::join::push_safe`]) — below
-/// the join, into that input's filter chain. The join is INNER, so a
+/// the join, into that input's filter chain. For an INNER join a
 /// single-sided conjunct drops the same output rows whether it runs
 /// before or after the join; running it before shrinks the build /
-/// probe inputs. Conjuncts that span both sides, reference unknown
-/// columns, carry parameters in unsafe shapes, or could error stay
-/// above the join untouched.
+/// probe inputs. A LEFT OUTER join only admits *left*-side pushes:
+/// filtering the right input before the join would NULL-extend rows the
+/// unpushed plan drops. Conjuncts that span both sides, reference
+/// unknown columns or the combined weight column, carry parameters in
+/// unsafe shapes, or could error stay above the join untouched.
 ///
 /// The rule fires only when **every** conjunct — pushed *and* residual —
 /// is provably error-free: pushing one conjunct shrinks the set of rows
@@ -369,7 +371,7 @@ fn push_filter_into_join(node: &mut LogicalPlan) -> bool {
         let LogicalPlan::Filter { input, predicate } = &*node else {
             unreachable!("caller matched a filter-over-join");
         };
-        let LogicalPlan::Join { output, .. } = input.as_ref() else {
+        let LogicalPlan::Join { output, kind, .. } = input.as_ref() else {
             unreachable!("caller matched a filter-over-join");
         };
         let mut conjuncts = Vec::new();
@@ -394,9 +396,13 @@ fn push_filter_into_join(node: &mut LogicalPlan) -> bool {
         let mut pushed: [Vec<Expr>; 2] = [Vec::new(), Vec::new()];
         for conj in conjuncts {
             match conjunct_side(conj, output) {
-                // Rewrite output names back to source column names.
-                Some(s) => pushed[s].push(rewrite_to_source(conj, output)),
-                None => residual.push(conj.clone()),
+                // Rewrite output names back to source column names. A
+                // LEFT OUTER join never pushes into the NULL-extending
+                // (right) side.
+                Some(s) if *kind == JoinKind::Inner || s == 0 => {
+                    pushed[s].push(rewrite_to_source(conj, output))
+                }
+                _ => residual.push(conj.clone()),
             }
         }
         (pushed, residual)
@@ -459,6 +465,11 @@ fn conjunct_side(conj: &Expr, output: &[crate::plan::logical::JoinOutCol]) -> Op
     let mut side = None;
     for c in &cols {
         let out = output.iter().find(|o| o.name.eq_ignore_ascii_case(c))?;
+        if out.combined {
+            // The combined weight is a product of *both* sides' weight
+            // columns — it exists only after the join.
+            return None;
+        }
         match side {
             None => side = Some(out.source),
             Some(s) if s != out.source => return None,
@@ -534,6 +545,7 @@ fn join_projection_pruning(plan: &mut LogicalPlan) -> bool {
         keys,
         output,
         weighted,
+        ..
     } = join
     else {
         unreachable!("optimize() only calls this on join plans");
@@ -543,7 +555,14 @@ fn join_projection_pruning(plan: &mut LogicalPlan) -> bool {
         .iter()
         .filter(|o| {
             referenced.iter().any(|n| n.eq_ignore_ascii_case(&o.name))
-                || (Some(o.source) == *weighted && o.column.eq_ignore_ascii_case("weight"))
+                || o.combined
+                || (weighted.contains(&o.source) && o.column.eq_ignore_ascii_case("weight"))
+                // Combined-weight joins feed post-join IPF re-calibration,
+                // which resolves declared marginal attributes against the
+                // joined schema — pruning a weighted side could silently
+                // skip the raking (and make results depend on the
+                // optimizer). Keep every weighted-side column.
+                || (weighted.len() > 1 && weighted.contains(&o.source))
         })
         .cloned()
         .collect();
@@ -556,6 +575,12 @@ fn join_projection_pruning(plan: &mut LogicalPlan) -> bool {
     //    pushed-filter refs), resolved through the pre-pruning output
     //    map (which lists every source column with its bound id).
     for (s, side) in [&mut *left, &mut *right].into_iter().enumerate() {
+        if s == 1 && kept.iter().any(|o| o.combined) {
+            // The combined weight gathers from the right side's weight
+            // column, which (by construction) has no output entry of
+            // its own — leave the right scan unpruned so it survives.
+            continue;
+        }
         let mut needed: Vec<&str> = kept
             .iter()
             .filter(|o| o.source == s)

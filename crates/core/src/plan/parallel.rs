@@ -148,12 +148,51 @@ pub(crate) fn execute_join_plan(
     threads: usize,
     partitions: usize,
 ) -> Result<Table> {
+    execute_join_plan_with(plan, left, right, params, threads, partitions, None)
+}
+
+/// [`execute_join_plan`] with an optional post-join hook (runs over the
+/// materialized joined table before the rest of the pipeline — the
+/// engine's IPF re-calibration of combined weights plugs in here).
+/// When the plan's aggregate carries the §5.3 weighted rewrite, the
+/// joined `weight` column becomes the row-weight vector of the
+/// downstream pipeline; a NULL weight (a NULL-extended LEFT OUTER row)
+/// contributes weight 0.
+pub(crate) fn execute_join_plan_with(
+    plan: &PhysicalPlan,
+    left: &Table,
+    right: &Table,
+    params: &[Value],
+    threads: usize,
+    partitions: usize,
+    post_join: Option<&(dyn Fn(Table) -> Result<Table> + Sync)>,
+) -> Result<Table> {
     let join = plan
         .join
         .as_ref()
         .ok_or_else(|| MosaicError::Execution("plan has no join stage".into()))?;
-    let joined = join.execute(left, right, params, threads)?;
-    execute_plan(plan, &joined, None, params, threads, partitions)
+    let mut joined = join.execute(left, right, params, threads)?;
+    if let Some(f) = post_join {
+        joined = f(joined)?;
+    }
+    let weights: Option<Vec<f64>> = if plan.agg_weighted() {
+        let w = joined.column_by_name("weight").map_err(|_| {
+            MosaicError::Execution(
+                "weighted join aggregate requires the joined weight column".into(),
+            )
+        })?;
+        Some((0..w.len()).map(|i| w.f64_at(i).unwrap_or(0.0)).collect())
+    } else {
+        None
+    };
+    execute_plan(
+        plan,
+        &joined,
+        weights.as_deref(),
+        params,
+        threads,
+        partitions,
+    )
 }
 
 /// Execute `plan` over `table` on at most `threads` workers, binding

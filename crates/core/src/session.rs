@@ -210,8 +210,17 @@ enum PreparedSource {
     /// A population query (visibility resolved at prepare time).
     Population(String),
     /// A multi-relation scope (join): every relation with its bound
-    /// kind, in source order. `true` marks a sample.
-    Scope(Vec<(String, bool)>),
+    /// kind, in source order.
+    Scope(Vec<(String, ScopeRelKind)>),
+}
+
+/// What kind of relation a scope member bound to (staleness checks
+/// re-verify the kind at execute time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeRelKind {
+    Aux,
+    Sample,
+    Population,
 }
 
 /// A prepared SELECT: the parsed statement, its binding against the
@@ -418,20 +427,24 @@ impl Prepared {
         sql: &str,
         param_count: usize,
     ) -> Result<Prepared> {
-        if stmt.visibility.is_some() {
-            return Err(MosaicError::Bind(
-                "visibility levels (CLOSED/SEMI-OPEN/OPEN) apply to population queries only".into(),
-            ));
-        }
-        let (rels, _tables) = match crate::engine::resolve_scope_relations(cat, fc) {
-            Ok(r) => r,
-            Err(MosaicError::Catalog(m)) => return Err(MosaicError::Bind(m)),
-            Err(other) => return Err(other),
+        let (infos, vis) =
+            match crate::engine::resolve_scope(cat, opts.default_visibility, fc, stmt.visibility) {
+                Ok(r) => r,
+                Err(MosaicError::Catalog(m)) => return Err(MosaicError::Bind(m)),
+                Err(other) => return Err(other),
+            };
+        // Bake the resolved visibility in (population scopes only), so
+        // later session-default changes cannot shift the semantics the
+        // plan was built under.
+        let stmt = SelectStmt {
+            visibility: vis,
+            ..stmt
         };
         if !fc.has_joins() {
             // A lone aliased relation: rewrite to bare column names and
             // fall into the ordinary single-relation plan.
-            let rel = rels.into_iter().next().expect("one relation");
+            let info = infos.into_iter().next().expect("one relation");
+            let rel = info.rel;
             let source = if rel.weighted {
                 PreparedSource::Sample(rel.name.clone())
             } else {
@@ -451,9 +464,38 @@ impl Prepared {
                 inner_plan: None,
             });
         }
-        let source =
-            PreparedSource::Scope(rels.iter().map(|r| (r.name.clone(), r.weighted)).collect());
-        let bound = crate::plan::join::bind_join(&stmt, rels)?;
+        let source = PreparedSource::Scope(
+            infos
+                .iter()
+                .map(|i| {
+                    let kind = match &i.source {
+                        crate::engine::ScopeSource::Aux => ScopeRelKind::Aux,
+                        crate::engine::ScopeSource::Sample { .. } => ScopeRelKind::Sample,
+                        crate::engine::ScopeSource::Population { .. } => ScopeRelKind::Population,
+                    };
+                    (i.rel.name.clone(), kind)
+                })
+                .collect(),
+        );
+        let rels: Vec<_> = infos.into_iter().map(|i| i.rel).collect();
+        // Population-containing scopes under SEMI-OPEN/OPEN answer
+        // aggregates through the §5.3 weighted rewrite; CLOSED scopes
+        // and plain sample joins do not.
+        let weighted_agg = vis.is_some_and(|v| v != Visibility::Closed);
+        // Aggregate OPEN joins run the replicate loop over the ORDER
+        // BY/LIMIT-stripped body; cache that inner plan too.
+        let inner_plan = (vis == Some(Visibility::Open) && has_aggregate_shape(&stmt))
+            .then(|| -> Result<PhysicalPlan> {
+                let inner = SelectStmt {
+                    order_by: Vec::new(),
+                    limit: None,
+                    ..stmt.clone()
+                };
+                let bound = crate::plan::join::bind_join(&inner, rels.clone(), weighted_agg)?;
+                Ok(crate::plan::plan_logical(bound.logical, opts.optimizer, None).physical)
+            })
+            .transpose()?;
+        let bound = crate::plan::join::bind_join(&stmt, rels, weighted_agg)?;
         let planned = crate::plan::plan_logical(bound.logical, opts.optimizer, None);
         Ok(Prepared {
             sql: sql.to_string(),
@@ -463,7 +505,7 @@ impl Prepared {
             logical: planned.optimized,
             fired: planned.fired,
             plan: planned.physical,
-            inner_plan: None,
+            inner_plan,
         })
     }
 
@@ -476,12 +518,12 @@ impl Prepared {
             PreparedSource::Scalar => true,
             PreparedSource::Aux(name) => cat.aux(name).is_some(),
             PreparedSource::Sample(name) => cat.sample(name).is_some(),
-            PreparedSource::Scope(rels) => rels.iter().all(|(name, is_sample)| {
-                if *is_sample {
-                    cat.sample(name).is_some()
-                } else {
-                    cat.aux(name).is_some()
-                }
+            PreparedSource::Scope(rels) => rels.iter().all(|(name, kind)| match kind {
+                ScopeRelKind::Aux => cat.aux(name).is_some(),
+                ScopeRelKind::Sample => cat.sample(name).is_some(),
+                ScopeRelKind::Population => cat
+                    .population(name)
+                    .is_some_and(|pop| choose_sample(cat, pop).is_ok()),
             }),
             PreparedSource::Population(name) => {
                 if cat.population(name).is_none() {

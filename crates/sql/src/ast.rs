@@ -451,17 +451,41 @@ impl fmt::Display for TableRef {
     }
 }
 
-/// One `JOIN <table> ON <predicate>` clause (INNER join semantics).
+/// Join kind: INNER keeps only matching row pairs; LEFT OUTER
+/// additionally keeps every unmatched left row once, NULL-extended on
+/// the right side (open-world queries are precisely about the rows an
+/// inner join would drop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`.
+    #[default]
+    Inner,
+    /// `LEFT [OUTER] JOIN`.
+    LeftOuter,
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JoinKind::Inner => "INNER",
+            JoinKind::LeftOuter => "LEFT OUTER",
+        })
+    }
+}
+
+/// One `JOIN <table> ON <predicate>` clause.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinClause {
     /// The joined relation.
     pub table: TableRef,
+    /// INNER or LEFT OUTER.
+    pub kind: JoinKind,
     /// The ON predicate. The binder requires a conjunction of equalities
     /// between the two sides (an equi-join).
     pub on: Expr,
 }
 
-/// A FROM clause: a base relation plus zero or more INNER joins
+/// A FROM clause: a base relation plus zero or more joins
 /// (left-deep: each JOIN applies to everything to its left).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FromClause {
@@ -591,6 +615,7 @@ impl SelectStmt {
                             .map(|j| -> Result<JoinClause, usize> {
                                 Ok(JoinClause {
                                     table: j.table.clone(),
+                                    kind: j.kind,
                                     on: j.on.bind_params(params)?,
                                 })
                             })

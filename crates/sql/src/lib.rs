@@ -45,8 +45,8 @@ mod lexer;
 mod parser;
 
 pub use ast::{
-    AggFunc, BinOp, Expr, FromClause, InsertSource, JoinClause, MechanismSpec, SelectItem,
-    SelectStmt, Statement, TableRef, UnaryOp, Visibility,
+    AggFunc, BinOp, Expr, FromClause, InsertSource, JoinClause, JoinKind, MechanismSpec,
+    SelectItem, SelectStmt, Statement, TableRef, UnaryOp, Visibility,
 };
 pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::{parse, parse_expr, parse_spanned, ParseError};

@@ -453,15 +453,27 @@ impl Parser {
             let base = self.table_ref()?;
             let mut joins = Vec::new();
             loop {
-                if self.at_kw("INNER") && self.at_kw_ahead(1, "JOIN") {
+                let kind = if self.at_kw("INNER") && self.at_kw_ahead(1, "JOIN") {
                     self.pos += 2;
-                } else if !self.eat_kw("JOIN") {
+                    JoinKind::Inner
+                } else if self.at_kw("LEFT")
+                    && self.at_kw_ahead(1, "OUTER")
+                    && self.at_kw_ahead(2, "JOIN")
+                {
+                    self.pos += 3;
+                    JoinKind::LeftOuter
+                } else if self.at_kw("LEFT") && self.at_kw_ahead(1, "JOIN") {
+                    self.pos += 2;
+                    JoinKind::LeftOuter
+                } else if self.eat_kw("JOIN") {
+                    JoinKind::Inner
+                } else {
                     break;
-                }
+                };
                 let table = self.table_ref()?;
                 self.expect_kw("ON")?;
                 let on = self.expr()?;
-                joins.push(JoinClause { table, on });
+                joins.push(JoinClause { table, kind, on });
             }
             Some(FromClause { base, joins })
         } else {
@@ -860,6 +872,8 @@ fn is_reserved(name: &str) -> bool {
         "HAVING",
         "JOIN",
         "INNER",
+        "LEFT",
+        "OUTER",
         "ON",
     ];
     RESERVED.iter().any(|k| k.eq_ignore_ascii_case(name))

@@ -427,6 +427,63 @@ impl Column {
         Column::full(data, validity)
     }
 
+    /// Gather rows by optional index: `None` emits a NULL row (type
+    /// default payload, cleared validity bit). This is the NULL-extending
+    /// gather of LEFT OUTER joins — unmatched probe rows take `None` on
+    /// the build side. Delegates to [`Column::take`] when every index is
+    /// present.
+    pub fn take_opt(&self, indices: &[Option<usize>]) -> Column {
+        if indices.iter().all(Option::is_some) {
+            let idx: Vec<usize> = indices.iter().map(|i| i.expect("checked")).collect();
+            return self.take(&idx);
+        }
+        let validity = Some(Bitmap::from_iter(indices.iter().map(|i| match i {
+            Some(i) => !self.is_null(*i),
+            None => false,
+        })));
+        let o = self.offset;
+        let data = match self.data.as_ref() {
+            ColumnData::Bool(v) => ColumnData::Bool(
+                indices
+                    .iter()
+                    .map(|i| i.is_some_and(|i| v[o + i]))
+                    .collect(),
+            ),
+            ColumnData::Int(v) => {
+                ColumnData::Int(indices.iter().map(|i| i.map_or(0, |i| v[o + i])).collect())
+            }
+            ColumnData::Float(v) => ColumnData::Float(
+                indices
+                    .iter()
+                    .map(|i| i.map_or(0.0, |i| v[o + i]))
+                    .collect(),
+            ),
+            ColumnData::Str(v) => ColumnData::Str(
+                indices
+                    .iter()
+                    .map(|i| i.map_or_else(String::new, |i| v[o + i].clone()))
+                    .collect(),
+            ),
+            ColumnData::Dict { codes, dict } => {
+                // NULL slots still need an in-bounds code. An empty
+                // dictionary has none to reuse, so fall back to a plain
+                // payload there (only reachable when every index is None).
+                if dict.is_empty() {
+                    ColumnData::Str(indices.iter().map(|_| String::new()).collect())
+                } else {
+                    ColumnData::Dict {
+                        codes: indices
+                            .iter()
+                            .map(|i| i.map_or(0, |i| codes[o + i]))
+                            .collect(),
+                        dict: Arc::clone(dict),
+                    }
+                }
+            }
+        };
+        Column::full(data, normalize_validity(validity))
+    }
+
     /// Zero-copy view of rows `[offset, offset + len)`: the payload stays
     /// shared behind the `Arc`; only the validity window is copied. This
     /// is the morsel entry point of the storage layer — every typed
@@ -764,6 +821,32 @@ mod tests {
         let c = Column::from_i64(vec![10, 20, 30]);
         let t = c.take(&[2, 0, 0]);
         assert_eq!(t.as_i64_slice().unwrap(), &[30, 10, 10]);
+    }
+
+    #[test]
+    fn take_opt_null_extends() {
+        let c = Column::from_i64(vec![10, 20, 30]);
+        let t = c.take_opt(&[Some(2), None, Some(0)]);
+        assert_eq!(t.value(0), Value::Int(30));
+        assert_eq!(t.value(1), Value::Null);
+        assert_eq!(t.value(2), Value::Int(10));
+        // All-present delegates to `take` (no validity).
+        assert!(c.take_opt(&[Some(1), Some(1)]).validity().is_none());
+        // Dict columns keep their shared dictionary; NULL codes stay
+        // in bounds.
+        let s = Column::from_str(vec!["x".into(), "y".into()]);
+        let t = s.take_opt(&[None, Some(1)]);
+        assert_eq!(t.value(0), Value::Null);
+        assert_eq!(t.value(1), Value::Str("y".into()));
+        assert!(t.is_dict());
+        // Source NULLs survive the gather.
+        let mut b = ColumnBuilder::new(DataType::Float);
+        b.push(Value::Null).unwrap();
+        b.push(Value::Float(1.5)).unwrap();
+        let f = b.finish();
+        let t = f.take_opt(&[Some(0), None, Some(1)]);
+        assert_eq!(t.null_count(), 2);
+        assert_eq!(t.value(2), Value::Float(1.5));
     }
 
     #[test]

@@ -1,8 +1,8 @@
-//! Engine-level INNER-join integration tests: the acceptance query
-//! (sample × dimension with carried weights), bind-time diagnostics
-//! (ambiguity, weighted-pair rejection, unknown relations listing the
-//! catalog), prepared join statements with `?` parameters on both
-//! sides, and the EXPLAIN rendering of a join plan.
+//! Engine-level join integration tests: the acceptance query
+//! (sample × dimension with carried weights), combined weights for
+//! weighted×weighted joins, bind-time diagnostics (ambiguity, unknown
+//! relations listing the catalog), prepared join statements with `?`
+//! parameters on both sides, and the EXPLAIN rendering of a join plan.
 
 use std::sync::Arc;
 
@@ -146,7 +146,7 @@ fn joined_sample_carries_weights() {
 
 /// Joining two samples (two weighted inputs) is a clean bind-time error.
 #[test]
-fn two_weighted_relations_is_bind_error() {
+fn two_weighted_relations_combine_weights() {
     let engine = Arc::new(MosaicEngine::new());
     engine
         .session()
@@ -154,16 +154,38 @@ fn two_weighted_relations_is_bind_error() {
             "CREATE GLOBAL POPULATION Pop (a TEXT);
              CREATE SAMPLE S1 AS (SELECT * FROM Pop);
              CREATE SAMPLE S2 AS (SELECT * FROM Pop);
-             INSERT INTO S1 VALUES ('x');
-             INSERT INTO S2 VALUES ('x');",
+             INSERT INTO S1 VALUES ('x'), ('y');
+             INSERT INTO S2 VALUES ('x'), ('x');",
         )
         .unwrap();
-    let err = engine
-        .session()
-        .query("SELECT COUNT(*) FROM S1 a JOIN S2 b ON a.a = b.a")
-        .unwrap_err();
-    assert!(matches!(err, MosaicError::Bind(_)), "{err}");
-    assert!(err.to_string().contains("weighted"), "{err}");
+    let s = engine.session();
+    // The join emits exactly one `weight` output — the product of the
+    // per-side weights (fresh samples carry weight 1.0 per row).
+    let out = s
+        .query("SELECT a.a, weight FROM S1 a JOIN S2 b ON a.a = b.a")
+        .unwrap();
+    assert_eq!(out.num_rows(), 2, "'x' matches both S2 rows");
+    let names: Vec<&str> = out
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    assert_eq!(names, vec!["a.a", "weight"]);
+    for r in 0..out.num_rows() {
+        assert_eq!(out.value(r, 1), V::Float(1.0), "product of unit weights");
+    }
+    // The wildcard exposes one combined weight, not one per side.
+    let out = s
+        .query("SELECT * FROM S1 a JOIN S2 b ON a.a = b.a")
+        .unwrap();
+    let weight_cols = out
+        .schema()
+        .fields()
+        .iter()
+        .filter(|f| f.name.to_ascii_lowercase().contains("weight"))
+        .count();
+    assert_eq!(weight_cols, 1, "one combined weight column");
 }
 
 /// Ambiguous bare columns, unknown qualifiers, and non-equi ON shapes
@@ -204,13 +226,48 @@ fn join_bind_diagnostics() {
     // Both sides of one equality from the same relation.
     let err = s.query("SELECT v FROM a JOIN b ON a.k = a.v").unwrap_err();
     assert!(err.to_string().contains("exactly one"), "{err}");
-    // Populations cannot be joined yet.
+    // A population side without a usable sample errors naming the
+    // population (the join itself is legal — resolution isn't).
     engine
         .session()
         .execute("CREATE GLOBAL POPULATION P (k INT)")
         .unwrap();
     let err = s.query("SELECT v FROM a JOIN P ON a.k = P.k").unwrap_err();
-    assert!(err.to_string().contains("population"), "{err}");
+    assert!(
+        err.to_string()
+            .contains("no non-empty sample available for population P"),
+        "{err}"
+    );
+    // A visibility clause over a population-free scope names the
+    // relations that made it illegal.
+    let err = s
+        .query("SELECT SEMI-OPEN v FROM a JOIN b ON a.k = b.k")
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("apply to population queries only"), "{msg}");
+    assert!(msg.contains("a, b"), "{msg}");
+    // OPEN×OPEN two-population joins are rejected with both names and
+    // the workaround.
+    engine
+        .session()
+        .execute(
+            "CREATE POPULATION Q AS (SELECT * FROM P WHERE k > 0);
+             CREATE SAMPLE PS AS (SELECT * FROM P);
+             CREATE SAMPLE QS AS (SELECT * FROM Q);
+             INSERT INTO PS VALUES (1);
+             INSERT INTO QS VALUES (1);",
+        )
+        .unwrap();
+    let err = s
+        .query("SELECT OPEN COUNT(*) FROM P JOIN Q ON P.k = Q.k")
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("OPEN join of populations P and Q"), "{msg}");
+    assert!(msg.contains("one population side"), "{msg}");
+    // A population in a multi-relation FROM without a JOIN is rejected
+    // with the population's name.
+    let err = s.query("SELECT p.k FROM P p").unwrap_err();
+    assert!(err.to_string().contains("population P can appear"), "{err}");
 }
 
 /// The unknown-relation error lists what the catalog does have.

@@ -332,13 +332,15 @@ fn dict_and_plain_representations_agree() {
 
 // ---- the join oracle ----
 //
-// INNER equi-joins run through the same four-way oracle: the row-wise
-// reference is `mosaic_core::reference_join` (canonical nested loop)
+// INNER and LEFT OUTER equi-joins run through the same four-way
+// oracle: the row-wise reference is `mosaic_core::reference_join_kinded`
+// (canonical nested loop, NULL-extending unmatched left rows for LEFT
+// OUTER, combining per-side weights for weighted×weighted joins)
 // followed by `run_select_rowwise` over the joined table, and the
 // engine's hash-join path must reproduce it bit-for-bit at optimizer
 // {off, on} × threads {1, 2, 8}.
 
-use mosaic_core::{reference_join, MosaicEngine};
+use mosaic_core::{reference_join, reference_join_kinded, JoinKind, MosaicEngine};
 use std::sync::Arc;
 
 /// Fact table: string key `k` (with NULLs and values the dimension
@@ -463,7 +465,84 @@ const JOIN_TEMPLATES: &[(&str, &str, (&str, &str))] = &[
         "SELECT dist, grp FROM j WHERE grp = 'nope'",
         ("k", "code"),
     ),
+    // Empty probe side: the pushed fact filter matches nothing.
+    (
+        "SELECT COUNT(*) AS n FROM fact f JOIN dim c ON f.k = c.code WHERE f.dist > 99999",
+        "SELECT COUNT(*) AS n FROM j WHERE dist > 99999",
+        ("k", "code"),
+    ),
+    // LEFT OUTER wildcard: unmatched fact rows (v3/v4 codes and NULL
+    // keys) survive with the dimension side NULL-extended.
+    (
+        "SELECT * FROM fact f LEFT JOIN dim c ON f.k = c.code",
+        "SELECT * FROM j",
+        ("k", "code"),
+    ),
+    // LEFT OUTER aggregate: the NULL-extended rows form a NULL group,
+    // and COUNT(col) skips NULL-extended payloads while COUNT(*) keeps
+    // the rows.
+    (
+        "SELECT c.grp AS grp, COUNT(*) AS n, COUNT(c.boost) AS nb \
+         FROM fact f LEFT JOIN dim c ON f.k = c.code GROUP BY c.grp ORDER BY grp",
+        "SELECT grp, COUNT(*) AS n, COUNT(boost) AS nb FROM j GROUP BY grp ORDER BY grp",
+        ("k", "code"),
+    ),
+    // LEFT OUTER anti-join idiom: the right-side IS NULL predicate must
+    // stay ABOVE the join (pushing it below would change results).
+    (
+        "SELECT f.dist AS dist FROM fact f LEFT JOIN dim c ON f.k = c.code \
+         WHERE c.boost IS NULL ORDER BY dist LIMIT 9",
+        "SELECT dist FROM j WHERE boost IS NULL ORDER BY dist LIMIT 9",
+        ("k", "code"),
+    ),
+    // LEFT OUTER with a pushable left-side conjunct.
+    (
+        "SELECT f.dist AS dist, c.grp AS grp FROM fact f LEFT JOIN dim c ON f.k = c.code \
+         WHERE f.dist > {thr} ORDER BY dist, grp LIMIT 11",
+        "SELECT dist, grp FROM j WHERE dist > {thr} ORDER BY dist, grp LIMIT 11",
+        ("k", "code"),
+    ),
+    // LEFT OUTER with a right-side equality conjunct: NULL-extended
+    // rows fail it, so it filters — but only above the join.
+    (
+        "SELECT f.dist AS dist, c.grp AS grp FROM fact f LEFT JOIN dim c ON f.k = c.code \
+         WHERE c.grp = 'g1' ORDER BY dist, grp LIMIT 11",
+        "SELECT dist, grp FROM j WHERE grp = 'g1' ORDER BY dist, grp LIMIT 11",
+        ("k", "code"),
+    ),
+    // LEFT OUTER over float keys: NULL fact keys never match but still
+    // appear, NULL-extended, in the NULL boost group.
+    (
+        "SELECT c.boost AS boost, COUNT(*) AS n FROM fact f LEFT JOIN dim c ON f.fkey = c.fcode \
+         GROUP BY c.boost ORDER BY boost",
+        "SELECT boost, COUNT(*) AS n FROM j GROUP BY boost ORDER BY boost",
+        ("fkey", "fcode"),
+    ),
+    // LEFT OUTER over expression keys.
+    (
+        "SELECT c.grp AS grp, COUNT(*) AS n FROM fact f LEFT JOIN dim c ON f.num + 1 = c.ncode \
+         GROUP BY c.grp ORDER BY grp",
+        "SELECT grp, COUNT(*) AS n FROM j GROUP BY grp ORDER BY grp",
+        ("num + 1", "ncode"),
+    ),
+    // LEFT OUTER where nothing on the right survives the residual
+    // filter — the engine must not "optimize" it into an empty build.
+    (
+        "SELECT f.dist AS dist, c.grp AS grp FROM fact f LEFT JOIN dim c ON f.k = c.code \
+         WHERE c.grp = 'nope'",
+        "SELECT dist, grp FROM j WHERE grp = 'nope'",
+        ("k", "code"),
+    ),
 ];
+
+/// The join kind a template exercises, recovered from its SQL.
+fn template_kind(join_sql: &str) -> JoinKind {
+    if join_sql.contains("LEFT JOIN") {
+        JoinKind::LeftOuter
+    } else {
+        JoinKind::Inner
+    }
+}
 
 fn join_keys(spec: (&str, &str)) -> Vec<(mosaic_sql::Expr, mosaic_sql::Expr)> {
     vec![(
@@ -476,9 +555,11 @@ fn join_keys(spec: (&str, &str)) -> Vec<(mosaic_sql::Expr, mosaic_sql::Expr)> {
 /// holding `fact` and `dim` as auxiliary tables.
 fn assert_join_equivalent(engine: &Arc<MosaicEngine>, fact: &Table, dim: &Table, thr: i64) {
     for (join_sql, ref_sql, keys) in JOIN_TEMPLATES {
+        let kind = template_kind(join_sql);
         let join_sql = join_sql.replace("{thr}", &thr.to_string());
         let ref_sql = ref_sql.replace("{thr}", &thr.to_string());
-        let joined = reference_join(fact, "f", dim, "c", &join_keys(*keys)).unwrap();
+        let joined =
+            reference_join_kinded(fact, "f", dim, "c", &join_keys(*keys), kind, &[]).unwrap();
         let reference = run_select_rowwise(&select(&ref_sql), &joined, None).unwrap();
         for threads in THREAD_COUNTS {
             for optimizer in [false, true] {
@@ -526,6 +607,116 @@ fn join_smaller_left_builds_and_order_survives() {
     engine.register_table("fact", fact.clone()).unwrap();
     engine.register_table("dim", dim.clone()).unwrap();
     assert_join_equivalent(&engine, &fact, &dim, 0);
+}
+
+/// Degenerate inputs: an empty fact (probe) side, and an empty
+/// dimension (build) side — every template, both join kinds, must
+/// agree with the reference (LEFT OUTER against an empty dimension
+/// NULL-extends every fact row; INNER returns nothing).
+#[test]
+fn join_empty_sides_match_reference() {
+    let dim = dim_table();
+    let empty_dim = {
+        let schema = std::sync::Arc::clone(dim.schema());
+        TableBuilder::new(schema).finish()
+    };
+    for (fact, dim) in [
+        (fact_table(0), dim.clone()), // empty probe
+        (fact_table(31), empty_dim),  // empty build
+        (fact_table(0), dim_table()), // re-check with fresh dim
+    ] {
+        let engine = Arc::new(MosaicEngine::new());
+        engine.register_table("fact", fact.clone()).unwrap();
+        engine.register_table("dim", dim.clone()).unwrap();
+        assert_join_equivalent(&engine, &fact, &dim, 0);
+    }
+}
+
+/// Weighted×weighted joins through the four-way oracle: both sides are
+/// samples, so the engine exposes per-side weights and the join emits
+/// one combined `weight` column (the product; NULL when the right side
+/// is NULL-extended). The reference builds the same weight-augmented
+/// tables and uses `reference_join_kinded` with both sides weighted.
+#[test]
+fn weighted_join_templates_match_reference() {
+    let engine = Arc::new(MosaicEngine::new());
+    engine
+        .session()
+        .execute(
+            "CREATE GLOBAL POPULATION PopW (k TEXT, x INT);
+             CREATE SAMPLE WA AS (SELECT * FROM PopW);
+             CREATE SAMPLE WB AS (SELECT * FROM PopW);
+             INSERT INTO WA VALUES ('a', 1), ('a', 2), ('b', 3), ('c', 4);
+             INSERT INTO WB VALUES ('a', 10), ('b', 20), ('b', 30), ('d', 40);",
+        )
+        .unwrap();
+    // Mirror the engine's sample scan: data columns plus a `weight`
+    // column (fresh samples carry weight 1.0 per row).
+    let sample_with_weights = |rows: &[(&str, i64)]| {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("x", DataType::Int),
+            Field::new("weight", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (k, x) in rows {
+            b.push_row(vec![
+                Value::Str((*k).into()),
+                Value::Int(*x),
+                Value::Float(1.0),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    };
+    let wa = sample_with_weights(&[("a", 1), ("a", 2), ("b", 3), ("c", 4)]);
+    let wb = sample_with_weights(&[("a", 10), ("b", 20), ("b", 30), ("d", 40)]);
+    let templates: &[(&str, &str)] = &[
+        (
+            "SELECT * FROM WA a JOIN WB b ON a.k = b.k",
+            "SELECT * FROM j",
+        ),
+        (
+            "SELECT * FROM WA a LEFT JOIN WB b ON a.k = b.k",
+            "SELECT * FROM j",
+        ),
+        (
+            "SELECT SUM(weight) AS s, COUNT(*) AS n FROM WA a JOIN WB b ON a.k = b.k",
+            "SELECT SUM(weight) AS s, COUNT(*) AS n FROM j",
+        ),
+        (
+            "SELECT SUM(weight) AS s, COUNT(weight) AS nw, COUNT(*) AS n \
+             FROM WA a LEFT JOIN WB b ON a.k = b.k",
+            "SELECT SUM(weight) AS s, COUNT(weight) AS nw, COUNT(*) AS n FROM j",
+        ),
+    ];
+    for (join_sql, ref_sql) in templates {
+        let kind = template_kind(join_sql);
+        let joined =
+            reference_join_kinded(&wa, "a", &wb, "b", &join_keys(("k", "k")), kind, &[0, 1])
+                .unwrap();
+        let reference = run_select_rowwise(&select(ref_sql), &joined, None).unwrap();
+        for threads in THREAD_COUNTS {
+            for optimizer in [false, true] {
+                let out = engine
+                    .session()
+                    .with_parallelism(threads)
+                    .with_optimizer(optimizer)
+                    .query(join_sql)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{join_sql:?} failed (threads {threads}, optimizer {optimizer}): {e}"
+                        )
+                    });
+                if let Err(msg) = tables_identical(&out, &reference) {
+                    panic!(
+                        "weighted join divergence on {join_sql:?} at {threads} thread(s), \
+                         optimizer={optimizer}: {msg}\nhash join:\n{out}\nreference:\n{reference}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Multi-morsel probe determinism: a fact table spanning several
