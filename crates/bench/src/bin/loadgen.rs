@@ -1,0 +1,311 @@
+//! `loadgen` — drive a Mosaic server with hundreds of concurrent
+//! connections and report throughput + latency percentiles.
+//!
+//! By default it spins up an in-process `mosaic-serve` server over a
+//! seeded table, opens `--connections` TCP clients, and has each of
+//! them loop over the planner-oracle query templates (plus a named
+//! prepared statement with cycling `?` parameters) until the duration
+//! elapses. Every response is checked **bit-identical** against the
+//! expected result precomputed through an in-process session — a wire
+//! round-trip must never change an answer. At the end it prints QPS,
+//! p50/p95/p99/max latency, and the observed engine worker-thread peak
+//! against the admission-control budget, and exits non-zero on any
+//! mismatch, zero completed queries, or a budget violation.
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin loadgen -- \
+//!     --connections 100 --duration-secs 3 --rows 50000 --budget 8
+//! ```
+//!
+//! Flags: `--connections N` (default 100), `--duration-secs S` (default
+//! 3), `--rows R` (table size, default 50000), `--budget B` (worker
+//! budget, default: the engine's configured parallelism), `--addr
+//! HOST:PORT` (drive an external server instead; bit-identity and
+//! budget checks are skipped since the data lives remotely).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mosaic_core::{MosaicEngine, Table, Value};
+use mosaic_serve::{Client, ServeConfig, Server};
+
+/// Planner-oracle query templates the clients loop over (a workload
+/// subset of `tests/tests/planner_oracle.rs`, aggregate-heavy like the
+/// paper's §5.3 workload).
+const TEMPLATES: &[&str] = &[
+    "SELECT COUNT(*) FROM t",
+    "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k",
+    "SELECT SUM(i), AVG(f), MIN(i), MAX(f) FROM t",
+    "SELECT k, i FROM t WHERE i > 100 ORDER BY i DESC, k LIMIT 20",
+    "SELECT k, SUM(i) AS s FROM t WHERE i > 0 GROUP BY k ORDER BY s DESC, k LIMIT 5",
+    "SELECT i FROM t WHERE i BETWEEN -10 AND 50 ORDER BY i LIMIT 25",
+    "SELECT COUNT(*) FROM t WHERE f > 0.0 OR i < 0",
+    "SELECT k, AVG(f) AS a, MIN(i), MAX(i) FROM t GROUP BY k ORDER BY k",
+];
+
+/// The named prepared statement every connection registers, with the
+/// `?` values it cycles through.
+const PREPARED_SQL: &str = "SELECT k, COUNT(*) AS c FROM t WHERE i > ? GROUP BY k ORDER BY k";
+const PREPARED_PARAMS: &[i64] = &[0, 50, 100, 250];
+
+struct Args {
+    connections: usize,
+    duration: Duration,
+    rows: usize,
+    budget: Option<usize>,
+    addr: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let num = |flag: &str, default: usize| -> usize {
+        match get(flag) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} requires a positive integer");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    };
+    Args {
+        connections: num("--connections", 100).max(1),
+        duration: Duration::from_secs(num("--duration-secs", 3).max(1) as u64),
+        rows: num("--rows", 50_000).max(1),
+        budget: get("--budget").map(|v| {
+            v.parse::<usize>().map(|n| n.max(1)).unwrap_or_else(|_| {
+                eprintln!("error: --budget requires a positive integer");
+                std::process::exit(2);
+            })
+        }),
+        addr: get("--addr"),
+    }
+}
+
+/// The seeded workload table: multi-morsel at the default row count,
+/// with NULLs and a skewed group column — the planner-oracle shape.
+fn build_table_sql(rows: usize) -> String {
+    let mut sql = String::from("CREATE TABLE t (k TEXT, i INT, f FLOAT);\n");
+    let mut values = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let k = format!("'g{}'", r % 23);
+        let i = if r % 11 == 0 {
+            "NULL".to_string()
+        } else {
+            ((r % 1000) as i64 - 300).to_string()
+        };
+        let f = if r % 13 == 0 {
+            "NULL".to_string()
+        } else {
+            format!("{:.2}", (r as f64) * 0.25 - 100.0)
+        };
+        values.push(format!("({k}, {i}, {f})"));
+    }
+    // Chunked INSERTs keep each statement's parse cost reasonable.
+    for chunk in values.chunks(4096) {
+        sql.push_str("INSERT INTO t VALUES ");
+        sql.push_str(&chunk.join(", "));
+        sql.push_str(";\n");
+    }
+    sql
+}
+
+fn tables_identical(a: &Table, b: &Table) -> bool {
+    if a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns() {
+        return false;
+    }
+    for c in 0..a.num_columns() {
+        let (fa, fb) = (a.schema().field(c), b.schema().field(c));
+        if fa.name != fb.name || fa.data_type != fb.data_type {
+            return false;
+        }
+    }
+    for r in 0..a.num_rows() {
+        for c in 0..a.num_columns() {
+            // Value equality is total (floats by bit pattern), so this
+            // is literal bit-identity.
+            if a.value(r, c) != b.value(r, c) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn main() {
+    let args = parse_args();
+    let external = args.addr.is_some();
+
+    // In-process mode: build the engine, seed the table, start a server
+    // on an OS-assigned port, and precompute the expected result of
+    // every template through an in-process session.
+    let (addr, expected, handle) = if let Some(addr) = &args.addr {
+        (addr.clone(), None, None)
+    } else {
+        let engine = Arc::new(MosaicEngine::new());
+        engine
+            .session()
+            .execute(&build_table_sql(args.rows))
+            .expect("seeding the workload table failed");
+        let session = engine.session();
+        let mut expected: Vec<Table> = TEMPLATES
+            .iter()
+            .map(|sql| session.query(sql).expect("template must run in-process"))
+            .collect();
+        for &p in PREPARED_PARAMS {
+            let sql = PREPARED_SQL.replacen('?', &p.to_string(), 1);
+            expected.push(session.query(&sql).expect("prepared template must run"));
+        }
+        let mut config = ServeConfig::default().with_max_connections(args.connections + 8);
+        if let Some(b) = args.budget {
+            config = config.with_worker_budget(b);
+        }
+        let server = Server::bind(engine, "127.0.0.1:0", config).expect("bind 127.0.0.1:0 failed");
+        let addr = server.local_addr().to_string();
+        let (handle, _join) = server.spawn();
+        // Measure worker threads from a clean slate: everything before
+        // this point (seeding, expected results) doesn't count.
+        mosaic_core::reset_worker_thread_peak();
+        (addr, Some(Arc::new(expected)), Some(handle))
+    };
+
+    eprintln!(
+        "loadgen: {} connections x {:?} against {addr} ({} templates + 1 prepared x {} params, {} rows)",
+        args.connections,
+        args.duration,
+        TEMPLATES.len(),
+        PREPARED_PARAMS.len(),
+        args.rows,
+    );
+
+    let failed = Arc::new(AtomicBool::new(false));
+    let mismatches = Arc::new(AtomicU64::new(0));
+    let deadline = Instant::now() + args.duration;
+    let total_work = TEMPLATES.len() + PREPARED_PARAMS.len();
+
+    let workers: Vec<_> = (0..args.connections)
+        .map(|ci| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            let failed = Arc::clone(&failed);
+            let mismatches = Arc::clone(&mismatches);
+            std::thread::spawn(move || -> Vec<Duration> {
+                let mut latencies = Vec::new();
+                let mut client = match Client::connect(addr.as_str()) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("connection {ci}: connect failed: {e}");
+                        failed.store(true, Ordering::Relaxed);
+                        return latencies;
+                    }
+                };
+                if let Err(e) = client.prepare("hot", PREPARED_SQL) {
+                    eprintln!("connection {ci}: prepare failed: {e}");
+                    failed.store(true, Ordering::Relaxed);
+                    return latencies;
+                }
+                // Stagger the starting template so connections don't
+                // hammer the same query in lockstep.
+                let mut iter = ci;
+                while Instant::now() < deadline {
+                    let w = iter % total_work;
+                    iter += 1;
+                    let started = Instant::now();
+                    let result = if w < TEMPLATES.len() {
+                        client.query(TEMPLATES[w])
+                    } else {
+                        let p = PREPARED_PARAMS[w - TEMPLATES.len()];
+                        client.execute_prepared("hot", &[Value::Int(p)])
+                    };
+                    let elapsed = started.elapsed();
+                    match result {
+                        Ok(r) => {
+                            latencies.push(elapsed);
+                            if let Some(exp) = &expected {
+                                if !tables_identical(&r.table, &exp[w]) {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                    failed.store(true, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("connection {ci}: query failed: {e}");
+                            failed.store(true, Ordering::Relaxed);
+                            return latencies;
+                        }
+                    }
+                }
+                let _ = client.close();
+                latencies
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("worker thread panicked"));
+    }
+    let wall = started.elapsed().max(args.duration);
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let qps = total as f64 / wall.as_secs_f64();
+    let pct = |p: f64| -> Duration {
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        latencies[(((total - 1) as f64) * p).round() as usize]
+    };
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+
+    println!("connections:      {}", args.connections);
+    println!("queries:          {total}");
+    println!("throughput:       {qps:.1} QPS");
+    println!(
+        "latency:          p50 {:.2} ms   p95 {:.2} ms   p99 {:.2} ms   max {:.2} ms",
+        ms(pct(0.50)),
+        ms(pct(0.95)),
+        ms(pct(0.99)),
+        ms(pct(1.0)),
+    );
+    let mut budget_violated = false;
+    if let Some(handle) = &handle {
+        let peak = mosaic_core::worker_thread_peak();
+        let budget = handle.worker_budget();
+        budget_violated = peak > budget;
+        println!(
+            "worker threads:   peak {peak} (budget {budget}, permit peak {})",
+            handle.permit_peak()
+        );
+        println!(
+            "connections seen: {} accepted, {} rejected, {} permits leaked",
+            handle.total_connections(),
+            handle.rejected_connections(),
+            handle.permits_in_use(),
+        );
+        budget_violated |= handle.permits_in_use() != 0;
+    }
+
+    let bad = mismatches.load(Ordering::Relaxed);
+    if bad > 0 {
+        eprintln!("FAIL: {bad} responses differed from in-process execution");
+    }
+    if budget_violated {
+        eprintln!("FAIL: worker-thread budget violated (or permits leaked)");
+    }
+    if total == 0 {
+        eprintln!("FAIL: no queries completed");
+    }
+    if failed.load(Ordering::Relaxed) || budget_violated || total == 0 {
+        std::process::exit(1);
+    }
+    if !external {
+        println!("bit-identity:     all {total} responses identical to in-process execution");
+    }
+}

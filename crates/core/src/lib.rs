@@ -143,7 +143,10 @@ pub use models::{BnModel, GenerativeModel, SwgModel};
 pub use plan::join::{reference_join, reference_join_kinded, HashJoinOp, JoinSide};
 pub use plan::logical::{JoinOutCol, LogicalPlan, ScanColumn};
 pub use plan::optimize::{default_optimizer, optimize};
-pub use plan::parallel::{default_parallelism, MORSEL_ROWS};
+pub use plan::parallel::{
+    active_worker_threads, default_parallelism, reset_worker_thread_peak, worker_thread_peak,
+    MORSEL_ROWS,
+};
 pub use plan::vector::{eval_expr, eval_predicate};
 pub use plan::{
     lower, lower_logical, plan_logical, plan_select, PhysicalOperator, PhysicalPlan, Planned,

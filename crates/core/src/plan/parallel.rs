@@ -92,6 +92,52 @@ pub fn default_agg_partitions() -> usize {
     })
 }
 
+/// Live engine worker threads (scoped threads spawned by
+/// [`run_ordered`]), process-wide.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`ACTIVE_WORKERS`] since the last reset.
+static PEAK_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII gauge: counts a worker thread as active for its lifetime and
+/// maintains the process-wide peak.
+struct WorkerGauge;
+
+impl WorkerGauge {
+    fn enter() -> WorkerGauge {
+        let now = ACTIVE_WORKERS.fetch_add(1, Ordering::SeqCst) + 1;
+        PEAK_WORKERS.fetch_max(now, Ordering::SeqCst);
+        WorkerGauge
+    }
+}
+
+impl Drop for WorkerGauge {
+    fn drop(&mut self) {
+        ACTIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Engine worker threads currently alive, process-wide. The calling
+/// thread is never counted — only the scoped workers the morsel driver
+/// and the OPEN replicate loop spawn (a single-threaded execution
+/// spawns none and reads 0).
+pub fn active_worker_threads() -> usize {
+    ACTIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// The highest number of engine worker threads simultaneously alive
+/// since the last [`reset_worker_thread_peak`] — the observable that
+/// lets a server (or a test) *prove* a shared thread budget held across
+/// concurrent sessions.
+pub fn worker_thread_peak() -> usize {
+    PEAK_WORKERS.load(Ordering::SeqCst)
+}
+
+/// Reset the [`worker_thread_peak`] high-water mark to the current
+/// active count.
+pub fn reset_worker_thread_peak() {
+    PEAK_WORKERS.store(ACTIVE_WORKERS.load(Ordering::SeqCst), Ordering::SeqCst);
+}
+
 /// Run `n_tasks` independent tasks on at most `workers` scoped threads
 /// and return their results **in task order**. Idle workers claim the
 /// next unstarted task off a shared counter (morsel-driven scheduling);
@@ -111,12 +157,15 @@ pub(crate) fn run_ordered<T: Send>(
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n_tasks {
-                    break;
+            s.spawn(|| {
+                let _gauge = WorkerGauge::enter();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_tasks {
+                        break;
+                    }
+                    *slots[i].lock() = Some(run(i));
                 }
-                *slots[i].lock() = Some(run(i));
             });
         }
     });

@@ -1,0 +1,190 @@
+//! Admission control: a permit pool that bounds the engine's total
+//! worker threads across *all* connections.
+//!
+//! PR 2 established the one-thread-budget discipline inside a process:
+//! the morsel driver and the OPEN replicate loop share one pool's worth
+//! of threads instead of multiplying. The server extends that across
+//! the network boundary. Every query acquires worker permits from a
+//! [`PermitPool`] sized to the budget before it executes, and runs with
+//! its parallelism capped to the permits it got — so the sum of live
+//! worker threads never exceeds the budget, no matter how many clients
+//! connect.
+//!
+//! Under contention the pool hands out *fewer* permits per query (down
+//! to one) rather than serializing queries: the fair share is
+//! `budget / active-queries`, so many small queries run concurrently
+//! single-threaded instead of queueing behind one wide query. Because
+//! the engine's results are bit-identical at every thread count (the
+//! core determinism invariant), admission control can never change an
+//! answer — only latency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared pool of worker-thread permits (see the module docs).
+pub struct PermitPool {
+    budget: usize,
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    peak: AtomicUsize,
+}
+
+struct PoolState {
+    available: usize,
+    /// Queries currently holding or waiting for permits; the fair-share
+    /// divisor.
+    contenders: usize,
+}
+
+/// Worker permits held by one executing query; released on drop (also
+/// on panic/error paths, so permits cannot leak).
+pub struct Permit {
+    pool: Arc<PermitPool>,
+    n: usize,
+}
+
+impl Permit {
+    /// How many worker threads this query may use (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.n
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.pool.state.lock().expect("permit pool poisoned");
+        st.available += self.n;
+        st.contenders -= 1;
+        drop(st);
+        self.pool.cv.notify_all();
+    }
+}
+
+impl PermitPool {
+    /// A pool of `budget` worker permits (minimum 1).
+    pub fn new(budget: usize) -> Arc<PermitPool> {
+        let budget = budget.max(1);
+        Arc::new(PermitPool {
+            budget,
+            state: Mutex::new(PoolState {
+                available: budget,
+                contenders: 0,
+            }),
+            cv: Condvar::new(),
+            peak: AtomicUsize::new(0),
+        })
+    }
+
+    /// The total worker-thread budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Block until at least one permit is free, then take up to
+    /// `wanted`, further capped to the fair share
+    /// `budget / active-queries` so concurrent queries each make
+    /// progress. Always returns at least one permit.
+    pub fn acquire(self: &Arc<Self>, wanted: usize) -> Permit {
+        let wanted = wanted.max(1);
+        let mut st = self.state.lock().expect("permit pool poisoned");
+        st.contenders += 1;
+        while st.available == 0 {
+            st = self.cv.wait(st).expect("permit pool poisoned");
+        }
+        let fair = (self.budget / st.contenders.clamp(1, self.budget)).max(1);
+        let n = wanted.min(fair).min(st.available);
+        st.available -= n;
+        let in_use = self.budget - st.available;
+        drop(st);
+        self.peak.fetch_max(in_use, Ordering::Relaxed);
+        Permit {
+            pool: Arc::clone(self),
+            n,
+        }
+    }
+
+    /// Permits currently held by executing queries.
+    pub fn in_use(&self) -> usize {
+        self.budget - self.state.lock().expect("permit pool poisoned").available
+    }
+
+    /// The highest number of permits ever simultaneously held.
+    pub fn peak_in_use(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn single_query_gets_full_budget() {
+        let pool = PermitPool::new(8);
+        let p = pool.acquire(8);
+        assert_eq!(p.threads(), 8);
+        assert_eq!(pool.in_use(), 8);
+        drop(p);
+        assert_eq!(pool.in_use(), 0);
+        // Wanting fewer takes fewer.
+        assert_eq!(pool.acquire(3).threads(), 3);
+    }
+
+    #[test]
+    fn total_permits_never_exceed_budget() {
+        let pool = PermitPool::new(4);
+        let threads: Vec<_> = (0..32)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let p = pool.acquire(8);
+                        assert!(p.threads() >= 1);
+                        assert!(pool.in_use() <= 4);
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(pool.in_use(), 0);
+        assert!(pool.peak_in_use() <= 4);
+    }
+
+    #[test]
+    fn contention_shrinks_the_fair_share() {
+        let pool = PermitPool::new(4);
+        // One holder with the whole budget; a contender arriving while it
+        // runs gets a reduced share once permits free up.
+        let first = pool.acquire(4);
+        assert_eq!(first.threads(), 4);
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.acquire(4).threads())
+        };
+        // Give the waiter time to register as a contender, then release.
+        std::thread::sleep(Duration::from_millis(20));
+        drop(first);
+        // Fair share with 1 remaining contender is the full budget again;
+        // the point is it got *some* permits without deadlock.
+        let got = waiter.join().unwrap();
+        assert!((1..=4).contains(&got));
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn permits_release_on_panic() {
+        let pool = PermitPool::new(2);
+        let pool2 = Arc::clone(&pool);
+        let res = std::thread::spawn(move || {
+            let _p = pool2.acquire(2);
+            panic!("query died");
+        })
+        .join();
+        assert!(res.is_err());
+        assert_eq!(pool.in_use(), 0);
+    }
+}

@@ -1,7 +1,7 @@
 //! `mosaic` — an interactive SQL shell for the Mosaic open-world database.
 //!
 //! ```text
-//! $ cargo run --release -p mosaic-core --bin mosaic
+//! $ cargo run --release -p mosaic-serve --bin mosaic
 //! mosaic> CREATE GLOBAL POPULATION People (city TEXT);
 //! ok
 //! mosaic> SELECT SEMI-OPEN city, COUNT(*) FROM People GROUP BY city;
@@ -17,19 +17,24 @@
 //! `.optimizer on|off` (session override of the logical-plan optimizer;
 //! `\explain` then shows the optimized pipeline with the fired rules),
 //! `.load <csv> <table>` (ingest a CSV file as an auxiliary table),
+//! `.serve <addr>` (expose this shell's engine over TCP in the
+//! background — the wire protocol of `mosaic-serve`),
 //! `\prepare <name> <select>` (parse/bind/plan once, keep under `name`),
 //! `\exec <name> [v1, v2, …]` (run a prepared statement with `?` values),
 //! `\explain <select>` (shorthand for the `EXPLAIN` statement).
 //!
 //! Flags: `--batch` (no prompts), `--threads N` (session worker-thread
 //! cap for the morsel-driven executor; overrides `MOSAIC_PARALLELISM`;
-//! never changes results).
+//! never changes results), `--serve <addr>` (skip the shell entirely and
+//! run the TCP server in the foreground; `--threads` then sets the
+//! shared worker budget every connection draws from).
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use mosaic_core::{eval_scalar, MosaicEngine, Prepared, QueryResult, Session, Value};
+use mosaic_serve::{ServeConfig, Server, ServerHandle};
 use mosaic_sql::parse_spanned;
 
 fn main() {
@@ -37,19 +42,54 @@ fn main() {
     let mut session = engine.session();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let interactive = !args.iter().any(|a| a == "--batch");
+    let mut threads: Option<usize> = None;
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) if n >= 1 => session = session.with_parallelism(n),
+            Some(n) if n >= 1 => {
+                threads = Some(n);
+                session = session.with_parallelism(n);
+            }
             _ => {
                 eprintln!("error: --threads requires a positive integer");
                 std::process::exit(2);
             }
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--serve") {
+        // Server mode: no shell, just the TCP frontend on this engine.
+        // The `--threads` cap becomes the shared worker budget that
+        // admission control divides across all connections.
+        let addr = match args.get(i + 1) {
+            Some(a) if !a.starts_with("--") => a.clone(),
+            _ => {
+                eprintln!("error: --serve requires an address (e.g. --serve 127.0.0.1:7878)");
+                std::process::exit(2);
+            }
+        };
+        let mut config = ServeConfig::default();
+        if let Some(n) = threads {
+            config = config.with_worker_budget(n);
+        }
+        let server = match Server::bind(Arc::clone(&engine), addr.as_str(), config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot bind {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "mosaic-serve listening on {} (worker budget {})",
+            server.local_addr(),
+            server.handle().worker_budget()
+        );
+        server.serve();
+        return;
+    }
     let mut shell = Shell {
         session,
         prepared: HashMap::new(),
         show_notes: true,
+        servers: Vec::new(),
     };
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -96,6 +136,9 @@ struct Shell {
     session: Session,
     prepared: HashMap<String, Prepared>,
     show_notes: bool,
+    /// Background servers started with `.serve` (kept so their metrics
+    /// stay reachable; connections drain when the process exits).
+    servers: Vec<ServerHandle>,
 }
 
 impl Shell {
@@ -171,6 +214,8 @@ impl Shell {
                      .tables                    list registered relations with their kinds\n\
                      .schema <name>             show a relation's columns with types\n\
                      .load <csv> <table>        ingest a CSV file as an auxiliary table\n\
+                     .serve <addr>              expose this engine over TCP in the background\n\
+                                                (or run `mosaic --serve <addr>` as a server)\n\
                      \\prepare <name> <select>   parse+bind+plan once, keep under <name>\n\
                      \\exec <name> [v1, v2, …]   run a prepared statement with ? values\n\
                      \\explain <select>          shorthand for EXPLAIN <select>\n\
@@ -221,6 +266,31 @@ impl Shell {
                 match (parts.next(), parts.next()) {
                     (Some(path), Some(table)) => self.load_csv(path, table),
                     _ => eprintln!("usage: .load <csv-path> <table-name>"),
+                }
+            }
+            "serve" => {
+                // Share *this* shell's engine over TCP: remote sessions
+                // and the shell see one catalog. The session's thread
+                // cap (if set) becomes the shared worker budget.
+                if rest.is_empty() {
+                    eprintln!("usage: .serve <addr>  (e.g. .serve 127.0.0.1:7878)");
+                    return true;
+                }
+                let mut config = ServeConfig::default();
+                if let Some(n) = self.session.overrides().parallelism {
+                    config = config.with_worker_budget(n);
+                }
+                match Server::bind(Arc::clone(self.session.engine()), rest, config) {
+                    Ok(server) => {
+                        let (handle, _join) = server.spawn();
+                        println!(
+                            "serving on {} (worker budget {})",
+                            handle.addr(),
+                            handle.worker_budget()
+                        );
+                        self.servers.push(handle);
+                    }
+                    Err(e) => eprintln!("error: cannot bind {rest}: {e}"),
                 }
             }
             "prepare" => {

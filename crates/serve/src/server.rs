@@ -1,0 +1,539 @@
+//! The TCP server: a bounded acceptor, one thread + one [`Session`] per
+//! connection, and permit-gated query execution.
+//!
+//! No async runtime is vendored, so the server is deliberately
+//! thread-per-connection over `std::net`: connection threads spend
+//! their life blocked on `read` (cheap), and the expensive resource —
+//! engine worker threads — is bounded by the [`PermitPool`] regardless
+//! of the connection count. The acceptor itself is bounded too: beyond
+//! [`ServeConfig::max_connections`] a new client gets one
+//! `SERVER_BUSY` error frame and a close instead of an unbounded
+//! thread.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mosaic_core::{MosaicEngine, Prepared, QueryResult, Session, Visibility};
+use mosaic_sql::parse_spanned;
+use mosaic_storage::Value;
+
+use crate::admission::PermitPool;
+use crate::protocol::{
+    codes, error_code, read_frame, write_frame, FrameError, Request, Response, WireError,
+    WireField, PROTOCOL_VERSION,
+};
+
+/// Server configuration.
+///
+/// `#[non_exhaustive]`: construct via [`ServeConfig::default`] and the
+/// `with_*` builders.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServeConfig {
+    /// Connection cap for the bounded acceptor: clients beyond it get a
+    /// `SERVER_BUSY` error frame and an immediate close.
+    pub max_connections: usize,
+    /// Total engine worker-thread budget shared by every connection
+    /// (the [`PermitPool`] size). `None` inherits the engine's
+    /// configured parallelism.
+    pub worker_budget: Option<usize>,
+    /// Rows per streamed `RowBatch` frame.
+    pub rows_per_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_connections: 1024,
+            worker_budget: None,
+            rows_per_batch: crate::protocol::ROWS_PER_BATCH,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Set the connection cap (minimum 1).
+    pub fn with_max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n.max(1);
+        self
+    }
+
+    /// Set the shared worker-thread budget (minimum 1).
+    pub fn with_worker_budget(mut self, n: usize) -> Self {
+        self.worker_budget = Some(n.max(1));
+        self
+    }
+
+    /// Set the rows streamed per `RowBatch` frame (minimum 1).
+    pub fn with_rows_per_batch(mut self, n: usize) -> Self {
+        self.rows_per_batch = n.max(1);
+        self
+    }
+}
+
+/// Shared server state: the permit pool plus connection metrics.
+struct Shared {
+    pool: Arc<PermitPool>,
+    max_connections: usize,
+    active_connections: AtomicUsize,
+    total_connections: AtomicU64,
+    rejected_connections: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A bound (but not yet serving) Mosaic server.
+///
+/// [`Server::bind`] reserves the address; [`Server::serve`] blocks on
+/// the accept loop, and [`Server::spawn`] runs it on a background
+/// thread, returning a [`ServerHandle`] for metrics and shutdown.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<MosaicEngine>,
+    config: ServeConfig,
+    shared: Arc<Shared>,
+}
+
+/// A handle onto a running server: address, metrics, shutdown.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Worker permits currently held by executing queries (0 when the
+    /// server is idle — a nonzero value after every client disconnected
+    /// would mean a permit leak).
+    pub fn permits_in_use(&self) -> usize {
+        self.shared.pool.in_use()
+    }
+
+    /// The highest number of worker permits ever simultaneously held.
+    pub fn permit_peak(&self) -> usize {
+        self.shared.pool.peak_in_use()
+    }
+
+    /// The shared worker-thread budget.
+    pub fn worker_budget(&self) -> usize {
+        self.shared.pool.budget()
+    }
+
+    /// Currently open connections.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active_connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted since the server started.
+    pub fn total_connections(&self) -> u64 {
+        self.shared.total_connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected by the bounded acceptor.
+    pub fn rejected_connections(&self) -> u64 {
+        self.shared.rejected_connections.load(Ordering::Relaxed)
+    }
+
+    /// Ask the accept loop to exit. Open connections drain on their
+    /// own when their clients disconnect; no new ones are accepted.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind a server for `engine` on `addr` (use port 0 for an
+    /// OS-assigned port; see [`Server::local_addr`]).
+    pub fn bind(
+        engine: Arc<MosaicEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let budget = config
+            .worker_budget
+            .unwrap_or_else(|| engine.options().parallelism)
+            .max(1);
+        let shared = Arc::new(Shared {
+            pool: PermitPool::new(budget),
+            max_connections: config.max_connections.max(1),
+            active_connections: AtomicUsize::new(0),
+            total_connections: AtomicU64::new(0),
+            rejected_connections: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server {
+            listener,
+            engine,
+            config,
+            shared,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the OS-assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// A handle for metrics and shutdown.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.local_addr(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Run the accept loop on the calling thread until
+    /// [`ServerHandle::shutdown`] is called.
+    pub fn serve(self) {
+        let Server {
+            listener,
+            engine,
+            config,
+            shared,
+        } = self;
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Frames are small and latency-sensitive; Nagle would add
+            // a delayed-ACK round trip to every response.
+            stream.set_nodelay(true).ok();
+            // Bounded acceptor: at the cap, answer with one BUSY frame
+            // and close instead of spawning an unbounded thread.
+            let active = shared.active_connections.load(Ordering::Relaxed);
+            if active >= shared.max_connections {
+                shared.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                let mut w = BufWriter::new(&stream);
+                let busy = Response::Error(WireError {
+                    code: codes::SERVER_BUSY,
+                    statement_index: None,
+                    statement_text: String::new(),
+                    message: format!("server is at its {}-connection cap", shared.max_connections),
+                });
+                let (ty, payload) = busy.encode();
+                let _ = write_frame(&mut w, ty, &payload);
+                let _ = w.flush();
+                continue;
+            }
+            shared.active_connections.fetch_add(1, Ordering::Relaxed);
+            shared.total_connections.fetch_add(1, Ordering::Relaxed);
+            let engine = Arc::clone(&engine);
+            let shared2 = Arc::clone(&shared);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let _ = Connection::new(engine, &shared2, config).run(stream);
+                shared2.active_connections.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    }
+
+    /// Run the accept loop on a background thread; returns the handle
+    /// and the loop's join handle.
+    pub fn spawn(self) -> (ServerHandle, std::thread::JoinHandle<()>) {
+        let handle = self.handle();
+        let join = std::thread::spawn(move || self.serve());
+        (handle, join)
+    }
+}
+
+/// Per-connection state: the session (with its per-connection option
+/// overrides) and the named prepared statements.
+struct Connection {
+    session: Session,
+    prepared: HashMap<String, Prepared>,
+    pool: Arc<PermitPool>,
+    rows_per_batch: usize,
+}
+
+impl Connection {
+    fn new(engine: Arc<MosaicEngine>, shared: &Shared, config: ServeConfig) -> Connection {
+        Connection {
+            session: engine.session(),
+            prepared: HashMap::new(),
+            pool: Arc::clone(&shared.pool),
+            rows_per_batch: config.rows_per_batch.max(1),
+        }
+    }
+
+    fn run(mut self, stream: TcpStream) -> io::Result<()> {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        send(
+            &mut writer,
+            &Response::Hello {
+                version: PROTOCOL_VERSION,
+                banner: "mosaic-serve".into(),
+            },
+        )?;
+        loop {
+            let (ty, payload) = match read_frame(&mut reader) {
+                Ok(Some(f)) => f,
+                // Clean EOF: the client went away between frames.
+                Ok(None) => return Ok(()),
+                Err(FrameError::TooLarge(n)) => {
+                    // The stream cannot be resynchronized (the bogus
+                    // length prefix poisons everything after it): one
+                    // clean error frame, then close.
+                    send(
+                        &mut writer,
+                        &protocol_error(
+                            codes::FRAME_TOO_LARGE,
+                            format!(
+                                "frame payload of {n} bytes exceeds the {} cap",
+                                crate::protocol::MAX_FRAME
+                            ),
+                        ),
+                    )?;
+                    return Ok(());
+                }
+                // Truncated frame / transport error: nothing sane to
+                // answer onto.
+                Err(FrameError::Io(_)) => return Ok(()),
+            };
+            let request = match Request::decode(ty, &payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    // The frame was well-delimited, just meaningless:
+                    // answer and keep the connection.
+                    send(&mut writer, &protocol_error(codes::PROTOCOL, e.to_string()))?;
+                    continue;
+                }
+            };
+            match request {
+                Request::Close => return Ok(()),
+                Request::Query { sql } => self.query(&mut writer, &sql)?,
+                Request::Prepare { name, sql } => self.prepare(&mut writer, name, &sql)?,
+                Request::ExecutePrepared { name, params } => {
+                    self.execute_prepared(&mut writer, &name, &params)?
+                }
+                Request::SetOption { key, value } => self.set_option(&mut writer, &key, &value)?,
+            }
+        }
+    }
+
+    /// Worker permits for one query: want the session's thread cap
+    /// (or the engine default), get what admission control grants.
+    fn admit(&self) -> crate::admission::Permit {
+        let wanted = self
+            .session
+            .overrides()
+            .parallelism
+            .unwrap_or_else(|| self.session.engine().options().parallelism);
+        self.pool.acquire(wanted)
+    }
+
+    /// Execute a `;`-separated script statement by statement (the PR 3
+    /// CLI behavior, now protocol-visible): an error frame names the
+    /// failing statement's 0-based index and text.
+    fn query(&mut self, w: &mut impl Write, sql: &str) -> io::Result<()> {
+        let spanned = match parse_spanned(sql) {
+            Ok(s) => s,
+            Err(e) => {
+                return send(
+                    w,
+                    &Response::Error(WireError {
+                        code: codes::PARSE,
+                        statement_index: None,
+                        statement_text: String::new(),
+                        message: e.to_string(),
+                    }),
+                );
+            }
+        };
+        // One admission per script: permits cover all its statements.
+        let permit = self.admit();
+        let session = self.session.clone().with_parallelism(permit.threads());
+        let mut last: Option<QueryResult> = None;
+        for (i, (stmt, span)) in spanned.into_iter().enumerate() {
+            match session.execute_parsed(stmt) {
+                Ok(r) => {
+                    if let Some(r) = r {
+                        last = Some(r);
+                    }
+                }
+                Err(e) => {
+                    return send(
+                        w,
+                        &Response::Error(WireError {
+                            code: error_code(&e),
+                            statement_index: Some(i as u32),
+                            statement_text: sql[span].trim().to_string(),
+                            message: e.to_string(),
+                        }),
+                    );
+                }
+            }
+        }
+        drop(permit);
+        let result = last.unwrap_or_else(|| QueryResult {
+            table: mosaic_storage::Table::empty(mosaic_storage::Schema::new(Vec::new())),
+            visibility: None,
+            notes: Vec::new(),
+        });
+        self.stream_result(w, &result)
+    }
+
+    fn prepare(&mut self, w: &mut impl Write, name: String, sql: &str) -> io::Result<()> {
+        match self.session.prepare(sql) {
+            Ok(p) => {
+                let param_count = p.param_count() as u32;
+                self.prepared.insert(name.clone(), p);
+                send(w, &Response::PrepareOk { name, param_count })
+            }
+            Err(e) => send(w, &engine_error(&e)),
+        }
+    }
+
+    fn execute_prepared(
+        &mut self,
+        w: &mut impl Write,
+        name: &str,
+        params: &[Value],
+    ) -> io::Result<()> {
+        let Some(p) = self.prepared.get(name) else {
+            return send(
+                w,
+                &protocol_error(
+                    codes::UNKNOWN_PREPARED,
+                    format!("no prepared statement named {name} on this connection"),
+                ),
+            );
+        };
+        let permit = self.admit();
+        let session = self.session.clone().with_parallelism(permit.threads());
+        let result = session.execute_prepared(p, params);
+        drop(permit);
+        match result {
+            Ok(r) => self.stream_result(w, &r),
+            Err(e) => send(w, &engine_error(&e)),
+        }
+    }
+
+    fn set_option(&mut self, w: &mut impl Write, key: &str, value: &str) -> io::Result<()> {
+        let lower_key = key.to_ascii_lowercase();
+        let lower_val = value.to_ascii_lowercase();
+        let session = self.session.clone();
+        let updated = match lower_key.as_str() {
+            "visibility" => match lower_val.as_str() {
+                "closed" => Some(session.with_default_visibility(Visibility::Closed)),
+                "semi-open" | "semiopen" => {
+                    Some(session.with_default_visibility(Visibility::SemiOpen))
+                }
+                "open" => Some(session.with_default_visibility(Visibility::Open)),
+                _ => None,
+            },
+            "seed" => value
+                .trim()
+                .parse::<u64>()
+                .ok()
+                .map(|s| session.with_seed(s)),
+            "threads" | "parallelism" => value
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(|n| session.with_parallelism(n)),
+            "partitions" => value
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(|n| session.with_agg_partitions(n)),
+            "optimizer" => match lower_val.as_str() {
+                "on" | "true" | "1" => Some(session.with_optimizer(true)),
+                "off" | "false" | "0" => Some(session.with_optimizer(false)),
+                _ => None,
+            },
+            _ => None,
+        };
+        match updated {
+            Some(s) => {
+                self.session = s;
+                send(
+                    w,
+                    &Response::OptionOk {
+                        key: lower_key.clone(),
+                    },
+                )
+            }
+            None => send(
+                w,
+                &protocol_error(
+                    codes::UNKNOWN_OPTION,
+                    format!(
+                        "unknown option {key}={value} (known: visibility=closed|semi-open|open, \
+                         seed=<u64>, threads=<n>, partitions=<n>, optimizer=on|off)"
+                    ),
+                ),
+            ),
+        }
+    }
+
+    /// Stream one result: `Schema`, then `RowBatch` frames, then `Done`.
+    fn stream_result(&self, w: &mut impl Write, result: &QueryResult) -> io::Result<()> {
+        let t = &result.table;
+        let fields = t
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| WireField {
+                name: f.name.clone(),
+                data_type: f.data_type,
+                nullable: f.nullable,
+            })
+            .collect();
+        send(w, &Response::Schema { fields })?;
+        let mut start = 0;
+        while start < t.num_rows() {
+            let end = (start + self.rows_per_batch).min(t.num_rows());
+            let rows: Vec<Vec<Value>> = (start..end).map(|r| t.row(r)).collect();
+            send(w, &Response::RowBatch { rows })?;
+            start = end;
+        }
+        send(
+            w,
+            &Response::Done {
+                visibility: result.visibility,
+                notes: result.notes.clone(),
+            },
+        )
+    }
+}
+
+fn engine_error(e: &mosaic_core::MosaicError) -> Response {
+    Response::Error(WireError {
+        code: error_code(e),
+        statement_index: None,
+        statement_text: String::new(),
+        message: e.to_string(),
+    })
+}
+
+fn protocol_error(code: u16, message: String) -> Response {
+    Response::Error(WireError {
+        code,
+        statement_index: None,
+        statement_text: String::new(),
+        message,
+    })
+}
+
+fn send(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    let (ty, payload) = resp.encode();
+    write_frame(w, ty, &payload)?;
+    w.flush()
+}

@@ -1,0 +1,142 @@
+//! Admission control keeps the engine inside its worker-thread budget
+//! no matter how many clients connect or how many threads each asks
+//! for. This suite lives in its **own test binary** on purpose: the
+//! worker-thread gauge (`mosaic_core::worker_thread_peak`) is
+//! process-wide, and cargo runs test binaries sequentially while tests
+//! *within* a binary run in parallel — a sibling test's query would
+//! pollute the peak.
+
+use std::sync::Arc;
+use std::thread;
+
+use mosaic_core::{DataType, Field, MosaicEngine, Schema, Table, TableBuilder, Value, MORSEL_ROWS};
+use mosaic_serve::{Client, ServeConfig, Server};
+
+/// A multi-morsel table (8+ morsels) so parallel scans genuinely want
+/// every worker they can get.
+fn build_table(rows: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Str),
+        Field::new("i", DataType::Int),
+        Field::new("f", DataType::Float),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    for r in 0..rows {
+        b.push_row(vec![
+            Value::Str(format!("g{}", r % 31)),
+            if r % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Int((r % 997) as i64 - 300)
+            },
+            Value::Float((r as f64) * 0.125 - 1000.0),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+/// 8× thread oversubscription: budget 3, 24 clients each demanding
+/// `threads=8`. The engine's spawned-worker peak must never exceed the
+/// budget; the permit pool must actually reach it (the budget is used,
+/// not just respected); every answer must equal the single-threaded
+/// result (admission changes latency, never results); and no permit
+/// may leak.
+#[test]
+fn worker_threads_stay_within_budget_under_oversubscription() {
+    const BUDGET: usize = 3;
+    const CLIENTS: usize = 24;
+    const ROUNDS: usize = 6;
+
+    let engine = Arc::new(MosaicEngine::new());
+    engine
+        .register_table("t", build_table(MORSEL_ROWS * 8 + 123))
+        .unwrap();
+
+    let queries = [
+        "SELECT k, COUNT(*) AS c, SUM(i) AS s FROM t GROUP BY k ORDER BY k",
+        "SELECT COUNT(*) FROM t WHERE i > 100",
+        "SELECT k, AVG(f) AS a, MIN(i), MAX(i) FROM t GROUP BY k ORDER BY a DESC, k LIMIT 7",
+    ];
+    // Expected results through a plain in-process session (parallelism
+    // never changes results, so one reference point suffices).
+    let session = engine.session();
+    let expected: Vec<Table> = queries.iter().map(|q| session.query(q).unwrap()).collect();
+
+    let server = Server::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig::default()
+            .with_max_connections(CLIENTS + 4)
+            .with_worker_budget(BUDGET),
+    )
+    .unwrap();
+    let (handle, _join) = server.spawn();
+    let addr = handle.addr().to_string();
+    assert_eq!(handle.worker_budget(), BUDGET);
+
+    // Phase 1 — a lone client asking for 8 threads gets clamped to the
+    // full budget: with no contenders its fair share is all 3 permits,
+    // so the gauge must observe >1 spawned worker but never more than
+    // BUDGET. (Skipped on single-core runners where the morsel driver
+    // executes inline and spawns no workers.)
+    mosaic_core::reset_worker_thread_peak();
+    {
+        let mut client = Client::connect(addr.as_str()).unwrap();
+        client.set_option("threads", "8").unwrap();
+        let got = client.query(queries[0]).unwrap();
+        assert_eq!(got.table.num_rows(), expected[0].num_rows());
+        client.close().unwrap();
+    }
+    let solo_peak = mosaic_core::worker_thread_peak();
+    assert!(
+        solo_peak <= BUDGET,
+        "lone 8-thread client spawned {solo_peak} workers, budget is {BUDGET}"
+    );
+
+    // Phase 2 — 24 clients × 8 requested threads, all at once.
+    mosaic_core::reset_worker_thread_peak();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|ci| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr.as_str()).unwrap();
+                client.set_option("threads", "8").unwrap();
+                for round in 0..ROUNDS {
+                    let qi = (ci + round) % expected.len();
+                    let got = client.query(queries[qi]).unwrap();
+                    let want = &expected[qi];
+                    assert_eq!(got.table.num_rows(), want.num_rows(), "client {ci} q{qi}");
+                    for r in 0..want.num_rows() {
+                        for c in 0..want.num_columns() {
+                            assert_eq!(
+                                got.table.value(r, c),
+                                want.value(r, c),
+                                "client {ci} q{qi} cell ({r},{c})"
+                            );
+                        }
+                    }
+                }
+                client.close().unwrap();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let peak = mosaic_core::worker_thread_peak();
+    assert!(
+        peak <= BUDGET,
+        "engine spawned {peak} concurrent workers under oversubscription, budget is {BUDGET}"
+    );
+    // The budget was genuinely exercised: the permit pool saturated.
+    assert_eq!(
+        handle.permit_peak(),
+        BUDGET,
+        "permit pool never reached its budget — admission was not exercised"
+    );
+    assert_eq!(handle.permits_in_use(), 0, "permits leaked");
+    handle.shutdown();
+}

@@ -1,0 +1,360 @@
+//! End-to-end integration for `mosaic-serve`: a wire round-trip must be
+//! an invisible transport. Concurrent TCP clients get results
+//! **bit-identical** to in-process sessions over the planner-oracle
+//! query shapes; server-side named prepared statements re-execute with
+//! fresh params exactly like `Session::query_prepared`; per-connection
+//! `SetOption` mirrors the session-override API (visibility, seed,
+//! optimizer); and errors come back as stable typed codes — a prepared
+//! statement whose table was dropped yields the same `Bind` error the
+//! engine raises in-process, and the connection stays usable after it.
+
+use std::sync::Arc;
+use std::thread;
+
+use mosaic_core::{MosaicEngine, Table, Visibility};
+use mosaic_serve::protocol::codes;
+use mosaic_serve::{Client, ServeConfig, Server, ServerHandle};
+use mosaic_storage::Value;
+
+/// Aggregate-heavy template subset of the planner-oracle workload, all
+/// deterministic at any thread count.
+const TEMPLATES: &[&str] = &[
+    "SELECT COUNT(*) FROM t",
+    "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k",
+    "SELECT SUM(i), AVG(f), MIN(i), MAX(f) FROM t",
+    "SELECT k, i FROM t WHERE i > 40 ORDER BY i DESC, k LIMIT 20",
+    "SELECT k, SUM(i) AS s FROM t WHERE i > 0 GROUP BY k ORDER BY s DESC, k LIMIT 5",
+    "SELECT i, f FROM t WHERE i BETWEEN -10 AND 50 ORDER BY i, f LIMIT 25",
+    "SELECT COUNT(*) FROM t WHERE f > 0.0 OR i < 0",
+    "SELECT k, AVG(f) AS a, MIN(i), MAX(i) FROM t GROUP BY k ORDER BY k",
+];
+
+/// Seed a `t (k TEXT, i INT, f FLOAT)` table with NULLs in every column
+/// and enough rows to span several morsels at small batch sizes.
+fn seed_engine(rows: usize) -> Arc<MosaicEngine> {
+    let engine = Arc::new(MosaicEngine::new());
+    let mut sql = String::from("CREATE TABLE t (k TEXT, i INT, f FLOAT);\n");
+    let mut values = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let k = format!("'g{}'", r % 17);
+        let i = if r % 7 == 0 {
+            "NULL".into()
+        } else {
+            ((r % 200) as i64 - 60).to_string()
+        };
+        let f = if r % 9 == 0 {
+            "NULL".into()
+        } else {
+            format!("{:.3}", (r as f64) * 0.5 - 55.0)
+        };
+        values.push(format!("({k}, {i}, {f})"));
+    }
+    for chunk in values.chunks(2048) {
+        sql.push_str("INSERT INTO t VALUES ");
+        sql.push_str(&chunk.join(", "));
+        sql.push_str(";\n");
+    }
+    engine.session().execute(&sql).unwrap();
+    engine
+}
+
+fn start(engine: Arc<MosaicEngine>, config: ServeConfig) -> ServerHandle {
+    let server = Server::bind(engine, "127.0.0.1:0", config).unwrap();
+    let (handle, _join) = server.spawn();
+    handle
+}
+
+fn assert_identical(a: &Table, b: &Table, ctx: &str) {
+    assert_eq!(a.num_rows(), b.num_rows(), "{ctx}: row count");
+    assert_eq!(a.num_columns(), b.num_columns(), "{ctx}: column count");
+    for c in 0..a.num_columns() {
+        let (fa, fb) = (a.schema().field(c), b.schema().field(c));
+        assert_eq!(fa.name, fb.name, "{ctx}: field {c} name");
+        assert_eq!(fa.data_type, fb.data_type, "{ctx}: field {c} type");
+    }
+    for r in 0..a.num_rows() {
+        for c in 0..a.num_columns() {
+            // `Value` equality is total and compares floats by bit
+            // pattern, so this is literal bit-identity.
+            assert_eq!(a.value(r, c), b.value(r, c), "{ctx}: cell ({r},{c})");
+        }
+    }
+}
+
+/// Many concurrent TCP clients, every template, every response
+/// bit-identical to in-process execution on the same engine.
+#[test]
+fn concurrent_clients_bit_identical_to_in_process() {
+    let engine = seed_engine(4_000);
+    let session = engine.session();
+    let expected: Vec<Table> = TEMPLATES
+        .iter()
+        .map(|sql| session.query(sql).unwrap())
+        .collect();
+    let handle = start(Arc::clone(&engine), ServeConfig::default());
+    let addr = handle.addr().to_string();
+
+    let workers: Vec<_> = (0..12)
+        .map(|ci| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr.as_str()).unwrap();
+                for round in 0..3 {
+                    for (ti, sql) in TEMPLATES.iter().enumerate() {
+                        let got = client.query(sql).unwrap();
+                        assert_identical(
+                            &got.table,
+                            &expected[ti],
+                            &format!("client {ci} round {round} template {ti}"),
+                        );
+                    }
+                }
+                client.close().unwrap();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert_eq!(handle.permits_in_use(), 0, "permits must not leak");
+    handle.shutdown();
+}
+
+/// The acceptance bar from the paper-repro roadmap: 100 concurrent
+/// connections, all answers identical to in-process execution.
+#[test]
+fn hundred_concurrent_connections() {
+    let engine = seed_engine(2_000);
+    let session = engine.session();
+    let expected: Vec<Table> = TEMPLATES
+        .iter()
+        .map(|sql| session.query(sql).unwrap())
+        .collect();
+    let handle = start(
+        Arc::clone(&engine),
+        ServeConfig::default().with_max_connections(128),
+    );
+    let addr = handle.addr().to_string();
+
+    let workers: Vec<_> = (0..100)
+        .map(|ci| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr.as_str()).unwrap();
+                let ti = ci % TEMPLATES.len();
+                let got = client.query(TEMPLATES[ti]).unwrap();
+                assert_identical(&got.table, &expected[ti], &format!("client {ci}"));
+                client.close().unwrap();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(handle.total_connections() >= 100);
+    assert_eq!(handle.rejected_connections(), 0);
+    assert_eq!(handle.permits_in_use(), 0);
+    handle.shutdown();
+}
+
+/// Server-side named prepared statements: prepare once, re-execute with
+/// fresh params, each result identical to direct in-process execution.
+#[test]
+fn named_prepared_reexecutes_with_fresh_params() {
+    let engine = seed_engine(3_000);
+    let session = engine.session();
+    let handle = start(Arc::clone(&engine), ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let sql = "SELECT k, COUNT(*) AS c, SUM(i) AS s FROM t WHERE i > ? GROUP BY k ORDER BY k";
+    let param_count = client.prepare("hot", sql).unwrap();
+    assert_eq!(param_count, 1);
+
+    let prepared = session.prepare(sql).unwrap();
+    for p in [-100i64, -10, 0, 25, 75, 10_000] {
+        let got = client.execute_prepared("hot", &[Value::Int(p)]).unwrap();
+        let want = session.query_prepared(&prepared, &[Value::Int(p)]).unwrap();
+        assert_identical(&got.table, &want, &format!("param {p}"));
+    }
+
+    // Re-preparing under the same name replaces the old statement.
+    client
+        .prepare("hot", "SELECT COUNT(*) FROM t WHERE i > ?")
+        .unwrap();
+    let got = client.execute_prepared("hot", &[Value::Int(0)]).unwrap();
+    let want = session.query("SELECT COUNT(*) FROM t WHERE i > 0").unwrap();
+    assert_identical(&got.table, &want, "replaced prepared");
+    client.close().unwrap();
+    handle.shutdown();
+}
+
+/// Executing a prepared statement after its table is dropped surfaces
+/// the engine's `Bind` error as wire code 6 — and the connection stays
+/// usable afterwards.
+#[test]
+fn prepared_after_drop_is_a_clean_bind_error() {
+    let engine = Arc::new(MosaicEngine::new());
+    engine
+        .session()
+        .execute("CREATE TABLE victim (x INT); INSERT INTO victim VALUES (1), (2);")
+        .unwrap();
+    let handle = start(Arc::clone(&engine), ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    client
+        .prepare("stale", "SELECT COUNT(*) FROM victim WHERE x > ?")
+        .unwrap();
+    client.query("DROP TABLE victim").unwrap();
+
+    let err = client
+        .execute_prepared("stale", &[Value::Int(0)])
+        .unwrap_err();
+    let wire = err.as_server().expect("server-side error expected");
+    assert_eq!(wire.code, codes::BIND, "stale prepared must map to BIND");
+    assert!(wire.message.contains("stale"), "message: {}", wire.message);
+
+    // The connection survives the error.
+    client.query("CREATE TABLE again (y INT)").unwrap();
+    let got = client.query("SELECT COUNT(*) FROM again").unwrap();
+    assert_eq!(got.table.value(0, 0), Value::Int(0));
+    client.close().unwrap();
+    handle.shutdown();
+}
+
+/// A multi-statement batch that fails midway reports the 0-based index
+/// and text of the failing statement; earlier statements' effects
+/// persist.
+#[test]
+fn batch_error_carries_statement_index_and_text() {
+    let engine = Arc::new(MosaicEngine::new());
+    let handle = start(Arc::clone(&engine), ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let err = client
+        .query(
+            "CREATE TABLE batch_t (x INT); \
+             SELECT nope FROM missing; \
+             INSERT INTO batch_t VALUES (1)",
+        )
+        .unwrap_err();
+    let wire = err.as_server().expect("server-side error expected");
+    assert_eq!(wire.statement_index, Some(1));
+    assert!(
+        wire.statement_text.contains("missing"),
+        "text: {}",
+        wire.statement_text
+    );
+
+    // Statement 0 ran before the failure; statement 2 never did.
+    let got = client.query("SELECT COUNT(*) FROM batch_t").unwrap();
+    assert_eq!(got.table.value(0, 0), Value::Int(0));
+    client.close().unwrap();
+    handle.shutdown();
+}
+
+/// Wire error codes are stable per engine error variant.
+#[test]
+fn error_codes_are_stable() {
+    let engine = Arc::new(MosaicEngine::new());
+    engine.session().execute("CREATE TABLE e (x INT)").unwrap();
+    let handle = start(Arc::clone(&engine), ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let code_of = |e: mosaic_serve::ClientError| -> u16 {
+        e.as_server().expect("server error expected").code
+    };
+    assert_eq!(
+        code_of(client.query("SELEC typo").unwrap_err()),
+        codes::PARSE
+    );
+    assert_eq!(
+        code_of(client.query("SELECT * FROM no_such_table").unwrap_err()),
+        codes::CATALOG
+    );
+    assert_eq!(
+        code_of(client.execute_prepared("never_prepared", &[]).unwrap_err()),
+        codes::UNKNOWN_PREPARED
+    );
+    assert_eq!(
+        code_of(client.set_option("flux_capacitor", "on").unwrap_err()),
+        codes::UNKNOWN_OPTION
+    );
+    // The connection is still usable after every error above.
+    let got = client.query("SELECT COUNT(*) FROM e").unwrap();
+    assert_eq!(got.table.value(0, 0), Value::Int(0));
+    client.close().unwrap();
+    handle.shutdown();
+}
+
+/// `SetOption` mirrors the in-process session-override API: a
+/// connection that sets `visibility` / `seed` answers exactly like a
+/// `Session` carrying the same overrides, and `optimizer on|off` is
+/// bit-identical (the optimizer is a pure plan rewrite).
+#[test]
+fn set_option_matches_session_overrides() {
+    let engine = Arc::new(MosaicEngine::new());
+    engine
+        .session()
+        .execute(
+            "CREATE TABLE Eurostat (country TEXT, reported_count INT);
+             INSERT INTO Eurostat VALUES ('UK', 30000), ('FR', 20000);
+             CREATE GLOBAL POPULATION EuropeMigrants (country TEXT);
+             CREATE METADATA EuropeMigrants_M1 AS
+               (SELECT country, reported_count FROM Eurostat);
+             CREATE SAMPLE YahooMigrants AS (SELECT * FROM EuropeMigrants);
+             INSERT INTO YahooMigrants VALUES ('UK'), ('UK'), ('FR');",
+        )
+        .unwrap();
+    let handle = start(Arc::clone(&engine), ServeConfig::default());
+
+    let pop_query =
+        "SELECT country, COUNT(*) FROM EuropeMigrants GROUP BY country ORDER BY country";
+
+    // visibility: the wire session's default drives unannotated queries.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_option("visibility", "semi-open").unwrap();
+    let got = client.query(pop_query).unwrap();
+    let want = engine
+        .session()
+        .with_default_visibility(Visibility::SemiOpen)
+        .query(pop_query)
+        .unwrap();
+    assert_identical(&got.table, &want, "semi-open visibility");
+    assert_eq!(got.visibility, Some(Visibility::SemiOpen));
+
+    client.set_option("visibility", "closed").unwrap();
+    let got = client.query(pop_query).unwrap();
+    let want = engine
+        .session()
+        .with_default_visibility(Visibility::Closed)
+        .query(pop_query)
+        .unwrap();
+    assert_identical(&got.table, &want, "closed visibility");
+
+    // seed: OPEN queries are deterministic given the same seed.
+    client.set_option("visibility", "open").unwrap();
+    client.set_option("seed", "42").unwrap();
+    let got = client.query(pop_query).unwrap();
+    let want = engine
+        .session()
+        .with_default_visibility(Visibility::Open)
+        .with_seed(42)
+        .query(pop_query)
+        .unwrap();
+    assert_identical(&got.table, &want, "open visibility, seed 42");
+
+    // optimizer on/off must be bit-identical.
+    client.set_option("visibility", "closed").unwrap();
+    let agg = "SELECT country, COUNT(*) AS c FROM Eurostat \
+               WHERE reported_count > 0 GROUP BY country ORDER BY c DESC, country LIMIT 1";
+    client.set_option("optimizer", "off").unwrap();
+    let off = client.query(agg).unwrap();
+    client.set_option("optimizer", "on").unwrap();
+    let on = client.query(agg).unwrap();
+    assert_identical(&off.table, &on.table, "optimizer on vs off");
+
+    client.close().unwrap();
+    handle.shutdown();
+}
