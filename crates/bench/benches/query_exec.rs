@@ -287,6 +287,140 @@ fn bench_agg_10m(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR's sort acceptance benchmark: a full ORDER BY (no LIMIT, so
+/// TopK fusion cannot shrink it) over 10M rows — 611 per-morsel sorted
+/// runs built on the worker pool + k-way merge at 8 threads, against
+/// the serial single-run sort at 1 thread. Before timing, results are
+/// asserted bit-identical across thread counts {1, 2, 8} × partition
+/// counts {1, 16}, and the worker gauge must show the parallel run
+/// build actually spawning pool workers (no serial fallback).
+fn bench_sort_10m(c: &mut Criterion) {
+    let rows = 10_000_000usize;
+    let table = high_cardinality_table(rows, 100_000);
+    let sort = stmt("SELECT k, v FROM t ORDER BY v DESC, k");
+
+    let baseline = run_select_partitioned(&sort, &table, None, 1, true, 1).unwrap();
+    assert_eq!(baseline.num_rows(), rows);
+    for threads in [2usize, 8] {
+        for partitions in [1usize, 16] {
+            let out =
+                run_select_partitioned(&sort, &table, None, threads, true, partitions).unwrap();
+            assert_tables_identical(&out, &baseline, &format!("sort t{threads} p{partitions}"));
+        }
+    }
+    mosaic_core::reset_worker_thread_peak();
+    black_box(run_select_partitioned(&sort, &table, None, 8, true, 16).unwrap());
+    assert!(
+        mosaic_core::worker_thread_peak() >= 2,
+        "10M-row ORDER BY at 8 threads spawned no pool workers"
+    );
+
+    let mut group = c.benchmark_group("sort_10m");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("order_by_t8", |b| {
+        b.iter(|| black_box(run_select_partitioned(&sort, &table, None, 8, true, 16).unwrap()))
+    });
+    group.bench_function("order_by_t2", |b| {
+        b.iter(|| black_box(run_select_partitioned(&sort, &table, None, 2, true, 16).unwrap()))
+    });
+    group.bench_function("order_by_t1_serial", |b| {
+        b.iter(|| black_box(run_select_partitioned(&sort, &table, None, 1, true, 1).unwrap()))
+    });
+    group.finish();
+}
+
+/// The PR's join acceptance benchmark: a 10M-row probe × 1M-row build
+/// (dictionary-encoded string keys, build side spanning 62 morsels —
+/// large enough that the serial build used to dominate the join).
+/// Timed at the shipped default (8 threads × 16-way partitioned build),
+/// with the build serialized (`p1`), and fully serial. Results across
+/// threads {1, 2, 8} × partitions {1, 16} are asserted bit-identical
+/// before timing, and the worker gauge must show the join actually
+/// running on the pool (the partition-phase isolation is unit-tested in
+/// `mosaic-core`).
+fn bench_join_10m(c: &mut Criterion) {
+    let probe_rows = 10_000_000usize;
+    let build_rows = 1_000_000usize;
+    let fact = Table::new(
+        Schema::new(vec![
+            Field::new("code", DataType::Str),
+            Field::new("distance", DataType::Int),
+        ]),
+        vec![
+            Column::from_str(
+                (0..probe_rows)
+                    .map(|r| format!("c{}", (r * 31) % 1_300_000))
+                    .collect(),
+            ),
+            Column::from_i64((0..probe_rows).map(|r| (r % 2600) as i64).collect()),
+        ],
+    )
+    .unwrap();
+    // 1M dimension rows; ~23% of fact codes miss the dimension.
+    let dim = Table::new(
+        Schema::new(vec![
+            Field::new("code", DataType::Str),
+            Field::new("region", DataType::Str),
+        ]),
+        vec![
+            Column::from_str((0..build_rows).map(|i| format!("c{i}")).collect()),
+            Column::from_str((0..build_rows).map(|i| format!("r{}", i % 7)).collect()),
+        ],
+    )
+    .unwrap();
+    let engine = Arc::new(MosaicEngine::new());
+    engine.register_table("fact", fact).unwrap();
+    engine.register_table("dim", dim).unwrap();
+    let sql = "SELECT d.region AS region, COUNT(*) AS n, SUM(f.distance) AS s \
+               FROM fact f JOIN dim d ON f.code = d.code GROUP BY d.region ORDER BY region";
+    let session = |threads: usize, partitions: usize| {
+        engine
+            .session()
+            .with_optimizer(true)
+            .with_parallelism(threads)
+            .with_agg_partitions(partitions)
+    };
+
+    let baseline = session(1, 1).query(sql).unwrap();
+    assert_eq!(baseline.num_rows(), 7);
+    for threads in [1usize, 2, 8] {
+        for partitions in [1usize, 16] {
+            let out = session(threads, partitions).query(sql).unwrap();
+            assert_tables_identical(&out, &baseline, &format!("join t{threads} p{partitions}"));
+        }
+    }
+    mosaic_core::reset_worker_thread_peak();
+    black_box(session(8, 16).query(sql).unwrap());
+    assert!(
+        mosaic_core::worker_thread_peak() >= 2,
+        "10M x 1M join at 8 threads spawned no pool workers"
+    );
+
+    let mut group = c.benchmark_group("join_10m");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let t8_p16 = session(8, 16);
+    let t8_p1 = session(8, 1);
+    let t1_p16 = session(1, 16);
+    let t1_p1 = session(1, 1);
+    group.bench_function("join_t8_p16", |b| {
+        b.iter(|| black_box(t8_p16.query(sql).unwrap()))
+    });
+    group.bench_function("join_t8_serial_build", |b| {
+        b.iter(|| black_box(t8_p1.query(sql).unwrap()))
+    });
+    group.bench_function("join_t1_p16", |b| {
+        b.iter(|| black_box(t1_p16.query(sql).unwrap()))
+    });
+    group.bench_function("join_t1_p1", |b| {
+        b.iter(|| black_box(t1_p1.query(sql).unwrap()))
+    });
+    group.finish();
+}
+
 /// Prepared vs unprepared throughput on a repeated aggregate: the
 /// prepared path binds `?` values into a cached plan, skipping parse +
 /// bind + lower on every execution. Measured at 100K rows (execution
@@ -555,6 +689,8 @@ criterion_group!(
     bench_vectorized_vs_rowwise,
     bench_parallel_scaling,
     bench_agg_10m,
+    bench_sort_10m,
+    bench_join_10m,
     bench_prepared_vs_unprepared,
     bench_optimizer,
     bench_join

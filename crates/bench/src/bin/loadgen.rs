@@ -32,7 +32,9 @@ use mosaic_serve::{Client, ServeConfig, Server};
 
 /// Planner-oracle query templates the clients loop over (a workload
 /// subset of `tests/tests/planner_oracle.rs`, aggregate-heavy like the
-/// paper's §5.3 workload).
+/// paper's §5.3 workload, plus ORDER BY-heavy full sorts and join-heavy
+/// templates that exercise the parallel sort and the partitioned
+/// hash-join build under concurrency).
 const TEMPLATES: &[&str] = &[
     "SELECT COUNT(*) FROM t",
     "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k",
@@ -42,6 +44,16 @@ const TEMPLATES: &[&str] = &[
     "SELECT i FROM t WHERE i BETWEEN -10 AND 50 ORDER BY i LIMIT 25",
     "SELECT COUNT(*) FROM t WHERE f > 0.0 OR i < 0",
     "SELECT k, AVG(f) AS a, MIN(i), MAX(i) FROM t GROUP BY k ORDER BY k",
+    // ORDER BY-heavy: full sorts over every row (no LIMIT, so the
+    // sort_limit_fusion rule cannot shrink them to TopK).
+    "SELECT k, i, f FROM t ORDER BY f DESC, i, k",
+    "SELECT i, k FROM t WHERE i IS NOT NULL ORDER BY i, k DESC",
+    // Join-heavy: fact-dim equi-joins with aggregation and a full
+    // ORDER BY over the joined rows.
+    "SELECT d.grp AS grp, COUNT(*) AS c, SUM(t.i) AS s FROM t JOIN d ON t.k = d.k \
+     GROUP BY d.grp ORDER BY grp",
+    "SELECT t.k, d.boost, t.i FROM t JOIN d ON t.k = d.k \
+     WHERE t.i > 200 ORDER BY t.i DESC, t.k, d.boost LIMIT 30",
 ];
 
 /// The named prepared statement every connection registers, with the
@@ -87,10 +99,16 @@ fn parse_args() -> Args {
     }
 }
 
-/// The seeded workload table: multi-morsel at the default row count,
-/// with NULLs and a skewed group column — the planner-oracle shape.
+/// The seeded workload: a multi-morsel fact table `t` (NULLs and a
+/// skewed group column — the planner-oracle shape) plus a small
+/// dimension table `d` the join-heavy templates probe against.
 fn build_table_sql(rows: usize) -> String {
     let mut sql = String::from("CREATE TABLE t (k TEXT, i INT, f FLOAT);\n");
+    sql.push_str("CREATE TABLE d (k TEXT, grp TEXT, boost INT);\n");
+    let dims: Vec<String> = (0..23)
+        .map(|j| format!("('g{j}', 'h{}', {})", j % 5, j % 7))
+        .collect();
+    sql.push_str(&format!("INSERT INTO d VALUES {};\n", dims.join(", ")));
     let mut values = Vec::with_capacity(rows);
     for r in 0..rows {
         let k = format!("'g{}'", r % 23);

@@ -381,6 +381,9 @@ pub(crate) fn apply_order_limit(
     let ctx = ExecContext {
         filtered_input: None,
         params,
+        // Combined OPEN results are aggregate outputs — group-count
+        // sized, far below one sort block — so a serial sort is right.
+        threads: 1,
     };
     let mut batch = plan::Batch {
         table,

@@ -44,7 +44,14 @@ pub(crate) fn render(
             };
             lines.push("SELECT (scalar, no FROM)".to_string());
             let planned = plan_select(&stmt2, false, opts.optimizer, None);
-            push_plan(&mut lines, &planned, opts.optimizer, "<one row>", 1);
+            push_plan(
+                &mut lines,
+                &planned,
+                opts.optimizer,
+                "<one row>",
+                1,
+                opts.parallelism,
+            );
         }
         Some(from) => {
             if let Some(pop) = cat.population(from) {
@@ -92,6 +99,7 @@ pub(crate) fn render(
                     opts.optimizer,
                     &sample.name,
                     sample.len(),
+                    opts.parallelism,
                 );
             } else if stmt.visibility.is_some() {
                 return Err(MosaicError::Unsupported(
@@ -101,7 +109,14 @@ pub(crate) fn render(
             } else if let Some(t) = cat.aux(from) {
                 lines.push(format!("SELECT FROM table {from}"));
                 let planned = plan_select(stmt, false, opts.optimizer, Some(t.schema().as_ref()));
-                push_plan(&mut lines, &planned, opts.optimizer, from, t.num_rows());
+                push_plan(
+                    &mut lines,
+                    &planned,
+                    opts.optimizer,
+                    from,
+                    t.num_rows(),
+                    opts.parallelism,
+                );
                 push_encodings(&mut lines, t);
             } else if let Some(s) = cat.sample(from) {
                 lines.push(format!(
@@ -110,7 +125,14 @@ pub(crate) fn render(
                 ));
                 let schema: std::sync::Arc<Schema> = sample_scan_schema(s);
                 let planned = plan_select(stmt, false, opts.optimizer, Some(schema.as_ref()));
-                push_plan(&mut lines, &planned, opts.optimizer, &s.name, s.len());
+                push_plan(
+                    &mut lines,
+                    &planned,
+                    opts.optimizer,
+                    &s.name,
+                    s.len(),
+                    opts.parallelism,
+                );
                 push_encodings(&mut lines, &s.data);
             } else {
                 return Err(crate::engine::unknown_relation(cat, from));
@@ -193,7 +215,14 @@ fn render_scope(
         let name = rel.name.clone();
         let rewritten = crate::plan::join::bind_single(stmt, rel)?;
         let planned = plan_select(&rewritten, false, opts.optimizer, Some(schema.as_ref()));
-        push_plan(&mut lines, &planned, opts.optimizer, &name, info.rows);
+        push_plan(
+            &mut lines,
+            &planned,
+            opts.optimizer,
+            &name,
+            info.rows,
+            opts.parallelism,
+        );
         if let Some(t) = cat.aux(&name) {
             push_encodings(&mut lines, t);
         } else if let Some(s) = cat.sample(&name) {
@@ -306,6 +335,23 @@ fn render_scope(
          morsel-parallel; output in canonical (left row, right row) order{outer_note}",
         build.name, probe.name
     ));
+    // Mirror the execution-time gate: a multi-morsel build side is
+    // radix-partitioned across the worker pool, smaller builds stay
+    // serial (see `plan::join::build_and_probe`).
+    let build_rows = lrows.min(rrows);
+    let build_parts = if opts.agg_partitions > 1 && build_rows > MORSEL_ROWS {
+        opts.agg_partitions
+    } else {
+        1
+    };
+    lines.push(format!(
+        "  join build: {build_parts} radix partition(s){}",
+        if build_parts == 1 {
+            " (serial build)"
+        } else {
+            " on the worker pool"
+        }
+    ));
     let weighted_agg = vis.is_some_and(|v| v != Visibility::Closed);
     let rels: Vec<_> = infos.iter().map(|i| i.rel.clone()).collect();
     let bound = crate::plan::join::bind_join(stmt, rels, weighted_agg)?;
@@ -320,6 +366,7 @@ fn render_scope(
         opts.optimizer,
         &format!("{} {sym} {}", fc.base.name, fc.joins[0].table.name),
         lrows.max(rrows),
+        opts.parallelism,
     );
     push_footer(&mut lines, opts, stmt);
     Ok(lines)
@@ -327,13 +374,17 @@ fn render_scope(
 
 /// Append the plan lines: logical before/after with the fired rule
 /// names, then the physical pipeline — scan (with its morsel split and
-/// pruned column list) plus each operator's description.
+/// pruned column list) plus each operator's description, and the sort
+/// strategy (serial single run vs parallel runs + k-way merge) when the
+/// plan carries a full Sort. `rows` is the pre-filter scan bound, so
+/// the run count is an upper bound.
 fn push_plan(
     lines: &mut Vec<String>,
     planned: &Planned,
     optimizer: bool,
     source: &str,
     rows: usize,
+    threads: usize,
 ) {
     lines.push(format!("  logical: {}", planned.logical));
     if !optimizer {
@@ -356,6 +407,25 @@ fn push_plan(
     ));
     for d in plan.describe_operators() {
         lines.push(format!("    {d}"));
+    }
+    // The sort input size is only known at plan time when no aggregate
+    // sits between the scan and the Sort; an aggregated plan sorts its
+    // group count, decided at execution by the same gate.
+    let saw_agg = plan.shape.name() == "HashAggregate";
+    if plan.post_shape.iter().any(|op| op.name() == "Sort") {
+        if saw_agg && threads > 1 {
+            lines.push(format!(
+                "    sort: over the aggregate output — parallel runs + k-way merge \
+                 when the group count exceeds {MORSEL_ROWS}, else serial"
+            ));
+        } else if threads > 1 && morsels > 1 {
+            lines.push(format!(
+                "    sort: parallel — runs={morsels} (≤{MORSEL_ROWS} rows each, sorted \
+                 on the worker pool), merge=k-way"
+            ));
+        } else {
+            lines.push("    sort: serial (single sorted run)".to_string());
+        }
     }
 }
 
@@ -421,6 +491,106 @@ mod tests {
         let r = s.execute("EXPLAIN SELECT k FROM t").unwrap();
         let text = lines_of(&r).join("\n");
         assert!(!text.contains("aggregate merge:"), "{text}");
+    }
+
+    #[test]
+    fn explain_reports_sort_strategy() {
+        use crate::plan::parallel::MORSEL_ROWS;
+        use mosaic_storage::{DataType, Field, Schema, TableBuilder, Value};
+        let engine = Arc::new(MosaicEngine::new());
+        let mut b = TableBuilder::new(Schema::new(vec![Field::new("v", DataType::Int)]));
+        for r in 0..(2 * MORSEL_ROWS + 5) {
+            b.push_row(vec![Value::Int(r as i64)]).unwrap();
+        }
+        engine.register_table("big", b.finish()).unwrap();
+        let s = engine.session().with_parallelism(8).with_optimizer(true);
+        let r = s
+            .execute("EXPLAIN SELECT v FROM big ORDER BY v DESC")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(text.contains("sort: parallel — runs=3"), "{text}");
+        assert!(text.contains("merge=k-way"), "{text}");
+        // One worker thread: a single in-place sort, no pool traffic.
+        let serial = s.clone().with_parallelism(1);
+        let r = serial
+            .execute("EXPLAIN SELECT v FROM big ORDER BY v DESC")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(text.contains("sort: serial (single sorted run)"), "{text}");
+        // A single-morsel input sorts serially at any thread budget.
+        s.execute("CREATE TABLE small (v INT); INSERT INTO small VALUES (2), (1);")
+            .unwrap();
+        let r = s.execute("EXPLAIN SELECT v FROM small ORDER BY v").unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(text.contains("sort: serial (single sorted run)"), "{text}");
+        // Fused TopK is not a full Sort: no sort-strategy line at all.
+        let r = s
+            .execute("EXPLAIN SELECT v FROM big ORDER BY v DESC LIMIT 5")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(text.contains("TopK"), "{text}");
+        assert!(!text.contains("sort:"), "{text}");
+        // A Sort over an aggregate sorts the group count, unknown at
+        // plan time — the line says so instead of quoting scan morsels.
+        let r = s
+            .execute("EXPLAIN SELECT v, COUNT(*) AS c FROM big GROUP BY v ORDER BY c DESC")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(text.contains("sort: over the aggregate output"), "{text}");
+        assert!(!text.contains("sort: parallel — runs="), "{text}");
+    }
+
+    #[test]
+    fn explain_reports_join_build_partitions() {
+        use crate::plan::parallel::MORSEL_ROWS;
+        use mosaic_storage::{DataType, Field, Schema, TableBuilder, Value};
+        let engine = Arc::new(MosaicEngine::new());
+        let mut dim = TableBuilder::new(Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("grp", DataType::Int),
+        ]));
+        for r in 0..(MORSEL_ROWS + 10) {
+            dim.push_row(vec![Value::Int(r as i64), Value::Int((r % 7) as i64)])
+                .unwrap();
+        }
+        engine.register_table("dim", dim.finish()).unwrap();
+        let mut fact = TableBuilder::new(Schema::new(vec![Field::new("k", DataType::Int)]));
+        for r in 0..(2 * MORSEL_ROWS) {
+            fact.push_row(vec![Value::Int(r as i64)]).unwrap();
+        }
+        engine.register_table("fact", fact.finish()).unwrap();
+        let s = engine.session().with_agg_partitions(16);
+        let r = s
+            .execute("EXPLAIN SELECT fact.k FROM fact JOIN dim ON fact.k = dim.k")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        // Build = smaller input (dim, > 1 morsel) → partitioned build.
+        assert!(
+            text.contains("join build: 16 radix partition(s) on the worker pool"),
+            "{text}"
+        );
+        // partitions=1 forces the serial build at any size.
+        let r = s
+            .clone()
+            .with_agg_partitions(1)
+            .execute("EXPLAIN SELECT fact.k FROM fact JOIN dim ON fact.k = dim.k")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(
+            text.contains("join build: 1 radix partition(s) (serial build)"),
+            "{text}"
+        );
+        // A single-morsel build side stays serial too.
+        s.execute("CREATE TABLE tiny (k INT, grp INT); INSERT INTO tiny VALUES (1, 1), (2, 2);")
+            .unwrap();
+        let r = s
+            .execute("EXPLAIN SELECT fact.k FROM fact JOIN tiny ON fact.k = tiny.k")
+            .unwrap();
+        let text = lines_of(&r).join("\n");
+        assert!(
+            text.contains("join build: 1 radix partition(s) (serial build)"),
+            "{text}"
+        );
     }
 
     #[test]

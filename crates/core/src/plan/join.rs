@@ -42,7 +42,7 @@ use mosaic_sql::{BinOp, Expr, FromClause, JoinKind, SelectItem, SelectStmt};
 use mosaic_storage::{kernels, Bitmap, Column, DataType, Field, Schema, Table, Value};
 
 use super::logical::{JoinOutCol, LogicalPlan};
-use super::parallel::{prune_scan, run_ordered, MORSEL_ROWS};
+use super::parallel::{parallel_sort_indices, prune_scan, run_ordered, MORSEL_ROWS};
 use super::{bind_expr, Batch, ExecContext, FilterOp, PhysicalOperator};
 use crate::{MosaicError, Result};
 
@@ -618,14 +618,19 @@ pub struct JoinSide {
 /// LEFT OUTER).
 ///
 /// Execution: both inputs are pruned and filtered, the **smaller** one
-/// is built single-threaded into a hash table keyed on normalized key
-/// tokens (see `mosaic_storage::kernels::join_key_f64`), the larger one
-/// is probed morsel-parallel with ordered fragment merge, and matching
-/// row pairs are restored to the canonical (left row, right row) order
-/// before the output columns are gathered — so results are bit-identical
-/// at every thread count and to [`reference_join`]. A LEFT OUTER join
-/// then inserts one NULL-extended row per unmatched left row via a
-/// single merge walk over the canonically ordered pairs.
+/// is built into hash tables keyed on normalized key tokens (see
+/// `mosaic_storage::kernels::join_key_f64`) — a build side spanning more
+/// than one morsel radix-partitions its keys into P independent tables
+/// built in parallel on the shared worker pool (P = the engine's
+/// aggregate-merge partition knob), a smaller build stays one serial
+/// table — then the larger side is probed morsel-parallel with ordered
+/// fragment merge, each probe key routed to its key-hash partition.
+/// Matching row pairs are restored to the canonical (left row, right
+/// row) order (a parallel run-merge sort when the pair set is large) —
+/// so results are bit-identical at every thread count *and every
+/// partition count*, and to [`reference_join`]. A LEFT OUTER join then
+/// inserts one NULL-extended row per unmatched left row via a single
+/// merge walk over the canonically ordered pairs.
 pub struct HashJoinOp {
     /// Left (base) input.
     pub left: JoinSide,
@@ -653,7 +658,8 @@ impl HashJoinOp {
             JoinKind::LeftOuter => " LEFT OUTER",
         };
         format!(
-            "HashJoin:{kind} keys [{}], output [{}] (build = smaller input, probe morsel-parallel)",
+            "HashJoin:{kind} keys [{}], output [{}] (build = smaller input, radix-partitioned \
+             when multi-morsel; probe morsel-parallel)",
             keys.join(", "),
             out.join(", ")
         )
@@ -690,6 +696,7 @@ impl HashJoinOp {
         let ctx = ExecContext {
             filtered_input: None,
             params,
+            threads: 1,
         };
         for f in &side.filters {
             batch = f.execute(&ctx, &batch)?;
@@ -698,13 +705,16 @@ impl HashJoinOp {
     }
 
     /// Execute the join: returns the joined table in canonical
-    /// (left row, right row) order.
+    /// (left row, right row) order. `partitions` caps the radix
+    /// partitioning of a multi-morsel build side (1 = serial build);
+    /// like the thread cap it never changes results.
     pub fn execute(
         &self,
         left: &Table,
         right: &Table,
         params: &[Value],
         threads: usize,
+        partitions: usize,
     ) -> Result<Table> {
         let l = self.prepare_input(&self.left, left, params)?;
         let r = self.prepare_input(&self.right, right, params)?;
@@ -720,15 +730,18 @@ impl HashJoinOp {
             (&rk, &lk)
         };
 
-        let (mut left_idx, mut right_idx) = join_pairs(build_keys, probe_keys, threads)?;
+        let (mut left_idx, mut right_idx) =
+            join_pairs(build_keys, probe_keys, threads, partitions)?;
         if build_is_left {
             // `join_pairs` returns (build, probe) = (left, right) pairs
             // in probe-major (right-major) order; restore the canonical
-            // left-major order. The sort is stable, so right indices —
-            // globally ascending in probe order — stay ascending within
-            // each left row.
-            let mut perm: Vec<usize> = (0..left_idx.len()).collect();
-            perm.sort_by_key(|&i| left_idx[i]);
+            // left-major order. The order is (left row, pair position) —
+            // a stable sort by left row — so right indices, globally
+            // ascending in probe order, stay ascending within each left
+            // row; large pair sets sort as parallel runs + k-way merge.
+            let perm = parallel_sort_indices(left_idx.len(), threads, |a, b| {
+                (left_idx[a], a) < (left_idx[b], b)
+            });
             left_idx = perm.iter().map(|&i| left_idx[i]).collect();
             right_idx = perm.iter().map(|&i| right_idx[i]).collect();
         } else {
@@ -910,15 +923,16 @@ fn str_tokens(build: &Column, probe: &Column) -> Option<(TokenCol, TokenCol)> {
     ))
 }
 
-/// Hash-join two tokenized key sets: single-threaded build over
-/// `build_keys`, morsel-parallel probe over `probe_keys` with ordered
-/// fragment merge. Returns `(build rows, probe rows)` pairs in
-/// probe-major order (probe row ascending; build rows ascending within
-/// one probe row).
+/// Hash-join two tokenized key sets: radix-partitioned parallel build
+/// over `build_keys` (serial below one morsel), morsel-parallel probe
+/// over `probe_keys` with ordered fragment merge. Returns
+/// `(build rows, probe rows)` pairs in probe-major order (probe row
+/// ascending; build rows ascending within one probe row).
 fn join_pairs(
     build_keys: &[Column],
     probe_keys: &[Column],
     threads: usize,
+    partitions: usize,
 ) -> Result<(Vec<usize>, Vec<usize>)> {
     let build_rows = build_keys.first().map_or(0, Column::len);
     let probe_rows = probe_keys.first().map_or(0, Column::len);
@@ -959,6 +973,7 @@ fn join_pairs(
             build_rows,
             probe_rows,
             threads,
+            partitions,
             |row| key_of(bt, row),
             |row| key_of(pt, row),
         ));
@@ -977,29 +992,102 @@ fn join_pairs(
         build_rows,
         probe_rows,
         threads,
+        partitions,
         |row| key_of(&build_tok, row),
         |row| key_of(&probe_tok, row),
     ))
 }
 
-/// Single-threaded build + morsel-parallel probe over row-key closures
-/// (`None` = unusable key, never matches). Fragments merge in morsel
-/// order, so the pair order is a function of the data alone.
-fn build_and_probe<K: Eq + std::hash::Hash + Send + Sync>(
+/// SplitMix64 finalizer: a full-avalanche bijective mix, so dense or
+/// structured token values spread evenly across partitions.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic partition hash for normalized join-key tokens. Build
+/// and probe must agree on every key's partition and the layout must be
+/// a function of the key alone (never `RandomState`), so the partition
+/// count can't change results. The probe loop pays this per row on top
+/// of the table lookup, so it's a fixed multiplicative mix over the
+/// already-normalized tokens rather than a second SipHash pass.
+trait PartitionKey {
+    fn partition_hash(&self) -> u64;
+}
+
+impl PartitionKey for u64 {
+    fn partition_hash(&self) -> u64 {
+        mix64(*self)
+    }
+}
+
+impl PartitionKey for Vec<u64> {
+    fn partition_hash(&self) -> u64 {
+        self.iter()
+            .fold(0x9e37_79b9_7f4a_7c15, |h, &t| mix64(h ^ t))
+    }
+}
+
+/// Radix-partitioned build + morsel-parallel probe over row-key
+/// closures (`None` = unusable key, never matches). A multi-morsel
+/// build side is hashed into `partitions` independent tables on the
+/// worker pool (single-morsel builds stay serial — partitioning costs
+/// more than it saves); each probe key routes to exactly one partition
+/// by the same deterministic hash. Per-key build rows stay in ascending
+/// row order at every partition count, and probe fragments merge in
+/// morsel order, so the pair order is a function of the data alone.
+fn build_and_probe<K: Eq + std::hash::Hash + PartitionKey + Send + Sync>(
     build_rows: usize,
     probe_rows: usize,
     threads: usize,
-    build_key: impl Fn(usize) -> Option<K>,
+    partitions: usize,
+    build_key: impl Fn(usize) -> Option<K> + Sync,
     probe_key: impl Fn(usize) -> Option<K> + Sync,
 ) -> (Vec<usize>, Vec<usize>) {
+    // `u16::MAX` is the NULL-key sentinel in `part_of`, so cap there.
+    let n_parts = if partitions > 1 && build_rows > MORSEL_ROWS {
+        partitions.min(u16::MAX as usize)
+    } else {
+        1
+    };
     // Build: per key, the matching build rows in ascending row order.
-    let mut table: HashMap<K, Vec<u32>> = HashMap::new();
-    for row in 0..build_rows {
-        if let Some(key) = build_key(row) {
-            table.entry(key).or_default().push(row as u32);
+    let tables: Vec<HashMap<K, Vec<u32>>> = if n_parts == 1 {
+        let mut table: HashMap<K, Vec<u32>> = HashMap::new();
+        for row in 0..build_rows {
+            if let Some(key) = build_key(row) {
+                table.entry(key).or_default().push(row as u32);
+            }
         }
-    }
-    if table.is_empty() {
+        vec![table]
+    } else {
+        // Phase 1 (morsel-parallel): each build row's partition id.
+        let n_bm = build_rows.div_ceil(MORSEL_ROWS);
+        let part_chunks: Vec<Vec<u16>> = run_ordered(n_bm, threads, |mi| {
+            let start = mi * MORSEL_ROWS;
+            let end = (start + MORSEL_ROWS).min(build_rows);
+            (start..end)
+                .map(|row| match build_key(row) {
+                    Some(key) => (key.partition_hash() % n_parts as u64) as u16,
+                    None => u16::MAX,
+                })
+                .collect()
+        });
+        let part_of: Vec<u16> = part_chunks.concat();
+        // Phase 2 (partition-parallel): independent tables, each
+        // inserting its own rows in ascending build-row order.
+        run_ordered(n_parts, threads, |pi| {
+            let mut table: HashMap<K, Vec<u32>> = HashMap::new();
+            for (row, &part) in part_of.iter().enumerate() {
+                if part == pi as u16 {
+                    let key = build_key(row).expect("partitioned rows have keys");
+                    table.entry(key).or_default().push(row as u32);
+                }
+            }
+            table
+        })
+    };
+    if tables.iter().all(HashMap::is_empty) {
         return (Vec::new(), Vec::new());
     }
     let n_morsels = probe_rows.div_ceil(MORSEL_ROWS).max(1);
@@ -1010,6 +1098,11 @@ fn build_and_probe<K: Eq + std::hash::Hash + Send + Sync>(
         let mut probe_idx = Vec::new();
         for row in start..end {
             if let Some(key) = probe_key(row) {
+                let table = if n_parts == 1 {
+                    &tables[0]
+                } else {
+                    &tables[(key.partition_hash() % n_parts as u64) as usize]
+                };
                 if let Some(rows) = table.get(&key) {
                     for &b in rows {
                         build_idx.push(b as usize);
@@ -1023,9 +1116,9 @@ fn build_and_probe<K: Eq + std::hash::Hash + Send + Sync>(
     let total: usize = frags.iter().map(|(b, _)| b.len()).sum();
     let mut build_idx = Vec::with_capacity(total);
     let mut probe_idx = Vec::with_capacity(total);
-    for (b, p) in frags {
+    for (b, pr) in frags {
         build_idx.extend(b);
-        probe_idx.extend(p);
+        probe_idx.extend(pr);
     }
     (build_idx, probe_idx)
 }
@@ -1165,6 +1258,59 @@ mod tests {
             Statement::Select(s) => s,
             other => panic!("not a select: {other:?}"),
         }
+    }
+
+    /// The radix-partitioned build is (a) deterministic — the pair
+    /// output is bit-identical at every thread count × partition count
+    /// — and (b) really on the pool: the probe side is a single morsel,
+    /// which `run_ordered` runs inline without ever touching the worker
+    /// gauge, so *any* gauge activity here comes from the build's
+    /// partition-map and per-partition phases. Fast tasks can drain
+    /// before every spawned worker starts, so only this ≥ 1 lower bound
+    /// is deterministic (the 10M-row bench asserts concurrency at
+    /// scale).
+    #[test]
+    fn partitioned_build_spawns_workers_and_matches_serial() {
+        use crate::plan::parallel::{reset_worker_thread_peak, worker_thread_peak};
+        let build_rows = MORSEL_ROWS + 100;
+        let probe_rows = MORSEL_ROWS;
+        let bkey = |row: usize| {
+            if row.is_multiple_of(50) {
+                None // NULL build keys partition nowhere
+            } else {
+                Some((row % 4096) as u64)
+            }
+        };
+        let pkey = |row: usize| Some((row % 8192) as u64);
+        let (b1, p1) = build_and_probe(build_rows, probe_rows, 1, 1, bkey, pkey);
+        assert!(!b1.is_empty());
+        reset_worker_thread_peak();
+        let (b2, p2) = build_and_probe(build_rows, probe_rows, 8, 16, bkey, pkey);
+        assert!(
+            worker_thread_peak() >= 1,
+            "partitioned build never spawned a pool worker (serial fallback?)"
+        );
+        assert_eq!(b1, b2);
+        assert_eq!(p1, p2);
+        // Partition count is a pure execution knob: any count, including
+        // ones that split hot keys unevenly, yields the same pairs.
+        for partitions in [2usize, 7, 64] {
+            let (b, p) = build_and_probe(build_rows, probe_rows, 8, partitions, bkey, pkey);
+            assert_eq!(b1, b, "{partitions} partitions changed build pairs");
+            assert_eq!(p1, p, "{partitions} partitions changed probe pairs");
+        }
+    }
+
+    /// A single-morsel build side must skip partitioning entirely (the
+    /// serial path), whatever the partition knob says.
+    #[test]
+    fn small_build_side_stays_serial() {
+        let bkey = |row: usize| Some(row as u64 % 16);
+        let pkey = |row: usize| Some(row as u64 % 32);
+        let (b1, p1) = build_and_probe(MORSEL_ROWS, 64, 1, 1, bkey, pkey);
+        let (b2, p2) = build_and_probe(MORSEL_ROWS, 64, 8, 16, bkey, pkey);
+        assert_eq!(b1, b2);
+        assert_eq!(p1, p2);
     }
 
     fn rel(name: &str, binding: &str, fields: Vec<Field>, weighted: bool) -> ScopeRel {
@@ -1446,8 +1592,8 @@ mod tests {
                 };
                 let reference =
                     reference_join_kinded(&left, "l", &right, "r", &keys, kind, &[]).unwrap();
-                for threads in [1, 4] {
-                    let out = op.execute(&left, &right, &[], threads).unwrap();
+                for (threads, partitions) in [(1, 1), (4, 1), (4, 16)] {
+                    let out = op.execute(&left, &right, &[], threads, partitions).unwrap();
                     assert_eq!(out.num_rows(), reference.num_rows(), "{kind} {ln}x{rn}");
                     for r in 0..out.num_rows() {
                         for c in 0..out.num_columns() {
@@ -1505,7 +1651,7 @@ mod tests {
                 false,
             ),
         };
-        let out = op.execute(&left, &right, &[], 2).unwrap();
+        let out = op.execute(&left, &right, &[], 2, 16).unwrap();
         // l0 matches r0,r1; l1 (NULL key) and l2 are NULL-extended at
         // their left positions; l3 matches r0,r1 again.
         assert_eq!(out.num_rows(), 6);
@@ -1582,7 +1728,7 @@ mod tests {
                 kind,
                 output: output.clone(),
             };
-            let out = op.execute(&left, &right, &[], 2).unwrap();
+            let out = op.execute(&left, &right, &[], 2, 16).unwrap();
             let w = out.column_by_name("weight").unwrap();
             match kind {
                 JoinKind::Inner => {
@@ -1641,7 +1787,7 @@ mod tests {
                 false,
             ),
         };
-        let out = op.execute(&left, &right, &[], 1).unwrap();
+        let out = op.execute(&left, &right, &[], 1, 1).unwrap();
         let reference = reference_join(&left, "l", &right, "r", &keys).unwrap();
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.num_rows(), reference.num_rows());
@@ -1662,7 +1808,9 @@ mod tests {
             ..op
         };
         assert_eq!(
-            op2.execute(&left, &right_str, &[], 1).unwrap().num_rows(),
+            op2.execute(&left, &right_str, &[], 1, 1)
+                .unwrap()
+                .num_rows(),
             0
         );
     }

@@ -20,8 +20,10 @@
 //!    parallel: the global group space is hash-partitioned into
 //!    [`default_agg_partitions`] radix partitions and each partition
 //!    merges independently on the same worker pool, still folding in
-//!    morsel order within every group. Sort and Limit then run once
-//!    over the merged result.
+//!    morsel order within every group. Sort then runs once over the
+//!    merged result — itself parallel: per-block sorted runs built on
+//!    the same pool, combined by one deterministic k-way merge
+//!    (`parallel_sort_indices`) — and Limit truncates.
 //!
 //! # Determinism
 //!
@@ -39,7 +41,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use mosaic_storage::{ColumnBuilder, DataType, Field, Schema, Table, Value};
+use mosaic_storage::{kernels, ColumnBuilder, DataType, Field, Schema, Table, Value};
 use parking_lot::Mutex;
 
 use super::{aggregate, Batch, ExecContext, PhysicalPlan, Shape};
@@ -175,6 +177,48 @@ pub(crate) fn run_ordered<T: Send>(
         .collect()
 }
 
+/// Sort the index range `0..n` under a strict total order, in parallel:
+/// per-[`MORSEL_ROWS`]-block sorted runs built on the worker pool
+/// ([`run_ordered`]), then one deterministic k-way merge
+/// ([`kernels::merge_sorted_runs`]) on the calling thread.
+///
+/// `less` must be **strict** — order any two distinct indices one way,
+/// with key ties broken on the index itself. That makes the result
+/// exactly the order of a *stable* sort by the keys alone, and makes it
+/// independent of the run split: bit-identical at every thread count.
+/// Single-run inputs (`n <= MORSEL_ROWS`) and single-threaded callers
+/// take one in-place sort with no pool traffic.
+pub(crate) fn parallel_sort_indices(
+    n: usize,
+    threads: usize,
+    less: impl Fn(usize, usize) -> bool + Sync,
+) -> Vec<usize> {
+    let ord = |a: &usize, b: &usize| {
+        if less(*a, *b) {
+            std::cmp::Ordering::Less
+        } else if less(*b, *a) {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    };
+    if n <= MORSEL_ROWS || threads <= 1 {
+        let mut idx: Vec<usize> = (0..n).collect();
+        // The order is strict, so an unstable sort is deterministic.
+        idx.sort_unstable_by(ord);
+        return idx;
+    }
+    let n_runs = n.div_ceil(MORSEL_ROWS);
+    let runs = run_ordered(n_runs, threads, |ri| {
+        let start = ri * MORSEL_ROWS;
+        let end = (start + MORSEL_ROWS).min(n);
+        let mut run: Vec<usize> = (start..end).collect();
+        run.sort_unstable_by(ord);
+        run
+    });
+    kernels::merge_sorted_runs(&runs, less)
+}
+
 /// What one morsel contributes to the merge phase.
 enum MorselOut {
     /// Projection shape: the projected fragment, plus the post-filter
@@ -185,7 +229,7 @@ enum MorselOut {
 }
 
 /// Execute a two-relation join plan: the hash-join stage materializes
-/// the combined table (build single-threaded on the smaller input,
+/// the combined table (build radix-partitioned on the smaller input,
 /// probe morsel-parallel — see [`crate::plan::join::HashJoinOp`]), then
 /// the remaining pipeline (residual filters, shape, ordering) runs over
 /// the joined table through the ordinary morsel driver.
@@ -220,7 +264,7 @@ pub(crate) fn execute_join_plan_with(
         .join
         .as_ref()
         .ok_or_else(|| MosaicError::Execution("plan has no join stage".into()))?;
-    let mut joined = join.execute(left, right, params, threads)?;
+    let mut joined = join.execute(left, right, params, threads, partitions)?;
     if let Some(f) = post_join {
         joined = f(joined)?;
     }
@@ -294,6 +338,9 @@ pub(crate) fn execute_plan(
         let ctx = ExecContext {
             filtered_input: None,
             params,
+            // Morsel-phase operators are already running on the pool —
+            // they never spawn nested workers.
+            threads: 1,
         };
         for (oi, op) in plan.pre_shape().iter().enumerate() {
             batch = op.execute(&ctx, &batch).map_err(|e| (oi as u32, e))?;
@@ -406,6 +453,9 @@ pub(crate) fn execute_plan(
     let ctx = ExecContext {
         filtered_input: filtered_merged.as_ref(),
         params,
+        // Post-shape stages run once over the merged result with the
+        // whole budget — Sort builds its runs on the worker pool.
+        threads,
     };
     for op in &plan.post_shape {
         batch = op.execute(&ctx, &batch)?;

@@ -25,6 +25,9 @@
 //!
 //! Flags: `--batch` (no prompts), `--threads N` (session worker-thread
 //! cap for the morsel-driven executor; overrides `MOSAIC_PARALLELISM`;
+//! never changes results), `--partitions N` (radix partition count for
+//! the parallel aggregate merge and the hash-join build; overrides
+//! `MOSAIC_AGG_PARTITIONS`; `.partitions N` changes it mid-session;
 //! never changes results), `--serve <addr>` (skip the shell entirely and
 //! run the TCP server in the foreground; `--threads` then sets the
 //! shared worker budget every connection draws from).
@@ -51,6 +54,17 @@ fn main() {
             }
             _ => {
                 eprintln!("error: --threads requires a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--partitions") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => {
+                session = session.with_agg_partitions(n);
+            }
+            _ => {
+                eprintln!("error: --partitions requires a positive integer");
                 std::process::exit(2);
             }
         }
@@ -211,6 +225,7 @@ impl Shell {
                      .quit                      exit\n\
                      .notes on|off              toggle execution diagnostics\n\
                      .optimizer on|off          toggle the logical plan optimizer (this session)\n\
+                     .partitions N              radix partitions for aggregate merge + join build\n\
                      .tables                    list registered relations with their kinds\n\
                      .schema <name>             show a relation's columns with types\n\
                      .load <csv> <table>        ingest a CSV file as an auxiliary table\n\
@@ -260,6 +275,19 @@ impl Shell {
                 };
                 self.session = self.session.clone().with_optimizer(on);
                 println!("optimizer {}", if on { "on" } else { "off" });
+            }
+            "partitions" => {
+                // Radix partition count for the parallel aggregate merge
+                // and the hash-join build. Results are bit-identical at
+                // every setting; statements prepared earlier keep their
+                // cached plans but pick up the new count at execution.
+                match rest.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        self.session = self.session.clone().with_agg_partitions(n);
+                        println!("partitions {n}");
+                    }
+                    _ => eprintln!("usage: .partitions <positive integer>"),
+                }
             }
             "load" => {
                 let mut parts = rest.split_whitespace();

@@ -664,6 +664,73 @@ pub fn group_min_max_i64(
     }
 }
 
+/// Merge `K` sorted runs of row indices into one globally sorted index
+/// vector — the merge half of the parallel sort: runs are built
+/// (sorted) independently on a worker pool, then this kernel performs
+/// the deterministic k-way merge on the calling thread.
+///
+/// `less` must be a **strict total order** over the indices appearing
+/// in the runs (callers break key ties on the index itself), each run
+/// must be sorted under it, and no index may appear twice. Under those
+/// preconditions the output is exactly the order a stable sort of the
+/// concatenated runs by the original keys produces — independent of how
+/// the indices were split into runs.
+///
+/// The merge is a binary min-heap of run cursors keyed on each run's
+/// current head; ties cannot arise (the order is strict over distinct
+/// indices), so the pop sequence — and therefore the result — is a pure
+/// function of `less`.
+pub fn merge_sorted_runs<F>(runs: &[Vec<usize>], less: F) -> Vec<usize>
+where
+    F: Fn(usize, usize) -> bool,
+{
+    fn sift<F: Fn(usize, usize) -> bool>(
+        heap: &mut [usize],
+        mut i: usize,
+        runs: &[Vec<usize>],
+        pos: &[usize],
+        less: &F,
+    ) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut m = i;
+            let head = |k: usize| runs[k][pos[k]];
+            if l < heap.len() && less(head(heap[l]), head(heap[m])) {
+                m = l;
+            }
+            if r < heap.len() && less(head(heap[r]), head(heap[m])) {
+                m = r;
+            }
+            if m == i {
+                return;
+            }
+            heap.swap(i, m);
+            i = m;
+        }
+    }
+
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut pos = vec![0usize; runs.len()];
+    let mut heap: Vec<usize> = (0..runs.len()).filter(|&r| !runs[r].is_empty()).collect();
+    for i in (0..heap.len() / 2).rev() {
+        sift(&mut heap, i, runs, &pos, &less);
+    }
+    while let Some(&r) = heap.first() {
+        out.push(runs[r][pos[r]]);
+        pos[r] += 1;
+        if pos[r] == runs[r].len() {
+            let last = heap.len() - 1;
+            heap.swap(0, last);
+            heap.pop();
+        }
+        if !heap.is_empty() {
+            sift(&mut heap, 0, runs, &pos, &less);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -675,6 +742,41 @@ mod tests {
         assert_eq!(bm.to_indices(), vec![1, 2, 3]);
         let bm = cmp_f64_scalar(&[1.0, 2.5, 2.5], CmpOp::Eq, 2.5);
         assert_eq!(bm.to_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn merge_sorted_runs_matches_stable_sort() {
+        // Duplicate keys; the strict total order is (key, index), so the
+        // merge must reproduce a stable sort by the keys alone no matter
+        // how the indices are cut into runs.
+        let keys = [5i64, 1, 3, 3, 2, 5, 1, 4, 3, 0, 2, 5];
+        let less = |a: usize, b: usize| (keys[a], a) < (keys[b], b);
+        let ord = |a: &usize, b: &usize| {
+            if less(*a, *b) {
+                std::cmp::Ordering::Less
+            } else if less(*b, *a) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        };
+        let mut expect: Vec<usize> = (0..keys.len()).collect();
+        expect.sort_by_key(|&i| keys[i]); // stable
+        for chunk in [1usize, 2, 5, 12] {
+            let all: Vec<usize> = (0..keys.len()).collect();
+            let runs: Vec<Vec<usize>> = all
+                .chunks(chunk)
+                .map(|c| {
+                    let mut run = c.to_vec();
+                    run.sort_unstable_by(ord);
+                    run
+                })
+                .collect();
+            assert_eq!(merge_sorted_runs(&runs, less), expect, "chunk {chunk}");
+        }
+        let empty: [Vec<usize>; 0] = [];
+        assert!(merge_sorted_runs(&empty, |a: usize, b: usize| a < b).is_empty());
+        assert!(merge_sorted_runs(&[vec![], vec![]], |a, b| a < b).is_empty());
     }
 
     #[test]

@@ -755,6 +755,149 @@ fn join_multi_morsel_probe_is_deterministic() {
     }
 }
 
+/// ORDER BY over a multi-morsel join: the parallel sort (run split +
+/// k-way merge) composed with the morsel-parallel probe and the
+/// partitioned build must stay bit-identical to the row-wise reference
+/// at every thread count × partition count, optimizer off and on —
+/// INNER and LEFT OUTER.
+#[test]
+fn order_by_over_join_multi_morsel_matches_reference() {
+    let rows = 2 * mosaic_core::MORSEL_ROWS + 777;
+    let fact = fact_table(rows);
+    let dim = dim_table();
+    let engine = Arc::new(MosaicEngine::new());
+    engine.register_table("fact", fact.clone()).unwrap();
+    engine.register_table("dim", dim.clone()).unwrap();
+    let templates: &[(&str, &str)] = &[
+        // Full sorts (no LIMIT, so sort_limit_fusion cannot reduce them
+        // to TopK) over the joined rows.
+        (
+            "SELECT f.dist AS dist, c.boost AS boost FROM fact f JOIN dim c ON f.k = c.code \
+             WHERE f.dist > 30 ORDER BY dist DESC, boost",
+            "SELECT dist, boost FROM j WHERE dist > 30 ORDER BY dist DESC, boost",
+        ),
+        (
+            "SELECT f.dist AS dist, c.grp AS grp FROM fact f LEFT JOIN dim c ON f.k = c.code \
+             WHERE f.dist > 35 ORDER BY grp DESC, dist",
+            "SELECT dist, grp FROM j WHERE dist > 35 ORDER BY grp DESC, dist",
+        ),
+        // Aggregate above the join with a full ORDER BY on the groups.
+        (
+            "SELECT c.grp AS grp, COUNT(*) AS n, SUM(f.dist) AS s \
+             FROM fact f JOIN dim c ON f.k = c.code GROUP BY c.grp ORDER BY s DESC, grp",
+            "SELECT grp, COUNT(*) AS n, SUM(dist) AS s FROM j GROUP BY grp ORDER BY s DESC, grp",
+        ),
+    ];
+    for (join_sql, ref_sql) in templates {
+        let kind = template_kind(join_sql);
+        let joined =
+            reference_join_kinded(&fact, "f", &dim, "c", &join_keys(("k", "code")), kind, &[])
+                .unwrap();
+        let reference = run_select_rowwise(&select(ref_sql), &joined, None).unwrap();
+        for threads in THREAD_COUNTS {
+            for partitions in [1usize, 16] {
+                for optimizer in [false, true] {
+                    let out = engine
+                        .session()
+                        .with_parallelism(threads)
+                        .with_agg_partitions(partitions)
+                        .with_optimizer(optimizer)
+                        .query(join_sql)
+                        .unwrap();
+                    if let Err(msg) = tables_identical(&out, &reference) {
+                        panic!(
+                            "ORDER BY-over-join divergence on {join_sql:?} at {threads} \
+                             thread(s), {partitions} partition(s), optimizer={optimizer}: {msg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Partitioned-build determinism at scale: a multi-morsel build side
+/// (so the radix-partitioned parallel build actually engages) probed by
+/// a larger fact table must return the same bits at every thread count
+/// × partition count as the serial single-partition baseline. The
+/// nested-loop reference is unaffordable at this size, so the t1/p1
+/// optimizer-off engine run is the oracle (its agreement with the
+/// reference is pinned by the smaller join suites).
+#[test]
+fn partitioned_join_build_is_deterministic() {
+    let dim_rows = mosaic_core::MORSEL_ROWS + 333;
+    let fact_rows = 2 * mosaic_core::MORSEL_ROWS + 777;
+    let dim_schema = Schema::new(vec![
+        Field::new("key", DataType::Str),
+        Field::new("p", DataType::Int),
+    ]);
+    let mut b = TableBuilder::new(dim_schema);
+    for j in 0..dim_rows {
+        b.push_row(vec![
+            if j % 101 == 0 {
+                Value::Null // NULL build keys: hashed nowhere, match nothing
+            } else {
+                Value::Str(format!("w{j}"))
+            },
+            Value::Int((j % 53) as i64),
+        ])
+        .unwrap();
+    }
+    let bigdim = b.finish();
+    let fact_schema = Schema::new(vec![
+        Field::new("key", DataType::Str),
+        Field::new("v", DataType::Int),
+    ]);
+    let mut b = TableBuilder::new(fact_schema);
+    for r in 0..fact_rows {
+        b.push_row(vec![
+            Value::Str(format!("w{}", r % dim_rows)),
+            Value::Int((r % 997) as i64 - 400),
+        ])
+        .unwrap();
+    }
+    let bigfact = b.finish();
+    let engine = Arc::new(MosaicEngine::new());
+    engine.register_table("bigdim", bigdim).unwrap();
+    engine.register_table("bigfact", bigfact).unwrap();
+    let templates: &[&str] = &[
+        // Build = bigdim (smaller, > 1 morsel) → partitioned build.
+        "SELECT f.v AS v, d.p AS p FROM bigfact f JOIN bigdim d ON f.key = d.key \
+         WHERE f.v > 540 ORDER BY v DESC, p",
+        "SELECT d.p AS p, COUNT(*) AS n, SUM(f.v) AS s \
+         FROM bigfact f LEFT JOIN bigdim d ON f.key = d.key GROUP BY d.p ORDER BY p",
+    ];
+    for sql in templates {
+        let baseline = engine
+            .session()
+            .with_parallelism(1)
+            .with_agg_partitions(1)
+            .with_optimizer(false)
+            .query(sql)
+            .unwrap();
+        assert!(baseline.num_rows() > 0, "workload must produce rows: {sql}");
+        for threads in THREAD_COUNTS {
+            for partitions in [1usize, 16] {
+                for optimizer in [false, true] {
+                    let out = engine
+                        .session()
+                        .with_parallelism(threads)
+                        .with_agg_partitions(partitions)
+                        .with_optimizer(optimizer)
+                        .query(sql)
+                        .unwrap();
+                    if let Err(msg) = tables_identical(&out, &baseline) {
+                        panic!(
+                            "partitioned build divergence on {sql:?} at {threads} thread(s), \
+                             {partitions} partition(s), optimizer={optimizer}: {msg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
