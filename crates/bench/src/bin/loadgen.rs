@@ -5,12 +5,23 @@
 //! seeded table, opens `--connections` TCP clients, and has each of
 //! them loop over the planner-oracle query templates (plus a named
 //! prepared statement with cycling `?` parameters) until the duration
-//! elapses. Every response is checked **bit-identical** against the
-//! expected result precomputed through an in-process session — a wire
-//! round-trip must never change an answer. At the end it prints QPS,
+//! elapses. Template selection is **zipf-skewed** (frequency ∝ 1/rank^s,
+//! s = 1.1) — the hot-template concentration of a real dashboard
+//! workload, and exactly the shape the engine's result cache is built
+//! for. The run has two phases of equal duration: `cache=off` (every
+//! connection opts out via `SetOption result_cache=off`) and `cache=on`
+//! — the report shows QPS both ways, the speedup, and the observed
+//! cache hit rate (counted from the `result cache hit` execution notes
+//! that travel in each `Done` frame).
+//!
+//! Every response in both phases — cache hits included — is checked
+//! **bit-identical** against the expected result precomputed through an
+//! in-process session: a wire round-trip or a cache hit must never
+//! change an answer. At the end it prints per-phase QPS,
 //! p50/p95/p99/max latency, and the observed engine worker-thread peak
 //! against the admission-control budget, and exits non-zero on any
-//! mismatch, zero completed queries, or a budget violation.
+//! mismatch, zero completed queries, a budget violation, or (when
+//! `--min-speedup` is given) a cache speedup below the floor.
 //!
 //! ```text
 //! cargo run --release -p mosaic-bench --bin loadgen -- \
@@ -18,10 +29,11 @@
 //! ```
 //!
 //! Flags: `--connections N` (default 100), `--duration-secs S` (default
-//! 3), `--rows R` (table size, default 50000), `--budget B` (worker
-//! budget, default: the engine's configured parallelism), `--addr
-//! HOST:PORT` (drive an external server instead; bit-identity and
-//! budget checks are skipped since the data lives remotely).
+//! 3, per phase), `--rows R` (table size, default 50000), `--budget B`
+//! (worker budget, default: the engine's configured parallelism),
+//! `--min-speedup X` (fail unless cache-on QPS ≥ X × cache-off QPS),
+//! `--addr HOST:PORT` (drive an external server instead; bit-identity
+//! and budget checks are skipped since the data lives remotely).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -44,10 +56,11 @@ const TEMPLATES: &[&str] = &[
     "SELECT i FROM t WHERE i BETWEEN -10 AND 50 ORDER BY i LIMIT 25",
     "SELECT COUNT(*) FROM t WHERE f > 0.0 OR i < 0",
     "SELECT k, AVG(f) AS a, MIN(i), MAX(i) FROM t GROUP BY k ORDER BY k",
-    // ORDER BY-heavy: full sorts over every row (no LIMIT, so the
-    // sort_limit_fusion rule cannot shrink them to TopK).
-    "SELECT k, i, f FROM t ORDER BY f DESC, i, k",
-    "SELECT i, k FROM t WHERE i IS NOT NULL ORDER BY i, k DESC",
+    // ORDER BY-heavy: sorts over every row, capped so the response
+    // stays small (wire streaming would otherwise dominate both the
+    // cached and uncached cost and hide the execution savings).
+    "SELECT k, i, f FROM t ORDER BY f DESC, i, k LIMIT 50",
+    "SELECT i, k FROM t WHERE i IS NOT NULL ORDER BY i, k DESC LIMIT 100",
     // Join-heavy: fact-dim equi-joins with aggregation and a full
     // ORDER BY over the joined rows.
     "SELECT d.grp AS grp, COUNT(*) AS c, SUM(t.i) AS s FROM t JOIN d ON t.k = d.k \
@@ -61,11 +74,16 @@ const TEMPLATES: &[&str] = &[
 const PREPARED_SQL: &str = "SELECT k, COUNT(*) AS c FROM t WHERE i > ? GROUP BY k ORDER BY k";
 const PREPARED_PARAMS: &[i64] = &[0, 50, 100, 250];
 
+/// Zipf exponent for template selection: rank k is drawn with
+/// probability ∝ 1/k^ZIPF_S.
+const ZIPF_S: f64 = 1.1;
+
 struct Args {
     connections: usize,
     duration: Duration,
     rows: usize,
     budget: Option<usize>,
+    min_speedup: Option<f64>,
     addr: Option<String>,
 }
 
@@ -94,6 +112,15 @@ fn parse_args() -> Args {
                 eprintln!("error: --budget requires a positive integer");
                 std::process::exit(2);
             })
+        }),
+        min_speedup: get("--min-speedup").map(|v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|s| *s > 0.0)
+                .unwrap_or_else(|| {
+                    eprintln!("error: --min-speedup requires a positive number");
+                    std::process::exit(2);
+                })
         }),
         addr: get("--addr"),
     }
@@ -155,6 +182,158 @@ fn tables_identical(a: &Table, b: &Table) -> bool {
     true
 }
 
+/// A tiny deterministic PRNG (splitmix64) — no vendored rand needed and
+/// every run draws the same skewed sequence per (connection, phase).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The zipf CDF over `n` ranks (rank k drawn ∝ 1/(k+1)^ZIPF_S).
+fn zipf_cdf(n: usize) -> Vec<f64> {
+    let weights: Vec<f64> = (0..n)
+        .map(|k| 1.0 / ((k + 1) as f64).powf(ZIPF_S))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+fn draw(cdf: &[f64], state: &mut u64) -> usize {
+    let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    cdf.iter().position(|&c| u <= c).unwrap_or(cdf.len() - 1)
+}
+
+/// One measured phase: all connections loop zipf-skewed over the
+/// workload until the deadline, with the result cache either opted out
+/// of or left on. Returns (sorted latencies, cache hits seen).
+fn run_phase(
+    addr: &str,
+    args: &Args,
+    expected: &Option<Arc<Vec<Table>>>,
+    cache_on: bool,
+    failed: &Arc<AtomicBool>,
+    mismatches: &Arc<AtomicU64>,
+) -> (Vec<Duration>, u64) {
+    let deadline = Instant::now() + args.duration;
+    let total_work = TEMPLATES.len() + PREPARED_PARAMS.len();
+    let cdf = Arc::new(zipf_cdf(total_work));
+    let hits = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..args.connections)
+        .map(|ci| {
+            let addr = addr.to_string();
+            let expected = expected.clone();
+            let failed = Arc::clone(failed);
+            let mismatches = Arc::clone(mismatches);
+            let hits = Arc::clone(&hits);
+            let cdf = Arc::clone(&cdf);
+            std::thread::spawn(move || -> Vec<Duration> {
+                let mut latencies = Vec::new();
+                let mut client = match Client::connect(addr.as_str()) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("connection {ci}: connect failed: {e}");
+                        failed.store(true, Ordering::Relaxed);
+                        return latencies;
+                    }
+                };
+                if let Err(e) = client.prepare("hot", PREPARED_SQL) {
+                    eprintln!("connection {ci}: prepare failed: {e}");
+                    failed.store(true, Ordering::Relaxed);
+                    return latencies;
+                }
+                if !cache_on {
+                    if let Err(e) = client.set_option("result_cache", "off") {
+                        eprintln!("connection {ci}: set_option failed: {e}");
+                        failed.store(true, Ordering::Relaxed);
+                        return latencies;
+                    }
+                }
+                // Distinct deterministic stream per (connection, phase).
+                let mut rng = (ci as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(cache_on as u64);
+                while Instant::now() < deadline {
+                    let w = draw(&cdf, &mut rng);
+                    let started = Instant::now();
+                    let result = if w < TEMPLATES.len() {
+                        client.query(TEMPLATES[w])
+                    } else {
+                        let p = PREPARED_PARAMS[w - TEMPLATES.len()];
+                        client.execute_prepared("hot", &[Value::Int(p)])
+                    };
+                    let elapsed = started.elapsed();
+                    match result {
+                        Ok(r) => {
+                            latencies.push(elapsed);
+                            if r.notes.iter().any(|n| n.starts_with("result cache hit")) {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if let Some(exp) = &expected {
+                                if !tables_identical(&r.table, &exp[w]) {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                    failed.store(true, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("connection {ci}: query failed: {e}");
+                            failed.store(true, Ordering::Relaxed);
+                            return latencies;
+                        }
+                    }
+                }
+                let _ = client.close();
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("worker thread panicked"));
+    }
+    latencies.sort_unstable();
+    (latencies, hits.load(Ordering::Relaxed))
+}
+
+fn report_phase(label: &str, latencies: &[Duration], wall: Duration, hits: u64) -> f64 {
+    let total = latencies.len();
+    let qps = total as f64 / wall.as_secs_f64();
+    let pct = |p: f64| -> Duration {
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        latencies[(((total - 1) as f64) * p).round() as usize]
+    };
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    println!("phase {label}:");
+    println!("  queries:        {total}");
+    println!("  throughput:     {qps:.1} QPS");
+    println!(
+        "  latency:        p50 {:.2} ms   p95 {:.2} ms   p99 {:.2} ms   max {:.2} ms",
+        ms(pct(0.50)),
+        ms(pct(0.95)),
+        ms(pct(0.99)),
+        ms(pct(1.0)),
+    );
+    let hit_rate = if total == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / total as f64
+    };
+    println!("  cache hits:     {hits} ({hit_rate:.1}% of responses)");
+    qps
+}
+
 fn main() {
     let args = parse_args();
     let external = args.addr.is_some();
@@ -193,7 +372,8 @@ fn main() {
     };
 
     eprintln!(
-        "loadgen: {} connections x {:?} against {addr} ({} templates + 1 prepared x {} params, {} rows)",
+        "loadgen: {} connections x {:?} x 2 phases (cache off/on) against {addr} \
+         ({} templates + 1 prepared x {} params, zipf s={ZIPF_S}, {} rows)",
         args.connections,
         args.duration,
         TEMPLATES.len(),
@@ -203,95 +383,21 @@ fn main() {
 
     let failed = Arc::new(AtomicBool::new(false));
     let mismatches = Arc::new(AtomicU64::new(0));
-    let deadline = Instant::now() + args.duration;
-    let total_work = TEMPLATES.len() + PREPARED_PARAMS.len();
-
-    let workers: Vec<_> = (0..args.connections)
-        .map(|ci| {
-            let addr = addr.clone();
-            let expected = expected.clone();
-            let failed = Arc::clone(&failed);
-            let mismatches = Arc::clone(&mismatches);
-            std::thread::spawn(move || -> Vec<Duration> {
-                let mut latencies = Vec::new();
-                let mut client = match Client::connect(addr.as_str()) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        eprintln!("connection {ci}: connect failed: {e}");
-                        failed.store(true, Ordering::Relaxed);
-                        return latencies;
-                    }
-                };
-                if let Err(e) = client.prepare("hot", PREPARED_SQL) {
-                    eprintln!("connection {ci}: prepare failed: {e}");
-                    failed.store(true, Ordering::Relaxed);
-                    return latencies;
-                }
-                // Stagger the starting template so connections don't
-                // hammer the same query in lockstep.
-                let mut iter = ci;
-                while Instant::now() < deadline {
-                    let w = iter % total_work;
-                    iter += 1;
-                    let started = Instant::now();
-                    let result = if w < TEMPLATES.len() {
-                        client.query(TEMPLATES[w])
-                    } else {
-                        let p = PREPARED_PARAMS[w - TEMPLATES.len()];
-                        client.execute_prepared("hot", &[Value::Int(p)])
-                    };
-                    let elapsed = started.elapsed();
-                    match result {
-                        Ok(r) => {
-                            latencies.push(elapsed);
-                            if let Some(exp) = &expected {
-                                if !tables_identical(&r.table, &exp[w]) {
-                                    mismatches.fetch_add(1, Ordering::Relaxed);
-                                    failed.store(true, Ordering::Relaxed);
-                                }
-                            }
-                        }
-                        Err(e) => {
-                            eprintln!("connection {ci}: query failed: {e}");
-                            failed.store(true, Ordering::Relaxed);
-                            return latencies;
-                        }
-                    }
-                }
-                let _ = client.close();
-                latencies
-            })
-        })
-        .collect();
 
     let started = Instant::now();
-    let mut latencies: Vec<Duration> = Vec::new();
-    for w in workers {
-        latencies.extend(w.join().expect("worker thread panicked"));
-    }
-    let wall = started.elapsed().max(args.duration);
-
-    latencies.sort_unstable();
-    let total = latencies.len();
-    let qps = total as f64 / wall.as_secs_f64();
-    let pct = |p: f64| -> Duration {
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        latencies[(((total - 1) as f64) * p).round() as usize]
-    };
-    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let (lat_off, hits_off) = run_phase(&addr, &args, &expected, false, &failed, &mismatches);
+    let wall_off = started.elapsed().max(args.duration);
+    let started = Instant::now();
+    let (lat_on, hits_on) = run_phase(&addr, &args, &expected, true, &failed, &mismatches);
+    let wall_on = started.elapsed().max(args.duration);
 
     println!("connections:      {}", args.connections);
-    println!("queries:          {total}");
-    println!("throughput:       {qps:.1} QPS");
-    println!(
-        "latency:          p50 {:.2} ms   p95 {:.2} ms   p99 {:.2} ms   max {:.2} ms",
-        ms(pct(0.50)),
-        ms(pct(0.95)),
-        ms(pct(0.99)),
-        ms(pct(1.0)),
-    );
+    let qps_off = report_phase("cache=off", &lat_off, wall_off, hits_off);
+    let qps_on = report_phase("cache=on", &lat_on, wall_on, hits_on);
+    let speedup = if qps_off > 0.0 { qps_on / qps_off } else { 0.0 };
+    println!("cache speedup:    {speedup:.1}x QPS (on vs off)");
+
+    let total = lat_off.len() + lat_on.len();
     let mut budget_violated = false;
     if let Some(handle) = &handle {
         let peak = mosaic_core::worker_thread_peak();
@@ -320,7 +426,14 @@ fn main() {
     if total == 0 {
         eprintln!("FAIL: no queries completed");
     }
-    if failed.load(Ordering::Relaxed) || budget_violated || total == 0 {
+    let mut too_slow = false;
+    if let Some(floor) = args.min_speedup {
+        if speedup < floor {
+            too_slow = true;
+            eprintln!("FAIL: cache speedup {speedup:.1}x below the {floor:.1}x floor");
+        }
+    }
+    if failed.load(Ordering::Relaxed) || budget_violated || total == 0 || too_slow {
         std::process::exit(1);
     }
     if !external {

@@ -110,6 +110,12 @@ pub struct Catalog {
     global_population: Option<String>,
     /// Bumped on any mutation that invalidates cached generative models.
     pub(crate) epoch: u64,
+    /// Per-relation write epochs: for each relation (or metadata) name,
+    /// the value of `epoch` at its last mutation. A cached artifact that
+    /// reads a set of relations is valid iff every one of their epochs is
+    /// unchanged. Entries survive `DROP` (the drop *is* a mutation), so a
+    /// dropped-and-recreated relation never matches a stale epoch.
+    relation_epochs: HashMap<String, u64>,
 }
 
 fn key(name: &str) -> String {
@@ -122,12 +128,29 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// Record a mutation of `name`: advance the global epoch and stamp
+    /// the relation with it. Every write path calls this under the
+    /// engine's catalog write lock, so epoch reads taken under the read
+    /// lock are consistent with the data they describe.
+    fn bump(&mut self, name: &str) {
+        self.epoch += 1;
+        self.relation_epochs.insert(key(name), self.epoch);
+    }
+
+    /// The write epoch of a relation (or metadata entry): the global
+    /// epoch at its last mutation, `0` if it has never been written.
+    /// Epochs are never reused — a `DROP` bumps the name too — so two
+    /// equal epochs for a name always describe the same catalog state.
+    pub fn relation_epoch(&self, name: &str) -> u64 {
+        self.relation_epochs.get(&key(name)).copied().unwrap_or(0)
+    }
+
     /// Register an auxiliary table, replacing any previous one of the same
     /// name.
     pub fn create_aux(&mut self, name: &str, table: Table) -> Result<()> {
         self.ensure_name_free(name, Kind::Aux)?;
         self.aux.insert(key(name), table);
-        self.epoch += 1;
+        self.bump(name);
         Ok(())
     }
 
@@ -142,7 +165,7 @@ impl Catalog {
             return Err(MosaicError::Catalog(format!("unknown table {name}")));
         }
         self.aux.insert(key(name), table);
-        self.epoch += 1;
+        self.bump(name);
         Ok(())
     }
 
@@ -170,8 +193,9 @@ impl Catalog {
                 )));
             }
         }
+        let name = pop.name.clone();
         self.populations.insert(key(&pop.name), pop);
-        self.epoch += 1;
+        self.bump(&name);
         Ok(())
     }
 
@@ -196,8 +220,13 @@ impl Catalog {
                 sample.population, sample.name
             )));
         }
+        let (name, population) = (sample.name.clone(), sample.population.clone());
         self.samples.insert(key(&sample.name), sample);
-        self.epoch += 1;
+        // A new sample changes what population-level queries (SEMI-OPEN
+        // weight combination, OPEN model training) can see, so the
+        // reference population is a dependency that must move too.
+        self.bump(&name);
+        self.bump(&population);
         Ok(())
     }
 
@@ -225,7 +254,9 @@ impl Catalog {
             s.data.concat(&rows)?
         };
         s.weights.extend(std::iter::repeat_n(1.0, added));
-        self.epoch += 1;
+        let population = s.population.clone();
+        self.bump(name);
+        self.bump(&population);
         Ok(())
     }
 
@@ -243,7 +274,9 @@ impl Catalog {
             )));
         }
         s.weights = weights;
-        self.epoch += 1;
+        let population = s.population.clone();
+        self.bump(name);
+        self.bump(&population);
         Ok(())
     }
 
@@ -265,8 +298,12 @@ impl Catalog {
                 entry.name
             )));
         }
+        let (name, population) = (entry.name.clone(), entry.population.clone());
         self.metadata.push(entry);
-        self.epoch += 1;
+        // Marginals feed SEMI-OPEN re-weighting and OPEN model training,
+        // so new metadata is a write against its population as well.
+        self.bump(&name);
+        self.bump(&population);
         Ok(())
     }
 
@@ -331,28 +368,42 @@ impl Catalog {
     }
 
     /// Drop any relation (table, population, sample) or metadata by name.
+    /// The drop bumps the dropped name's epoch (and, for samples and
+    /// metadata, their reference population's), so cached plans and
+    /// results over it are invalidated exactly like any other write.
     pub fn drop_any(&mut self, name: &str) -> Result<()> {
         let k = key(name);
-        let existed = self.aux.remove(&k).is_some()
-            || self.samples.remove(&k).is_some()
-            || {
-                let found = self.populations.remove(&k).is_some();
-                if found && self.global_population.as_deref().map(key) == Some(k.clone()) {
-                    self.global_population = None;
-                }
-                found
-            }
-            || {
-                let before = self.metadata.len();
-                self.metadata.retain(|m| !m.name.eq_ignore_ascii_case(name));
-                self.metadata.len() != before
-            };
-        if existed {
-            self.epoch += 1;
-            Ok(())
-        } else {
-            Err(MosaicError::Catalog(format!("unknown relation {name}")))
+        if self.aux.remove(&k).is_some() {
+            self.bump(name);
+            return Ok(());
         }
+        if let Some(s) = self.samples.remove(&k) {
+            self.bump(name);
+            self.bump(&s.population);
+            return Ok(());
+        }
+        if self.populations.remove(&k).is_some() {
+            if self.global_population.as_deref().map(key) == Some(k) {
+                self.global_population = None;
+            }
+            self.bump(name);
+            return Ok(());
+        }
+        let mut dropped_population: Option<String> = None;
+        self.metadata.retain(|m| {
+            if m.name.eq_ignore_ascii_case(name) {
+                dropped_population = Some(m.population.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(population) = dropped_population {
+            self.bump(name);
+            self.bump(&population);
+            return Ok(());
+        }
+        Err(MosaicError::Catalog(format!("unknown relation {name}")))
     }
 
     fn ensure_name_free(&self, name: &str, kind: Kind) -> Result<()> {
@@ -526,6 +577,42 @@ mod tests {
                 empty_table(Schema::new(vec![Field::new("a", DataType::Int)]))
             )
             .is_err());
+    }
+
+    #[test]
+    fn relation_epochs_track_writes() {
+        let mut c = Catalog::new();
+        assert_eq!(c.relation_epoch("t"), 0);
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        c.create_aux("t", empty_table(Arc::clone(&schema))).unwrap();
+        let t1 = c.relation_epoch("T");
+        assert!(t1 > 0, "creation stamps an epoch (case-insensitively)");
+        c.create_population(pop("GP", true)).unwrap();
+        assert_eq!(c.relation_epoch("t"), t1, "unrelated writes leave t alone");
+        let gp1 = c.relation_epoch("gp");
+        c.create_sample(Sample {
+            name: "S".into(),
+            population: "GP".into(),
+            predicate: None,
+            mechanism: None,
+            data: empty_table(Arc::clone(&schema)),
+            weights: vec![],
+        })
+        .unwrap();
+        assert!(
+            c.relation_epoch("gp") > gp1,
+            "a sample write moves its population too"
+        );
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec![1.into()]).unwrap();
+        let gp2 = c.relation_epoch("gp");
+        let s1 = c.relation_epoch("s");
+        c.append_to_sample("S", b.finish()).unwrap();
+        assert!(c.relation_epoch("s") > s1);
+        assert!(c.relation_epoch("gp") > gp2);
+        let t_before_drop = c.relation_epoch("t");
+        c.drop_any("t").unwrap();
+        assert!(c.relation_epoch("t") > t_before_drop, "DROP is a write");
     }
 
     #[test]

@@ -140,6 +140,21 @@ pub struct EngineOptions {
     /// merge). Defaults to `MOSAIC_AGG_PARTITIONS` or 16; like the
     /// thread cap, never changes results.
     pub agg_partitions: usize,
+    /// Result-cache capacity in megabytes; `0` disables the result
+    /// cache engine-wide. Defaults to `MOSAIC_RESULT_CACHE` (`off` or a
+    /// megabyte count) or 64. Caching never changes results — the
+    /// determinism contract makes a valid cached result bit-identical
+    /// to re-execution — it only removes latency.
+    pub result_cache_mb: usize,
+    /// Per-query result-cache participation gate (sessions override it
+    /// via [`Session::with_result_cache`]). `false` skips both lookup
+    /// and insert for the query without touching the shared cache.
+    pub result_cache: bool,
+    /// True when the OPEN generation seed was set explicitly (via
+    /// [`Session::with_seed`] or [`EngineOptions::with_open_seed`]).
+    /// OPEN queries without an explicit seed are treated as
+    /// resample-on-every-run and are ineligible for the result cache.
+    pub open_seed_explicit: bool,
 }
 
 impl Default for EngineOptions {
@@ -152,6 +167,9 @@ impl Default for EngineOptions {
             parallelism: crate::plan::parallel::default_parallelism(),
             optimizer: crate::plan::optimize::default_optimizer(),
             agg_partitions: crate::plan::parallel::default_agg_partitions(),
+            result_cache_mb: crate::cache::default_result_cache_mb(),
+            result_cache: true,
+            open_seed_explicit: false,
         }
     }
 }
@@ -200,6 +218,24 @@ impl EngineOptions {
     /// 1 = serial merge). Results are bit-identical for any count.
     pub fn with_agg_partitions(mut self, n: usize) -> Self {
         self.agg_partitions = n.max(1);
+        self
+    }
+
+    /// Set the result-cache capacity in megabytes (`0` disables the
+    /// cache engine-wide). Caching never changes results, only latency.
+    pub fn with_result_cache(mut self, mb: usize) -> Self {
+        self.result_cache_mb = mb;
+        self
+    }
+
+    /// Set the OPEN generation seed *explicitly*. Unlike reaching
+    /// through [`EngineOptions::with_open`], this also marks the seed
+    /// as pinned, which makes seeded OPEN queries eligible for the
+    /// result cache (an unpinned OPEN query is treated as
+    /// resample-on-every-run and never cached).
+    pub fn with_open_seed(mut self, seed: u64) -> Self {
+        self.open.seed = seed;
+        self.open_seed_explicit = true;
         self
     }
 }
@@ -271,6 +307,12 @@ pub struct MosaicEngine {
     catalog: RwLock<Catalog>,
     options: RwLock<EngineOptions>,
     model_cache: ModelCache,
+    /// Epoch-invalidated query results, shared by every session (see
+    /// [`crate::cache`]).
+    result_cache: crate::cache::ResultCache,
+    /// Bound-and-optimized plans for ad-hoc SQL, keyed on the statement
+    /// text, shared by every session and wire connection.
+    plan_cache: crate::cache::PlanCache,
 }
 
 impl Default for MosaicEngine {
@@ -292,6 +334,8 @@ impl MosaicEngine {
             catalog: RwLock::new(Catalog::new()),
             options: RwLock::new(options),
             model_cache: Mutex::new(HashMap::new()),
+            result_cache: crate::cache::ResultCache::default(),
+            plan_cache: crate::cache::PlanCache::default(),
         }
     }
 
@@ -366,6 +410,9 @@ impl MosaicEngine {
         }
         if let Some(seed) = session.seed {
             o.open.seed = seed;
+            // A session-pinned seed makes OPEN results reproducible by
+            // request, which is what result-cache eligibility keys on.
+            o.open_seed_explicit = true;
         }
         if let Some(p) = session.parallelism {
             o.parallelism = p.max(1);
@@ -379,6 +426,9 @@ impl MosaicEngine {
         if let Some(opt) = session.optimizer {
             o.optimizer = opt;
         }
+        if let Some(rc) = session.result_cache {
+            o.result_cache = rc;
+        }
         o
     }
 
@@ -386,8 +436,22 @@ impl MosaicEngine {
     /// given session overrides; returns the result of the last SELECT
     /// (or an empty result).
     pub(crate) fn execute_with(&self, sql: &str, session: &SessionOptions) -> Result<QueryResult> {
-        let stmts = parse(sql)?;
+        // Hot path: a valid cached plan for this exact script text
+        // skips parse/bind/optimize entirely — repeated ad-hoc `Query`
+        // frames over the wire land here.
+        if let Some(r) = self.execute_hot(sql, session) {
+            return r;
+        }
         let opts = self.effective_options(session);
+        let mut stmts = parse(sql)?;
+        // Single-SELECT scripts bind through the plan cache so the next
+        // identical script takes the hot path above.
+        if stmts.len() == 1 && matches!(stmts[0], Statement::Select(_)) {
+            let Some(Statement::Select(stmt)) = stmts.pop() else {
+                unreachable!("matched above");
+            };
+            return self.execute_select_sql(sql, stmt, &opts);
+        }
         let mut last = QueryResult::empty();
         for stmt in stmts {
             if let Some(r) = self.execute_statement(stmt, &opts)? {
@@ -395,6 +459,112 @@ impl MosaicEngine {
             }
         }
         Ok(last)
+    }
+
+    /// Execute `sql` through the shared plan cache alone: `Some` when
+    /// an epoch-valid plan is cached under the exact script text (no
+    /// parsing happens at all), `None` when the caller must take the
+    /// ordinary parse path.
+    pub(crate) fn execute_hot(
+        &self,
+        sql: &str,
+        session: &SessionOptions,
+    ) -> Option<Result<QueryResult>> {
+        let opts = self.effective_options(session);
+        let cat = self.catalog.read();
+        let p = self
+            .plan_cache
+            .get(sql, opts.default_visibility, opts.optimizer, |n| {
+                cat.relation_epoch(n)
+            })?;
+        Some(self.select_prepared(&cat, &opts, &p, &[]))
+    }
+
+    /// Execute one single-SELECT script: bind it as a prepared plan,
+    /// publish the plan under the script text for cross-session reuse,
+    /// and run it through the result cache. Statements the binder does
+    /// not support (and parameterized statements, which cannot execute
+    /// ad hoc anyway) fall back to the ordinary uncached path so its
+    /// errors and semantics surface verbatim.
+    fn execute_select_sql(
+        &self,
+        sql: &str,
+        stmt: SelectStmt,
+        opts: &EngineOptions,
+    ) -> Result<QueryResult> {
+        let cat = self.catalog.read();
+        match crate::session::Prepared::bind(&cat, opts, stmt.clone(), sql) {
+            Ok(p) if p.param_count() == 0 => {
+                let epochs = epoch_snapshot(&cat, &p.relations());
+                let p = Arc::new(p);
+                self.plan_cache.insert(
+                    sql,
+                    opts.default_visibility,
+                    opts.optimizer,
+                    Arc::clone(&p),
+                    epochs,
+                );
+                self.select_prepared(&cat, opts, &p, &[])
+            }
+            _ => self.select(&cat, opts, &stmt, QueryPlans::default()),
+        }
+    }
+
+    /// Execute a bound statement through the result cache: look the
+    /// fingerprint up under the same catalog read guard the execution
+    /// would use (so epoch checks and execution see one catalog state),
+    /// fall through to [`MosaicEngine::select`] on a miss, and insert
+    /// the fresh result under the current epoch snapshot.
+    pub(crate) fn select_prepared(
+        &self,
+        cat: &Catalog,
+        opts: &EngineOptions,
+        prepared: &crate::session::Prepared,
+        params: &[Value],
+    ) -> Result<QueryResult> {
+        let vis = prepared.visibility().unwrap_or(Visibility::Closed);
+        let enabled = opts.result_cache && opts.result_cache_mb > 0;
+        if !enabled || result_cache_ineligibility(opts, vis).is_some() {
+            return self.select(cat, opts, prepared.stmt(), prepared.query_plans(params));
+        }
+        let fp = fingerprint_of(prepared, params, opts, vis);
+        if let Some(mut hit) = self.result_cache.get(fp, |n| cat.relation_epoch(n)) {
+            hit.notes.push(format!(
+                "result cache hit (fingerprint {})",
+                crate::plan::fingerprint::format_fingerprint(fp)
+            ));
+            return Ok(hit);
+        }
+        let result = self.select(cat, opts, prepared.stmt(), prepared.query_plans(params))?;
+        let epochs = epoch_snapshot(cat, &prepared.relations());
+        self.result_cache
+            .insert(fp, &result, epochs, opts.result_cache_mb << 20);
+        Ok(result)
+    }
+
+    /// Point-in-time statistics of the shared result and plan caches.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        let mut s = crate::cache::CacheStats {
+            capacity_bytes: self.options.read().result_cache_mb << 20,
+            ..Default::default()
+        };
+        self.result_cache.stats_into(&mut s);
+        self.plan_cache.stats_into(&mut s);
+        s
+    }
+
+    /// Drop every cached result and plan. Cumulative counters are kept;
+    /// correctness never requires this call — epochs invalidate stale
+    /// entries automatically — it just releases memory.
+    pub fn clear_caches(&self) {
+        self.result_cache.clear();
+        self.plan_cache.clear();
+    }
+
+    /// Whether a valid (epoch-current) result is cached under `fp`
+    /// (`EXPLAIN`'s non-mutating probe).
+    pub(crate) fn result_cached(&self, fp: u64, cat: &Catalog) -> bool {
+        self.result_cache.peek(fp, |n| cat.relation_epoch(n))
     }
 
     pub(crate) fn execute_statement(
@@ -533,13 +703,23 @@ impl MosaicEngine {
                 Ok(None)
             }
             Statement::Select(stmt) => {
+                // Route through the result cache when the statement
+                // binds as a parameterless prepared plan (planning work
+                // is the same either way); statements the binder does
+                // not cover keep the plain path and its exact errors.
                 let cat = self.catalog.read();
-                self.select(&cat, opts, &stmt, QueryPlans::default())
-                    .map(Some)
+                match crate::session::Prepared::bind(&cat, opts, stmt.clone(), "") {
+                    Ok(p) if p.param_count() == 0 => {
+                        self.select_prepared(&cat, opts, &p, &[]).map(Some)
+                    }
+                    _ => self
+                        .select(&cat, opts, &stmt, QueryPlans::default())
+                        .map(Some),
+                }
             }
             Statement::Explain(stmt) => {
                 let cat = self.catalog.read();
-                let lines = crate::explain::render(&cat, opts, &stmt)?;
+                let lines = crate::explain::render(self, &cat, opts, &stmt)?;
                 let table = Table::new(
                     Schema::new(vec![Field::new("plan", DataType::Str)]),
                     vec![Column::from_str(lines)],
@@ -1781,6 +1961,72 @@ pub(crate) fn describe_semi_open(cat: &Catalog, pop: &Population, sample: &Sampl
         }
     }
     "no known mechanism or metadata — execution would fail".into()
+}
+
+/// Why a statement cannot participate in the result cache, or `None`
+/// when it is eligible. The only ineligible shape today: OPEN without an
+/// explicitly pinned seed — its results are only reproducible when the
+/// seed is fixed by the user, so caching would freeze one draw of a
+/// deliberately re-randomized process.
+pub(crate) fn result_cache_ineligibility(
+    opts: &EngineOptions,
+    vis: Visibility,
+) -> Option<&'static str> {
+    (vis == Visibility::Open && !opts.open_seed_explicit).then_some("OPEN without an explicit seed")
+}
+
+/// A stable rendering of the model-relevant options for the fingerprint:
+/// everything beyond the plan that shapes SEMI-OPEN/OPEN results. CLOSED
+/// queries consult none of it and hash `None`.
+pub(crate) fn model_config_string(opts: &EngineOptions, vis: Visibility) -> Option<String> {
+    let binners = || {
+        // HashMap iteration order is nondeterministic — sort before
+        // rendering or identical configs would hash apart.
+        let mut entries: Vec<String> = opts
+            .binners
+            .iter()
+            .map(|(k, b)| format!("{k}={b:?}"))
+            .collect();
+        entries.sort();
+        entries.join(",")
+    };
+    match vis {
+        Visibility::Closed => None,
+        Visibility::SemiOpen => Some(format!("ipf={:?}|binners={}", opts.ipf, binners())),
+        Visibility::Open => Some(format!(
+            "ipf={:?}|binners={}|backend={:?}|num_generated={}|rows_per_sample={:?}|seed={}",
+            opts.ipf,
+            binners(),
+            opts.open.backend,
+            opts.open.num_generated,
+            opts.open.rows_per_sample,
+            opts.open.seed,
+        )),
+    }
+}
+
+/// The canonical result-cache fingerprint of a bound statement.
+pub(crate) fn fingerprint_of(
+    prepared: &crate::session::Prepared,
+    params: &[Value],
+    opts: &EngineOptions,
+    vis: Visibility,
+) -> u64 {
+    crate::plan::fingerprint::plan_fingerprint(
+        &prepared.logical_plan().to_string(),
+        &prepared.relations(),
+        params,
+        vis,
+        model_config_string(opts, vis).as_deref(),
+    )
+}
+
+/// Snapshot the current epoch of every relation in `relations`.
+pub(crate) fn epoch_snapshot(cat: &Catalog, relations: &[String]) -> Vec<(String, u64)> {
+    relations
+        .iter()
+        .map(|r| (r.clone(), cat.relation_epoch(r)))
+        .collect()
 }
 
 /// Hash the parts of the options that shape a fitted model (backend

@@ -13,17 +13,65 @@ use mosaic_sql::{SelectItem, SelectStmt, Visibility};
 use mosaic_storage::Schema;
 
 use crate::catalog::Catalog;
-use crate::engine::{choose_sample, describe_semi_open, sample_scan_schema, EngineOptions};
+use crate::engine::{
+    choose_sample, describe_semi_open, fingerprint_of, result_cache_ineligibility,
+    sample_scan_schema, EngineOptions, MosaicEngine,
+};
+use crate::plan::fingerprint::format_fingerprint;
 use crate::plan::parallel::MORSEL_ROWS;
 use crate::plan::{has_aggregate_shape, plan_select, Planned};
 use crate::{MosaicError, Result};
 
-/// Render the EXPLAIN lines for one SELECT.
+/// Render the EXPLAIN lines for one SELECT: the plan layers, then the
+/// result-cache verdict (fingerprint, eligibility, whether a valid
+/// entry is cached right now).
 pub(crate) fn render(
+    engine: &MosaicEngine,
     cat: &Catalog,
     opts: &EngineOptions,
     stmt: &SelectStmt,
 ) -> Result<Vec<String>> {
+    let mut lines = render_plan(cat, opts, stmt)?;
+    push_cache_lines(&mut lines, engine, cat, opts, stmt);
+    Ok(lines)
+}
+
+/// Append the result-cache report. Statements the prepared-statement
+/// binder does not cover execute uncached, so no lines are emitted for
+/// them — the bind error (if any) surfaces at execution, not here.
+fn push_cache_lines(
+    lines: &mut Vec<String>,
+    engine: &MosaicEngine,
+    cat: &Catalog,
+    opts: &EngineOptions,
+    stmt: &SelectStmt,
+) {
+    let Ok(p) = crate::session::Prepared::bind(cat, opts, stmt.clone(), "") else {
+        return;
+    };
+    let vis = p.visibility().unwrap_or(Visibility::Closed);
+    let verdict = if !opts.result_cache || opts.result_cache_mb == 0 {
+        "off".to_string()
+    } else if let Some(why) = result_cache_ineligibility(opts, vis) {
+        format!("ineligible ({why})")
+    } else if p.param_count() > 0 {
+        // The fingerprint covers the bound values, so each distinct
+        // parameter vector caches separately.
+        "eligible (keyed per parameter values)".to_string()
+    } else {
+        let fp = fingerprint_of(&p, &[], opts, vis);
+        lines.push(format!("  fingerprint: {}", format_fingerprint(fp)));
+        if engine.result_cached(fp, cat) {
+            "eligible, cached".to_string()
+        } else {
+            "eligible, not cached".to_string()
+        }
+    };
+    lines.push(format!("  result cache: {verdict}"));
+}
+
+/// Render the plan lines for one SELECT.
+fn render_plan(cat: &Catalog, opts: &EngineOptions, stmt: &SelectStmt) -> Result<Vec<String>> {
     let mut lines = Vec::new();
     if let Some(fc) = &stmt.from {
         if crate::plan::join::needs_scope(stmt, fc) {

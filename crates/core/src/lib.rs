@@ -122,6 +122,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 pub mod catalog;
 mod engine;
 mod error;
@@ -132,6 +133,7 @@ mod models;
 pub mod plan;
 mod session;
 
+pub use cache::{default_result_cache_mb, CacheStats};
 pub use catalog::{Catalog, Mechanism, MetadataEntry, Population, Sample};
 pub use engine::{EngineOptions, MosaicDb, MosaicEngine, OpenBackend, OpenOptions, QueryResult};
 pub use error::MosaicError;
@@ -140,6 +142,7 @@ pub use exec::{
     run_select, run_select_parallel, run_select_partitioned, run_select_rowwise, run_select_with,
 };
 pub use models::{BnModel, GenerativeModel, SwgModel};
+pub use plan::fingerprint::{format_fingerprint, plan_fingerprint, StableHasher};
 pub use plan::join::{reference_join, reference_join_kinded, HashJoinOp, JoinSide};
 pub use plan::logical::{JoinOutCol, LogicalPlan, ScanColumn};
 pub use plan::optimize::{default_optimizer, optimize};

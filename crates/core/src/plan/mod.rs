@@ -28,6 +28,7 @@
 //! defaulting to `MOSAIC_AGG_PARTITIONS` or 16).
 
 pub(crate) mod aggregate;
+pub mod fingerprint;
 pub mod join;
 pub mod logical;
 pub mod optimize;

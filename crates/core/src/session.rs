@@ -49,6 +49,10 @@ pub struct SessionOptions {
     /// Whether this session's SELECT planning runs the rule-based
     /// logical optimizer (overrides [`EngineOptions::optimizer`]).
     pub optimizer: Option<bool>,
+    /// Whether this session's queries participate in the shared result
+    /// cache (overrides [`EngineOptions::result_cache`]). `Some(false)`
+    /// opts this session out without shrinking the engine-wide cache.
+    pub result_cache: Option<bool>,
 }
 
 /// A client session on a shared [`MosaicEngine`].
@@ -123,6 +127,16 @@ impl Session {
         self
     }
 
+    /// Opt this session in or out of the shared result cache (in by
+    /// default when the engine cache has capacity). Opting out never
+    /// shrinks the engine-wide cache — other sessions keep their hits.
+    /// Cached results are bit-identical to fresh execution, so this is
+    /// a memory/latency knob, not a correctness one.
+    pub fn with_result_cache(mut self, on: bool) -> Session {
+        self.overrides.result_cache = Some(on);
+        self
+    }
+
     /// Execute a script of semicolon-separated statements; returns the
     /// result of the last SELECT (or an empty result).
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
@@ -132,6 +146,14 @@ impl Session {
     /// Execute a script and return just the last result table.
     pub fn query(&self, sql: &str) -> Result<Table> {
         self.execute(sql).map(|r| r.table)
+    }
+
+    /// Execute `sql` only if the engine's shared plan cache holds an
+    /// epoch-valid plan for the exact script text — the zero-parse hot
+    /// path servers probe before falling back to [`Session::execute`].
+    /// `None` means no cached plan (never an error).
+    pub fn execute_cached(&self, sql: &str) -> Option<Result<QueryResult>> {
+        self.engine.execute_hot(sql, &self.overrides)
     }
 
     /// Execute one already-parsed statement (shells use this to report
@@ -184,12 +206,7 @@ impl Session {
         let opts = self.engine.effective_options(&self.overrides);
         let cat = self.engine.catalog();
         prepared.check_source(&cat)?;
-        let plans = QueryPlans {
-            plan: Some(&prepared.plan),
-            inner_plan: prepared.inner_plan.as_ref(),
-            params,
-        };
-        self.engine.select(&cat, &opts, &prepared.stmt, plans)
+        self.engine.select_prepared(&cat, &opts, prepared, params)
     }
 
     /// [`Session::execute_prepared`], returning just the result table.
@@ -287,10 +304,42 @@ impl Prepared {
         &self.fired
     }
 
+    /// The bound (visibility-resolved, possibly scope-rewritten)
+    /// statement this plan executes.
+    pub(crate) fn stmt(&self) -> &SelectStmt {
+        &self.stmt
+    }
+
+    /// Package the cached plans for [`MosaicEngine::select`].
+    pub(crate) fn query_plans<'a>(&'a self, params: &'a [Value]) -> QueryPlans<'a> {
+        QueryPlans {
+            plan: Some(&self.plan),
+            inner_plan: self.inner_plan.as_ref(),
+            params,
+        }
+    }
+
+    /// Resolved names of every relation this statement reads, for epoch
+    /// snapshots and the fingerprint (scalar SELECTs read none).
+    pub(crate) fn relations(&self) -> Vec<String> {
+        match &self.source {
+            PreparedSource::Scalar => Vec::new(),
+            PreparedSource::Aux(name)
+            | PreparedSource::Sample(name)
+            | PreparedSource::Population(name) => vec![name.clone()],
+            PreparedSource::Scope(rels) => rels.iter().map(|(name, _)| name.clone()).collect(),
+        }
+    }
+
     /// Bind a parsed SELECT against the catalog: resolve the source
     /// relation(s), check every referenced column against its schema,
     /// resolve the visibility pipeline, and lower the plan(s).
-    fn bind(cat: &Catalog, opts: &EngineOptions, stmt: SelectStmt, sql: &str) -> Result<Prepared> {
+    pub(crate) fn bind(
+        cat: &Catalog,
+        opts: &EngineOptions,
+        stmt: SelectStmt,
+        sql: &str,
+    ) -> Result<Prepared> {
         let param_count = stmt.param_count();
         // Multi-relation scopes (joins, aliases, qualified references)
         // bind through the scope binder and cache the join plan.
@@ -364,17 +413,53 @@ impl Prepared {
         };
         // Name binding: every referenced column must exist in the
         // source schema (sample schemas were already augmented with the
-        // engine-managed `weight` column above).
+        // engine-managed `weight` column above). ORDER BY keys get one
+        // extra degree of freedom, mirroring the scope binder: a name
+        // matching a SELECT item's output name (its alias or written
+        // spelling) is a projection reference the sort resolves against
+        // the output table at execution.
         if let Some(schema) = &schema {
-            for c in stmt.referenced_columns() {
-                if !schema.contains(&c) {
-                    return Err(MosaicError::Bind(format!(
-                        "unknown column {c} in relation {}",
-                        stmt.from
-                            .as_ref()
-                            .map(|f| f.base.name.as_str())
-                            .unwrap_or("<scalar>")
-                    )));
+            let output_names: Vec<String> = stmt
+                .items
+                .iter()
+                .filter_map(|i| match i {
+                    SelectItem::Expr { alias: Some(a), .. } => Some(a.clone()),
+                    SelectItem::Expr { expr, alias: None } => Some(expr.default_name()),
+                    SelectItem::Wildcard => None,
+                })
+                .collect();
+            let unknown = |c: &str| {
+                MosaicError::Bind(format!(
+                    "unknown column {c} in relation {}",
+                    stmt.from
+                        .as_ref()
+                        .map(|f| f.base.name.as_str())
+                        .unwrap_or("<scalar>")
+                ))
+            };
+            let body = stmt
+                .items
+                .iter()
+                .filter_map(|i| match i {
+                    SelectItem::Expr { expr, .. } => Some(expr),
+                    SelectItem::Wildcard => None,
+                })
+                .chain(stmt.where_clause.iter())
+                .chain(stmt.group_by.iter());
+            for e in body {
+                for c in e.referenced_columns() {
+                    if !schema.contains(&c) {
+                        return Err(unknown(&c));
+                    }
+                }
+            }
+            for (e, _) in &stmt.order_by {
+                for c in e.referenced_columns() {
+                    if !schema.contains(&c)
+                        && !output_names.iter().any(|n| n.eq_ignore_ascii_case(&c))
+                    {
+                        return Err(unknown(&c));
+                    }
                 }
             }
         }

@@ -16,6 +16,8 @@
 //! `.help`, `.quit`, `.notes on|off` (execution diagnostics),
 //! `.optimizer on|off` (session override of the logical-plan optimizer;
 //! `\explain` then shows the optimized pipeline with the fired rules),
+//! `.cache on|off|stats|clear` (the epoch-invalidated result cache:
+//! per-session gate, engine-wide counters, engine-wide clear),
 //! `.load <csv> <table>` (ingest a CSV file as an auxiliary table),
 //! `.serve <addr>` (expose this shell's engine over TCP in the
 //! background — the wire protocol of `mosaic-serve`),
@@ -28,22 +30,42 @@
 //! never changes results), `--partitions N` (radix partition count for
 //! the parallel aggregate merge and the hash-join build; overrides
 //! `MOSAIC_AGG_PARTITIONS`; `.partitions N` changes it mid-session;
-//! never changes results), `--serve <addr>` (skip the shell entirely and
-//! run the TCP server in the foreground; `--threads` then sets the
-//! shared worker budget every connection draws from).
+//! never changes results), `--result-cache <MB>|off` (capacity of the
+//! engine's epoch-invalidated result cache; overrides
+//! `MOSAIC_RESULT_CACHE`; never changes results — cached results are
+//! bit-identical by the determinism contract), `--serve <addr>` (skip
+//! the shell entirely and run the TCP server in the foreground;
+//! `--threads` then sets the shared worker budget every connection
+//! draws from).
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
-use mosaic_core::{eval_scalar, MosaicEngine, Prepared, QueryResult, Session, Value};
+use mosaic_core::{
+    eval_scalar, EngineOptions, MosaicEngine, Prepared, QueryResult, Session, Value,
+};
 use mosaic_serve::{ServeConfig, Server, ServerHandle};
 use mosaic_sql::parse_spanned;
 
 fn main() {
-    let engine = Arc::new(MosaicEngine::new());
-    let mut session = engine.session();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut engine_options = EngineOptions::default();
+    if let Some(i) = args.iter().position(|a| a == "--result-cache") {
+        match args.get(i + 1).map(String::as_str) {
+            Some("off") => engine_options = engine_options.with_result_cache(0),
+            Some(v) if v.parse::<usize>().is_ok() => {
+                engine_options =
+                    engine_options.with_result_cache(v.parse().expect("checked above"));
+            }
+            _ => {
+                eprintln!("error: --result-cache requires a capacity in MB, or 'off'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let engine = Arc::new(MosaicEngine::with_options(engine_options));
+    let mut session = engine.session();
     let interactive = !args.iter().any(|a| a == "--batch");
     let mut threads: Option<usize> = None;
     if let Some(i) = args.iter().position(|a| a == "--threads") {
@@ -226,6 +248,7 @@ impl Shell {
                      .notes on|off              toggle execution diagnostics\n\
                      .optimizer on|off          toggle the logical plan optimizer (this session)\n\
                      .partitions N              radix partitions for aggregate merge + join build\n\
+                     .cache on|off|stats|clear  result cache: session gate, stats, engine clear\n\
                      .tables                    list registered relations with their kinds\n\
                      .schema <name>             show a relation's columns with types\n\
                      .load <csv> <table>        ingest a CSV file as an auxiliary table\n\
@@ -275,6 +298,43 @@ impl Shell {
                 };
                 self.session = self.session.clone().with_optimizer(on);
                 println!("optimizer {}", if on { "on" } else { "off" });
+            }
+            "cache" => {
+                // The shared result/plan cache: a per-session gate
+                // (on|off), engine-wide statistics, and an engine-wide
+                // clear. Epoch invalidation keeps entries correct
+                // automatically — `clear` only releases memory.
+                match rest {
+                    "on" | "off" => {
+                        let on = rest == "on";
+                        self.session = self.session.clone().with_result_cache(on);
+                        println!("result cache {}", if on { "on" } else { "off" });
+                    }
+                    "clear" => {
+                        self.session.engine().clear_caches();
+                        println!("caches cleared");
+                    }
+                    "stats" | "" => {
+                        let s = self.session.engine().cache_stats();
+                        println!(
+                            "result cache: {} entr{} / {} byte(s) of {} capacity",
+                            s.entries,
+                            if s.entries == 1 { "y" } else { "ies" },
+                            s.bytes,
+                            s.capacity_bytes
+                        );
+                        println!(
+                            "  hits {} / misses {} / insertions {} / evictions {} / \
+                             invalidations {}",
+                            s.hits, s.misses, s.insertions, s.evictions, s.invalidations
+                        );
+                        println!(
+                            "plan cache: hits {} / misses {}",
+                            s.plan_hits, s.plan_misses
+                        );
+                    }
+                    _ => eprintln!("usage: .cache on|off|stats|clear"),
+                }
             }
             "partitions" => {
                 // Radix partition count for the parallel aggregate merge

@@ -175,6 +175,14 @@ impl Client {
         }
     }
 
+    /// Fetch the engine's result/plan cache statistics as a
+    /// `(stat TEXT, value INT)` table (see
+    /// [`CacheStats`](mosaic_core::CacheStats) for the row meanings).
+    pub fn cache_stats(&mut self) -> Result<RemoteResult, ClientError> {
+        self.send(&Request::CacheStats)?;
+        self.read_result()
+    }
+
     /// Close the connection cleanly.
     pub fn close(mut self) -> Result<(), ClientError> {
         self.send(&Request::Close)?;

@@ -117,6 +117,7 @@ const T_PREPARE: u8 = 0x02;
 const T_EXECUTE: u8 = 0x03;
 const T_SET_OPTION: u8 = 0x04;
 const T_CLOSE: u8 = 0x05;
+const T_CACHE_STATS: u8 = 0x06;
 const T_HELLO: u8 = 0x81;
 const T_SCHEMA: u8 = 0x82;
 const T_ROW_BATCH: u8 = 0x83;
@@ -156,6 +157,11 @@ pub enum Request {
         /// Option value, as text.
         value: String,
     },
+    /// Ask for the engine's result/plan cache statistics. The server
+    /// answers with an ordinary result stream (`Schema` → `RowBatch` →
+    /// `Done`) of a two-column `(stat TEXT, value INT)` table, so
+    /// clients reuse their result machinery.
+    CacheStats,
     /// Close the connection cleanly.
     Close,
 }
@@ -470,6 +476,7 @@ impl Request {
                 put_str(&mut buf, value);
                 T_SET_OPTION
             }
+            Request::CacheStats => T_CACHE_STATS,
             Request::Close => T_CLOSE,
         };
         (ty, buf)
@@ -498,6 +505,7 @@ impl Request {
                 key: cur.str()?,
                 value: cur.str()?,
             },
+            T_CACHE_STATS => Request::CacheStats,
             T_CLOSE => Request::Close,
             t => return Err(DecodeError(format!("unknown request type 0x{t:02x}"))),
         };
@@ -683,6 +691,7 @@ mod tests {
             key: "visibility".into(),
             value: "closed".into(),
         });
+        roundtrip_req(Request::CacheStats);
         roundtrip_req(Request::Close);
     }
 

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use mosaic_core::{MosaicEngine, Prepared, QueryResult, Session, Visibility};
-use mosaic_sql::parse_spanned;
+use mosaic_sql::{parse_spanned, Statement};
 use mosaic_storage::Value;
 
 use crate::admission::PermitPool;
@@ -321,6 +321,7 @@ impl Connection {
                     self.execute_prepared(&mut writer, &name, &params)?
                 }
                 Request::SetOption { key, value } => self.set_option(&mut writer, &key, &value)?,
+                Request::CacheStats => self.cache_stats(&mut writer)?,
             }
         }
     }
@@ -340,6 +341,28 @@ impl Connection {
     /// CLI behavior, now protocol-visible): an error frame names the
     /// failing statement's 0-based index and text.
     fn query(&mut self, w: &mut impl Write, sql: &str) -> io::Result<()> {
+        // Zero-parse hot path: if the engine's shared plan cache holds
+        // an epoch-valid plan for this exact script text, execute it
+        // directly — no parsing, binding, or planning on this request.
+        {
+            let permit = self.admit();
+            let session = self.session.clone().with_parallelism(permit.threads());
+            if let Some(result) = session.execute_cached(sql) {
+                drop(permit);
+                return match result {
+                    Ok(r) => self.stream_result(w, &r),
+                    Err(e) => send(
+                        w,
+                        &Response::Error(WireError {
+                            code: error_code(&e),
+                            statement_index: Some(0),
+                            statement_text: sql.trim().to_string(),
+                            message: e.to_string(),
+                        }),
+                    ),
+                };
+            }
+        }
         let spanned = match parse_spanned(sql) {
             Ok(s) => s,
             Err(e) => {
@@ -357,6 +380,27 @@ impl Connection {
         // One admission per script: permits cover all its statements.
         let permit = self.admit();
         let session = self.session.clone().with_parallelism(permit.threads());
+        // A single-SELECT script executes through the engine's caches
+        // (publishing its plan for the hot path above); scripts with
+        // DDL/DML or several statements keep per-statement dispatch for
+        // exact error positions.
+        if spanned.len() == 1 && matches!(spanned[0].0, Statement::Select(_)) {
+            let span = spanned.into_iter().next().expect("one statement").1;
+            let result = session.execute(sql);
+            drop(permit);
+            return match result {
+                Ok(r) => self.stream_result(w, &r),
+                Err(e) => send(
+                    w,
+                    &Response::Error(WireError {
+                        code: error_code(&e),
+                        statement_index: Some(0),
+                        statement_text: sql[span].trim().to_string(),
+                        message: e.to_string(),
+                    }),
+                ),
+            };
+        }
         let mut last: Option<QueryResult> = None;
         for (i, (stmt, span)) in spanned.into_iter().enumerate() {
             match session.execute_parsed(stmt) {
@@ -458,6 +502,16 @@ impl Connection {
                 "off" | "false" | "0" => Some(session.with_optimizer(false)),
                 _ => None,
             },
+            "result_cache" => match lower_val.as_str() {
+                "on" | "true" | "1" => Some(session.with_result_cache(true)),
+                "off" | "false" | "0" => Some(session.with_result_cache(false)),
+                // Engine-wide: drops every cached result and plan.
+                "clear" => {
+                    session.engine().clear_caches();
+                    Some(session)
+                }
+                _ => None,
+            },
             _ => None,
         };
         match updated {
@@ -476,11 +530,51 @@ impl Connection {
                     codes::UNKNOWN_OPTION,
                     format!(
                         "unknown option {key}={value} (known: visibility=closed|semi-open|open, \
-                         seed=<u64>, threads=<n>, partitions=<n>, optimizer=on|off)"
+                         seed=<u64>, threads=<n>, partitions=<n>, optimizer=on|off, \
+                         result_cache=on|off|clear)"
                     ),
                 ),
             ),
         }
+    }
+
+    /// Answer a `CacheStats` request with a `(stat TEXT, value INT)`
+    /// result stream of the engine's result/plan cache counters.
+    fn cache_stats(&self, w: &mut impl Write) -> io::Result<()> {
+        let s = self.session.engine().cache_stats();
+        let stats: [(&str, u64); 10] = [
+            ("capacity_bytes", s.capacity_bytes as u64),
+            ("entries", s.entries as u64),
+            ("bytes", s.bytes as u64),
+            ("hits", s.hits),
+            ("misses", s.misses),
+            ("insertions", s.insertions),
+            ("evictions", s.evictions),
+            ("invalidations", s.invalidations),
+            ("plan_hits", s.plan_hits),
+            ("plan_misses", s.plan_misses),
+        ];
+        let table = mosaic_storage::Table::new(
+            mosaic_storage::Schema::new(vec![
+                mosaic_storage::Field::new("stat", mosaic_storage::DataType::Str),
+                mosaic_storage::Field::new("value", mosaic_storage::DataType::Int),
+            ]),
+            vec![
+                mosaic_storage::Column::from_str(
+                    stats.iter().map(|(k, _)| k.to_string()).collect(),
+                ),
+                mosaic_storage::Column::from_i64(stats.iter().map(|(_, v)| *v as i64).collect()),
+            ],
+        )
+        .expect("static schema matches columns");
+        self.stream_result(
+            w,
+            &QueryResult {
+                table,
+                visibility: None,
+                notes: Vec::new(),
+            },
+        )
     }
 
     /// Stream one result: `Schema`, then `RowBatch` frames, then `Done`.

@@ -90,6 +90,14 @@ impl Dictionary {
     pub fn rank(&self, code: u32) -> u32 {
         self.ranks[code as usize]
     }
+
+    /// Approximate heap footprint of the dictionary: string bytes plus
+    /// the per-value bookkeeping (`String` headers, sort permutation,
+    /// rank table).
+    pub fn approx_bytes(&self) -> usize {
+        let strings: usize = self.values.iter().map(String::len).sum();
+        strings + self.values.len() * (std::mem::size_of::<String>() + 2 * 4)
+    }
 }
 
 /// A typed, contiguous column with an optional validity bitmap.
@@ -589,6 +597,28 @@ impl Column {
     /// Iterate dynamic values.
     pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
         (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Approximate heap footprint of this column *view* in bytes: the
+    /// payload bytes of the visible window plus the validity bitmap. A
+    /// dictionary-encoded view counts its codes plus the whole shared
+    /// dictionary (the dictionary keeps the codes decodable, so an
+    /// accounting that holds the view alive must charge for it; shared
+    /// payloads may therefore be counted more than once — this is a
+    /// cheap upper-bound estimate, not an allocator report).
+    pub fn approx_bytes(&self) -> usize {
+        let (o, n) = (self.offset, self.len);
+        let payload = match self.data.as_ref() {
+            ColumnData::Bool(_) => n,
+            ColumnData::Int(_) | ColumnData::Float(_) => n * 8,
+            ColumnData::Str(v) => v[o..o + n]
+                .iter()
+                .map(|s| s.len() + std::mem::size_of::<String>())
+                .sum(),
+            ColumnData::Dict { dict, .. } => n * 4 + dict.approx_bytes(),
+        };
+        let validity = self.validity.as_ref().map_or(0, |v| v.len().div_ceil(8));
+        payload + validity
     }
 
     /// Min and max over non-null numeric rows.

@@ -113,6 +113,15 @@ impl Table {
         (0..self.num_rows).map(move |i| self.row(i))
     }
 
+    /// Approximate heap footprint of the table in bytes: the sum of its
+    /// columns' [`Column::approx_bytes`]. Shared payloads may be counted
+    /// once per referencing column — this is the cheap upper-bound
+    /// estimate cache admission and eviction budgets use, not an
+    /// allocator report.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(Column::approx_bytes).sum()
+    }
+
     /// Gather rows by index into a new table.
     pub fn take(&self, indices: &[usize]) -> Table {
         Table {

@@ -1,0 +1,536 @@
+//! The epoch-invalidated result cache, end to end:
+//!
+//! * A cache **hit is bit-identical** to uncached re-execution — for the
+//!   planner-oracle template subset, across the optimizer × parallelism
+//!   matrix, and across visibilities (CLOSED, SEMI-OPEN IPF, OPEN with
+//!   an explicit seed).
+//! * **Writes invalidate**: INSERT / DROP+recreate / sample writes
+//!   between identical queries never serve stale rows — the post-write
+//!   answer always equals a fresh uncached execution.
+//! * A **concurrent writer** racing cached readers never exposes a torn
+//!   or stale count: every observed COUNT is a whole number of batches
+//!   and monotonic per reader.
+//! * The byte-bounded **LRU** respects its capacity, evicts, and
+//!   refuses oversized entries; the plan cache powers the zero-parse
+//!   hot path and drops stale entries after DDL.
+//! * Over the wire, `SetOption result_cache=on|off|clear` gates and
+//!   clears the cache per connection, and `CacheStats` frames report
+//!   engine-wide counters.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mosaic_core::{EngineOptions, MosaicEngine, QueryResult, Session, Table, Value};
+use mosaic_serve::{Client, ServeConfig, Server, ServerHandle};
+
+/// Aggregate-heavy planner-oracle subset (all deterministic at any
+/// thread count, so a cached answer is provably THE answer).
+const TEMPLATES: &[&str] = &[
+    "SELECT COUNT(*) FROM t",
+    "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k",
+    "SELECT SUM(i), AVG(f), MIN(i), MAX(f) FROM t",
+    "SELECT k, i FROM t WHERE i > 40 ORDER BY i DESC, k LIMIT 20",
+    "SELECT k, SUM(i) AS s FROM t WHERE i > 0 GROUP BY k ORDER BY s DESC, k LIMIT 5",
+    "SELECT COUNT(*) FROM t WHERE f > 0.0 OR i < 0",
+    "SELECT k, AVG(f) AS a, MIN(i), MAX(i) FROM t GROUP BY k ORDER BY k",
+];
+
+/// An engine with the cache pinned to its 64 MB default — explicit, so
+/// this suite's hit assertions hold even when CI sets
+/// `MOSAIC_RESULT_CACHE=off` for the re-execution pass.
+fn cache_engine() -> Arc<MosaicEngine> {
+    Arc::new(MosaicEngine::with_options(
+        EngineOptions::default().with_result_cache(64),
+    ))
+}
+
+fn seed_engine(rows: usize) -> Arc<MosaicEngine> {
+    let engine = cache_engine();
+    seed_table(&engine.session(), rows);
+    engine
+}
+
+fn seed_table(session: &Session, rows: usize) {
+    let mut sql = String::from("CREATE TABLE t (k TEXT, i INT, f FLOAT);\n");
+    let mut values = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let k = format!("'g{}'", r % 17);
+        let i = if r % 7 == 0 {
+            "NULL".into()
+        } else {
+            ((r % 200) as i64 - 60).to_string()
+        };
+        let f = if r % 9 == 0 {
+            "NULL".into()
+        } else {
+            format!("{:.3}", (r as f64) * 0.5 - 55.0)
+        };
+        values.push(format!("({k}, {i}, {f})"));
+    }
+    for chunk in values.chunks(2048) {
+        sql.push_str("INSERT INTO t VALUES ");
+        sql.push_str(&chunk.join(", "));
+        sql.push_str(";\n");
+    }
+    session.execute(&sql).unwrap();
+}
+
+fn assert_identical(a: &Table, b: &Table, ctx: &str) {
+    assert_eq!(a.num_rows(), b.num_rows(), "{ctx}: row count");
+    assert_eq!(a.num_columns(), b.num_columns(), "{ctx}: column count");
+    for c in 0..a.num_columns() {
+        let (fa, fb) = (a.schema().field(c), b.schema().field(c));
+        assert_eq!(fa.name, fb.name, "{ctx}: field {c} name");
+        assert_eq!(fa.data_type, fb.data_type, "{ctx}: field {c} type");
+    }
+    for r in 0..a.num_rows() {
+        for c in 0..a.num_columns() {
+            // `Value` equality is total and compares floats by bit
+            // pattern, so this is literal bit-identity.
+            assert_eq!(a.value(r, c), b.value(r, c), "{ctx}: cell ({r},{c})");
+        }
+    }
+}
+
+fn is_hit(r: &QueryResult) -> bool {
+    r.notes.iter().any(|n| n.starts_with("result cache hit"))
+}
+
+/// Every template: uncached baseline == first cached run (miss) ==
+/// second cached run (hit), across the optimizer × parallelism matrix.
+#[test]
+fn cached_hit_bit_identical_to_uncached_across_matrix() {
+    let engine = seed_engine(4_000);
+    for optimizer in [true, false] {
+        for threads in [1, 3] {
+            let uncached = engine
+                .session()
+                .with_result_cache(false)
+                .with_optimizer(optimizer)
+                .with_parallelism(threads);
+            let cached = engine
+                .session()
+                .with_optimizer(optimizer)
+                .with_parallelism(threads);
+            for sql in TEMPLATES {
+                let ctx = format!("{sql} (optimizer={optimizer}, threads={threads})");
+                let baseline = uncached.execute(sql).unwrap();
+                assert!(!is_hit(&baseline), "{ctx}: opted-out session must miss");
+                let first = cached.execute(sql).unwrap();
+                let second = cached.execute(sql).unwrap();
+                assert!(is_hit(&second), "{ctx}: second run should hit");
+                assert_identical(&baseline.table, &first.table, &ctx);
+                assert_identical(&baseline.table, &second.table, &ctx);
+            }
+        }
+    }
+    let stats = engine.cache_stats();
+    assert!(stats.hits > 0, "matrix runs should have produced hits");
+}
+
+/// Prepared statements participate: each distinct parameter vector
+/// caches separately, and a hit equals the literal-inlined uncached run.
+#[test]
+fn prepared_params_cache_per_value() {
+    let engine = seed_engine(3_000);
+    let cached = engine.session();
+    let uncached = engine.session().with_result_cache(false);
+    let prepared = cached
+        .prepare("SELECT k, COUNT(*) AS c FROM t WHERE i > ? GROUP BY k ORDER BY k")
+        .unwrap();
+    for thr in [0i64, 25, 50] {
+        let baseline = uncached
+            .execute(&format!(
+                "SELECT k, COUNT(*) AS c FROM t WHERE i > {thr} GROUP BY k ORDER BY k"
+            ))
+            .unwrap();
+        let first = cached
+            .execute_prepared(&prepared, &[Value::Int(thr)])
+            .unwrap();
+        let second = cached
+            .execute_prepared(&prepared, &[Value::Int(thr)])
+            .unwrap();
+        assert!(is_hit(&second), "param {thr}: second run should hit");
+        assert_identical(&baseline.table, &first.table, &format!("param {thr} miss"));
+        assert_identical(&baseline.table, &second.table, &format!("param {thr} hit"));
+    }
+    // Different parameter values never collide.
+    let a = cached
+        .execute_prepared(&prepared, &[Value::Int(0)])
+        .unwrap();
+    let b = cached
+        .execute_prepared(&prepared, &[Value::Int(50)])
+        .unwrap();
+    assert!(is_hit(&a) && is_hit(&b));
+    let same = a.table.num_rows() == b.table.num_rows()
+        && (0..a.table.num_rows()).all(|r| a.table.value(r, 1) == b.table.value(r, 1));
+    assert!(!same, "thresholds 0 and 50 must produce different counts");
+}
+
+/// The §2 population world: SEMI-OPEN (IPF) answers cache and hit
+/// bit-identically, and sample writes invalidate them.
+#[test]
+fn semi_open_caches_and_sample_writes_invalidate() {
+    let engine = cache_engine();
+    engine
+        .session()
+        .execute(
+            "CREATE TABLE Report (country TEXT, email TEXT, reported_count INT);
+             INSERT INTO Report (country, reported_count) VALUES ('UK', 600), ('FR', 400);
+             INSERT INTO Report (email, reported_count) VALUES ('Yahoo', 300), ('AOL', 700);
+             CREATE GLOBAL POPULATION Migrants (country TEXT, email TEXT);
+             CREATE METADATA Migrants_M1 AS
+               (SELECT country, reported_count FROM Report WHERE country IS NOT NULL);
+             CREATE METADATA Migrants_M2 AS
+               (SELECT email, reported_count FROM Report WHERE email IS NOT NULL);
+             CREATE SAMPLE YahooSample AS (SELECT * FROM Migrants WHERE email = 'Yahoo');
+             INSERT INTO YahooSample VALUES ('UK','Yahoo'), ('UK','Yahoo'), ('FR','Yahoo');",
+        )
+        .unwrap();
+    let q = "SELECT SEMI-OPEN country, COUNT(*) FROM Migrants GROUP BY country ORDER BY country";
+    let cached = engine.session();
+    let uncached = engine.session().with_result_cache(false);
+
+    let baseline = uncached.execute(q).unwrap();
+    let first = cached.execute(q).unwrap();
+    let second = cached.execute(q).unwrap();
+    assert!(is_hit(&second), "SEMI-OPEN second run should hit");
+    assert_identical(&baseline.table, &first.table, "semi-open miss");
+    assert_identical(&baseline.table, &second.table, "semi-open hit");
+
+    // A write to the backing sample bumps the population's epoch: the
+    // next run must re-execute and equal a fresh uncached answer.
+    cached
+        .execute("INSERT INTO YahooSample VALUES ('FR','Yahoo'), ('FR','Yahoo')")
+        .unwrap();
+    let after = cached.execute(q).unwrap();
+    assert!(!is_hit(&after), "sample write must invalidate the entry");
+    let fresh = uncached.execute(q).unwrap();
+    assert_identical(&fresh.table, &after.table, "post-write semi-open");
+
+    // CREATE SAMPLE on the population invalidates again.
+    let warm = cached.execute(q).unwrap();
+    assert!(is_hit(&warm));
+    cached
+        .execute(
+            "CREATE SAMPLE Second AS (SELECT * FROM Migrants WHERE email = 'Yahoo');
+             INSERT INTO Second VALUES ('UK','Yahoo')",
+        )
+        .unwrap();
+    let after_ddl = cached.execute(q).unwrap();
+    assert!(!is_hit(&after_ddl), "CREATE SAMPLE must invalidate");
+    let fresh = uncached.execute(q).unwrap();
+    assert_identical(&fresh.table, &after_ddl.table, "post-CREATE SAMPLE");
+}
+
+/// INSERT between identical queries: the cached path never serves the
+/// stale pre-write count.
+#[test]
+fn insert_invalidates_cached_count() {
+    let engine = seed_engine(1_000);
+    let s = engine.session();
+    let q = "SELECT COUNT(*) FROM t";
+    let before = s.execute(q).unwrap();
+    assert!(is_hit(&s.execute(q).unwrap()));
+    s.execute("INSERT INTO t VALUES ('z', 1, 1.0), ('z', 2, 2.0)")
+        .unwrap();
+    let after = s.execute(q).unwrap();
+    assert!(!is_hit(&after), "INSERT must invalidate");
+    let (a, b) = (
+        before.table.value(0, 0).as_f64().unwrap(),
+        after.table.value(0, 0).as_f64().unwrap(),
+    );
+    assert_eq!(b - a, 2.0, "post-write count reflects the insert");
+    let stats = engine.cache_stats();
+    assert!(stats.invalidations > 0, "stale entry should be dropped");
+}
+
+/// DROP + recreate with the same name: the fingerprint matches but the
+/// epoch does not — the answer comes from the new table.
+#[test]
+fn drop_and_recreate_never_serves_old_table() {
+    let engine = cache_engine();
+    let s = engine.session();
+    s.execute("CREATE TABLE t (k TEXT, i INT, f FLOAT); INSERT INTO t VALUES ('a', 1, 1.0)")
+        .unwrap();
+    let q = "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k";
+    s.execute(q).unwrap();
+    assert!(is_hit(&s.execute(q).unwrap()));
+    s.execute(
+        "DROP TABLE t;
+         CREATE TABLE t (k TEXT, i INT, f FLOAT);
+         INSERT INTO t VALUES ('x', 9, 9.0), ('y', 8, 8.0)",
+    )
+    .unwrap();
+    let after = s.execute(q).unwrap();
+    assert!(!is_hit(&after), "DROP must invalidate");
+    assert_eq!(after.table.num_rows(), 2);
+    assert_eq!(after.table.value(0, 0), Value::Str("x".into()));
+    assert_eq!(after.table.value(1, 0), Value::Str("y".into()));
+}
+
+/// A writer inserting fixed-size batches races cached readers: every
+/// served COUNT must be a whole number of batches and monotonic per
+/// reader — a cached entry may be *old news* for at most the instant it
+/// is validated, never stale.
+#[test]
+fn concurrent_writer_vs_cached_readers() {
+    const BATCH: usize = 10;
+    const BATCHES: usize = 40;
+    let engine = cache_engine();
+    engine
+        .session()
+        .execute("CREATE TABLE t (k TEXT, i INT, f FLOAT)")
+        .unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let engine = Arc::clone(&engine);
+            let done = Arc::clone(&done);
+            readers.push(scope.spawn(move || {
+                let s = engine.session();
+                let mut last = 0i64;
+                let mut observations = 0usize;
+                while !done.load(Ordering::Relaxed) {
+                    let r = s.execute("SELECT COUNT(*) FROM t").unwrap();
+                    let n = match r.table.value(0, 0) {
+                        Value::Int(n) => n,
+                        v => panic!("COUNT returned {v:?}"),
+                    };
+                    assert_eq!(
+                        n % BATCH as i64,
+                        0,
+                        "torn read: {n} is not a whole number of batches"
+                    );
+                    assert!(n >= last, "stale read: count went {last} -> {n}");
+                    last = n;
+                    observations += 1;
+                }
+                observations
+            }));
+        }
+        let writer = engine.session();
+        let row = "('w', 1, 1.0)";
+        let batch_sql = format!("INSERT INTO t VALUES {}", [row; BATCH].join(", "));
+        for _ in 0..BATCHES {
+            writer.execute(&batch_sql).unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        let total: usize = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "readers should have observed something");
+    });
+    let r = engine.session().execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.table.value(0, 0), Value::Int((BATCH * BATCHES) as i64));
+}
+
+/// The byte-bounded LRU: capacity is respected, old entries evict, and
+/// an entry larger than the whole cache is never admitted.
+#[test]
+fn lru_respects_byte_bound_and_refuses_oversized() {
+    // 1 MB cache over a table whose full scan is bigger than that.
+    let engine = Arc::new(MosaicEngine::with_options(
+        EngineOptions::default().with_result_cache(1),
+    ));
+    let s = engine.session();
+    let mut sql = String::from("CREATE TABLE big (a INT, b INT);\n");
+    let values: Vec<String> = (0..80_000).map(|r| format!("({r}, {})", r * 2)).collect();
+    for chunk in values.chunks(4096) {
+        sql.push_str("INSERT INTO big VALUES ");
+        sql.push_str(&chunk.join(", "));
+        sql.push_str(";\n");
+    }
+    s.execute(&sql).unwrap();
+
+    // Oversized: a full-scan result (~1.25 MB) exceeds the 1 MB cap.
+    s.execute("SELECT a, b FROM big").unwrap();
+    let again = s.execute("SELECT a, b FROM big").unwrap();
+    assert!(!is_hit(&again), "oversized results must not be admitted");
+    assert_eq!(engine.cache_stats().entries, 0);
+
+    // Distinct mid-size results (~1/8 MB each) force LRU eviction.
+    for m in 2..18 {
+        s.execute(&format!("SELECT a FROM big WHERE a % {m} = 0"))
+            .unwrap();
+    }
+    let stats = engine.cache_stats();
+    assert!(stats.entries > 0, "mid-size results should be cached");
+    assert!(
+        stats.bytes <= stats.capacity_bytes,
+        "cache bytes {} exceed capacity {}",
+        stats.bytes,
+        stats.capacity_bytes
+    );
+    assert!(stats.evictions > 0, "16 x ~1/8 MB into 1 MB must evict");
+    // Evicted or not, every re-run still answers correctly.
+    let r = s.execute("SELECT a FROM big WHERE a % 17 = 0").unwrap();
+    assert_eq!(r.table.num_rows(), 80_000usize.div_ceil(17));
+}
+
+/// The plan cache powers the zero-parse hot path: `execute_cached` is
+/// `None` until the statement has gone through the full path once, then
+/// serves without parsing, then goes cold again after DDL.
+#[test]
+fn plan_cache_hot_path_and_ddl_staleness() {
+    let engine = seed_engine(500);
+    let s = engine.session();
+    let sql = "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k";
+    assert!(
+        s.execute_cached(sql).is_none(),
+        "nothing cached before the first full execution"
+    );
+    let full = s.execute(sql).unwrap();
+    let hot = s
+        .execute_cached(sql)
+        .expect("plan should be cached now")
+        .unwrap();
+    assert_identical(&full.table, &hot.table, "hot path");
+    assert!(engine.cache_stats().plan_hits > 0);
+    s.execute("DROP TABLE t").unwrap();
+    assert!(
+        s.execute_cached(sql).is_none(),
+        "DDL must make the cached plan stale"
+    );
+}
+
+/// A session that opted out, and an engine built with the cache off,
+/// never produce hits.
+#[test]
+fn opt_outs_never_hit() {
+    let engine = seed_engine(500);
+    let off = engine.session().with_result_cache(false);
+    for _ in 0..3 {
+        assert!(!is_hit(&off.execute("SELECT COUNT(*) FROM t").unwrap()));
+    }
+    let disabled = Arc::new(MosaicEngine::with_options(
+        EngineOptions::default().with_result_cache(0),
+    ));
+    seed_table(&disabled.session(), 100);
+    let s = disabled.session();
+    for _ in 0..3 {
+        assert!(!is_hit(&s.execute("SELECT COUNT(*) FROM t").unwrap()));
+    }
+    assert_eq!(disabled.cache_stats().entries, 0);
+}
+
+/// EXPLAIN reports the fingerprint and the cache verdict, and the
+/// verdict tracks reality: not cached → cached → off → OPEN-ineligible.
+#[test]
+fn explain_reports_fingerprint_and_verdict() {
+    let engine = seed_engine(500);
+    let s = engine.session();
+    let lines = |r: &QueryResult| -> String {
+        (0..r.table.num_rows())
+            .map(|i| r.table.value(i, 0).to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let q = "SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k";
+    let text = lines(&s.execute(&format!("EXPLAIN {q}")).unwrap());
+    assert!(text.contains("fingerprint: "), "{text}");
+    assert!(
+        text.contains("result cache: eligible, not cached"),
+        "{text}"
+    );
+    s.execute(q).unwrap();
+    let text = lines(&s.execute(&format!("EXPLAIN {q}")).unwrap());
+    assert!(text.contains("result cache: eligible, cached"), "{text}");
+    // The fingerprint is stable across EXPLAIN runs.
+    let fp = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("fingerprint: "))
+        .unwrap()
+        .trim()
+        .to_string();
+    let text2 = lines(&s.execute(&format!("EXPLAIN {q}")).unwrap());
+    assert!(text2.contains(&fp), "{text2}");
+
+    let off = engine.session().with_result_cache(false);
+    let text = lines(&off.execute(&format!("EXPLAIN {q}")).unwrap());
+    assert!(text.contains("result cache: off"), "{text}");
+
+    // OPEN without an explicit seed can never cache; a pinned seed can.
+    s.execute(
+        "CREATE GLOBAL POPULATION Pop (k TEXT);
+         CREATE SAMPLE PS AS (SELECT * FROM Pop);
+         INSERT INTO PS VALUES ('a'), ('b')",
+    )
+    .unwrap();
+    let open_q = "EXPLAIN SELECT OPEN k, COUNT(*) FROM Pop GROUP BY k";
+    let text = lines(&s.execute(open_q).unwrap());
+    assert!(
+        text.contains("ineligible (OPEN without an explicit seed)"),
+        "{text}"
+    );
+    let seeded = engine.session().with_seed(7);
+    let text = lines(&seeded.execute(open_q).unwrap());
+    assert!(!text.contains("ineligible"), "{text}");
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol: SetOption result_cache + CacheStats frames.
+// ---------------------------------------------------------------------
+
+fn start(engine: Arc<MosaicEngine>) -> ServerHandle {
+    let server = Server::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let (handle, _join) = server.spawn();
+    handle
+}
+
+fn stat(table: &Table, name: &str) -> i64 {
+    for r in 0..table.num_rows() {
+        if table.value(r, 0) == Value::Str(name.into()) {
+            if let Value::Int(v) = table.value(r, 1) {
+                return v;
+            }
+        }
+    }
+    panic!("stat {name} missing from CacheStats result");
+}
+
+/// Per-connection gate + engine-wide stats and clear, over the wire —
+/// with every response still bit-identical to in-process execution.
+#[test]
+fn serve_set_option_and_cache_stats() {
+    let engine = seed_engine(2_000);
+    let expected = engine
+        .session()
+        .with_result_cache(false)
+        .execute(TEMPLATES[1])
+        .unwrap();
+    let handle = start(Arc::clone(&engine));
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    client.set_option("result_cache", "off").unwrap();
+    for _ in 0..2 {
+        let r = client.query(TEMPLATES[1]).unwrap();
+        assert!(
+            !r.notes.iter().any(|n| n.starts_with("result cache hit")),
+            "opted-out connection must never hit"
+        );
+        assert_identical(&expected.table, &r.table, "wire, cache off");
+    }
+
+    client.set_option("result_cache", "on").unwrap();
+    client.query(TEMPLATES[1]).unwrap();
+    let r = client.query(TEMPLATES[1]).unwrap();
+    assert!(
+        r.notes.iter().any(|n| n.starts_with("result cache hit")),
+        "second cached run over the wire should hit; notes: {:?}",
+        r.notes
+    );
+    assert_identical(&expected.table, &r.table, "wire, cache hit");
+
+    let stats = client.cache_stats().unwrap();
+    assert!(stat(&stats.table, "hits") >= 1);
+    assert!(stat(&stats.table, "entries") >= 1);
+    assert!(stat(&stats.table, "capacity_bytes") > 0);
+
+    client.set_option("result_cache", "clear").unwrap();
+    let stats = client.cache_stats().unwrap();
+    assert_eq!(stat(&stats.table, "entries"), 0);
+    // Counters survive the clear; the entries are gone.
+    assert!(stat(&stats.table, "hits") >= 1);
+    client.close().unwrap();
+    handle.shutdown();
+}
